@@ -1,0 +1,103 @@
+// Microbenchmarks of the alignment kernels (DSEARCH's hot path), reported
+// as DP cell updates per second. These calibrate the cost model: one
+// WorkUnit "op" is one cell update, and reference_ops_per_sec in the
+// simulator is a PIII-1GHz's cell rate (~5e7); a modern core is ~10-60x
+// that, which is what these numbers show.
+
+#include <benchmark/benchmark.h>
+
+#include "bio/align.hpp"
+#include "bio/seqgen.hpp"
+#include "util/rng.hpp"
+
+using namespace hdcs;
+
+namespace {
+
+struct Inputs {
+  std::string a;
+  std::string b;
+  bio::ScoringScheme scheme = bio::ScoringScheme::blosum62();
+};
+
+Inputs make_inputs(std::size_t len_a, std::size_t len_b, bool dna) {
+  Rng rng(7);
+  Inputs in;
+  auto alphabet = dna ? bio::Alphabet::kDna : bio::Alphabet::kProtein;
+  in.a = bio::random_residues(rng, len_a, alphabet);
+  in.b = bio::random_residues(rng, len_b, alphabet);
+  in.scheme = dna ? bio::ScoringScheme::dna() : bio::ScoringScheme::blosum62();
+  return in;
+}
+
+void report_cells(benchmark::State& state, std::size_t la, std::size_t lb) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(la * lb));
+}
+
+void BM_NeedlemanWunsch(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto in = make_inputs(n, n, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::nw_score(in.a, in.b, in.scheme));
+  }
+  report_cells(state, n, n);
+}
+BENCHMARK(BM_NeedlemanWunsch)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_SmithWaterman(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto in = make_inputs(n, n, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::sw_score(in.a, in.b, in.scheme));
+  }
+  report_cells(state, n, n);
+}
+BENCHMARK(BM_SmithWaterman)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_SemiGlobal(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto in = make_inputs(n / 2, n, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::semiglobal_score(in.a, in.b, in.scheme));
+  }
+  report_cells(state, n / 2, n);
+}
+BENCHMARK(BM_SemiGlobal)->Arg(200)->Arg(600);
+
+void BM_BandedNw(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto band = static_cast<std::size_t>(state.range(1));
+  auto in = make_inputs(n, n, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::banded_nw_score(in.a, in.b, in.scheme, band));
+  }
+  // Banded work ~ n * (2*band+1) cells.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * (2 * band + 1)));
+}
+BENCHMARK(BM_BandedNw)->Args({1000, 8})->Args({1000, 32})->Args({1000, 128});
+
+void BM_DnaKernel(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto in = make_inputs(n, n, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::sw_score(in.a, in.b, in.scheme));
+  }
+  report_cells(state, n, n);
+}
+BENCHMARK(BM_DnaKernel)->Arg(500);
+
+void BM_TracebackAlign(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto in = make_inputs(n, n, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::nw_align(in.a, in.b, in.scheme));
+  }
+  report_cells(state, n, n);
+}
+BENCHMARK(BM_TracebackAlign)->Arg(100)->Arg(300);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Microbenchmarks of the likelihood machinery (DPRml's hot path): full-tree
+// log-likelihood evaluations and branch optimisations across substitution
+// models and rate-category counts. These calibrate DPRml's cost model
+// (pattern_cost x nodes x Brent evaluations).
+
+#include <benchmark/benchmark.h>
+
+#include "phylo/distance.hpp"
+#include "phylo/likelihood.hpp"
+#include "phylo/simulate.hpp"
+#include "util/rng.hpp"
+
+using namespace hdcs;
+using namespace hdcs::phylo;
+
+namespace {
+
+struct Case {
+  Tree tree;
+  PatternAlignment patterns;
+  std::shared_ptr<const SubstModel> model;
+  RateModel rates;
+};
+
+Case make_case(int taxa, std::size_t sites, const std::string& model_spec,
+               int categories) {
+  Rng rng(3);
+  Case c;
+  c.tree = random_tree(rng, {taxa, 0.1, "t"});
+  Config params;
+  params.set("kappa", "2.0");
+  params.set("alpha", "0.5");
+  auto spec = ModelSpec::parse(model_spec, params);
+  c.model = spec.model;
+  c.rates = categories > 1 ? RateModel::gamma(0.5, categories)
+                           : RateModel::uniform();
+  auto aln = simulate_alignment(rng, c.tree, *c.model, c.rates, {sites});
+  c.patterns = compress(aln);
+  return c;
+}
+
+void BM_LogLikelihood(benchmark::State& state) {
+  auto taxa = static_cast<int>(state.range(0));
+  auto cats = static_cast<int>(state.range(1));
+  auto c = make_case(taxa, 500, "HKY85", cats);
+  LikelihoodEngine engine(c.patterns, c.model, c.rates);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.log_likelihood(c.tree));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.patterns.patterns) *
+                          cats * (2 * taxa - 2));
+  state.counters["patterns"] = static_cast<double>(c.patterns.patterns);
+}
+BENCHMARK(BM_LogLikelihood)
+    ->Args({10, 1})
+    ->Args({10, 4})
+    ->Args({25, 1})
+    ->Args({25, 4})
+    ->Args({50, 4});
+
+void BM_ModelComparison(benchmark::State& state) {
+  static const char* kModels[] = {"JC69", "K80", "HKY85", "TN93", "GTR"};
+  const char* model = kModels[state.range(0)];
+  auto c = make_case(15, 500, model, 1);
+  LikelihoodEngine engine(c.patterns, c.model, c.rates);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.log_likelihood(c.tree));
+  }
+  state.SetLabel(model);
+}
+BENCHMARK(BM_ModelComparison)->DenseRange(0, 4);
+
+void BM_OptimizeBranch(benchmark::State& state) {
+  auto c = make_case(20, 500, "HKY85", 4);
+  LikelihoodEngine engine(c.patterns, c.model, c.rates);
+  auto edges = c.tree.edge_nodes();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.optimize_branch(c.tree, edges[i % edges.size()], 1e-3));
+    ++i;
+  }
+  state.counters["ll_evals_total"] = static_cast<double>(engine.eval_count());
+}
+BENCHMARK(BM_OptimizeBranch);
+
+void BM_TransitionProbs(benchmark::State& state) {
+  auto model = SubstModel::gtr({0.3, 0.2, 0.2, 0.3}, {1.2, 3.0, 0.9, 1.1, 3.5, 1.0});
+  double t = 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.transition_probs(t));
+    t += 1e-6;  // defeat value caching
+  }
+}
+BENCHMARK(BM_TransitionProbs);
+
+void BM_PatternCompression(benchmark::State& state) {
+  Rng rng(5);
+  auto tree = random_tree(rng, {30, 0.1, "t"});
+  auto model = SubstModel::jc69();
+  auto aln = simulate_alignment(rng, tree, model, RateModel::uniform(), {2000});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress(aln));
+  }
+}
+BENCHMARK(BM_PatternCompression);
+
+void BM_NeighborJoining(benchmark::State& state) {
+  auto taxa = static_cast<int>(state.range(0));
+  Rng rng(9);
+  auto tree = random_tree(rng, {taxa, 0.1, "t"});
+  auto model = SubstModel::jc69();
+  auto aln = simulate_alignment(rng, tree, model, RateModel::uniform(), {500});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nj_tree(aln));
+  }
+}
+BENCHMARK(BM_NeighborJoining)->Arg(20)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Microbenchmarks of the transport layer over loopback: framed round trips
+// (the "RMI replacement" control path) and bulk blob transfers (the
+// "ordinary sockets" data path of paper §2.2).
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "net/bulk.hpp"
+#include "net/message.hpp"
+#include "net/socket.hpp"
+#include "util/rng.hpp"
+
+using namespace hdcs;
+using namespace hdcs::net;
+
+namespace {
+
+struct Loop {
+  TcpListener listener = TcpListener::bind(0);
+  TcpStream client;
+  TcpStream server;
+  std::thread echo;
+
+  /// Echo server: reads a frame, sends it back; empty Goodbye frame stops.
+  Loop() {
+    std::thread connector(
+        [&] { client = TcpStream::connect("127.0.0.1", listener.port()); });
+    server = std::move(*listener.accept(5000));
+    connector.join();
+    echo = std::thread([this] {
+      try {
+        for (;;) {
+          Message m = read_message(server);
+          if (m.type == MessageType::kGoodbye) return;
+          write_message(server, m);
+        }
+      } catch (const Error&) {
+      }
+    });
+  }
+
+  ~Loop() {
+    try {
+      Message bye;
+      bye.type = MessageType::kGoodbye;
+      write_message(client, bye);
+    } catch (const Error&) {
+    }
+    if (echo.joinable()) echo.join();
+  }
+};
+
+void BM_MessageRoundTrip(benchmark::State& state) {
+  Loop loop;
+  auto payload_size = static_cast<std::size_t>(state.range(0));
+  Message m;
+  m.type = MessageType::kHeartbeat;
+  m.payload.assign(payload_size, std::byte{0x5a});
+  for (auto _ : state) {
+    write_message(loop.client, m);
+    Message reply = read_message(loop.client);
+    benchmark::DoNotOptimize(reply.payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload_size) * 2);
+}
+BENCHMARK(BM_MessageRoundTrip)->Arg(0)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BulkTransfer(benchmark::State& state) {
+  auto size = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::byte> blob(size);
+  for (auto& b : blob) b = static_cast<std::byte>(rng.next_u64());
+
+  TcpListener listener = TcpListener::bind(0);
+  TcpStream client;
+  std::thread connector(
+      [&] { client = TcpStream::connect("127.0.0.1", listener.port()); });
+  TcpStream server = std::move(*listener.accept(5000));
+  connector.join();
+
+  for (auto _ : state) {
+    std::thread sender([&] { send_blob(client, blob); });
+    auto received = recv_blob(server);
+    sender.join();
+    benchmark::DoNotOptimize(received.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_BulkTransfer)->Arg(64 << 10)->Arg(1 << 20)->Arg(8 << 20);
+
+void BM_Crc32(benchmark::State& state) {
+  auto size = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> data(size, std::byte{0xab});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Crc32)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

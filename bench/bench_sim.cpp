@@ -1,0 +1,54 @@
+// Microbenchmarks of the discrete-event simulation machinery: raw event
+// throughput and full end-to-end simulated-donor work cycles. These bound
+// how large a fleet/workload the figure harnesses can sweep in reasonable
+// wall-clock time.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/sim_driver.hpp"
+#include "tests/toy_problem.hpp"
+
+using namespace hdcs;
+
+namespace {
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int fired = 0;
+    // A self-rescheduling chain of 10k events.
+    std::function<void()> chain = [&] {
+      if (++fired < 10000) q.schedule(q.now() + 0.001, chain);
+    };
+    q.schedule(0.0, chain);
+    q.run_until();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_SimulatedWorkCycles(benchmark::State& state) {
+  // Full simulation of a fleet chewing through a toy problem; items =
+  // completed work units (one unit ~ 6 simulated events + scheduling).
+  test::register_toy_algorithm();
+  auto machines = static_cast<int>(state.range(0));
+  std::uint64_t total_units = 0;
+  for (auto _ : state) {
+    sim::SimConfig cfg;
+    cfg.reference_ops_per_sec = 1e6;
+    cfg.scheduler.bounds.min_ops = 1;
+    cfg.policy_spec = "fixed:10000";  // ~1000 units per run
+    cfg.cache_results = false;
+    sim::SimDriver driver(cfg, sim::lab_fleet(machines));
+    driver.add_problem(std::make_shared<test::ToySumDataManager>(10000000));
+    auto out = driver.run();
+    total_units += out.scheduler.results_accepted;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_units));
+}
+BENCHMARK(BM_SimulatedWorkCycles)->Arg(4)->Arg(32)->Arg(83);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Campus deployment simulation: the paper's testbed at full scale.
+//
+// "We have deployed the distributed system in our university across 3
+// locations ... approximately 200 desktop PCs of various modest
+// specifications (Pentium IIs up to Pentium IVs ...) and on every node of
+// an IBM Linux cluster (32 Dual PIII 1GHz nodes) with all machines
+// connecting via a 100 Mbit/s network to a single server" (§3).
+//
+// This example reconstructs that fleet in the discrete-event simulator and
+// runs a DSEARCH job plus two DPRml instances across it concurrently,
+// reporting per-class contribution statistics — the kind of telemetry the
+// original operators would have watched.
+
+#include <cstdio>
+#include <map>
+
+#include "bio/seqgen.hpp"
+#include "dprml/dprml.hpp"
+#include "dsearch/dsearch.hpp"
+#include "phylo/simulate.hpp"
+#include "sim/sim_driver.hpp"
+#include "util/logging.hpp"
+
+using namespace hdcs;
+
+int main() {
+  set_log_level(LogLevel::kError);
+  Rng rng(42);
+  auto fleet = sim::campus_fleet(rng, 200);
+  std::printf("campus fleet: %zu donor CPUs (200 desktops + 32 dual-CPU "
+              "cluster nodes)\n",
+              fleet.size());
+
+  sim::SimConfig cfg;
+  cfg.reference_ops_per_sec = 5e7;  // a PIII-1GHz in abstract ops/s
+  cfg.policy_spec = "adaptive:15";
+  cfg.scheduler.lease_timeout = 3600;
+  cfg.scheduler.bounds.min_ops = 1e5;
+  cfg.seed = 7;
+
+  sim::SimDriver driver(cfg, fleet);
+
+  // Workload 1: a DSEARCH job.
+  dsearch::register_algorithm();
+  Rng wl(99);
+  auto queries = bio::make_queries(wl, 2, 150, bio::Alphabet::kProtein);
+  bio::DatabaseSpec dbspec;
+  dbspec.num_sequences = 4000;
+  dbspec.mean_length = 140;
+  auto database = bio::make_database(wl, dbspec, queries);
+  dsearch::DSearchConfig dcfg;
+  dcfg.top_k = 10;
+  // Present the database as ~2500x larger to the scheduler/simulator so
+  // the virtual job is hours long (like the paper's searches) while the
+  // actual alignment work stays laptop-sized.
+  dcfg.cost_scale = 2500;
+  auto search_dm =
+      std::make_shared<dsearch::DSearchDataManager>(queries, database, dcfg);
+  auto search_pid = driver.add_problem(search_dm);
+
+  // Workload 2+3: two DPRml instances (stochastic algorithm, multiple runs).
+  dprml::register_algorithm();
+  auto tree = phylo::random_tree(wl, {24, 0.1, "t"});
+  auto model = phylo::SubstModel::jc69();
+  auto alignment =
+      phylo::simulate_alignment(wl, tree, model, phylo::RateModel::uniform(), {200});
+  dprml::DPRmlConfig pcfg;
+  pcfg.model_spec = "JC69";
+  pcfg.branch_tolerance = 1e-2;
+  pcfg.refine_passes = 1;
+  std::vector<dist::ProblemId> tree_pids;
+  for (int i = 0; i < 2; ++i) {
+    auto icfg = pcfg;
+    icfg.order_seed = static_cast<std::uint64_t>(i + 1);
+    tree_pids.push_back(driver.add_problem(
+        std::make_shared<dprml::DPRmlDataManager>(alignment, icfg)));
+  }
+
+  auto out = driver.run();
+
+  std::printf("\nall problems complete at t = %.0f virtual seconds\n",
+              out.makespan_s);
+  std::printf("  DSEARCH finished at t = %.0f s\n",
+              out.completion_time_s.at(search_pid));
+  for (auto pid : tree_pids) {
+    std::printf("  DPRml instance %llu finished at t = %.0f s\n",
+                static_cast<unsigned long long>(pid),
+                out.completion_time_s.at(pid));
+  }
+  std::printf("scheduler: %llu units issued, %llu reissued, mean donor "
+              "utilization %.1f%%\n",
+              static_cast<unsigned long long>(out.scheduler.units_issued),
+              static_cast<unsigned long long>(out.scheduler.units_reissued),
+              100.0 * out.mean_utilization());
+  std::printf("network: %.1f MB moved in %llu messages\n",
+              out.bytes_transferred / 1e6,
+              static_cast<unsigned long long>(out.messages));
+
+  // Contribution by machine class: group on the name prefix.
+  std::map<std::string, std::pair<std::uint64_t, double>> by_class;
+  for (const auto& m : out.machines) {
+    std::string cls;
+    if (m.name.rfind("cluster", 0) == 0) {
+      cls = "cluster-dual-piii";  // collapse the 64 cluster CPUs
+    } else {
+      cls = m.name.substr(0, m.name.rfind('-'));
+    }
+    by_class[cls].first += m.units;
+    by_class[cls].second += m.busy_s;
+  }
+  std::printf("\n%-22s %8s %12s\n", "machine class", "units", "busy (s)");
+  for (const auto& [cls, stats] : by_class) {
+    std::printf("%-22s %8llu %12.0f\n", cls.c_str(),
+                static_cast<unsigned long long>(stats.first), stats.second);
+  }
+  return 0;
+}

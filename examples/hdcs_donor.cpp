@@ -1,0 +1,76 @@
+// hdcs_donor: the deployable donor-side program.
+//
+// Run this as a low-priority background service on any spare machine (the
+// paper deployed it on ~200 lab PCs): it connects to the server, measures
+// its own speed, and donates cycles until told to stop.
+//
+// Usage:
+//   hdcs_donor --host 10.0.0.1 --port 4090 [--name lab3-pc07]
+//              [--persist true] [--throttle 1] [--cpus 2]
+//
+// --persist true  keeps polling for new problems forever (service mode);
+//                 the default exits once all submitted problems finish.
+// --throttle N    pretends to be an N-times slower machine (testing aid).
+
+#include <cstdio>
+#include <map>
+
+#include "dboot/dboot.hpp"
+#include "dist/client.hpp"
+#include "dprml/dprml.hpp"
+#include "dsearch/dsearch.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+using namespace hdcs;
+
+int main(int argc, char** argv) {
+  try {
+    std::map<std::string, std::string> args;
+    for (int i = 1; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) throw InputError("expected --flag: " + key);
+      args[key.substr(2)] = argv[i + 1];
+    }
+    auto get = [&](const std::string& key, const std::string& def) {
+      auto it = args.find(key);
+      return it == args.end() ? def : it->second;
+    };
+
+    // A donor binary must carry every Algorithm it may be asked to run
+    // (the C++ stand-in for Java's mobile code; see dist/registry.hpp).
+    dsearch::register_algorithm();
+    dprml::register_algorithm();
+    dboot::register_algorithm();
+
+    dist::ClientConfig cfg;
+    cfg.server_host = get("host", "127.0.0.1");
+    cfg.server_port = static_cast<std::uint16_t>(parse_i64(get("port", "")));
+    cfg.name = get("name", "donor");
+    cfg.throttle = parse_f64(get("throttle", "1"));
+    cfg.exit_when_idle = !parse_bool(get("persist", "false"));
+
+    int cpus = static_cast<int>(parse_i64(get("cpus", "1")));
+
+    set_log_level(LogLevel::kInfo);
+    std::printf("donating %d cpu(s) to %s:%u as '%s'%s\n", cpus,
+                cfg.server_host.c_str(), cfg.server_port, cfg.name.c_str(),
+                cfg.exit_when_idle ? "" : " (service mode)");
+    auto all_stats = dist::Client::run_pool(cfg, cpus);
+    std::uint64_t units = 0;
+    double seconds = 0;
+    for (const auto& s : all_stats) {
+      units += s.units_processed;
+      seconds += s.compute_seconds;
+    }
+    std::printf("done: %llu units processed, %.1f s of compute donated\n",
+                static_cast<unsigned long long>(units), seconds);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr,
+                 "usage: hdcs_donor --host <ip> --port <port> [--name n] "
+                 "[--persist true|false] [--throttle x]\n");
+    return 1;
+  }
+}

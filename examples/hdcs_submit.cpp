@@ -1,0 +1,177 @@
+// hdcs_submit: the deployable server-side program.
+//
+// Starts the distributed server, submits one problem described by a config
+// file (the paper's user workflow: "they just provide a DataManager, an
+// Algorithm, additional required classes, and data to be processed"),
+// waits for donors to finish it, and writes the result.
+//
+// Usage:
+//   hdcs_submit --app dsearch --db db.fasta --queries q.fasta
+//               [--config search.cfg] [--port 4090] [--output hits.txt]
+//   hdcs_submit --app dprml  --alignment aln.fasta [--config ml.cfg] ...
+//   hdcs_submit --app dboot  --alignment aln.fasta [--config boot.cfg] ...
+//
+// Donor machines then run:  hdcs_donor --host <ip> --port <port>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "dboot/dboot.hpp"
+#include "dist/server.hpp"
+#include "dprml/dprml.hpp"
+#include "dsearch/dsearch.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+using namespace hdcs;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> values;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw InputError("expected --flag, got: " + key);
+      }
+      if (i + 1 >= argc) throw InputError("missing value for " + key);
+      args.values[key.substr(2)] = argv[++i];
+    }
+    return args;
+  }
+
+  [[nodiscard]] std::string get(const std::string& key) const {
+    auto it = values.find(key);
+    if (it == values.end()) throw InputError("missing required --" + key);
+    return it->second;
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_output(const std::string& path, const std::string& text) {
+  if (path.empty() || path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write " + path);
+  out << text;
+  std::printf("result written to %s\n", path.c_str());
+}
+
+int run(int argc, char** argv) {
+  auto args = Args::parse(argc, argv);
+  std::string app = args.get("app");
+  Config file_cfg = args.values.count("config")
+                        ? Config::load(args.get("config"))
+                        : Config();
+
+  dist::ServerConfig scfg;
+  scfg.port = static_cast<std::uint16_t>(parse_i64(args.get("port", "0")));
+  scfg.policy_spec = file_cfg.get_str("policy", "adaptive:15");
+  scfg.scheduler.lease_timeout = file_cfg.get_f64("lease_timeout", 600);
+  scfg.scheduler.client_timeout = file_cfg.get_f64("client_timeout", 120);
+  scfg.scheduler.hedge_endgame = file_cfg.get_bool("hedge_endgame", true);
+
+  std::shared_ptr<dist::DataManager> dm;
+  if (app == "dsearch") {
+    dsearch::register_algorithm();
+    auto db = bio::parse_fasta_auto(read_file(args.get("db")));
+    auto queries = bio::parse_fasta_auto(read_file(args.get("queries")));
+    dm = std::make_shared<dsearch::DSearchDataManager>(
+        queries, db, dsearch::DSearchConfig::from_config(file_cfg));
+  } else if (app == "dprml") {
+    dprml::register_algorithm();
+    auto aln = phylo::Alignment::from_fasta(read_file(args.get("alignment")));
+    dm = std::make_shared<dprml::DPRmlDataManager>(
+        aln, dprml::DPRmlConfig::from_config(file_cfg));
+  } else if (app == "dboot") {
+    dboot::register_algorithm();
+    auto aln = phylo::Alignment::from_fasta(read_file(args.get("alignment")));
+    dm = std::make_shared<dboot::DBootDataManager>(
+        aln, dboot::DBootConfig::from_config(file_cfg));
+  } else {
+    throw InputError("unknown --app '" + app + "' (dsearch | dprml | dboot)");
+  }
+
+  dist::Server server(scfg);
+  server.start();
+  auto keep_dm = dm;  // results are read back through the concrete manager
+  auto pid = server.submit_problem(dm);
+  std::printf("serving problem %llu on 127.0.0.1:%u — point donors here "
+              "(hdcs_donor --host 127.0.0.1 --port %u)\n",
+              static_cast<unsigned long long>(pid), server.port(),
+              server.port());
+
+  server.wait_for_problem(pid);
+  auto stats = server.stats();
+  std::printf("complete: %llu units (%llu reissued, %llu hedged)\n",
+              static_cast<unsigned long long>(stats.units_issued),
+              static_cast<unsigned long long>(stats.units_reissued),
+              static_cast<unsigned long long>(stats.units_hedged));
+
+  // Render the result for humans.
+  std::ostringstream out;
+  if (app == "dsearch") {
+    auto result =
+        std::static_pointer_cast<dsearch::DSearchDataManager>(keep_dm)->result();
+    for (std::size_t q = 0; q < result.size(); ++q) {
+      out << "query " << q << "\n";
+      for (std::size_t rank = 0; rank < result[q].size(); ++rank) {
+        out << "  " << (rank + 1) << "\t" << result[q][rank].db_id << "\t"
+            << result[q][rank].score << "\n";
+      }
+    }
+  } else if (app == "dprml") {
+    auto result =
+        std::static_pointer_cast<dprml::DPRmlDataManager>(keep_dm)->result();
+    out << "logL\t" << format_f64(result.log_likelihood, 6) << "\n"
+        << result.newick << "\n";
+  } else {
+    auto result =
+        std::static_pointer_cast<dboot::DBootDataManager>(keep_dm)->result();
+    out << result.reference_newick << "\n";
+    for (const auto& [split, count] : result.support) {
+      out << format_f64(result.support_percent(split), 1) << "%\t{";
+      bool first = true;
+      for (const auto& name : split) {
+        if (!first) out << ",";
+        out << name;
+        first = false;
+      }
+      out << "}\n";
+    }
+  }
+  write_output(args.get("output", "-"), out.str());
+  server.stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

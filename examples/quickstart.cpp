@@ -1,0 +1,162 @@
+// Quickstart: write a Problem for the distributed system in ~60 lines.
+//
+// The user-facing programming model is exactly the paper's (§2.1): extend
+// DataManager (how to partition the problem and merge results, server side)
+// and Algorithm (the computation, client side), register the Algorithm,
+// submit the Problem. Here: numerically integrate f(x) = 4/(1+x^2) over
+// [0,1] — i.e. compute pi — by splitting the interval into work units.
+//
+// This example runs everything in one process: a real TCP server and three
+// real TCP donor clients on loopback, which is also how the integration
+// tests exercise the system.
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "dist/client.hpp"
+#include "dist/local_runner.hpp"
+#include "dist/server.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace {
+
+using namespace hdcs;
+
+constexpr const char* kPiAlgorithm = "quickstart-pi";
+constexpr std::uint64_t kTotalSteps = 20'000'000;
+
+// ---- client side: the computation ----------------------------------------
+class PiAlgorithm final : public dist::Algorithm {
+ public:
+  void initialize(std::span<const std::byte> problem_data) override {
+    ByteReader r(problem_data);
+    total_steps_ = r.u64();
+  }
+
+  std::vector<std::byte> process(const dist::WorkUnit& unit) override {
+    ByteReader r(unit.payload);
+    std::uint64_t begin = r.u64();
+    std::uint64_t end = r.u64();
+    double h = 1.0 / static_cast<double>(total_steps_);
+    double sum = 0;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      double x = (static_cast<double>(i) + 0.5) * h;
+      sum += 4.0 / (1.0 + x * x);
+    }
+    ByteWriter w;
+    w.f64(sum * h);
+    return w.take();
+  }
+
+ private:
+  std::uint64_t total_steps_ = 0;
+};
+
+// ---- server side: partitioning and merging -------------------------------
+class PiDataManager final : public dist::DataManager {
+ public:
+  explicit PiDataManager(std::uint64_t steps) : steps_(steps) {}
+
+  std::string algorithm_name() const override { return kPiAlgorithm; }
+
+  std::vector<std::byte> problem_data() const override {
+    ByteWriter w;
+    w.u64(steps_);
+    return w.take();
+  }
+
+  std::optional<dist::WorkUnit> next_unit(const dist::SizeHint& hint) override {
+    if (cursor_ >= steps_) return std::nullopt;
+    auto span = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(hint.target_ops));
+    std::uint64_t end = std::min(cursor_ + span, steps_);
+    dist::WorkUnit unit;
+    unit.cost_ops = static_cast<double>(end - cursor_);
+    ByteWriter w;
+    w.u64(cursor_);
+    w.u64(end);
+    unit.payload = w.take();
+    cursor_ = end;
+    ++outstanding_;
+    return unit;
+  }
+
+  void accept_result(const dist::ResultUnit& result) override {
+    ByteReader r(result.payload);
+    pi_ += r.f64();
+    --outstanding_;
+  }
+
+  bool is_complete() const override {
+    return cursor_ >= steps_ && outstanding_ == 0;
+  }
+
+  std::vector<std::byte> final_result() const override {
+    ByteWriter w;
+    w.f64(pi_);
+    return w.take();
+  }
+
+  double remaining_ops_estimate() const override {
+    return static_cast<double>(steps_ - cursor_);
+  }
+
+ private:
+  std::uint64_t steps_;
+  std::uint64_t cursor_ = 0;
+  int outstanding_ = 0;
+  double pi_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace hdcs;
+
+  // 1. Register the client-side Algorithm under the name the DataManager
+  //    advertises (the stand-in for Java mobile code).
+  dist::AlgorithmRegistry::global().replace(
+      kPiAlgorithm, [] { return std::make_unique<PiAlgorithm>(); });
+
+  // 2. Start the server and submit the problem.
+  dist::ServerConfig server_cfg;
+  server_cfg.policy_spec = "adaptive:0.2";  // ~0.2 s of work per unit
+  server_cfg.scheduler.bounds.min_ops = 100'000;
+  server_cfg.scheduler.bounds.max_ops = 2'000'000;  // >= 10 units: the first
+  // donor to ask must not walk off with the whole problem before the
+  // others have even connected.
+  dist::Server server(server_cfg);
+  server.start();
+  auto problem = server.submit_problem(
+      std::make_shared<PiDataManager>(kTotalSteps));
+  std::printf("server on 127.0.0.1:%u, problem %llu submitted\n", server.port(),
+              static_cast<unsigned long long>(problem));
+
+  // 3. Donate three "machines" (threads here; separate hosts in real life).
+  std::vector<std::thread> donors;
+  for (int i = 0; i < 3; ++i) {
+    donors.emplace_back([&server, i] {
+      dist::ClientConfig cfg;
+      cfg.server_port = server.port();
+      cfg.name = "donor-" + std::to_string(i);
+      auto stats = dist::Client(cfg).run();
+      std::printf("  %s processed %llu units\n", cfg.name.c_str(),
+                  static_cast<unsigned long long>(stats.units_processed));
+    });
+  }
+  for (auto& d : donors) d.join();
+
+  // 4. Collect the merged answer.
+  server.wait_for_problem(problem);
+  auto bytes = server.final_result(problem);
+  ByteReader r{std::span<const std::byte>(bytes)};
+  double pi = r.f64();
+  auto stats = server.stats();
+  server.stop();
+
+  std::printf("pi ~= %.10f (error %.2e)\n", pi, std::fabs(pi - 3.14159265358979));
+  std::printf("units issued: %llu, reissued: %llu\n",
+              static_cast<unsigned long long>(stats.units_issued),
+              static_cast<unsigned long long>(stats.units_reissued));
+  return 0;
+}

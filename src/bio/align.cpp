@@ -1,0 +1,362 @@
+#include "bio/align.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hdcs::bio {
+
+AlignMode parse_align_mode(const std::string& name) {
+  std::string n = to_lower(name);
+  if (n == "global" || n == "nw" || n == "needleman-wunsch") return AlignMode::kGlobal;
+  if (n == "local" || n == "sw" || n == "smith-waterman") return AlignMode::kLocal;
+  if (n == "semiglobal" || n == "glocal") return AlignMode::kSemiGlobal;
+  if (n == "banded") return AlignMode::kBanded;
+  throw InputError("unknown alignment mode: " + name);
+}
+
+const char* to_string(AlignMode mode) {
+  switch (mode) {
+    case AlignMode::kGlobal: return "global";
+    case AlignMode::kLocal: return "local";
+    case AlignMode::kSemiGlobal: return "semiglobal";
+    case AlignMode::kBanded: return "banded";
+  }
+  return "?";
+}
+
+namespace {
+using Row = std::vector<std::int64_t>;
+
+struct GapCosts {
+  std::int64_t open_extend;  // cost of starting a gap (open + first extend)
+  std::int64_t extend;
+};
+
+GapCosts gap_costs(const ScoringScheme& s) {
+  return {static_cast<std::int64_t>(s.gap_open()) + s.gap_extend(),
+          static_cast<std::int64_t>(s.gap_extend())};
+}
+}  // namespace
+
+// Gotoh, score only. H = best ending in match/mismatch or either gap state;
+// E = gap in `a` (consuming b), F = gap in `b` (consuming a).
+std::int64_t nw_score(std::string_view a, std::string_view b,
+                      const ScoringScheme& s) {
+  const auto [oe, ext] = gap_costs(s);
+  const std::size_t m = b.size();
+  Row h_prev(m + 1), h_cur(m + 1), f(m + 1, kNegInf);
+
+  h_prev[0] = 0;
+  for (std::size_t j = 1; j <= m; ++j) {
+    h_prev[j] = -(oe + static_cast<std::int64_t>(j - 1) * ext);
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    h_cur[0] = -(oe + static_cast<std::int64_t>(i - 1) * ext);
+    std::int64_t e = kNegInf;
+    for (std::size_t j = 1; j <= m; ++j) {
+      e = std::max(h_cur[j - 1] - oe, e - ext);
+      f[j] = std::max(h_prev[j] - oe, f[j] - ext);
+      std::int64_t diag = h_prev[j - 1] + s.score(a[i - 1], b[j - 1]);
+      h_cur[j] = std::max({diag, e, f[j]});
+    }
+    std::swap(h_prev, h_cur);
+  }
+  return h_prev[m];
+}
+
+std::int64_t sw_score(std::string_view a, std::string_view b,
+                      const ScoringScheme& s) {
+  const auto [oe, ext] = gap_costs(s);
+  const std::size_t m = b.size();
+  Row h_prev(m + 1, 0), h_cur(m + 1, 0), f(m + 1, kNegInf);
+  std::int64_t best = 0;
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    h_cur[0] = 0;
+    std::int64_t e = kNegInf;
+    for (std::size_t j = 1; j <= m; ++j) {
+      e = std::max(h_cur[j - 1] - oe, e - ext);
+      f[j] = std::max(h_prev[j] - oe, f[j] - ext);
+      std::int64_t diag = h_prev[j - 1] + s.score(a[i - 1], b[j - 1]);
+      h_cur[j] = std::max<std::int64_t>({0, diag, e, f[j]});
+      best = std::max(best, h_cur[j]);
+    }
+    std::swap(h_prev, h_cur);
+  }
+  return best;
+}
+
+std::int64_t semiglobal_score(std::string_view a, std::string_view b,
+                              const ScoringScheme& s) {
+  const auto [oe, ext] = gap_costs(s);
+  const std::size_t m = b.size();
+  // Leading gap in b is free: H[0][j] = 0. Query gaps still cost.
+  Row h_prev(m + 1, 0), h_cur(m + 1), f(m + 1, kNegInf);
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    h_cur[0] = -(oe + static_cast<std::int64_t>(i - 1) * ext);
+    std::int64_t e = kNegInf;
+    for (std::size_t j = 1; j <= m; ++j) {
+      e = std::max(h_cur[j - 1] - oe, e - ext);
+      f[j] = std::max(h_prev[j] - oe, f[j] - ext);
+      std::int64_t diag = h_prev[j - 1] + s.score(a[i - 1], b[j - 1]);
+      h_cur[j] = std::max({diag, e, f[j]});
+    }
+    std::swap(h_prev, h_cur);
+  }
+  // Trailing gap in b free: best over the last row.
+  return *std::max_element(h_prev.begin(), h_prev.end());
+}
+
+std::int64_t banded_nw_score(std::string_view a, std::string_view b,
+                             const ScoringScheme& s, std::size_t band) {
+  const std::size_t n = a.size(), m = b.size();
+  const std::size_t diff = n > m ? n - m : m - n;
+  if (band < diff) {
+    throw InputError("banded alignment: band " + std::to_string(band) +
+                     " cannot bridge length difference " + std::to_string(diff));
+  }
+  const auto [oe, ext] = gap_costs(s);
+  const auto k = static_cast<std::ptrdiff_t>(band);
+
+  // Row-indexed DP over j in [lo_i, hi_i] where the band follows the main
+  // diagonal j ~ i. Cells outside the band are kNegInf.
+  Row h_prev(m + 1, kNegInf), h_cur(m + 1, kNegInf), f(m + 1, kNegInf);
+  h_prev[0] = 0;
+  for (std::size_t j = 1; j <= m && static_cast<std::ptrdiff_t>(j) <= k; ++j) {
+    h_prev[j] = -(oe + static_cast<std::int64_t>(j - 1) * ext);
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    auto lo = std::max<std::ptrdiff_t>(1, static_cast<std::ptrdiff_t>(i) - k);
+    auto hi = std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(m),
+                                       static_cast<std::ptrdiff_t>(i) + k);
+    // Reset cells the band has moved past.
+    if (lo >= 1) h_cur[lo - 1] = kNegInf;
+    if (static_cast<std::ptrdiff_t>(i) <= k) {
+      h_cur[0] = -(oe + static_cast<std::int64_t>(i - 1) * ext);
+    }
+    std::int64_t e = kNegInf;
+    for (auto j = lo; j <= hi; ++j) {
+      auto ju = static_cast<std::size_t>(j);
+      std::int64_t left = h_cur[ju - 1];
+      e = std::max(left == kNegInf ? kNegInf : left - oe, e == kNegInf ? kNegInf : e - ext);
+      std::int64_t up = h_prev[ju];
+      std::int64_t f_old = f[ju];
+      f[ju] = std::max(up == kNegInf ? kNegInf : up - oe,
+                       f_old == kNegInf ? kNegInf : f_old - ext);
+      std::int64_t diag = h_prev[ju - 1];
+      if (diag != kNegInf) diag += s.score(a[i - 1], b[ju - 1]);
+      h_cur[ju] = std::max({diag, e, f[ju]});
+    }
+    // Invalidate the cell just beyond the band's right edge for next row.
+    if (hi + 1 <= static_cast<std::ptrdiff_t>(m)) {
+      h_cur[static_cast<std::size_t>(hi + 1)] = kNegInf;
+      f[static_cast<std::size_t>(hi + 1)] = kNegInf;
+    }
+    std::swap(h_prev, h_cur);
+  }
+  if (h_prev[m] <= kNegInf / 2) {
+    throw Error("banded alignment: no path within band (internal)");
+  }
+  return h_prev[m];
+}
+
+std::int64_t align_score(AlignMode mode, std::string_view a, std::string_view b,
+                         const ScoringScheme& s, std::size_t band) {
+  switch (mode) {
+    case AlignMode::kGlobal: return nw_score(a, b, s);
+    case AlignMode::kLocal: return sw_score(a, b, s);
+    case AlignMode::kSemiGlobal: return semiglobal_score(a, b, s);
+    case AlignMode::kBanded: {
+      std::size_t diff = a.size() > b.size() ? a.size() - b.size()
+                                             : b.size() - a.size();
+      std::size_t k = std::max(band, diff + 1);
+      return banded_nw_score(a, b, s, k);
+    }
+  }
+  throw InputError("bad alignment mode");
+}
+
+namespace {
+enum class Tb : std::uint8_t { kDiag, kE, kF, kStop };
+
+struct FullDp {
+  std::size_t n, m;
+  std::vector<std::int64_t> h, e, f;
+  std::vector<Tb> tb_h;        // how H was achieved
+  std::vector<bool> e_open;    // E came from H (gap opened) vs extended
+  std::vector<bool> f_open;
+
+  FullDp(std::size_t n_, std::size_t m_)
+      : n(n_), m(m_), h((n + 1) * (m + 1), kNegInf), e(h.size(), kNegInf),
+        f(h.size(), kNegInf), tb_h(h.size(), Tb::kStop), e_open(h.size(), false),
+        f_open(h.size(), false) {}
+
+  [[nodiscard]] std::size_t at(std::size_t i, std::size_t j) const {
+    return i * (m + 1) + j;
+  }
+};
+
+AlignmentResult traceback(const FullDp& dp, std::string_view a, std::string_view b,
+                          std::size_t i, std::size_t j, bool local) {
+  AlignmentResult res;
+  res.a_end = i;
+  res.b_end = j;
+  std::string ra, rb;
+  enum class State { kH, kE, kF } state = State::kH;
+  while (i > 0 || j > 0) {
+    std::size_t idx = dp.at(i, j);
+    if (state == State::kH) {
+      Tb t = dp.tb_h[idx];
+      if (local && t == Tb::kStop) break;
+      if (t == Tb::kDiag) {
+        ra.push_back(a[i - 1]);
+        rb.push_back(b[j - 1]);
+        --i;
+        --j;
+      } else if (t == Tb::kE) {
+        state = State::kE;
+      } else if (t == Tb::kF) {
+        state = State::kF;
+      } else {
+        break;  // hit the origin in global mode
+      }
+    } else if (state == State::kE) {
+      // gap in a: consume b[j-1]
+      ra.push_back('-');
+      rb.push_back(b[j - 1]);
+      bool opened = dp.e_open[idx];
+      --j;
+      state = opened ? State::kH : State::kE;
+    } else {
+      ra.push_back(a[i - 1]);
+      rb.push_back('-');
+      bool opened = dp.f_open[idx];
+      --i;
+      state = opened ? State::kH : State::kF;
+    }
+  }
+  res.a_begin = i;
+  res.b_begin = j;
+  std::reverse(ra.begin(), ra.end());
+  std::reverse(rb.begin(), rb.end());
+  res.aligned_a = std::move(ra);
+  res.aligned_b = std::move(rb);
+  return res;
+}
+
+AlignmentResult full_align(std::string_view a, std::string_view b,
+                           const ScoringScheme& s, bool local) {
+  const auto [oe, ext] = gap_costs(s);
+  const std::size_t n = a.size(), m = b.size();
+  FullDp dp(n, m);
+
+  dp.h[dp.at(0, 0)] = 0;
+  dp.tb_h[dp.at(0, 0)] = Tb::kStop;
+  for (std::size_t j = 1; j <= m; ++j) {
+    std::size_t idx = dp.at(0, j);
+    if (local) {
+      dp.h[idx] = 0;
+      dp.tb_h[idx] = Tb::kStop;
+    } else {
+      dp.e[idx] = -(oe + static_cast<std::int64_t>(j - 1) * ext);
+      dp.e_open[idx] = (j == 1);
+      dp.h[idx] = dp.e[idx];
+      dp.tb_h[idx] = Tb::kE;
+    }
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::size_t idx0 = dp.at(i, 0);
+    if (local) {
+      dp.h[idx0] = 0;
+      dp.tb_h[idx0] = Tb::kStop;
+    } else {
+      dp.f[idx0] = -(oe + static_cast<std::int64_t>(i - 1) * ext);
+      dp.f_open[idx0] = (i == 1);
+      dp.h[idx0] = dp.f[idx0];
+      dp.tb_h[idx0] = Tb::kF;
+    }
+  }
+
+  std::int64_t best = 0;
+  std::size_t best_i = 0, best_j = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      std::size_t idx = dp.at(i, j);
+      std::size_t left = dp.at(i, j - 1);
+      std::size_t up = dp.at(i - 1, j);
+      std::size_t diag_idx = dp.at(i - 1, j - 1);
+
+      std::int64_t e_from_h = dp.h[left] == kNegInf ? kNegInf : dp.h[left] - oe;
+      std::int64_t e_from_e = dp.e[left] == kNegInf ? kNegInf : dp.e[left] - ext;
+      dp.e[idx] = std::max(e_from_h, e_from_e);
+      dp.e_open[idx] = e_from_h >= e_from_e;
+
+      std::int64_t f_from_h = dp.h[up] == kNegInf ? kNegInf : dp.h[up] - oe;
+      std::int64_t f_from_f = dp.f[up] == kNegInf ? kNegInf : dp.f[up] - ext;
+      dp.f[idx] = std::max(f_from_h, f_from_f);
+      dp.f_open[idx] = f_from_h >= f_from_f;
+
+      std::int64_t diag = dp.h[diag_idx] + s.score(a[i - 1], b[j - 1]);
+      std::int64_t h = diag;
+      Tb t = Tb::kDiag;
+      if (dp.e[idx] > h) {
+        h = dp.e[idx];
+        t = Tb::kE;
+      }
+      if (dp.f[idx] > h) {
+        h = dp.f[idx];
+        t = Tb::kF;
+      }
+      if (local && h < 0) {
+        h = 0;
+        t = Tb::kStop;
+      }
+      dp.h[idx] = h;
+      dp.tb_h[idx] = t;
+      if (local && h > best) {
+        best = h;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+
+  AlignmentResult res;
+  if (local) {
+    res = traceback(dp, a, b, best_i, best_j, true);
+    res.score = best;
+  } else {
+    res = traceback(dp, a, b, n, m, false);
+    res.score = dp.h[dp.at(n, m)];
+  }
+  return res;
+}
+}  // namespace
+
+AlignmentResult nw_align(std::string_view a, std::string_view b,
+                         const ScoringScheme& s) {
+  return full_align(a, b, s, /*local=*/false);
+}
+
+AlignmentResult sw_align(std::string_view a, std::string_view b,
+                         const ScoringScheme& s) {
+  return full_align(a, b, s, /*local=*/true);
+}
+
+double percent_identity(std::string_view aligned_a, std::string_view aligned_b) {
+  if (aligned_a.size() != aligned_b.size()) {
+    throw InputError("percent_identity: aligned strings differ in length");
+  }
+  if (aligned_a.empty()) return 0;
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < aligned_a.size(); ++i) {
+    if (aligned_a[i] == aligned_b[i] && aligned_a[i] != '-') ++same;
+  }
+  return 100.0 * static_cast<double>(same) / static_cast<double>(aligned_a.size());
+}
+
+}  // namespace hdcs::bio

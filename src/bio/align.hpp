@@ -1,0 +1,81 @@
+#pragma once
+// Pairwise sequence alignment kernels.
+//
+// DSEARCH offers "one of the built-in search algorithms" (paper §3.1):
+// Needleman–Wunsch global alignment [10], Smith–Waterman local alignment
+// [14], plus two further exact kernels — semi-global (query embedded in a
+// database sequence, the natural mode for database search) and a k-banded
+// global alignment standing in for the subquadratic algorithm of [4]
+// (see DESIGN.md, substitutions).
+//
+// All kernels use Gotoh's three-state recurrence for affine gaps
+// (gap of length L costs open + L*extend). Score-only variants run in
+// O(min) memory and are DSEARCH's hot path; traceback variants materialise
+// the full DP matrices and return the aligned strings.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bio/scoring.hpp"
+
+namespace hdcs::bio {
+
+enum class AlignMode {
+  kGlobal,      // Needleman–Wunsch
+  kLocal,       // Smith–Waterman
+  kSemiGlobal,  // query global, free gaps at subject ends
+  kBanded,      // k-banded Needleman–Wunsch
+};
+
+/// Parse "global" | "local" | "semiglobal" | "banded" (config files).
+AlignMode parse_align_mode(const std::string& name);
+const char* to_string(AlignMode mode);
+
+/// Score sentinel: effectively -infinity, safe to add penalties to.
+inline constexpr std::int64_t kNegInf = INT64_MIN / 4;
+
+struct AlignmentResult {
+  std::int64_t score = 0;
+  std::string aligned_a;  // with '-' for gaps
+  std::string aligned_b;
+  // Half-open residue ranges actually aligned (whole sequence for global).
+  std::size_t a_begin = 0, a_end = 0;
+  std::size_t b_begin = 0, b_end = 0;
+};
+
+// ---- score-only kernels (O(min(n,m)) rows of memory) ----
+
+std::int64_t nw_score(std::string_view a, std::string_view b,
+                      const ScoringScheme& s);
+std::int64_t sw_score(std::string_view a, std::string_view b,
+                      const ScoringScheme& s);
+/// Query `a` aligned end-to-end; gaps before/after the match in `b` free.
+std::int64_t semiglobal_score(std::string_view a, std::string_view b,
+                              const ScoringScheme& s);
+/// Global alignment restricted to |i - j·n/m| <= band. band must admit a
+/// path (band >= |n-m| after diagonal adjustment) or InputError is thrown.
+std::int64_t banded_nw_score(std::string_view a, std::string_view b,
+                             const ScoringScheme& s, std::size_t band);
+
+/// Dispatch by mode (banded uses `band`).
+std::int64_t align_score(AlignMode mode, std::string_view a, std::string_view b,
+                         const ScoringScheme& s, std::size_t band = 0);
+
+// ---- traceback kernels (O(n·m) memory) ----
+
+AlignmentResult nw_align(std::string_view a, std::string_view b,
+                         const ScoringScheme& s);
+AlignmentResult sw_align(std::string_view a, std::string_view b,
+                         const ScoringScheme& s);
+
+/// Abstract cost (DP cell updates) of scoring a against b — the currency
+/// of WorkUnit::cost_ops.
+inline double alignment_cost_ops(std::size_t len_a, std::size_t len_b) {
+  return static_cast<double>(len_a) * static_cast<double>(len_b);
+}
+
+/// Percent identity of two aligned strings (same length, '-' gaps).
+double percent_identity(std::string_view aligned_a, std::string_view aligned_b);
+
+}  // namespace hdcs::bio

@@ -1,0 +1,121 @@
+#include "bio/fasta.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hdcs::bio {
+
+namespace {
+struct RawRecord {
+  std::string header;
+  std::string body;
+};
+
+std::vector<RawRecord> split_records(std::string_view text) {
+  std::vector<RawRecord> records;
+  RawRecord* current = nullptr;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = trim(text.substr(start, end - start));
+    if (!line.empty()) {
+      if (line.front() == '>') {
+        records.push_back(RawRecord{std::string(line.substr(1)), {}});
+        current = &records.back();
+      } else if (line.front() != ';') {  // ';' comments (legacy FASTA)
+        if (!current) {
+          throw InputError("FASTA: sequence data before first '>' header");
+        }
+        current->body.append(line);
+      }
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return records;
+}
+
+Sequence to_sequence(const RawRecord& rec, Alphabet alphabet) {
+  Sequence seq;
+  auto header = trim(rec.header);
+  std::size_t space = header.find_first_of(" \t");
+  if (space == std::string_view::npos) {
+    seq.id = std::string(header);
+  } else {
+    seq.id = std::string(header.substr(0, space));
+    seq.description = std::string(trim(header.substr(space + 1)));
+  }
+  if (seq.id.empty()) throw InputError("FASTA: empty sequence id");
+  seq.residues = normalize_residues(rec.body, alphabet);
+  if (seq.residues.empty()) {
+    throw InputError("FASTA: sequence '" + seq.id + "' has no residues");
+  }
+  return seq;
+}
+}  // namespace
+
+std::vector<Sequence> parse_fasta(std::string_view text, Alphabet alphabet) {
+  auto records = split_records(text);
+  if (records.empty()) throw InputError("FASTA: no sequences found");
+  std::vector<Sequence> seqs;
+  seqs.reserve(records.size());
+  for (const auto& rec : records) seqs.push_back(to_sequence(rec, alphabet));
+  return seqs;
+}
+
+std::vector<Sequence> parse_fasta_auto(std::string_view text, Alphabet* detected) {
+  auto records = split_records(text);
+  if (records.empty()) throw InputError("FASTA: no sequences found");
+  Alphabet alphabet = guess_alphabet(records.front().body);
+  if (detected) *detected = alphabet;
+  std::vector<Sequence> seqs;
+  seqs.reserve(records.size());
+  for (const auto& rec : records) seqs.push_back(to_sequence(rec, alphabet));
+  return seqs;
+}
+
+std::vector<Sequence> load_fasta(const std::string& path, Alphabet alphabet) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open FASTA file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_fasta(ss.str(), alphabet);
+}
+
+std::string to_fasta(const std::vector<Sequence>& seqs, std::size_t width) {
+  if (width == 0) width = 70;
+  std::string out;
+  for (const auto& seq : seqs) {
+    out.push_back('>');
+    out.append(seq.id);
+    if (!seq.description.empty()) {
+      out.push_back(' ');
+      out.append(seq.description);
+    }
+    out.push_back('\n');
+    for (std::size_t i = 0; i < seq.residues.size(); i += width) {
+      out.append(seq.residues.substr(i, width));
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+void write_fasta(const std::string& path, const std::vector<Sequence>& seqs,
+                 std::size_t width) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write FASTA file: " + path);
+  out << to_fasta(seqs, width);
+}
+
+std::size_t total_residues(const std::vector<Sequence>& seqs) {
+  std::size_t n = 0;
+  for (const auto& s : seqs) n += s.residues.size();
+  return n;
+}
+
+}  // namespace hdcs::bio

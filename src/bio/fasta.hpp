@@ -1,0 +1,35 @@
+#pragma once
+// FASTA reading and writing.
+//
+// DSEARCH's inputs are "a FASTA database file, a FASTA query sequences
+// file, a scoring scheme, and a configuration file" (paper §3.1).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+
+namespace hdcs::bio {
+
+/// Parse FASTA text; validates residues against `alphabet` (or guesses per
+/// sequence when nullopt-like auto mode is requested via guess=true).
+std::vector<Sequence> parse_fasta(std::string_view text, Alphabet alphabet);
+
+/// Parse with per-file alphabet auto-detection (first sequence decides).
+std::vector<Sequence> parse_fasta_auto(std::string_view text,
+                                       Alphabet* detected = nullptr);
+
+/// Load from a file; throws IoError if unreadable.
+std::vector<Sequence> load_fasta(const std::string& path, Alphabet alphabet);
+
+/// Write FASTA with 70-column wrapping.
+std::string to_fasta(const std::vector<Sequence>& seqs, std::size_t width = 70);
+void write_fasta(const std::string& path, const std::vector<Sequence>& seqs,
+                 std::size_t width = 70);
+
+/// Total residue count across sequences (the database "size" DSEARCH's
+/// granularity control works in).
+std::size_t total_residues(const std::vector<Sequence>& seqs);
+
+}  // namespace hdcs::bio

@@ -1,0 +1,168 @@
+#include "bio/scoring.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hdcs::bio {
+
+namespace {
+// Standard BLOSUM62 (NCBI), residue order on the first line.
+constexpr const char* kBlosum62Letters = "ARNDCQEGHILKMFPSTWYVBZX";
+constexpr const char* kBlosum62 = R"( 4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0 -2 -1  0
+-1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3 -1  0 -1
+-2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3  3  0 -1
+-2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3  4  1 -1
+ 0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1 -3 -3 -2
+-1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2  0  3 -1
+-1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2  1  4 -1
+ 0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3 -1 -2 -1
+-2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3  0  0 -1
+-1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3 -3 -3 -1
+-1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1 -4 -3 -1
+-1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2  0  1 -1
+-1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1 -3 -1 -1
+-2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1 -3 -3 -1
+-1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2 -2 -1 -2
+ 1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2  0  0  0
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0 -1 -1  0
+-3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3 -4 -3 -2
+-2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1 -3 -2 -1
+ 0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4 -3 -2 -1
+-2 -1  3  4 -3  0  1 -1  0 -3 -4  0 -3 -3 -2  0 -1 -4 -3 -3  4  1 -1
+-1  0  0  1 -3  3  4 -2  0 -3 -3  1 -1 -3 -1  0 -1 -3 -2 -2  1  4 -1
+ 0 -1 -1 -1 -2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -2  0  0 -2 -1 -1 -1 -1 -1)";
+
+// Standard PAM250 (Dayhoff MDM78).
+constexpr const char* kPam250Letters = "ARNDCQEGHILKMFPSTWYVBZX";
+constexpr const char* kPam250 = R"( 2 -2  0  0 -2  0  0  1 -1 -1 -2 -1 -1 -3  1  1  1 -6 -3  0  0  0  0
+-2  6  0 -1 -4  1 -1 -3  2 -2 -3  3  0 -4  0  0 -1  2 -4 -2 -1  0 -1
+ 0  0  2  2 -4  1  1  0  2 -2 -3  1 -2 -3  0  1  0 -4 -2 -2  2  1  0
+ 0 -1  2  4 -5  2  3  1  1 -2 -4  0 -3 -6 -1  0  0 -7 -4 -2  3  3 -1
+-2 -4 -4 -5 12 -5 -5 -3 -3 -2 -6 -5 -5 -4 -3  0 -2 -8  0 -2 -4 -5 -3
+ 0  1  1  2 -5  4  2 -1  3 -2 -2  1 -1 -5  0 -1 -1 -5 -4 -2  1  3 -1
+ 0 -1  1  3 -5  2  4  0  1 -2 -3  0 -2 -5 -1  0  0 -7 -4 -2  3  3 -1
+ 1 -3  0  1 -3 -1  0  5 -2 -3 -4 -2 -3 -5  0  1  0 -7 -5 -1  0  0 -1
+-1  2  2  1 -3  3  1 -2  6 -2 -2  0 -2 -2  0 -1 -1 -3  0 -2  1  2 -1
+-1 -2 -2 -2 -2 -2 -2 -3 -2  5  2 -2  2  1 -2 -1  0 -5 -1  4 -2 -2 -1
+-2 -3 -3 -4 -6 -2 -3 -4 -2  2  6 -3  4  2 -3 -3 -2 -2 -1  2 -3 -3 -1
+-1  3  1  0 -5  1  0 -2  0 -2 -3  5  0 -5 -1  0  0 -3 -4 -2  1  0 -1
+-1  0 -2 -3 -5 -1 -2 -3 -2  2  4  0  6  0 -2 -2 -1 -4 -2  2 -2 -2 -1
+-3 -4 -3 -6 -4 -5 -5 -5 -2  1  2 -5  0  9 -5 -3 -3  0  7 -1 -4 -5 -2
+ 1  0  0 -1 -3  0 -1  0  0 -2 -3 -1 -2 -5  6  1  0 -6 -5 -1 -1  0 -1
+ 1  0  1  0  0 -1  0  1 -1 -1 -3  0 -2 -3  1  2  1 -2 -3 -1  0  0  0
+ 1 -1  0  0 -2 -1  0  0 -1  0 -2  0 -1 -3  0  1  3 -5 -3  0  0 -1  0
+-6  2 -4 -7 -8 -5 -7 -7 -3 -5 -2 -3 -4  0 -6 -2 -5 17  0 -6 -5 -6 -4
+-3 -4 -2 -4  0 -4 -4 -5  0 -1 -1 -4 -2  7 -5 -3 -3  0 10 -2 -3 -4 -2
+ 0 -2 -2 -2 -2 -2 -2 -1 -2  4  2 -2  2 -1 -1 -1  0 -6 -2  4 -2 -2 -1
+ 0 -1  2  3 -4  1  3  0  1 -2 -3  1 -2 -4 -1  0  0 -5 -3 -2  3  2 -1
+ 0  0  1  3 -5  3  3  0  2 -2 -3  0 -2 -5  0  0 -1 -6 -4 -2  2  3 -1
+ 0 -1  0 -1 -3 -1 -1 -1 -1 -1 -1 -1 -1 -2 -1  0  0 -4 -2 -1 -1 -1 -1)";
+}  // namespace
+
+ScoringScheme ScoringScheme::from_table(const char* letters, const char* table,
+                                        Alphabet alphabet, std::string name,
+                                        int gap_open, int gap_extend) {
+  ScoringScheme s;
+  s.alphabet_ = alphabet;
+  s.name_ = std::move(name);
+  s.gap_open_ = gap_open;
+  s.gap_extend_ = gap_extend;
+  if (gap_open < 0 || gap_extend < 0) {
+    throw InputError("gap penalties must be non-negative (costs)");
+  }
+
+  std::string_view order(letters);
+  std::istringstream in(table);
+  std::vector<std::vector<int>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto fields = split_ws(line);
+    if (fields.empty()) continue;
+    std::vector<int> row;
+    row.reserve(fields.size());
+    for (const auto& f : fields) row.push_back(static_cast<int>(parse_i64(f)));
+    rows.push_back(std::move(row));
+  }
+  if (rows.size() != order.size()) {
+    throw Error("scoring table '" + s.name_ + "': row count mismatch");
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != order.size()) {
+      throw Error("scoring table '" + s.name_ + "': row " + std::to_string(i) +
+                  " width mismatch");
+    }
+  }
+  // Substitution matrices are symmetric; a failed check means a data typo.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      if (rows[i][j] != rows[j][i]) {
+        throw Error("scoring table '" + s.name_ + "' not symmetric at (" +
+                    std::string(1, order[i]) + "," + std::string(1, order[j]) + ")");
+      }
+    }
+  }
+  // Unlisted characters score as the worst substitution in the table.
+  int worst = 0;
+  for (const auto& row : rows) {
+    for (int v : row) worst = std::min(worst, v);
+  }
+  for (auto& row : s.matrix_) row.fill(static_cast<std::int16_t>(worst));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (std::size_t j = 0; j < order.size(); ++j) {
+      s.matrix_[index(order[i])][index(order[j])] =
+          static_cast<std::int16_t>(rows[i][j]);
+    }
+  }
+  return s;
+}
+
+ScoringScheme ScoringScheme::blosum62(int gap_open, int gap_extend) {
+  return from_table(kBlosum62Letters, kBlosum62, Alphabet::kProtein, "blosum62",
+                    gap_open, gap_extend);
+}
+
+ScoringScheme ScoringScheme::pam250(int gap_open, int gap_extend) {
+  return from_table(kPam250Letters, kPam250, Alphabet::kProtein, "pam250",
+                    gap_open, gap_extend);
+}
+
+ScoringScheme ScoringScheme::dna(int match, int mismatch, int gap_open,
+                                 int gap_extend) {
+  ScoringScheme s;
+  s.alphabet_ = Alphabet::kDna;
+  s.name_ = "dna";
+  s.gap_open_ = gap_open;
+  s.gap_extend_ = gap_extend;
+  if (gap_open < 0 || gap_extend < 0) {
+    throw InputError("gap penalties must be non-negative (costs)");
+  }
+  for (auto& row : s.matrix_) row.fill(static_cast<std::int16_t>(mismatch));
+  for (char c : std::string_view("ACGT")) {
+    s.matrix_[index(c)][index(c)] = static_cast<std::int16_t>(match);
+  }
+  // N matches nothing and mismatches nothing.
+  for (char c : std::string_view("ACGTN")) {
+    s.matrix_[index('N')][index(c)] = 0;
+    s.matrix_[index(c)][index('N')] = 0;
+  }
+  return s;
+}
+
+ScoringScheme ScoringScheme::from_name(const std::string& name, int gap_open,
+                                       int gap_extend) {
+  std::string n = to_lower(name);
+  if (n == "blosum62") {
+    return blosum62(gap_open < 0 ? 11 : gap_open, gap_extend < 0 ? 1 : gap_extend);
+  }
+  if (n == "pam250") {
+    return pam250(gap_open < 0 ? 10 : gap_open, gap_extend < 0 ? 1 : gap_extend);
+  }
+  if (n == "dna") {
+    return dna(5, -4, gap_open < 0 ? 10 : gap_open, gap_extend < 0 ? 1 : gap_extend);
+  }
+  throw InputError("unknown scoring scheme: " + name);
+}
+
+}  // namespace hdcs::bio

@@ -1,0 +1,54 @@
+#pragma once
+// Substitution scoring schemes with affine gap penalties.
+//
+// A gap of length L costs  gap_open + L * gap_extend  (both stored
+// positive; kernels subtract them). Built-ins: BLOSUM62 and PAM250 for
+// protein, match/mismatch for DNA — the "scoring scheme" input of DSEARCH.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "bio/sequence.hpp"
+
+namespace hdcs::bio {
+
+class ScoringScheme {
+ public:
+  static ScoringScheme blosum62(int gap_open = 11, int gap_extend = 1);
+  static ScoringScheme pam250(int gap_open = 10, int gap_extend = 1);
+  static ScoringScheme dna(int match = 5, int mismatch = -4, int gap_open = 10,
+                           int gap_extend = 1);
+
+  /// Config-driven lookup: "blosum62", "pam250", "dna". Throws InputError.
+  static ScoringScheme from_name(const std::string& name, int gap_open = -1,
+                                 int gap_extend = -1);
+
+  /// Substitution score for two residues (upper-case ASCII).
+  [[nodiscard]] int score(char a, char b) const {
+    return matrix_[index(a)][index(b)];
+  }
+
+  [[nodiscard]] int gap_open() const { return gap_open_; }
+  [[nodiscard]] int gap_extend() const { return gap_extend_; }
+  [[nodiscard]] Alphabet alphabet() const { return alphabet_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  static constexpr std::size_t kSize = 27;  // 'A'..'Z' + other
+  static std::size_t index(char c) {
+    return (c >= 'A' && c <= 'Z') ? static_cast<std::size_t>(c - 'A') : kSize - 1;
+  }
+  /// Parse a whitespace table "letters\nrow per letter"; validates symmetry.
+  static ScoringScheme from_table(const char* letters, const char* table,
+                                  Alphabet alphabet, std::string name,
+                                  int gap_open, int gap_extend);
+
+  std::array<std::array<std::int16_t, kSize>, kSize> matrix_{};
+  int gap_open_ = 0;
+  int gap_extend_ = 0;
+  Alphabet alphabet_ = Alphabet::kProtein;
+  std::string name_;
+};
+
+}  // namespace hdcs::bio

@@ -1,0 +1,102 @@
+#include "bio/seqgen.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hdcs::bio {
+
+namespace {
+std::string_view canonical_residues(Alphabet alphabet) {
+  // Exclude ambiguity codes so generated data is clean.
+  return alphabet == Alphabet::kDna ? std::string_view("ACGT")
+                                    : std::string_view("ACDEFGHIKLMNPQRSTVWY");
+}
+
+char random_residue(Rng& rng, Alphabet alphabet) {
+  auto set = canonical_residues(alphabet);
+  return set[rng.next_below(set.size())];
+}
+}  // namespace
+
+std::string random_residues(Rng& rng, std::size_t length, Alphabet alphabet) {
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) out.push_back(random_residue(rng, alphabet));
+  return out;
+}
+
+Sequence random_sequence(Rng& rng, std::size_t length, Alphabet alphabet,
+                         const std::string& prefix, std::size_t index) {
+  Sequence s;
+  s.id = prefix + std::to_string(index);
+  s.residues = random_residues(rng, length, alphabet);
+  return s;
+}
+
+std::string mutate(Rng& rng, std::string_view residues, Alphabet alphabet,
+                   double mutation_rate, double indel_rate) {
+  std::string out;
+  out.reserve(residues.size() + 8);
+  for (char c : residues) {
+    double r = rng.next_double();
+    if (r < indel_rate / 2) {
+      continue;  // deletion
+    }
+    if (r < indel_rate) {
+      out.push_back(random_residue(rng, alphabet));  // insertion before c
+    }
+    if (rng.next_double() < mutation_rate) {
+      char repl = random_residue(rng, alphabet);
+      out.push_back(repl);
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (out.empty()) out.push_back(random_residue(rng, alphabet));
+  return out;
+}
+
+std::vector<Sequence> make_database(Rng& rng, const DatabaseSpec& spec,
+                                    const std::vector<Sequence>& queries) {
+  if (spec.mean_length < spec.min_length) {
+    throw InputError("DatabaseSpec: mean_length < min_length");
+  }
+  std::vector<Sequence> db;
+  db.reserve(spec.num_sequences +
+             queries.size() * spec.planted_homologs_per_query);
+
+  for (std::size_t i = 0; i < spec.num_sequences; ++i) {
+    // Exponential length distribution around the mean, floored at min.
+    auto len = static_cast<std::size_t>(rng.exponential(
+        static_cast<double>(spec.mean_length - spec.min_length)));
+    len += spec.min_length;
+    db.push_back(random_sequence(rng, len, spec.alphabet, "bg_", i));
+  }
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (std::size_t k = 0; k < spec.planted_homologs_per_query; ++k) {
+      Sequence s;
+      s.id = "hom_" + std::to_string(q) + "_" + std::to_string(k);
+      s.description = "homolog of " + queries[q].id;
+      s.residues = mutate(rng, queries[q].residues, spec.alphabet,
+                          spec.mutation_rate, spec.indel_rate);
+      db.push_back(std::move(s));
+    }
+  }
+  // Shuffle so homologs are not clustered at the end (which would bias
+  // chunked search experiments).
+  rng.shuffle(db);
+  return db;
+}
+
+std::vector<Sequence> make_queries(Rng& rng, std::size_t count, std::size_t length,
+                                   Alphabet alphabet) {
+  std::vector<Sequence> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(random_sequence(rng, length, alphabet, "query_", i));
+  }
+  return out;
+}
+
+}  // namespace hdcs::bio

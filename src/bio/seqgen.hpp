@@ -1,0 +1,51 @@
+#pragma once
+// Synthetic sequence workload generation.
+//
+// The paper searched real genomic databases; we have none offline, so
+// experiments use generated databases with controlled statistics: random
+// background sequences plus "planted" families derived from a query by
+// point mutation and indels, so searches have true positives to rank.
+// Everything is driven by a seeded Rng for reproducibility.
+
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "util/rng.hpp"
+
+namespace hdcs::bio {
+
+struct DatabaseSpec {
+  std::size_t num_sequences = 1000;
+  std::size_t mean_length = 300;
+  std::size_t min_length = 50;
+  Alphabet alphabet = Alphabet::kProtein;
+  /// For every query planted, this many mutated homologs are inserted.
+  std::size_t planted_homologs_per_query = 5;
+  /// Per-residue substitution probability for planted homologs.
+  double mutation_rate = 0.15;
+  /// Per-residue indel probability for planted homologs.
+  double indel_rate = 0.02;
+};
+
+/// Random residues, uniform over the canonical alphabet (no N/X/B/Z).
+std::string random_residues(Rng& rng, std::size_t length, Alphabet alphabet);
+
+/// One random sequence with id "<prefix><index>".
+Sequence random_sequence(Rng& rng, std::size_t length, Alphabet alphabet,
+                         const std::string& prefix, std::size_t index);
+
+/// Apply point mutations + indels (a crude homolog model).
+std::string mutate(Rng& rng, std::string_view residues, Alphabet alphabet,
+                   double mutation_rate, double indel_rate);
+
+/// Build a database with planted homologs of each query. Homolog ids are
+/// "hom_<q>_<k>" so tests can check they rank above background.
+std::vector<Sequence> make_database(Rng& rng, const DatabaseSpec& spec,
+                                    const std::vector<Sequence>& queries);
+
+/// Convenience: spec.num_queries random queries of the given length.
+std::vector<Sequence> make_queries(Rng& rng, std::size_t count,
+                                   std::size_t length, Alphabet alphabet);
+
+}  // namespace hdcs::bio

@@ -1,0 +1,79 @@
+#include "bio/sequence.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace hdcs::bio {
+
+bool is_valid_residue(char c, Alphabet alphabet) {
+  char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  std::string_view set =
+      alphabet == Alphabet::kDna ? kDnaResidues : kProteinResidues;
+  return set.find(u) != std::string_view::npos;
+}
+
+Alphabet guess_alphabet(std::string_view residues) {
+  if (residues.empty()) return Alphabet::kDna;
+  std::size_t dna_like = 0;
+  for (char c : residues) {
+    if (is_valid_residue(c, Alphabet::kDna)) ++dna_like;
+  }
+  return (10 * dna_like >= 9 * residues.size()) ? Alphabet::kDna
+                                                : Alphabet::kProtein;
+}
+
+std::string normalize_residues(std::string_view raw, Alphabet alphabet) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (!is_valid_residue(u, alphabet)) {
+      throw InputError(std::string("invalid residue '") + c + "' for " +
+                       (alphabet == Alphabet::kDna ? "DNA" : "protein") +
+                       " sequence");
+    }
+    out.push_back(u == 'U' && alphabet == Alphabet::kDna ? 'T' : u);
+  }
+  return out;
+}
+
+char complement(char base) {
+  switch (base) {
+    case 'A': return 'T';
+    case 'C': return 'G';
+    case 'G': return 'C';
+    case 'T': return 'A';
+    case 'N': return 'N';
+    default:
+      throw InputError(std::string("cannot complement residue '") + base + "'");
+  }
+}
+
+std::string reverse_complement(std::string_view dna) {
+  std::string out;
+  out.reserve(dna.size());
+  for (auto it = dna.rbegin(); it != dna.rend(); ++it) out.push_back(complement(*it));
+  return out;
+}
+
+int dna_index(char base) {
+  switch (base) {
+    case 'A': return 0;
+    case 'C': return 1;
+    case 'G': return 2;
+    case 'T':
+    case 'U': return 3;
+    default: return 4;
+  }
+}
+
+char dna_base(int index) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  if (index < 0 || index > 3) throw InputError("dna_base index out of range");
+  return kBases[index];
+}
+
+}  // namespace hdcs::bio

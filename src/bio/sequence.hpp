@@ -1,0 +1,46 @@
+#pragma once
+// Biological sequences: DNA and protein, with validation.
+//
+// Residues are stored as upper-case ASCII; alignment kernels index scoring
+// matrices directly by character, so validation happens once at parse time
+// rather than per DP cell.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdcs::bio {
+
+enum class Alphabet { kDna, kProtein };
+
+/// Canonical residue sets ('-' and '*' are never stored in a Sequence).
+inline constexpr std::string_view kDnaResidues = "ACGTUN";
+inline constexpr std::string_view kProteinResidues = "ACDEFGHIKLMNPQRSTVWYBZX";
+
+[[nodiscard]] bool is_valid_residue(char c, Alphabet alphabet);
+
+/// Guess the alphabet from content: sequences that are >= 90% ACGTUN are
+/// treated as DNA (the heuristic FASTA tools use).
+[[nodiscard]] Alphabet guess_alphabet(std::string_view residues);
+
+struct Sequence {
+  std::string id;           // FASTA identifier (first word of header)
+  std::string description;  // rest of the header line
+  std::string residues;     // validated, upper-cased
+
+  [[nodiscard]] std::size_t length() const { return residues.size(); }
+};
+
+/// Validate + upper-case; throws InputError naming the bad character.
+std::string normalize_residues(std::string_view raw, Alphabet alphabet);
+
+/// DNA helpers.
+char complement(char base);
+std::string reverse_complement(std::string_view dna);
+
+/// Map A,C,G,T(,U) -> 0..3; N/other -> 4. Used by the phylo likelihood code.
+int dna_index(char base);
+/// Inverse of dna_index for 0..3.
+char dna_base(int index);
+
+}  // namespace hdcs::bio

@@ -1,0 +1,290 @@
+#include "dboot/dboot.hpp"
+
+#include <algorithm>
+
+#include "phylo/distance.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hdcs::dboot {
+
+DBootConfig DBootConfig::from_config(const Config& cfg) {
+  DBootConfig c;
+  auto reps = cfg.get_i64("replicates", 100);
+  if (reps < 1) throw InputError("replicates must be >= 1");
+  c.replicates = static_cast<std::size_t>(reps);
+  c.seed = static_cast<std::uint64_t>(cfg.get_i64("seed", 1));
+  return c;
+}
+
+std::set<Split> tree_splits(const phylo::Tree& tree) {
+  auto names = tree.leaf_names();
+  std::set<std::string> all(names.begin(), names.end());
+  if (all.empty()) return {};
+  const std::string& ref = *all.begin();
+
+  std::set<Split> out;
+  std::map<int, Split> below;
+  for (int node : tree.postorder()) {
+    Split s;
+    if (tree.is_leaf(node)) {
+      s.insert(tree.at(node).name);
+    } else {
+      for (int c : tree.at(node).children) {
+        s.insert(below[c].begin(), below[c].end());
+      }
+    }
+    if (node != tree.root() && !tree.is_leaf(node) && s.size() >= 2 &&
+        s.size() <= all.size() - 2) {
+      Split canonical = s;
+      if (canonical.count(ref)) {
+        Split flipped;
+        for (const auto& name : all) {
+          if (!canonical.count(name)) flipped.insert(name);
+        }
+        canonical = std::move(flipped);
+      }
+      out.insert(std::move(canonical));
+    }
+    below[node] = std::move(s);
+  }
+  return out;
+}
+
+double DBootResult::support_percent(const Split& split) const {
+  auto it = support.find(split);
+  if (it == support.end() || replicates == 0) return 0;
+  return 100.0 * static_cast<double>(it->second) /
+         static_cast<double>(replicates);
+}
+
+namespace {
+void encode_split_counts(ByteWriter& w, const std::map<Split, std::size_t>& m) {
+  w.u32(static_cast<std::uint32_t>(m.size()));
+  for (const auto& [split, count] : m) {
+    w.str_vec(std::vector<std::string>(split.begin(), split.end()));
+    w.u64(count);
+  }
+}
+
+std::map<Split, std::size_t> decode_split_counts(ByteReader& r) {
+  std::map<Split, std::size_t> m;
+  std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto names = r.str_vec();
+    std::uint64_t count = r.u64();
+    m.emplace(Split(names.begin(), names.end()), count);
+  }
+  return m;
+}
+
+void encode_dboot_config(ByteWriter& w, const DBootConfig& c) {
+  w.u64(c.replicates);
+  w.u64(c.seed);
+}
+
+DBootConfig decode_dboot_config(ByteReader& r) {
+  DBootConfig c;
+  c.replicates = r.u64();
+  c.seed = r.u64();
+  return c;
+}
+}  // namespace
+
+void encode_dboot_result(ByteWriter& w, const DBootResult& r) {
+  w.str(r.reference_newick);
+  w.u64(r.replicates);
+  encode_split_counts(w, r.support);
+}
+
+DBootResult decode_dboot_result(ByteReader& r) {
+  DBootResult out;
+  out.reference_newick = r.str();
+  out.replicates = r.u64();
+  out.support = decode_split_counts(r);
+  return out;
+}
+
+phylo::Alignment resample_alignment(const phylo::Alignment& alignment,
+                                    std::uint64_t seed, std::uint64_t replicate) {
+  // Mix (seed, replicate) so the column stream depends only on the
+  // replicate index, never on batching.
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + replicate * 0xbf58476d1ce4e5b9ull + 1);
+  std::size_t sites = alignment.site_count();
+  std::vector<std::size_t> picks(sites);
+  for (auto& p : picks) p = rng.next_below(sites);
+
+  phylo::Alignment out;
+  out.names = alignment.names;
+  out.rows.reserve(alignment.rows.size());
+  for (const auto& row : alignment.rows) {
+    std::string resampled(sites, 'A');
+    for (std::size_t s = 0; s < sites; ++s) resampled[s] = row[picks[s]];
+    out.rows.push_back(std::move(resampled));
+  }
+  return out;
+}
+
+namespace {
+/// Count splits of `replicates` bootstrap trees of `alignment`.
+std::map<Split, std::size_t> count_replicate_splits(
+    const phylo::Alignment& alignment, const DBootConfig& config,
+    std::uint64_t begin, std::uint64_t end) {
+  std::map<Split, std::size_t> counts;
+  for (std::uint64_t r = begin; r < end; ++r) {
+    auto resampled = resample_alignment(alignment, config.seed, r);
+    auto tree = phylo::nj_tree(resampled);
+    for (const auto& split : tree_splits(tree)) {
+      counts[split] += 1;
+    }
+  }
+  return counts;
+}
+}  // namespace
+
+DBootResult bootstrap_serial(const phylo::Alignment& alignment,
+                             const DBootConfig& config) {
+  alignment.validate();
+  DBootResult result;
+  auto reference = phylo::nj_tree(alignment);
+  result.reference_newick = reference.to_newick();
+  result.replicates = config.replicates;
+  auto reference_splits = tree_splits(reference);
+  auto counts = count_replicate_splits(alignment, config, 0, config.replicates);
+  for (const auto& split : reference_splits) {
+    auto it = counts.find(split);
+    result.support[split] = it == counts.end() ? 0 : it->second;
+  }
+  return result;
+}
+
+// ---- DataManager ----
+
+DBootDataManager::DBootDataManager(phylo::Alignment alignment, DBootConfig config)
+    : alignment_(std::move(alignment)), config_(config) {
+  alignment_.validate();
+  if (alignment_.taxon_count() < 4) {
+    throw InputError("DBOOT: need at least 4 taxa for nontrivial splits");
+  }
+  auto reference = phylo::nj_tree(alignment_);
+  reference_newick_ = reference.to_newick();
+  reference_splits_ = tree_splits(reference);
+  for (const auto& split : reference_splits_) support_[split] = 0;
+}
+
+std::string DBootDataManager::algorithm_name() const { return kAlgorithmName; }
+
+std::vector<std::byte> DBootDataManager::problem_data() const {
+  ByteWriter w;
+  encode_dboot_config(w, config_);
+  w.str(alignment_.to_fasta());
+  return w.take();
+}
+
+double DBootDataManager::per_replicate_cost() const {
+  // JC distances O(n^2 L) + NJ O(n^3).
+  double n = static_cast<double>(alignment_.taxon_count());
+  double l = static_cast<double>(alignment_.site_count());
+  return n * n * l + n * n * n;
+}
+
+std::optional<dist::WorkUnit> DBootDataManager::next_unit(
+    const dist::SizeHint& hint) {
+  if (next_replicate_ >= config_.replicates) return std::nullopt;
+  auto batch = static_cast<std::size_t>(
+      std::max(1.0, hint.target_ops / per_replicate_cost()));
+  batch = std::min(batch, config_.replicates - next_replicate_);
+
+  dist::WorkUnit unit;
+  unit.cost_ops = static_cast<double>(batch) * per_replicate_cost();
+  ByteWriter w;
+  w.u64(next_replicate_);
+  w.u64(next_replicate_ + batch);
+  unit.payload = w.take();
+  next_replicate_ += batch;
+  ++outstanding_;
+  return unit;
+}
+
+void DBootDataManager::accept_result(const dist::ResultUnit& result) {
+  ByteReader r(result.payload);
+  std::uint64_t replicate_count = r.u64();
+  auto counts = decode_split_counts(r);
+  r.expect_end();
+  for (const auto& [split, count] : counts) {
+    auto it = support_.find(split);
+    if (it != support_.end()) it->second += count;
+    // Splits outside the reference tree are tallied by workers but not
+    // reported — the output annotates the reference topology only.
+  }
+  merged_replicates_ += replicate_count;
+  --outstanding_;
+}
+
+bool DBootDataManager::is_complete() const {
+  return next_replicate_ >= config_.replicates && outstanding_ == 0;
+}
+
+std::vector<std::byte> DBootDataManager::final_result() const {
+  ByteWriter w;
+  encode_dboot_result(w, result());
+  return w.take();
+}
+
+double DBootDataManager::remaining_ops_estimate() const {
+  return static_cast<double>(config_.replicates - next_replicate_) *
+         per_replicate_cost();
+}
+
+DBootResult DBootDataManager::result() const {
+  DBootResult r;
+  r.reference_newick = reference_newick_;
+  r.replicates = merged_replicates_;
+  r.support = support_;
+  return r;
+}
+
+void DBootDataManager::snapshot(ByteWriter& w) const {
+  w.u64(next_replicate_);
+  w.u64(merged_replicates_);
+  w.i32(outstanding_);
+  encode_split_counts(w, support_);
+}
+
+void DBootDataManager::restore(ByteReader& r) {
+  next_replicate_ = r.u64();
+  merged_replicates_ = r.u64();
+  outstanding_ = r.i32();
+  support_ = decode_split_counts(r);
+}
+
+// ---- Algorithm ----
+
+void DBootAlgorithm::initialize(std::span<const std::byte> problem_data) {
+  ByteReader r(problem_data);
+  config_ = decode_dboot_config(r);
+  alignment_ = phylo::Alignment::from_fasta(r.str());
+  r.expect_end();
+}
+
+std::vector<std::byte> DBootAlgorithm::process(const dist::WorkUnit& unit) {
+  ByteReader r(unit.payload);
+  std::uint64_t begin = r.u64();
+  std::uint64_t end = r.u64();
+  r.expect_end();
+  if (end <= begin || end > config_.replicates) {
+    throw ProtocolError("DBOOT: bad replicate range");
+  }
+  auto counts = count_replicate_splits(alignment_, config_, begin, end);
+  ByteWriter w;
+  w.u64(end - begin);
+  encode_split_counts(w, counts);
+  return w.take();
+}
+
+void register_algorithm() {
+  dist::AlgorithmRegistry::global().replace(
+      kAlgorithmName, [] { return std::make_unique<DBootAlgorithm>(); });
+}
+
+}  // namespace hdcs::dboot

@@ -1,0 +1,119 @@
+#pragma once
+// DBOOT: distributed bootstrap support estimation.
+//
+// The paper emphasises that the system is *programmable* — "numerous
+// different scientific applications have been created to run on the
+// system" (§3) — rather than hard-coded to one task like SETI@home. DBOOT
+// is a third bioinformatics application exercising that claim: classical
+// Felsenstein bootstrap support for a phylogeny. Sites of the alignment
+// are resampled with replacement B times; a tree is built for each
+// replicate; the support of a split is the fraction of replicate trees
+// containing it. Bootstrapping is embarrassingly parallel across
+// replicates — a perfect fit for the task-farming model — and each
+// replicate is seeded from its index, so the result is independent of how
+// replicates are batched into units.
+//
+// Replicate trees are built with neighbor joining (JC distances), the
+// standard quick choice for bootstrap screening; the reference tree whose
+// splits are annotated is the NJ tree of the original alignment.
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dist/algorithm.hpp"
+#include "dist/data_manager.hpp"
+#include "dist/registry.hpp"
+#include "phylo/alignment.hpp"
+#include "phylo/tree.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/config.hpp"
+
+namespace hdcs::dboot {
+
+inline constexpr const char* kAlgorithmName = "dboot";
+
+struct DBootConfig {
+  std::size_t replicates = 100;
+  std::uint64_t seed = 1;  // master seed; replicate r uses hash(seed, r)
+
+  static DBootConfig from_config(const Config& cfg);
+};
+
+/// A split is the set of taxon names on one side of an internal edge,
+/// canonicalized to the side NOT containing the lexicographically smallest
+/// taxon (so both orientations map to one key).
+using Split = std::set<std::string>;
+
+/// Extract canonical nontrivial splits from an unrooted tree.
+std::set<Split> tree_splits(const phylo::Tree& tree);
+
+struct DBootResult {
+  std::string reference_newick;  // NJ tree of the original alignment
+  std::size_t replicates = 0;
+  /// Support (replicate count) per canonical split of the reference tree.
+  std::map<Split, std::size_t> support;
+
+  /// Support as a percentage for one split; 0 if absent.
+  [[nodiscard]] double support_percent(const Split& split) const;
+};
+
+void encode_dboot_result(ByteWriter& w, const DBootResult& r);
+DBootResult decode_dboot_result(ByteReader& r);
+
+/// Serial reference implementation.
+DBootResult bootstrap_serial(const phylo::Alignment& alignment,
+                             const DBootConfig& config);
+
+/// Resample columns with replacement, deterministically from (seed,
+/// replicate index). Exposed so tests can pin the replicate stream.
+phylo::Alignment resample_alignment(const phylo::Alignment& alignment,
+                                    std::uint64_t seed, std::uint64_t replicate);
+
+class DBootDataManager final : public dist::DataManager {
+ public:
+  DBootDataManager(phylo::Alignment alignment, DBootConfig config);
+
+  [[nodiscard]] std::string algorithm_name() const override;
+  [[nodiscard]] std::vector<std::byte> problem_data() const override;
+  std::optional<dist::WorkUnit> next_unit(const dist::SizeHint& hint) override;
+  void accept_result(const dist::ResultUnit& result) override;
+  [[nodiscard]] bool is_complete() const override;
+  [[nodiscard]] std::vector<std::byte> final_result() const override;
+  [[nodiscard]] double remaining_ops_estimate() const override;
+
+  [[nodiscard]] DBootResult result() const;
+
+  [[nodiscard]] bool supports_snapshot() const override { return true; }
+  void snapshot(ByteWriter& w) const override;
+  void restore(ByteReader& r) override;
+
+ private:
+  [[nodiscard]] double per_replicate_cost() const;
+
+  phylo::Alignment alignment_;
+  DBootConfig config_;
+  std::string reference_newick_;
+  std::set<Split> reference_splits_;
+  std::map<Split, std::size_t> support_;
+  std::size_t next_replicate_ = 0;
+  std::size_t merged_replicates_ = 0;
+  int outstanding_ = 0;
+};
+
+class DBootAlgorithm final : public dist::Algorithm {
+ public:
+  void initialize(std::span<const std::byte> problem_data) override;
+  std::vector<std::byte> process(const dist::WorkUnit& unit) override;
+
+ private:
+  phylo::Alignment alignment_;
+  DBootConfig config_;
+};
+
+/// Register DBootAlgorithm under kAlgorithmName (idempotent).
+void register_algorithm();
+
+}  // namespace hdcs::dboot

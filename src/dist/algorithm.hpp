@@ -1,0 +1,32 @@
+#pragma once
+// The client-side half of a Problem.
+//
+// "The Algorithm class (in the client) specifies the actual computation"
+// (paper §2.1). One Algorithm instance is created per (client, problem);
+// initialize() receives the problem's bulk data once, then process() is
+// called for each assigned unit.
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/work.hpp"
+
+namespace hdcs::dist {
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  /// Receive the problem's bulk input data (shipped once per client).
+  virtual void initialize(std::span<const std::byte> problem_data) = 0;
+
+  /// Compute one unit; the returned bytes become the ResultUnit payload.
+  virtual std::vector<std::byte> process(const WorkUnit& unit) = 0;
+};
+
+using AlgorithmFactory = std::function<std::unique_ptr<Algorithm>()>;
+
+}  // namespace hdcs::dist

@@ -1,0 +1,193 @@
+#include "dist/client.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "net/bulk.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace hdcs::dist {
+
+Client::Client(ClientConfig config) : config_(std::move(config)) {}
+
+double Client::measure_benchmark() {
+  // A short fixed numeric loop; the returned "ops/sec" is the same abstract
+  // currency DataManagers use for cost_ops, calibrated loosely (one "op" ~
+  // one inner-loop iteration of a dynamic-programming cell update).
+  Stopwatch sw;
+  volatile double acc = 0;
+  constexpr std::uint64_t kIters = 2'000'000;
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    acc = acc + std::fma(1e-9, static_cast<double>(i & 0xff), 1e-12);
+  }
+  double secs = sw.seconds();
+  if (secs <= 0) secs = 1e-6;
+  return static_cast<double>(kIters) / secs;
+}
+
+std::vector<ClientRunStats> Client::run_pool(const ClientConfig& base,
+                                             int count) {
+  if (count < 1) throw InputError("run_pool: count must be >= 1");
+  std::vector<ClientRunStats> stats(static_cast<std::size_t>(count));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    threads.emplace_back([&base, &stats, i] {
+      ClientConfig cfg = base;
+      cfg.name = base.name + "-cpu" + std::to_string(i);
+      try {
+        stats[static_cast<std::size_t>(i)] = Client(cfg).run();
+      } catch (const Error& e) {
+        LOG_WARN("donor pool worker " << cfg.name << " failed: " << e.what());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return stats;
+}
+
+Client::ProblemContext& Client::context_for(net::TcpStream& stream, ProblemId id) {
+  auto it = contexts_.find(id);
+  if (it != contexts_.end()) return it->second;
+
+  // First unit of this problem: download the bulk data and build the
+  // Algorithm named by the DataManager.
+  FetchProblemDataPayload fetch;
+  fetch.problem_id = id;
+  net::write_message(stream, encode_fetch_problem_data(fetch, next_correlation_++));
+  auto header = decode_problem_data_header(net::read_message(stream));
+  auto blob = net::recv_blob(stream);
+  if (blob.size() != header.data_bytes) {
+    throw ProtocolError("problem data size mismatch");
+  }
+  ProblemContext ctx;
+  ctx.algorithm = config_.registry->create(header.algorithm_name);
+  ctx.algorithm->initialize(blob);
+  LOG_INFO("problem " << id << ": fetched " << blob.size()
+                      << " bytes, algorithm " << header.algorithm_name);
+  return contexts_.emplace(id, std::move(ctx)).first->second;
+}
+
+ClientRunStats Client::run() {
+  ClientRunStats stats;
+  auto stream = net::TcpStream::connect(config_.server_host, config_.server_port);
+
+  HelloPayload hello;
+  hello.client_name = config_.name;
+  hello.cores = 1;
+  hello.benchmark_ops_per_sec = measure_benchmark() / std::max(config_.throttle, 1.0);
+  net::write_message(stream, encode_hello(hello, next_correlation_++));
+  auto ack = decode_hello_ack(net::read_message(stream));
+  ClientId my_id = ack.client_id;
+  LOG_INFO("client '" << config_.name << "' registered as id " << my_id);
+
+  // Heartbeats ride a second connection: the work connection is strictly
+  // request/response, so it cannot carry liveness while a unit computes.
+  std::atomic<bool> heartbeats_done{false};
+  std::thread heartbeat_thread;
+  if (config_.send_heartbeats && ack.heartbeat_interval_s > 0) {
+    heartbeat_thread = std::thread([this, my_id, &heartbeats_done,
+                                    interval = ack.heartbeat_interval_s] {
+      try {
+        auto hb_stream =
+            net::TcpStream::connect(config_.server_host, config_.server_port);
+        std::uint64_t corr = 1;
+        while (!heartbeats_done.load()) {
+          net::write_message(hb_stream, encode_heartbeat(my_id, corr++));
+          net::Message reply = net::read_message(hb_stream);
+          if (reply.type != net::MessageType::kHeartbeatAck) break;
+          // Sleep in small slices so shutdown is prompt.
+          double slept = 0;
+          while (slept < interval && !heartbeats_done.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            slept += 0.02;
+          }
+        }
+        hb_stream.shutdown_write();
+      } catch (const Error&) {
+        // Heartbeat failures are non-fatal; the work loop notices real
+        // connection problems itself.
+      }
+    });
+  }
+  struct HeartbeatJoiner {
+    std::atomic<bool>& done;
+    std::thread& thread;
+    ~HeartbeatJoiner() {
+      done.store(true);
+      if (thread.joinable()) thread.join();
+    }
+  } joiner{heartbeats_done, heartbeat_thread};
+
+  int consecutive_idle = 0;
+  while (!stop_.load() && !crash_.load()) {
+    net::write_message(stream, encode_request_work(my_id, next_correlation_++));
+    net::Message reply = net::read_message(stream);
+
+    if (reply.type == net::MessageType::kNoWorkAvailable) {
+      auto no_work = decode_no_work(reply);
+      stats.idle_polls += 1;
+      if (config_.exit_when_idle &&
+          (no_work.all_problems_complete ||
+           ++consecutive_idle >= config_.max_idle_polls)) {
+        break;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(no_work.retry_after_s));
+      continue;
+    }
+    if (reply.type == net::MessageType::kShutdown) break;
+    if (reply.type == net::MessageType::kError) {
+      auto r = reply.reader();
+      LOG_WARN("server rejected request: " << r.str()
+               << " — leaving (likely expired by the client timeout)");
+      return stats;  // no Goodbye: the server already dropped us
+    }
+
+    WorkUnit unit = decode_work_assignment(reply);
+    consecutive_idle = 0;
+    ProblemContext& ctx = context_for(stream, unit.problem_id);
+
+    Stopwatch sw;
+    ResultUnit result;
+    result.problem_id = unit.problem_id;
+    result.unit_id = unit.unit_id;
+    result.stage = unit.stage;
+    result.payload = ctx.algorithm->process(unit);
+    double compute_s = sw.seconds();
+    stats.compute_seconds += compute_s;
+    if (config_.throttle > 1.0) {
+      // Emulate a slower donor machine by padding compute time.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(compute_s * (config_.throttle - 1.0)));
+    }
+    if (config_.crash_after_units >= 0 &&
+        stats.units_processed + 1 >=
+            static_cast<std::uint64_t>(config_.crash_after_units)) {
+      crash_.store(true);
+    }
+    if (crash_.load()) return stats;  // vanish without submitting
+
+    net::write_message(stream,
+                       encode_submit_result(my_id, result, next_correlation_++));
+    auto result_ack = decode_result_ack(net::read_message(stream));
+    if (!result_ack.accepted) {
+      LOG_DEBUG("result for unit " << unit.unit_id << " was a duplicate");
+    }
+    stats.units_processed += 1;
+  }
+
+  if (!crash_.load()) {
+    try {
+      net::write_message(stream, encode_goodbye(my_id, next_correlation_++));
+      stream.shutdown_write();
+    } catch (const IoError&) {
+      // Server may already be gone; departure is best-effort.
+    }
+  }
+  return stats;
+}
+
+}  // namespace hdcs::dist

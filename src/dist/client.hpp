@@ -1,0 +1,92 @@
+#pragma once
+// Donor client: the process that runs on spare machines.
+//
+// Connects to the server, reports a self-measured benchmark score (so the
+// scheduler can size the first unit before any EWMA data exists), then
+// loops: request work -> (fetch problem data once per problem) -> run the
+// registered Algorithm -> submit the result. Designed to run "as a low
+// priority background service" (paper §3); priority is the deployer's
+// concern (nice/SCHED_IDLE), not this class's.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "dist/registry.hpp"
+#include "dist/wire.hpp"
+#include "net/socket.hpp"
+
+namespace hdcs::dist {
+
+struct ClientConfig {
+  std::string server_host = "127.0.0.1";
+  std::uint16_t server_port = 0;
+  std::string name = "donor";
+  /// Stop when the server reports all problems complete (used by tests and
+  /// examples; a real deployment would keep waiting for new problems).
+  bool exit_when_idle = true;
+  /// Max consecutive "no work" responses before exiting when exit_when_idle.
+  int max_idle_polls = 10000;
+  /// Artificial throttle multiplier for heterogeneity experiments on one
+  /// box: sleep (throttle-1)x the compute time of each unit. 0/1 = off.
+  double throttle = 1.0;
+  /// Fault injection: crash (vanish without submitting or saying Goodbye)
+  /// right after computing the Nth unit. -1 = never.
+  int crash_after_units = -1;
+  /// Send heartbeats on a second connection so long computations don't
+  /// trip the server's client timeout. Interval comes from the HelloAck;
+  /// set false to emulate a heartbeat-less legacy client in tests.
+  bool send_heartbeats = true;
+  const AlgorithmRegistry* registry = &AlgorithmRegistry::global();
+};
+
+struct ClientRunStats {
+  std::uint64_t units_processed = 0;
+  std::uint64_t idle_polls = 0;
+  double compute_seconds = 0;
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig config);
+
+  /// Run the donor loop to completion (connects, works, says goodbye).
+  /// Throws IoError if the server is unreachable.
+  ClientRunStats run();
+
+  /// Ask a running client (from another thread) to stop after the current
+  /// unit. The client sends Goodbye so its lease is requeued immediately.
+  void request_stop() { stop_.store(true); }
+
+  /// Ask a running client to die abruptly (no Goodbye) — fault injection
+  /// for lease-expiry tests.
+  void request_crash() { crash_.store(true); }
+
+  /// Synthetic CPU benchmark in abstract ops/sec (public for tests).
+  static double measure_benchmark();
+
+  /// Run `count` donor clients concurrently — one per CPU of a multi-core
+  /// donor (the paper's dual-PIII cluster nodes contributed both CPUs).
+  /// Each client gets the base name suffixed "-cpuN" and its own
+  /// connections. Blocks until all are done.
+  static std::vector<ClientRunStats> run_pool(const ClientConfig& base,
+                                              int count);
+
+ private:
+  struct ProblemContext {
+    std::unique_ptr<Algorithm> algorithm;
+  };
+
+  ProblemContext& context_for(net::TcpStream& stream, ProblemId id);
+
+  ClientConfig config_;
+  std::map<ProblemId, ProblemContext> contexts_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> crash_{false};
+  std::uint64_t next_correlation_ = 1;
+};
+
+}  // namespace hdcs::dist

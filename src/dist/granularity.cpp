@@ -1,0 +1,52 @@
+#include "dist/granularity.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hdcs::dist {
+
+double GuidedSelfScheduling::target_ops(const ClientStats& client, double remaining_ops,
+                                        int active_clients) const {
+  if (active_clients < 1) active_clients = 1;
+  if (remaining_ops <= 0) {
+    // Unknown remaining work: fall back to a rate-based chunk so slow
+    // clients are not handed unbounded units.
+    return client.rate_estimate() * 10.0;
+  }
+  return remaining_ops / (k_ * active_clients);
+}
+
+double AdaptiveThroughput::target_ops(const ClientStats& client, double remaining_ops,
+                                      int active_clients) const {
+  double rate = client.rate_estimate();
+  if (rate <= 0) rate = 1e6;  // unknown machine: start small, EWMA corrects fast
+  double ops = rate * target_seconds_;
+  // Near the end of a problem, shrink units so the tail is not serialised
+  // behind one big chunk on one machine (classic straggler guard).
+  if (remaining_ops > 0 && active_clients > 0) {
+    ops = std::min(ops, std::max(remaining_ops / active_clients, 1.0));
+  }
+  return ops;
+}
+
+std::unique_ptr<GranularityPolicy> make_policy(const std::string& spec) {
+  auto parts = split(spec, ':');
+  const std::string& kind = parts[0];
+  if (kind == "fixed") {
+    if (parts.size() != 2) throw InputError("fixed policy needs ops: 'fixed:<ops>'");
+    return std::make_unique<FixedGranularity>(parse_f64(parts[1]));
+  }
+  if (kind == "guided") {
+    double k = parts.size() > 1 ? parse_f64(parts[1]) : 2.0;
+    return std::make_unique<GuidedSelfScheduling>(k);
+  }
+  if (kind == "adaptive") {
+    double secs = parts.size() > 1 ? parse_f64(parts[1]) : 15.0;
+    return std::make_unique<AdaptiveThroughput>(secs);
+  }
+  throw InputError("unknown granularity policy: " + spec);
+}
+
+}  // namespace hdcs::dist

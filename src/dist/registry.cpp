@@ -1,0 +1,48 @@
+#include "dist/registry.hpp"
+
+#include "util/error.hpp"
+
+namespace hdcs::dist {
+
+AlgorithmRegistry& AlgorithmRegistry::global() {
+  static AlgorithmRegistry registry;
+  return registry;
+}
+
+void AlgorithmRegistry::register_algorithm(const std::string& name,
+                                           AlgorithmFactory factory) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  if (!inserted) {
+    throw InputError("algorithm already registered: " + name);
+  }
+}
+
+void AlgorithmRegistry::replace(const std::string& name, AlgorithmFactory factory) {
+  std::lock_guard lock(mutex_);
+  factories_[name] = std::move(factory);
+}
+
+bool AlgorithmRegistry::contains(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return factories_.count(name) != 0;
+}
+
+std::unique_ptr<Algorithm> AlgorithmRegistry::create(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw InputError("unknown algorithm: " + name);
+  }
+  return it->second();
+}
+
+std::vector<std::string> AlgorithmRegistry::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;
+}
+
+}  // namespace hdcs::dist

@@ -1,0 +1,44 @@
+#pragma once
+// Algorithm registry — the C++ substitute for Java mobile code.
+//
+// The Java system ships the user's Algorithm class to donor JVMs via RMI
+// class loading. C++ cannot ship code, so client binaries link the algorithm
+// implementations they support and register a factory under the same name
+// the DataManager advertises. The programming model (user supplies a
+// DataManager + an Algorithm) is unchanged; only the delivery mechanism is.
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dist/algorithm.hpp"
+
+namespace hdcs::dist {
+
+class AlgorithmRegistry {
+ public:
+  /// Process-wide registry used by the TCP client and the local runner.
+  static AlgorithmRegistry& global();
+
+  /// Register a factory; throws InputError if the name is already taken
+  /// (unless the factory is being re-registered identically in tests —
+  /// use replace()).
+  void register_algorithm(const std::string& name, AlgorithmFactory factory);
+
+  /// Register-or-overwrite (idempotent registration helpers use this).
+  void replace(const std::string& name, AlgorithmFactory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Instantiate; throws InputError for unknown names.
+  [[nodiscard]] std::unique_ptr<Algorithm> create(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, AlgorithmFactory> factories_;
+};
+
+}  // namespace hdcs::dist

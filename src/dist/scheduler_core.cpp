@@ -1,0 +1,400 @@
+#include "dist/scheduler_core.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace hdcs::dist {
+
+SchedulerCore::SchedulerCore(SchedulerConfig config,
+                             std::unique_ptr<GranularityPolicy> policy)
+    : config_(config), policy_(std::move(policy)) {
+  if (!policy_) throw InputError("SchedulerCore: null granularity policy");
+  if (config_.lease_timeout <= 0) throw InputError("lease_timeout must be > 0");
+}
+
+ProblemId SchedulerCore::submit_problem(std::shared_ptr<DataManager> dm) {
+  if (!dm) throw InputError("submit_problem: null DataManager");
+  ProblemId id = next_problem_id_++;
+  ProblemState ps;
+  ps.dm = std::move(dm);
+  problems_.emplace(id, std::move(ps));
+  LOG_INFO("problem " << id << " submitted (algorithm="
+                      << problems_.at(id).dm->algorithm_name() << ")");
+  return id;
+}
+
+bool SchedulerCore::problem_complete(ProblemId id) const {
+  auto it = problems_.find(id);
+  if (it == problems_.end()) throw InputError("unknown problem id");
+  return it->second.dm->is_complete();
+}
+
+bool SchedulerCore::all_complete() const {
+  return std::all_of(problems_.begin(), problems_.end(),
+                     [](const auto& kv) { return kv.second.dm->is_complete(); });
+}
+
+std::vector<std::byte> SchedulerCore::final_result(ProblemId id) const {
+  auto it = problems_.find(id);
+  if (it == problems_.end()) throw InputError("unknown problem id");
+  if (!it->second.dm->is_complete()) throw Error("problem not complete");
+  return it->second.dm->final_result();
+}
+
+const DataManager& SchedulerCore::data_manager(ProblemId id) const {
+  auto it = problems_.find(id);
+  if (it == problems_.end()) throw InputError("unknown problem id");
+  return *it->second.dm;
+}
+
+std::vector<ProblemId> SchedulerCore::active_problems() const {
+  std::vector<ProblemId> out;
+  for (const auto& [id, ps] : problems_) {
+    if (!ps.dm->is_complete()) out.push_back(id);
+  }
+  return out;
+}
+
+ClientId SchedulerCore::client_joined(const std::string& name,
+                                      double benchmark_ops_per_sec, double now) {
+  ClientId id = next_client_id_++;
+  ClientState cs;
+  cs.self_id = id;
+  cs.name = name;
+  cs.stats.benchmark_ops_per_sec = benchmark_ops_per_sec;
+  cs.stats.last_seen = now;
+  clients_.emplace(id, std::move(cs));
+  LOG_INFO("client " << id << " (" << name << ") joined, benchmark "
+                     << benchmark_ops_per_sec << " ops/s");
+  return id;
+}
+
+void SchedulerCore::client_left(ClientId id, double /*now*/) {
+  auto it = clients_.find(id);
+  if (it == clients_.end()) return;
+  it->second.active = false;
+  requeue_client_units(id);
+  LOG_INFO("client " << id << " left; outstanding units requeued");
+}
+
+void SchedulerCore::heartbeat(ClientId id, double now) {
+  auto it = clients_.find(id);
+  if (it != clients_.end()) it->second.stats.last_seen = now;
+}
+
+const ClientStats* SchedulerCore::client_stats(ClientId id) const {
+  auto it = clients_.find(id);
+  return it == clients_.end() ? nullptr : &it->second.stats;
+}
+
+int SchedulerCore::active_client_count() const {
+  int n = 0;
+  for (const auto& [_, cs] : clients_) {
+    if (cs.active) ++n;
+  }
+  return n;
+}
+
+std::optional<WorkUnit> SchedulerCore::request_work(ClientId client, double now) {
+  auto cit = clients_.find(client);
+  if (cit == clients_.end() || !cit->second.active) {
+    throw InputError("request_work from unknown/inactive client " +
+                     std::to_string(client));
+  }
+  ClientState& cs = cit->second;
+  cs.stats.last_seen = now;
+
+  // 1) Reissue orphaned units first: they are what stage barriers and
+  //    problem completion are waiting on.
+  for (auto& [pid, ps] : problems_) {
+    if (!ps.requeue.empty()) {
+      Lease lease = std::move(ps.requeue.front());
+      ps.requeue.pop_front();
+      lease.owner = client;
+      lease.issued_at = now;
+      lease.deadline = now + config_.lease_timeout;
+      lease.attempt += 1;
+      WorkUnit unit = lease.unit;
+      ps.outstanding[unit.unit_id] = std::move(lease);
+      cs.stats.outstanding += 1;
+      stats_.units_issued += 1;
+      stats_.units_reissued += 1;
+      return unit;
+    }
+  }
+
+  // 2) Round-robin across active problems for a fresh unit, starting after
+  //    the problem that was served most recently so concurrent problems
+  //    interleave fairly.
+  if (problems_.empty()) {
+    stats_.work_requests_unserved += 1;
+    return std::nullopt;
+  }
+  auto start = problems_.upper_bound(rr_cursor_);
+  if (start == problems_.end()) start = problems_.begin();
+  auto it = start;
+  do {
+    ProblemState& ps = it->second;
+    if (!ps.dm->is_complete()) {
+      if (auto unit = issue_from(it->first, ps, cs, now)) {
+        rr_cursor_ = it->first;
+        return unit;
+      }
+    }
+    ++it;
+    if (it == problems_.end()) it = problems_.begin();
+  } while (it != start);
+
+  // 3) Nothing fresh anywhere: optionally hedge the end-game by doubling
+  //    up on someone else's oldest outstanding unit.
+  if (config_.hedge_endgame) {
+    it = start;
+    do {
+      ProblemState& ps = it->second;
+      if (!ps.dm->is_complete()) {
+        if (auto unit = hedge_from(ps, cs, now)) {
+          rr_cursor_ = it->first;
+          return unit;
+        }
+      }
+      ++it;
+      if (it == problems_.end()) it = problems_.begin();
+    } while (it != start);
+  }
+
+  stats_.work_requests_unserved += 1;
+  return std::nullopt;
+}
+
+std::optional<WorkUnit> SchedulerCore::hedge_from(ProblemState& ps,
+                                                  ClientState& cs, double now) {
+  // Oldest outstanding lease owned by someone else, not hedged out yet.
+  auto best = ps.outstanding.end();
+  for (auto it = ps.outstanding.begin(); it != ps.outstanding.end(); ++it) {
+    if (it->second.owner == cs.self_id) continue;
+    if (it->second.attempt > config_.max_hedges_per_unit) continue;
+    if (best == ps.outstanding.end() ||
+        it->second.issued_at < best->second.issued_at) {
+      best = it;
+    }
+  }
+  if (best == ps.outstanding.end()) return std::nullopt;
+
+  // Transfer the lease to the hedger (single lease record per unit; the
+  // original owner's late result is still accepted as first-wins).
+  Lease lease = best->second;
+  auto old_owner = clients_.find(lease.owner);
+  if (old_owner != clients_.end() && old_owner->second.stats.outstanding > 0) {
+    old_owner->second.stats.outstanding -= 1;
+  }
+  lease.owner = cs.self_id;
+  lease.issued_at = now;
+  lease.deadline = now + config_.lease_timeout;
+  lease.attempt += 1;
+  WorkUnit unit = lease.unit;
+  best->second = std::move(lease);
+  cs.stats.outstanding += 1;
+  stats_.units_issued += 1;
+  stats_.units_hedged += 1;
+  return unit;
+}
+
+std::optional<WorkUnit> SchedulerCore::issue_from(ProblemId pid, ProblemState& ps,
+                                                  ClientState& cs, double now) {
+  SizeHint hint;
+  double target = policy_->target_ops(cs.stats, ps.dm->remaining_ops_estimate(),
+                                      active_client_count());
+  hint.target_ops =
+      std::clamp(target, config_.bounds.min_ops, config_.bounds.max_ops);
+
+  auto unit = ps.dm->next_unit(hint);
+  if (!unit) return std::nullopt;
+  if (unit->cost_ops <= 0) {
+    throw Error("DataManager produced unit with non-positive cost_ops");
+  }
+  unit->problem_id = pid;
+  unit->unit_id = ps.next_unit_id++;
+
+  Lease lease;
+  lease.unit = *unit;
+  lease.owner = cs.self_id;
+  lease.issued_at = now;
+  lease.deadline = now + config_.lease_timeout;
+  ps.outstanding[unit->unit_id] = lease;
+  cs.stats.outstanding += 1;
+  stats_.units_issued += 1;
+  return unit;
+}
+
+bool SchedulerCore::submit_result(ClientId client, const ResultUnit& result,
+                                  double now) {
+  auto cit = clients_.find(client);
+  if (cit != clients_.end()) cit->second.stats.last_seen = now;
+
+  auto pit = problems_.find(result.problem_id);
+  if (pit == problems_.end()) {
+    stats_.stale_results_dropped += 1;
+    return false;
+  }
+  ProblemState& ps = pit->second;
+
+  if (ps.completed.count(result.unit_id)) {
+    stats_.duplicate_results_dropped += 1;
+    return false;
+  }
+
+  auto lit = ps.outstanding.find(result.unit_id);
+  if (lit == ps.outstanding.end()) {
+    // Not completed, not outstanding: could be sitting in the requeue after
+    // a lease expiry — the original owner finished late. Accept it and
+    // drop the requeued copy.
+    auto rit = std::find_if(ps.requeue.begin(), ps.requeue.end(),
+                            [&](const Lease& l) {
+                              return l.unit.unit_id == result.unit_id;
+                            });
+    if (rit == ps.requeue.end()) {
+      stats_.stale_results_dropped += 1;
+      return false;
+    }
+    ps.requeue.erase(rit);
+  } else {
+    const Lease& lease = lit->second;
+    // Update the owner's throughput estimate from this unit's turnaround.
+    if (lease.owner == client && cit != clients_.end()) {
+      double elapsed = now - lease.issued_at;
+      if (elapsed > 1e-9) {
+        double rate = lease.unit.cost_ops / elapsed;
+        ClientStats& st = cit->second.stats;
+        st.ewma_ops_per_sec = st.ewma_ops_per_sec <= 0
+                                  ? rate
+                                  : config_.ewma_alpha * rate +
+                                        (1 - config_.ewma_alpha) * st.ewma_ops_per_sec;
+      }
+    }
+    // Decrement outstanding count on whichever client holds the lease.
+    auto oit = clients_.find(lit->second.owner);
+    if (oit != clients_.end() && oit->second.stats.outstanding > 0) {
+      oit->second.stats.outstanding -= 1;
+    }
+    ps.outstanding.erase(lit);
+  }
+
+  ps.completed.insert(result.unit_id);
+  if (cit != clients_.end()) cit->second.stats.units_completed += 1;
+  stats_.results_accepted += 1;
+  ps.dm->accept_result(result);
+  return true;
+}
+
+void SchedulerCore::tick(double now) {
+  // Expire leases.
+  for (auto& [pid, ps] : problems_) {
+    for (auto it = ps.outstanding.begin(); it != ps.outstanding.end();) {
+      if (it->second.deadline <= now) {
+        LOG_WARN("lease expired for problem " << pid << " unit "
+                                              << it->first << " (attempt "
+                                              << it->second.attempt << ")");
+        auto oit = clients_.find(it->second.owner);
+        if (oit != clients_.end() && oit->second.stats.outstanding > 0) {
+          oit->second.stats.outstanding -= 1;
+        }
+        ps.requeue.push_back(it->second);
+        it = ps.outstanding.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Expire silent clients.
+  if (config_.client_timeout > 0) {
+    for (auto& [cid, cs] : clients_) {
+      if (cs.active && now - cs.stats.last_seen > config_.client_timeout) {
+        LOG_WARN("client " << cid << " (" << cs.name << ") timed out");
+        cs.active = false;
+        requeue_client_units(cid);
+        stats_.clients_expired += 1;
+      }
+    }
+  }
+}
+
+void SchedulerCore::checkpoint(ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(problems_.size()));
+  for (const auto& [pid, ps] : problems_) {
+    w.u64(pid);
+    ByteWriter dm_state;
+    ps.dm->snapshot(dm_state);
+    w.bytes(dm_state.data());
+    w.u64(ps.next_unit_id);
+    std::vector<std::uint64_t> completed(ps.completed.begin(), ps.completed.end());
+    w.u64_vec(completed);
+
+    // In-flight work: everything requeued or leased gets persisted with
+    // its payload so it can simply be re-delivered after the restart.
+    w.u32(static_cast<std::uint32_t>(ps.requeue.size() + ps.outstanding.size()));
+    auto write_unit = [&w](const WorkUnit& u) {
+      w.u64(u.unit_id);
+      w.u32(u.stage);
+      w.f64(u.cost_ops);
+      w.bytes(u.payload);
+    };
+    for (const auto& lease : ps.requeue) write_unit(lease.unit);
+    for (const auto& [uid, lease] : ps.outstanding) write_unit(lease.unit);
+  }
+}
+
+void SchedulerCore::restore(ByteReader& r) {
+  std::uint32_t count = r.u32();
+  if (count != problems_.size()) {
+    throw ProtocolError("restore: checkpoint has " + std::to_string(count) +
+                        " problems, core has " + std::to_string(problems_.size()));
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ProblemId pid = r.u64();
+    auto it = problems_.find(pid);
+    if (it == problems_.end()) {
+      throw ProtocolError("restore: unknown problem id " + std::to_string(pid));
+    }
+    ProblemState& ps = it->second;
+    if (!ps.requeue.empty() || !ps.outstanding.empty() || !ps.completed.empty()) {
+      throw ProtocolError("restore: problem " + std::to_string(pid) +
+                          " already has progress");
+    }
+    auto dm_state = r.bytes();
+    ByteReader dm_reader{std::span<const std::byte>(dm_state)};
+    ps.dm->restore(dm_reader);
+    dm_reader.expect_end();
+    ps.next_unit_id = r.u64();
+    for (auto uid : r.u64_vec()) ps.completed.insert(uid);
+
+    std::uint32_t units = r.u32();
+    for (std::uint32_t u = 0; u < units; ++u) {
+      Lease lease;
+      lease.unit.problem_id = pid;
+      lease.unit.unit_id = r.u64();
+      lease.unit.stage = r.u32();
+      lease.unit.cost_ops = r.f64();
+      lease.unit.payload = r.bytes();
+      ps.requeue.push_back(std::move(lease));
+    }
+  }
+}
+
+void SchedulerCore::requeue_client_units(ClientId id) {
+  for (auto& [pid, ps] : problems_) {
+    for (auto it = ps.outstanding.begin(); it != ps.outstanding.end();) {
+      if (it->second.owner == id) {
+        ps.requeue.push_back(it->second);
+        it = ps.outstanding.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  auto cit = clients_.find(id);
+  if (cit != clients_.end()) cit->second.stats.outstanding = 0;
+}
+
+}  // namespace hdcs::dist

@@ -1,0 +1,156 @@
+#pragma once
+// Transport-independent scheduling brain.
+//
+// All of the distributed system's decision making lives here: which problem
+// a work request is served from, how big the unit is (granularity policy),
+// lease tracking and reissue of units lost to failed or slow donors, and
+// per-client throughput estimation. The TCP Server drives it with wall-clock
+// time; the discrete-event simulator drives the *same object* with virtual
+// time — that is what lets the paper's 83- and 200-machine experiments run
+// faithfully on one core.
+//
+// Threading: SchedulerCore is NOT thread-safe; callers serialise access
+// (Server holds a mutex, the simulator is single-threaded).
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dist/data_manager.hpp"
+#include "dist/granularity.hpp"
+#include "dist/work.hpp"
+
+namespace hdcs::dist {
+
+struct SchedulerConfig {
+  /// Units not completed within lease_timeout seconds are reissued.
+  double lease_timeout = 300.0;
+  /// Clients silent for longer than this are presumed dead (0 disables).
+  double client_timeout = 0.0;
+  /// EWMA smoothing for measured client throughput.
+  double ewma_alpha = 0.3;
+  /// End-game straggler hedging: when a client asks for work and no fresh
+  /// or requeued unit exists, speculatively hand it a *copy* of the oldest
+  /// outstanding lease (owned by someone else). Whichever result arrives
+  /// first wins; the loser is dropped as a duplicate. Bounds the tail a
+  /// slow semi-idle donor can add to a problem without waiting for the
+  /// lease timeout.
+  bool hedge_endgame = false;
+  /// Maximum times a unit may be hedged (attempt cap = 1 + this).
+  int max_hedges_per_unit = 1;
+  GranularityBounds bounds;
+};
+
+struct SchedulerStats {
+  std::uint64_t units_issued = 0;
+  std::uint64_t units_reissued = 0;
+  std::uint64_t units_hedged = 0;
+  std::uint64_t results_accepted = 0;
+  std::uint64_t duplicate_results_dropped = 0;
+  std::uint64_t stale_results_dropped = 0;
+  std::uint64_t work_requests_unserved = 0;
+  std::uint64_t clients_expired = 0;
+};
+
+class SchedulerCore {
+ public:
+  SchedulerCore(SchedulerConfig config, std::unique_ptr<GranularityPolicy> policy);
+
+  // ---- problems ----
+
+  /// Register a problem; several may run concurrently (Fig. 2 runs six).
+  ProblemId submit_problem(std::shared_ptr<DataManager> dm);
+
+  [[nodiscard]] bool problem_complete(ProblemId id) const;
+  [[nodiscard]] bool all_complete() const;
+  [[nodiscard]] std::vector<std::byte> final_result(ProblemId id) const;
+  [[nodiscard]] const DataManager& data_manager(ProblemId id) const;
+  [[nodiscard]] std::vector<ProblemId> active_problems() const;
+
+  // ---- clients ----
+
+  ClientId client_joined(const std::string& name, double benchmark_ops_per_sec,
+                         double now);
+  /// Orderly or detected departure: all leased units are requeued.
+  void client_left(ClientId id, double now);
+  void heartbeat(ClientId id, double now);
+  [[nodiscard]] const ClientStats* client_stats(ClientId id) const;
+  [[nodiscard]] int active_client_count() const;
+
+  // ---- the work loop ----
+
+  /// Serve a work request. Tries requeued units first, then asks active
+  /// problems (round-robin, starting after the problem served last) for a
+  /// fresh unit sized by the granularity policy. nullopt = nothing
+  /// available right now (all problems complete or stage-blocked).
+  std::optional<WorkUnit> request_work(ClientId client, double now);
+
+  /// Accept a result. Returns true if this was the first result for the
+  /// unit (merged into the DataManager); false for duplicates/stale.
+  bool submit_result(ClientId client, const ResultUnit& result, double now);
+
+  /// Housekeeping: expire leases and dead clients. Call periodically.
+  void tick(double now);
+
+  // ---- checkpoint / restore ----
+
+  /// Serialize every problem's progress, including units in flight (their
+  /// payloads are retained by the scheduler, so nothing computed is lost).
+  /// Clients are not persisted — donors simply re-register after a
+  /// restart. Requires every DataManager to support snapshots.
+  void checkpoint(ByteWriter& w) const;
+
+  /// Restore a checkpoint into this core. The same problems must already
+  /// have been re-submitted (same inputs, same order, hence same ids);
+  /// their DataManagers are rewound and all in-flight units are queued for
+  /// reissue. Throws ProtocolError on id mismatch.
+  void restore(ByteReader& r);
+
+  [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+  [[nodiscard]] const GranularityPolicy& policy() const { return *policy_; }
+
+ private:
+  struct Lease {
+    WorkUnit unit;
+    ClientId owner = 0;
+    double issued_at = 0;
+    double deadline = 0;
+    int attempt = 1;
+  };
+
+  struct ProblemState {
+    std::shared_ptr<DataManager> dm;
+    std::deque<Lease> requeue;              // expired/orphaned units to reissue
+    std::map<UnitId, Lease> outstanding;    // unit_id -> live lease
+    std::set<UnitId> completed;             // for duplicate detection
+    UnitId next_unit_id = 1;
+  };
+
+  struct ClientState {
+    ClientId self_id = 0;
+    std::string name;
+    ClientStats stats;
+    bool active = true;
+  };
+
+  std::optional<WorkUnit> issue_from(ProblemId pid, ProblemState& ps, ClientState& cs,
+                                     double now);
+  std::optional<WorkUnit> hedge_from(ProblemState& ps, ClientState& cs, double now);
+  void requeue_client_units(ClientId id);
+
+  SchedulerConfig config_;
+  std::unique_ptr<GranularityPolicy> policy_;
+  std::map<ProblemId, ProblemState> problems_;
+  std::map<ClientId, ClientState> clients_;
+  ProblemId next_problem_id_ = 1;
+  ClientId next_client_id_ = 1;
+  ProblemId rr_cursor_ = 0;  // last problem served (round-robin fairness)
+  SchedulerStats stats_;
+};
+
+}  // namespace hdcs::dist

@@ -1,0 +1,247 @@
+#include "dist/server.hpp"
+
+#include <chrono>
+
+#include "dist/wire.hpp"
+#include "net/bulk.hpp"
+#include "util/logging.hpp"
+
+namespace hdcs::dist {
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      core_(config_.scheduler, make_policy(config_.policy_spec)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Server::~Server() { stop(); }
+
+double Server::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Server::start() {
+  if (running_.exchange(true)) return;
+  listener_ = net::TcpListener::bind(config_.port);
+  port_ = listener_.port();
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  housekeeper_ = std::thread([this] { housekeeping_loop(); });
+  LOG_INFO("server listening on 127.0.0.1:" << port_);
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (housekeeper_.joinable()) housekeeper_.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard lock(handlers_mutex_);
+    handlers.swap(handlers_);
+  }
+  for (auto& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+  progress_cv_.notify_all();
+}
+
+ProblemId Server::submit_problem(std::shared_ptr<DataManager> dm) {
+  std::lock_guard lock(core_mutex_);
+  ProblemId id = core_.submit_problem(std::move(dm));
+  progress_cv_.notify_all();
+  return id;
+}
+
+bool Server::wait_for_problem(ProblemId id, double timeout_s) {
+  std::unique_lock lock(core_mutex_);
+  auto done = [&] { return core_.problem_complete(id) || !running_.load(); };
+  if (timeout_s < 0) {
+    progress_cv_.wait(lock, done);
+  } else {
+    progress_cv_.wait_for(lock, std::chrono::duration<double>(timeout_s), done);
+  }
+  return core_.problem_complete(id);
+}
+
+bool Server::wait_for_all(double timeout_s) {
+  std::unique_lock lock(core_mutex_);
+  auto done = [&] { return core_.all_complete() || !running_.load(); };
+  if (timeout_s < 0) {
+    progress_cv_.wait(lock, done);
+  } else {
+    progress_cv_.wait_for(lock, std::chrono::duration<double>(timeout_s), done);
+  }
+  return core_.all_complete();
+}
+
+std::vector<std::byte> Server::final_result(ProblemId id) {
+  std::lock_guard lock(core_mutex_);
+  return core_.final_result(id);
+}
+
+std::vector<std::byte> Server::checkpoint() {
+  std::lock_guard lock(core_mutex_);
+  ByteWriter w;
+  core_.checkpoint(w);
+  return w.take();
+}
+
+void Server::restore_checkpoint(std::span<const std::byte> data) {
+  std::lock_guard lock(core_mutex_);
+  ByteReader r(data);
+  core_.restore(r);
+  r.expect_end();
+  progress_cv_.notify_all();
+}
+
+SchedulerStats Server::stats() {
+  std::lock_guard lock(core_mutex_);
+  return core_.stats();
+}
+
+int Server::connected_clients() { return connected_.load(); }
+
+void Server::acceptor_loop() {
+  while (running_.load()) {
+    std::optional<net::TcpStream> stream;
+    try {
+      stream = listener_.accept(200);
+    } catch (const IoError& e) {
+      if (!running_.load()) break;
+      LOG_ERROR("accept failed: " << e.what());
+      continue;
+    }
+    if (!stream) continue;
+    std::lock_guard lock(handlers_mutex_);
+    handlers_.emplace_back(
+        [this, s = std::move(*stream)]() mutable { handler_loop(std::move(s)); });
+  }
+}
+
+void Server::housekeeping_loop() {
+  while (running_.load()) {
+    {
+      std::lock_guard lock(core_mutex_);
+      core_.tick(now());
+    }
+    progress_cv_.notify_all();
+    std::this_thread::sleep_for(std::chrono::duration<double>(config_.tick_interval_s));
+  }
+}
+
+void Server::handler_loop(net::TcpStream stream) {
+  connected_.fetch_add(1);
+  ClientId client_id = 0;
+  try {
+    while (running_.load()) {
+      if (!stream.readable(200)) continue;
+      net::Message request = net::read_message(stream);
+      net::Message response;
+      bool send_bulk = false;
+      std::vector<std::byte> bulk;
+
+      try {
+      switch (request.type) {
+        case net::MessageType::kHello: {
+          auto hello = decode_hello(request);
+          std::lock_guard lock(core_mutex_);
+          client_id = core_.client_joined(hello.client_name,
+                                          hello.benchmark_ops_per_sec, now());
+          HelloAckPayload ack;
+          ack.client_id = client_id;
+          ack.heartbeat_interval_s = config_.heartbeat_interval_s;
+          response = encode_hello_ack(ack, request.correlation);
+          break;
+        }
+        case net::MessageType::kRequestWork: {
+          ClientId id = decode_request_work(request);
+          std::lock_guard lock(core_mutex_);
+          auto unit = core_.request_work(id, now());
+          if (unit) {
+            response = encode_work_assignment(*unit, request.correlation);
+          } else {
+            NoWorkPayload p;
+            p.retry_after_s = config_.no_work_retry_s;
+            p.all_problems_complete = core_.all_complete();
+            response = encode_no_work(p, request.correlation);
+          }
+          break;
+        }
+        case net::MessageType::kSubmitResult: {
+          auto [id, result] = decode_submit_result(request);
+          ResultAckPayload ack;
+          {
+            std::lock_guard lock(core_mutex_);
+            ack.accepted = core_.submit_result(id, result, now());
+          }
+          progress_cv_.notify_all();
+          response = encode_result_ack(ack, request.correlation);
+          break;
+        }
+        case net::MessageType::kFetchProblemData: {
+          auto fetch = decode_fetch_problem_data(request);
+          ProblemDataHeaderPayload header;
+          header.problem_id = fetch.problem_id;
+          {
+            std::lock_guard lock(core_mutex_);
+            const DataManager& dm = core_.data_manager(fetch.problem_id);
+            header.algorithm_name = dm.algorithm_name();
+            bulk = dm.problem_data();
+          }
+          header.data_bytes = bulk.size();
+          response = encode_problem_data_header(header, request.correlation);
+          send_bulk = true;
+          break;
+        }
+        case net::MessageType::kHeartbeat: {
+          ClientId id = decode_heartbeat(request);
+          {
+            std::lock_guard lock(core_mutex_);
+            core_.heartbeat(id, now());
+          }
+          response.type = net::MessageType::kHeartbeatAck;
+          response.correlation = request.correlation;
+          break;
+        }
+        case net::MessageType::kGoodbye: {
+          ClientId id = decode_goodbye(request);
+          {
+            std::lock_guard lock(core_mutex_);
+            core_.client_left(id, now());
+          }
+          progress_cv_.notify_all();
+          connected_.fetch_sub(1);
+          return;  // client is gone; close the connection
+        }
+        default:
+          response = net::make_error(request.correlation,
+                                     std::string("unexpected message type: ") +
+                                         net::to_string(request.type));
+          break;
+      }
+      } catch (const net::ConnectionClosed&) {
+        throw;  // transport is gone; handled by the outer catch
+      } catch (const Error& e) {
+        // A bad request (unknown problem, expired client, malformed
+        // payload) must not kill the connection: report it to the peer.
+        LOG_WARN("request failed (client " << client_id << "): " << e.what());
+        response = net::make_error(request.correlation, e.what());
+      }
+
+      net::write_message(stream, response);
+      if (send_bulk) net::send_blob(stream, bulk);
+    }
+  } catch (const net::ConnectionClosed&) {
+    LOG_INFO("client connection closed (client " << client_id << ")");
+  } catch (const Error& e) {
+    LOG_WARN("handler error (client " << client_id << "): " << e.what());
+  }
+  if (client_id != 0) {
+    std::lock_guard lock(core_mutex_);
+    core_.client_left(client_id, now());
+  }
+  progress_cv_.notify_all();
+  connected_.fetch_sub(1);
+}
+
+}  // namespace hdcs::dist

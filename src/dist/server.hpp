@@ -1,0 +1,94 @@
+#pragma once
+// TCP server: wraps SchedulerCore with the framed-message protocol.
+//
+// Thread model (mirrors the paper's single PIII-500 server):
+//   - one acceptor thread,
+//   - one handler thread per connected client (request/response loop),
+//   - one housekeeping thread (lease expiry ticks).
+// All SchedulerCore access is serialised by one mutex; handlers do the
+// (cheap) protocol work outside it and the (cheap) scheduling inside it —
+// the donors do the heavy lifting, the server never computes.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dist/scheduler_core.hpp"
+#include "net/socket.hpp"
+
+namespace hdcs::dist {
+
+struct ServerConfig {
+  std::uint16_t port = 0;  // 0 = ephemeral; read back via port()
+  SchedulerConfig scheduler;
+  std::string policy_spec = "adaptive:15";
+  double tick_interval_s = 0.5;
+  double no_work_retry_s = 0.2;
+  double heartbeat_interval_s = 10.0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Start accepting clients.
+  void start();
+
+  /// Stop accepting, close connections, join threads. Idempotent.
+  void stop();
+
+  /// Submit a problem (thread-safe); returns its id.
+  ProblemId submit_problem(std::shared_ptr<DataManager> dm);
+
+  /// Block until the given problem completes (or the server stops).
+  /// Returns true if complete.
+  bool wait_for_problem(ProblemId id, double timeout_s = -1);
+
+  /// Block until every submitted problem completes.
+  bool wait_for_all(double timeout_s = -1);
+
+  [[nodiscard]] std::vector<std::byte> final_result(ProblemId id);
+
+  /// Snapshot all problem progress (thread-safe); see SchedulerCore.
+  [[nodiscard]] std::vector<std::byte> checkpoint();
+  /// Restore a checkpoint taken by an earlier server instance. Call after
+  /// re-submitting the same problems (same inputs, same order), before
+  /// donors connect.
+  void restore_checkpoint(std::span<const std::byte> data);
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] SchedulerStats stats();
+  [[nodiscard]] int connected_clients();
+
+ private:
+  void acceptor_loop();
+  void handler_loop(net::TcpStream stream);
+  void housekeeping_loop();
+  double now() const;
+
+  ServerConfig config_;
+  net::TcpListener listener_;
+  std::uint16_t port_ = 0;
+
+  std::mutex core_mutex_;
+  SchedulerCore core_;
+  std::condition_variable progress_cv_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<int> connected_{0};
+  std::thread acceptor_;
+  std::thread housekeeper_;
+  std::mutex handlers_mutex_;
+  std::vector<std::thread> handlers_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace hdcs::dist

@@ -1,0 +1,221 @@
+#include "dist/wire.hpp"
+
+#include "util/error.hpp"
+
+namespace hdcs::dist {
+
+namespace {
+void check_type(const net::Message& m, net::MessageType expected) {
+  if (m.type != expected) {
+    throw ProtocolError(std::string("expected ") + net::to_string(expected) +
+                        " frame, got " + net::to_string(m.type));
+  }
+}
+
+net::Message make(net::MessageType type, std::uint64_t correlation, ByteWriter w) {
+  net::Message m;
+  m.type = type;
+  m.correlation = correlation;
+  m.payload = w.take();
+  return m;
+}
+}  // namespace
+
+net::Message encode_hello(const HelloPayload& p, std::uint64_t correlation) {
+  ByteWriter w;
+  w.str(p.client_name);
+  w.u32(p.cores);
+  w.f64(p.benchmark_ops_per_sec);
+  return make(net::MessageType::kHello, correlation, std::move(w));
+}
+
+HelloPayload decode_hello(const net::Message& m) {
+  check_type(m, net::MessageType::kHello);
+  auto r = m.reader();
+  HelloPayload p;
+  p.client_name = r.str();
+  p.cores = r.u32();
+  p.benchmark_ops_per_sec = r.f64();
+  r.expect_end();
+  return p;
+}
+
+net::Message encode_hello_ack(const HelloAckPayload& p, std::uint64_t correlation) {
+  ByteWriter w;
+  w.u64(p.client_id);
+  w.f64(p.heartbeat_interval_s);
+  return make(net::MessageType::kHelloAck, correlation, std::move(w));
+}
+
+HelloAckPayload decode_hello_ack(const net::Message& m) {
+  check_type(m, net::MessageType::kHelloAck);
+  auto r = m.reader();
+  HelloAckPayload p;
+  p.client_id = r.u64();
+  p.heartbeat_interval_s = r.f64();
+  r.expect_end();
+  return p;
+}
+
+net::Message encode_request_work(ClientId client, std::uint64_t correlation) {
+  ByteWriter w;
+  w.u64(client);
+  return make(net::MessageType::kRequestWork, correlation, std::move(w));
+}
+
+ClientId decode_request_work(const net::Message& m) {
+  check_type(m, net::MessageType::kRequestWork);
+  auto r = m.reader();
+  ClientId id = r.u64();
+  r.expect_end();
+  return id;
+}
+
+namespace {
+void write_unit_fields(ByteWriter& w, ProblemId pid, UnitId uid, std::uint32_t stage) {
+  w.u64(pid);
+  w.u64(uid);
+  w.u32(stage);
+}
+}  // namespace
+
+net::Message encode_work_assignment(const WorkUnit& unit, std::uint64_t correlation) {
+  ByteWriter w;
+  write_unit_fields(w, unit.problem_id, unit.unit_id, unit.stage);
+  w.f64(unit.cost_ops);
+  w.bytes(unit.payload);
+  return make(net::MessageType::kWorkAssignment, correlation, std::move(w));
+}
+
+WorkUnit decode_work_assignment(const net::Message& m) {
+  check_type(m, net::MessageType::kWorkAssignment);
+  auto r = m.reader();
+  WorkUnit unit;
+  unit.problem_id = r.u64();
+  unit.unit_id = r.u64();
+  unit.stage = r.u32();
+  unit.cost_ops = r.f64();
+  unit.payload = r.bytes();
+  r.expect_end();
+  return unit;
+}
+
+net::Message encode_no_work(const NoWorkPayload& p, std::uint64_t correlation) {
+  ByteWriter w;
+  w.f64(p.retry_after_s);
+  w.boolean(p.all_problems_complete);
+  return make(net::MessageType::kNoWorkAvailable, correlation, std::move(w));
+}
+
+NoWorkPayload decode_no_work(const net::Message& m) {
+  check_type(m, net::MessageType::kNoWorkAvailable);
+  auto r = m.reader();
+  NoWorkPayload p;
+  p.retry_after_s = r.f64();
+  p.all_problems_complete = r.boolean();
+  r.expect_end();
+  return p;
+}
+
+net::Message encode_submit_result(ClientId client, const ResultUnit& result,
+                                  std::uint64_t correlation) {
+  ByteWriter w;
+  w.u64(client);
+  write_unit_fields(w, result.problem_id, result.unit_id, result.stage);
+  w.bytes(result.payload);
+  return make(net::MessageType::kSubmitResult, correlation, std::move(w));
+}
+
+std::pair<ClientId, ResultUnit> decode_submit_result(const net::Message& m) {
+  check_type(m, net::MessageType::kSubmitResult);
+  auto r = m.reader();
+  ClientId client = r.u64();
+  ResultUnit result;
+  result.problem_id = r.u64();
+  result.unit_id = r.u64();
+  result.stage = r.u32();
+  result.payload = r.bytes();
+  r.expect_end();
+  return {client, std::move(result)};
+}
+
+net::Message encode_result_ack(const ResultAckPayload& p, std::uint64_t correlation) {
+  ByteWriter w;
+  w.boolean(p.accepted);
+  return make(net::MessageType::kResultAck, correlation, std::move(w));
+}
+
+ResultAckPayload decode_result_ack(const net::Message& m) {
+  check_type(m, net::MessageType::kResultAck);
+  auto r = m.reader();
+  ResultAckPayload p;
+  p.accepted = r.boolean();
+  r.expect_end();
+  return p;
+}
+
+net::Message encode_fetch_problem_data(const FetchProblemDataPayload& p,
+                                       std::uint64_t correlation) {
+  ByteWriter w;
+  w.u64(p.problem_id);
+  return make(net::MessageType::kFetchProblemData, correlation, std::move(w));
+}
+
+FetchProblemDataPayload decode_fetch_problem_data(const net::Message& m) {
+  check_type(m, net::MessageType::kFetchProblemData);
+  auto r = m.reader();
+  FetchProblemDataPayload p;
+  p.problem_id = r.u64();
+  r.expect_end();
+  return p;
+}
+
+net::Message encode_problem_data_header(const ProblemDataHeaderPayload& p,
+                                        std::uint64_t correlation) {
+  ByteWriter w;
+  w.u64(p.problem_id);
+  w.str(p.algorithm_name);
+  w.u64(p.data_bytes);
+  return make(net::MessageType::kProblemData, correlation, std::move(w));
+}
+
+ProblemDataHeaderPayload decode_problem_data_header(const net::Message& m) {
+  check_type(m, net::MessageType::kProblemData);
+  auto r = m.reader();
+  ProblemDataHeaderPayload p;
+  p.problem_id = r.u64();
+  p.algorithm_name = r.str();
+  p.data_bytes = r.u64();
+  r.expect_end();
+  return p;
+}
+
+net::Message encode_heartbeat(ClientId client, std::uint64_t correlation) {
+  ByteWriter w;
+  w.u64(client);
+  return make(net::MessageType::kHeartbeat, correlation, std::move(w));
+}
+
+ClientId decode_heartbeat(const net::Message& m) {
+  check_type(m, net::MessageType::kHeartbeat);
+  auto r = m.reader();
+  ClientId id = r.u64();
+  r.expect_end();
+  return id;
+}
+
+net::Message encode_goodbye(ClientId client, std::uint64_t correlation) {
+  ByteWriter w;
+  w.u64(client);
+  return make(net::MessageType::kGoodbye, correlation, std::move(w));
+}
+
+ClientId decode_goodbye(const net::Message& m) {
+  check_type(m, net::MessageType::kGoodbye);
+  auto r = m.reader();
+  ClientId id = r.u64();
+  r.expect_end();
+  return id;
+}
+
+}  // namespace hdcs::dist

@@ -1,0 +1,82 @@
+#pragma once
+// Wire encodings of the dist-layer message payloads.
+//
+// Kept separate from SchedulerCore so the scheduler stays transport-free.
+// Every encode has a matching decode; round-trip tests pin the format.
+
+#include <cstdint>
+#include <string>
+
+#include "dist/work.hpp"
+#include "net/message.hpp"
+
+namespace hdcs::dist {
+
+struct HelloPayload {
+  std::string client_name;
+  std::uint32_t cores = 1;
+  double benchmark_ops_per_sec = 0;
+};
+
+struct HelloAckPayload {
+  ClientId client_id = 0;
+  double heartbeat_interval_s = 30.0;
+};
+
+struct NoWorkPayload {
+  double retry_after_s = 1.0;
+  bool all_problems_complete = false;
+};
+
+struct FetchProblemDataPayload {
+  ProblemId problem_id = 0;
+};
+
+struct ProblemDataHeaderPayload {
+  ProblemId problem_id = 0;
+  std::string algorithm_name;
+  /// The blob itself follows on the bulk channel after this frame.
+  std::uint64_t data_bytes = 0;
+};
+
+struct ResultAckPayload {
+  bool accepted = false;
+};
+
+net::Message encode_hello(const HelloPayload& p, std::uint64_t correlation);
+HelloPayload decode_hello(const net::Message& m);
+
+net::Message encode_hello_ack(const HelloAckPayload& p, std::uint64_t correlation);
+HelloAckPayload decode_hello_ack(const net::Message& m);
+
+net::Message encode_request_work(ClientId client, std::uint64_t correlation);
+ClientId decode_request_work(const net::Message& m);
+
+net::Message encode_work_assignment(const WorkUnit& unit, std::uint64_t correlation);
+WorkUnit decode_work_assignment(const net::Message& m);
+
+net::Message encode_no_work(const NoWorkPayload& p, std::uint64_t correlation);
+NoWorkPayload decode_no_work(const net::Message& m);
+
+net::Message encode_submit_result(ClientId client, const ResultUnit& result,
+                                  std::uint64_t correlation);
+std::pair<ClientId, ResultUnit> decode_submit_result(const net::Message& m);
+
+net::Message encode_result_ack(const ResultAckPayload& p, std::uint64_t correlation);
+ResultAckPayload decode_result_ack(const net::Message& m);
+
+net::Message encode_fetch_problem_data(const FetchProblemDataPayload& p,
+                                       std::uint64_t correlation);
+FetchProblemDataPayload decode_fetch_problem_data(const net::Message& m);
+
+net::Message encode_problem_data_header(const ProblemDataHeaderPayload& p,
+                                        std::uint64_t correlation);
+ProblemDataHeaderPayload decode_problem_data_header(const net::Message& m);
+
+net::Message encode_heartbeat(ClientId client, std::uint64_t correlation);
+ClientId decode_heartbeat(const net::Message& m);
+
+net::Message encode_goodbye(ClientId client, std::uint64_t correlation);
+ClientId decode_goodbye(const net::Message& m);
+
+}  // namespace hdcs::dist

@@ -1,0 +1,35 @@
+#pragma once
+// Work and result units — the currency of the distributed system.
+//
+// A DataManager partitions a Problem into WorkUnits; an Algorithm turns a
+// WorkUnit into a ResultUnit; the DataManager merges ResultUnits back into
+// the final answer (paper §2.1). Payloads are opaque application bytes.
+
+#include <cstdint>
+#include <vector>
+
+namespace hdcs::dist {
+
+using ProblemId = std::uint64_t;
+using UnitId = std::uint64_t;
+using ClientId = std::uint64_t;
+
+struct WorkUnit {
+  ProblemId problem_id = 0;  // assigned by the scheduler
+  UnitId unit_id = 0;        // assigned by the scheduler, unique per problem run
+  std::uint32_t stage = 0;   // stage index for staged computations (DPRml)
+  /// Estimated abstract cost ("ops") of this unit. Filled by the
+  /// DataManager; used for granularity adaptation and by the simulator's
+  /// machine cost model. Must be > 0.
+  double cost_ops = 0;
+  std::vector<std::byte> payload;
+};
+
+struct ResultUnit {
+  ProblemId problem_id = 0;
+  UnitId unit_id = 0;
+  std::uint32_t stage = 0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace hdcs::dist

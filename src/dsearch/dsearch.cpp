@@ -1,0 +1,314 @@
+#include "dsearch/dsearch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hdcs::dsearch {
+
+DSearchConfig DSearchConfig::from_config(const Config& cfg) {
+  DSearchConfig c;
+  c.mode = bio::parse_align_mode(cfg.get_str("algorithm", "local"));
+  c.scoring = to_lower(cfg.get_str("scoring", "blosum62"));
+  c.gap_open = static_cast<int>(cfg.get_i64("gap_open", -1));
+  c.gap_extend = static_cast<int>(cfg.get_i64("gap_extend", -1));
+  auto top_k = cfg.get_i64("top_k", 20);
+  if (top_k < 1) throw InputError("top_k must be >= 1");
+  c.top_k = static_cast<std::size_t>(top_k);
+  auto band = cfg.get_i64("band", 16);
+  if (band < 1) throw InputError("band must be >= 1");
+  c.band = static_cast<std::size_t>(band);
+  c.cost_scale = cfg.get_f64("cost_scale", 1.0);
+  if (c.cost_scale <= 0) throw InputError("cost_scale must be > 0");
+  (void)c.make_scheme();  // validate the scoring name early
+  return c;
+}
+
+bio::ScoringScheme DSearchConfig::make_scheme() const {
+  return bio::ScoringScheme::from_name(scoring, gap_open, gap_extend);
+}
+
+double QueryScoreStats::stddev() const {
+  if (count < 2) return 0;
+  double m = mean();
+  double var = sum_squares / static_cast<double>(count) - m * m;
+  return var > 0 ? std::sqrt(var) : 0;
+}
+
+double QueryScoreStats::z_score(double score) const {
+  double sd = stddev();
+  if (sd <= 0) return 0;
+  return (score - mean()) / sd;
+}
+
+// ---- wire helpers ----
+
+void encode_config(ByteWriter& w, const DSearchConfig& config) {
+  w.u8(static_cast<std::uint8_t>(config.mode));
+  w.str(config.scoring);
+  w.i32(config.gap_open);
+  w.i32(config.gap_extend);
+  w.u32(static_cast<std::uint32_t>(config.top_k));
+  w.u32(static_cast<std::uint32_t>(config.band));
+  w.f64(config.cost_scale);
+}
+
+DSearchConfig decode_config(ByteReader& r) {
+  DSearchConfig c;
+  c.mode = static_cast<bio::AlignMode>(r.u8());
+  c.scoring = r.str();
+  c.gap_open = r.i32();
+  c.gap_extend = r.i32();
+  c.top_k = r.u32();
+  c.band = r.u32();
+  c.cost_scale = r.f64();
+  return c;
+}
+
+void encode_sequences(ByteWriter& w, const std::vector<bio::Sequence>& seqs) {
+  w.u32(static_cast<std::uint32_t>(seqs.size()));
+  for (const auto& s : seqs) {
+    w.str(s.id);
+    w.str(s.residues);
+  }
+}
+
+std::vector<bio::Sequence> decode_sequences(ByteReader& r) {
+  std::uint32_t n = r.u32();
+  std::vector<bio::Sequence> seqs;
+  seqs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    bio::Sequence s;
+    s.id = r.str();
+    s.residues = r.str();
+    seqs.push_back(std::move(s));
+  }
+  return seqs;
+}
+
+void encode_result(ByteWriter& w, const SearchResult& result) {
+  w.u32(static_cast<std::uint32_t>(result.size()));
+  for (const auto& hits : result) {
+    w.u32(static_cast<std::uint32_t>(hits.size()));
+    for (const auto& h : hits) {
+      w.str(h.db_id);
+      w.i64(h.score);
+    }
+  }
+}
+
+SearchResult decode_result(ByteReader& r) {
+  SearchResult result(r.u32());
+  for (auto& hits : result) {
+    hits.resize(r.u32());
+    for (auto& h : hits) {
+      h.db_id = r.str();
+      h.score = r.i64();
+    }
+  }
+  return result;
+}
+
+void encode_stats(ByteWriter& w, const std::vector<QueryScoreStats>& stats) {
+  w.u32(static_cast<std::uint32_t>(stats.size()));
+  for (const auto& s : stats) {
+    w.u64(s.count);
+    w.f64(s.sum);
+    w.f64(s.sum_squares);
+  }
+}
+
+std::vector<QueryScoreStats> decode_stats(ByteReader& r) {
+  std::vector<QueryScoreStats> stats(r.u32());
+  for (auto& s : stats) {
+    s.count = r.u64();
+    s.sum = r.f64();
+    s.sum_squares = r.f64();
+  }
+  return stats;
+}
+
+void merge_topk(SearchResult& accumulated, const SearchResult& incoming,
+                std::size_t top_k) {
+  if (accumulated.size() != incoming.size()) {
+    throw Error("merge_topk: query count mismatch");
+  }
+  for (std::size_t q = 0; q < accumulated.size(); ++q) {
+    auto& acc = accumulated[q];
+    acc.insert(acc.end(), incoming[q].begin(), incoming[q].end());
+    std::sort(acc.begin(), acc.end());
+    if (acc.size() > top_k) acc.resize(top_k);
+  }
+}
+
+namespace {
+/// Score one chunk of database sequences against all queries; returns
+/// per-query top-k (already sorted).
+SearchResult search_chunk(const std::vector<bio::Sequence>& queries,
+                          const std::vector<bio::Sequence>& chunk,
+                          const DSearchConfig& config,
+                          const bio::ScoringScheme& scheme,
+                          std::vector<QueryScoreStats>* stats = nullptr) {
+  SearchResult result(queries.size());
+  if (stats) stats->assign(queries.size(), QueryScoreStats{});
+  for (const auto& db_seq : chunk) {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      Hit hit;
+      hit.db_id = db_seq.id;
+      hit.score = bio::align_score(config.mode, queries[q].residues,
+                                   db_seq.residues, scheme, config.band);
+      if (stats) (*stats)[q].add(static_cast<double>(hit.score));
+      result[q].push_back(std::move(hit));
+    }
+  }
+  for (auto& hits : result) {
+    std::sort(hits.begin(), hits.end());
+    if (hits.size() > config.top_k) hits.resize(config.top_k);
+  }
+  return result;
+}
+}  // namespace
+
+SearchResult search_serial(const std::vector<bio::Sequence>& queries,
+                           const std::vector<bio::Sequence>& database,
+                           const DSearchConfig& config,
+                           std::vector<QueryScoreStats>* stats) {
+  auto scheme = config.make_scheme();
+  return search_chunk(queries, database, config, scheme, stats);
+}
+
+// ---- DataManager ----
+
+DSearchDataManager::DSearchDataManager(std::vector<bio::Sequence> queries,
+                                       std::vector<bio::Sequence> database,
+                                       DSearchConfig config)
+    : queries_(std::move(queries)),
+      database_(std::move(database)),
+      config_(std::move(config)),
+      merged_(queries_.size()),
+      stats_(queries_.size()) {
+  if (queries_.empty()) throw InputError("DSEARCH: no query sequences");
+  if (database_.empty()) throw InputError("DSEARCH: empty database");
+  total_query_len_ = bio::total_residues(queries_);
+  if (total_query_len_ == 0) throw InputError("DSEARCH: empty queries");
+}
+
+std::string DSearchDataManager::algorithm_name() const { return kAlgorithmName; }
+
+std::vector<std::byte> DSearchDataManager::problem_data() const {
+  ByteWriter w;
+  encode_config(w, config_);
+  encode_sequences(w, queries_);
+  return w.take();
+}
+
+std::optional<dist::WorkUnit> DSearchDataManager::next_unit(
+    const dist::SizeHint& hint) {
+  if (cursor_ >= database_.size()) return std::nullopt;
+
+  // Dynamically sized chunk: accumulate database sequences until the DP
+  // cell count reaches the scheduler's target for this donor.
+  std::size_t begin = cursor_;
+  double cost = 0;
+  while (cursor_ < database_.size()) {
+    double seq_cost = config_.cost_scale *
+                      bio::alignment_cost_ops(total_query_len_,
+                                              database_[cursor_].length());
+    if (cursor_ > begin && cost + seq_cost > hint.target_ops) break;
+    cost += seq_cost;
+    ++cursor_;
+  }
+
+  dist::WorkUnit unit;
+  unit.stage = 0;
+  unit.cost_ops = cost;
+  ByteWriter w;
+  std::vector<bio::Sequence> chunk(database_.begin() + begin,
+                                   database_.begin() + cursor_);
+  encode_sequences(w, chunk);
+  unit.payload = w.take();
+  ++outstanding_;
+  return unit;
+}
+
+void DSearchDataManager::accept_result(const dist::ResultUnit& result) {
+  ByteReader r(result.payload);
+  auto chunk_result = decode_result(r);
+  auto chunk_stats = decode_stats(r);
+  r.expect_end();
+  merge_topk(merged_, chunk_result, config_.top_k);
+  if (chunk_stats.size() != stats_.size()) {
+    throw Error("DSEARCH: stats query-count mismatch");
+  }
+  for (std::size_t q = 0; q < stats_.size(); ++q) {
+    stats_[q].merge(chunk_stats[q]);
+  }
+  --outstanding_;
+}
+
+bool DSearchDataManager::is_complete() const {
+  return cursor_ >= database_.size() && outstanding_ == 0;
+}
+
+std::vector<std::byte> DSearchDataManager::final_result() const {
+  ByteWriter w;
+  encode_result(w, merged_);
+  encode_stats(w, stats_);
+  return w.take();
+}
+
+double DSearchDataManager::remaining_ops_estimate() const {
+  double ops = 0;
+  for (std::size_t i = cursor_; i < database_.size(); ++i) {
+    ops += bio::alignment_cost_ops(total_query_len_, database_[i].length());
+  }
+  return ops * config_.cost_scale;
+}
+
+SearchResult DSearchDataManager::result() const { return merged_; }
+
+void DSearchDataManager::snapshot(ByteWriter& w) const {
+  w.u64(cursor_);
+  w.i32(outstanding_);
+  encode_result(w, merged_);
+  encode_stats(w, stats_);
+}
+
+void DSearchDataManager::restore(ByteReader& r) {
+  cursor_ = r.u64();
+  outstanding_ = r.i32();
+  merged_ = decode_result(r);
+  stats_ = decode_stats(r);
+}
+
+// ---- Algorithm ----
+
+void DSearchAlgorithm::initialize(std::span<const std::byte> problem_data) {
+  ByteReader r(problem_data);
+  config_ = decode_config(r);
+  queries_ = decode_sequences(r);
+  r.expect_end();
+  scheme_ = config_.make_scheme();
+}
+
+std::vector<std::byte> DSearchAlgorithm::process(const dist::WorkUnit& unit) {
+  if (!scheme_) throw Error("DSearchAlgorithm: process before initialize");
+  ByteReader r(unit.payload);
+  auto chunk = decode_sequences(r);
+  r.expect_end();
+  std::vector<QueryScoreStats> stats;
+  auto result = search_chunk(queries_, chunk, config_, *scheme_, &stats);
+  ByteWriter w;
+  encode_result(w, result);
+  encode_stats(w, stats);
+  return w.take();
+}
+
+void register_algorithm() {
+  dist::AlgorithmRegistry::global().replace(
+      kAlgorithmName, [] { return std::make_unique<DSearchAlgorithm>(); });
+}
+
+}  // namespace hdcs::dsearch

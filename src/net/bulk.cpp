@@ -1,0 +1,67 @@
+#include "net/bulk.hpp"
+
+#include <array>
+
+#include "util/byte_buffer.hpp"
+
+namespace hdcs::net {
+
+namespace {
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  static const auto table = make_crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (std::byte b : data) {
+    c = table[(c ^ static_cast<std::uint8_t>(b)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void send_blob(TcpStream& stream, std::span<const std::byte> data) {
+  ByteWriter header(12);
+  header.u64(data.size());
+  header.u32(crc32(data));
+  stream.send_all(header.data());
+  std::size_t off = 0;
+  while (off < data.size()) {
+    std::size_t n = std::min(kBulkChunk, data.size() - off);
+    stream.send_all(data.subspan(off, n));
+    off += n;
+  }
+}
+
+std::vector<std::byte> recv_blob(TcpStream& stream, std::size_t max_bytes) {
+  std::byte header_buf[12];
+  stream.recv_all(header_buf);
+  ByteReader header(header_buf);
+  std::uint64_t size = header.u64();
+  std::uint32_t expected_crc = header.u32();
+  if (size > max_bytes) {
+    throw IoError("bulk blob too large: " + std::to_string(size) + " bytes");
+  }
+  std::vector<std::byte> data(size);
+  std::size_t off = 0;
+  while (off < data.size()) {
+    std::size_t n = std::min(kBulkChunk, data.size() - off);
+    stream.recv_all(std::span(data).subspan(off, n));
+    off += n;
+  }
+  if (crc32(data) != expected_crc) {
+    throw ProtocolError("bulk blob CRC mismatch");
+  }
+  return data;
+}
+
+}  // namespace hdcs::net

@@ -1,0 +1,31 @@
+#pragma once
+// Bulk data channel.
+//
+// "Data files, which may be large, are transmitted using ordinary sockets,
+// which is more efficient than RMI" (paper §2.2). Control frames are capped
+// at kMaxPayload; anything bigger — a FASTA database, an alignment — moves
+// through this chunked transfer with a leading u64 length and a trailing
+// CRC32 so truncation or corruption is detected rather than silently merged.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace hdcs::net {
+
+inline constexpr std::size_t kBulkChunk = 256 * 1024;
+
+/// CRC-32 (IEEE, reflected) of a byte span.
+std::uint32_t crc32(std::span<const std::byte> data);
+
+/// Send length + chunks + CRC.
+void send_blob(TcpStream& stream, std::span<const std::byte> data);
+
+/// Receive a blob; throws ProtocolError on CRC mismatch, IoError on size
+/// above max_bytes (guards against a corrupt length header allocating GBs).
+std::vector<std::byte> recv_blob(TcpStream& stream,
+                                 std::size_t max_bytes = 1ull << 32);
+
+}  // namespace hdcs::net

@@ -1,0 +1,70 @@
+#include "net/message.hpp"
+
+namespace hdcs::net {
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kHello: return "Hello";
+    case MessageType::kRequestWork: return "RequestWork";
+    case MessageType::kSubmitResult: return "SubmitResult";
+    case MessageType::kHeartbeat: return "Heartbeat";
+    case MessageType::kFetchProblemData: return "FetchProblemData";
+    case MessageType::kGoodbye: return "Goodbye";
+    case MessageType::kHelloAck: return "HelloAck";
+    case MessageType::kWorkAssignment: return "WorkAssignment";
+    case MessageType::kNoWorkAvailable: return "NoWorkAvailable";
+    case MessageType::kProblemData: return "ProblemData";
+    case MessageType::kResultAck: return "ResultAck";
+    case MessageType::kHeartbeatAck: return "HeartbeatAck";
+    case MessageType::kShutdown: return "Shutdown";
+    case MessageType::kError: return "Error";
+  }
+  return "Unknown";
+}
+
+void write_message(TcpStream& stream, const Message& msg) {
+  ByteWriter header(24);
+  header.u32(kMagic);
+  header.u16(kProtocolVersion);
+  header.u16(static_cast<std::uint16_t>(msg.type));
+  header.u64(msg.correlation);
+  header.u32(static_cast<std::uint32_t>(msg.payload.size()));
+  stream.send_all(header.data());
+  if (!msg.payload.empty()) stream.send_all(msg.payload);
+}
+
+Message read_message(TcpStream& stream) {
+  std::byte header_buf[20];
+  stream.recv_all(header_buf);
+  ByteReader header(header_buf);
+  std::uint32_t magic = header.u32();
+  if (magic != kMagic) {
+    throw ProtocolError("bad frame magic 0x" + std::to_string(magic));
+  }
+  std::uint16_t version = header.u16();
+  if (version != kProtocolVersion) {
+    throw ProtocolError("unsupported protocol version " + std::to_string(version));
+  }
+  Message msg;
+  msg.type = static_cast<MessageType>(header.u16());
+  msg.correlation = header.u64();
+  std::uint32_t len = header.u32();
+  if (len > kMaxPayload) {
+    throw ProtocolError("frame payload too large: " + std::to_string(len));
+  }
+  msg.payload.resize(len);
+  if (len > 0) stream.recv_all(msg.payload);
+  return msg;
+}
+
+Message make_error(std::uint64_t correlation, const std::string& text) {
+  Message msg;
+  msg.type = MessageType::kError;
+  msg.correlation = correlation;
+  ByteWriter w;
+  w.str(text);
+  msg.payload = w.take();
+  return msg;
+}
+
+}  // namespace hdcs::net

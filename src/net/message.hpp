@@ -1,0 +1,69 @@
+#pragma once
+// Framed control-plane messages — the C++ stand-in for the paper's Java RMI.
+//
+// Wire frame:   magic(u32) version(u16) type(u16) correlation(u64)
+//               payload_len(u32) payload[payload_len]
+//
+// RMI gives the Java system typed request/response calls between the client,
+// server and remote interface. We reproduce the same semantics with a typed
+// message enum and a correlation id the requester chooses and the responder
+// echoes. Payloads are ByteWriter-encoded by the dist layer.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace hdcs::net {
+
+inline constexpr std::uint32_t kMagic = 0x48444353;  // "HDCS"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Upper bound on a single frame; bulk data uses the chunked bulk channel.
+inline constexpr std::uint32_t kMaxPayload = 64u * 1024 * 1024;
+
+enum class MessageType : std::uint16_t {
+  // Client -> server
+  kHello = 1,          // client registers: name, cores, benchmark score
+  kRequestWork = 2,    // idle worker asks for a unit
+  kSubmitResult = 3,   // finished unit's result payload
+  kHeartbeat = 4,      // liveness + progress
+  kFetchProblemData = 5,  // ask for a problem's bulk input data
+  kGoodbye = 6,        // orderly departure (donor machine reclaimed)
+
+  // Server -> client
+  kHelloAck = 32,      // assigned client id
+  kWorkAssignment = 33,  // a WorkUnit
+  kNoWorkAvailable = 34,  // nothing to do right now; retry after delay
+  kProblemData = 35,   // bulk data header (payload follows on bulk channel)
+  kResultAck = 36,
+  kHeartbeatAck = 37,
+  kShutdown = 38,      // server is stopping; client should exit
+
+  // Either direction
+  kError = 64,
+};
+
+const char* to_string(MessageType type);
+
+struct Message {
+  MessageType type = MessageType::kError;
+  std::uint64_t correlation = 0;
+  std::vector<std::byte> payload;
+
+  [[nodiscard]] ByteReader reader() const { return ByteReader(payload); }
+};
+
+/// Write one frame. Throws IoError on transport failure.
+void write_message(TcpStream& stream, const Message& msg);
+
+/// Read one frame. Throws ProtocolError on bad magic/version/length,
+/// ConnectionClosed on clean EOF at a frame boundary.
+Message read_message(TcpStream& stream);
+
+/// Convenience: build a message whose payload is a single string (errors).
+Message make_error(std::uint64_t correlation, const std::string& text);
+
+}  // namespace hdcs::net

@@ -1,0 +1,170 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hdcs::net {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw IoError("invalid IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("connect to " + host + ":" + std::to_string(port));
+  }
+  TcpStream stream(std::move(sock));
+  stream.set_nodelay(true);
+  return stream;
+}
+
+void TcpStream::send_all(std::span<const std::byte> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(sock_.fd(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) throw ConnectionClosed();
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void TcpStream::recv_all(std::span<std::byte> data) {
+  std::size_t got = 0;
+  while (got < data.size()) {
+    ssize_t n = ::recv(sock_.fd(), data.data() + got, data.size() - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) throw ConnectionClosed();
+      throw_errno("recv");
+    }
+    if (n == 0) throw ConnectionClosed();
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t TcpStream::recv_some(std::span<std::byte> data) {
+  for (;;) {
+    ssize_t n = ::recv(sock_.fd(), data.data(), data.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return 0;
+      throw_errno("recv");
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+bool TcpStream::readable(int timeout_ms) const {
+  pollfd pfd{};
+  pfd.fd = sock_.fd();
+  pfd.events = POLLIN;
+  int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return false;
+    throw_errno("poll");
+  }
+  return rc > 0;
+}
+
+void TcpStream::set_nodelay(bool on) {
+  int v = on ? 1 : 0;
+  if (::setsockopt(sock_.fd(), IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)) != 0) {
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+void TcpStream::shutdown_write() {
+  ::shutdown(sock_.fd(), SHUT_WR);  // best-effort; peer may already be gone
+}
+
+TcpListener TcpListener::bind(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  TcpListener listener;
+  listener.sock_ = Socket(fd);
+
+  int reuse = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse)) != 0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind port " + std::to_string(port));
+  }
+  if (::listen(fd, 128) != 0) throw_errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+std::optional<TcpStream> TcpListener::accept(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = sock_.fd();
+  pfd.events = POLLIN;
+  int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return std::nullopt;
+    throw_errno("poll");
+  }
+  if (rc == 0) return std::nullopt;
+  int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return std::nullopt;
+    throw_errno("accept");
+  }
+  TcpStream stream{Socket(fd)};
+  stream.set_nodelay(true);
+  return stream;
+}
+
+}  // namespace hdcs::net

@@ -1,0 +1,94 @@
+#pragma once
+// RAII TCP sockets (POSIX).
+//
+// The paper's system uses Java RMI for control traffic and plain sockets for
+// bulk data. In C++ both ride on these wrappers: TcpListener accepts,
+// TcpStream moves bytes. All errors surface as hdcs::IoError; EOF during a
+// full-length read is a distinct ConnectionClosed so callers can tell a
+// clean peer shutdown from corruption.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace hdcs::net {
+
+/// Peer closed the connection mid-read.
+class ConnectionClosed : public IoError {
+ public:
+  ConnectionClosed() : IoError("connection closed by peer") {}
+};
+
+/// Owns a socket file descriptor; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connected TCP stream with whole-buffer send/recv.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(Socket sock) : sock_(std::move(sock)) {}
+
+  /// Connect to host:port; throws IoError on failure.
+  static TcpStream connect(const std::string& host, std::uint16_t port);
+
+  /// Send the entire buffer; throws IoError / ConnectionClosed.
+  void send_all(std::span<const std::byte> data);
+
+  /// Receive exactly data.size() bytes; throws ConnectionClosed on EOF.
+  void recv_all(std::span<std::byte> data);
+
+  /// Receive up to data.size() bytes; returns 0 on orderly EOF.
+  std::size_t recv_some(std::span<std::byte> data);
+
+  /// Returns true if a read would not block within timeout_ms.
+  [[nodiscard]] bool readable(int timeout_ms) const;
+
+  void set_nodelay(bool on);
+  void shutdown_write();
+  void close() { sock_.close(); }
+  [[nodiscard]] bool valid() const { return sock_.valid(); }
+  [[nodiscard]] int fd() const { return sock_.fd(); }
+
+ private:
+  Socket sock_;
+};
+
+/// Listening TCP socket bound to 127.0.0.1 (this repo only talks loopback).
+class TcpListener {
+ public:
+  /// Bind+listen; port 0 picks an ephemeral port (see port()).
+  static TcpListener bind(std::uint16_t port);
+
+  /// Accept one connection; nullopt on timeout.
+  std::optional<TcpStream> accept(int timeout_ms);
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  void close() { sock_.close(); }
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace hdcs::net

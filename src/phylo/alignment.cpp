@@ -1,0 +1,172 @@
+#include "phylo/alignment.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "bio/fasta.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hdcs::phylo {
+
+void Alignment::validate() const {
+  if (names.size() != rows.size()) {
+    throw InputError("alignment: names/rows size mismatch");
+  }
+  if (names.empty()) throw InputError("alignment: no sequences");
+  std::size_t width = rows.front().size();
+  if (width == 0) throw InputError("alignment: zero-length sequences");
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i].empty()) throw InputError("alignment: empty taxon name");
+    if (!seen.insert(names[i]).second) {
+      throw InputError("alignment: duplicate taxon name: " + names[i]);
+    }
+    if (rows[i].size() != width) {
+      throw InputError("alignment: row '" + names[i] + "' length " +
+                       std::to_string(rows[i].size()) + " != " +
+                       std::to_string(width));
+    }
+    for (char c : rows[i]) {
+      if (c != '-' && c != 'N' && bio::dna_index(c) == 4) {
+        throw InputError(std::string("alignment: invalid character '") + c +
+                         "' in row '" + names[i] + "'");
+      }
+    }
+  }
+}
+
+Alignment Alignment::from_fasta(std::string_view text) {
+  Alignment aln;
+  // Parse leniently ourselves: rows may contain '-' which bio::parse_fasta
+  // rejects for plain sequences.
+  std::string current_name;
+  std::string current_row;
+  auto flush = [&] {
+    if (!current_name.empty()) {
+      aln.names.push_back(current_name);
+      aln.rows.push_back(current_row);
+    }
+    current_name.clear();
+    current_row.clear();
+  };
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    auto line = trim(text.substr(start, end - start));
+    if (!line.empty()) {
+      if (line.front() == '>') {
+        flush();
+        auto header = trim(line.substr(1));
+        auto space = header.find_first_of(" \t");
+        current_name = std::string(
+            space == std::string_view::npos ? header : header.substr(0, space));
+      } else {
+        if (current_name.empty()) {
+          throw InputError("alignment FASTA: data before first header");
+        }
+        for (char c : line) current_row.push_back(
+            static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+      }
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  flush();
+  aln.validate();
+  return aln;
+}
+
+std::string Alignment::to_fasta() const {
+  std::string out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out.push_back('>');
+    out += names[i];
+    out.push_back('\n');
+    for (std::size_t j = 0; j < rows[i].size(); j += 70) {
+      out += rows[i].substr(j, 70);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+Alignment Alignment::from_phylip(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::size_t ntax = 0, nsites = 0;
+  if (!(in >> ntax >> nsites) || ntax == 0 || nsites == 0) {
+    throw InputError("PHYLIP: bad header");
+  }
+  Alignment aln;
+  for (std::size_t i = 0; i < ntax; ++i) {
+    std::string name, row;
+    if (!(in >> name)) throw InputError("PHYLIP: missing taxon name");
+    std::string chunk;
+    while (row.size() < nsites && in >> chunk) {
+      for (char c : chunk) row.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+    if (row.size() != nsites) {
+      throw InputError("PHYLIP: row '" + name + "' has wrong length");
+    }
+    aln.names.push_back(std::move(name));
+    aln.rows.push_back(std::move(row));
+  }
+  aln.validate();
+  return aln;
+}
+
+std::string Alignment::to_phylip() const {
+  std::ostringstream out;
+  out << taxon_count() << " " << site_count() << "\n";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out << names[i] << " " << rows[i] << "\n";
+  }
+  return out.str();
+}
+
+double PatternAlignment::site_count() const {
+  double n = 0;
+  for (double w : weights) n += w;
+  return n;
+}
+
+std::size_t PatternAlignment::taxon_index(const std::string& name) const {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  throw InputError("taxon not in alignment: " + name);
+}
+
+PatternAlignment compress(const Alignment& alignment) {
+  alignment.validate();
+  PatternAlignment out;
+  out.names = alignment.names;
+  out.taxa = alignment.taxon_count();
+
+  std::map<std::string, std::size_t> index;
+  std::size_t sites = alignment.site_count();
+  std::string column(out.taxa, 0);
+  for (std::size_t s = 0; s < sites; ++s) {
+    for (std::size_t t = 0; t < out.taxa; ++t) {
+      char c = alignment.rows[t][s];
+      std::uint8_t code =
+          (c == '-' || c == 'N') ? kMissing
+                                 : static_cast<std::uint8_t>(bio::dna_index(c));
+      column[t] = static_cast<char>(code);
+    }
+    auto [it, inserted] = index.emplace(column, out.patterns);
+    if (inserted) {
+      for (char c : column) out.codes.push_back(static_cast<std::uint8_t>(c));
+      out.weights.push_back(1.0);
+      out.patterns += 1;
+    } else {
+      out.weights[it->second] += 1.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace hdcs::phylo

@@ -1,0 +1,61 @@
+#pragma once
+// Multiple sequence alignments and site-pattern compression.
+//
+// The likelihood of a site depends only on its column pattern, so identical
+// columns are collapsed into (pattern, weight) pairs before any likelihood
+// work — the standard optimisation every ML program (fastDNAml, PAL, ...)
+// applies.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+
+namespace hdcs::phylo {
+
+/// Missing data / gap state code (A=0 C=1 G=2 T=3).
+inline constexpr std::uint8_t kMissing = 4;
+
+struct Alignment {
+  std::vector<std::string> names;
+  std::vector<std::string> rows;  // aligned sequences, '-' for gaps
+
+  [[nodiscard]] std::size_t taxon_count() const { return names.size(); }
+  [[nodiscard]] std::size_t site_count() const {
+    return rows.empty() ? 0 : rows.front().size();
+  }
+
+  /// Validate: non-empty, equal row lengths, characters in {ACGTUN-},
+  /// unique non-empty names. Throws InputError.
+  void validate() const;
+
+  /// Build from aligned FASTA text.
+  static Alignment from_fasta(std::string_view text);
+  [[nodiscard]] std::string to_fasta() const;
+
+  /// Sequential PHYLIP ("ntax nsites" header).
+  static Alignment from_phylip(std::string_view text);
+  [[nodiscard]] std::string to_phylip() const;
+};
+
+struct PatternAlignment {
+  std::vector<std::string> names;
+  /// codes[pattern * taxon_count + taxon] in {0..3, kMissing}.
+  std::vector<std::uint8_t> codes;
+  std::vector<double> weights;  // column multiplicities
+  std::size_t taxa = 0;
+  std::size_t patterns = 0;
+
+  [[nodiscard]] std::uint8_t code(std::size_t pattern, std::size_t taxon) const {
+    return codes[pattern * taxa + taxon];
+  }
+  [[nodiscard]] double site_count() const;
+  /// Index of a taxon by name; throws InputError if absent.
+  [[nodiscard]] std::size_t taxon_index(const std::string& name) const;
+};
+
+/// Collapse identical columns; column order of first occurrence preserved.
+PatternAlignment compress(const Alignment& alignment);
+
+}  // namespace hdcs::phylo

@@ -1,0 +1,152 @@
+#include "phylo/distance.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hdcs::phylo {
+
+std::vector<std::vector<double>> jc_distance_matrix(const Alignment& alignment,
+                                                    double max_distance) {
+  alignment.validate();
+  const std::size_t n = alignment.taxon_count();
+  const std::size_t sites = alignment.site_count();
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      std::size_t comparable = 0, mismatches = 0;
+      for (std::size_t s = 0; s < sites; ++s) {
+        char a = alignment.rows[i][s];
+        char b = alignment.rows[j][s];
+        if (a == '-' || a == 'N' || b == '-' || b == 'N') continue;
+        ++comparable;
+        if (a != b) ++mismatches;
+      }
+      double dist;
+      if (comparable == 0) {
+        dist = max_distance;
+      } else {
+        double p = static_cast<double>(mismatches) / static_cast<double>(comparable);
+        dist = (p >= 0.749999)
+                   ? max_distance
+                   : -0.75 * std::log(1.0 - 4.0 * p / 3.0);
+      }
+      d[i][j] = d[j][i] = std::min(dist, max_distance);
+    }
+  }
+  return d;
+}
+
+Tree neighbor_joining(const std::vector<std::vector<double>>& distances,
+                      const std::vector<std::string>& names) {
+  const std::size_t n = names.size();
+  if (distances.size() != n) throw InputError("NJ: matrix/name size mismatch");
+  if (n < 3) throw InputError("NJ: need at least 3 taxa");
+  for (const auto& row : distances) {
+    if (row.size() != n) throw InputError("NJ: matrix not square");
+  }
+
+  // Run classic NJ on a lightweight adjacency description first, then emit
+  // the Tree arena in one pass at the end (Tree nodes need a parent at
+  // creation, which merge order doesn't provide).
+  struct ProtoNode {
+    std::string name;   // leaves only
+    int left = -1, right = -1;
+    double left_bl = 0, right_bl = 0;
+  };
+  std::vector<ProtoNode> proto;
+  std::vector<int> cluster_proto;  // active cluster -> proto index
+  for (std::size_t i = 0; i < n; ++i) {
+    proto.push_back({names[i], -1, -1, 0, 0});
+    cluster_proto.push_back(static_cast<int>(i));
+  }
+
+  std::vector<std::size_t> act(n);
+  for (std::size_t i = 0; i < n; ++i) act[i] = i;
+  std::vector<std::vector<double>> m = distances;
+
+  while (act.size() > 3) {
+    const std::size_t r = act.size();
+    // Row sums over active set.
+    std::vector<double> rowsum(r, 0.0);
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t j = 0; j < r; ++j) rowsum[i] += m[act[i]][act[j]];
+    }
+    // Pick the pair minimizing the Q criterion.
+    double best_q = 1e300;
+    std::size_t bi = 0, bj = 1;
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t j = i + 1; j < r; ++j) {
+        double q = (static_cast<double>(r) - 2.0) * m[act[i]][act[j]] -
+                   rowsum[i] - rowsum[j];
+        if (q < best_q) {
+          best_q = q;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    std::size_t a = act[bi], b = act[bj];
+    double dab = m[a][b];
+    double bl_a = 0.5 * dab + (rowsum[bi] - rowsum[bj]) /
+                                  (2.0 * (static_cast<double>(r) - 2.0));
+    double bl_b = dab - bl_a;
+    bl_a = std::max(bl_a, 0.0);
+    bl_b = std::max(bl_b, 0.0);
+
+    ProtoNode merged;
+    merged.left = cluster_proto[a];
+    merged.right = cluster_proto[b];
+    merged.left_bl = bl_a;
+    merged.right_bl = bl_b;
+    proto.push_back(merged);
+    int merged_idx = static_cast<int>(proto.size()) - 1;
+
+    // New distances: d(u, k) = (d(a,k) + d(b,k) - d(a,b)) / 2, stored in
+    // slot `a`; slot `b` retires.
+    for (std::size_t k : act) {
+      if (k == a || k == b) continue;
+      double duk = 0.5 * (m[a][k] + m[b][k] - dab);
+      m[a][k] = m[k][a] = std::max(duk, 0.0);
+    }
+    cluster_proto[a] = merged_idx;
+    act.erase(act.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+
+  // Join the last three clusters at a trifurcating root with the standard
+  // three-point formulas.
+  std::size_t x = act[0], y = act[1], z = act[2];
+  double bx = 0.5 * (m[x][y] + m[x][z] - m[y][z]);
+  double by = 0.5 * (m[x][y] + m[y][z] - m[x][z]);
+  double bz = 0.5 * (m[x][z] + m[y][z] - m[x][y]);
+
+  // Emit the proto forest into a fresh Tree.
+  Tree out;
+  int root = out.add_node(-1, 0);
+  struct Emit {
+    int proto_idx;
+    int parent;
+    double bl;
+  };
+  std::vector<Emit> stack = {{cluster_proto[x], root, std::max(bx, 0.0)},
+                             {cluster_proto[y], root, std::max(by, 0.0)},
+                             {cluster_proto[z], root, std::max(bz, 0.0)}};
+  while (!stack.empty()) {
+    Emit e = stack.back();
+    stack.pop_back();
+    const ProtoNode& pn = proto[static_cast<std::size_t>(e.proto_idx)];
+    int node = out.add_node(e.parent, e.bl, pn.name);
+    if (pn.left >= 0) {
+      stack.push_back({pn.left, node, pn.left_bl});
+      stack.push_back({pn.right, node, pn.right_bl});
+    }
+  }
+  return out;
+}
+
+Tree nj_tree(const Alignment& alignment) {
+  return neighbor_joining(jc_distance_matrix(alignment), alignment.names);
+}
+
+}  // namespace hdcs::phylo

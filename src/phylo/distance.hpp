@@ -1,0 +1,29 @@
+#pragma once
+// Distance methods: Jukes–Cantor distances and neighbor joining.
+//
+// Serves two roles: the distance-based heuristic baseline the paper
+// contrasts ML against (its ref [15] uses "simple distance based
+// heuristics"), and a sane starting point / sanity check for tests.
+
+#include <vector>
+
+#include "phylo/alignment.hpp"
+#include "phylo/tree.hpp"
+
+namespace hdcs::phylo {
+
+/// Symmetric matrix of pairwise JC69 distances:
+///   d = -3/4 ln(1 - 4p/3), p = mismatch fraction over shared sites.
+/// Saturated pairs (p >= 3/4) are capped at `max_distance`.
+std::vector<std::vector<double>> jc_distance_matrix(const Alignment& alignment,
+                                                    double max_distance = 5.0);
+
+/// Saitou & Nei neighbor joining. Needs >= 3 taxa. Negative branch
+/// estimates are clamped to 0 (standard practice).
+Tree neighbor_joining(const std::vector<std::vector<double>>& distances,
+                      const std::vector<std::string>& names);
+
+/// Convenience: NJ tree straight from an alignment.
+Tree nj_tree(const Alignment& alignment);
+
+}  // namespace hdcs::phylo

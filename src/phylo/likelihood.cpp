@@ -1,0 +1,159 @@
+#include "phylo/likelihood.hpp"
+
+#include <cmath>
+
+#include "phylo/optimize.hpp"
+#include "util/error.hpp"
+
+namespace hdcs::phylo {
+
+LikelihoodEngine::LikelihoodEngine(PatternAlignment alignment,
+                                   std::shared_ptr<const SubstModel> model,
+                                   RateModel rates)
+    : alignment_(std::move(alignment)), model_(std::move(model)),
+      rates_(std::move(rates)) {
+  if (!model_) throw InputError("LikelihoodEngine: null model");
+  if (alignment_.patterns == 0) throw InputError("LikelihoodEngine: empty alignment");
+  if (rates_.rates.empty() || rates_.rates.size() != rates_.probs.size()) {
+    throw InputError("LikelihoodEngine: malformed rate model");
+  }
+}
+
+double LikelihoodEngine::cost_per_eval(int leaf_count) const {
+  // ~ internal nodes x patterns x categories x 4 states x 8 flops.
+  double nodes = std::max(1, leaf_count - 1);
+  return nodes * static_cast<double>(alignment_.patterns) *
+         static_cast<double>(rates_.category_count()) * 32.0;
+}
+
+double LikelihoodEngine::log_likelihood(const Tree& tree) {
+  evals_ += 1;
+  const std::size_t P = alignment_.patterns;
+  const std::size_t C = rates_.category_count();
+  const std::size_t stride = P * C * 4;
+  const auto n_nodes = static_cast<std::size_t>(tree.node_count());
+
+  partials_.assign(n_nodes * stride, 0.0);
+  scale_log_.assign(P, 0.0);
+  leaf_row_.assign(n_nodes, -1);
+  for (int leaf : tree.leaves()) {
+    leaf_row_[static_cast<std::size_t>(leaf)] =
+        static_cast<int>(alignment_.taxon_index(tree.at(leaf).name));
+  }
+
+  // Per-(category, child) transition matrices are recomputed at each node;
+  // cache per branch length within this eval is unnecessary because each
+  // branch is visited once.
+  auto order = tree.postorder();
+  for (int node : order) {
+    auto ni = static_cast<std::size_t>(node);
+    double* np = &partials_[ni * stride];
+
+    if (tree.is_leaf(node)) {
+      int row = leaf_row_[ni];
+      for (std::size_t p = 0; p < P; ++p) {
+        std::uint8_t code = alignment_.code(p, static_cast<std::size_t>(row));
+        for (std::size_t c = 0; c < C; ++c) {
+          double* cell = np + (p * C + c) * 4;
+          if (code == kMissing) {
+            cell[0] = cell[1] = cell[2] = cell[3] = 1.0;
+          } else {
+            cell[code] = 1.0;
+          }
+        }
+      }
+      continue;
+    }
+
+    // Internal: product over children of (P_child^T . child partials).
+    bool first = true;
+    for (int child : tree.at(node).children) {
+      auto ci = static_cast<std::size_t>(child);
+      const double* cp = &partials_[ci * stride];
+      double t = tree.branch_length(child);
+
+      for (std::size_t c = 0; c < C; ++c) {
+        Matrix4 pm = model_->transition_probs(t * rates_.rates[c]);
+        for (std::size_t p = 0; p < P; ++p) {
+          const double* cc = cp + (p * C + c) * 4;
+          double* nc = np + (p * C + c) * 4;
+          for (int i = 0; i < 4; ++i) {
+            double sum = pm(i, 0) * cc[0] + pm(i, 1) * cc[1] +
+                         pm(i, 2) * cc[2] + pm(i, 3) * cc[3];
+            if (first) {
+              nc[i] = sum;
+            } else {
+              nc[i] *= sum;
+            }
+          }
+        }
+      }
+      first = false;
+    }
+
+    // Rescale patterns drifting toward underflow.
+    for (std::size_t p = 0; p < P; ++p) {
+      double maxv = 0;
+      for (std::size_t c = 0; c < C; ++c) {
+        const double* cell = np + (p * C + c) * 4;
+        for (int i = 0; i < 4; ++i) maxv = std::max(maxv, cell[i]);
+      }
+      if (maxv > 0 && maxv < 1e-100) {
+        double inv = 1.0 / maxv;
+        for (std::size_t c = 0; c < C; ++c) {
+          double* cell = np + (p * C + c) * 4;
+          for (int i = 0; i < 4; ++i) cell[i] *= inv;
+        }
+        scale_log_[p] += std::log(maxv);
+      }
+    }
+  }
+
+  const auto root = static_cast<std::size_t>(tree.root());
+  const double* rp = &partials_[root * stride];
+  const Vec4& pi = model_->pi();
+  double log_l = 0;
+  for (std::size_t p = 0; p < P; ++p) {
+    double site = 0;
+    for (std::size_t c = 0; c < C; ++c) {
+      const double* cell = rp + (p * C + c) * 4;
+      double cat = pi[0] * cell[0] + pi[1] * cell[1] + pi[2] * cell[2] +
+                   pi[3] * cell[3];
+      site += rates_.probs[c] * cat;
+    }
+    if (site <= 0) {
+      // Fully scaled-out pattern: fall back to the scale log alone.
+      log_l += alignment_.weights[p] * (scale_log_[p] + std::log(1e-300));
+    } else {
+      log_l += alignment_.weights[p] * (std::log(site) + scale_log_[p]);
+    }
+  }
+  return log_l;
+}
+
+double LikelihoodEngine::optimize_branch(Tree& tree, int node, double tol) {
+  if (node == tree.root()) throw InputError("optimize_branch: root has no branch");
+  auto objective = [&](double bl) {
+    tree.set_branch_length(node, bl);
+    return -log_likelihood(tree);
+  };
+  auto res = brent_minimize(objective, kMinBranch, kMaxBranch, tol);
+  tree.set_branch_length(node, res.x);
+  return -res.value;
+}
+
+double LikelihoodEngine::optimize_branches(Tree& tree, std::span<const int> nodes,
+                                           int passes, double tol) {
+  double best = log_likelihood(tree);
+  for (int pass = 0; pass < passes; ++pass) {
+    for (int node : nodes) best = optimize_branch(tree, node, tol);
+  }
+  return best;
+}
+
+double LikelihoodEngine::optimize_all_branches(Tree& tree, int passes, double tol) {
+  auto edges = tree.edge_nodes();
+  return optimize_branches(tree, edges, passes, tol);
+}
+
+}  // namespace hdcs::phylo

@@ -1,0 +1,62 @@
+#pragma once
+// Maximum-likelihood evaluation on trees: Felsenstein's pruning algorithm
+// with per-pattern scaling, among-site rate categories, and Brent
+// branch-length optimisation. This is the surface DPRml uses PAL for
+// (paper §3.2: "uses the popular Phylogenetic Analysis Library (PAL) v1.4
+// for all its likelihood calculations").
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "phylo/alignment.hpp"
+#include "phylo/subst_model.hpp"
+#include "phylo/tree.hpp"
+
+namespace hdcs::phylo {
+
+class LikelihoodEngine {
+ public:
+  LikelihoodEngine(PatternAlignment alignment, std::shared_ptr<const SubstModel> model,
+                   RateModel rates);
+
+  /// Log-likelihood of the tree (leaf names must all be in the alignment).
+  double log_likelihood(const Tree& tree);
+
+  /// Optimize the branch above `node` by Brent search; returns the new
+  /// log-likelihood. Branch lengths are searched in [min_bl, max_bl].
+  double optimize_branch(Tree& tree, int node, double tol = 1e-4);
+
+  /// Round-robin optimisation of the given branches (`passes` sweeps).
+  double optimize_branches(Tree& tree, std::span<const int> nodes, int passes = 1,
+                           double tol = 1e-4);
+
+  /// All branches, `passes` sweeps (fastDNAml-style smoothing).
+  double optimize_all_branches(Tree& tree, int passes = 2, double tol = 1e-4);
+
+  [[nodiscard]] const PatternAlignment& alignment() const { return alignment_; }
+  [[nodiscard]] const SubstModel& model() const { return *model_; }
+  [[nodiscard]] const RateModel& rates() const { return rates_; }
+  /// Number of full log-likelihood evaluations performed (cost accounting).
+  [[nodiscard]] std::uint64_t eval_count() const { return evals_; }
+
+  /// Abstract cost of one likelihood evaluation in WorkUnit::cost_ops
+  /// currency (DP cell updates equivalent).
+  [[nodiscard]] double cost_per_eval(int leaf_count) const;
+
+  static constexpr double kMinBranch = 1e-8;
+  static constexpr double kMaxBranch = 10.0;
+
+ private:
+  PatternAlignment alignment_;
+  std::shared_ptr<const SubstModel> model_;
+  RateModel rates_;
+  std::uint64_t evals_ = 0;
+
+  // Scratch buffers reused across evaluations.
+  std::vector<double> partials_;    // [node][pattern][cat][state]
+  std::vector<double> scale_log_;   // [pattern]
+  std::vector<int> leaf_row_;       // node -> alignment row (-1 internal)
+};
+
+}  // namespace hdcs::phylo

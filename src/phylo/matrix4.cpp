@@ -1,0 +1,100 @@
+#include "phylo/matrix4.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdcs::phylo {
+
+Matrix4 Matrix4::identity() {
+  Matrix4 out;
+  for (int i = 0; i < 4; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Matrix4 Matrix4::zero() { return Matrix4{}; }
+
+Matrix4 operator*(const Matrix4& a, const Matrix4& b) {
+  Matrix4 out;
+  for (int i = 0; i < 4; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < 4; ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix4 Matrix4::transpose() const {
+  Matrix4 out;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) out(i, j) = (*this)(j, i);
+  }
+  return out;
+}
+
+double Matrix4::max_abs_diff(const Matrix4& a, const Matrix4& b) {
+  double d = 0;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) d = std::max(d, std::fabs(a(i, j) - b(i, j)));
+  }
+  return d;
+}
+
+SymEigen sym_eigen(const Matrix4& input) {
+  // Cyclic Jacobi: repeatedly zero the largest off-diagonal element with a
+  // Givens rotation. Quadratic convergence; a handful of sweeps suffices.
+  Matrix4 a = input;
+  Matrix4 v = Matrix4::identity();
+
+  for (int sweep = 0; sweep < 50; ++sweep) {
+    double off = 0;
+    for (int p = 0; p < 4; ++p) {
+      for (int q = p + 1; q < 4; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-30) break;
+
+    for (int p = 0; p < 4; ++p) {
+      for (int q = p + 1; q < 4; ++q) {
+        if (std::fabs(a(p, q)) < 1e-300) continue;
+        double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        for (int k = 0; k < 4; ++k) {
+          double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < 4; ++k) {
+          double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (int k = 0; k < 4; ++k) {
+          double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending by eigenvalue.
+  std::array<int, 4> order = {0, 1, 2, 3};
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return a(x, x) < a(y, y); });
+  SymEigen out;
+  for (int i = 0; i < 4; ++i) {
+    out.values[static_cast<std::size_t>(i)] = a(order[static_cast<std::size_t>(i)],
+                                                order[static_cast<std::size_t>(i)]);
+    for (int k = 0; k < 4; ++k) {
+      out.vectors(k, i) = v(k, order[static_cast<std::size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace hdcs::phylo

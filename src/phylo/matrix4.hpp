@@ -1,0 +1,42 @@
+#pragma once
+// Dense 4x4 real matrices for nucleotide substitution models, plus the
+// symmetric eigendecomposition used to exponentiate reversible rate
+// matrices: for reversible Q with stationary distribution pi,
+// B = Pi^{1/2} Q Pi^{-1/2} is symmetric, so
+//     P(t) = exp(Qt) = Pi^{-1/2} V exp(Lambda t) V^T Pi^{1/2}.
+
+#include <array>
+
+namespace hdcs::phylo {
+
+using Vec4 = std::array<double, 4>;
+
+struct Matrix4 {
+  // Row-major: m[row][col].
+  std::array<Vec4, 4> m{};
+
+  double& operator()(int r, int c) { return m[static_cast<std::size_t>(r)]
+                                             [static_cast<std::size_t>(c)]; }
+  double operator()(int r, int c) const { return m[static_cast<std::size_t>(r)]
+                                                  [static_cast<std::size_t>(c)]; }
+
+  static Matrix4 identity();
+  static Matrix4 zero();
+
+  friend Matrix4 operator*(const Matrix4& a, const Matrix4& b);
+  [[nodiscard]] Matrix4 transpose() const;
+
+  /// max |a - b| over entries.
+  static double max_abs_diff(const Matrix4& a, const Matrix4& b);
+};
+
+/// Eigendecomposition of a symmetric 4x4 matrix via cyclic Jacobi.
+/// Returns eigenvalues (ascending) and the orthogonal matrix of column
+/// eigenvectors V such that A = V diag(w) V^T.
+struct SymEigen {
+  Vec4 values;
+  Matrix4 vectors;
+};
+SymEigen sym_eigen(const Matrix4& a);
+
+}  // namespace hdcs::phylo

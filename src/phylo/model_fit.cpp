@@ -1,0 +1,118 @@
+#include "phylo/model_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bio/sequence.hpp"
+#include "phylo/likelihood.hpp"
+#include "phylo/optimize.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hdcs::phylo {
+
+Vec4 empirical_base_frequencies(const Alignment& alignment) {
+  alignment.validate();
+  Vec4 counts{};
+  for (const auto& row : alignment.rows) {
+    for (char c : row) {
+      int idx = bio::dna_index(c);
+      if (idx < 4) counts[static_cast<std::size_t>(idx)] += 1;
+    }
+  }
+  double total = counts[0] + counts[1] + counts[2] + counts[3];
+  if (total <= 0) throw InputError("alignment has no unambiguous bases");
+  Vec4 freqs;
+  for (int i = 0; i < 4; ++i) {
+    // Pseudo-count so degenerate alignments never produce zero
+    // frequencies (which reversible models reject).
+    freqs[static_cast<std::size_t>(i)] =
+        (counts[static_cast<std::size_t>(i)] + 0.5) / (total + 2.0);
+  }
+  return freqs;
+}
+
+ScalarFit fit_scalar(const PatternAlignment& patterns, const Tree& tree,
+                     const std::string& model_spec, const Config& base_params,
+                     const std::string& param, double lo, double hi,
+                     double tol) {
+  if (!(lo < hi)) throw InputError("fit_scalar: lo must be < hi");
+  int evals = 0;
+  auto objective = [&](double x) {
+    Config params = base_params;
+    params.set(param, format_f64(x, 12));
+    auto spec = ModelSpec::parse(model_spec, params);
+    LikelihoodEngine engine(patterns, spec.model, spec.rates);
+    ++evals;
+    // Brent minimizes; likelihood is maximized.
+    Tree copy = tree;
+    return -engine.log_likelihood(copy);
+  };
+  auto res = brent_minimize(objective, lo, hi, tol);
+  ScalarFit fit;
+  fit.value = res.x;
+  fit.log_likelihood = -res.value;
+  fit.evaluations = evals;
+  return fit;
+}
+
+int model_free_parameters(const std::string& spec, const Config& params) {
+  auto parts = split(spec, '+');
+  std::string base = to_upper(trim(parts[0]));
+  int k = 0;
+  bool unequal_freqs = params.has("basefreq");
+  if (base == "JC69" || base == "JC") {
+    k = 0;
+  } else if (base == "F81") {
+    k = unequal_freqs ? 3 : 0;
+  } else if (base == "K80" || base == "K2P") {
+    k = 1;
+  } else if (base == "HKY85" || base == "HKY" || base == "F84") {
+    k = 1 + (unequal_freqs ? 3 : 0);
+  } else if (base == "TN93") {
+    k = 2 + (unequal_freqs ? 3 : 0);
+  } else if (base == "GTR") {
+    k = 5 + (unequal_freqs ? 3 : 0);
+  } else {
+    throw InputError("unknown substitution model: " + base);
+  }
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    std::string mod = to_upper(trim(parts[i]));
+    if (!mod.empty() && mod[0] == 'G') {
+      k += 1;  // alpha
+    } else if (mod == "I") {
+      k += 1;  // p_inv
+    }
+  }
+  return k;
+}
+
+std::vector<ModelScore> rank_models(const PatternAlignment& patterns,
+                                    const Tree& tree,
+                                    const std::vector<std::string>& specs,
+                                    const Config& params) {
+  if (specs.empty()) throw InputError("rank_models: no candidate specs");
+  double n_sites = patterns.site_count();
+  std::vector<ModelScore> out;
+  out.reserve(specs.size());
+  for (const auto& spec_str : specs) {
+    auto spec = ModelSpec::parse(spec_str, params);
+    LikelihoodEngine engine(patterns, spec.model, spec.rates);
+    Tree copy = tree;
+    ModelScore score;
+    score.spec = spec_str;
+    score.log_likelihood = engine.log_likelihood(copy);
+    score.free_parameters = model_free_parameters(spec_str, params);
+    score.aic = 2.0 * score.free_parameters - 2.0 * score.log_likelihood;
+    score.bic = score.free_parameters * std::log(n_sites) -
+                2.0 * score.log_likelihood;
+    out.push_back(std::move(score));
+  }
+  std::sort(out.begin(), out.end(), [](const ModelScore& a, const ModelScore& b) {
+    if (a.aic != b.aic) return a.aic < b.aic;
+    return a.spec < b.spec;
+  });
+  return out;
+}
+
+}  // namespace hdcs::phylo

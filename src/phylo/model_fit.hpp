@@ -1,0 +1,62 @@
+#pragma once
+// Model parameter fitting and model selection.
+//
+// The paper's DPRml pitch leans on model fit: earlier parallel ML programs
+// "only allowed the user to choose from a very limited number of DNA
+// substitution models, which often leads to a poor model fit resulting in
+// sub-optimal trees" (§3.2). This module provides what a user needs to
+// *choose* a good model before a run: empirical base frequencies, maximum-
+// likelihood estimation of the scalar model parameters (kappa, gamma
+// alpha, invariant proportion) on a fixed tree, and AIC/BIC ranking across
+// candidate model specs.
+
+#include <string>
+#include <vector>
+
+#include "phylo/alignment.hpp"
+#include "phylo/subst_model.hpp"
+#include "phylo/tree.hpp"
+#include "util/config.hpp"
+
+namespace hdcs::phylo {
+
+/// Observed base frequencies (gaps/N ignored), normalized to sum 1.
+Vec4 empirical_base_frequencies(const Alignment& alignment);
+
+struct ScalarFit {
+  double value = 0;          // fitted parameter
+  double log_likelihood = 0; // at the fitted value (branch lengths fixed)
+  int evaluations = 0;       // likelihood evaluations spent
+};
+
+/// Fit one scalar parameter of a model spec by Brent search on a fixed
+/// tree (branch lengths are NOT re-optimised per evaluation — the standard
+/// fast profile used for model screening). `param` is the Config key the
+/// spec reads ("kappa", "alpha", "pinv").
+ScalarFit fit_scalar(const PatternAlignment& patterns, const Tree& tree,
+                     const std::string& model_spec, const Config& base_params,
+                     const std::string& param, double lo, double hi,
+                     double tol = 1e-3);
+
+struct ModelScore {
+  std::string spec;
+  double log_likelihood = 0;
+  int free_parameters = 0;
+  double aic = 0;
+  double bic = 0;
+};
+
+/// Number of free parameters of a model spec (frequencies count 3 when
+/// unequal, kappa 1, GTR exchangeabilities 5, +G 1, +I 1). Branch lengths
+/// are excluded (identical across specs on a fixed tree).
+int model_free_parameters(const std::string& spec, const Config& params);
+
+/// Evaluate candidate model specs on a fixed tree with the given
+/// parameters and rank them by AIC (ascending). Scalar parameters present
+/// in `params` are used as-is; pass fitted values for a fair comparison.
+std::vector<ModelScore> rank_models(const PatternAlignment& patterns,
+                                    const Tree& tree,
+                                    const std::vector<std::string>& specs,
+                                    const Config& params);
+
+}  // namespace hdcs::phylo

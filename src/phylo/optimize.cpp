@@ -1,0 +1,207 @@
+#include "phylo/optimize.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hdcs::phylo {
+
+BrentResult brent_minimize(const std::function<double(double)>& f, double lo,
+                           double hi, double tol, int max_iter) {
+  if (!(lo < hi)) throw InputError("brent_minimize: lo must be < hi");
+  const double gold = 0.3819660112501051;  // 2 - phi
+  BrentResult res;
+
+  double a = lo, b = hi;
+  double x = a + gold * (b - a);
+  double w = x, v = x;
+  double fx = f(x);
+  res.evaluations = 1;
+  double fw = fx, fv = fx;
+  double d = 0, e = 0;
+
+  for (int iter = 0; iter < max_iter; ++iter) {
+    double xm = 0.5 * (a + b);
+    double tol1 = tol * std::fabs(x) + 1e-12;
+    double tol2 = 2.0 * tol1;
+    if (std::fabs(x - xm) <= tol2 - 0.5 * (b - a)) break;
+
+    bool use_golden = true;
+    if (std::fabs(e) > tol1) {
+      // Parabolic fit through (x, fx), (w, fw), (v, fv).
+      double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0) p = -p;
+      q = std::fabs(q);
+      double e_old = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * e_old) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        double u = x + d;
+        if (u - a < tol2 || b - u < tol2) d = (xm >= x) ? tol1 : -tol1;
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x >= xm) ? a - x : b - x;
+      d = gold * e;
+    }
+
+    double u = (std::fabs(d) >= tol1) ? x + d : x + (d >= 0 ? tol1 : -tol1);
+    double fu = f(u);
+    res.evaluations += 1;
+
+    if (fu <= fx) {
+      if (u >= x) {
+        a = x;
+      } else {
+        b = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  res.x = x;
+  res.value = fx;
+  return res;
+}
+
+double log_gamma(double x) {
+  // Lanczos approximation (g = 7, n = 9), good to ~1e-13 for x > 0.
+  static const double coeffs[] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x <= 0) throw InputError("log_gamma: x must be > 0");
+  if (x < 0.5) {
+    // Reflection: Gamma(x) Gamma(1-x) = pi / sin(pi x).
+    return std::log(M_PI / std::sin(M_PI * x)) - log_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = coeffs[0];
+  double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += coeffs[i] / (x + i);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+namespace {
+/// Series expansion of P(a, x), valid for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int n = 1; n < 500; ++n) {
+    term *= x / (a + n);
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+/// Continued fraction for Q(a, x) = 1 - P(a, x), valid for x >= a + 1.
+double gamma_q_contfrac(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+}  // namespace
+
+double gamma_p(double a, double x) {
+  if (a <= 0) throw InputError("gamma_p: a must be > 0");
+  if (x < 0) throw InputError("gamma_p: x must be >= 0");
+  if (x == 0) return 0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_contfrac(a, x);
+}
+
+double gamma_p_inverse(double a, double p) {
+  if (p < 0 || p >= 1) throw InputError("gamma_p_inverse: p must be in [0,1)");
+  if (p == 0) return 0;
+  // Bracket then bisect (robust; speed is irrelevant here — called a
+  // handful of times per model construction).
+  double hi = std::max(a, 1.0);
+  while (gamma_p(a, hi) < p) hi *= 2.0;
+  double lo = 0;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (gamma_p(a, mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<double> discrete_gamma_rates(double alpha, int categories) {
+  if (alpha <= 0) throw InputError("discrete gamma: alpha must be > 0");
+  if (categories < 1) throw InputError("discrete gamma: categories must be >= 1");
+  if (categories == 1) return {1.0};
+
+  // Cut points of Gamma(alpha, beta=alpha) (mean 1) at probabilities i/k.
+  // Mean of each bin via the identity
+  //   E[X | q_{i} < X < q_{i+1}] * (1/k) = [P(alpha+1, beta q_{i+1}) -
+  //                                         P(alpha+1, beta q_i)] / beta
+  // (Yang 1994, eq. 10).
+  std::vector<double> rates(static_cast<std::size_t>(categories));
+  const double beta = alpha;
+  const auto k = static_cast<double>(categories);
+  double prev_cut = 0;     // in x units (quantile of Gamma(alpha, beta))
+  double prev_p1 = 0;      // P(alpha+1, beta * cut)
+  for (int i = 0; i < categories; ++i) {
+    double next_cut, next_p1;
+    if (i == categories - 1) {
+      next_p1 = 1.0;
+      next_cut = 0;  // unused
+    } else {
+      double q = gamma_p_inverse(alpha, (i + 1) / k);  // quantile of Gamma(alpha,1)
+      next_cut = q / beta;
+      next_p1 = gamma_p(alpha + 1.0, q);
+    }
+    rates[static_cast<std::size_t>(i)] = (next_p1 - prev_p1) * k;
+    prev_cut = next_cut;
+    prev_p1 = next_p1;
+  }
+  (void)prev_cut;
+  return rates;
+}
+
+}  // namespace hdcs::phylo

@@ -1,0 +1,34 @@
+#pragma once
+// One-dimensional function optimization (Brent) and the special functions
+// needed for discrete-gamma rate heterogeneity (Yang 1994).
+
+#include <functional>
+
+namespace hdcs::phylo {
+
+struct BrentResult {
+  double x = 0;        // argmin
+  double value = 0;    // f(x)
+  int evaluations = 0;
+};
+
+/// Minimize f over [lo, hi] with Brent's method (golden section +
+/// successive parabolic interpolation). `tol` is the absolute x tolerance.
+BrentResult brent_minimize(const std::function<double(double)>& f, double lo,
+                           double hi, double tol = 1e-6, int max_iter = 100);
+
+/// ln Gamma(x), x > 0 (Lanczos).
+double log_gamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a).
+double gamma_p(double a, double x);
+
+/// Inverse of gamma_p in x for fixed a: smallest x with P(a, x) = p.
+double gamma_p_inverse(double a, double p);
+
+/// Mean rates of the k equal-probability categories of a Gamma(alpha,
+/// 1/alpha) distribution (mean 1) — Yang's discrete gamma.
+/// Uses the mean (not median) of each bin, the standard choice.
+std::vector<double> discrete_gamma_rates(double alpha, int categories);
+
+}  // namespace hdcs::phylo

@@ -1,0 +1,87 @@
+#include "phylo/simulate.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace hdcs::phylo {
+
+Tree random_tree(Rng& rng, const TreeSimSpec& spec) {
+  if (spec.taxa < 3) throw InputError("random_tree: need >= 3 taxa");
+  auto bl = [&] { return std::max(1e-4, rng.exponential(spec.mean_branch_length)); };
+
+  Tree tree = Tree::three_taxon(spec.name_prefix + "0", spec.name_prefix + "1",
+                                spec.name_prefix + "2", 0.05);
+  for (int i = 0; i < 3; ++i) {
+    tree.set_branch_length(i + 1, bl());
+  }
+  for (int i = 3; i < spec.taxa; ++i) {
+    auto edges = tree.edge_nodes();
+    int edge = edges[rng.next_below(edges.size())];
+    tree.insert_leaf_on_edge(edge, spec.name_prefix + std::to_string(i), bl(),
+                             rng.uniform(0.25, 0.75));
+  }
+  return tree;
+}
+
+Alignment simulate_alignment(Rng& rng, const Tree& tree, const SubstModel& model,
+                             const RateModel& rates, const SeqSimSpec& spec) {
+  if (spec.sites == 0) throw InputError("simulate_alignment: zero sites");
+  const Vec4& pi = model.pi();
+
+  // Draw a rate category per site.
+  std::vector<std::size_t> site_cat(spec.sites);
+  {
+    std::vector<double> probs = rates.probs;
+    for (std::size_t s = 0; s < spec.sites; ++s) {
+      site_cat[s] = rng.categorical(probs);
+    }
+  }
+
+  // Root states from the stationary distribution.
+  std::vector<int> root_states(spec.sites);
+  for (std::size_t s = 0; s < spec.sites; ++s) {
+    root_states[s] = static_cast<int>(
+        rng.categorical({pi[0], pi[1], pi[2], pi[3]}));
+  }
+
+  // Walk the tree top-down, mutating states along each branch.
+  std::map<int, std::vector<int>> states;
+  states[tree.root()] = root_states;
+
+  auto order = tree.postorder();  // children before parents
+  // Need parents before children: reverse postorder.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int node = *it;
+    if (node == tree.root()) continue;
+    const auto& parent_states = states.at(tree.parent(node));
+    double t = tree.branch_length(node);
+
+    // Transition matrices per category for this branch.
+    std::vector<Matrix4> pms;
+    pms.reserve(rates.category_count());
+    for (double r : rates.rates) pms.push_back(model.transition_probs(t * r));
+
+    std::vector<int> my_states(spec.sites);
+    for (std::size_t s = 0; s < spec.sites; ++s) {
+      const Matrix4& pm = pms[site_cat[s]];
+      int from = parent_states[s];
+      my_states[s] = static_cast<int>(rng.categorical(
+          {pm(from, 0), pm(from, 1), pm(from, 2), pm(from, 3)}));
+    }
+    states[node] = std::move(my_states);
+  }
+
+  Alignment aln;
+  for (int leaf : tree.leaves()) {
+    aln.names.push_back(tree.at(leaf).name);
+    std::string row;
+    row.reserve(spec.sites);
+    for (int s : states.at(leaf)) row.push_back(bio::dna_base(s));
+    aln.rows.push_back(std::move(row));
+  }
+  aln.validate();
+  return aln;
+}
+
+}  // namespace hdcs::phylo

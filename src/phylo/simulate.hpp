@@ -1,0 +1,36 @@
+#pragma once
+// Sequence and tree simulation.
+//
+// Stands in for the paper's real 50-taxon dataset: generate a random tree,
+// evolve sites down it under a chosen substitution model, and use the
+// resulting alignment as the DPRml workload. Because the generating tree is
+// known, tests can verify that ML search recovers (close to) it.
+
+#include "phylo/alignment.hpp"
+#include "phylo/subst_model.hpp"
+#include "phylo/tree.hpp"
+#include "util/rng.hpp"
+
+namespace hdcs::phylo {
+
+struct TreeSimSpec {
+  int taxa = 20;
+  double mean_branch_length = 0.08;
+  std::string name_prefix = "t";
+};
+
+/// Random topology by sequential random insertion (uniform over edge
+/// choices), branch lengths ~ Exp(mean_branch_length).
+Tree random_tree(Rng& rng, const TreeSimSpec& spec);
+
+struct SeqSimSpec {
+  std::size_t sites = 500;
+};
+
+/// Evolve an alignment down `tree` under model+rates. Each site draws a
+/// rate category from `rates`; the root state is drawn from the model's
+/// stationary distribution.
+Alignment simulate_alignment(Rng& rng, const Tree& tree, const SubstModel& model,
+                             const RateModel& rates, const SeqSimSpec& spec);
+
+}  // namespace hdcs::phylo

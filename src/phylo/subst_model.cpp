@@ -1,0 +1,243 @@
+#include "phylo/subst_model.hpp"
+
+#include <cmath>
+
+#include "phylo/optimize.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hdcs::phylo {
+
+namespace {
+void validate_pi(const Vec4& pi) {
+  double sum = 0;
+  for (double p : pi) {
+    if (p <= 0) throw InputError("base frequencies must be positive");
+    sum += p;
+  }
+  if (std::fabs(sum - 1.0) > 1e-6) {
+    throw InputError("base frequencies must sum to 1 (got " +
+                     std::to_string(sum) + ")");
+  }
+}
+
+Vec4 parse_pi(const Config& params) {
+  if (!params.has("basefreq")) return {0.25, 0.25, 0.25, 0.25};
+  auto parts = split(params.get_str("basefreq"), ',');
+  if (parts.size() != 4) {
+    throw InputError("basefreq must have 4 comma-separated values (A,C,G,T)");
+  }
+  Vec4 pi;
+  for (int i = 0; i < 4; ++i) pi[static_cast<std::size_t>(i)] = parse_f64(parts[static_cast<std::size_t>(i)]);
+  validate_pi(pi);
+  return pi;
+}
+}  // namespace
+
+SubstModel::SubstModel(std::string name, const Vec4& pi,
+                       const std::array<double, 6>& s)
+    : name_(std::move(name)), pi_(pi) {
+  validate_pi(pi_);
+  for (double x : s) {
+    if (x <= 0) throw InputError("exchangeabilities must be positive");
+  }
+
+  // Build Q: off-diagonal Q_ij = s_ij * pi_j, diagonal = -row sum.
+  // Upper-triangle order of s: (0,1) (0,2) (0,3) (1,2) (1,3) (2,3).
+  static constexpr int kPair[6][2] = {{0, 1}, {0, 2}, {0, 3},
+                                      {1, 2}, {1, 3}, {2, 3}};
+  for (int k = 0; k < 6; ++k) {
+    int i = kPair[k][0], j = kPair[k][1];
+    q_(i, j) = s[static_cast<std::size_t>(k)] * pi_[static_cast<std::size_t>(j)];
+    q_(j, i) = s[static_cast<std::size_t>(k)] * pi_[static_cast<std::size_t>(i)];
+  }
+  for (int i = 0; i < 4; ++i) {
+    double row = 0;
+    for (int j = 0; j < 4; ++j) {
+      if (j != i) row += q_(i, j);
+    }
+    q_(i, i) = -row;
+  }
+  // Normalize mean rate at stationarity to 1.
+  double mu = 0;
+  for (int i = 0; i < 4; ++i) mu -= pi_[static_cast<std::size_t>(i)] * q_(i, i);
+  if (mu <= 0) throw Error("degenerate rate matrix");
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) q_(i, j) /= mu;
+  }
+
+  // Spectral decomposition of the symmetrized matrix.
+  Vec4 sqrt_pi, inv_sqrt_pi;
+  for (int i = 0; i < 4; ++i) {
+    sqrt_pi[static_cast<std::size_t>(i)] = std::sqrt(pi_[static_cast<std::size_t>(i)]);
+    inv_sqrt_pi[static_cast<std::size_t>(i)] = 1.0 / sqrt_pi[static_cast<std::size_t>(i)];
+  }
+  Matrix4 b;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      b(i, j) = sqrt_pi[static_cast<std::size_t>(i)] * q_(i, j) *
+                inv_sqrt_pi[static_cast<std::size_t>(j)];
+    }
+  }
+  auto eig = sym_eigen(b);
+  eigenvalues_ = eig.values;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      left_(i, j) = inv_sqrt_pi[static_cast<std::size_t>(i)] * eig.vectors(i, j);
+      right_(i, j) = eig.vectors(j, i) * sqrt_pi[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+Matrix4 SubstModel::transition_probs(double t) const {
+  if (t < 0) throw InputError("transition_probs: negative branch length");
+  Vec4 exp_lt;
+  for (int i = 0; i < 4; ++i) {
+    exp_lt[static_cast<std::size_t>(i)] =
+        std::exp(eigenvalues_[static_cast<std::size_t>(i)] * t);
+  }
+  Matrix4 p;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double sum = 0;
+      for (int k = 0; k < 4; ++k) {
+        sum += left_(i, k) * exp_lt[static_cast<std::size_t>(k)] * right_(k, j);
+      }
+      // Clamp tiny negative values from roundoff.
+      p(i, j) = sum < 0 ? 0 : sum;
+    }
+  }
+  return p;
+}
+
+SubstModel SubstModel::jc69() {
+  return SubstModel("JC69", {0.25, 0.25, 0.25, 0.25}, {1, 1, 1, 1, 1, 1});
+}
+
+SubstModel SubstModel::f81(const Vec4& pi) {
+  return SubstModel("F81", pi, {1, 1, 1, 1, 1, 1});
+}
+
+SubstModel SubstModel::k80(double kappa) {
+  if (kappa <= 0) throw InputError("K80: kappa must be positive");
+  // Transitions: A<->G and C<->T.
+  return SubstModel("K80", {0.25, 0.25, 0.25, 0.25},
+                    {1, kappa, 1, 1, kappa, 1});
+}
+
+SubstModel SubstModel::hky85(const Vec4& pi, double kappa) {
+  if (kappa <= 0) throw InputError("HKY85: kappa must be positive");
+  return SubstModel("HKY85", pi, {1, kappa, 1, 1, kappa, 1});
+}
+
+SubstModel SubstModel::f84(const Vec4& pi, double kappa) {
+  if (kappa < 0) throw InputError("F84: kappa must be non-negative");
+  double pi_r = pi[0] + pi[2];  // purines A, G
+  double pi_y = pi[1] + pi[3];  // pyrimidines C, T
+  return SubstModel("F84", pi,
+                    {1, 1.0 + kappa / pi_r, 1, 1, 1.0 + kappa / pi_y, 1});
+}
+
+SubstModel SubstModel::tn93(const Vec4& pi, double kappa_r, double kappa_y) {
+  if (kappa_r <= 0 || kappa_y <= 0) {
+    throw InputError("TN93: kappas must be positive");
+  }
+  return SubstModel("TN93", pi, {1, kappa_r, 1, 1, kappa_y, 1});
+}
+
+SubstModel SubstModel::gtr(const Vec4& pi, const std::array<double, 6>& rates) {
+  return SubstModel("GTR", pi, rates);
+}
+
+RateModel RateModel::uniform() { return RateModel{}; }
+
+RateModel RateModel::gamma(double alpha, int categories) {
+  RateModel rm;
+  rm.rates = discrete_gamma_rates(alpha, categories);
+  rm.probs.assign(rm.rates.size(), 1.0 / static_cast<double>(rm.rates.size()));
+  return rm;
+}
+
+RateModel RateModel::with_invariant(double p_inv) const {
+  if (p_inv < 0 || p_inv >= 1) {
+    throw InputError("invariant proportion must be in [0, 1)");
+  }
+  if (p_inv == 0) return *this;
+  RateModel rm;
+  rm.rates.clear();  // drop the default single uniform category
+  rm.probs.clear();
+  rm.rates.push_back(0.0);
+  rm.probs.push_back(p_inv);
+  // Rescale the variable categories so the overall mean rate stays 1.
+  double scale = 1.0 / (1.0 - p_inv);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    rm.rates.push_back(rates[i] * scale);
+    rm.probs.push_back(probs[i] * (1.0 - p_inv));
+  }
+  return rm;
+}
+
+double RateModel::mean_rate() const {
+  double m = 0;
+  for (std::size_t i = 0; i < rates.size(); ++i) m += rates[i] * probs[i];
+  return m;
+}
+
+ModelSpec ModelSpec::parse(const std::string& spec, const Config& params) {
+  auto parts = split(spec, '+');
+  if (parts.empty() || parts[0].empty()) throw InputError("empty model spec");
+  std::string base = to_upper(trim(parts[0]));
+
+  Vec4 pi = parse_pi(params);
+  double kappa = params.get_f64("kappa", 2.0);
+
+  ModelSpec out;
+  out.spec_string = spec;
+  if (base == "JC69" || base == "JC") {
+    out.model = std::make_shared<SubstModel>(SubstModel::jc69());
+  } else if (base == "F81") {
+    out.model = std::make_shared<SubstModel>(SubstModel::f81(pi));
+  } else if (base == "K80" || base == "K2P") {
+    out.model = std::make_shared<SubstModel>(SubstModel::k80(kappa));
+  } else if (base == "HKY85" || base == "HKY") {
+    out.model = std::make_shared<SubstModel>(SubstModel::hky85(pi, kappa));
+  } else if (base == "F84") {
+    out.model = std::make_shared<SubstModel>(SubstModel::f84(pi, kappa));
+  } else if (base == "TN93") {
+    out.model = std::make_shared<SubstModel>(SubstModel::tn93(
+        pi, params.get_f64("kappa_r", kappa), params.get_f64("kappa_y", kappa)));
+  } else if (base == "GTR") {
+    std::array<double, 6> rates = {1, 1, 1, 1, 1, 1};
+    if (params.has("gtr_rates")) {
+      auto fields = split(params.get_str("gtr_rates"), ',');
+      if (fields.size() != 6) {
+        throw InputError("gtr_rates must have 6 comma-separated values");
+      }
+      for (std::size_t i = 0; i < 6; ++i) rates[i] = parse_f64(fields[i]);
+    }
+    out.model = std::make_shared<SubstModel>(SubstModel::gtr(pi, rates));
+  } else {
+    throw InputError("unknown substitution model: " + base);
+  }
+
+  out.rates = RateModel::uniform();
+  double p_inv = 0;
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    std::string mod = to_upper(trim(parts[i]));
+    if (mod.empty()) throw InputError("empty model modifier in: " + spec);
+    if (mod[0] == 'G') {
+      int cats = 4;
+      if (mod.size() > 1) cats = static_cast<int>(parse_i64(mod.substr(1)));
+      double alpha = params.get_f64("alpha", 0.5);
+      out.rates = RateModel::gamma(alpha, cats);
+    } else if (mod == "I") {
+      p_inv = params.get_f64("pinv", 0.1);
+    } else {
+      throw InputError("unknown model modifier '+" + mod + "' in: " + spec);
+    }
+  }
+  if (p_inv > 0) out.rates = out.rates.with_invariant(p_inv);
+  return out;
+}
+
+}  // namespace hdcs::phylo

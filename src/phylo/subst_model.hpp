@@ -1,0 +1,99 @@
+#pragma once
+// DNA substitution models.
+//
+// DPRml's selling point is "one of the most extensive ranges of DNA
+// substitution models currently available" (paper §3.2); earlier parallel
+// ML programs "only allowed the user to choose from a very limited number
+// of DNA substitution models, which often leads to a poor model fit
+// resulting in sub-optimal trees".
+//
+// All models here are time-reversible and specified by stationary base
+// frequencies pi and exchangeabilities; P(t) = exp(Qt) is computed through
+// the symmetric eigendecomposition (see matrix4.hpp), one code path for the
+// whole GTR family:
+//
+//   JC69   — equal frequencies, one rate
+//   F81    — arbitrary frequencies, one rate
+//   K80    — equal frequencies, transition/transversion ratio kappa
+//   HKY85  — arbitrary frequencies + kappa
+//   F84    — arbitrary frequencies + kappa-like parameter (PHYLIP's model)
+//   TN93   — separate purine/pyrimidine transition rates
+//   GTR    — six exchangeabilities (the general reversible model)
+//
+// Rate heterogeneity: +G (discrete gamma, Yang 1994) and +I (proportion of
+// invariant sites), composable with every model.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "phylo/matrix4.hpp"
+#include "util/config.hpp"
+
+namespace hdcs::phylo {
+
+/// Base order everywhere: A=0, C=1, G=2, T=3.
+class SubstModel {
+ public:
+  /// pi: stationary frequencies (must sum to 1); exchangeabilities: upper
+  /// triangle {AC, AG, AT, CG, CT, GT} of the symmetric factor.
+  SubstModel(std::string name, const Vec4& pi,
+             const std::array<double, 6>& exchangeabilities);
+
+  /// Transition probability matrix P(t) = exp(Qt); Q normalized so the
+  /// expected substitution rate at stationarity is 1 (t in expected
+  /// substitutions per site).
+  [[nodiscard]] Matrix4 transition_probs(double t) const;
+
+  [[nodiscard]] const Vec4& pi() const { return pi_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Matrix4& rate_matrix() const { return q_; }
+
+  // ---- named constructors ----
+  static SubstModel jc69();
+  static SubstModel f81(const Vec4& pi);
+  static SubstModel k80(double kappa);
+  static SubstModel hky85(const Vec4& pi, double kappa);
+  static SubstModel f84(const Vec4& pi, double kappa);
+  static SubstModel tn93(const Vec4& pi, double kappa_r, double kappa_y);
+  static SubstModel gtr(const Vec4& pi, const std::array<double, 6>& rates);
+
+ private:
+  std::string name_;
+  Vec4 pi_;
+  Matrix4 q_;          // normalized rate matrix
+  // Cached spectral form: P(t) = left_ * diag(exp(lambda t)) * right_.
+  Vec4 eigenvalues_;
+  Matrix4 left_;       // Pi^{-1/2} V
+  Matrix4 right_;      // V^T Pi^{1/2}
+};
+
+/// Among-site rate variation: category rates and probabilities.
+struct RateModel {
+  std::vector<double> rates{1.0};
+  std::vector<double> probs{1.0};
+
+  static RateModel uniform();
+  /// Discrete gamma with `categories` equal-probability classes.
+  static RateModel gamma(double alpha, int categories);
+  /// Proportion p_inv of invariant sites; remaining mass rescaled so the
+  /// mean rate stays 1. Composes with gamma.
+  [[nodiscard]] RateModel with_invariant(double p_inv) const;
+
+  [[nodiscard]] std::size_t category_count() const { return rates.size(); }
+  /// Mean rate (should always be ~1).
+  [[nodiscard]] double mean_rate() const;
+};
+
+/// Model + rate-model bundle parsed from a spec like "HKY85+G4+I" and a
+/// Config carrying the numeric parameters (kappa, alpha, pinv, basefreq,
+/// gtr_rates). Unknown names throw InputError.
+struct ModelSpec {
+  std::shared_ptr<SubstModel> model;
+  RateModel rates;
+  std::string spec_string;
+
+  static ModelSpec parse(const std::string& spec, const Config& params);
+};
+
+}  // namespace hdcs::phylo

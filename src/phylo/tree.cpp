@@ -1,0 +1,452 @@
+#include "phylo/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace hdcs::phylo {
+
+const TreeNode& Tree::at(int node) const {
+  check_node(node);
+  return nodes_[static_cast<std::size_t>(node)];
+}
+
+TreeNode& Tree::mut(int node) {
+  check_node(node);
+  return nodes_[static_cast<std::size_t>(node)];
+}
+
+void Tree::check_node(int node) const {
+  if (node < 0 || node >= node_count()) {
+    throw InputError("tree node index out of range: " + std::to_string(node));
+  }
+}
+
+int Tree::add_node(int parent, double branch_length, const std::string& name) {
+  if (branch_length < 0) throw InputError("negative branch length");
+  int idx = node_count();
+  TreeNode node;
+  node.parent = parent;
+  node.branch_length = branch_length;
+  node.name = name;
+  nodes_.push_back(std::move(node));
+  if (parent >= 0) {
+    mut(parent).children.push_back(idx);
+  } else {
+    if (root_ >= 0) throw InputError("tree already has a root");
+    root_ = idx;
+  }
+  return idx;
+}
+
+Tree Tree::three_taxon(const std::string& a, const std::string& b,
+                       const std::string& c, double branch_length) {
+  Tree t;
+  int root = t.add_node(-1, 0);
+  t.add_node(root, branch_length, a);
+  t.add_node(root, branch_length, b);
+  t.add_node(root, branch_length, c);
+  return t;
+}
+
+int Tree::leaf_count() const {
+  int n = 0;
+  for (const auto& node : nodes_) {
+    if (node.children.empty()) ++n;
+  }
+  return n;
+}
+
+void Tree::set_branch_length(int node, double bl) {
+  if (bl < 0) throw InputError("negative branch length");
+  mut(node).branch_length = bl;
+}
+
+std::vector<int> Tree::postorder() const {
+  std::vector<int> order;
+  if (root_ < 0) return order;
+  order.reserve(nodes_.size());
+  // Iterative DFS emitting children before parents.
+  std::vector<std::pair<int, std::size_t>> stack;  // (node, next child slot)
+  stack.emplace_back(root_, 0);
+  while (!stack.empty()) {
+    auto& [node, slot] = stack.back();
+    const auto& children = at(node).children;
+    if (slot < children.size()) {
+      int child = children[slot];
+      ++slot;
+      stack.emplace_back(child, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+std::vector<int> Tree::leaves() const {
+  std::vector<int> out;
+  for (int i = 0; i < node_count(); ++i) {
+    if (is_leaf(i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::string> Tree::leaf_names() const {
+  std::vector<std::string> out;
+  for (int i : leaves()) out.push_back(at(i).name);
+  return out;
+}
+
+std::vector<int> Tree::edge_nodes() const {
+  std::vector<int> out;
+  for (int i = 0; i < node_count(); ++i) {
+    if (i != root_) out.push_back(i);
+  }
+  return out;
+}
+
+std::optional<int> Tree::find_leaf(const std::string& name) const {
+  for (int i = 0; i < node_count(); ++i) {
+    if (is_leaf(i) && at(i).name == name) return i;
+  }
+  return std::nullopt;
+}
+
+double Tree::total_length() const {
+  double sum = 0;
+  for (int i = 0; i < node_count(); ++i) {
+    if (i != root_) sum += at(i).branch_length;
+  }
+  return sum;
+}
+
+int Tree::insert_leaf_on_edge(int edge_node, const std::string& name,
+                              double pendant, double split_fraction) {
+  check_node(edge_node);
+  if (edge_node == root_) throw InputError("cannot insert on the root (no edge)");
+  if (split_fraction <= 0 || split_fraction >= 1) {
+    throw InputError("split_fraction must be in (0, 1)");
+  }
+  if (pendant < 0) throw InputError("negative pendant branch length");
+
+  int old_parent = at(edge_node).parent;
+  double old_bl = at(edge_node).branch_length;
+
+  // New internal node takes edge_node's place under old_parent.
+  int mid = node_count();
+  TreeNode mid_node;
+  mid_node.parent = old_parent;
+  mid_node.branch_length = old_bl * split_fraction;
+  nodes_.push_back(std::move(mid_node));
+
+  auto& siblings = mut(old_parent).children;
+  *std::find(siblings.begin(), siblings.end(), edge_node) = mid;
+
+  mut(edge_node).parent = mid;
+  mut(edge_node).branch_length = old_bl * (1.0 - split_fraction);
+  mut(mid).children.push_back(edge_node);
+
+  int leaf = node_count();
+  TreeNode leaf_node;
+  leaf_node.parent = mid;
+  leaf_node.branch_length = pendant;
+  leaf_node.name = name;
+  nodes_.push_back(std::move(leaf_node));
+  mut(mid).children.push_back(leaf);
+  return leaf;
+}
+
+void Tree::remove_leaf(int leaf) {
+  check_node(leaf);
+  if (!is_leaf(leaf)) throw InputError("remove_leaf: node is not a leaf");
+  if (leaf == root_) throw InputError("remove_leaf: tree has a single node");
+
+  int parent = at(leaf).parent;
+  auto& siblings = mut(parent).children;
+  siblings.erase(std::find(siblings.begin(), siblings.end(), leaf));
+
+  // Rebuild the arena without the leaf, collapsing a degree-2 parent.
+  Tree rebuilt;
+  // Collapse case A: parent is internal non-root left with one child.
+  // Collapse case B: parent is the root left with one child -> child
+  // becomes the new root.
+  std::map<int, int> remap;
+  // DFS copy from root_.
+  std::vector<std::pair<int, int>> stack;  // (old node, new parent)
+  int start = root_;
+  if (parent == root_ && at(root_).children.size() == 1) {
+    start = at(root_).children[0];
+  }
+  stack.emplace_back(start, -1);
+  while (!stack.empty()) {
+    auto [old_node, new_parent] = stack.back();
+    stack.pop_back();
+    const TreeNode& src = at(old_node);
+    if (old_node != start && src.children.size() == 1) {
+      // Degree-2 internal node (the old parent): splice through, adding
+      // branch lengths.
+      int child = src.children[0];
+      const TreeNode& ch = at(child);
+      int copied = rebuilt.add_node(new_parent,
+                                    src.branch_length + ch.branch_length, ch.name);
+      remap[child] = copied;
+      for (auto it = ch.children.rbegin(); it != ch.children.rend(); ++it) {
+        stack.emplace_back(*it, copied);
+      }
+      continue;
+    }
+    int copied = rebuilt.add_node(new_parent,
+                                  old_node == start ? 0 : src.branch_length,
+                                  src.name);
+    remap[old_node] = copied;
+    for (auto it = src.children.rbegin(); it != src.children.rend(); ++it) {
+      stack.emplace_back(*it, copied);
+    }
+  }
+  *this = std::move(rebuilt);
+}
+
+std::vector<int> Tree::internal_edges() const {
+  std::vector<int> out;
+  for (int i = 0; i < node_count(); ++i) {
+    if (i != root_ && !is_leaf(i)) out.push_back(i);
+  }
+  return out;
+}
+
+void Tree::nni(int edge_node, int variant) {
+  check_node(edge_node);
+  if (edge_node == root_ || is_leaf(edge_node)) {
+    throw InputError("NNI requires an internal edge");
+  }
+  if (variant != 0 && variant != 1) throw InputError("NNI variant must be 0 or 1");
+  int parent = at(edge_node).parent;
+  if (at(edge_node).children.size() < 2) {
+    throw InputError("NNI: child endpoint must have two subtrees");
+  }
+  // Sibling subtree on the parent side.
+  int sibling = -1;
+  for (int c : at(parent).children) {
+    if (c != edge_node) {
+      sibling = c;
+      break;
+    }
+  }
+  if (sibling < 0) throw InputError("NNI: no sibling subtree at parent");
+
+  int moved = at(edge_node).children[static_cast<std::size_t>(variant)];
+
+  // Swap `moved` (child of edge_node) with `sibling` (child of parent).
+  auto& pc = mut(parent).children;
+  auto& vc = mut(edge_node).children;
+  *std::find(pc.begin(), pc.end(), sibling) = moved;
+  *std::find(vc.begin(), vc.end(), moved) = sibling;
+  mut(moved).parent = parent;
+  mut(sibling).parent = edge_node;
+}
+
+// ---- Newick ----
+
+namespace {
+struct NewickParser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw InputError("Newick parse error at position " + std::to_string(pos) +
+                     ": " + why);
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  std::string read_label() {
+    skip_ws();
+    std::size_t start = pos;
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c == '(' || c == ')' || c == ',' || c == ':' || c == ';' ||
+          c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        break;
+      }
+      ++pos;
+    }
+    return std::string(text.substr(start, pos - start));
+  }
+
+  double read_length() {
+    skip_ws();
+    std::size_t start = pos;
+    while (pos < text.size()) {
+      char c = text[pos];
+      if ((c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' ||
+          c == 'e' || c == 'E') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == start) fail("expected branch length after ':'");
+    try {
+      return std::stod(std::string(text.substr(start, pos - start)));
+    } catch (const std::exception&) {
+      fail("bad branch length");
+    }
+  }
+
+  void subtree(Tree& tree, int parent) {
+    skip_ws();
+    int node;
+    if (peek() == '(') {
+      ++pos;
+      node = tree.add_node(parent, 0);
+      subtree(tree, node);
+      while (peek() == ',') {
+        ++pos;
+        subtree(tree, node);
+      }
+      expect(')');
+      // Optional internal label (ignored beyond storage).
+      skip_ws();
+      if (pos < text.size() && text[pos] != ':' && text[pos] != ',' &&
+          text[pos] != ')' && text[pos] != ';') {
+        read_label();
+      }
+    } else {
+      std::string name = read_label();
+      if (name.empty()) fail("expected taxon name");
+      node = tree.add_node(parent, 0, name);
+    }
+    skip_ws();
+    if (pos < text.size() && text[pos] == ':') {
+      ++pos;
+      double bl = read_length();
+      if (bl < 0) fail("negative branch length");
+      tree.set_branch_length(node, bl);
+    }
+  }
+};
+}  // namespace
+
+Tree Tree::parse_newick(std::string_view text) {
+  NewickParser parser{text};
+  Tree tree;
+  parser.subtree(tree, -1);
+  parser.skip_ws();
+  if (parser.pos < text.size() && text[parser.pos] == ';') ++parser.pos;
+  parser.skip_ws();
+  if (parser.pos != text.size()) parser.fail("trailing characters");
+  if (tree.node_count() == 0) parser.fail("empty tree");
+  return tree;
+}
+
+void Tree::write_newick(std::string& out, int node, int precision) const {
+  const TreeNode& n = at(node);
+  if (n.children.empty()) {
+    out += n.name;
+  } else {
+    out.push_back('(');
+    for (std::size_t i = 0; i < n.children.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      write_newick(out, n.children[i], precision);
+    }
+    out.push_back(')');
+  }
+  if (node != root_) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ":%.*g", precision, n.branch_length);
+    out += buf;
+  }
+}
+
+std::string Tree::to_newick(int precision) const {
+  if (root_ < 0) throw Error("to_newick: empty tree");
+  std::string out;
+  write_newick(out, root_, precision);
+  out.push_back(';');
+  return out;
+}
+
+// ---- Robinson–Foulds ----
+
+namespace {
+using Split = std::set<std::string>;
+
+/// Nontrivial splits (leaf-name sets of each internal edge's subtree,
+/// canonicalized to the side not containing the reference leaf).
+std::set<Split> splits_of(const Tree& tree, const std::string& ref_leaf,
+                          const std::set<std::string>& all) {
+  std::set<Split> out;
+  // Collect subtree leaf sets bottom-up.
+  std::map<int, Split> below;
+  for (int node : tree.postorder()) {
+    Split s;
+    if (tree.is_leaf(node)) {
+      s.insert(tree.at(node).name);
+    } else {
+      for (int c : tree.at(node).children) {
+        s.insert(below[c].begin(), below[c].end());
+      }
+    }
+    if (node != tree.root() && !tree.is_leaf(node) && s.size() >= 2 &&
+        s.size() <= all.size() - 2) {
+      Split canonical = s;
+      if (canonical.count(ref_leaf)) {
+        Split flipped;
+        for (const auto& name : all) {
+          if (!canonical.count(name)) flipped.insert(name);
+        }
+        canonical = std::move(flipped);
+      }
+      out.insert(canonical);
+    }
+    below[node] = std::move(s);
+  }
+  return out;
+}
+}  // namespace
+
+int rf_distance(const Tree& a, const Tree& b) {
+  auto names_a = a.leaf_names();
+  auto names_b = b.leaf_names();
+  std::set<std::string> set_a(names_a.begin(), names_a.end());
+  std::set<std::string> set_b(names_b.begin(), names_b.end());
+  if (set_a != set_b) throw InputError("rf_distance: different leaf sets");
+  if (set_a.size() != names_a.size()) {
+    throw InputError("rf_distance: duplicate leaf names");
+  }
+  const std::string& ref = *set_a.begin();
+  auto sa = splits_of(a, ref, set_a);
+  auto sb = splits_of(b, ref, set_a);
+  int diff = 0;
+  for (const auto& s : sa) {
+    if (!sb.count(s)) ++diff;
+  }
+  for (const auto& s : sb) {
+    if (!sa.count(s)) ++diff;
+  }
+  return diff;
+}
+
+}  // namespace hdcs::phylo

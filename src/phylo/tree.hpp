@@ -1,0 +1,101 @@
+#pragma once
+// Phylogenetic trees.
+//
+// Node-arena representation: nodes are indices into a vector, each with a
+// parent link, children, a branch length (to its parent) and, for leaves, a
+// taxon name. Unrooted trees are stored in the conventional way as a tree
+// rooted at an internal node of degree 3 ("trifurcating root"), which is
+// what Newick files of unrooted ML trees contain.
+//
+// Supports exactly what DPRml's stepwise-insertion search needs: Newick
+// round-tripping, edge enumeration, leaf insertion on an edge, and NNI
+// rearrangements, plus Robinson–Foulds distance for tests.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdcs::phylo {
+
+struct TreeNode {
+  int parent = -1;
+  std::vector<int> children;
+  double branch_length = 0;  // length of the edge to parent (root: unused)
+  std::string name;          // non-empty for leaves
+};
+
+class Tree {
+ public:
+  Tree() = default;
+
+  /// The unique unrooted topology on three taxa.
+  static Tree three_taxon(const std::string& a, const std::string& b,
+                          const std::string& c, double branch_length = 0.1);
+
+  /// Parse a Newick string (with branch lengths); throws InputError.
+  static Tree parse_newick(std::string_view text);
+
+  /// Serialize to Newick with branch lengths ("(...);").
+  [[nodiscard]] std::string to_newick(int precision = 17) const;
+
+  // ---- structure queries ----
+  [[nodiscard]] int root() const { return root_; }
+  [[nodiscard]] int node_count() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] int leaf_count() const;
+  [[nodiscard]] bool is_leaf(int node) const { return at(node).children.empty(); }
+  [[nodiscard]] const TreeNode& at(int node) const;
+  [[nodiscard]] int parent(int node) const { return at(node).parent; }
+  [[nodiscard]] double branch_length(int node) const { return at(node).branch_length; }
+  void set_branch_length(int node, double bl);
+
+  /// All nodes in postorder (children before parents, root last).
+  [[nodiscard]] std::vector<int> postorder() const;
+  /// Leaf node indices (in index order).
+  [[nodiscard]] std::vector<int> leaves() const;
+  [[nodiscard]] std::vector<std::string> leaf_names() const;
+  /// Every edge, identified by its child node (all non-root nodes).
+  /// An unrooted n-leaf tree has 2n-3 of these.
+  [[nodiscard]] std::vector<int> edge_nodes() const;
+  /// Find a leaf by name; nullopt if absent.
+  [[nodiscard]] std::optional<int> find_leaf(const std::string& name) const;
+  /// Sum of all branch lengths.
+  [[nodiscard]] double total_length() const;
+
+  // ---- building / editing ----
+
+  /// Append a node under `parent` (-1 for the root). Returns its index.
+  int add_node(int parent, double branch_length, const std::string& name = "");
+
+  /// Split the edge above `edge_node` with a new internal node and hang a
+  /// new leaf `name` off it. The old branch length is divided
+  /// (split_fraction goes to the upper half); the leaf gets `pendant`.
+  /// Returns the new leaf's index. This is the stepwise-insertion move.
+  int insert_leaf_on_edge(int edge_node, const std::string& name, double pendant,
+                          double split_fraction = 0.5);
+
+  /// Remove a leaf and collapse its degree-2 parent (inverse of insertion).
+  void remove_leaf(int leaf);
+
+  /// The two NNI rearrangements across the internal edge above
+  /// `edge_node` (both endpoints internal). variant selects which of the
+  /// two swaps. Throws if the edge is not internal.
+  void nni(int edge_node, int variant);
+
+  /// Internal edges eligible for NNI.
+  [[nodiscard]] std::vector<int> internal_edges() const;
+
+ private:
+  TreeNode& mut(int node);
+  void check_node(int node) const;
+  void write_newick(std::string& out, int node, int precision) const;
+
+  std::vector<TreeNode> nodes_;
+  int root_ = -1;
+};
+
+/// Robinson–Foulds distance: number of splits present in exactly one tree.
+/// Both trees must be over the same leaf set; throws otherwise.
+int rf_distance(const Tree& a, const Tree& b);
+
+}  // namespace hdcs::phylo

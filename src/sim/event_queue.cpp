@@ -1,0 +1,36 @@
+#include "sim/event_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace hdcs::sim {
+
+void EventQueue::schedule(double at, Callback fn) {
+  if (at < now_) {
+    throw Error("EventQueue: scheduling into the past (at=" + std::to_string(at) +
+                ", now=" + std::to_string(now_) + ")");
+  }
+  events_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle (shared state via std::function is cheap
+  // relative to simulated work).
+  Event ev = events_.top();
+  events_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+double EventQueue::run_until(const std::function<bool()>& stop) {
+  while (!events_.empty()) {
+    if (stop && stop()) break;
+    step();
+  }
+  return now_;
+}
+
+}  // namespace hdcs::sim

@@ -1,0 +1,52 @@
+#pragma once
+// Discrete-event engine: a time-ordered queue of callbacks.
+//
+// Ties are broken by insertion order (seq), which together with seeded RNGs
+// makes every simulation fully deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hdcs::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `at` (must be >= now()).
+  void schedule(double at, Callback fn);
+
+  /// Pop and run the earliest event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until empty or until predicate() becomes true (checked between
+  /// events). Returns the final time.
+  double run_until(const std::function<bool()>& stop = nullptr);
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hdcs::sim

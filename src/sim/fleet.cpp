@@ -1,0 +1,84 @@
+#include "sim/fleet.hpp"
+
+namespace hdcs::sim {
+
+std::vector<MachineSpec> lab_fleet(int n, double availability_mean,
+                                   double availability_jitter) {
+  std::vector<MachineSpec> fleet;
+  fleet.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    MachineSpec m;
+    m.name = "lab-piii-" + std::to_string(i);
+    m.speed = 1.0;
+    m.availability_mean = availability_mean;
+    m.availability_jitter = availability_jitter;
+    fleet.push_back(m);
+  }
+  return fleet;
+}
+
+std::vector<MachineSpec> cluster_fleet() {
+  std::vector<MachineSpec> fleet;
+  fleet.reserve(64);
+  for (int node = 0; node < 32; ++node) {
+    for (int cpu = 0; cpu < 2; ++cpu) {
+      MachineSpec m;
+      m.name = "cluster-" + std::to_string(node) + "-cpu" + std::to_string(cpu);
+      m.speed = 1.0;               // PIII 1 GHz
+      m.availability_mean = 1.0;   // dedicated nodes
+      m.availability_jitter = 0.0;
+      fleet.push_back(m);
+    }
+  }
+  return fleet;
+}
+
+std::vector<MachineSpec> campus_fleet(hdcs::Rng& rng, int desktops) {
+  // CPU classes in the paper's lab mix (PII..PIV), speeds relative to
+  // PIII-1GHz ~ clock ratio with a small microarchitecture factor.
+  struct CpuClass {
+    const char* name;
+    double speed;
+    double weight;
+  };
+  static const CpuClass kClasses[] = {
+      {"pii-300", 0.30, 0.15},  {"pii-450", 0.45, 0.15},
+      {"piii-600", 0.60, 0.20}, {"piii-1000", 1.00, 0.25},
+      {"piv-1800", 1.60, 0.15}, {"piv-2400", 2.10, 0.10},
+  };
+  std::vector<double> weights;
+  for (const auto& c : kClasses) weights.push_back(c.weight);
+
+  std::vector<MachineSpec> fleet;
+  fleet.reserve(static_cast<std::size_t>(desktops) + 64);
+  for (int i = 0; i < desktops; ++i) {
+    const auto& cls = kClasses[rng.categorical(weights)];
+    MachineSpec m;
+    m.name = std::string("desk-") + cls.name + "-" + std::to_string(i);
+    m.speed = cls.speed;
+    // Desktops are in use during the day: noticeably semi-idle.
+    m.availability_mean = rng.uniform(0.55, 0.95);
+    m.availability_jitter = 0.15;
+    fleet.push_back(m);
+  }
+  auto cluster = cluster_fleet();
+  fleet.insert(fleet.end(), cluster.begin(), cluster.end());
+  return fleet;
+}
+
+std::vector<MachineSpec> heterogeneous_fleet(int n) {
+  std::vector<MachineSpec> fleet;
+  fleet.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    MachineSpec m;
+    bool fast = (i % 2) == 0;
+    m.name = (fast ? "fast-" : "slow-") + std::to_string(i);
+    m.speed = fast ? 2.0 : 0.3;
+    m.availability_mean = 0.9;
+    m.availability_jitter = 0.05;
+    fleet.push_back(m);
+  }
+  return fleet;
+}
+
+}  // namespace hdcs::sim

@@ -1,0 +1,57 @@
+#pragma once
+// Machine and fleet models for the deployment the paper describes (§3):
+// ~200 desktop PCs from Pentium II to Pentium IV running as low-priority
+// background services ("semi-idle"), a 32-node dual-PIII-1GHz IBM cluster,
+// and one PIII-500 server on a shared 100 Mbit/s network.
+//
+// Speeds are relative to the paper's reference donor, a Pentium III 1 GHz
+// (speed = 1.0). Availability is the fraction of cycles the low-priority
+// donor process actually gets; "semi-idle" lab machines hover below 1.0.
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hdcs::sim {
+
+struct MachineSpec {
+  std::string name;
+  double speed = 1.0;              // relative CPU speed (PIII-1GHz = 1.0)
+  double availability_mean = 1.0;  // mean fraction of cycles available
+  double availability_jitter = 0.0;  // +/- uniform jitter drawn per unit
+  double join_time = 0.0;
+  double leave_time = -1.0;  // < 0: stays forever
+  bool crash_on_leave = true;  // true: vanish (lease expiry recovers);
+                               // false: orderly Goodbye
+  double rejoin_time = -1.0;   // < 0: never rejoins
+
+  /// Owner-activity model. When owner_busy_mean > 0, the donor alternates
+  /// between FREE periods (full speed, duration ~ Exp(owner_free_mean))
+  /// and BUSY periods (owner at the keyboard, donor gets nothing,
+  /// duration ~ Exp(owner_busy_mean)). Long-run availability is then
+  /// free/(free+busy) and availability_mean/jitter are ignored. This makes
+  /// unit turnaround heavy-tailed — a unit that lands just before the
+  /// owner sits down stalls for the whole session — which is the
+  /// behaviour the lease/hedging machinery exists for.
+  double owner_busy_mean = 0.0;  // <= 0: use the per-unit jitter model
+  double owner_free_mean = 0.0;
+};
+
+/// Fig. 1's testbed: n homogeneous PIII-1GHz lab machines, semi-idle.
+std::vector<MachineSpec> lab_fleet(int n, double availability_mean = 0.85,
+                                   double availability_jitter = 0.10);
+
+/// The 32-node dual-PIII-1GHz cluster: 64 donor "machines" (one per CPU),
+/// fully idle (dedicated nodes).
+std::vector<MachineSpec> cluster_fleet();
+
+/// The full campus deployment: ~200 mixed desktops (PII-300 .. PIV-2400,
+/// drawn reproducibly from `rng`) plus the 32-node cluster.
+std::vector<MachineSpec> campus_fleet(hdcs::Rng& rng, int desktops = 200);
+
+/// A deliberately lopsided fleet for the granularity ablation: half slow
+/// PII-class machines, half fast PIV-class machines.
+std::vector<MachineSpec> heterogeneous_fleet(int n);
+
+}  // namespace hdcs::sim

@@ -1,0 +1,115 @@
+#include "util/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hdcs {
+
+Config Config::parse(std::string_view text) {
+  Config cfg;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = trim(text.substr(start, end - start));
+    ++line_no;
+    start = end + 1;
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw InputError("config line " + std::to_string(line_no) +
+                       ": expected 'key = value', got '" + std::string(line) + "'");
+    }
+    std::string_view key = trim(line.substr(0, eq));
+    std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw InputError("config line " + std::to_string(line_no) + ": empty key");
+    }
+    cfg.set(key, value);
+    if (end == text.size()) break;
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open config file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+void Config::set(std::string_view key, std::string_view value) {
+  values_[to_lower(key)] = std::string(value);
+}
+
+bool Config::has(std::string_view key) const {
+  return values_.count(to_lower(key)) != 0;
+}
+
+std::string Config::get_str(std::string_view key) const {
+  auto it = values_.find(to_lower(key));
+  if (it == values_.end()) {
+    throw InputError("missing required config key: " + std::string(key));
+  }
+  return it->second;
+}
+
+long long Config::get_i64(std::string_view key) const {
+  try {
+    return parse_i64(get_str(key));
+  } catch (const InputError& e) {
+    throw InputError("config key '" + std::string(key) + "': " + e.what());
+  }
+}
+
+double Config::get_f64(std::string_view key) const {
+  try {
+    return parse_f64(get_str(key));
+  } catch (const InputError& e) {
+    throw InputError("config key '" + std::string(key) + "': " + e.what());
+  }
+}
+
+bool Config::get_bool(std::string_view key) const {
+  try {
+    return parse_bool(get_str(key));
+  } catch (const InputError& e) {
+    throw InputError("config key '" + std::string(key) + "': " + e.what());
+  }
+}
+
+std::string Config::get_str(std::string_view key, std::string_view def) const {
+  return has(key) ? get_str(key) : std::string(def);
+}
+
+long long Config::get_i64(std::string_view key, long long def) const {
+  return has(key) ? get_i64(key) : def;
+}
+
+double Config::get_f64(std::string_view key, double def) const {
+  return has(key) ? get_f64(key) : def;
+}
+
+bool Config::get_bool(std::string_view key, bool def) const {
+  return has(key) ? get_bool(key) : def;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+std::string Config::to_string() const {
+  std::ostringstream ss;
+  for (const auto& [k, v] : values_) ss << k << " = " << v << "\n";
+  return ss.str();
+}
+
+}  // namespace hdcs

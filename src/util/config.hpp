@@ -1,0 +1,52 @@
+#pragma once
+// Key=value configuration files.
+//
+// Both DSEARCH and DPRml are driven by "a straightforward configuration
+// file" (paper §3.1, §3.2). Format: one `key = value` per line, `#` or `;`
+// comments, blank lines ignored, later keys override earlier ones. Keys are
+// case-insensitive and stored lower-cased.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdcs {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from text; throws InputError on malformed lines.
+  static Config parse(std::string_view text);
+  /// Parse from a file; throws IoError if unreadable.
+  static Config load(const std::string& path);
+
+  void set(std::string_view key, std::string_view value);
+
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  /// Required getters — throw InputError naming the missing/invalid key.
+  [[nodiscard]] std::string get_str(std::string_view key) const;
+  [[nodiscard]] long long get_i64(std::string_view key) const;
+  [[nodiscard]] double get_f64(std::string_view key) const;
+  [[nodiscard]] bool get_bool(std::string_view key) const;
+
+  /// Defaulted getters.
+  [[nodiscard]] std::string get_str(std::string_view key, std::string_view def) const;
+  [[nodiscard]] long long get_i64(std::string_view key, long long def) const;
+  [[nodiscard]] double get_f64(std::string_view key, double def) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool def) const;
+
+  /// All keys in sorted order (for round-tripping / diagnostics).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Serialize back to `key = value` lines (sorted by key).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hdcs

@@ -1,0 +1,44 @@
+#pragma once
+// Error taxonomy for the hdcs library.
+//
+// All recoverable failures surface as subclasses of hdcs::Error so callers
+// can catch the whole library with one handler, or pick off a category
+// (I/O vs. protocol vs. user input) when they can act on it.
+
+#include <stdexcept>
+#include <string>
+
+namespace hdcs {
+
+/// Root of every exception thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Operating-system level I/O failure (sockets, files).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed wire data: bad magic, truncated frame, version mismatch.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// Invalid user-supplied input: bad config key, malformed FASTA/Newick,
+/// out-of-range parameter.
+class InputError : public Error {
+ public:
+  explicit InputError(const std::string& what) : Error(what) {}
+};
+
+/// Serialization buffer underflow / overflow.
+class SerializationError : public ProtocolError {
+ public:
+  explicit SerializationError(const std::string& what) : ProtocolError(what) {}
+};
+
+}  // namespace hdcs

@@ -1,0 +1,49 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace hdcs {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+std::function<void(LogLevel, const std::string&)> g_sink;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  std::lock_guard lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+namespace log_detail {
+void emit(LogLevel level, const std::string& msg) {
+  std::lock_guard lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
+  using namespace std::chrono;
+  auto now = duration_cast<milliseconds>(steady_clock::now().time_since_epoch()).count();
+  std::fprintf(stderr, "[%10lld.%03lld] %s %s\n", static_cast<long long>(now / 1000),
+               static_cast<long long>(now % 1000), level_name(level), msg.c_str());
+}
+}  // namespace log_detail
+
+}  // namespace hdcs

@@ -1,0 +1,42 @@
+#pragma once
+// Minimal thread-safe leveled logger.
+//
+// The server, clients and simulator all log through this; tests silence it
+// by raising the level. Deliberately not configurable beyond level + sink to
+// keep hot paths free of formatting machinery.
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace hdcs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_detail {
+void emit(LogLevel level, const std::string& msg);
+}
+
+/// Global minimum level; messages below it are discarded before formatting.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Redirect output (default: stderr). Pass nullptr to restore the default.
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+/// Stream-style log statement: LOG_INFO("client " << id << " joined");
+#define HDCS_LOG(level, expr)                                         \
+  do {                                                                \
+    if (static_cast<int>(level) >= static_cast<int>(::hdcs::log_level())) { \
+      std::ostringstream hdcs_log_ss;                                 \
+      hdcs_log_ss << expr;                                            \
+      ::hdcs::log_detail::emit(level, hdcs_log_ss.str());             \
+    }                                                                 \
+  } while (0)
+
+#define LOG_DEBUG(expr) HDCS_LOG(::hdcs::LogLevel::kDebug, expr)
+#define LOG_INFO(expr) HDCS_LOG(::hdcs::LogLevel::kInfo, expr)
+#define LOG_WARN(expr) HDCS_LOG(::hdcs::LogLevel::kWarn, expr)
+#define LOG_ERROR(expr) HDCS_LOG(::hdcs::LogLevel::kError, expr)
+
+}  // namespace hdcs

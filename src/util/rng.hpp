@@ -1,0 +1,156 @@
+#pragma once
+// Deterministic, seedable random number generation.
+//
+// Everything in this repo that uses randomness (workload generators, the
+// availability traces in the simulator, stochastic tree search) goes through
+// Rng so that every experiment is reproducible from a single seed.
+// xoshiro256** core with a splitmix64 seeder (Blackman & Vigna).
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace hdcs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling, rejection-corrected.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Standard normal via Box–Muller (spare cached).
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1 = 0;
+    do {
+      u1 = next_double();
+    } while (u1 <= 0);
+    double u2 = next_double();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * std::numbers::pi * u2;
+    spare_ = r * std::sin(theta);
+    has_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with given mean (mean = 1/rate).
+  double exponential(double mean) {
+    double u;
+    do {
+      u = next_double();
+    } while (u <= 0);
+    return -mean * std::log(u);
+  }
+
+  /// Gamma(shape, scale) via Marsaglia–Tsang; shape > 0.
+  double gamma(double shape, double scale) {
+    if (shape < 1.0) {
+      // Boost to shape+1 then correct (Marsaglia–Tsang trick).
+      double u;
+      do {
+        u = next_double();
+      } while (u <= 0);
+      return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x = normal();
+      double v = 1.0 + c * x;
+      if (v <= 0) continue;
+      v = v * v * v;
+      double u = next_double();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+      if (u > 0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v * scale;
+    }
+  }
+
+  /// Sample an index from unnormalised non-negative weights.
+  std::size_t categorical(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = next_double() * total;
+    double acc = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (e.g. one per simulated machine).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4] = {};
+  double spare_ = 0;
+  bool has_spare_ = false;
+};
+
+}  // namespace hdcs

@@ -1,0 +1,24 @@
+#pragma once
+// Wall-clock stopwatch for coarse timing (client self-benchmark, examples).
+
+#include <chrono>
+
+namespace hdcs {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace hdcs

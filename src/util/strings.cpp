@@ -1,0 +1,116 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace hdcs {
+
+namespace {
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+long long parse_i64(std::string_view s) {
+  auto t = trim(s);
+  long long v = 0;
+  auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  if (ec != std::errc() || ptr != t.data() + t.size()) {
+    throw InputError("not an integer: '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+double parse_f64(std::string_view s) {
+  auto t = trim(s);
+  double v = 0;
+  auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  if (ec != std::errc() || ptr != t.data() + t.size()) {
+    throw InputError("not a number: '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+bool parse_bool(std::string_view s) {
+  auto t = trim(s);
+  if (iequals(t, "true") || iequals(t, "yes") || iequals(t, "on") || t == "1") return true;
+  if (iequals(t, "false") || iequals(t, "no") || iequals(t, "off") || t == "0") return false;
+  throw InputError("not a boolean: '" + std::string(s) + "'");
+}
+
+std::string format_f64(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace hdcs

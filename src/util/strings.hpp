@@ -1,0 +1,36 @@
+#pragma once
+// Small string helpers used by the config parser and the file-format readers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdcs {
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on any run of whitespace; no empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive equality (ASCII).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Parse helpers — throw hdcs::InputError with the offending text on failure.
+long long parse_i64(std::string_view s);
+double parse_f64(std::string_view s);
+bool parse_bool(std::string_view s);
+
+/// Format a double with fixed precision (locale-independent).
+std::string format_f64(double v, int precision = 3);
+
+}  // namespace hdcs

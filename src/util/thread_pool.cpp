@@ -1,0 +1,33 @@
+#include "util/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace hdcs {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] {
+      while (auto task = tasks_.pop()) {
+        (*task)();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  return tasks_.push(std::move(task));
+}
+
+void ThreadPool::shutdown() {
+  tasks_.close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace hdcs

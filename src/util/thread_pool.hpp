@@ -1,0 +1,51 @@
+#pragma once
+// Fixed-size thread pool.
+//
+// The TCP client uses one worker thread per local core so a single donor
+// process can contribute several "virtual donors" (matching the paper's
+// dual-CPU cluster nodes). Also used by tests to run server+clients locally.
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "util/blocking_queue.hpp"
+#include "util/error.hpp"
+
+namespace hdcs {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns false if the pool is shutting down.
+  bool submit(std::function<void()> task);
+
+  /// Enqueue and get a future for the result.
+  template <typename F>
+  auto submit_with_result(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    auto fut = task->get_future();
+    if (!submit([task] { (*task)(); })) {
+      throw Error("ThreadPool: submit after shutdown");
+    }
+    return fut;
+  }
+
+  /// Stop accepting work, run what is queued, join all threads.
+  void shutdown();
+
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+ private:
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hdcs

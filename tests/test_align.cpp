@@ -1,0 +1,209 @@
+#include "bio/align.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/seqgen.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hdcs::bio {
+namespace {
+
+ScoringScheme simple_dna() { return ScoringScheme::dna(2, -1, 2, 1); }
+
+TEST(NeedlemanWunsch, IdenticalSequencesScoreFullMatch) {
+  auto s = simple_dna();
+  EXPECT_EQ(nw_score("ACGTACGT", "ACGTACGT", s), 16);
+}
+
+TEST(NeedlemanWunsch, EmptyVsNonEmptyIsOneGap) {
+  auto s = simple_dna();  // gap(L) = 2 + L*1
+  EXPECT_EQ(nw_score("", "ACGT", s), -(2 + 4));
+  EXPECT_EQ(nw_score("ACGT", "", s), -(2 + 4));
+  EXPECT_EQ(nw_score("", "", s), 0);
+}
+
+TEST(NeedlemanWunsch, SingleMismatchVsGapChoice) {
+  auto s = simple_dna();
+  // ACGT vs AGGT: one mismatch (-1) + 3 matches (6) = 5.
+  EXPECT_EQ(nw_score("ACGT", "AGGT", s), 5);
+}
+
+TEST(NeedlemanWunsch, AffineGapPreferredOverTwoOpens) {
+  // A long gap must cost open + L*extend, not 2 opens.
+  ScoringScheme s = ScoringScheme::dna(2, -5, 10, 1);
+  // ACGTACGT vs ACGT + 4 deleted: 4 matches (8) - (10 + 4) = -6.
+  EXPECT_EQ(nw_score("ACGTACGT", "ACGT", s), 8 - 14);
+}
+
+TEST(NeedlemanWunsch, SymmetricInArguments) {
+  auto s = ScoringScheme::blosum62();
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    auto a = random_residues(rng, 20 + i, Alphabet::kProtein);
+    auto b = random_residues(rng, 25, Alphabet::kProtein);
+    EXPECT_EQ(nw_score(a, b, s), nw_score(b, a, s));
+  }
+}
+
+TEST(NeedlemanWunsch, TracebackMatchesScore) {
+  auto s = ScoringScheme::blosum62();
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    auto a = random_residues(rng, 30, Alphabet::kProtein);
+    auto b = mutate(rng, a, Alphabet::kProtein, 0.2, 0.05);
+    auto res = nw_align(a, b, s);
+    EXPECT_EQ(res.score, nw_score(a, b, s));
+    // Re-score the traceback alignment by hand.
+    ASSERT_EQ(res.aligned_a.size(), res.aligned_b.size());
+    std::int64_t rescore = 0;
+    bool in_gap_a = false, in_gap_b = false;
+    for (std::size_t k = 0; k < res.aligned_a.size(); ++k) {
+      char ca = res.aligned_a[k], cb = res.aligned_b[k];
+      if (ca == '-') {
+        rescore -= in_gap_a ? s.gap_extend() : s.gap_open() + s.gap_extend();
+        in_gap_a = true;
+        in_gap_b = false;
+      } else if (cb == '-') {
+        rescore -= in_gap_b ? s.gap_extend() : s.gap_open() + s.gap_extend();
+        in_gap_b = true;
+        in_gap_a = false;
+      } else {
+        rescore += s.score(ca, cb);
+        in_gap_a = in_gap_b = false;
+      }
+    }
+    EXPECT_EQ(rescore, res.score) << "a=" << a << " b=" << b;
+    // Stripping gaps recovers the inputs.
+    std::string stripped_a, stripped_b;
+    for (char c : res.aligned_a) {
+      if (c != '-') stripped_a.push_back(c);
+    }
+    for (char c : res.aligned_b) {
+      if (c != '-') stripped_b.push_back(c);
+    }
+    EXPECT_EQ(stripped_a, a);
+    EXPECT_EQ(stripped_b, b);
+  }
+}
+
+TEST(SmithWaterman, NonNegativeAndZeroForDisjointAlphabetUse) {
+  ScoringScheme s = ScoringScheme::dna(2, -3, 5, 2);
+  EXPECT_EQ(sw_score("AAAA", "TTTT", s), 0);
+  EXPECT_GE(sw_score("ACGT", "ACGT", s), 0);
+}
+
+TEST(SmithWaterman, FindsEmbeddedMotif) {
+  auto s = simple_dna();
+  // The motif ACGTACGT is embedded in noise on both sides.
+  std::string a = "TTTTTTACGTACGTTTTTTT";
+  std::string b = "GGGGACGTACGTGGGG";
+  EXPECT_EQ(sw_score(a, b, s), 16);  // 8 matches * 2
+  auto res = sw_align(a, b, s);
+  EXPECT_EQ(res.score, 16);
+  EXPECT_EQ(res.aligned_a, "ACGTACGT");
+  EXPECT_EQ(res.aligned_b, "ACGTACGT");
+  EXPECT_EQ(a.substr(res.a_begin, res.a_end - res.a_begin), "ACGTACGT");
+}
+
+TEST(SmithWaterman, LocalAtLeastGlobal) {
+  auto s = ScoringScheme::blosum62();
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    auto a = random_residues(rng, 40, Alphabet::kProtein);
+    auto b = random_residues(rng, 40, Alphabet::kProtein);
+    EXPECT_GE(sw_score(a, b, s), std::max<std::int64_t>(0, nw_score(a, b, s)));
+  }
+}
+
+TEST(SemiGlobal, FreeEndsInSubjectOnly) {
+  auto s = simple_dna();
+  // Query fully matches inside a long subject: no end-gap penalty.
+  std::string query = "ACGTACGT";
+  std::string subject = "TTTTTTTTACGTACGTTTTTTTTT";
+  EXPECT_EQ(semiglobal_score(query, subject, s), 16);
+  // Global pays for the flanks.
+  EXPECT_LT(nw_score(query, subject, s), 16);
+}
+
+TEST(SemiGlobal, EqualsGlobalForEqualLengthFullMatch) {
+  auto s = simple_dna();
+  EXPECT_EQ(semiglobal_score("ACGT", "ACGT", s), nw_score("ACGT", "ACGT", s));
+}
+
+TEST(SemiGlobal, AtLeastGlobalAlways) {
+  auto s = ScoringScheme::blosum62();
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    auto a = random_residues(rng, 20, Alphabet::kProtein);
+    auto b = random_residues(rng, 35, Alphabet::kProtein);
+    EXPECT_GE(semiglobal_score(a, b, s), nw_score(a, b, s));
+  }
+}
+
+TEST(Banded, WideBandMatchesFullNw) {
+  auto s = ScoringScheme::blosum62();
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    auto a = random_residues(rng, 30, Alphabet::kProtein);
+    auto b = mutate(rng, a, Alphabet::kProtein, 0.1, 0.03);
+    std::size_t band = std::max(a.size(), b.size());  // full band
+    EXPECT_EQ(banded_nw_score(a, b, s, band), nw_score(a, b, s));
+  }
+}
+
+TEST(Banded, NarrowBandLowerBoundsFullScore) {
+  auto s = simple_dna();
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    auto a = random_residues(rng, 50, Alphabet::kDna);
+    auto b = mutate(rng, a, Alphabet::kDna, 0.1, 0.02);
+    std::size_t diff = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+    auto banded = banded_nw_score(a, b, s, diff + 3);
+    EXPECT_LE(banded, nw_score(a, b, s));
+  }
+}
+
+TEST(Banded, BandTooNarrowThrows) {
+  auto s = simple_dna();
+  EXPECT_THROW(banded_nw_score("A", "ACGTACGT", s, 2), InputError);
+}
+
+TEST(Banded, IdenticalSequencesPerfectWithTinyBand) {
+  auto s = simple_dna();
+  std::string a(100, 'A');
+  EXPECT_EQ(banded_nw_score(a, a, s, 1), 200);
+}
+
+TEST(AlignScore, DispatchesAllModes) {
+  auto s = simple_dna();
+  std::string a = "ACGTACGTAA", b = "ACGTTCGTAA";
+  EXPECT_EQ(align_score(AlignMode::kGlobal, a, b, s), nw_score(a, b, s));
+  EXPECT_EQ(align_score(AlignMode::kLocal, a, b, s), sw_score(a, b, s));
+  EXPECT_EQ(align_score(AlignMode::kSemiGlobal, a, b, s), semiglobal_score(a, b, s));
+  EXPECT_EQ(align_score(AlignMode::kBanded, a, b, s, 12),
+            banded_nw_score(a, b, s, 12));
+}
+
+TEST(AlignMode, ParseAndPrint) {
+  EXPECT_EQ(parse_align_mode("smith-waterman"), AlignMode::kLocal);
+  EXPECT_EQ(parse_align_mode("NW"), AlignMode::kGlobal);
+  EXPECT_EQ(parse_align_mode("glocal"), AlignMode::kSemiGlobal);
+  EXPECT_EQ(parse_align_mode("banded"), AlignMode::kBanded);
+  EXPECT_THROW(parse_align_mode("mystery"), InputError);
+  EXPECT_STREQ(to_string(AlignMode::kLocal), "local");
+}
+
+TEST(PercentIdentity, CountsMatchedColumns) {
+  EXPECT_DOUBLE_EQ(percent_identity("ACGT", "ACGT"), 100.0);
+  EXPECT_DOUBLE_EQ(percent_identity("A--T", "ACGT"), 50.0);  // 2 of 4 columns
+  EXPECT_THROW(percent_identity("AC", "ACG"), InputError);
+}
+
+TEST(CostModel, ProductOfLengths) {
+  EXPECT_DOUBLE_EQ(alignment_cost_ops(10, 20), 200.0);
+  EXPECT_DOUBLE_EQ(alignment_cost_ops(0, 20), 0.0);
+}
+
+}  // namespace
+}  // namespace hdcs::bio

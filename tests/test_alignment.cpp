@@ -1,0 +1,120 @@
+#include "phylo/alignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hdcs::phylo {
+namespace {
+
+Alignment small() {
+  Alignment a;
+  a.names = {"t1", "t2", "t3"};
+  a.rows = {"ACGTAC", "ACGTAC", "ACTTAC"};
+  return a;
+}
+
+TEST(Alignment, ValidateAcceptsGoodAlignment) {
+  EXPECT_NO_THROW(small().validate());
+}
+
+TEST(Alignment, ValidateRejectsBadShapes) {
+  auto a = small();
+  a.rows[1] = "ACGT";
+  EXPECT_THROW(a.validate(), InputError);
+
+  auto b = small();
+  b.names[1] = "t1";  // duplicate
+  EXPECT_THROW(b.validate(), InputError);
+
+  auto c = small();
+  c.rows[0][2] = 'J';
+  EXPECT_THROW(c.validate(), InputError);
+
+  Alignment empty;
+  EXPECT_THROW(empty.validate(), InputError);
+
+  auto d = small();
+  d.names[2] = "";
+  EXPECT_THROW(d.validate(), InputError);
+}
+
+TEST(Alignment, GapsAndNAllowed) {
+  Alignment a;
+  a.names = {"x", "y"};
+  a.rows = {"AC-TN", "ACGT-"};
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Alignment, FastaRoundTrip) {
+  auto a = small();
+  auto b = Alignment::from_fasta(a.to_fasta());
+  EXPECT_EQ(b.names, a.names);
+  EXPECT_EQ(b.rows, a.rows);
+}
+
+TEST(Alignment, FastaAcceptsGapsLowercase) {
+  auto a = Alignment::from_fasta(">s1\nac-t\n>s2\nACGT\n");
+  EXPECT_EQ(a.rows[0], "AC-T");
+}
+
+TEST(Alignment, PhylipRoundTrip) {
+  auto a = small();
+  auto b = Alignment::from_phylip(a.to_phylip());
+  EXPECT_EQ(b.names, a.names);
+  EXPECT_EQ(b.rows, a.rows);
+}
+
+TEST(Alignment, PhylipErrors) {
+  EXPECT_THROW(Alignment::from_phylip("not a header"), InputError);
+  EXPECT_THROW(Alignment::from_phylip("2 4\nt1 ACGT\n"), InputError);  // missing row
+  EXPECT_THROW(Alignment::from_phylip("1 8\nt1 ACGT\n"), InputError);  // short row
+}
+
+TEST(Compress, MergesIdenticalColumns) {
+  Alignment a;
+  a.names = {"x", "y"};
+  //          0123456
+  a.rows = {"AAGTAGA", "CCGTCGC"};
+  // Columns: (A,C) x4 at 0,1,4,6; (G,G) x2 at 2,5; (T,T) at 3.
+  auto p = compress(a);
+  EXPECT_EQ(p.taxa, 2u);
+  EXPECT_EQ(p.patterns, 3u);
+  EXPECT_DOUBLE_EQ(p.site_count(), 7.0);
+  // First-occurrence order: (A,C), (G,G), (T,T).
+  EXPECT_DOUBLE_EQ(p.weights[0], 4.0);
+  EXPECT_DOUBLE_EQ(p.weights[1], 2.0);
+  EXPECT_DOUBLE_EQ(p.weights[2], 1.0);
+  EXPECT_EQ(p.code(0, 0), 0);  // A
+  EXPECT_EQ(p.code(0, 1), 1);  // C
+  EXPECT_EQ(p.code(1, 0), 2);  // G
+}
+
+TEST(Compress, GapAndNBecomeMissing) {
+  Alignment a;
+  a.names = {"x", "y"};
+  a.rows = {"A-N", "AAA"};
+  auto p = compress(a);
+  EXPECT_EQ(p.code(0, 0), 0);
+  EXPECT_EQ(p.code(1, 0), kMissing);
+  // '-' and 'N' code identically, so those two columns compress together.
+  EXPECT_EQ(p.patterns, 2u);
+  EXPECT_DOUBLE_EQ(p.weights[1], 2.0);
+}
+
+TEST(Compress, TaxonIndexLookup) {
+  auto p = compress(small());
+  EXPECT_EQ(p.taxon_index("t2"), 1u);
+  EXPECT_THROW((void)p.taxon_index("nope"), InputError);
+}
+
+TEST(Compress, AllUniqueColumnsNoCompression) {
+  Alignment a;
+  a.names = {"x", "y"};
+  a.rows = {"ACGT", "AAAA"};
+  auto p = compress(a);
+  EXPECT_EQ(p.patterns, 4u);
+}
+
+}  // namespace
+}  // namespace hdcs::phylo

@@ -1,0 +1,185 @@
+// The two paper applications running through the discrete-event simulator:
+// results must be bit-identical to serial runs, and the Fig-1/Fig-2 shape
+// phenomena must appear in miniature.
+
+#include <gtest/gtest.h>
+
+#include "bio/seqgen.hpp"
+#include "dprml/dprml.hpp"
+#include "dsearch/dsearch.hpp"
+#include "phylo/simulate.hpp"
+#include "sim/sim_driver.hpp"
+#include "util/rng.hpp"
+
+namespace hdcs {
+namespace {
+
+sim::SimConfig sim_config() {
+  sim::SimConfig cfg;
+  cfg.reference_ops_per_sec = 1e6;
+  cfg.scheduler.lease_timeout = 1e5;
+  cfg.scheduler.bounds.min_ops = 1;
+  cfg.policy_spec = "adaptive:5";
+  cfg.no_work_retry_s = 0.25;
+  return cfg;
+}
+
+struct DSearchCase {
+  std::vector<bio::Sequence> queries;
+  std::vector<bio::Sequence> database;
+  dsearch::DSearchConfig config;
+};
+
+DSearchCase dsearch_case(std::uint64_t seed) {
+  Rng rng(seed);
+  DSearchCase c;
+  c.queries = bio::make_queries(rng, 2, 60, bio::Alphabet::kProtein);
+  bio::DatabaseSpec spec;
+  spec.num_sequences = 40;
+  spec.mean_length = 80;
+  spec.planted_homologs_per_query = 3;
+  c.database = bio::make_database(rng, spec, c.queries);
+  c.config.top_k = 8;
+  return c;
+}
+
+TEST(DSearchSim, SimulatedFleetMatchesSerial) {
+  dsearch::register_algorithm();
+  auto c = dsearch_case(101);
+  auto serial = dsearch::search_serial(c.queries, c.database, c.config);
+
+  sim::SimDriver driver(sim_config(), sim::lab_fleet(6));
+  auto dm = std::make_shared<dsearch::DSearchDataManager>(c.queries, c.database,
+                                                          c.config);
+  driver.add_problem(dm);
+  auto out = driver.run();
+  EXPECT_EQ(dm->result(), serial);
+  EXPECT_GT(out.scheduler.units_issued, 1u);
+}
+
+TEST(DSearchSim, HeterogeneousFleetStillExact) {
+  dsearch::register_algorithm();
+  auto c = dsearch_case(103);
+  auto serial = dsearch::search_serial(c.queries, c.database, c.config);
+
+  sim::SimDriver driver(sim_config(), sim::heterogeneous_fleet(8));
+  auto dm = std::make_shared<dsearch::DSearchDataManager>(c.queries, c.database,
+                                                          c.config);
+  driver.add_problem(dm);
+  driver.run();
+  EXPECT_EQ(dm->result(), serial);
+}
+
+TEST(DSearchSim, SpeedupGrowsWithFleet) {
+  dsearch::register_algorithm();
+  auto c = dsearch_case(107);
+  auto makespan = [&](int machines) {
+    sim::SimDriver driver(sim_config(), sim::lab_fleet(machines));
+    driver.add_problem(std::make_shared<dsearch::DSearchDataManager>(
+        c.queries, c.database, c.config));
+    return driver.run().makespan_s;
+  };
+  double t1 = makespan(1);
+  double t4 = makespan(4);
+  EXPECT_GT(t1 / t4, 2.0) << "4 machines should be at least 2x faster";
+}
+
+phylo::Alignment dprml_case(std::uint64_t seed, int taxa, std::size_t sites) {
+  Rng rng(seed);
+  auto tree = phylo::random_tree(rng, {taxa, 0.12, "t"});
+  auto model = phylo::SubstModel::jc69();
+  return phylo::simulate_alignment(rng, tree, model, phylo::RateModel::uniform(),
+                                   {sites});
+}
+
+dprml::DPRmlConfig dprml_config() {
+  dprml::DPRmlConfig c;
+  c.model_spec = "JC69";
+  c.branch_tolerance = 1e-3;
+  c.eval_passes = 1;
+  c.refine_passes = 1;
+  c.use_eval_cache = false;
+  return c;
+}
+
+TEST(DPRmlSim, SimulatedFleetMatchesSerial) {
+  dprml::register_algorithm();
+  auto aln = dprml_case(109, 6, 250);
+  auto cfg = dprml_config();
+  auto serial = dprml::build_tree_serial(aln, cfg);
+
+  sim::SimDriver driver(sim_config(), sim::lab_fleet(5));
+  auto dm = std::make_shared<dprml::DPRmlDataManager>(aln, cfg);
+  driver.add_problem(dm);
+  driver.run();
+  auto result = dm->result();
+  EXPECT_EQ(result.newick, serial.newick);
+  EXPECT_DOUBLE_EQ(result.log_likelihood, serial.log_likelihood);
+}
+
+TEST(DPRmlSim, SixInstancesBeatOneOnUtilization) {
+  // Fig. 2's premise in miniature: staged DPRml leaves donors idle; running
+  // several instances fills the gaps.
+  dprml::register_algorithm();
+  auto aln = dprml_case(113, 7, 200);
+  auto cfg = dprml_config();
+
+  auto utilization = [&](int instances) {
+    sim::SimDriver driver(sim_config(), sim::lab_fleet(6));
+    for (int i = 0; i < instances; ++i) {
+      auto icfg = cfg;
+      icfg.order_seed = static_cast<std::uint64_t>(i + 1);
+      driver.add_problem(std::make_shared<dprml::DPRmlDataManager>(aln, icfg));
+    }
+    return driver.run().mean_utilization();
+  };
+  double u1 = utilization(1);
+  double u3 = utilization(3);
+  EXPECT_GT(u3, u1);
+}
+
+TEST(DPRmlSim, ChurnDoesNotChangeTheTree) {
+  dprml::register_algorithm();
+  auto aln = dprml_case(127, 6, 200);
+  auto cfg = dprml_config();
+  auto serial = dprml::build_tree_serial(aln, cfg);
+
+  auto sim_cfg = sim_config();
+  sim_cfg.scheduler.lease_timeout = 30.0;
+  auto fleet = sim::lab_fleet(4);
+  fleet[0].leave_time = 5.0;  // crash mid-run
+  fleet[1].leave_time = 20.0;
+  fleet[1].crash_on_leave = false;
+  sim::SimDriver driver(sim_cfg, fleet);
+  auto dm = std::make_shared<dprml::DPRmlDataManager>(aln, cfg);
+  driver.add_problem(dm);
+  driver.run();
+  EXPECT_EQ(dm->result().newick, serial.newick);
+}
+
+TEST(MixedSim, BothApplicationsConcurrently) {
+  // The deployed system ran bioinformatics workloads side by side; check
+  // a DSEARCH problem and a DPRml problem share one fleet correctly.
+  dsearch::register_algorithm();
+  dprml::register_algorithm();
+  auto dc = dsearch_case(131);
+  auto serial_search = dsearch::search_serial(dc.queries, dc.database, dc.config);
+  auto aln = dprml_case(137, 5, 200);
+  auto pcfg = dprml_config();
+  auto serial_tree = dprml::build_tree_serial(aln, pcfg);
+
+  sim::SimDriver driver(sim_config(), sim::lab_fleet(8));
+  auto search_dm = std::make_shared<dsearch::DSearchDataManager>(
+      dc.queries, dc.database, dc.config);
+  auto tree_dm = std::make_shared<dprml::DPRmlDataManager>(aln, pcfg);
+  driver.add_problem(search_dm);
+  driver.add_problem(tree_dm);
+  auto out = driver.run();
+
+  EXPECT_EQ(search_dm->result(), serial_search);
+  EXPECT_EQ(tree_dm->result().newick, serial_tree.newick);
+  EXPECT_EQ(out.completion_time_s.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hdcs

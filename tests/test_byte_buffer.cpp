@@ -1,0 +1,129 @@
+#include "util/byte_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace hdcs {
+namespace {
+
+TEST(ByteBuffer, RoundTripsPrimitives) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i32(-42);
+  w.i64(-123456789012345ll);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -123456789012345ll);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteBuffer, RoundTripsSpecialDoubles) {
+  ByteWriter w;
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-std::numeric_limits<double>::infinity());
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64(), -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(r.f64()));
+  double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(ByteBuffer, RoundTripsStringsAndBytes) {
+  ByteWriter w;
+  w.str("hello");
+  w.str("");
+  w.str(std::string("with\0null", 9));
+  std::vector<std::byte> blob = {std::byte{1}, std::byte{2}, std::byte{3}};
+  w.bytes(blob);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), std::string("with\0null", 9));
+  EXPECT_EQ(r.bytes(), blob);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteBuffer, RoundTripsVectors) {
+  ByteWriter w;
+  w.f64_vec({1.5, -2.5, 0.0});
+  w.u32_vec({1, 2, 3});
+  w.u64_vec({});
+  w.str_vec({"a", "bb", ""});
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.f64_vec(), (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_EQ(r.u32_vec(), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(r.u64_vec().empty());
+  EXPECT_EQ(r.str_vec(), (std::vector<std::string>{"a", "bb", ""}));
+}
+
+TEST(ByteBuffer, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  const auto& buf = w.data();
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(std::to_integer<int>(buf[0]), 0x04);
+  EXPECT_EQ(std::to_integer<int>(buf[3]), 0x01);
+}
+
+TEST(ByteBuffer, UnderflowThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_THROW(r.u8(), SerializationError);
+}
+
+TEST(ByteBuffer, TruncatedStringThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  ByteReader r(w.data());
+  EXPECT_THROW(r.str(), SerializationError);
+}
+
+TEST(ByteBuffer, ExpectEndCatchesTrailingBytes) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  ByteReader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_end(), SerializationError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(ByteBuffer, RawBorrowsWithoutCopy) {
+  ByteWriter w;
+  w.raw(as_bytes("abcdef"));
+  ByteReader r(w.data());
+  auto view = r.raw(3);
+  EXPECT_EQ(view.data(), w.data().data());
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+}  // namespace
+}  // namespace hdcs

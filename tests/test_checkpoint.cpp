@@ -1,0 +1,303 @@
+// Checkpoint/restore: a server restart in the middle of a computation must
+// lose nothing — merged progress survives via DataManager snapshots, and
+// in-flight units survive because the scheduler persists their payloads.
+
+#include <gtest/gtest.h>
+
+#include "bio/seqgen.hpp"
+#include "dboot/dboot.hpp"
+#include "dist/client.hpp"
+#include "dist/scheduler_core.hpp"
+#include "dist/server.hpp"
+#include "dprml/dprml.hpp"
+#include "dsearch/dsearch.hpp"
+#include "phylo/simulate.hpp"
+#include "tests/toy_problem.hpp"
+#include "util/rng.hpp"
+
+namespace hdcs::dist {
+namespace {
+
+using test::ToySumDataManager;
+
+SchedulerConfig cfg() {
+  SchedulerConfig c;
+  c.lease_timeout = 1e6;
+  c.bounds.min_ops = 1;
+  return c;
+}
+
+/// Drive `core` for `steps` request/submit cycles using the toy algorithm.
+template <typename Exec>
+void drive(SchedulerCore& core, ClientId cid, Exec&& execute, int steps,
+           double& t) {
+  for (int i = 0; i < steps; ++i) {
+    auto unit = core.request_work(cid, t);
+    if (!unit) return;
+    core.submit_result(cid, execute(*unit), t + 0.5);
+    t += 1;
+  }
+}
+
+TEST(Checkpoint, ToyProblemSurvivesRestartMidRun) {
+  test::register_toy_algorithm();
+  auto make_dm = [] {
+    return std::make_shared<ToySumDataManager>(100000, 7, /*stages=*/3);
+  };
+
+  // Uninterrupted reference run.
+  std::uint64_t expected = make_dm()->expected();
+
+  // Run 1: do part of the work, leave units in flight, checkpoint.
+  SchedulerCore core1(cfg(), std::make_unique<FixedGranularity>(5000));
+  auto dm1 = make_dm();
+  core1.submit_problem(dm1);
+  auto data = dm1->problem_data();
+  test::ToySumAlgorithm algo;
+  algo.initialize(data);
+  auto execute = [&](const WorkUnit& u) {
+    ResultUnit r;
+    r.problem_id = u.problem_id;
+    r.unit_id = u.unit_id;
+    r.stage = u.stage;
+    r.payload = algo.process(u);
+    return r;
+  };
+  auto c1 = core1.client_joined("c1", 1e6, 0.0);
+  double t = 0;
+  drive(core1, c1, execute, 3, t);
+  // Take two more units WITHOUT submitting: in-flight at checkpoint time.
+  ASSERT_TRUE(core1.request_work(c1, t));
+  ASSERT_TRUE(core1.request_work(c1, t));
+  ByteWriter w;
+  core1.checkpoint(w);
+  auto blob = w.take();
+  // The first core "crashes" here.
+
+  // Run 2: fresh core, same problem inputs, restore, finish.
+  SchedulerCore core2(cfg(), std::make_unique<FixedGranularity>(5000));
+  auto dm2 = make_dm();
+  auto pid2 = core2.submit_problem(dm2);
+  ByteReader r{std::span<const std::byte>(blob)};
+  core2.restore(r);
+  r.expect_end();
+
+  auto c2 = core2.client_joined("fresh-donor", 1e6, 0.0);
+  int spins = 0;
+  while (!core2.problem_complete(pid2)) {
+    auto unit = core2.request_work(c2, t);
+    ASSERT_TRUE(unit) << "restored core stalled";
+    core2.submit_result(c2, execute(*unit), t + 0.5);
+    t += 1;
+    ASSERT_LT(++spins, 10000);
+  }
+  EXPECT_EQ(test::read_u64_result(core2.final_result(pid2)), expected);
+  // The two in-flight units were re-delivered, not lost.
+  EXPECT_GE(core2.stats().units_reissued, 2u);
+}
+
+TEST(Checkpoint, RestoreValidatesShape) {
+  test::register_toy_algorithm();
+  SchedulerCore core(cfg(), std::make_unique<FixedGranularity>(100));
+  core.submit_problem(std::make_shared<ToySumDataManager>(1000));
+  ByteWriter w;
+  core.checkpoint(w);
+  auto blob = w.take();
+
+  // Restoring into a core with a different problem count fails.
+  SchedulerCore empty(cfg(), std::make_unique<FixedGranularity>(100));
+  ByteReader r1{std::span<const std::byte>(blob)};
+  EXPECT_THROW(empty.restore(r1), ProtocolError);
+
+  // Restoring into a core that already made progress fails.
+  SchedulerCore busy(cfg(), std::make_unique<FixedGranularity>(100));
+  auto dm = std::make_shared<ToySumDataManager>(1000);
+  busy.submit_problem(dm);
+  auto cid = busy.client_joined("c", 1e6, 0.0);
+  ASSERT_TRUE(busy.request_work(cid, 0.0));
+  ByteReader r2{std::span<const std::byte>(blob)};
+  EXPECT_THROW(busy.restore(r2), ProtocolError);
+}
+
+TEST(Checkpoint, DSearchResumeMatchesUninterrupted) {
+  dsearch::register_algorithm();
+  Rng rng(21);
+  auto queries = bio::make_queries(rng, 2, 60, bio::Alphabet::kProtein);
+  bio::DatabaseSpec spec;
+  spec.num_sequences = 40;
+  spec.mean_length = 80;
+  auto database = bio::make_database(rng, spec, queries);
+  dsearch::DSearchConfig dcfg;
+  dcfg.top_k = 8;
+  auto reference = dsearch::search_serial(queries, database, dcfg);
+
+  auto run_halves = [&] {
+    SchedulerCore core1(cfg(), std::make_unique<FixedGranularity>(2e5));
+    auto dm1 = std::make_shared<dsearch::DSearchDataManager>(queries, database,
+                                                             dcfg);
+    core1.submit_problem(dm1);
+    dsearch::DSearchAlgorithm algo;
+    auto data = dm1->problem_data();
+    algo.initialize(data);
+    auto execute = [&](const WorkUnit& u) {
+      ResultUnit r;
+      r.problem_id = u.problem_id;
+      r.unit_id = u.unit_id;
+      r.stage = u.stage;
+      r.payload = algo.process(u);
+      return r;
+    };
+    auto c1 = core1.client_joined("c1", 1e6, 0.0);
+    double t = 0;
+    drive(core1, c1, execute, 2, t);
+    ASSERT_TRUE(core1.request_work(c1, t));  // one unit left in flight
+
+    ByteWriter w;
+    core1.checkpoint(w);
+    auto blob = w.take();
+
+    SchedulerCore core2(cfg(), std::make_unique<FixedGranularity>(2e5));
+    auto dm2 = std::make_shared<dsearch::DSearchDataManager>(queries, database,
+                                                             dcfg);
+    auto pid2 = core2.submit_problem(dm2);
+    ByteReader r{std::span<const std::byte>(blob)};
+    core2.restore(r);
+    auto c2 = core2.client_joined("c2", 1e6, 0.0);
+    while (!core2.problem_complete(pid2)) {
+      auto unit = core2.request_work(c2, t);
+      ASSERT_TRUE(unit);
+      core2.submit_result(c2, execute(*unit), t);
+      t += 1;
+    }
+    EXPECT_EQ(dm2->result(), reference);
+  };
+  run_halves();
+}
+
+TEST(Checkpoint, DPRmlResumeMidStageMatchesSerial) {
+  dprml::register_algorithm();
+  Rng rng(23);
+  auto tree = phylo::random_tree(rng, {7, 0.12, "t"});
+  auto model = phylo::SubstModel::jc69();
+  auto aln = phylo::simulate_alignment(rng, tree, model,
+                                       phylo::RateModel::uniform(), {250});
+  dprml::DPRmlConfig pcfg;
+  pcfg.model_spec = "JC69";
+  pcfg.branch_tolerance = 1e-3;
+  pcfg.refine_passes = 1;
+  pcfg.use_eval_cache = false;
+  auto serial = dprml::build_tree_serial(aln, pcfg);
+
+  SchedulerCore core1(cfg(), std::make_unique<FixedGranularity>(1.0));
+  auto dm1 = std::make_shared<dprml::DPRmlDataManager>(aln, pcfg);
+  core1.submit_problem(dm1);
+  dprml::DPRmlAlgorithm algo;
+  auto data = dm1->problem_data();
+  algo.initialize(data);
+  auto execute = [&](const WorkUnit& u) {
+    ResultUnit r;
+    r.problem_id = u.problem_id;
+    r.unit_id = u.unit_id;
+    r.stage = u.stage;
+    r.payload = algo.process(u);
+    return r;
+  };
+  auto c1 = core1.client_joined("c1", 1e6, 0.0);
+  double t = 0;
+  // Get into the middle of an eval stage, with one candidate in flight.
+  drive(core1, c1, execute, 4, t);
+  core1.request_work(c1, t);  // may be nullopt at a barrier — also fine
+
+  ByteWriter w;
+  core1.checkpoint(w);
+  auto blob = w.take();
+
+  SchedulerCore core2(cfg(), std::make_unique<FixedGranularity>(1.0));
+  auto dm2 = std::make_shared<dprml::DPRmlDataManager>(aln, pcfg);
+  auto pid2 = core2.submit_problem(dm2);
+  ByteReader r{std::span<const std::byte>(blob)};
+  core2.restore(r);
+  auto c2 = core2.client_joined("c2", 1e6, 0.0);
+  int spins = 0;
+  while (!core2.problem_complete(pid2)) {
+    auto unit = core2.request_work(c2, t);
+    t += 1;
+    if (!unit) {
+      ASSERT_LT(++spins, 100000) << "restored DPRml stalled";
+      continue;
+    }
+    core2.submit_result(c2, execute(*unit), t);
+  }
+  auto resumed = dm2->result();
+  EXPECT_EQ(resumed.newick, serial.newick);
+  EXPECT_DOUBLE_EQ(resumed.log_likelihood, serial.log_likelihood);
+}
+
+TEST(Checkpoint, ServerLevelRestartOverTcp) {
+  test::register_toy_algorithm();
+  ServerConfig scfg;
+  scfg.scheduler.bounds.min_ops = 1000;
+  scfg.policy_spec = "fixed:400000";
+  scfg.tick_interval_s = 0.05;
+  scfg.no_work_retry_s = 0.02;
+
+  std::uint64_t expected = ToySumDataManager(2000000, 5).expected();
+  std::vector<std::byte> blob;
+
+  {
+    Server server(scfg);
+    server.start();
+    auto dm = std::make_shared<ToySumDataManager>(2000000, 5);
+    server.submit_problem(dm);
+    // One donor does a single unit, then we checkpoint and "crash".
+    ClientConfig ccfg;
+    ccfg.server_port = server.port();
+    ccfg.name = "early-bird";
+    ccfg.crash_after_units = 2;  // computes one, crashes on the 2nd
+    Client(ccfg).run();
+    blob = server.checkpoint();
+    server.stop();
+  }
+  {
+    Server server(scfg);
+    auto dm = std::make_shared<ToySumDataManager>(2000000, 5);
+    auto pid = server.submit_problem(dm);
+    server.restore_checkpoint(blob);
+    server.start();
+    ClientConfig ccfg;
+    ccfg.server_port = server.port();
+    ccfg.name = "finisher";
+    Client(ccfg).run();
+    ASSERT_TRUE(server.wait_for_problem(pid, 30.0));
+    EXPECT_EQ(test::read_u64_result(server.final_result(pid)), expected);
+    server.stop();
+  }
+}
+
+TEST(Checkpoint, DBootSnapshotRoundTrips) {
+  Rng rng(31);
+  auto tree = phylo::random_tree(rng, {6, 0.15, "t"});
+  auto model = phylo::SubstModel::jc69();
+  auto aln = phylo::simulate_alignment(rng, tree, model,
+                                       phylo::RateModel::uniform(), {200});
+  dboot::DBootConfig bcfg;
+  bcfg.replicates = 20;
+  dboot::DBootDataManager dm(aln, bcfg);
+  SizeHint hint{1.0};
+  ASSERT_TRUE(dm.next_unit(hint));  // one replicate handed out
+
+  ByteWriter w;
+  dm.snapshot(w);
+  dboot::DBootDataManager dm2(aln, bcfg);
+  ByteReader r{std::span<const std::byte>(w.data())};
+  dm2.restore(r);
+  r.expect_end();
+  // The restored manager continues from replicate 1, not 0.
+  auto unit = dm2.next_unit(hint);
+  ASSERT_TRUE(unit);
+  ByteReader pr(unit->payload);
+  EXPECT_EQ(pr.u64(), 1u);
+}
+
+}  // namespace
+}  // namespace hdcs::dist

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "util/config.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hdcs {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("\t x\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("xyz", ','), (std::vector<std::string>{"xyz"}));
+}
+
+TEST(Strings, SplitWs) {
+  EXPECT_EQ(split_ws("  a\t b  c "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_EQ(to_upper("aBc"), "ABC");
+  EXPECT_TRUE(iequals("Hello", "hELLO"));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+}
+
+TEST(Strings, ParseNumbers) {
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64(" -7 "), -7);
+  EXPECT_THROW(parse_i64("4x"), InputError);
+  EXPECT_THROW(parse_i64(""), InputError);
+  EXPECT_DOUBLE_EQ(parse_f64("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_f64("1e3"), 1000.0);
+  EXPECT_THROW(parse_f64("abc"), InputError);
+}
+
+TEST(Strings, ParseBool) {
+  EXPECT_TRUE(parse_bool("true"));
+  EXPECT_TRUE(parse_bool("Yes"));
+  EXPECT_TRUE(parse_bool("1"));
+  EXPECT_FALSE(parse_bool("off"));
+  EXPECT_FALSE(parse_bool("FALSE"));
+  EXPECT_THROW(parse_bool("maybe"), InputError);
+}
+
+TEST(Config, ParsesKeyValueLines) {
+  auto cfg = Config::parse(
+      "# comment\n"
+      "database = /tmp/db.fasta\n"
+      "  threads =  8 \n"
+      "; another comment\n"
+      "\n"
+      "verbose = true\n"
+      "timeout = 2.5\n");
+  EXPECT_EQ(cfg.get_str("database"), "/tmp/db.fasta");
+  EXPECT_EQ(cfg.get_i64("threads"), 8);
+  EXPECT_TRUE(cfg.get_bool("verbose"));
+  EXPECT_DOUBLE_EQ(cfg.get_f64("timeout"), 2.5);
+}
+
+TEST(Config, KeysAreCaseInsensitive) {
+  auto cfg = Config::parse("Algorithm = Smith-Waterman\n");
+  EXPECT_TRUE(cfg.has("ALGORITHM"));
+  EXPECT_EQ(cfg.get_str("algorithm"), "Smith-Waterman");
+}
+
+TEST(Config, LaterKeysOverride) {
+  auto cfg = Config::parse("k = 1\nk = 2\n");
+  EXPECT_EQ(cfg.get_i64("k"), 2);
+}
+
+TEST(Config, MissingKeyThrowsWithName) {
+  auto cfg = Config::parse("a = 1\n");
+  try {
+    (void)cfg.get_str("nope");
+    FAIL() << "expected InputError";
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("nope"), std::string::npos);
+  }
+}
+
+TEST(Config, DefaultedGetters) {
+  auto cfg = Config::parse("a = 1\n");
+  EXPECT_EQ(cfg.get_i64("missing", 99), 99);
+  EXPECT_EQ(cfg.get_str("missing", "dflt"), "dflt");
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+  EXPECT_DOUBLE_EQ(cfg.get_f64("missing", 0.5), 0.5);
+  EXPECT_EQ(cfg.get_i64("a", 99), 1);
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW(Config::parse("this is not a kv line\n"), InputError);
+  EXPECT_THROW(Config::parse("= value\n"), InputError);
+}
+
+TEST(Config, ValueMayContainEquals) {
+  auto cfg = Config::parse("expr = a=b=c\n");
+  EXPECT_EQ(cfg.get_str("expr"), "a=b=c");
+}
+
+TEST(Config, RoundTripsThroughToString) {
+  auto cfg = Config::parse("b = 2\na = 1\n");
+  auto cfg2 = Config::parse(cfg.to_string());
+  EXPECT_EQ(cfg2.get_i64("a"), 1);
+  EXPECT_EQ(cfg2.get_i64("b"), 2);
+  EXPECT_EQ(cfg2.keys(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Config, TypedGetterNamesKeyOnBadValue) {
+  auto cfg = Config::parse("threads = lots\n");
+  try {
+    (void)cfg.get_i64("threads");
+    FAIL() << "expected InputError";
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("threads"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hdcs

@@ -1,0 +1,122 @@
+#include "bio/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hdcs::bio {
+namespace {
+
+TEST(Fasta, ParsesMultipleRecords) {
+  auto seqs = parse_fasta(
+      ">seq1 first sequence\n"
+      "ACGT\n"
+      "ACGT\n"
+      ">seq2\n"
+      "GGCC\n",
+      Alphabet::kDna);
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0].id, "seq1");
+  EXPECT_EQ(seqs[0].description, "first sequence");
+  EXPECT_EQ(seqs[0].residues, "ACGTACGT");
+  EXPECT_EQ(seqs[1].id, "seq2");
+  EXPECT_EQ(seqs[1].description, "");
+  EXPECT_EQ(seqs[1].residues, "GGCC");
+}
+
+TEST(Fasta, LowerCaseNormalizedAndUMappedToT) {
+  auto seqs = parse_fasta(">s\nacgu\n", Alphabet::kDna);
+  EXPECT_EQ(seqs[0].residues, "ACGT");
+}
+
+TEST(Fasta, LegacyCommentLinesIgnored) {
+  auto seqs = parse_fasta(">s\n;comment\nACGT\n", Alphabet::kDna);
+  EXPECT_EQ(seqs[0].residues, "ACGT");
+}
+
+TEST(Fasta, RejectsDataBeforeHeader) {
+  EXPECT_THROW(parse_fasta("ACGT\n>s\nACGT\n", Alphabet::kDna), InputError);
+}
+
+TEST(Fasta, RejectsEmptyInput) {
+  EXPECT_THROW(parse_fasta("", Alphabet::kDna), InputError);
+  EXPECT_THROW(parse_fasta("\n\n", Alphabet::kDna), InputError);
+}
+
+TEST(Fasta, RejectsEmptySequence) {
+  EXPECT_THROW(parse_fasta(">only_header\n", Alphabet::kDna), InputError);
+}
+
+TEST(Fasta, RejectsInvalidResidues) {
+  EXPECT_THROW(parse_fasta(">s\nACGJ\n", Alphabet::kDna), InputError);
+  // J is invalid for protein too.
+  EXPECT_THROW(parse_fasta(">s\nMKLJ\n", Alphabet::kProtein), InputError);
+}
+
+TEST(Fasta, ProteinAccepted) {
+  auto seqs = parse_fasta(">p\nMKLVN\n", Alphabet::kProtein);
+  EXPECT_EQ(seqs[0].residues, "MKLVN");
+}
+
+TEST(Fasta, AutoDetectsAlphabet) {
+  Alphabet detected;
+  auto dna = parse_fasta_auto(">s\nACGTACGTAC\n", &detected);
+  EXPECT_EQ(detected, Alphabet::kDna);
+  auto prot = parse_fasta_auto(">p\nMKLVNWYHED\n", &detected);
+  EXPECT_EQ(detected, Alphabet::kProtein);
+  EXPECT_EQ(prot[0].residues, "MKLVNWYHED");
+}
+
+TEST(Fasta, RoundTripsThroughWriter) {
+  std::vector<Sequence> seqs;
+  seqs.push_back({"id1", "desc here", std::string(150, 'A')});
+  seqs.push_back({"id2", "", "ACGTACGT"});
+  auto text = to_fasta(seqs, 70);
+  auto parsed = parse_fasta(text, Alphabet::kDna);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].id, "id1");
+  EXPECT_EQ(parsed[0].description, "desc here");
+  EXPECT_EQ(parsed[0].residues, seqs[0].residues);
+  EXPECT_EQ(parsed[1].residues, "ACGTACGT");
+}
+
+TEST(Fasta, WrappingAtRequestedWidth) {
+  std::vector<Sequence> seqs = {{"s", "", std::string(25, 'G')}};
+  auto text = to_fasta(seqs, 10);
+  // 25 residues at width 10 -> lines of 10, 10, 5.
+  EXPECT_NE(text.find("GGGGGGGGGG\nGGGGGGGGGG\nGGGGG\n"), std::string::npos);
+}
+
+TEST(Fasta, TotalResidues) {
+  std::vector<Sequence> seqs = {{"a", "", "ACGT"}, {"b", "", "GG"}};
+  EXPECT_EQ(total_residues(seqs), 6u);
+  EXPECT_EQ(total_residues({}), 0u);
+}
+
+TEST(SequenceHelpers, ReverseComplement) {
+  EXPECT_EQ(reverse_complement("ACGT"), "ACGT");
+  EXPECT_EQ(reverse_complement("AACG"), "CGTT");
+  EXPECT_EQ(reverse_complement(""), "");
+  EXPECT_THROW(reverse_complement("ACGX"), InputError);
+}
+
+TEST(SequenceHelpers, DnaIndexRoundTrip) {
+  EXPECT_EQ(dna_index('A'), 0);
+  EXPECT_EQ(dna_index('C'), 1);
+  EXPECT_EQ(dna_index('G'), 2);
+  EXPECT_EQ(dna_index('T'), 3);
+  EXPECT_EQ(dna_index('U'), 3);
+  EXPECT_EQ(dna_index('N'), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dna_index(dna_base(i)), i);
+  EXPECT_THROW(dna_base(4), InputError);
+}
+
+TEST(SequenceHelpers, GuessAlphabet) {
+  EXPECT_EQ(guess_alphabet("ACGTACGTAC"), Alphabet::kDna);
+  EXPECT_EQ(guess_alphabet("MKWYHEDRQS"), Alphabet::kProtein);
+  // Mostly DNA with one odd char still counts as DNA (>= 90%).
+  EXPECT_EQ(guess_alphabet("ACGTACGTACGTACGTACGW"), Alphabet::kDna);
+}
+
+}  // namespace
+}  // namespace hdcs::bio

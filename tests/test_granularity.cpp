@@ -1,0 +1,99 @@
+#include "dist/granularity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hdcs::dist {
+namespace {
+
+ClientStats fast_client() {
+  ClientStats s;
+  s.benchmark_ops_per_sec = 1e8;
+  s.ewma_ops_per_sec = 2e8;
+  return s;
+}
+
+ClientStats fresh_client(double benchmark) {
+  ClientStats s;
+  s.benchmark_ops_per_sec = benchmark;
+  return s;
+}
+
+TEST(ClientStats, RateEstimatePrefersMeasuredRate) {
+  auto s = fast_client();
+  EXPECT_DOUBLE_EQ(s.rate_estimate(), 2e8);
+  s.ewma_ops_per_sec = 0;
+  EXPECT_DOUBLE_EQ(s.rate_estimate(), 1e8);
+}
+
+TEST(FixedGranularity, ConstantRegardlessOfClient) {
+  FixedGranularity policy(5e6);
+  EXPECT_DOUBLE_EQ(policy.target_ops(fast_client(), 1e9, 10), 5e6);
+  EXPECT_DOUBLE_EQ(policy.target_ops(fresh_client(1e3), 0, 1), 5e6);
+}
+
+TEST(GuidedSelfScheduling, DecreasesWithRemainingWork) {
+  GuidedSelfScheduling policy(2.0);
+  auto c = fast_client();
+  double big = policy.target_ops(c, 1e9, 10);
+  double small = policy.target_ops(c, 1e6, 10);
+  EXPECT_DOUBLE_EQ(big, 1e9 / 20);
+  EXPECT_DOUBLE_EQ(small, 1e6 / 20);
+  EXPECT_GT(big, small);
+}
+
+TEST(GuidedSelfScheduling, UnknownRemainingFallsBackToRate) {
+  GuidedSelfScheduling policy;
+  auto c = fast_client();
+  EXPECT_DOUBLE_EQ(policy.target_ops(c, 0, 4), c.rate_estimate() * 10.0);
+}
+
+TEST(AdaptiveThroughput, SizesToClientRate) {
+  AdaptiveThroughput policy(15.0);
+  auto fast = fast_client();           // 2e8 ops/s
+  auto slow = fresh_client(1e6);       // 1e6 ops/s
+  double fast_ops = policy.target_ops(fast, 0, 1);
+  double slow_ops = policy.target_ops(slow, 0, 1);
+  EXPECT_DOUBLE_EQ(fast_ops, 2e8 * 15);
+  EXPECT_DOUBLE_EQ(slow_ops, 1e6 * 15);
+  // The paper's point: a 200x faster machine gets a 200x bigger unit.
+  EXPECT_NEAR(fast_ops / slow_ops, 200.0, 1e-9);
+}
+
+TEST(AdaptiveThroughput, ShrinksUnitsNearTheTail) {
+  AdaptiveThroughput policy(15.0);
+  auto c = fast_client();  // would ask for 3e9 ops
+  // Only 1e6 ops remain across 10 clients: cap at remaining/clients.
+  EXPECT_DOUBLE_EQ(policy.target_ops(c, 1e6, 10), 1e5);
+}
+
+TEST(AdaptiveThroughput, UnknownClientGetsBootstrapSize) {
+  AdaptiveThroughput policy(10.0);
+  ClientStats unknown;  // no benchmark, no ewma
+  EXPECT_DOUBLE_EQ(policy.target_ops(unknown, 0, 1), 1e6 * 10.0);
+}
+
+TEST(MakePolicy, ParsesSpecs) {
+  EXPECT_EQ(make_policy("fixed:1000")->name(), "fixed");
+  EXPECT_EQ(make_policy("guided")->name(), "guided");
+  EXPECT_EQ(make_policy("guided:3")->name(), "guided");
+  EXPECT_EQ(make_policy("adaptive")->name(), "adaptive");
+  EXPECT_EQ(make_policy("adaptive:30")->name(), "adaptive");
+}
+
+TEST(MakePolicy, RejectsBadSpecs) {
+  EXPECT_THROW(make_policy("fixed"), InputError);       // missing ops
+  EXPECT_THROW(make_policy("unknown"), InputError);
+  EXPECT_THROW(make_policy("fixed:abc"), InputError);
+}
+
+TEST(MakePolicy, AdaptiveSecondsApplied) {
+  auto p = make_policy("adaptive:30");
+  auto* adaptive = dynamic_cast<AdaptiveThroughput*>(p.get());
+  ASSERT_NE(adaptive, nullptr);
+  EXPECT_DOUBLE_EQ(adaptive->target_seconds(), 30.0);
+}
+
+}  // namespace
+}  // namespace hdcs::dist

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phylo/matrix4.hpp"
+#include "phylo/optimize.hpp"
+#include "util/error.hpp"
+
+namespace hdcs::phylo {
+namespace {
+
+TEST(Matrix4, IdentityAndMultiply) {
+  Matrix4 id = Matrix4::identity();
+  Matrix4 a;
+  int v = 1;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) a(i, j) = v++;
+  }
+  EXPECT_EQ(Matrix4::max_abs_diff(a * id, a), 0.0);
+  EXPECT_EQ(Matrix4::max_abs_diff(id * a, a), 0.0);
+}
+
+TEST(Matrix4, TransposeInvolution) {
+  Matrix4 a;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) a(i, j) = i * 4 + j;
+  }
+  EXPECT_EQ(Matrix4::max_abs_diff(a.transpose().transpose(), a), 0.0);
+  EXPECT_DOUBLE_EQ(a.transpose()(1, 2), a(2, 1));
+}
+
+TEST(SymEigen, ReconstructsDiagonalMatrix) {
+  Matrix4 d;
+  d(0, 0) = -3;
+  d(1, 1) = 2;
+  d(2, 2) = 0.5;
+  d(3, 3) = 7;
+  auto eig = sym_eigen(d);
+  EXPECT_NEAR(eig.values[0], -3, 1e-12);
+  EXPECT_NEAR(eig.values[3], 7, 1e-12);
+}
+
+TEST(SymEigen, FactorizationHolds) {
+  // Symmetric matrix with known structure.
+  Matrix4 a;
+  double vals[4][4] = {{4, 1, 0.5, 0}, {1, 3, 1, 0.25}, {0.5, 1, 2, 1}, {0, 0.25, 1, 1}};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) a(i, j) = vals[i][j];
+  }
+  auto eig = sym_eigen(a);
+  // Rebuild A = V diag(w) V^T.
+  Matrix4 rebuilt;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double sum = 0;
+      for (int k = 0; k < 4; ++k) {
+        sum += eig.vectors(i, k) * eig.values[static_cast<std::size_t>(k)] *
+               eig.vectors(j, k);
+      }
+      rebuilt(i, j) = sum;
+    }
+  }
+  EXPECT_LT(Matrix4::max_abs_diff(rebuilt, a), 1e-10);
+  // V orthogonal.
+  Matrix4 vtv = eig.vectors.transpose() * eig.vectors;
+  EXPECT_LT(Matrix4::max_abs_diff(vtv, Matrix4::identity()), 1e-10);
+  // Eigenvalues ascending.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_LE(eig.values[static_cast<std::size_t>(i - 1)],
+              eig.values[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Brent, FindsQuadraticMinimum) {
+  auto res = brent_minimize([](double x) { return (x - 2.5) * (x - 2.5) + 1; },
+                            0.0, 10.0, 1e-8);
+  EXPECT_NEAR(res.x, 2.5, 1e-6);
+  EXPECT_NEAR(res.value, 1.0, 1e-10);
+}
+
+TEST(Brent, HandlesMinimumAtBoundary) {
+  auto res = brent_minimize([](double x) { return x; }, 1.0, 5.0, 1e-8);
+  EXPECT_NEAR(res.x, 1.0, 1e-5);
+}
+
+TEST(Brent, NonSmoothFunction) {
+  auto res = brent_minimize([](double x) { return std::fabs(x - 1.7); }, 0.0, 4.0,
+                            1e-8);
+  EXPECT_NEAR(res.x, 1.7, 1e-5);
+}
+
+TEST(Brent, RejectsBadInterval) {
+  EXPECT_THROW(brent_minimize([](double x) { return x; }, 2.0, 1.0), InputError);
+}
+
+TEST(LogGamma, KnownValues) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);           // Gamma(1) = 1
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);           // Gamma(2) = 1
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);  // Gamma(5) = 24
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  EXPECT_THROW(log_gamma(0.0), InputError);
+}
+
+TEST(GammaP, KnownValues) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 1.0, 3.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+  EXPECT_DOUBLE_EQ(gamma_p(2.0, 0.0), 0.0);
+  // Monotone increasing in x.
+  EXPECT_LT(gamma_p(0.5, 0.5), gamma_p(0.5, 1.5));
+  // P(a, inf) -> 1.
+  EXPECT_NEAR(gamma_p(3.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(GammaPInverse, RoundTripsGammaP) {
+  for (double a : {0.3, 1.0, 2.5}) {
+    for (double p : {0.1, 0.5, 0.9}) {
+      double x = gamma_p_inverse(a, p);
+      EXPECT_NEAR(gamma_p(a, x), p, 1e-8) << "a=" << a << " p=" << p;
+    }
+  }
+  EXPECT_DOUBLE_EQ(gamma_p_inverse(1.0, 0.0), 0.0);
+  EXPECT_THROW(gamma_p_inverse(1.0, 1.0), InputError);
+}
+
+TEST(DiscreteGamma, MeanIsOne) {
+  for (double alpha : {0.2, 0.5, 1.0, 2.0, 10.0}) {
+    for (int k : {1, 2, 4, 8}) {
+      auto rates = discrete_gamma_rates(alpha, k);
+      ASSERT_EQ(rates.size(), static_cast<std::size_t>(k));
+      double mean = 0;
+      for (double r : rates) mean += r / k;
+      EXPECT_NEAR(mean, 1.0, 1e-8) << "alpha=" << alpha << " k=" << k;
+      // Rates strictly increasing across categories.
+      for (int i = 1; i < k; ++i) {
+        EXPECT_GT(rates[static_cast<std::size_t>(i)],
+                  rates[static_cast<std::size_t>(i - 1)]);
+      }
+    }
+  }
+}
+
+TEST(DiscreteGamma, SmallAlphaIsMoreSkewed) {
+  auto low = discrete_gamma_rates(0.2, 4);   // strong heterogeneity
+  auto high = discrete_gamma_rates(10.0, 4);  // near-uniform
+  EXPECT_LT(low.front(), high.front());
+  EXPECT_GT(low.back(), high.back());
+  EXPECT_NEAR(high.front(), 1.0, 0.5);  // alpha=10: rates cluster near 1
+}
+
+TEST(DiscreteGamma, YangReferenceValues) {
+  // Yang (1994) Table: alpha = 0.5, k = 4 mean category rates.
+  auto rates = discrete_gamma_rates(0.5, 4);
+  EXPECT_NEAR(rates[0], 0.0334, 0.001);
+  EXPECT_NEAR(rates[1], 0.2519, 0.001);
+  EXPECT_NEAR(rates[2], 0.8203, 0.001);
+  EXPECT_NEAR(rates[3], 2.8944, 0.001);
+}
+
+TEST(DiscreteGamma, InvalidInputs) {
+  EXPECT_THROW(discrete_gamma_rates(0.0, 4), InputError);
+  EXPECT_THROW(discrete_gamma_rates(1.0, 0), InputError);
+}
+
+}  // namespace
+}  // namespace hdcs::phylo

@@ -1,0 +1,149 @@
+#include "phylo/model_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phylo/distance.hpp"
+#include "phylo/likelihood.hpp"
+#include "phylo/simulate.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace hdcs::phylo {
+namespace {
+
+TEST(EmpiricalFrequencies, CountsBasesIgnoringGaps) {
+  Alignment aln;
+  aln.names = {"x", "y"};
+  aln.rows = {"AAAC--GG", "AAACNNGG"};
+  auto pi = empirical_base_frequencies(aln);
+  // Counts: A=6, C=2, G=4, T=0 over 12 unambiguous bases (+pseudo-counts).
+  EXPECT_NEAR(pi[0], 6.5 / 14.0, 1e-12);
+  EXPECT_NEAR(pi[1], 2.5 / 14.0, 1e-12);
+  EXPECT_NEAR(pi[2], 4.5 / 14.0, 1e-12);
+  EXPECT_NEAR(pi[3], 0.5 / 14.0, 1e-12);
+  double sum = pi[0] + pi[1] + pi[2] + pi[3];
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Pseudo-counts keep every frequency positive (usable in models).
+  EXPECT_GT(pi[3], 0.0);
+}
+
+TEST(FitScalar, RecoversGeneratingKappa) {
+  // Simulate under K80 with kappa = 4; the ML profile on the true tree
+  // must peak near 4.
+  Rng rng(41);
+  auto tree = random_tree(rng, {10, 0.1, "t"});
+  auto model = SubstModel::k80(4.0);
+  auto aln = simulate_alignment(rng, tree, model, RateModel::uniform(), {3000});
+  auto patterns = compress(aln);
+
+  auto fit = fit_scalar(patterns, tree, "K80", Config(), "kappa", 0.5, 20.0);
+  EXPECT_NEAR(fit.value, 4.0, 0.8);
+  EXPECT_GT(fit.evaluations, 3);
+
+  // The fitted kappa cannot fit worse than a mis-specified one.
+  Config wrong;
+  wrong.set("kappa", "1.0");
+  auto spec = ModelSpec::parse("K80", wrong);
+  LikelihoodEngine engine(patterns, spec.model, spec.rates);
+  Tree copy = tree;
+  EXPECT_GE(fit.log_likelihood, engine.log_likelihood(copy));
+}
+
+TEST(FitScalar, RecoversGammaAlphaRoughly) {
+  Rng rng(43);
+  auto tree = random_tree(rng, {8, 0.15, "t"});
+  auto model = SubstModel::jc69();
+  auto rates = RateModel::gamma(0.4, 4);
+  auto aln = simulate_alignment(rng, tree, model, rates, {4000});
+  auto patterns = compress(aln);
+
+  auto fit = fit_scalar(patterns, tree, "JC69+G4", Config(), "alpha", 0.05, 10.0);
+  // Alpha is notoriously noisy; just require the right order of magnitude
+  // and better fit than a rate-homogeneous model.
+  EXPECT_GT(fit.value, 0.1);
+  EXPECT_LT(fit.value, 1.5);
+
+  auto uniform_spec = ModelSpec::parse("JC69", Config());
+  LikelihoodEngine uniform(patterns, uniform_spec.model, uniform_spec.rates);
+  Tree copy = tree;
+  EXPECT_GT(fit.log_likelihood, uniform.log_likelihood(copy));
+}
+
+TEST(FitScalar, InputValidation) {
+  Alignment aln;
+  aln.names = {"a", "b", "c", "d"};
+  aln.rows = {"ACGT", "ACGT", "ACGA", "ACTA"};
+  auto patterns = compress(aln);
+  auto tree = Tree::parse_newick("((a:0.1,b:0.1):0.1,c:0.1,d:0.1);");
+  EXPECT_THROW(fit_scalar(patterns, tree, "K80", Config(), "kappa", 5.0, 1.0),
+               InputError);
+}
+
+TEST(ModelFreeParameters, CountsMatchTextbook) {
+  Config equal;  // equal frequencies
+  EXPECT_EQ(model_free_parameters("JC69", equal), 0);
+  EXPECT_EQ(model_free_parameters("K80", equal), 1);
+  EXPECT_EQ(model_free_parameters("HKY85", equal), 1);
+  EXPECT_EQ(model_free_parameters("GTR", equal), 5);
+  EXPECT_EQ(model_free_parameters("JC69+G4", equal), 1);
+  EXPECT_EQ(model_free_parameters("HKY85+G4+I", equal), 3);
+
+  Config unequal;
+  unequal.set("basefreq", "0.4,0.1,0.2,0.3");
+  EXPECT_EQ(model_free_parameters("F81", unequal), 3);
+  EXPECT_EQ(model_free_parameters("HKY85", unequal), 4);
+  EXPECT_EQ(model_free_parameters("TN93+G4", unequal), 6);
+  EXPECT_EQ(model_free_parameters("GTR+G4+I", unequal), 10);
+  EXPECT_THROW(model_free_parameters("WAG", equal), InputError);
+}
+
+TEST(RankModels, PicksRicherModelOnlyWhenDataJustifiesIt) {
+  // Data simulated under plain JC69: AIC must NOT prefer parameter-heavy
+  // models (their logL gain is ~0 but they pay the penalty).
+  Rng rng(47);
+  auto tree = random_tree(rng, {8, 0.1, "t"});
+  auto model = SubstModel::jc69();
+  auto aln = simulate_alignment(rng, tree, model, RateModel::uniform(), {2000});
+  auto patterns = compress(aln);
+
+  Config params;
+  params.set("kappa", "1.0");  // true value under JC
+  auto ranking = rank_models(patterns, tree, {"JC69", "K80", "HKY85+G4"}, params);
+  ASSERT_EQ(ranking.size(), 3u);
+  EXPECT_EQ(ranking.front().spec, "JC69");
+  // AIC ascending.
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_LE(ranking[i - 1].aic, ranking[i].aic);
+  }
+}
+
+TEST(RankModels, DetectsTransitionBias) {
+  // Data simulated with a strong transition bias (kappa = 6): K80 with the
+  // fitted kappa must beat JC69 decisively despite its extra parameter.
+  Rng rng(53);
+  auto tree = random_tree(rng, {10, 0.12, "t"});
+  auto model = SubstModel::k80(6.0);
+  auto aln = simulate_alignment(rng, tree, model, RateModel::uniform(), {2000});
+  auto patterns = compress(aln);
+
+  auto fit = fit_scalar(patterns, tree, "K80", Config(), "kappa", 0.5, 20.0);
+  Config params;
+  params.set("kappa", format_f64(fit.value, 10));
+  auto ranking = rank_models(patterns, tree, {"JC69", "K80"}, params);
+  EXPECT_EQ(ranking.front().spec, "K80");
+  EXPECT_LT(ranking[0].aic + 10, ranking[1].aic) << "bias should be decisive";
+  // BIC agrees on strongly-supported choices.
+  EXPECT_LT(ranking[0].bic, ranking[1].bic);
+}
+
+TEST(RankModels, EmptyCandidateListRejected) {
+  Alignment aln;
+  aln.names = {"a", "b", "c", "d"};
+  aln.rows = {"ACGT", "ACGT", "ACGA", "ACTA"};
+  auto tree = Tree::parse_newick("((a:0.1,b:0.1):0.1,c:0.1,d:0.1);");
+  EXPECT_THROW(rank_models(compress(aln), tree, {}, Config()), InputError);
+}
+
+}  // namespace
+}  // namespace hdcs::phylo

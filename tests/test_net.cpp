@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/bulk.hpp"
+#include "net/message.hpp"
+#include "net/socket.hpp"
+#include "util/rng.hpp"
+
+namespace hdcs::net {
+namespace {
+
+/// Listener + connected client/server stream pair over loopback.
+struct Pair {
+  TcpListener listener = TcpListener::bind(0);
+  TcpStream client;
+  TcpStream server;
+
+  Pair() {
+    std::thread t([&] { client = TcpStream::connect("127.0.0.1", listener.port()); });
+    auto accepted = listener.accept(2000);
+    t.join();
+    if (!accepted) throw IoError("accept timed out in test fixture");
+    server = std::move(*accepted);
+  }
+};
+
+TEST(Socket, EphemeralPortAssigned) {
+  auto listener = TcpListener::bind(0);
+  EXPECT_GT(listener.port(), 0);
+}
+
+TEST(Socket, AcceptTimesOutWithoutClient) {
+  auto listener = TcpListener::bind(0);
+  EXPECT_EQ(listener.accept(50), std::nullopt);
+}
+
+TEST(Socket, ConnectRefusedThrows) {
+  auto listener = TcpListener::bind(0);
+  std::uint16_t port = listener.port();
+  listener.close();
+  EXPECT_THROW(TcpStream::connect("127.0.0.1", port), IoError);
+}
+
+TEST(Socket, SendRecvRoundTrip) {
+  Pair p;
+  std::string msg = "hello over loopback";
+  p.client.send_all(as_bytes(msg));
+  std::vector<std::byte> buf(msg.size());
+  p.server.recv_all(buf);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf.data()), buf.size()), msg);
+}
+
+TEST(Socket, RecvAllThrowsConnectionClosedOnEof) {
+  Pair p;
+  p.client.close();
+  std::vector<std::byte> buf(4);
+  EXPECT_THROW(p.server.recv_all(buf), ConnectionClosed);
+}
+
+TEST(Socket, ReadableReflectsPendingData) {
+  Pair p;
+  EXPECT_FALSE(p.server.readable(10));
+  p.client.send_all(as_bytes("x"));
+  EXPECT_TRUE(p.server.readable(500));
+}
+
+TEST(Message, RoundTripsFrame) {
+  Pair p;
+  Message out;
+  out.type = MessageType::kRequestWork;
+  out.correlation = 77;
+  ByteWriter w;
+  w.str("payload");
+  out.payload = w.take();
+
+  write_message(p.client, out);
+  Message in = read_message(p.server);
+  EXPECT_EQ(in.type, MessageType::kRequestWork);
+  EXPECT_EQ(in.correlation, 77u);
+  auto r = in.reader();
+  EXPECT_EQ(r.str(), "payload");
+}
+
+TEST(Message, EmptyPayloadOk) {
+  Pair p;
+  Message out;
+  out.type = MessageType::kHeartbeatAck;
+  out.correlation = 1;
+  write_message(p.client, out);
+  Message in = read_message(p.server);
+  EXPECT_EQ(in.type, MessageType::kHeartbeatAck);
+  EXPECT_TRUE(in.payload.empty());
+}
+
+TEST(Message, BadMagicThrowsProtocolError) {
+  Pair p;
+  std::vector<std::byte> garbage(20, std::byte{0x5a});
+  p.client.send_all(garbage);
+  EXPECT_THROW(read_message(p.server), ProtocolError);
+}
+
+TEST(Message, SequentialFramesPreserved) {
+  Pair p;
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.type = MessageType::kHeartbeat;
+    m.correlation = static_cast<std::uint64_t>(i);
+    write_message(p.client, m);
+  }
+  for (int i = 0; i < 10; ++i) {
+    Message m = read_message(p.server);
+    EXPECT_EQ(m.correlation, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(Message, ToStringCoversTypes) {
+  EXPECT_STREQ(to_string(MessageType::kHello), "Hello");
+  EXPECT_STREQ(to_string(MessageType::kWorkAssignment), "WorkAssignment");
+  EXPECT_STREQ(to_string(static_cast<MessageType>(999)), "Unknown");
+}
+
+TEST(Bulk, Crc32KnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (IEEE reference value).
+  EXPECT_EQ(crc32(as_bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Bulk, RoundTripsLargeBlob) {
+  Pair p;
+  Rng rng(1);
+  std::vector<std::byte> blob(3 * kBulkChunk + 12345);
+  for (auto& b : blob) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+
+  std::thread sender([&] { send_blob(p.client, blob); });
+  auto received = recv_blob(p.server);
+  sender.join();
+  EXPECT_EQ(received, blob);
+}
+
+TEST(Bulk, EmptyBlobOk) {
+  Pair p;
+  std::thread sender([&] { send_blob(p.client, {}); });
+  auto received = recv_blob(p.server);
+  sender.join();
+  EXPECT_TRUE(received.empty());
+}
+
+TEST(Bulk, OversizeBlobRejected) {
+  Pair p;
+  std::vector<std::byte> blob(1024);
+  std::thread sender([&] {
+    try {
+      send_blob(p.client, blob);
+    } catch (const IoError&) {
+      // receiver may close early; ignore
+    }
+  });
+  EXPECT_THROW(recv_blob(p.server, 512), IoError);
+  p.server.close();
+  sender.join();
+}
+
+TEST(Bulk, CorruptedPayloadFailsCrc) {
+  Pair p;
+  // Hand-craft a blob frame with a wrong CRC.
+  ByteWriter header;
+  std::string body = "abcdefgh";
+  header.u64(body.size());
+  header.u32(crc32(as_bytes(body)) ^ 0xffffffffu);
+  p.client.send_all(header.data());
+  p.client.send_all(as_bytes(body));
+  EXPECT_THROW(recv_blob(p.server), ProtocolError);
+}
+
+}  // namespace
+}  // namespace hdcs::net

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "dist/local_runner.hpp"
+#include "dist/registry.hpp"
+#include "tests/toy_problem.hpp"
+#include "util/error.hpp"
+
+namespace hdcs::dist {
+namespace {
+
+using test::ToySumAlgorithm;
+using test::ToySumDataManager;
+
+TEST(AlgorithmRegistry, RegisterCreateAndList) {
+  AlgorithmRegistry registry;  // private instance, not the global one
+  EXPECT_FALSE(registry.contains("toy"));
+  registry.register_algorithm("toy",
+                              [] { return std::make_unique<ToySumAlgorithm>(); });
+  EXPECT_TRUE(registry.contains("toy"));
+  auto instance = registry.create("toy");
+  EXPECT_NE(instance, nullptr);
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"toy"}));
+}
+
+TEST(AlgorithmRegistry, DuplicateNameRejectedButReplaceAllowed) {
+  AlgorithmRegistry registry;
+  registry.register_algorithm("a", [] { return std::make_unique<ToySumAlgorithm>(); });
+  EXPECT_THROW(registry.register_algorithm(
+                   "a", [] { return std::make_unique<ToySumAlgorithm>(); }),
+               InputError);
+  EXPECT_NO_THROW(registry.replace(
+      "a", [] { return std::make_unique<ToySumAlgorithm>(); }));
+}
+
+TEST(AlgorithmRegistry, UnknownNameThrowsWithName) {
+  AlgorithmRegistry registry;
+  try {
+    (void)registry.create("who-is-this");
+    FAIL() << "expected InputError";
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("who-is-this"), std::string::npos);
+  }
+}
+
+TEST(AlgorithmRegistry, GlobalRegistryIsProcessWide) {
+  test::register_toy_algorithm();
+  EXPECT_TRUE(AlgorithmRegistry::global().contains(test::kToyAlgorithmName));
+}
+
+TEST(LocalRunner, UnknownAlgorithmFailsUpfront) {
+  class OrphanDm final : public DataManager {
+   public:
+    std::string algorithm_name() const override { return "no-such-algo"; }
+    std::vector<std::byte> problem_data() const override { return {}; }
+    std::optional<WorkUnit> next_unit(const SizeHint&) override { return {}; }
+    void accept_result(const ResultUnit&) override {}
+    bool is_complete() const override { return false; }
+    std::vector<std::byte> final_result() const override { return {}; }
+  };
+  OrphanDm dm;
+  EXPECT_THROW(run_locally(dm), InputError);
+}
+
+TEST(LocalRunner, StalledDataManagerDiagnosed) {
+  // A DataManager that reports incomplete but produces no units is a bug;
+  // the serial runner must say so instead of spinning.
+  class StuckDm final : public DataManager {
+   public:
+    std::string algorithm_name() const override {
+      return test::kToyAlgorithmName;
+    }
+    std::vector<std::byte> problem_data() const override {
+      ByteWriter w;
+      w.u64(0);
+      return w.take();
+    }
+    std::optional<WorkUnit> next_unit(const SizeHint&) override {
+      return std::nullopt;  // never produces anything
+    }
+    void accept_result(const ResultUnit&) override {}
+    bool is_complete() const override { return false; }  // ...yet never done
+    std::vector<std::byte> final_result() const override { return {}; }
+  };
+  test::register_toy_algorithm();
+  StuckDm dm;
+  EXPECT_THROW(run_locally(dm), Error);
+}
+
+TEST(LocalRunner, TinyHintStillTerminates) {
+  test::register_toy_algorithm();
+  ToySumDataManager dm(1000);
+  LocalRunStats stats;
+  auto result = run_locally(dm, 0.5, &stats);  // sub-element hint -> 1 op units
+  EXPECT_EQ(test::read_u64_result(result), dm.expected());
+  EXPECT_EQ(stats.units, 1000u);
+}
+
+TEST(SnapshotContract, DefaultDataManagerRefuses) {
+  class PlainDm final : public DataManager {
+   public:
+    std::string algorithm_name() const override { return "x"; }
+    std::vector<std::byte> problem_data() const override { return {}; }
+    std::optional<WorkUnit> next_unit(const SizeHint&) override { return {}; }
+    void accept_result(const ResultUnit&) override {}
+    bool is_complete() const override { return true; }
+    std::vector<std::byte> final_result() const override { return {}; }
+  };
+  PlainDm dm;
+  EXPECT_FALSE(dm.supports_snapshot());
+  ByteWriter w;
+  EXPECT_THROW(dm.snapshot(w), Error);
+  ByteReader r{std::span<const std::byte>(w.data())};
+  EXPECT_THROW(dm.restore(r), Error);
+}
+
+}  // namespace
+}  // namespace hdcs::dist

@@ -1,0 +1,111 @@
+#include "bio/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hdcs::bio {
+namespace {
+
+TEST(Blosum62, KnownEntries) {
+  auto s = ScoringScheme::blosum62();
+  // Spot checks against the published matrix.
+  EXPECT_EQ(s.score('A', 'A'), 4);
+  EXPECT_EQ(s.score('W', 'W'), 11);
+  EXPECT_EQ(s.score('A', 'R'), -1);
+  EXPECT_EQ(s.score('C', 'C'), 9);
+  EXPECT_EQ(s.score('E', 'Q'), 2);
+  EXPECT_EQ(s.score('G', 'I'), -4);
+  EXPECT_EQ(s.score('Y', 'F'), 3);
+  EXPECT_EQ(s.score('X', 'X'), -1);
+}
+
+TEST(Blosum62, SymmetricOverResidues) {
+  auto s = ScoringScheme::blosum62();
+  const std::string_view letters = "ARNDCQEGHILKMFPSTWYVBZX";
+  for (char a : letters) {
+    for (char b : letters) {
+      EXPECT_EQ(s.score(a, b), s.score(b, a)) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Blosum62, DiagonalIsRowMaximum) {
+  // Identity scores are the best substitution for each residue.
+  auto s = ScoringScheme::blosum62();
+  const std::string_view letters = "ARNDCQEGHILKMFPSTWYV";
+  for (char a : letters) {
+    for (char b : letters) {
+      if (a != b) {
+        EXPECT_GT(s.score(a, a), s.score(a, b)) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(Pam250, KnownEntries) {
+  auto s = ScoringScheme::pam250();
+  EXPECT_EQ(s.score('W', 'W'), 17);
+  EXPECT_EQ(s.score('C', 'C'), 12);
+  EXPECT_EQ(s.score('A', 'A'), 2);
+  EXPECT_EQ(s.score('W', 'C'), -8);
+  EXPECT_EQ(s.score('F', 'Y'), 7);
+}
+
+TEST(Pam250, Symmetric) {
+  auto s = ScoringScheme::pam250();
+  const std::string_view letters = "ARNDCQEGHILKMFPSTWYVBZX";
+  for (char a : letters) {
+    for (char b : letters) {
+      EXPECT_EQ(s.score(a, b), s.score(b, a));
+    }
+  }
+}
+
+TEST(DnaScheme, MatchMismatchAndN) {
+  auto s = ScoringScheme::dna(5, -4, 10, 1);
+  EXPECT_EQ(s.score('A', 'A'), 5);
+  EXPECT_EQ(s.score('G', 'G'), 5);
+  EXPECT_EQ(s.score('A', 'T'), -4);
+  EXPECT_EQ(s.score('N', 'A'), 0);
+  EXPECT_EQ(s.score('T', 'N'), 0);
+  EXPECT_EQ(s.gap_open(), 10);
+  EXPECT_EQ(s.gap_extend(), 1);
+}
+
+TEST(ScoringScheme, FromNameDispatch) {
+  EXPECT_EQ(ScoringScheme::from_name("BLOSUM62").name(), "blosum62");
+  EXPECT_EQ(ScoringScheme::from_name("pam250").name(), "pam250");
+  EXPECT_EQ(ScoringScheme::from_name("dna").name(), "dna");
+  EXPECT_THROW(ScoringScheme::from_name("blosum999"), InputError);
+}
+
+TEST(ScoringScheme, FromNameGapOverrides) {
+  auto s = ScoringScheme::from_name("blosum62", 5, 2);
+  EXPECT_EQ(s.gap_open(), 5);
+  EXPECT_EQ(s.gap_extend(), 2);
+  auto d = ScoringScheme::from_name("blosum62");
+  EXPECT_EQ(d.gap_open(), 11);
+  EXPECT_EQ(d.gap_extend(), 1);
+}
+
+TEST(ScoringScheme, NegativeGapPenaltyRejected) {
+  EXPECT_THROW(ScoringScheme::dna(5, -4, -1, 1), InputError);
+  EXPECT_THROW(ScoringScheme::dna(5, -4, 1, -1), InputError);
+}
+
+TEST(ScoringScheme, UnknownCharactersScoreWorst) {
+  auto s = ScoringScheme::blosum62();
+  // '*' or digits fall into the out-of-range bucket = table minimum (-8...
+  // for blosum62 the minimum is -4).
+  EXPECT_EQ(s.score('*', 'A'), -4);
+  EXPECT_EQ(s.score('A', '*'), -4);
+}
+
+TEST(ScoringScheme, AlphabetTagged) {
+  EXPECT_EQ(ScoringScheme::blosum62().alphabet(), Alphabet::kProtein);
+  EXPECT_EQ(ScoringScheme::dna().alphabet(), Alphabet::kDna);
+}
+
+}  // namespace
+}  // namespace hdcs::bio

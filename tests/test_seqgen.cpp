@@ -1,0 +1,119 @@
+#include "bio/seqgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/align.hpp"
+#include "util/error.hpp"
+
+namespace hdcs::bio {
+namespace {
+
+TEST(SeqGen, RandomResiduesValidAndDeterministic) {
+  Rng a(42), b(42);
+  auto s1 = random_residues(a, 500, Alphabet::kProtein);
+  auto s2 = random_residues(b, 500, Alphabet::kProtein);
+  EXPECT_EQ(s1, s2);
+  for (char c : s1) EXPECT_TRUE(is_valid_residue(c, Alphabet::kProtein));
+  // No ambiguity codes in generated data.
+  EXPECT_EQ(s1.find('X'), std::string::npos);
+  EXPECT_EQ(s1.find('B'), std::string::npos);
+}
+
+TEST(SeqGen, DnaUsesAcgtOnly) {
+  Rng rng(7);
+  auto s = random_residues(rng, 1000, Alphabet::kDna);
+  for (char c : s) {
+    EXPECT_NE(std::string_view("ACGT").find(c), std::string_view::npos);
+  }
+}
+
+TEST(SeqGen, MutateZeroRatesIsIdentity) {
+  Rng rng(1);
+  std::string orig = random_residues(rng, 100, Alphabet::kDna);
+  EXPECT_EQ(mutate(rng, orig, Alphabet::kDna, 0.0, 0.0), orig);
+}
+
+TEST(SeqGen, MutateChangesRoughlyExpectedFraction) {
+  Rng rng(3);
+  std::string orig = random_residues(rng, 5000, Alphabet::kProtein);
+  auto mutated = mutate(rng, orig, Alphabet::kProtein, 0.2, 0.0);
+  ASSERT_EQ(mutated.size(), orig.size());
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    if (orig[i] != mutated[i]) ++diff;
+  }
+  // 20% mutation rate, but a mutation can draw the same residue (1/20).
+  double expected = 0.2 * (1.0 - 1.0 / 20);
+  EXPECT_NEAR(diff / double(orig.size()), expected, 0.03);
+}
+
+TEST(SeqGen, MutateNeverReturnsEmpty) {
+  Rng rng(5);
+  auto out = mutate(rng, "A", Alphabet::kDna, 0.0, 1.0);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(SeqGen, DatabaseContainsPlantedHomologs) {
+  Rng rng(11);
+  auto queries = make_queries(rng, 2, 100, Alphabet::kProtein);
+  DatabaseSpec spec;
+  spec.num_sequences = 50;
+  spec.mean_length = 120;
+  spec.planted_homologs_per_query = 3;
+  auto db = make_database(rng, spec, queries);
+  EXPECT_EQ(db.size(), 50u + 2 * 3);
+
+  int homologs = 0;
+  for (const auto& s : db) {
+    if (s.id.rfind("hom_", 0) == 0) ++homologs;
+    EXPECT_GE(s.residues.size(), 1u);
+  }
+  EXPECT_EQ(homologs, 6);
+}
+
+TEST(SeqGen, HomologsScoreAboveBackground) {
+  // The planted-family construction must actually create detectable
+  // similarity, or DSEARCH ranking tests would be meaningless.
+  Rng rng(13);
+  auto queries = make_queries(rng, 1, 150, Alphabet::kProtein);
+  DatabaseSpec spec;
+  spec.num_sequences = 30;
+  spec.mean_length = 150;
+  spec.planted_homologs_per_query = 3;
+  spec.mutation_rate = 0.15;
+  auto db = make_database(rng, spec, queries);
+
+  auto scheme = ScoringScheme::blosum62();
+  std::int64_t worst_homolog = INT64_MAX;
+  std::int64_t best_background = INT64_MIN;
+  for (const auto& s : db) {
+    auto score = sw_score(queries[0].residues, s.residues, scheme);
+    if (s.id.rfind("hom_", 0) == 0) {
+      worst_homolog = std::min(worst_homolog, score);
+    } else {
+      best_background = std::max(best_background, score);
+    }
+  }
+  EXPECT_GT(worst_homolog, best_background);
+}
+
+TEST(SeqGen, MinLengthRespected) {
+  Rng rng(17);
+  DatabaseSpec spec;
+  spec.num_sequences = 200;
+  spec.mean_length = 60;
+  spec.min_length = 50;
+  auto db = make_database(rng, spec, {});
+  for (const auto& s : db) EXPECT_GE(s.residues.size(), 50u);
+}
+
+TEST(SeqGen, BadSpecRejected) {
+  Rng rng(1);
+  DatabaseSpec spec;
+  spec.mean_length = 10;
+  spec.min_length = 50;
+  EXPECT_THROW(make_database(rng, spec, {}), InputError);
+}
+
+}  // namespace
+}  // namespace hdcs::bio

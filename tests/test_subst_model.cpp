@@ -1,0 +1,228 @@
+#include "phylo/subst_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hdcs::phylo {
+namespace {
+
+std::vector<SubstModel> all_models() {
+  Vec4 pi = {0.35, 0.15, 0.20, 0.30};
+  std::vector<SubstModel> models;
+  models.push_back(SubstModel::jc69());
+  models.push_back(SubstModel::f81(pi));
+  models.push_back(SubstModel::k80(2.5));
+  models.push_back(SubstModel::hky85(pi, 3.0));
+  models.push_back(SubstModel::f84(pi, 1.5));
+  models.push_back(SubstModel::tn93(pi, 4.0, 2.0));
+  models.push_back(SubstModel::gtr(pi, {1.2, 3.1, 0.8, 1.1, 4.0, 1.0}));
+  return models;
+}
+
+TEST(SubstModel, TransitionProbsAtZeroIsIdentity) {
+  for (const auto& m : all_models()) {
+    auto p = m.transition_probs(0.0);
+    EXPECT_LT(Matrix4::max_abs_diff(p, Matrix4::identity()), 1e-9) << m.name();
+  }
+}
+
+TEST(SubstModel, RowsAreProbabilityDistributions) {
+  for (const auto& m : all_models()) {
+    for (double t : {0.01, 0.1, 1.0, 5.0}) {
+      auto p = m.transition_probs(t);
+      for (int i = 0; i < 4; ++i) {
+        double row = 0;
+        for (int j = 0; j < 4; ++j) {
+          EXPECT_GE(p(i, j), 0.0) << m.name();
+          row += p(i, j);
+        }
+        EXPECT_NEAR(row, 1.0, 1e-9) << m.name() << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(SubstModel, StationaryDistributionPreserved) {
+  for (const auto& m : all_models()) {
+    auto p = m.transition_probs(0.7);
+    const Vec4& pi = m.pi();
+    for (int j = 0; j < 4; ++j) {
+      double sum = 0;
+      for (int i = 0; i < 4; ++i) sum += pi[static_cast<std::size_t>(i)] * p(i, j);
+      EXPECT_NEAR(sum, pi[static_cast<std::size_t>(j)], 1e-9) << m.name();
+    }
+  }
+}
+
+TEST(SubstModel, LongBranchConvergesToStationary) {
+  for (const auto& m : all_models()) {
+    auto p = m.transition_probs(500.0);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_NEAR(p(i, j), m.pi()[static_cast<std::size_t>(j)], 1e-6) << m.name();
+      }
+    }
+  }
+}
+
+TEST(SubstModel, DetailedBalance) {
+  // Time reversibility: pi_i P_ij(t) = pi_j P_ji(t).
+  for (const auto& m : all_models()) {
+    auto p = m.transition_probs(0.31);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_NEAR(m.pi()[static_cast<std::size_t>(i)] * p(i, j),
+                    m.pi()[static_cast<std::size_t>(j)] * p(j, i), 1e-10)
+            << m.name();
+      }
+    }
+  }
+}
+
+TEST(SubstModel, MeanRateNormalizedToOne) {
+  for (const auto& m : all_models()) {
+    double mu = 0;
+    for (int i = 0; i < 4; ++i) {
+      mu -= m.pi()[static_cast<std::size_t>(i)] * m.rate_matrix()(i, i);
+    }
+    EXPECT_NEAR(mu, 1.0, 1e-10) << m.name();
+  }
+}
+
+TEST(SubstModel, ChapmanKolmogorov) {
+  // P(s) P(t) = P(s + t).
+  for (const auto& m : all_models()) {
+    auto lhs = m.transition_probs(0.2) * m.transition_probs(0.5);
+    auto rhs = m.transition_probs(0.7);
+    EXPECT_LT(Matrix4::max_abs_diff(lhs, rhs), 1e-9) << m.name();
+  }
+}
+
+TEST(SubstModel, Jc69ClosedForm) {
+  // JC69: P(same) = 1/4 + 3/4 e^{-4t/3}; P(diff) = 1/4 - 1/4 e^{-4t/3}.
+  auto m = SubstModel::jc69();
+  for (double t : {0.05, 0.3, 1.2}) {
+    auto p = m.transition_probs(t);
+    double same = 0.25 + 0.75 * std::exp(-4.0 * t / 3.0);
+    double diff = 0.25 - 0.25 * std::exp(-4.0 * t / 3.0);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_NEAR(p(i, j), i == j ? same : diff, 1e-10) << "t=" << t;
+      }
+    }
+  }
+}
+
+TEST(SubstModel, K80ClosedForm) {
+  // K80 with kappa: transitions (A<->G, C<->T) differ from transversions.
+  double kappa = 2.5;
+  auto m = SubstModel::k80(kappa);
+  double t = 0.4;
+  auto p = m.transition_probs(t);
+  // Closed form (rate matrix normalized to mean rate 1):
+  // beta = 2/(kappa+2); alpha = kappa*beta (transition rate param).
+  double beta = 1.0 / (0.25 * kappa + 0.5);
+  double alpha = kappa * beta / 4.0;
+  beta /= 4.0;
+  double e1 = std::exp(-4.0 * beta * t);
+  double e2 = std::exp(-2.0 * (alpha + beta) * t);
+  double p_same = 0.25 + 0.25 * e1 + 0.5 * e2;
+  double p_transition = 0.25 + 0.25 * e1 - 0.5 * e2;
+  double p_transversion = 0.25 - 0.25 * e1;
+  EXPECT_NEAR(p(0, 0), p_same, 1e-9);
+  EXPECT_NEAR(p(0, 2), p_transition, 1e-9);    // A->G
+  EXPECT_NEAR(p(0, 1), p_transversion, 1e-9);  // A->C
+  EXPECT_NEAR(p(1, 3), p_transition, 1e-9);    // C->T
+}
+
+TEST(SubstModel, HigherKappaMoreTransitions) {
+  auto low = SubstModel::k80(1.0);
+  auto high = SubstModel::k80(10.0);
+  auto pl = low.transition_probs(0.3);
+  auto ph = high.transition_probs(0.3);
+  EXPECT_GT(ph(0, 2), pl(0, 2));  // A->G transition more likely
+  EXPECT_LT(ph(0, 1), pl(0, 1));  // A->C transversion less likely
+}
+
+TEST(SubstModel, InvalidParametersRejected) {
+  EXPECT_THROW(SubstModel::k80(0.0), InputError);
+  EXPECT_THROW(SubstModel::f81({0.5, 0.5, 0.2, -0.2}), InputError);
+  EXPECT_THROW(SubstModel::f81({0.3, 0.3, 0.3, 0.3}), InputError);  // sum != 1
+  EXPECT_THROW(SubstModel::tn93({0.25, 0.25, 0.25, 0.25}, -1, 2), InputError);
+  EXPECT_THROW(SubstModel({}, {0.25, 0.25, 0.25, 0.25}, {1, 1, 0, 1, 1, 1}),
+               InputError);
+  auto m = SubstModel::jc69();
+  EXPECT_THROW((void)m.transition_probs(-0.1), InputError);
+}
+
+TEST(RateModel, UniformAndGammaMeans) {
+  EXPECT_NEAR(RateModel::uniform().mean_rate(), 1.0, 1e-12);
+  EXPECT_NEAR(RateModel::gamma(0.5, 4).mean_rate(), 1.0, 1e-8);
+  EXPECT_NEAR(RateModel::gamma(2.0, 8).mean_rate(), 1.0, 1e-8);
+}
+
+TEST(RateModel, InvariantSitesComposition) {
+  auto rm = RateModel::gamma(0.5, 4).with_invariant(0.2);
+  EXPECT_EQ(rm.category_count(), 5u);
+  EXPECT_DOUBLE_EQ(rm.rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rm.probs[0], 0.2);
+  EXPECT_NEAR(rm.mean_rate(), 1.0, 1e-8);
+  EXPECT_THROW(rm.with_invariant(1.0), InputError);
+  EXPECT_THROW(rm.with_invariant(-0.1), InputError);
+}
+
+TEST(ModelSpec, ParsesNamesAndModifiers) {
+  Config params;
+  params.set("kappa", "3.0");
+  params.set("alpha", "0.7");
+  params.set("pinv", "0.15");
+
+  auto plain = ModelSpec::parse("JC69", params);
+  EXPECT_EQ(plain.model->name(), "JC69");
+  EXPECT_EQ(plain.rates.category_count(), 1u);
+
+  auto gamma = ModelSpec::parse("HKY85+G4", params);
+  EXPECT_EQ(gamma.model->name(), "HKY85");
+  EXPECT_EQ(gamma.rates.category_count(), 4u);
+
+  auto gamma8 = ModelSpec::parse("GTR+G8", params);
+  EXPECT_EQ(gamma8.rates.category_count(), 8u);
+
+  auto inv = ModelSpec::parse("K80+I", params);
+  EXPECT_EQ(inv.rates.category_count(), 2u);
+  EXPECT_DOUBLE_EQ(inv.rates.probs[0], 0.15);
+
+  auto both = ModelSpec::parse("TN93+G4+I", params);
+  EXPECT_EQ(both.rates.category_count(), 5u);
+  EXPECT_NEAR(both.rates.mean_rate(), 1.0, 1e-8);
+}
+
+TEST(ModelSpec, CaseInsensitiveAndAliases) {
+  Config params;
+  EXPECT_EQ(ModelSpec::parse("jc", params).model->name(), "JC69");
+  EXPECT_EQ(ModelSpec::parse("k2p", params).model->name(), "K80");
+  EXPECT_EQ(ModelSpec::parse("hky+g4", params).model->name(), "HKY85");
+}
+
+TEST(ModelSpec, BaseFrequenciesFromConfig) {
+  Config params;
+  params.set("basefreq", "0.4,0.1,0.2,0.3");
+  auto spec = ModelSpec::parse("F81", params);
+  EXPECT_DOUBLE_EQ(spec.model->pi()[0], 0.4);
+  EXPECT_DOUBLE_EQ(spec.model->pi()[3], 0.3);
+}
+
+TEST(ModelSpec, RejectsUnknown) {
+  Config params;
+  EXPECT_THROW(ModelSpec::parse("WAG", params), InputError);
+  EXPECT_THROW(ModelSpec::parse("HKY85+X", params), InputError);
+  EXPECT_THROW(ModelSpec::parse("", params), InputError);
+  params.set("basefreq", "0.5,0.5");
+  EXPECT_THROW(ModelSpec::parse("F81", params), InputError);
+}
+
+}  // namespace
+}  // namespace hdcs::phylo

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "util/blocking_queue.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hdcs {
+namespace {
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BlockingQueue, TryPopEmptyReturnsNullopt) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(BlockingQueue, BoundedTryPushFailsWhenFull) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  q.pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BlockingQueue, CloseDrainsThenReturnsNullopt) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));  // rejected after close
+  EXPECT_EQ(q.pop(), 1);    // drains what's left
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BlockingQueue, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> q;
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    auto v = q.pop();
+    EXPECT_EQ(v, std::nullopt);
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(BlockingQueue, ManyProducersManyConsumers) {
+  BlockingQueue<int> q(16);
+  constexpr int kProducers = 4, kPerProducer = 500;
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) sum += *v;
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (std::size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+
+  long long expected = 0;
+  for (int i = 0; i < kProducers * kPerProducer; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.submit([&] { count += 1; }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitWithResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit_with_result([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, RejectsAfterShutdown) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  auto fut = pool.submit_with_result([] { return 1; });
+  EXPECT_EQ(fut.get(), 1);
+}
+
+}  // namespace
+}  // namespace hdcs

@@ -1,0 +1,207 @@
+#include "phylo/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hdcs::phylo {
+namespace {
+
+TEST(Tree, ThreeTaxonShape) {
+  auto t = Tree::three_taxon("a", "b", "c", 0.2);
+  EXPECT_EQ(t.node_count(), 4);
+  EXPECT_EQ(t.leaf_count(), 3);
+  EXPECT_EQ(t.at(t.root()).children.size(), 3u);
+  EXPECT_EQ(t.edge_nodes().size(), 3u);  // 2*3 - 3
+  auto names = t.leaf_names();
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Tree, NewickRoundTrip) {
+  std::string nwk = "((a:0.1,b:0.2):0.05,c:0.3,d:0.4);";
+  auto t = Tree::parse_newick(nwk);
+  EXPECT_EQ(t.leaf_count(), 4);
+  // Short precision prints the friendly decimals back.
+  EXPECT_EQ(t.to_newick(6), "((a:0.1,b:0.2):0.05,c:0.3,d:0.4);");
+  // Default (full) precision round-trips doubles exactly: parse-print-parse
+  // is a fixed point.
+  auto t2 = Tree::parse_newick(t.to_newick());
+  EXPECT_EQ(t2.to_newick(), t.to_newick());
+  EXPECT_DOUBLE_EQ(t2.branch_length(*t2.find_leaf("a")), 0.1);
+}
+
+TEST(Tree, NewickWithoutBranchLengths) {
+  auto t = Tree::parse_newick("((a,b),c);");
+  EXPECT_EQ(t.leaf_count(), 3);
+  EXPECT_DOUBLE_EQ(t.branch_length(*t.find_leaf("a")), 0.0);
+}
+
+TEST(Tree, NewickScientificNotationAndWhitespace) {
+  auto t = Tree::parse_newick(" ( a : 1e-3 , b : 2.5E-2 ) ;");
+  EXPECT_NEAR(t.branch_length(*t.find_leaf("a")), 1e-3, 1e-12);
+  EXPECT_NEAR(t.branch_length(*t.find_leaf("b")), 2.5e-2, 1e-12);
+}
+
+TEST(Tree, NewickInternalLabelsIgnored) {
+  auto t = Tree::parse_newick("((a:1,b:1)label95:0.5,c:1);");
+  EXPECT_EQ(t.leaf_count(), 3);
+}
+
+TEST(Tree, NewickErrors) {
+  EXPECT_THROW(Tree::parse_newick(""), InputError);
+  EXPECT_THROW(Tree::parse_newick("((a,b);"), InputError);       // unbalanced
+  EXPECT_THROW(Tree::parse_newick("(a,b));"), InputError);       // trailing
+  EXPECT_THROW(Tree::parse_newick("(a:,b);"), InputError);       // missing length
+  EXPECT_THROW(Tree::parse_newick("(a:-1,b);"), InputError);     // negative
+  EXPECT_THROW(Tree::parse_newick("(,b);"), InputError);         // empty name
+}
+
+TEST(Tree, PostorderChildrenBeforeParents) {
+  auto t = Tree::parse_newick("((a:1,b:1):1,(c:1,d:1):1,e:1);");
+  auto order = t.postorder();
+  EXPECT_EQ(order.size(), static_cast<std::size_t>(t.node_count()));
+  EXPECT_EQ(order.back(), t.root());
+  std::vector<int> position(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (int node = 0; node < t.node_count(); ++node) {
+    for (int child : t.at(node).children) {
+      EXPECT_LT(position[static_cast<std::size_t>(child)],
+                position[static_cast<std::size_t>(node)]);
+    }
+  }
+}
+
+TEST(Tree, EdgeCountFollowsLeafCount) {
+  // Unrooted n-leaf binary tree: 2n-3 edges.
+  auto t = Tree::three_taxon("t0", "t1", "t2");
+  for (int n = 4; n <= 10; ++n) {
+    auto edges = t.edge_nodes();
+    t.insert_leaf_on_edge(edges[0], "t" + std::to_string(n - 1), 0.1);
+    EXPECT_EQ(t.leaf_count(), n);
+    EXPECT_EQ(t.edge_nodes().size(), static_cast<std::size_t>(2 * n - 3));
+  }
+}
+
+TEST(Tree, InsertLeafSplitsBranchLengths) {
+  auto t = Tree::three_taxon("a", "b", "c", 0.3);
+  int a = *t.find_leaf("a");
+  int leaf = t.insert_leaf_on_edge(a, "d", 0.07, 0.25);
+  EXPECT_EQ(t.at(leaf).name, "d");
+  EXPECT_DOUBLE_EQ(t.branch_length(leaf), 0.07);
+  int mid = t.parent(leaf);
+  // 0.3 split 25% above / 75% below.
+  EXPECT_NEAR(t.branch_length(mid), 0.075, 1e-12);
+  EXPECT_NEAR(t.branch_length(a), 0.225, 1e-12);
+  EXPECT_EQ(t.parent(a), mid);
+  // Total length conserved (+ pendant).
+  EXPECT_NEAR(t.total_length(), 0.3 + 0.3 + 0.3 + 0.07, 1e-12);
+}
+
+TEST(Tree, InsertLeafErrors) {
+  auto t = Tree::three_taxon("a", "b", "c");
+  EXPECT_THROW(t.insert_leaf_on_edge(t.root(), "d", 0.1), InputError);
+  EXPECT_THROW(t.insert_leaf_on_edge(1, "d", -0.1), InputError);
+  EXPECT_THROW(t.insert_leaf_on_edge(1, "d", 0.1, 0.0), InputError);
+  EXPECT_THROW(t.insert_leaf_on_edge(1, "d", 0.1, 1.0), InputError);
+}
+
+TEST(Tree, RemoveLeafInvertsInsert) {
+  auto t = Tree::three_taxon("a", "b", "c", 0.3);
+  std::string before = t.to_newick();
+  int a = *t.find_leaf("a");
+  t.insert_leaf_on_edge(a, "d", 0.07, 0.5);
+  t.remove_leaf(*t.find_leaf("d"));
+  EXPECT_EQ(t.to_newick(), before);
+}
+
+TEST(Tree, RemoveLeafFromDeeperTree) {
+  auto t = Tree::parse_newick("((a:1,b:2):3,(c:4,d:5):6,e:7);");
+  t.remove_leaf(*t.find_leaf("b"));
+  EXPECT_EQ(t.leaf_count(), 4);
+  // a's branch spliced through the removed internal node: 1 + 3.
+  EXPECT_DOUBLE_EQ(t.branch_length(*t.find_leaf("a")), 4.0);
+  auto names = t.leaf_names();
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "c", "d", "e"}));
+}
+
+TEST(Tree, NniSwapsSubtrees) {
+  auto t = Tree::parse_newick("((a:1,b:1):1,c:1,d:1);");
+  auto internal = t.internal_edges();
+  ASSERT_EQ(internal.size(), 1u);
+  auto before = t.to_newick();
+  t.nni(internal[0], 0);
+  EXPECT_NE(t.to_newick(), before);
+  EXPECT_EQ(t.leaf_count(), 4);
+  // NNI is an involution when applied with the same variant... after the
+  // swap the moved child sits in the sibling slot; applying variant 0
+  // again must restore the topology (RF distance 0).
+  auto after_once = Tree::parse_newick(t.to_newick());
+  t.nni(internal[0], 0);
+  EXPECT_EQ(rf_distance(t, Tree::parse_newick(before)), 0);
+  (void)after_once;
+}
+
+TEST(Tree, NniVariantsDifferent) {
+  auto t1 = Tree::parse_newick("((a:1,b:1):1,c:1,d:1);");
+  auto t2 = Tree::parse_newick("((a:1,b:1):1,c:1,d:1);");
+  auto internal = t1.internal_edges();
+  t1.nni(internal[0], 0);
+  t2.nni(internal[0], 1);
+  // On 4 taxa there are exactly 3 topologies; original + 2 NNI variants
+  // cover all of them, pairwise distinct.
+  auto orig = Tree::parse_newick("((a:1,b:1):1,c:1,d:1);");
+  EXPECT_GT(rf_distance(t1, orig), 0);
+  EXPECT_GT(rf_distance(t2, orig), 0);
+  EXPECT_GT(rf_distance(t1, t2), 0);
+}
+
+TEST(Tree, NniErrors) {
+  auto t = Tree::parse_newick("((a:1,b:1):1,c:1,d:1);");
+  EXPECT_THROW(t.nni(*t.find_leaf("a"), 0), InputError);  // leaf edge
+  EXPECT_THROW(t.nni(t.root(), 0), InputError);
+  EXPECT_THROW(t.nni(t.internal_edges()[0], 2), InputError);
+}
+
+TEST(RfDistance, IdenticalTreesZero) {
+  auto a = Tree::parse_newick("((a:1,b:1):1,(c:1,d:1):1,e:1);");
+  auto b = Tree::parse_newick("((a:2,b:2):2,(c:2,d:2):2,e:2);");  // lengths differ
+  EXPECT_EQ(rf_distance(a, b), 0);
+}
+
+TEST(RfDistance, RotatedChildOrderZero) {
+  auto a = Tree::parse_newick("((a:1,b:1):1,(c:1,d:1):1,e:1);");
+  auto b = Tree::parse_newick("(e:1,(d:1,c:1):1,(b:1,a:1):1);");
+  EXPECT_EQ(rf_distance(a, b), 0);
+}
+
+TEST(RfDistance, DifferentTopologiesPositive) {
+  auto a = Tree::parse_newick("((a:1,b:1):1,(c:1,d:1):1,e:1);");
+  auto b = Tree::parse_newick("((a:1,c:1):1,(b:1,d:1):1,e:1);");
+  EXPECT_GT(rf_distance(a, b), 0);
+}
+
+TEST(RfDistance, DisjointLeafSetsThrow) {
+  auto a = Tree::parse_newick("((a:1,b:1):1,c:1);");
+  auto b = Tree::parse_newick("((a:1,b:1):1,x:1);");
+  EXPECT_THROW(rf_distance(a, b), InputError);
+}
+
+TEST(Tree, TotalLength) {
+  auto t = Tree::parse_newick("((a:1,b:2):3,c:4);");
+  EXPECT_DOUBLE_EQ(t.total_length(), 10.0);
+}
+
+TEST(Tree, FindLeaf) {
+  auto t = Tree::three_taxon("x", "y", "z");
+  EXPECT_TRUE(t.find_leaf("y").has_value());
+  EXPECT_FALSE(t.find_leaf("w").has_value());
+}
+
+}  // namespace
+}  // namespace hdcs::phylo

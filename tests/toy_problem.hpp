@@ -1,0 +1,168 @@
+#pragma once
+// A minimal Problem used across the dist/sim/integration tests:
+// sum of f(i) = i*i mod p over [0, n), partitioned into ranges.
+//
+// Also provides a *staged* variant whose stage k+1 units can only be
+// generated after every stage-k result arrived — the shape of DPRml, used
+// to test barrier handling and the multi-problem interleaving that Fig. 2
+// depends on.
+
+#include <cstdint>
+#include <optional>
+
+#include "dist/algorithm.hpp"
+#include "dist/data_manager.hpp"
+#include "dist/registry.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace hdcs::test {
+
+inline constexpr const char* kToyAlgorithmName = "toy-sum";
+
+inline std::uint64_t toy_f(std::uint64_t i) { return (i * i) % 1000003ull; }
+
+class ToySumAlgorithm final : public dist::Algorithm {
+ public:
+  void initialize(std::span<const std::byte> problem_data) override {
+    ByteReader r(problem_data);
+    offset_ = r.u64();
+    r.expect_end();
+  }
+
+  std::vector<std::byte> process(const dist::WorkUnit& unit) override {
+    ByteReader r(unit.payload);
+    std::uint64_t begin = r.u64();
+    std::uint64_t end = r.u64();
+    r.expect_end();
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = begin; i < end; ++i) sum += toy_f(i + offset_);
+    ByteWriter w;
+    w.u64(sum);
+    return w.take();
+  }
+
+ private:
+  std::uint64_t offset_ = 0;
+};
+
+/// Partition [0, n) into ranges of ~hint.target_ops elements (1 op = 1
+/// element). `stages` > 1 makes it a staged problem: the range is split
+/// into `stages` equal phases with a barrier between them.
+class ToySumDataManager final : public dist::DataManager {
+ public:
+  ToySumDataManager(std::uint64_t n, std::uint64_t offset = 0, int stages = 1)
+      : n_(n), offset_(offset), stages_(stages) {
+    if (stages_ < 1) stages_ = 1;
+  }
+
+  [[nodiscard]] std::string algorithm_name() const override {
+    return kToyAlgorithmName;
+  }
+
+  [[nodiscard]] std::vector<std::byte> problem_data() const override {
+    ByteWriter w;
+    w.u64(offset_);
+    return w.take();
+  }
+
+  std::optional<dist::WorkUnit> next_unit(const dist::SizeHint& hint) override {
+    std::uint64_t stage_end = stage_limit(current_stage_);
+    if (cursor_ >= stage_end) {
+      // Stage exhausted: barrier until all its results are merged.
+      if (outstanding_ > 0) return std::nullopt;
+      if (current_stage_ + 1 >= stages_) return std::nullopt;  // all generated
+      ++current_stage_;
+      stage_end = stage_limit(current_stage_);
+    }
+    auto span = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(hint.target_ops));
+    std::uint64_t end = std::min(cursor_ + span, stage_end);
+
+    dist::WorkUnit unit;
+    unit.stage = static_cast<std::uint32_t>(current_stage_);
+    unit.cost_ops = static_cast<double>(end - cursor_);
+    ByteWriter w;
+    w.u64(cursor_);
+    w.u64(end);
+    unit.payload = w.take();
+    cursor_ = end;
+    ++outstanding_;
+    return unit;
+  }
+
+  void accept_result(const dist::ResultUnit& result) override {
+    ByteReader r(result.payload);
+    sum_ += r.u64();
+    r.expect_end();
+    --outstanding_;
+    ++results_;
+  }
+
+  [[nodiscard]] bool is_complete() const override {
+    return current_stage_ == stages_ - 1 && cursor_ >= n_ && outstanding_ == 0;
+  }
+
+  [[nodiscard]] std::vector<std::byte> final_result() const override {
+    ByteWriter w;
+    w.u64(sum_);
+    return w.take();
+  }
+
+  [[nodiscard]] double remaining_ops_estimate() const override {
+    return static_cast<double>(n_ - cursor_);
+  }
+
+  [[nodiscard]] std::uint64_t result_count() const { return results_; }
+
+  [[nodiscard]] bool supports_snapshot() const override { return true; }
+  void snapshot(ByteWriter& w) const override {
+    w.u64(cursor_);
+    w.i32(current_stage_);
+    w.i32(outstanding_);
+    w.u64(sum_);
+    w.u64(results_);
+  }
+  void restore(ByteReader& r) override {
+    cursor_ = r.u64();
+    current_stage_ = r.i32();
+    outstanding_ = r.i32();
+    sum_ = r.u64();
+    results_ = r.u64();
+  }
+
+  /// Ground truth, computed directly.
+  [[nodiscard]] std::uint64_t expected() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < n_; ++i) sum += toy_f(i + offset_);
+    return sum;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t stage_limit(int stage) const {
+    return (stage + 1 == stages_) ? n_ : n_ / stages_ * (stage + 1);
+  }
+
+  std::uint64_t n_;
+  std::uint64_t offset_;
+  int stages_;
+  std::uint64_t cursor_ = 0;
+  int current_stage_ = 0;
+  int outstanding_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t results_ = 0;
+};
+
+/// Decode a single-u64 result buffer (the toy problem's final_result()).
+inline std::uint64_t read_u64_result(std::vector<std::byte> buffer) {
+  ByteReader r{std::span<const std::byte>(buffer)};
+  std::uint64_t v = r.u64();
+  r.expect_end();
+  return v;
+}
+
+/// Idempotently register the toy algorithm in the global registry.
+inline void register_toy_algorithm() {
+  dist::AlgorithmRegistry::global().replace(
+      kToyAlgorithmName, [] { return std::make_unique<ToySumAlgorithm>(); });
+}
+
+}  // namespace hdcs::test
