@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablate_churn.cpp" "bench/CMakeFiles/ablate_churn.dir/ablate_churn.cpp.o" "gcc" "bench/CMakeFiles/ablate_churn.dir/ablate_churn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsearch/CMakeFiles/hdcs_dsearch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hdcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/hdcs_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hdcs_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hdcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

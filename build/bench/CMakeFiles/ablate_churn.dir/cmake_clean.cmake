@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_churn.dir/ablate_churn.cpp.o"
+  "CMakeFiles/ablate_churn.dir/ablate_churn.cpp.o.d"
+  "ablate_churn"
+  "ablate_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_granularity.dir/ablate_granularity.cpp.o"
+  "CMakeFiles/ablate_granularity.dir/ablate_granularity.cpp.o.d"
+  "ablate_granularity"
+  "ablate_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

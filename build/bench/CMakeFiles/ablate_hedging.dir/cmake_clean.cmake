@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_hedging.dir/ablate_hedging.cpp.o"
+  "CMakeFiles/ablate_hedging.dir/ablate_hedging.cpp.o.d"
+  "ablate_hedging"
+  "ablate_hedging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_hedging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_align.dir/bench_align.cpp.o"
+  "CMakeFiles/bench_align.dir/bench_align.cpp.o.d"
+  "bench_align"
+  "bench_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_likelihood.dir/bench_likelihood.cpp.o"
+  "CMakeFiles/bench_likelihood.dir/bench_likelihood.cpp.o.d"
+  "bench_likelihood"
+  "bench_likelihood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_likelihood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dboot_demo.dir/dboot_demo.cpp.o"
+  "CMakeFiles/dboot_demo.dir/dboot_demo.cpp.o.d"
+  "dboot_demo"
+  "dboot_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dboot_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dprml_demo.dir/dprml_demo.cpp.o"
+  "CMakeFiles/dprml_demo.dir/dprml_demo.cpp.o.d"
+  "dprml_demo"
+  "dprml_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dprml_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsearch_demo.dir/dsearch_demo.cpp.o"
+  "CMakeFiles/dsearch_demo.dir/dsearch_demo.cpp.o.d"
+  "dsearch_demo"
+  "dsearch_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsearch_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdcs_donor.dir/hdcs_donor.cpp.o"
+  "CMakeFiles/hdcs_donor.dir/hdcs_donor.cpp.o.d"
+  "hdcs_donor"
+  "hdcs_donor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdcs_donor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

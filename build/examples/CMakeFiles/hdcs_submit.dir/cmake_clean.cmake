@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdcs_submit.dir/hdcs_submit.cpp.o"
+  "CMakeFiles/hdcs_submit.dir/hdcs_submit.cpp.o.d"
+  "hdcs_submit"
+  "hdcs_submit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdcs_submit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/align.cpp" "src/bio/CMakeFiles/hdcs_bio.dir/align.cpp.o" "gcc" "src/bio/CMakeFiles/hdcs_bio.dir/align.cpp.o.d"
+  "/root/repo/src/bio/fasta.cpp" "src/bio/CMakeFiles/hdcs_bio.dir/fasta.cpp.o" "gcc" "src/bio/CMakeFiles/hdcs_bio.dir/fasta.cpp.o.d"
+  "/root/repo/src/bio/scoring.cpp" "src/bio/CMakeFiles/hdcs_bio.dir/scoring.cpp.o" "gcc" "src/bio/CMakeFiles/hdcs_bio.dir/scoring.cpp.o.d"
+  "/root/repo/src/bio/seqgen.cpp" "src/bio/CMakeFiles/hdcs_bio.dir/seqgen.cpp.o" "gcc" "src/bio/CMakeFiles/hdcs_bio.dir/seqgen.cpp.o.d"
+  "/root/repo/src/bio/sequence.cpp" "src/bio/CMakeFiles/hdcs_bio.dir/sequence.cpp.o" "gcc" "src/bio/CMakeFiles/hdcs_bio.dir/sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hdcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

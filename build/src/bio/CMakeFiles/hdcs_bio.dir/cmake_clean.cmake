@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdcs_bio.dir/align.cpp.o"
+  "CMakeFiles/hdcs_bio.dir/align.cpp.o.d"
+  "CMakeFiles/hdcs_bio.dir/fasta.cpp.o"
+  "CMakeFiles/hdcs_bio.dir/fasta.cpp.o.d"
+  "CMakeFiles/hdcs_bio.dir/scoring.cpp.o"
+  "CMakeFiles/hdcs_bio.dir/scoring.cpp.o.d"
+  "CMakeFiles/hdcs_bio.dir/seqgen.cpp.o"
+  "CMakeFiles/hdcs_bio.dir/seqgen.cpp.o.d"
+  "CMakeFiles/hdcs_bio.dir/sequence.cpp.o"
+  "CMakeFiles/hdcs_bio.dir/sequence.cpp.o.d"
+  "libhdcs_bio.a"
+  "libhdcs_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdcs_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdcs_dboot.dir/dboot.cpp.o"
+  "CMakeFiles/hdcs_dboot.dir/dboot.cpp.o.d"
+  "libhdcs_dboot.a"
+  "libhdcs_dboot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdcs_dboot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

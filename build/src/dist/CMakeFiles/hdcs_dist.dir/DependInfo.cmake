@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/client.cpp" "src/dist/CMakeFiles/hdcs_dist.dir/client.cpp.o" "gcc" "src/dist/CMakeFiles/hdcs_dist.dir/client.cpp.o.d"
+  "/root/repo/src/dist/granularity.cpp" "src/dist/CMakeFiles/hdcs_dist.dir/granularity.cpp.o" "gcc" "src/dist/CMakeFiles/hdcs_dist.dir/granularity.cpp.o.d"
+  "/root/repo/src/dist/local_runner.cpp" "src/dist/CMakeFiles/hdcs_dist.dir/local_runner.cpp.o" "gcc" "src/dist/CMakeFiles/hdcs_dist.dir/local_runner.cpp.o.d"
+  "/root/repo/src/dist/registry.cpp" "src/dist/CMakeFiles/hdcs_dist.dir/registry.cpp.o" "gcc" "src/dist/CMakeFiles/hdcs_dist.dir/registry.cpp.o.d"
+  "/root/repo/src/dist/scheduler_core.cpp" "src/dist/CMakeFiles/hdcs_dist.dir/scheduler_core.cpp.o" "gcc" "src/dist/CMakeFiles/hdcs_dist.dir/scheduler_core.cpp.o.d"
+  "/root/repo/src/dist/server.cpp" "src/dist/CMakeFiles/hdcs_dist.dir/server.cpp.o" "gcc" "src/dist/CMakeFiles/hdcs_dist.dir/server.cpp.o.d"
+  "/root/repo/src/dist/wire.cpp" "src/dist/CMakeFiles/hdcs_dist.dir/wire.cpp.o" "gcc" "src/dist/CMakeFiles/hdcs_dist.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hdcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdcs_dist.dir/client.cpp.o"
+  "CMakeFiles/hdcs_dist.dir/client.cpp.o.d"
+  "CMakeFiles/hdcs_dist.dir/granularity.cpp.o"
+  "CMakeFiles/hdcs_dist.dir/granularity.cpp.o.d"
+  "CMakeFiles/hdcs_dist.dir/local_runner.cpp.o"
+  "CMakeFiles/hdcs_dist.dir/local_runner.cpp.o.d"
+  "CMakeFiles/hdcs_dist.dir/registry.cpp.o"
+  "CMakeFiles/hdcs_dist.dir/registry.cpp.o.d"
+  "CMakeFiles/hdcs_dist.dir/scheduler_core.cpp.o"
+  "CMakeFiles/hdcs_dist.dir/scheduler_core.cpp.o.d"
+  "CMakeFiles/hdcs_dist.dir/server.cpp.o"
+  "CMakeFiles/hdcs_dist.dir/server.cpp.o.d"
+  "CMakeFiles/hdcs_dist.dir/wire.cpp.o"
+  "CMakeFiles/hdcs_dist.dir/wire.cpp.o.d"
+  "libhdcs_dist.a"
+  "libhdcs_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdcs_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

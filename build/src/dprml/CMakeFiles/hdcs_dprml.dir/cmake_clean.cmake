@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdcs_dprml.dir/dprml.cpp.o"
+  "CMakeFiles/hdcs_dprml.dir/dprml.cpp.o.d"
+  "libhdcs_dprml.a"
+  "libhdcs_dprml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdcs_dprml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hdcs_dprml.
+# This may be replaced when dependencies are built.

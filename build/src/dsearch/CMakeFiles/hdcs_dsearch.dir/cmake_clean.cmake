@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdcs_dsearch.dir/dsearch.cpp.o"
+  "CMakeFiles/hdcs_dsearch.dir/dsearch.cpp.o.d"
+  "libhdcs_dsearch.a"
+  "libhdcs_dsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdcs_dsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

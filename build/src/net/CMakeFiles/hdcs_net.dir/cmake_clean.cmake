@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdcs_net.dir/bulk.cpp.o"
+  "CMakeFiles/hdcs_net.dir/bulk.cpp.o.d"
+  "CMakeFiles/hdcs_net.dir/message.cpp.o"
+  "CMakeFiles/hdcs_net.dir/message.cpp.o.d"
+  "CMakeFiles/hdcs_net.dir/socket.cpp.o"
+  "CMakeFiles/hdcs_net.dir/socket.cpp.o.d"
+  "libhdcs_net.a"
+  "libhdcs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdcs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phylo/alignment.cpp" "src/phylo/CMakeFiles/hdcs_phylo.dir/alignment.cpp.o" "gcc" "src/phylo/CMakeFiles/hdcs_phylo.dir/alignment.cpp.o.d"
+  "/root/repo/src/phylo/distance.cpp" "src/phylo/CMakeFiles/hdcs_phylo.dir/distance.cpp.o" "gcc" "src/phylo/CMakeFiles/hdcs_phylo.dir/distance.cpp.o.d"
+  "/root/repo/src/phylo/likelihood.cpp" "src/phylo/CMakeFiles/hdcs_phylo.dir/likelihood.cpp.o" "gcc" "src/phylo/CMakeFiles/hdcs_phylo.dir/likelihood.cpp.o.d"
+  "/root/repo/src/phylo/matrix4.cpp" "src/phylo/CMakeFiles/hdcs_phylo.dir/matrix4.cpp.o" "gcc" "src/phylo/CMakeFiles/hdcs_phylo.dir/matrix4.cpp.o.d"
+  "/root/repo/src/phylo/model_fit.cpp" "src/phylo/CMakeFiles/hdcs_phylo.dir/model_fit.cpp.o" "gcc" "src/phylo/CMakeFiles/hdcs_phylo.dir/model_fit.cpp.o.d"
+  "/root/repo/src/phylo/optimize.cpp" "src/phylo/CMakeFiles/hdcs_phylo.dir/optimize.cpp.o" "gcc" "src/phylo/CMakeFiles/hdcs_phylo.dir/optimize.cpp.o.d"
+  "/root/repo/src/phylo/simulate.cpp" "src/phylo/CMakeFiles/hdcs_phylo.dir/simulate.cpp.o" "gcc" "src/phylo/CMakeFiles/hdcs_phylo.dir/simulate.cpp.o.d"
+  "/root/repo/src/phylo/subst_model.cpp" "src/phylo/CMakeFiles/hdcs_phylo.dir/subst_model.cpp.o" "gcc" "src/phylo/CMakeFiles/hdcs_phylo.dir/subst_model.cpp.o.d"
+  "/root/repo/src/phylo/tree.cpp" "src/phylo/CMakeFiles/hdcs_phylo.dir/tree.cpp.o" "gcc" "src/phylo/CMakeFiles/hdcs_phylo.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bio/CMakeFiles/hdcs_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdcs_phylo.dir/alignment.cpp.o"
+  "CMakeFiles/hdcs_phylo.dir/alignment.cpp.o.d"
+  "CMakeFiles/hdcs_phylo.dir/distance.cpp.o"
+  "CMakeFiles/hdcs_phylo.dir/distance.cpp.o.d"
+  "CMakeFiles/hdcs_phylo.dir/likelihood.cpp.o"
+  "CMakeFiles/hdcs_phylo.dir/likelihood.cpp.o.d"
+  "CMakeFiles/hdcs_phylo.dir/matrix4.cpp.o"
+  "CMakeFiles/hdcs_phylo.dir/matrix4.cpp.o.d"
+  "CMakeFiles/hdcs_phylo.dir/model_fit.cpp.o"
+  "CMakeFiles/hdcs_phylo.dir/model_fit.cpp.o.d"
+  "CMakeFiles/hdcs_phylo.dir/optimize.cpp.o"
+  "CMakeFiles/hdcs_phylo.dir/optimize.cpp.o.d"
+  "CMakeFiles/hdcs_phylo.dir/simulate.cpp.o"
+  "CMakeFiles/hdcs_phylo.dir/simulate.cpp.o.d"
+  "CMakeFiles/hdcs_phylo.dir/subst_model.cpp.o"
+  "CMakeFiles/hdcs_phylo.dir/subst_model.cpp.o.d"
+  "CMakeFiles/hdcs_phylo.dir/tree.cpp.o"
+  "CMakeFiles/hdcs_phylo.dir/tree.cpp.o.d"
+  "libhdcs_phylo.a"
+  "libhdcs_phylo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdcs_phylo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

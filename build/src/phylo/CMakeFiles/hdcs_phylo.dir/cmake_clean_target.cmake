@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhdcs_phylo.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/hdcs_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/hdcs_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fleet.cpp" "src/sim/CMakeFiles/hdcs_sim.dir/fleet.cpp.o" "gcc" "src/sim/CMakeFiles/hdcs_sim.dir/fleet.cpp.o.d"
+  "/root/repo/src/sim/sim_driver.cpp" "src/sim/CMakeFiles/hdcs_sim.dir/sim_driver.cpp.o" "gcc" "src/sim/CMakeFiles/hdcs_sim.dir/sim_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/hdcs_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hdcs_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdcs_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hdcs_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/hdcs_sim.dir/fleet.cpp.o"
+  "CMakeFiles/hdcs_sim.dir/fleet.cpp.o.d"
+  "CMakeFiles/hdcs_sim.dir/sim_driver.cpp.o"
+  "CMakeFiles/hdcs_sim.dir/sim_driver.cpp.o.d"
+  "libhdcs_sim.a"
+  "libhdcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdcs_util.dir/byte_buffer.cpp.o"
+  "CMakeFiles/hdcs_util.dir/byte_buffer.cpp.o.d"
+  "CMakeFiles/hdcs_util.dir/config.cpp.o"
+  "CMakeFiles/hdcs_util.dir/config.cpp.o.d"
+  "CMakeFiles/hdcs_util.dir/logging.cpp.o"
+  "CMakeFiles/hdcs_util.dir/logging.cpp.o.d"
+  "CMakeFiles/hdcs_util.dir/strings.cpp.o"
+  "CMakeFiles/hdcs_util.dir/strings.cpp.o.d"
+  "CMakeFiles/hdcs_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/hdcs_util.dir/thread_pool.cpp.o.d"
+  "libhdcs_util.a"
+  "libhdcs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdcs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_align.cpp" "tests/CMakeFiles/test_bio.dir/test_align.cpp.o" "gcc" "tests/CMakeFiles/test_bio.dir/test_align.cpp.o.d"
+  "/root/repo/tests/test_fasta.cpp" "tests/CMakeFiles/test_bio.dir/test_fasta.cpp.o" "gcc" "tests/CMakeFiles/test_bio.dir/test_fasta.cpp.o.d"
+  "/root/repo/tests/test_scoring.cpp" "tests/CMakeFiles/test_bio.dir/test_scoring.cpp.o" "gcc" "tests/CMakeFiles/test_bio.dir/test_scoring.cpp.o.d"
+  "/root/repo/tests/test_seqgen.cpp" "tests/CMakeFiles/test_bio.dir/test_seqgen.cpp.o" "gcc" "tests/CMakeFiles/test_bio.dir/test_seqgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bio/CMakeFiles/hdcs_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

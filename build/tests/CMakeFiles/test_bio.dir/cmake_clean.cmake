@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bio.dir/test_align.cpp.o"
+  "CMakeFiles/test_bio.dir/test_align.cpp.o.d"
+  "CMakeFiles/test_bio.dir/test_fasta.cpp.o"
+  "CMakeFiles/test_bio.dir/test_fasta.cpp.o.d"
+  "CMakeFiles/test_bio.dir/test_scoring.cpp.o"
+  "CMakeFiles/test_bio.dir/test_scoring.cpp.o.d"
+  "CMakeFiles/test_bio.dir/test_seqgen.cpp.o"
+  "CMakeFiles/test_bio.dir/test_seqgen.cpp.o.d"
+  "test_bio"
+  "test_bio.pdb"
+  "test_bio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

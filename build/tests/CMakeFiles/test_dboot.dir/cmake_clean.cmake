@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dboot.dir/test_dboot.cpp.o"
+  "CMakeFiles/test_dboot.dir/test_dboot.cpp.o.d"
+  "test_dboot"
+  "test_dboot.pdb"
+  "test_dboot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dboot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

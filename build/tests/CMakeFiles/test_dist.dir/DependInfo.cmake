@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_granularity.cpp" "tests/CMakeFiles/test_dist.dir/test_granularity.cpp.o" "gcc" "tests/CMakeFiles/test_dist.dir/test_granularity.cpp.o.d"
+  "/root/repo/tests/test_registry_runner.cpp" "tests/CMakeFiles/test_dist.dir/test_registry_runner.cpp.o" "gcc" "tests/CMakeFiles/test_dist.dir/test_registry_runner.cpp.o.d"
+  "/root/repo/tests/test_scheduler_core.cpp" "tests/CMakeFiles/test_dist.dir/test_scheduler_core.cpp.o" "gcc" "tests/CMakeFiles/test_dist.dir/test_scheduler_core.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/test_dist.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/test_dist.dir/test_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/hdcs_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hdcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

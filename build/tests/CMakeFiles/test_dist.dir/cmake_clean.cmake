@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist.dir/test_granularity.cpp.o"
+  "CMakeFiles/test_dist.dir/test_granularity.cpp.o.d"
+  "CMakeFiles/test_dist.dir/test_registry_runner.cpp.o"
+  "CMakeFiles/test_dist.dir/test_registry_runner.cpp.o.d"
+  "CMakeFiles/test_dist.dir/test_scheduler_core.cpp.o"
+  "CMakeFiles/test_dist.dir/test_scheduler_core.cpp.o.d"
+  "CMakeFiles/test_dist.dir/test_wire.cpp.o"
+  "CMakeFiles/test_dist.dir/test_wire.cpp.o.d"
+  "test_dist"
+  "test_dist.pdb"
+  "test_dist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dprml.dir/test_dprml.cpp.o"
+  "CMakeFiles/test_dprml.dir/test_dprml.cpp.o.d"
+  "test_dprml"
+  "test_dprml.pdb"
+  "test_dprml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dprml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dsearch.cpp" "tests/CMakeFiles/test_dsearch.dir/test_dsearch.cpp.o" "gcc" "tests/CMakeFiles/test_dsearch.dir/test_dsearch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsearch/CMakeFiles/hdcs_dsearch.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/hdcs_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hdcs_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hdcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

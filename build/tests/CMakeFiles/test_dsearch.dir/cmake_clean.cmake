@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsearch.dir/test_dsearch.cpp.o"
+  "CMakeFiles/test_dsearch.dir/test_dsearch.cpp.o.d"
+  "test_dsearch"
+  "test_dsearch.pdb"
+  "test_dsearch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

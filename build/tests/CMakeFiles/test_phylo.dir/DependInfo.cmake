@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alignment.cpp" "tests/CMakeFiles/test_phylo.dir/test_alignment.cpp.o" "gcc" "tests/CMakeFiles/test_phylo.dir/test_alignment.cpp.o.d"
+  "/root/repo/tests/test_likelihood.cpp" "tests/CMakeFiles/test_phylo.dir/test_likelihood.cpp.o" "gcc" "tests/CMakeFiles/test_phylo.dir/test_likelihood.cpp.o.d"
+  "/root/repo/tests/test_matrix_optimize.cpp" "tests/CMakeFiles/test_phylo.dir/test_matrix_optimize.cpp.o" "gcc" "tests/CMakeFiles/test_phylo.dir/test_matrix_optimize.cpp.o.d"
+  "/root/repo/tests/test_model_fit.cpp" "tests/CMakeFiles/test_phylo.dir/test_model_fit.cpp.o" "gcc" "tests/CMakeFiles/test_phylo.dir/test_model_fit.cpp.o.d"
+  "/root/repo/tests/test_subst_model.cpp" "tests/CMakeFiles/test_phylo.dir/test_subst_model.cpp.o" "gcc" "tests/CMakeFiles/test_phylo.dir/test_subst_model.cpp.o.d"
+  "/root/repo/tests/test_tree.cpp" "tests/CMakeFiles/test_phylo.dir/test_tree.cpp.o" "gcc" "tests/CMakeFiles/test_phylo.dir/test_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phylo/CMakeFiles/hdcs_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/hdcs_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

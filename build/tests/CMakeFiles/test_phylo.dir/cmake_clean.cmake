@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phylo.dir/test_alignment.cpp.o"
+  "CMakeFiles/test_phylo.dir/test_alignment.cpp.o.d"
+  "CMakeFiles/test_phylo.dir/test_likelihood.cpp.o"
+  "CMakeFiles/test_phylo.dir/test_likelihood.cpp.o.d"
+  "CMakeFiles/test_phylo.dir/test_matrix_optimize.cpp.o"
+  "CMakeFiles/test_phylo.dir/test_matrix_optimize.cpp.o.d"
+  "CMakeFiles/test_phylo.dir/test_model_fit.cpp.o"
+  "CMakeFiles/test_phylo.dir/test_model_fit.cpp.o.d"
+  "CMakeFiles/test_phylo.dir/test_subst_model.cpp.o"
+  "CMakeFiles/test_phylo.dir/test_subst_model.cpp.o.d"
+  "CMakeFiles/test_phylo.dir/test_tree.cpp.o"
+  "CMakeFiles/test_phylo.dir/test_tree.cpp.o.d"
+  "test_phylo"
+  "test_phylo.pdb"
+  "test_phylo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phylo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
