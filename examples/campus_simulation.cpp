@@ -12,18 +12,35 @@
 // original operators would have watched.
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 #include "bio/seqgen.hpp"
 #include "dprml/dprml.hpp"
 #include "dsearch/dsearch.hpp"
+#include "obs/trace.hpp"
 #include "phylo/simulate.hpp"
 #include "sim/sim_driver.hpp"
+#include "util/error.hpp"
 #include "util/logging.hpp"
 
 using namespace hdcs;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional: --trace FILE writes the scheduling event log (virtual-time
+  // JSONL, same schema as a live server's trace).
+  obs::Tracer tracer;
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  }
+  try {
+    if (!trace_path.empty()) tracer.open(trace_path);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
   set_log_level(LogLevel::kError);
   Rng rng(42);
   auto fleet = sim::campus_fleet(rng, 200);
@@ -37,6 +54,7 @@ int main() {
   cfg.scheduler.lease_timeout = 3600;
   cfg.scheduler.bounds.min_ops = 1e5;
   cfg.seed = 7;
+  if (tracer.enabled()) cfg.tracer = &tracer;
 
   sim::SimDriver driver(cfg, fleet);
 

@@ -22,6 +22,7 @@
 #include "dist/server.hpp"
 #include "dprml/dprml.hpp"
 #include "dsearch/dsearch.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -90,6 +91,15 @@ int run(int argc, char** argv) {
   scfg.scheduler.lease_timeout = file_cfg.get_f64("lease_timeout", 600);
   scfg.scheduler.client_timeout = file_cfg.get_f64("client_timeout", 120);
   scfg.scheduler.hedge_endgame = file_cfg.get_bool("hedge_endgame", true);
+
+  // --trace FILE appends the structured scheduling event log (JSONL);
+  // summarise it afterwards with tools/trace_summary.
+  obs::Tracer tracer;
+  std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) {
+    tracer.open(trace_path);
+    scfg.tracer = &tracer;
+  }
 
   std::shared_ptr<dist::DataManager> dm;
   if (app == "dsearch") {

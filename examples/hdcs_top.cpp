@@ -1,0 +1,147 @@
+// hdcs_top — poll a live server's MSG_STATS endpoint.
+//
+// Connects to a running hdcs server (see hdcs_submit/hdcs_donor), sends a
+// FetchStats frame and prints the JSON snapshot: scheduler counters, the
+// per-client table and the process metrics registry. No Hello handshake is
+// needed; any connection may ask for stats.
+//
+//   hdcs_top --port 5005                    one snapshot, pretty-printed
+//   hdcs_top --port 5005 --watch 2          repeat every 2 s until killed
+//   hdcs_top --port 5005 --raw              the JSON document verbatim
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "dist/wire.hpp"
+#include "net/message.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+struct Args {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  double watch_s = -1;  // <0 = single shot
+  bool raw = false;
+  bool include_clients = true;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      a.host = next();
+    } else if (arg == "--port") {
+      a.port = static_cast<std::uint16_t>(std::stoi(next()));
+    } else if (arg == "--watch") {
+      a.watch_s = std::stod(next());
+    } else if (arg == "--raw") {
+      a.raw = true;
+    } else if (arg == "--no-clients") {
+      a.include_clients = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: hdcs_top --port P [--host H] [--watch SECONDS] "
+                   "[--raw] [--no-clients]\n");
+      std::exit(arg == "--help" ? 0 : 2);
+    }
+  }
+  if (a.port == 0) {
+    std::fprintf(stderr, "hdcs_top: --port is required\n");
+    std::exit(2);
+  }
+  return a;
+}
+
+/// Indent a one-line JSON document for terminal reading. Purely lexical
+/// (tracks string/escape state and brace depth) — no parser needed.
+std::string prettify(const std::string& json, int max_depth = 2) {
+  std::string out;
+  out.reserve(json.size() * 2);
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  auto newline = [&] {
+    out += '\n';
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  };
+  for (char c : json) {
+    if (in_string) {
+      out += c;
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        out += c;
+        break;
+      case '{':
+      case '[':
+        out += c;
+        ++depth;
+        if (depth <= max_depth) newline();
+        break;
+      case '}':
+      case ']':
+        --depth;
+        if (depth < max_depth) newline();
+        out += c;
+        break;
+      case ',':
+        out += c;
+        if (depth <= max_depth) newline();
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string fetch_snapshot(const Args& a, std::uint64_t correlation) {
+  auto stream = hdcs::net::TcpStream::connect(a.host, a.port);
+  hdcs::dist::FetchStatsPayload req;
+  req.include_clients = a.include_clients;
+  hdcs::net::write_message(stream,
+                           hdcs::dist::encode_fetch_stats(req, correlation));
+  hdcs::net::Message reply = hdcs::net::read_message(stream);
+  return hdcs::dist::decode_stats_snapshot(reply).json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = parse_args(argc, argv);
+  std::uint64_t correlation = 1;
+  try {
+    for (;;) {
+      std::string json = fetch_snapshot(args, correlation++);
+      std::printf("%s\n", args.raw ? json.c_str() : prettify(json).c_str());
+      if (args.watch_s < 0) break;
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::duration<double>(args.watch_s));
+    }
+  } catch (const hdcs::Error& e) {
+    std::fprintf(stderr, "hdcs_top: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

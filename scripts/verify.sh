@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the concurrency-
+# sensitive suites (obs registry/tracer, scheduler, server/client).
+#
+#   scripts/verify.sh            # full: tier-1 + TSan subset
+#   scripts/verify.sh --fast     # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "verify OK (tier-1 only)"
+  exit 0
+fi
+
+echo "== TSan: obs + scheduler + integration tests =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan --target test_obs test_dist test_integration -j >/dev/null
+ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+  -R 'Metrics|Jsonl|Tracer|MsgStats|Wire|Scheduler|ServerClient|Granularity'
+
+echo "verify OK"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -59,6 +60,7 @@ std::vector<ProblemId> SchedulerCore::active_problems() const {
 
 ClientId SchedulerCore::client_joined(const std::string& name,
                                       double benchmark_ops_per_sec, double now) {
+  last_now_ = now;
   ClientId id = next_client_id_++;
   ClientState cs;
   cs.self_id = id;
@@ -68,15 +70,26 @@ ClientId SchedulerCore::client_joined(const std::string& name,
   clients_.emplace(id, std::move(cs));
   LOG_INFO("client " << id << " (" << name << ") joined, benchmark "
                      << benchmark_ops_per_sec << " ops/s");
+  if (tracer_) {
+    tracer_->event(now, "client_joined")
+        .u64("client", id)
+        .str("name", name)
+        .num("benchmark_ops_per_sec", benchmark_ops_per_sec);
+  }
   return id;
 }
 
-void SchedulerCore::client_left(ClientId id, double /*now*/) {
+void SchedulerCore::client_left(ClientId id, double now) {
+  last_now_ = now;
   auto it = clients_.find(id);
   if (it == clients_.end()) return;
+  if (!it->second.active) return;  // double Goodbye / timeout race: once only
   it->second.active = false;
   requeue_client_units(id);
   LOG_INFO("client " << id << " left; outstanding units requeued");
+  if (tracer_) {
+    tracer_->event(now, "client_left").u64("client", id).str("reason", "goodbye");
+  }
 }
 
 void SchedulerCore::heartbeat(ClientId id, double now) {
@@ -89,6 +102,20 @@ const ClientStats* SchedulerCore::client_stats(ClientId id) const {
   return it == clients_.end() ? nullptr : &it->second.stats;
 }
 
+std::vector<ClientInfo> SchedulerCore::all_client_stats() const {
+  std::vector<ClientInfo> out;
+  out.reserve(clients_.size());
+  for (const auto& [id, cs] : clients_) {
+    ClientInfo info;
+    info.id = id;
+    info.name = cs.name;
+    info.active = cs.active;
+    info.stats = cs.stats;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
 int SchedulerCore::active_client_count() const {
   int n = 0;
   for (const auto& [_, cs] : clients_) {
@@ -98,6 +125,7 @@ int SchedulerCore::active_client_count() const {
 }
 
 std::optional<WorkUnit> SchedulerCore::request_work(ClientId client, double now) {
+  last_now_ = now;
   auto cit = clients_.find(client);
   if (cit == clients_.end() || !cit->second.active) {
     throw InputError("request_work from unknown/inactive client " +
@@ -117,10 +145,20 @@ std::optional<WorkUnit> SchedulerCore::request_work(ClientId client, double now)
       lease.deadline = now + config_.lease_timeout;
       lease.attempt += 1;
       WorkUnit unit = lease.unit;
+      int attempt = lease.attempt;
       ps.outstanding[unit.unit_id] = std::move(lease);
       cs.stats.outstanding += 1;
       stats_.units_issued += 1;
       stats_.units_reissued += 1;
+      if (tracer_) {
+        tracer_->event(now, "unit_reissued")
+            .u64("client", client)
+            .u64("problem", unit.problem_id)
+            .u64("unit", unit.unit_id)
+            .u64("stage", unit.stage)
+            .num("cost_ops", unit.cost_ops)
+            .num("attempt", attempt);
+      }
       return unit;
     }
   }
@@ -194,10 +232,20 @@ std::optional<WorkUnit> SchedulerCore::hedge_from(ProblemState& ps,
   lease.deadline = now + config_.lease_timeout;
   lease.attempt += 1;
   WorkUnit unit = lease.unit;
+  int attempt = lease.attempt;
   best->second = std::move(lease);
   cs.stats.outstanding += 1;
   stats_.units_issued += 1;
   stats_.units_hedged += 1;
+  if (tracer_) {
+    tracer_->event(now, "unit_hedged")
+        .u64("client", cs.self_id)
+        .u64("problem", unit.problem_id)
+        .u64("unit", unit.unit_id)
+        .u64("stage", unit.stage)
+        .num("cost_ops", unit.cost_ops)
+        .num("attempt", attempt);
+  }
   return unit;
 }
 
@@ -210,7 +258,20 @@ std::optional<WorkUnit> SchedulerCore::issue_from(ProblemId pid, ProblemState& p
       std::clamp(target, config_.bounds.min_ops, config_.bounds.max_ops);
 
   auto unit = ps.dm->next_unit(hint);
-  if (!unit) return std::nullopt;
+  if (!unit) {
+    // Incomplete but dry: a stage barrier is holding fresh units back.
+    // Emit once per dry spell so staged traces show barrier entry without
+    // one event per idle poll.
+    if (tracer_ && !ps.barrier_flagged && !ps.dm->is_complete()) {
+      ps.barrier_flagged = true;
+      tracer_->event(now, "stage_barrier")
+          .u64("problem", pid)
+          .num("outstanding", static_cast<double>(ps.outstanding.size()) +
+                                  static_cast<double>(ps.requeue.size()));
+    }
+    return std::nullopt;
+  }
+  ps.barrier_flagged = false;
   if (unit->cost_ops <= 0) {
     throw Error("DataManager produced unit with non-positive cost_ops");
   }
@@ -225,26 +286,48 @@ std::optional<WorkUnit> SchedulerCore::issue_from(ProblemId pid, ProblemState& p
   ps.outstanding[unit->unit_id] = lease;
   cs.stats.outstanding += 1;
   stats_.units_issued += 1;
+  if (tracer_) {
+    tracer_->event(now, "unit_issued")
+        .u64("client", cs.self_id)
+        .u64("problem", pid)
+        .u64("unit", unit->unit_id)
+        .u64("stage", unit->stage)
+        .num("cost_ops", unit->cost_ops);
+  }
   return unit;
 }
 
 bool SchedulerCore::submit_result(ClientId client, const ResultUnit& result,
                                   double now) {
+  last_now_ = now;
   auto cit = clients_.find(client);
   if (cit != clients_.end()) cit->second.stats.last_seen = now;
+
+  auto drop = [&](const char* reason) {
+    if (tracer_) {
+      tracer_->event(now, "result_duplicate")
+          .u64("client", client)
+          .u64("problem", result.problem_id)
+          .u64("unit", result.unit_id)
+          .str("reason", reason);
+    }
+    return false;
+  };
 
   auto pit = problems_.find(result.problem_id);
   if (pit == problems_.end()) {
     stats_.stale_results_dropped += 1;
-    return false;
+    return drop("unknown_problem");
   }
   ProblemState& ps = pit->second;
 
   if (ps.completed.count(result.unit_id)) {
     stats_.duplicate_results_dropped += 1;
-    return false;
+    return drop("duplicate");
   }
 
+  double elapsed = -1;  // unknown unless this client held the live lease
+  double cost_ops = 0;
   auto lit = ps.outstanding.find(result.unit_id);
   if (lit == ps.outstanding.end()) {
     // Not completed, not outstanding: could be sitting in the requeue after
@@ -256,14 +339,16 @@ bool SchedulerCore::submit_result(ClientId client, const ResultUnit& result,
                             });
     if (rit == ps.requeue.end()) {
       stats_.stale_results_dropped += 1;
-      return false;
+      return drop("stale");
     }
+    cost_ops = rit->unit.cost_ops;
     ps.requeue.erase(rit);
   } else {
     const Lease& lease = lit->second;
+    cost_ops = lease.unit.cost_ops;
     // Update the owner's throughput estimate from this unit's turnaround.
     if (lease.owner == client && cit != clients_.end()) {
-      double elapsed = now - lease.issued_at;
+      elapsed = now - lease.issued_at;
       if (elapsed > 1e-9) {
         double rate = lease.unit.cost_ops / elapsed;
         ClientStats& st = cit->second.stats;
@@ -284,11 +369,21 @@ bool SchedulerCore::submit_result(ClientId client, const ResultUnit& result,
   ps.completed.insert(result.unit_id);
   if (cit != clients_.end()) cit->second.stats.units_completed += 1;
   stats_.results_accepted += 1;
+  if (tracer_) {
+    auto ev = tracer_->event(now, "unit_completed");
+    ev.u64("client", client)
+        .u64("problem", result.problem_id)
+        .u64("unit", result.unit_id)
+        .u64("stage", result.stage)
+        .num("cost_ops", cost_ops);
+    if (elapsed >= 0) ev.num("elapsed_s", elapsed);
+  }
   ps.dm->accept_result(result);
   return true;
 }
 
 void SchedulerCore::tick(double now) {
+  last_now_ = now;
   // Expire leases.
   for (auto& [pid, ps] : problems_) {
     for (auto it = ps.outstanding.begin(); it != ps.outstanding.end();) {
@@ -315,12 +410,26 @@ void SchedulerCore::tick(double now) {
         cs.active = false;
         requeue_client_units(cid);
         stats_.clients_expired += 1;
+        if (tracer_) {
+          tracer_->event(now, "client_left")
+              .u64("client", cid)
+              .str("reason", "timeout");
+        }
       }
     }
   }
 }
 
 void SchedulerCore::checkpoint(ByteWriter& w) const {
+  if (tracer_) {
+    std::size_t in_flight = 0;
+    for (const auto& [pid, ps] : problems_) {
+      in_flight += ps.requeue.size() + ps.outstanding.size();
+    }
+    tracer_->event(last_now_, "checkpoint")
+        .u64("problems", problems_.size())
+        .u64("units_in_flight", in_flight);
+  }
   w.u32(static_cast<std::uint32_t>(problems_.size()));
   for (const auto& [pid, ps] : problems_) {
     w.u64(pid);

@@ -24,6 +24,10 @@
 #include "dist/granularity.hpp"
 #include "dist/work.hpp"
 
+namespace hdcs::obs {
+class Tracer;
+}
+
 namespace hdcs::dist {
 
 struct SchedulerConfig {
@@ -43,6 +47,15 @@ struct SchedulerConfig {
   /// Maximum times a unit may be hedged (attempt cap = 1 + this).
   int max_hedges_per_unit = 1;
   GranularityBounds bounds;
+};
+
+/// One row of the scheduler's client table, exposed for observability
+/// (Server::client_stats(), the MSG_STATS snapshot, hdcs_top).
+struct ClientInfo {
+  ClientId id = 0;
+  std::string name;
+  bool active = true;
+  ClientStats stats;
 };
 
 struct SchedulerStats {
@@ -79,6 +92,8 @@ class SchedulerCore {
   void client_left(ClientId id, double now);
   void heartbeat(ClientId id, double now);
   [[nodiscard]] const ClientStats* client_stats(ClientId id) const;
+  /// Snapshot of every client (active and departed) the core has seen.
+  [[nodiscard]] std::vector<ClientInfo> all_client_stats() const;
   [[nodiscard]] int active_client_count() const;
 
   // ---- the work loop ----
@@ -114,6 +129,16 @@ class SchedulerCore {
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
   [[nodiscard]] const GranularityPolicy& policy() const { return *policy_; }
 
+  /// Attach a structured event trace (see obs/trace.hpp). Every scheduling
+  /// decision — issue, reissue, hedge, completion, duplicate, join/leave,
+  /// stage barrier, checkpoint — is emitted with the caller's timestamps,
+  /// so the simulator (virtual time) and the Server (wall time) produce
+  /// the same schema. nullptr (the default) disables tracing; the tracer
+  /// must outlive this core. The caller's serialisation rules apply (the
+  /// core is not thread-safe, and neither is its use of the tracer).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
  private:
   struct Lease {
     WorkUnit unit;
@@ -129,6 +154,7 @@ class SchedulerCore {
     std::map<UnitId, Lease> outstanding;    // unit_id -> live lease
     std::set<UnitId> completed;             // for duplicate detection
     UnitId next_unit_id = 1;
+    bool barrier_flagged = false;  // one stage_barrier event per dry spell
   };
 
   struct ClientState {
@@ -151,6 +177,8 @@ class SchedulerCore {
   ClientId next_client_id_ = 1;
   ProblemId rr_cursor_ = 0;  // last problem served (round-robin fairness)
   SchedulerStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  double last_now_ = 0;  // latest timestamp seen; stamps clock-less events
 };
 
 }  // namespace hdcs::dist

@@ -1,17 +1,73 @@
 #include "dist/server.hpp"
 
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
 
 #include "dist/wire.hpp"
 #include "net/bulk.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
+#include "util/stopwatch.hpp"
 
 namespace hdcs::dist {
+
+namespace {
+// Request-handling latency, one histogram per client->server message type.
+// Measures decode + scheduling + encode, i.e. everything between reading
+// the request frame and writing the response frame.
+obs::Histogram* handler_histogram(net::MessageType type) {
+  auto& reg = obs::Registry::global();
+  auto make = [&reg](const char* name) {
+    return &reg.histogram(std::string("server.handle_s.") + name,
+                          obs::Histogram::latency_bounds());
+  };
+  switch (type) {
+    case net::MessageType::kHello: {
+      static obs::Histogram* h = make("Hello");
+      return h;
+    }
+    case net::MessageType::kRequestWork: {
+      static obs::Histogram* h = make("RequestWork");
+      return h;
+    }
+    case net::MessageType::kSubmitResult: {
+      static obs::Histogram* h = make("SubmitResult");
+      return h;
+    }
+    case net::MessageType::kHeartbeat: {
+      static obs::Histogram* h = make("Heartbeat");
+      return h;
+    }
+    case net::MessageType::kFetchProblemData: {
+      static obs::Histogram* h = make("FetchProblemData");
+      return h;
+    }
+    case net::MessageType::kFetchStats: {
+      static obs::Histogram* h = make("FetchStats");
+      return h;
+    }
+    default:
+      return nullptr;  // Goodbye closes the connection; others are errors
+  }
+}
+
+obs::Gauge& connected_gauge() {
+  static obs::Gauge* g =
+      &obs::Registry::global().gauge("server.connected_clients");
+  return *g;
+}
+}  // namespace
 
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
       core_(config_.scheduler, make_policy(config_.policy_spec)),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_(std::chrono::steady_clock::now()) {
+  core_.set_tracer(config_.tracer);
+}
 
 Server::~Server() { stop(); }
 
@@ -31,8 +87,11 @@ void Server::start() {
 
 void Server::stop() {
   if (!running_.exchange(false)) return;
-  listener_.close();
+  // Join the acceptor before closing the listener: accept() polls with a
+  // short timeout and rechecks running_, and closing the fd under it would
+  // race with its reads of the descriptor.
   if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
   if (housekeeper_.joinable()) housekeeper_.join();
   std::vector<std::thread> handlers;
   {
@@ -99,6 +158,64 @@ SchedulerStats Server::stats() {
   return core_.stats();
 }
 
+std::vector<ClientInfo> Server::client_stats() {
+  std::lock_guard lock(core_mutex_);
+  return core_.all_client_stats();
+}
+
+namespace {
+std::string json_num(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string Server::stats_json(bool include_clients) {
+  SchedulerStats s;
+  std::vector<ClientInfo> clients;
+  double t;
+  {
+    std::lock_guard lock(core_mutex_);
+    s = core_.stats();
+    if (include_clients) clients = core_.all_client_stats();
+    t = now();
+  }
+  std::ostringstream out;
+  out << "{\"schema\":" << obs::kTraceSchemaVersion << ",\"now\":" << json_num(t)
+      << ",\"connected_clients\":" << connected_.load() << ",\"scheduler\":{"
+      << "\"units_issued\":" << s.units_issued
+      << ",\"units_reissued\":" << s.units_reissued
+      << ",\"units_hedged\":" << s.units_hedged
+      << ",\"results_accepted\":" << s.results_accepted
+      << ",\"duplicate_results_dropped\":" << s.duplicate_results_dropped
+      << ",\"stale_results_dropped\":" << s.stale_results_dropped
+      << ",\"work_requests_unserved\":" << s.work_requests_unserved
+      << ",\"clients_expired\":" << s.clients_expired << "}";
+  if (include_clients) {
+    out << ",\"clients\":[";
+    bool first = true;
+    for (const auto& c : clients) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"id\":" << c.id << ",\"name\":\"" << obs::json_escape(c.name)
+          << "\",\"active\":" << (c.active ? "true" : "false")
+          << ",\"benchmark_ops_per_sec\":" << json_num(c.stats.benchmark_ops_per_sec)
+          << ",\"ewma_ops_per_sec\":" << json_num(c.stats.ewma_ops_per_sec)
+          << ",\"units_completed\":" << c.stats.units_completed
+          << ",\"outstanding\":" << c.stats.outstanding
+          << ",\"last_seen\":" << json_num(c.stats.last_seen) << "}";
+    }
+    out << "]";
+  }
+  out << ",\"metrics\":" << obs::Registry::global().render_json() << "}";
+  return out.str();
+}
+
 int Server::connected_clients() { return connected_.load(); }
 
 void Server::acceptor_loop() {
@@ -130,7 +247,7 @@ void Server::housekeeping_loop() {
 }
 
 void Server::handler_loop(net::TcpStream stream) {
-  connected_.fetch_add(1);
+  connected_gauge().set(connected_.fetch_add(1) + 1);
   ClientId client_id = 0;
   try {
     while (running_.load()) {
@@ -139,6 +256,7 @@ void Server::handler_loop(net::TcpStream stream) {
       net::Message response;
       bool send_bulk = false;
       std::vector<std::byte> bulk;
+      Stopwatch handle_timer;
 
       try {
       switch (request.type) {
@@ -203,6 +321,13 @@ void Server::handler_loop(net::TcpStream stream) {
           response.correlation = request.correlation;
           break;
         }
+        case net::MessageType::kFetchStats: {
+          auto fetch = decode_fetch_stats(request);
+          StatsSnapshotPayload snap;
+          snap.json = stats_json(fetch.include_clients);
+          response = encode_stats_snapshot(snap, request.correlation);
+          break;
+        }
         case net::MessageType::kGoodbye: {
           ClientId id = decode_goodbye(request);
           {
@@ -210,7 +335,7 @@ void Server::handler_loop(net::TcpStream stream) {
             core_.client_left(id, now());
           }
           progress_cv_.notify_all();
-          connected_.fetch_sub(1);
+          connected_gauge().set(connected_.fetch_sub(1) - 1);
           return;  // client is gone; close the connection
         }
         default:
@@ -228,6 +353,9 @@ void Server::handler_loop(net::TcpStream stream) {
         response = net::make_error(request.correlation, e.what());
       }
 
+      if (obs::Histogram* h = handler_histogram(request.type)) {
+        h->observe(handle_timer.seconds());
+      }
       net::write_message(stream, response);
       if (send_bulk) net::send_blob(stream, bulk);
     }
@@ -241,7 +369,7 @@ void Server::handler_loop(net::TcpStream stream) {
     core_.client_left(client_id, now());
   }
   progress_cv_.notify_all();
-  connected_.fetch_sub(1);
+  connected_gauge().set(connected_.fetch_sub(1) - 1);
 }
 
 }  // namespace hdcs::dist

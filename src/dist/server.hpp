@@ -29,6 +29,9 @@ struct ServerConfig {
   double tick_interval_s = 0.5;
   double no_work_retry_s = 0.2;
   double heartbeat_interval_s = 10.0;
+  /// Optional structured event trace. The server stamps events with wall
+  /// time (seconds since start()); must outlive the server. Not owned.
+  obs::Tracer* tracer = nullptr;
 };
 
 class Server {
@@ -66,7 +69,12 @@ class Server {
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] SchedulerStats stats();
+  /// Per-client scheduler view (includes departed clients), thread-safe.
+  [[nodiscard]] std::vector<ClientInfo> client_stats();
   [[nodiscard]] int connected_clients();
+
+  /// The JSON document served to MSG_STATS, also available in-process.
+  [[nodiscard]] std::string stats_json(bool include_clients = true);
 
  private:
   void acceptor_loop();

@@ -218,4 +218,36 @@ ClientId decode_goodbye(const net::Message& m) {
   return id;
 }
 
+net::Message encode_fetch_stats(const FetchStatsPayload& p,
+                                std::uint64_t correlation) {
+  ByteWriter w;
+  w.boolean(p.include_clients);
+  return make(net::MessageType::kFetchStats, correlation, std::move(w));
+}
+
+FetchStatsPayload decode_fetch_stats(const net::Message& m) {
+  check_type(m, net::MessageType::kFetchStats);
+  auto r = m.reader();
+  FetchStatsPayload p;
+  p.include_clients = r.boolean();
+  r.expect_end();
+  return p;
+}
+
+net::Message encode_stats_snapshot(const StatsSnapshotPayload& p,
+                                   std::uint64_t correlation) {
+  ByteWriter w;
+  w.str(p.json);
+  return make(net::MessageType::kStatsSnapshot, correlation, std::move(w));
+}
+
+StatsSnapshotPayload decode_stats_snapshot(const net::Message& m) {
+  check_type(m, net::MessageType::kStatsSnapshot);
+  auto r = m.reader();
+  StatsSnapshotPayload p;
+  p.json = r.str();
+  r.expect_end();
+  return p;
+}
+
 }  // namespace hdcs::dist

@@ -43,6 +43,21 @@ struct ResultAckPayload {
   bool accepted = false;
 };
 
+/// MSG_STATS request: any monitoring client (hdcs_top, a dashboard) may
+/// send this on a plain connection without saying Hello first.
+struct FetchStatsPayload {
+  /// Include the per-client table (one entry per donor ever seen). Off for
+  /// high-frequency pollers that only want the aggregate counters.
+  bool include_clients = true;
+};
+
+/// MSG_STATS reply: one JSON document (schema documented in
+/// docs/OBSERVABILITY.md) carrying scheduler stats, per-client stats and
+/// the process metrics registry snapshot.
+struct StatsSnapshotPayload {
+  std::string json;
+};
+
 net::Message encode_hello(const HelloPayload& p, std::uint64_t correlation);
 HelloPayload decode_hello(const net::Message& m);
 
@@ -78,5 +93,13 @@ ClientId decode_heartbeat(const net::Message& m);
 
 net::Message encode_goodbye(ClientId client, std::uint64_t correlation);
 ClientId decode_goodbye(const net::Message& m);
+
+net::Message encode_fetch_stats(const FetchStatsPayload& p,
+                                std::uint64_t correlation);
+FetchStatsPayload decode_fetch_stats(const net::Message& m);
+
+net::Message encode_stats_snapshot(const StatsSnapshotPayload& p,
+                                   std::uint64_t correlation);
+StatsSnapshotPayload decode_stats_snapshot(const net::Message& m);
 
 }  // namespace hdcs::dist

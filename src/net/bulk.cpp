@@ -2,9 +2,26 @@
 
 #include <array>
 
+#include "obs/metrics.hpp"
 #include "util/byte_buffer.hpp"
 
 namespace hdcs::net {
+
+namespace {
+struct BulkMetrics {
+  obs::Counter& blobs_sent = obs::Registry::global().counter("net.blobs_sent");
+  obs::Counter& blobs_received =
+      obs::Registry::global().counter("net.blobs_received");
+  obs::Counter& bulk_bytes_sent =
+      obs::Registry::global().counter("net.bulk_bytes_sent");
+  obs::Counter& bulk_bytes_received =
+      obs::Registry::global().counter("net.bulk_bytes_received");
+};
+BulkMetrics& bulk_metrics() {
+  static BulkMetrics m;
+  return m;
+}
+}  // namespace
 
 namespace {
 std::array<std::uint32_t, 256> make_crc_table() {
@@ -40,6 +57,8 @@ void send_blob(TcpStream& stream, std::span<const std::byte> data) {
     stream.send_all(data.subspan(off, n));
     off += n;
   }
+  bulk_metrics().blobs_sent.inc();
+  bulk_metrics().bulk_bytes_sent.inc(header.size() + data.size());
 }
 
 std::vector<std::byte> recv_blob(TcpStream& stream, std::size_t max_bytes) {
@@ -61,6 +80,8 @@ std::vector<std::byte> recv_blob(TcpStream& stream, std::size_t max_bytes) {
   if (crc32(data) != expected_crc) {
     throw ProtocolError("bulk blob CRC mismatch");
   }
+  bulk_metrics().blobs_received.inc();
+  bulk_metrics().bulk_bytes_received.inc(sizeof(header_buf) + data.size());
   return data;
 }
 

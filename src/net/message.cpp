@@ -1,6 +1,25 @@
 #include "net/message.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace hdcs::net {
+
+namespace {
+// Process-wide wire counters. Looked up once (registry references are
+// stable for its lifetime); updates are single relaxed atomics.
+struct WireMetrics {
+  obs::Counter& frames_sent = obs::Registry::global().counter("net.frames_sent");
+  obs::Counter& frames_received =
+      obs::Registry::global().counter("net.frames_received");
+  obs::Counter& bytes_sent = obs::Registry::global().counter("net.bytes_sent");
+  obs::Counter& bytes_received =
+      obs::Registry::global().counter("net.bytes_received");
+};
+WireMetrics& wire_metrics() {
+  static WireMetrics m;
+  return m;
+}
+}  // namespace
 
 const char* to_string(MessageType type) {
   switch (type) {
@@ -10,6 +29,7 @@ const char* to_string(MessageType type) {
     case MessageType::kHeartbeat: return "Heartbeat";
     case MessageType::kFetchProblemData: return "FetchProblemData";
     case MessageType::kGoodbye: return "Goodbye";
+    case MessageType::kFetchStats: return "FetchStats";
     case MessageType::kHelloAck: return "HelloAck";
     case MessageType::kWorkAssignment: return "WorkAssignment";
     case MessageType::kNoWorkAvailable: return "NoWorkAvailable";
@@ -17,6 +37,7 @@ const char* to_string(MessageType type) {
     case MessageType::kResultAck: return "ResultAck";
     case MessageType::kHeartbeatAck: return "HeartbeatAck";
     case MessageType::kShutdown: return "Shutdown";
+    case MessageType::kStatsSnapshot: return "StatsSnapshot";
     case MessageType::kError: return "Error";
   }
   return "Unknown";
@@ -31,6 +52,8 @@ void write_message(TcpStream& stream, const Message& msg) {
   header.u32(static_cast<std::uint32_t>(msg.payload.size()));
   stream.send_all(header.data());
   if (!msg.payload.empty()) stream.send_all(msg.payload);
+  wire_metrics().frames_sent.inc();
+  wire_metrics().bytes_sent.inc(header.size() + msg.payload.size());
 }
 
 Message read_message(TcpStream& stream) {
@@ -54,6 +77,8 @@ Message read_message(TcpStream& stream) {
   }
   msg.payload.resize(len);
   if (len > 0) stream.recv_all(msg.payload);
+  wire_metrics().frames_received.inc();
+  wire_metrics().bytes_received.inc(sizeof(header_buf) + msg.payload.size());
   return msg;
 }
 

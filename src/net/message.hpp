@@ -32,6 +32,7 @@ enum class MessageType : std::uint16_t {
   kHeartbeat = 4,      // liveness + progress
   kFetchProblemData = 5,  // ask for a problem's bulk input data
   kGoodbye = 6,        // orderly departure (donor machine reclaimed)
+  kFetchStats = 7,     // MSG_STATS: ask for a live metrics snapshot
 
   // Server -> client
   kHelloAck = 32,      // assigned client id
@@ -41,6 +42,7 @@ enum class MessageType : std::uint16_t {
   kResultAck = 36,
   kHeartbeatAck = 37,
   kShutdown = 38,      // server is stopping; client should exit
+  kStatsSnapshot = 39, // MSG_STATS reply: JSON metrics snapshot
 
   // Either direction
   kError = 64,

@@ -1,0 +1,190 @@
+#include "obs/jsonl.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace hdcs::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+double JsonValue::as_number() const {
+  if (kind != Kind::kNumber) throw ProtocolError("JSON value is not a number");
+  return num;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind != Kind::kString) throw ProtocolError("JSON value is not a string");
+  return str;
+}
+
+namespace {
+
+class FlatParser {
+ public:
+  explicit FlatParser(std::string_view s) : s_(s) {}
+
+  std::map<std::string, JsonValue> parse() {
+    std::map<std::string, JsonValue> out;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      out[key] = parse_value();
+      skip_ws();
+      char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after object");
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ProtocolError("flat JSON parse error at offset " +
+                        std::to_string(pos_) + ": " + why);
+  }
+  char peek() const {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+  char next() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      char c = next();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The tracer only emits \u00xx control escapes; anything above
+          // Latin-1 would need real UTF-8 encoding, which we don't produce.
+          if (code > 0xff) fail("\\u escape above 0xff unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_value() {
+    JsonValue v;
+    char c = peek();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.str = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      std::string_view want = (c == 't') ? "true" : "false";
+      if (s_.substr(pos_, want.size()) != want) fail("bad literal");
+      pos_ += want.size();
+      v.kind = JsonValue::Kind::kBool;
+      v.b = (c == 't');
+      return v;
+    }
+    if (c == 'n') {
+      if (s_.substr(pos_, 4) != "null") fail("bad literal");
+      pos_ += 4;
+      v.kind = JsonValue::Kind::kNull;
+      return v;
+    }
+    if (c == '{' || c == '[') fail("nested objects/arrays unsupported");
+    std::size_t end = pos_;
+    while (end < s_.size() && s_[end] != ',' && s_[end] != '}' &&
+           !std::isspace(static_cast<unsigned char>(s_[end]))) {
+      ++end;
+    }
+    const char* first = s_.data() + pos_;
+    const char* last = s_.data() + end;
+    double num = 0;
+    auto [ptr, ec] = std::from_chars(first, last, num);
+    if (ec != std::errc() || ptr != last) fail("bad number");
+    pos_ = end;
+    v.kind = JsonValue::Kind::kNumber;
+    v.num = num;
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::map<std::string, JsonValue> parse_flat_json(std::string_view line) {
+  return FlatParser(line).parse();
+}
+
+}  // namespace hdcs::obs

@@ -1,0 +1,36 @@
+#pragma once
+// Minimal JSON helpers for the observability layer.
+//
+// The trace and metrics formats are deliberately flat (one level of nesting
+// for the metrics export), so this is not a general JSON library: it offers
+// string escaping for writers plus a parser for the *flat* objects the
+// Tracer emits — exactly what trace_summary and the round-trip tests need.
+// Anything fancier (arrays of objects, deep nesting) belongs to a real
+// parser and is out of scope here.
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace hdcs::obs {
+
+/// Escape a string for inclusion inside JSON double quotes (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// One parsed scalar from a flat JSON object.
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kNull } kind = Kind::kNull;
+  std::string str;   // valid when kind == kString
+  double num = 0;    // valid when kind == kNumber
+  bool b = false;    // valid when kind == kBool
+
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+};
+
+/// Parse a single-line flat JSON object: string/number/bool/null values
+/// only, no nested objects or arrays. Throws hdcs::ProtocolError on
+/// malformed input. Key order is not preserved (std::map).
+std::map<std::string, JsonValue> parse_flat_json(std::string_view line);
+
+}  // namespace hdcs::obs

@@ -1,0 +1,192 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/jsonl.hpp"
+#include "util/error.hpp"
+
+namespace hdcs::obs {
+
+void Gauge::add(double d) {
+  // compare_exchange loop: std::atomic<double>::fetch_add is C++20 for
+  // floating point only on some standard libraries; stay portable.
+  double cur = v_.load(std::memory_order_relaxed);
+  while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (bounds_.empty()) throw InputError("Histogram: empty bounds");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw InputError("Histogram: bounds must be ascending");
+  }
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_) s.counts.push_back(c.load(std::memory_order_relaxed));
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    double lo = (i == 0) ? 0.0 : bounds[i - 1];
+    if (i == bounds.size()) return lo;  // overflow bucket: lower edge
+    double hi = bounds[i];
+    if (static_cast<double>(seen + counts[i]) >= target) {
+      double frac = (target - static_cast<double>(seen)) /
+                    static_cast<double>(counts[i]);
+      return lo + frac * (hi - lo);
+    }
+    seen += counts[i];
+  }
+  return bounds.back();
+}
+
+std::vector<double> Histogram::latency_bounds() {
+  // 1-2-5 decades from 100 microseconds to 100 seconds.
+  return {1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1,
+          0.2,  0.5,  1.0,  2.0,  5.0,  10.0, 20.0, 50.0, 100.0};
+}
+
+std::vector<double> Histogram::size_bounds() {
+  std::vector<double> b;
+  for (double v = 64; v <= 64.0 * 1024 * 1024; v *= 4) b.push_back(v);
+  return b;
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // never destroyed: outlives statics
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+namespace {
+std::string format_num(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string Registry::render_text() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << name << " " << format_num(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    auto s = h->snapshot();
+    out << name << " count=" << s.count << " mean=" << format_num(s.mean())
+        << " p50=" << format_num(s.quantile(0.5))
+        << " p90=" << format_num(s.quantile(0.9))
+        << " p99=" << format_num(s.quantile(0.99)) << "\n";
+  }
+  return out.str();
+}
+
+std::string Registry::render_json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << c->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << format_num(g->value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    auto s = h->snapshot();
+    out << "\"" << json_escape(name) << "\":{\"count\":" << s.count
+        << ",\"sum\":" << format_num(s.sum) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < s.counts.size(); ++i) {
+      if (i) out << ",";
+      out << "{\"le\":";
+      if (i == s.bounds.size()) {
+        out << "\"inf\"";
+      } else {
+        out << format_num(s.bounds[i]);
+      }
+      out << ",\"count\":" << s.counts[i] << "}";
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void Registry::reset_values() {
+  std::lock_guard lock(mu_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+}  // namespace hdcs::obs

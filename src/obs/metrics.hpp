@@ -1,0 +1,119 @@
+#pragma once
+// Process-wide metrics: counters, gauges and fixed-bucket histograms.
+//
+// Design rules, in priority order:
+//   1. Hot-path updates are a single relaxed atomic op — no locks, no
+//      allocation, no formatting. Callers look an instrument up once
+//      (Registry::counter() takes a mutex) and keep the reference; the
+//      reference stays valid for the registry's lifetime, including across
+//      reset(), which zeroes values but never destroys instruments.
+//   2. Export is human-first: render_text() for eyeballs, render_json() for
+//      tools and the MSG_STATS wire snapshot.
+//   3. One global registry (Registry::global()) shared by the net layer and
+//      anything else without a better home; subsystems that need isolated
+//      numbers (tests, side-by-side sims) construct their own Registry.
+//
+// Naming convention: dotted lowercase paths, unit suffix where ambiguous —
+// "net.bytes_sent", "server.handle_s.RequestWork" (seconds),
+// "scheduler.units_issued". See docs/OBSERVABILITY.md for the full list.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hdcs::obs {
+
+/// Monotonic event count. Relaxed ordering: totals are exact once writer
+/// threads are quiesced; mid-run reads may lag by in-flight increments.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (connected clients, queue depth).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d);
+  [[nodiscard]] double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Fixed-boundary histogram for latencies and sizes. Boundaries are upper
+/// bucket edges; one implicit overflow bucket catches everything above the
+/// last edge. observe() is two relaxed atomic adds plus a branchless-ish
+/// linear scan over <= ~24 edges — cheap enough for per-request use.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;        // upper edges, ascending
+    std::vector<std::uint64_t> counts; // bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0;
+    /// Linear-interpolated quantile estimate (q in [0,1]); the overflow
+    /// bucket reports its lower edge. 0 when empty.
+    [[nodiscard]] double quantile(double q) const;
+    [[nodiscard]] double mean() const { return count ? sum / count : 0; }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+  /// Log-spaced latency edges, 100us .. ~100s. The default for "_s" metrics.
+  static std::vector<double> latency_bounds();
+  /// Log-spaced size edges, 64 B .. 64 MiB. The default for byte metrics.
+  static std::vector<double> size_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+class Registry {
+ public:
+  /// The process-wide registry (net-layer counters live here).
+  static Registry& global();
+
+  /// Find-or-create. The returned reference is valid for the registry's
+  /// lifetime. A histogram name reused with different bounds keeps the
+  /// original bounds (first registration wins).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds =
+                                                    Histogram::latency_bounds());
+
+  /// Aligned "name value" lines, histograms as count/mean/p50/p90/p99.
+  [[nodiscard]] std::string render_text() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,buckets}}}
+  [[nodiscard]] std::string render_json() const;
+
+  /// Zero every instrument without invalidating references (tests).
+  void reset_values();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, never held during updates
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hdcs::obs

@@ -1,0 +1,191 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace hdcs::obs {
+
+namespace {
+/// Format a double compactly but losslessly enough for timestamps/ops.
+std::string fmt_num(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+}  // namespace
+
+Tracer::~Tracer() { close(); }
+
+void Tracer::open(const std::string& path) {
+  std::lock_guard lock(mu_);
+  file_.open(path, std::ios::out | std::ios::app);
+  if (!file_) throw IoError("Tracer: cannot open " + path);
+  collect_ = false;
+  callback_ = nullptr;
+  enabled_ = true;
+}
+
+void Tracer::to_memory() {
+  std::lock_guard lock(mu_);
+  if (file_.is_open()) file_.close();
+  callback_ = nullptr;
+  collect_ = true;
+  enabled_ = true;
+}
+
+void Tracer::set_callback(std::function<void(const std::string&)> cb) {
+  std::lock_guard lock(mu_);
+  if (file_.is_open()) file_.close();
+  collect_ = false;
+  callback_ = std::move(cb);
+  enabled_ = static_cast<bool>(callback_);
+}
+
+void Tracer::close() {
+  std::lock_guard lock(mu_);
+  if (file_.is_open()) {
+    file_.flush();
+    file_.close();
+  }
+  callback_ = nullptr;
+  collect_ = false;
+  enabled_ = false;
+}
+
+std::vector<std::string> Tracer::lines() const {
+  std::lock_guard lock(mu_);
+  return memory_;
+}
+
+void Tracer::write_line(const std::string& line) {
+  std::lock_guard lock(mu_);
+  if (!enabled_) return;  // sink closed between event() and emission
+  if (file_.is_open()) {
+    file_ << line << '\n';
+    file_.flush();
+  } else if (collect_) {
+    memory_.push_back(line);
+  } else if (callback_) {
+    callback_(line);
+  }
+}
+
+Tracer::Event::Event(Tracer* tracer, double t, std::string_view type)
+    : tracer_(tracer) {
+  if (!tracer_) return;
+  line_.reserve(96);
+  line_ += "{\"schema\":";
+  line_ += std::to_string(kTraceSchemaVersion);
+  line_ += ",\"t\":";
+  line_ += fmt_num(t);
+  line_ += ",\"ev\":\"";
+  line_ += json_escape(type);
+  line_ += '"';
+}
+
+Tracer::Event::Event(Event&& other) noexcept
+    : tracer_(other.tracer_), line_(std::move(other.line_)) {
+  other.tracer_ = nullptr;
+}
+
+Tracer::Event::~Event() {
+  if (!tracer_) return;
+  line_ += '}';
+  tracer_->write_line(line_);
+}
+
+Tracer::Event& Tracer::Event::str(std::string_view key, std::string_view value) {
+  if (!tracer_) return *this;
+  line_ += ",\"";
+  line_ += json_escape(key);
+  line_ += "\":\"";
+  line_ += json_escape(value);
+  line_ += '"';
+  return *this;
+}
+
+Tracer::Event& Tracer::Event::num(std::string_view key, double value) {
+  if (!tracer_) return *this;
+  line_ += ",\"";
+  line_ += json_escape(key);
+  line_ += "\":";
+  line_ += fmt_num(value);
+  return *this;
+}
+
+Tracer::Event& Tracer::Event::u64(std::string_view key, std::uint64_t value) {
+  if (!tracer_) return *this;
+  line_ += ",\"";
+  line_ += json_escape(key);
+  line_ += "\":";
+  line_ += std::to_string(value);
+  return *this;
+}
+
+Tracer::Event& Tracer::Event::boolean(std::string_view key, bool value) {
+  if (!tracer_) return *this;
+  line_ += ",\"";
+  line_ += json_escape(key);
+  line_ += "\":";
+  line_ += value ? "true" : "false";
+  return *this;
+}
+
+Tracer::Event Tracer::event(double t, std::string_view type) {
+  return Event(enabled_ ? this : nullptr, t, type);
+}
+
+double TraceRecord::number(const std::string& key) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) throw ProtocolError("trace record missing field " + key);
+  return it->second.as_number();
+}
+
+const std::string& TraceRecord::text(const std::string& key) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) throw ProtocolError("trace record missing field " + key);
+  return it->second.as_string();
+}
+
+TraceRecord parse_trace_line(std::string_view line) {
+  TraceRecord rec;
+  rec.fields = parse_flat_json(line);
+  auto schema = rec.fields.find("schema");
+  auto t = rec.fields.find("t");
+  auto ev = rec.fields.find("ev");
+  if (schema == rec.fields.end() || t == rec.fields.end() ||
+      ev == rec.fields.end()) {
+    throw ProtocolError("trace record missing schema/t/ev");
+  }
+  rec.schema = static_cast<int>(schema->second.as_number());
+  rec.t = t->second.as_number();
+  rec.ev = ev->second.as_string();
+  return rec;
+}
+
+void mirror_logs_to_tracer(Tracer* tracer) {
+  if (!tracer) {
+    set_log_sink(nullptr);
+    return;
+  }
+  auto epoch = std::chrono::steady_clock::now();
+  set_log_sink([tracer, epoch](LogLevel level, const std::string& msg) {
+    // Keep the human-readable line AND the structured record.
+    log_to_stderr(level, msg);
+    double t = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             epoch)
+                   .count();
+    tracer->event(t, "log").str("level", log_level_name(level)).str("msg", msg);
+  });
+}
+
+}  // namespace hdcs::obs

@@ -32,6 +32,7 @@ SimDriver::SimDriver(SimConfig config, std::vector<MachineSpec> fleet)
     : config_(std::move(config)),
       core_(config_.scheduler, dist::make_policy(config_.policy_spec)),
       rng_(config_.seed) {
+  core_.set_tracer(config_.tracer);
   machines_.reserve(fleet.size());
   for (auto& spec : fleet) {
     Machine m;
@@ -299,6 +300,17 @@ SimOutcome SimDriver::run() {
 
   if (!core_.all_complete()) {
     throw Error("simulation ended with incomplete problems (all donors gone?)");
+  }
+
+  // Donors that were still attached when the last problem completed say an
+  // orderly goodbye, so the trace ends the same way a real server run does
+  // (client_left is idempotent, so machines that already left are safe).
+  for (auto& m : machines_) {
+    if (m.alive) {
+      core_.client_left(m.client_id, queue_.now());
+      m.alive = false;
+      m.generation += 1;
+    }
   }
 
   SimOutcome out;

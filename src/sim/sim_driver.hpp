@@ -54,6 +54,9 @@ struct SimConfig {
   /// Hard stop (virtual seconds); exceeded => Error (deadlock guard).
   double max_sim_time = 5e7;
   const dist::AlgorithmRegistry* registry = &dist::AlgorithmRegistry::global();
+  /// Optional structured event trace, stamped with *virtual* seconds. Same
+  /// schema as the TCP server's trace. Must outlive the driver; not owned.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct MachineOutcome {

@@ -3,23 +3,30 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <mutex>
+#include <thread>
 
 namespace hdcs {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_sink_mutex;
-std::function<void(LogLevel, const std::string&)> g_sink;
+using Sink = std::function<void(LogLevel, const std::string&)>;
 
-const char* level_name(LogLevel level) {
-  switch (level) {
-    case LogLevel::kDebug: return "DEBUG";
-    case LogLevel::kInfo: return "INFO ";
-    case LogLevel::kWarn: return "WARN ";
-    case LogLevel::kError: return "ERROR";
-    default: return "?????";
-  }
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;  // guards the shared_ptr swap only, never the call
+std::shared_ptr<const Sink> g_sink;
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Small stable per-thread tag; std::thread::id prints as an opaque long
+/// number, a 4-digit counter reads better in interleaved output.
+unsigned thread_tag() {
+  static std::atomic<unsigned> next{1};
+  thread_local unsigned tag = next.fetch_add(1) % 10000;
+  return tag;
 }
 }  // namespace
 
@@ -28,21 +35,42 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  std::shared_ptr<const Sink> next;
+  if (sink) next = std::make_shared<const Sink>(std::move(sink));
   std::lock_guard lock(g_sink_mutex);
-  g_sink = std::move(sink);
+  g_sink = std::move(next);
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+void log_to_stderr(LogLevel level, const std::string& msg) {
+  double t = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           process_epoch())
+                 .count();
+  std::fprintf(stderr, "[%10.3f] [tid %04u] %-5s %s\n", t, thread_tag(),
+               log_level_name(level), msg.c_str());
 }
 
 namespace log_detail {
 void emit(LogLevel level, const std::string& msg) {
-  std::lock_guard lock(g_sink_mutex);
-  if (g_sink) {
-    g_sink(level, msg);
-    return;
+  std::shared_ptr<const Sink> sink;
+  {
+    std::lock_guard lock(g_sink_mutex);
+    sink = g_sink;
   }
-  using namespace std::chrono;
-  auto now = duration_cast<milliseconds>(steady_clock::now().time_since_epoch()).count();
-  std::fprintf(stderr, "[%10lld.%03lld] %s %s\n", static_cast<long long>(now / 1000),
-               static_cast<long long>(now % 1000), level_name(level), msg.c_str());
+  if (sink) {
+    (*sink)(level, msg);
+  } else {
+    log_to_stderr(level, msg);
+  }
 }
 }  // namespace log_detail
 

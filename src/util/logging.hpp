@@ -4,6 +4,12 @@
 // The server, clients and simulator all log through this; tests silence it
 // by raising the level. Deliberately not configurable beyond level + sink to
 // keep hot paths free of formatting machinery.
+//
+// Sink contract: emitters copy the installed sink under a short lock and
+// invoke it OUTSIDE the lock, so set_log_sink() is safe to call while other
+// threads are mid-emit, and a sink that itself logs cannot deadlock. A sink
+// being replaced may still receive a few in-flight messages; callers that
+// need a hard cut-off should quiesce their threads first.
 
 #include <functional>
 #include <sstream>
@@ -22,7 +28,17 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Redirect output (default: stderr). Pass nullptr to restore the default.
+/// Safe to call concurrently with emitting threads (see sink contract).
 void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+/// The default sink: "[   12.345] [tid 0421] WARN  msg" to stderr, where
+/// the timestamp is monotonic seconds since process start and tid is a
+/// stable per-thread tag. Exposed so custom sinks (e.g. the obs tracer
+/// bridge) can chain to it.
+void log_to_stderr(LogLevel level, const std::string& msg);
+
+/// "DEBUG" / "INFO" / "WARN" / "ERROR" (trimmed, for structured sinks).
+const char* log_level_name(LogLevel level);
 
 /// Stream-style log statement: LOG_INFO("client " << id << " joined");
 #define HDCS_LOG(level, expr)                                         \

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "dist/client.hpp"
+#include "dist/server.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "tests/toy_problem.hpp"
 #include "util/error.hpp"
@@ -327,6 +330,76 @@ TEST(SimDriver, AllDonorsGoneRaises) {
   SimDriver sim(cfg, fleet);
   sim.add_problem(std::make_shared<ToySumDataManager>(100000000));
   EXPECT_THROW(sim.run(), Error);
+}
+
+TEST(SimDriver, TraceMatchesRealServerEventOrder) {
+  // The tentpole property of the shared trace schema: a simulated run and a
+  // real loopback-TCP run of the same single-client workload emit the same
+  // event *types* in the same order. The fixed granularity policy pins the
+  // unit count, and a lone strictly-serial client pins the interleaving; only
+  // timestamps (virtual vs wall) and ids may differ.
+  test::register_toy_algorithm();
+  constexpr std::uint64_t kN = 400000;
+  constexpr const char* kPolicy = "fixed:100000";  // exactly 4 units
+
+  auto event_types = [](const std::vector<std::string>& lines) {
+    std::vector<std::string> evs;
+    for (const auto& line : lines) {
+      auto rec = obs::parse_trace_line(line);
+      // checkpoint/log are clock-driven chatter, not scheduling decisions.
+      if (rec.ev == "checkpoint" || rec.ev == "log") continue;
+      evs.push_back(rec.ev);
+    }
+    return evs;
+  };
+
+  obs::Tracer sim_tracer;
+  sim_tracer.to_memory();
+  {
+    auto cfg = fast_config();
+    cfg.policy_spec = kPolicy;
+    cfg.tracer = &sim_tracer;
+    MachineSpec spec;
+    spec.name = "lone-donor";
+    spec.availability_mean = 1.0;  // deterministic: no jitter, never leaves
+    SimDriver sim(cfg, {spec});
+    sim.add_problem(std::make_shared<ToySumDataManager>(kN));
+    sim.run();
+  }
+
+  obs::Tracer srv_tracer;
+  srv_tracer.to_memory();
+  {
+    dist::ServerConfig cfg;
+    cfg.scheduler.bounds.min_ops = 1;
+    cfg.policy_spec = kPolicy;
+    cfg.tick_interval_s = 0.05;
+    cfg.no_work_retry_s = 0.02;
+    cfg.tracer = &srv_tracer;
+    dist::Server server(cfg);
+    server.start();
+    auto pid = server.submit_problem(std::make_shared<ToySumDataManager>(kN));
+    dist::ClientConfig ccfg;
+    ccfg.server_port = server.port();
+    ccfg.name = "lone-donor";
+    dist::Client(ccfg).run();
+    ASSERT_TRUE(server.wait_for_problem(pid, 30.0));
+    server.stop();
+  }
+
+  auto sim_events = event_types(sim_tracer.lines());
+  auto srv_events = event_types(srv_tracer.lines());
+  ASSERT_FALSE(sim_events.empty());
+  EXPECT_EQ(sim_events, srv_events);
+
+  // And the shape is exactly the canonical single-client lifecycle.
+  std::vector<std::string> expected{"client_joined"};
+  for (int i = 0; i < 4; ++i) {
+    expected.emplace_back("unit_issued");
+    expected.emplace_back("unit_completed");
+  }
+  expected.emplace_back("client_left");
+  EXPECT_EQ(sim_events, expected);
 }
 
 }  // namespace

@@ -1,0 +1,214 @@
+// trace_summary — turn a JSONL event trace into human-readable tables.
+//
+// Works on traces from either the TCP server or the simulator (same
+// schema). Reports:
+//   - run-wide event counts and unit accounting,
+//   - per-client throughput (units, ops, units/sec over attached span),
+//   - the straggler tail of unit service times (p50/p90/p99/max),
+//   - reissue / hedge / duplicate breakdowns per problem.
+//
+// Usage: trace_summary <trace.jsonl> [trace2.jsonl ...]
+//        trace_summary -          (read a single trace from stdin)
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using hdcs::obs::TraceRecord;
+
+struct ClientRow {
+  std::string name;
+  double joined_at = -1;
+  double last_event = 0;
+  double left_at = -1;
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  double cost_ops = 0;
+
+  [[nodiscard]] double attached_span() const {
+    double end = left_at >= 0 ? left_at : last_event;
+    return joined_at >= 0 ? end - joined_at : 0;
+  }
+};
+
+struct ProblemRow {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t reissued = 0;
+  std::uint64_t hedged = 0;
+  std::uint64_t duplicates = 0;
+};
+
+struct Summary {
+  std::map<std::string, std::uint64_t> event_counts;
+  std::map<std::uint64_t, ClientRow> clients;
+  std::map<std::uint64_t, ProblemRow> problems;
+  std::vector<double> unit_elapsed;  // service times from unit_completed
+  double t_min = 0, t_max = 0;
+  bool any = false;
+  std::uint64_t parse_errors = 0;
+};
+
+void ingest_line(Summary& s, const std::string& line) {
+  if (line.empty()) return;
+  TraceRecord rec;
+  try {
+    rec = hdcs::obs::parse_trace_line(line);
+  } catch (const hdcs::Error&) {
+    s.parse_errors += 1;
+    return;
+  }
+  if (!s.any) {
+    s.t_min = s.t_max = rec.t;
+    s.any = true;
+  }
+  s.t_min = std::min(s.t_min, rec.t);
+  s.t_max = std::max(s.t_max, rec.t);
+  s.event_counts[rec.ev] += 1;
+
+  auto client_of = [&]() -> ClientRow* {
+    if (!rec.has("client")) return nullptr;
+    auto& row = s.clients[static_cast<std::uint64_t>(rec.number("client"))];
+    row.last_event = std::max(row.last_event, rec.t);
+    return &row;
+  };
+  auto problem_of = [&]() -> ProblemRow* {
+    if (!rec.has("problem")) return nullptr;
+    return &s.problems[static_cast<std::uint64_t>(rec.number("problem"))];
+  };
+
+  if (rec.ev == "client_joined") {
+    ClientRow* c = client_of();
+    if (c) {
+      c->joined_at = rec.t;
+      if (rec.has("name")) c->name = rec.text("name");
+    }
+  } else if (rec.ev == "client_left") {
+    if (ClientRow* c = client_of()) c->left_at = rec.t;
+  } else if (rec.ev == "unit_issued" || rec.ev == "unit_reissued" ||
+             rec.ev == "unit_hedged") {
+    if (ClientRow* c = client_of()) c->issued += 1;
+    if (ProblemRow* p = problem_of()) {
+      p->issued += 1;
+      if (rec.ev == "unit_reissued") p->reissued += 1;
+      if (rec.ev == "unit_hedged") p->hedged += 1;
+    }
+  } else if (rec.ev == "unit_completed") {
+    ClientRow* c = client_of();
+    if (c) {
+      c->completed += 1;
+      if (rec.has("cost_ops")) c->cost_ops += rec.number("cost_ops");
+    }
+    if (ProblemRow* p = problem_of()) p->completed += 1;
+    if (rec.has("elapsed_s")) s.unit_elapsed.push_back(rec.number("elapsed_s"));
+  } else if (rec.ev == "result_duplicate") {
+    client_of();
+    if (ProblemRow* p = problem_of()) p->duplicates += 1;
+  }
+}
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  double idx = q * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(idx);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+void print_summary(const std::string& label, Summary& s) {
+  std::printf("=== %s ===\n", label.c_str());
+  if (!s.any) {
+    std::printf("  (no events)\n");
+    return;
+  }
+  std::printf("trace span: %.3f s (%.3f .. %.3f)\n", s.t_max - s.t_min, s.t_min,
+              s.t_max);
+  if (s.parse_errors) {
+    std::printf("WARNING: %llu unparseable lines skipped\n",
+                static_cast<unsigned long long>(s.parse_errors));
+  }
+
+  std::printf("\nevents:\n");
+  for (const auto& [ev, n] : s.event_counts) {
+    std::printf("  %-18s %8llu\n", ev.c_str(),
+                static_cast<unsigned long long>(n));
+  }
+
+  std::printf("\nper-client throughput:\n");
+  std::printf("  %6s  %-16s %8s %8s %12s %10s\n", "id", "name", "issued",
+              "done", "ops", "units/s");
+  for (const auto& [id, c] : s.clients) {
+    double span = c.attached_span();
+    double rate = span > 0 ? static_cast<double>(c.completed) / span : 0;
+    std::printf("  %6llu  %-16s %8llu %8llu %12.4g %10.4g\n",
+                static_cast<unsigned long long>(id), c.name.c_str(),
+                static_cast<unsigned long long>(c.issued),
+                static_cast<unsigned long long>(c.completed), c.cost_ops, rate);
+  }
+
+  if (!s.unit_elapsed.empty()) {
+    std::sort(s.unit_elapsed.begin(), s.unit_elapsed.end());
+    std::printf("\nunit service time (straggler tail, %zu samples):\n",
+                s.unit_elapsed.size());
+    std::printf("  p50=%.4g s  p90=%.4g s  p99=%.4g s  max=%.4g s\n",
+                quantile(s.unit_elapsed, 0.5), quantile(s.unit_elapsed, 0.9),
+                quantile(s.unit_elapsed, 0.99), s.unit_elapsed.back());
+  }
+
+  std::printf("\nper-problem unit accounting:\n");
+  std::printf("  %8s %8s %8s %9s %7s %10s\n", "problem", "issued", "done",
+              "reissued", "hedged", "duplicates");
+  for (const auto& [pid, p] : s.problems) {
+    std::printf("  %8llu %8llu %8llu %9llu %7llu %10llu\n",
+                static_cast<unsigned long long>(pid),
+                static_cast<unsigned long long>(p.issued),
+                static_cast<unsigned long long>(p.completed),
+                static_cast<unsigned long long>(p.reissued),
+                static_cast<unsigned long long>(p.hedged),
+                static_cast<unsigned long long>(p.duplicates));
+  }
+  std::printf("\n");
+}
+
+int run(std::istream& in, const std::string& label) {
+  Summary s;
+  std::string line;
+  while (std::getline(in, line)) ingest_line(s, line);
+  print_summary(label, s);
+  return s.any ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.jsonl>... | %s -\n", argv[0], argv[0]);
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-") {
+      rc |= run(std::cin, "stdin");
+      continue;
+    }
+    std::ifstream f(arg);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", arg.c_str());
+      return 2;
+    }
+    rc |= run(f, arg);
+  }
+  return rc;
+}
