@@ -6,11 +6,17 @@
 //
 // Usage:
 //   hdcs_donor --host 10.0.0.1 --port 4090 [--name lab3-pc07]
-//              [--persist true] [--throttle 1] [--cpus 2]
+//              [--persist true] [--throttle 1] [--cpus 2] [--threads 1]
 //
 // --persist true  keeps polling for new problems forever (service mode);
 //                 the default exits once all submitted problems finish.
 // --throttle N    pretends to be an N-times slower machine (testing aid).
+// --cpus N        runs N independent donor clients (one per CPU, each with
+//                 its own connection and work units).
+// --threads N     worker threads *inside* each unit (deterministic merge;
+//                 the result payload is byte-identical to --threads 1).
+//                 Prefer --cpus for throughput; --threads for latency on
+//                 large units. See docs/KERNELS.md.
 
 #include <cstdio>
 #include <map>
@@ -49,6 +55,9 @@ int main(int argc, char** argv) {
     cfg.name = get("name", "donor");
     cfg.throttle = parse_f64(get("throttle", "1"));
     cfg.exit_when_idle = !parse_bool(get("persist", "false"));
+    auto threads = parse_i64(get("threads", "1"));
+    if (threads < 1) throw InputError("--threads must be >= 1");
+    cfg.exec_threads = static_cast<std::size_t>(threads);
 
     int cpus = static_cast<int>(parse_i64(get("cpus", "1")));
 
@@ -70,7 +79,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     std::fprintf(stderr,
                  "usage: hdcs_donor --host <ip> --port <port> [--name n] "
-                 "[--persist true|false] [--throttle x]\n");
+                 "[--persist true|false] [--throttle x] [--cpus n] "
+                 "[--threads n]\n");
     return 1;
   }
 }

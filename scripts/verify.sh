@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the concurrency-
-# sensitive suites (obs registry/tracer, scheduler, server/client).
+# Tier-1 verification plus sanitizer passes: ThreadSanitizer over the
+# concurrency-sensitive suites (obs registry/tracer, scheduler,
+# server/client) and AddressSanitizer over the alignment-kernel
+# equivalence suites (batch vs scalar), then the bench_align smoke run
+# which re-asserts batch == scalar before timing anything.
 #
-#   scripts/verify.sh            # full: tier-1 + TSan subset
+#   scripts/verify.sh            # full: tier-1 + TSan + ASan + smoke
 #   scripts/verify.sh --fast     # tier-1 only
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,5 +25,16 @@ cmake --preset tsan >/dev/null
 cmake --build --preset tsan --target test_obs test_dist test_integration -j >/dev/null
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
   -R 'Metrics|Jsonl|Tracer|MsgStats|Wire|Scheduler|ServerClient|Granularity'
+
+echo "== ASan: alignment-kernel equivalence (batch vs scalar) =="
+cmake --preset asan >/dev/null
+cmake --build --preset asan --target test_bio test_properties test_dsearch -j >/dev/null
+ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
+  -R 'BatchKernel|AlignScore|Banded|NeedlemanWunsch|SmithWaterman|SemiGlobal|DSearch'
+
+echo "== bench_align --smoke (kernel equivalence + throughput snapshot) =="
+# Writes into build/ so a verify run never dirties the committed
+# BENCH_ALIGN.json; refresh that with: ./build/bench/bench_align --smoke
+./build/bench/bench_align --smoke --out build/BENCH_ALIGN.json
 
 echo "verify OK"

@@ -1,9 +1,11 @@
 #include "bio/align.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace hdcs::bio {
@@ -139,16 +141,15 @@ std::int64_t banded_nw_score(std::string_view a, std::string_view b,
       h_cur[0] = -(oe + static_cast<std::int64_t>(i - 1) * ext);
     }
     std::int64_t e = kNegInf;
+    // kNegInf is a "half infinity" (INT64_MIN/4): low enough that a cell
+    // fed from outside the band loses every max() against a real path, yet
+    // far enough from INT64_MIN that the band loop can subtract penalties
+    // and add substitution scores unconditionally — no per-cell guards.
     for (auto j = lo; j <= hi; ++j) {
       auto ju = static_cast<std::size_t>(j);
-      std::int64_t left = h_cur[ju - 1];
-      e = std::max(left == kNegInf ? kNegInf : left - oe, e == kNegInf ? kNegInf : e - ext);
-      std::int64_t up = h_prev[ju];
-      std::int64_t f_old = f[ju];
-      f[ju] = std::max(up == kNegInf ? kNegInf : up - oe,
-                       f_old == kNegInf ? kNegInf : f_old - ext);
-      std::int64_t diag = h_prev[ju - 1];
-      if (diag != kNegInf) diag += s.score(a[i - 1], b[ju - 1]);
+      e = std::max(h_cur[ju - 1] - oe, e - ext);
+      f[ju] = std::max(h_prev[ju] - oe, f[ju] - ext);
+      std::int64_t diag = h_prev[ju - 1] + s.score(a[i - 1], b[ju - 1]);
       h_cur[ju] = std::max({diag, e, f[ju]});
     }
     // Invalidate the cell just beyond the band's right edge for next row.
@@ -165,7 +166,9 @@ std::int64_t banded_nw_score(std::string_view a, std::string_view b,
 }
 
 std::int64_t align_score(AlignMode mode, std::string_view a, std::string_view b,
-                         const ScoringScheme& s, std::size_t band) {
+                         const ScoringScheme& s, std::size_t band,
+                         AlignDiagnostics* diag) {
+  if (diag) *diag = AlignDiagnostics{};
   switch (mode) {
     case AlignMode::kGlobal: return nw_score(a, b, s);
     case AlignMode::kLocal: return sw_score(a, b, s);
@@ -174,6 +177,25 @@ std::int64_t align_score(AlignMode mode, std::string_view a, std::string_view b,
       std::size_t diff = a.size() > b.size() ? a.size() - b.size()
                                              : b.size() - a.size();
       std::size_t k = std::max(band, diff + 1);
+      if (k != band) {
+        // A too-narrow band used to be widened silently, letting DSEARCH
+        // configs claim a band they never ran with. Warn (rate-limited so a
+        // whole-database search can't flood the log) and report the band
+        // actually used via `diag`.
+        static std::atomic<int> warnings_left{5};
+        int left = warnings_left.fetch_sub(1);
+        if (left > 0) {
+          LOG_WARN("banded alignment: band " << band
+                   << " cannot bridge length difference " << diff
+                   << "; widened to " << k
+                   << (left == 1 ? " (suppressing further band warnings)"
+                                 : ""));
+        }
+      }
+      if (diag) {
+        diag->effective_band = k;
+        diag->band_widened = (k != band);
+      }
       return banded_nw_score(a, b, s, k);
     }
   }

@@ -58,9 +58,19 @@ std::int64_t semiglobal_score(std::string_view a, std::string_view b,
 std::int64_t banded_nw_score(std::string_view a, std::string_view b,
                              const ScoringScheme& s, std::size_t band);
 
-/// Dispatch by mode (banded uses `band`).
+/// Side-channel facts about how a score was computed. Today this exists so
+/// banded searches can't silently run with a different band than requested:
+/// a band too narrow to bridge |n-m| is widened to diff+1 (and logged).
+struct AlignDiagnostics {
+  std::size_t effective_band = 0;  // band actually used (banded mode only)
+  bool band_widened = false;       // requested band could not bridge |n-m|
+};
+
+/// Dispatch by mode (banded uses `band`). Pass `diag` to learn the
+/// effective band; widening is WARN-logged either way.
 std::int64_t align_score(AlignMode mode, std::string_view a, std::string_view b,
-                         const ScoringScheme& s, std::size_t band = 0);
+                         const ScoringScheme& s, std::size_t band = 0,
+                         AlignDiagnostics* diag = nullptr);
 
 // ---- traceback kernels (O(n·m) memory) ----
 

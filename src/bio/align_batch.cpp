@@ -1,0 +1,309 @@
+#include "bio/align_batch.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace hdcs::bio {
+
+void encode_residues(std::string_view seq, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(seq.size());
+  for (char c : seq) {
+    out.push_back(static_cast<std::uint8_t>(ScoringScheme::index_of(c)));
+  }
+}
+
+QueryProfile::QueryProfile(std::string_view query, const ScoringScheme& scheme)
+    : query_(query), n_(query.size()) {
+  profile16_.assign(kProfileSymbols * n_, kFloor16);
+  profile32_.assign(kProfileSymbols * n_, kFloor16);
+
+  std::vector<std::uint8_t> enc;
+  encode_residues(query, enc);
+
+  // The lane kernel's no-overflow argument needs bounded per-cell steps:
+  // kSat16 + |substitution| must fit int16, and kFloor16 minus one gap step
+  // must not underflow it. Real matrices are tiny (<= 17), real gaps < 100.
+  constexpr int kLaneSubLimit = 500;   // kSat16 + 500 < INT16_MAX
+  constexpr int kLaneGapLimit = 4000;  // kFloor16 - 4000 > INT16_MIN
+  const int oe = scheme.gap_open() + scheme.gap_extend();
+  const int ext = scheme.gap_extend();
+  if (oe > kLaneGapLimit || ext > kLaneGapLimit || oe < 0 || ext < 0) {
+    lane_safe_ = false;
+  }
+
+  for (std::size_t sym = 0; sym < ScoringScheme::kAlphabetSize; ++sym) {
+    std::int16_t* col16 = profile16_.data() + sym * n_;
+    std::int32_t* col32 = profile32_.data() + sym * n_;
+    for (std::size_t i = 0; i < n_; ++i) {
+      int sc = scheme.score_indexed(sym, enc[i]);
+      if (std::abs(sc) > kLaneSubLimit) lane_safe_ = false;
+      col16[i] = static_cast<std::int16_t>(sc);
+      col32[i] = sc;
+    }
+  }
+  // kPadSymbol column stays kFloor16 (from the assign above).
+}
+
+namespace {
+
+struct GapCosts {
+  std::int64_t open_extend;
+  std::int64_t extend;
+};
+
+GapCosts gap_costs(const ScoringScheme& s) {
+  return {static_cast<std::int64_t>(s.gap_open()) + s.gap_extend(),
+          static_cast<std::int64_t>(s.gap_extend())};
+}
+
+/// One lane batch: up to kBatchLanes encoded subjects advancing in lockstep.
+/// Unused lanes have len == 0 and never contribute.
+struct LaneBatch {
+  const std::uint8_t* seq[kBatchLanes] = {};
+  std::size_t len[kBatchLanes] = {};
+  std::size_t max_len = 0;
+};
+
+/// Lane-parallel Smith–Waterman, int16. Writes each lane's running maximum
+/// into best[]; a lane with best >= kSat16 saturated and must be re-run in
+/// int64. Non-saturated lanes are exact (see header).
+void sw_lanes16(const QueryProfile& p, const LaneBatch& batch, int oe, int ext,
+                AlignScratch& sc, std::int16_t best[kBatchLanes]) {
+  const std::size_t n = p.length();
+  sc.h16.assign((n + 1) * kBatchLanes, 0);
+  sc.e16.assign((n + 1) * kBatchLanes, kFloor16);
+  std::int16_t* const h = sc.h16.data();
+  std::int16_t* const e = sc.e16.data();
+
+  alignas(64) std::int16_t f[kBatchLanes];
+  alignas(64) std::int16_t hdiag[kBatchLanes];
+  alignas(64) std::int16_t sub[kBatchLanes];
+  alignas(64) std::int16_t bst[kBatchLanes] = {};
+  const std::int16_t* col[kBatchLanes];
+  const auto oe16 = static_cast<std::int16_t>(oe);
+  const auto ext16 = static_cast<std::int16_t>(ext);
+
+  for (std::size_t t = 0; t < batch.max_len; ++t) {
+    for (std::size_t l = 0; l < kBatchLanes; ++l) {
+      std::uint8_t symbol = t < batch.len[l] ? batch.seq[l][t] : kPadSymbol;
+      col[l] = p.column16(symbol);
+    }
+    for (std::size_t l = 0; l < kBatchLanes; ++l) {
+      f[l] = kFloor16;  // F(0, j) = -inf
+      hdiag[l] = 0;     // H(0, j-1) = 0
+    }
+    for (std::size_t i = 1; i <= n; ++i) {
+      const std::int16_t* const hup = h + (i - 1) * kBatchLanes;  // H(i-1, j)
+      std::int16_t* const hrow = h + i * kBatchLanes;
+      std::int16_t* const erow = e + i * kBatchLanes;
+      for (std::size_t l = 0; l < kBatchLanes; ++l) sub[l] = col[l][i - 1];
+      for (std::size_t l = 0; l < kBatchLanes; ++l) {
+        // All arithmetic stays inside int16: H in [0, kSat16], E/F in
+        // [kFloor16 - ext, kSat16], |sub| <= kLaneScoreLimit.
+        auto fl = static_cast<std::int16_t>(std::max<std::int16_t>(
+            static_cast<std::int16_t>(hup[l] - oe16),
+            static_cast<std::int16_t>(f[l] - ext16)));
+        std::int16_t old_h = hrow[l];  // H(i, j-1)
+        auto el = static_cast<std::int16_t>(std::max<std::int16_t>(
+            static_cast<std::int16_t>(old_h - oe16),
+            static_cast<std::int16_t>(erow[l] - ext16)));
+        auto hn = static_cast<std::int16_t>(hdiag[l] + sub[l]);
+        hn = std::max(hn, el);
+        hn = std::max(hn, fl);
+        hn = std::max<std::int16_t>(hn, 0);
+        hn = std::min(hn, kSat16);
+        hdiag[l] = old_h;
+        hrow[l] = hn;
+        erow[l] = el;
+        f[l] = fl;
+        bst[l] = std::max(bst[l], hn);
+      }
+    }
+  }
+  for (std::size_t l = 0; l < kBatchLanes; ++l) best[l] = bst[l];
+}
+
+}  // namespace
+
+// Transposed Gotoh, subject rows x query columns, so the profile column for
+// the row's subject residue is walked contiguously. The optimum of global
+// alignment is symmetric (substitution matrices are validated symmetric),
+// so this equals nw_score(query, subject) exactly.
+//
+// Two ping-ponged H rows rather than one updated in place, and H(i, j-1)
+// carried in a register across j: re-loading the value stored one iteration
+// earlier puts a store-to-load forward on the serial E chain and costs ~2x.
+std::int64_t nw_score_profile(const QueryProfile& p,
+                              std::span<const std::uint8_t> subject,
+                              const ScoringScheme& scheme,
+                              AlignScratch& sc) {
+  const auto [oe, ext] = gap_costs(scheme);
+  const std::size_t n = p.length(), m = subject.size();
+  sc.row_h.resize(n + 1);
+  sc.row_h2.resize(n + 1);
+  sc.row_f.resize(n + 1);
+  std::int64_t* h_prev = sc.row_h.data();
+  std::int64_t* h_cur = sc.row_h2.data();
+  std::int64_t* const f = sc.row_f.data();
+
+  h_prev[0] = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    h_prev[j] = -(oe + static_cast<std::int64_t>(j - 1) * ext);
+    f[j] = kNegInf;
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    const std::int32_t* col = p.column32(subject[i - 1]);
+    std::int64_t hc = -(oe + static_cast<std::int64_t>(i - 1) * ext);
+    h_cur[0] = hc;
+    std::int64_t e = kNegInf;
+    for (std::size_t j = 1; j <= n; ++j) {
+      e = std::max(hc - oe, e - ext);
+      std::int64_t fj = std::max(h_prev[j] - oe, f[j] - ext);
+      f[j] = fj;
+      std::int64_t diag = h_prev[j - 1] + col[j - 1];
+      hc = std::max({diag, e, fj});
+      h_cur[j] = hc;
+    }
+    std::swap(h_prev, h_cur);
+  }
+  return h_prev[n];
+}
+
+// Transposed semi-global: query (columns) global, subject (rows) free at
+// both ends — H(i, 0) = 0 models the free leading subject gap and the best
+// over the last column models the free trailing one. Same optimisation
+// problem as semiglobal_score(query, subject), hence the same value.
+std::int64_t semiglobal_score_profile(const QueryProfile& p,
+                                      std::span<const std::uint8_t> subject,
+                                      const ScoringScheme& scheme,
+                                      AlignScratch& sc) {
+  const auto [oe, ext] = gap_costs(scheme);
+  const std::size_t n = p.length(), m = subject.size();
+  sc.row_h.resize(n + 1);
+  sc.row_h2.resize(n + 1);
+  sc.row_f.resize(n + 1);
+  std::int64_t* h_prev = sc.row_h.data();
+  std::int64_t* h_cur = sc.row_h2.data();
+  std::int64_t* const f = sc.row_f.data();
+
+  h_prev[0] = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    h_prev[j] = -(oe + static_cast<std::int64_t>(j - 1) * ext);
+    f[j] = kNegInf;
+  }
+  std::int64_t best = h_prev[n];
+  for (std::size_t i = 1; i <= m; ++i) {
+    const std::int32_t* col = p.column32(subject[i - 1]);
+    std::int64_t hc = 0;
+    h_cur[0] = hc;
+    std::int64_t e = kNegInf;
+    for (std::size_t j = 1; j <= n; ++j) {
+      e = std::max(hc - oe, e - ext);
+      std::int64_t fj = std::max(h_prev[j] - oe, f[j] - ext);
+      f[j] = fj;
+      std::int64_t diag = h_prev[j - 1] + col[j - 1];
+      hc = std::max({diag, e, fj});
+      h_cur[j] = hc;
+    }
+    std::swap(h_prev, h_cur);
+    best = std::max(best, h_prev[n]);
+  }
+  return best;
+}
+
+std::vector<std::int64_t> batch_align_scores(
+    AlignMode mode, const QueryProfile& profile,
+    std::span<const std::string_view> db, const ScoringScheme& scheme,
+    std::size_t band, AlignScratch& scratch, BatchMetrics* metrics) {
+  const std::size_t n = profile.length();
+  std::vector<std::int64_t> scores(db.size());
+  BatchMetrics local;
+  BatchMetrics& m = metrics ? *metrics : local;
+
+  // Encode every subject once, concatenated into scratch.
+  scratch.enc.clear();
+  scratch.enc_offset.assign(db.size() + 1, 0);
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    for (char c : db[i]) {
+      scratch.enc.push_back(
+          static_cast<std::uint8_t>(ScoringScheme::index_of(c)));
+    }
+    scratch.enc_offset[i + 1] = scratch.enc.size();
+  }
+  auto subject = [&](std::size_t i) {
+    return std::span<const std::uint8_t>(
+        scratch.enc.data() + scratch.enc_offset[i],
+        scratch.enc_offset[i + 1] - scratch.enc_offset[i]);
+  };
+
+  switch (mode) {
+    case AlignMode::kLocal: {
+      const bool lanes_ok = profile.lane_safe() && n > 0;
+      for (std::size_t base = 0; base < db.size(); base += kBatchLanes) {
+        const std::size_t count = std::min(kBatchLanes, db.size() - base);
+        if (!lanes_ok) {
+          for (std::size_t k = 0; k < count; ++k) {
+            scores[base + k] = sw_score(profile.query(), db[base + k], scheme);
+            m.cells += static_cast<std::uint64_t>(n) * db[base + k].size();
+          }
+          continue;
+        }
+        LaneBatch batch;
+        for (std::size_t k = 0; k < count; ++k) {
+          auto s = subject(base + k);
+          batch.seq[k] = s.data();
+          batch.len[k] = s.size();
+          batch.max_len = std::max(batch.max_len, s.size());
+          m.cells += static_cast<std::uint64_t>(n) * s.size();
+        }
+        std::int16_t best[kBatchLanes];
+        sw_lanes16(profile, batch, scheme.gap_open() + scheme.gap_extend(),
+                   scheme.gap_extend(), scratch, best);
+        for (std::size_t k = 0; k < count; ++k) {
+          if (best[k] >= kSat16) {
+            // Score left the int16 domain: exact int64 re-run.
+            m.saturations += 1;
+            scores[base + k] = sw_score(profile.query(), db[base + k], scheme);
+          } else {
+            scores[base + k] = best[k];
+          }
+        }
+      }
+      break;
+    }
+    case AlignMode::kGlobal: {
+      for (std::size_t i = 0; i < db.size(); ++i) {
+        scores[i] = nw_score_profile(profile, subject(i), scheme, scratch);
+        m.cells += static_cast<std::uint64_t>(n) * db[i].size();
+      }
+      break;
+    }
+    case AlignMode::kSemiGlobal: {
+      for (std::size_t i = 0; i < db.size(); ++i) {
+        scores[i] = semiglobal_score_profile(profile, subject(i), scheme,
+                                             scratch);
+        m.cells += static_cast<std::uint64_t>(n) * db[i].size();
+      }
+      break;
+    }
+    case AlignMode::kBanded: {
+      for (std::size_t i = 0; i < db.size(); ++i) {
+        AlignDiagnostics diag;
+        scores[i] = align_score(AlignMode::kBanded, profile.query(), db[i],
+                                scheme, band, &diag);
+        m.cells += std::min(
+            static_cast<std::uint64_t>(n) * db[i].size(),
+            static_cast<std::uint64_t>(n) * (2 * diag.effective_band + 1));
+      }
+      break;
+    }
+    default:
+      throw InputError("batch_align_scores: bad alignment mode");
+  }
+  return scores;
+}
+
+}  // namespace hdcs::bio

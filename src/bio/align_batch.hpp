@@ -1,0 +1,127 @@
+#pragma once
+// High-throughput batch alignment kernels — DSEARCH's hot path.
+//
+// The scalar kernels in bio/align.hpp score one (query, subject) pair at a
+// time, call ScoringScheme::score() per DP cell and allocate fresh rows per
+// pair. This layer restructures that work for throughput (docs/KERNELS.md):
+//
+//   1. Sequences are encoded once into the scheme's packed alphabet and the
+//      query becomes a *score profile* — a (symbol x query-position) table —
+//      so the inner loop is a pure array walk.
+//   2. Smith–Waterman runs in a lane-parallel int16 kernel: kBatchLanes
+//      database sequences advance in lockstep, one DP column per step, with
+//      fixed-width lane loops the compiler auto-vectorizes. H is clamped to
+//      [0, kSat16]; a lane whose running best reaches kSat16 is re-run
+//      through the exact int64 scalar kernel, so results are always
+//      bit-identical to bio/align.hpp.
+//   3. Global and semi-global scoring use transposed profile kernels
+//      (subject-major, contiguous profile rows) over reusable scratch.
+//   4. All per-pair allocation is hoisted into AlignScratch, one per thread.
+//
+// batch_align_scores() is the only entry point DSEARCH needs; everything
+// else is exposed for tests and benchmarks.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bio/align.hpp"
+#include "bio/scoring.hpp"
+
+namespace hdcs::bio {
+
+/// Lanes of the int16 Smith–Waterman kernel: 16 int16 values fill one AVX2
+/// register (two SSE2 registers). Fixed so the lane loops have a
+/// compile-time trip count.
+inline constexpr std::size_t kBatchLanes = 16;
+
+/// Profile symbols: every ScoringScheme index plus one trailing padding
+/// symbol. Finished lanes are fed kPadSymbol, whose profile column is
+/// kFloor16 everywhere — a padded column can never raise a local score.
+inline constexpr std::size_t kProfileSymbols = ScoringScheme::kAlphabetSize + 1;
+inline constexpr std::uint8_t kPadSymbol =
+    static_cast<std::uint8_t>(ScoringScheme::kAlphabetSize);
+
+/// int16 domain: H is clamped into [0, kSat16]. Scores grow by bounded
+/// per-cell steps, so if a lane's running best stays below kSat16 no clamp
+/// ever fired and the int16 result is exact; otherwise the lane saturated
+/// and is recomputed in int64.
+inline constexpr std::int16_t kSat16 = 32000;
+
+/// "Half minus-infinity" for int16 state: loses every max() against a real
+/// cell, yet one more gap subtraction cannot underflow the type.
+inline constexpr std::int16_t kFloor16 = -16000;
+
+/// Encode residues as ScoringScheme packed indices.
+void encode_residues(std::string_view seq, std::vector<std::uint8_t>& out);
+
+/// Per-query score profile: score(query[i], symbol) for every symbol, laid
+/// out symbol-major so a subject residue selects one contiguous column.
+/// Built once per (query, scheme) and reused across the whole database.
+class QueryProfile {
+ public:
+  QueryProfile(std::string_view query, const ScoringScheme& scheme);
+
+  [[nodiscard]] std::size_t length() const { return n_; }
+  [[nodiscard]] const std::string& query() const { return query_; }
+  /// False when matrix entries or gap costs are too large for the int16
+  /// lane kernel's no-overflow guarantees; batch falls back to int64.
+  [[nodiscard]] bool lane_safe() const { return lane_safe_; }
+
+  [[nodiscard]] const std::int16_t* column16(std::uint8_t symbol) const {
+    return profile16_.data() + static_cast<std::size_t>(symbol) * n_;
+  }
+  [[nodiscard]] const std::int32_t* column32(std::uint8_t symbol) const {
+    return profile32_.data() + static_cast<std::size_t>(symbol) * n_;
+  }
+
+ private:
+  std::string query_;
+  std::size_t n_ = 0;
+  bool lane_safe_ = true;
+  std::vector<std::int16_t> profile16_;  // [symbol][query position]
+  std::vector<std::int32_t> profile32_;
+};
+
+/// Work/saturation accounting for one batch call. The caller (DSEARCH)
+/// forwards these into the obs registry as align.cells_total and
+/// align.batch_saturations; bio itself stays observability-free.
+struct BatchMetrics {
+  std::uint64_t cells = 0;        // semantic DP cells (query_len x subject_len)
+  std::uint64_t saturations = 0;  // int16 lanes re-run through int64
+};
+
+/// Reusable per-thread DP state. Buffers grow to the largest problem seen
+/// and are never shrunk; one AlignScratch per thread, never shared.
+struct AlignScratch {
+  std::vector<std::int16_t> h16, e16;     // int16 lane state, (n+1)*kBatchLanes
+  std::vector<std::uint8_t> enc;          // encoded subjects, concatenated
+  std::vector<std::size_t> enc_offset;    // per-subject offsets into enc
+  // int64 rows for the profile kernels (two H rows ping-ponged + one F row).
+  std::vector<std::int64_t> row_h, row_h2, row_f;
+};
+
+/// Score every subject in `db` against the profile's query. Results are
+/// bit-identical to calling the corresponding bio/align.hpp scalar kernel
+/// (via align_score) per pair, in the same order as `db`.
+/// `band` is the requested band for AlignMode::kBanded (widened exactly as
+/// align_score widens it); ignored otherwise.
+std::vector<std::int64_t> batch_align_scores(
+    AlignMode mode, const QueryProfile& profile,
+    std::span<const std::string_view> db, const ScoringScheme& scheme,
+    std::size_t band, AlignScratch& scratch, BatchMetrics* metrics = nullptr);
+
+// ---- exposed for tests/benchmarks ----
+
+/// Transposed (subject-major) profile kernels; exact int64 arithmetic.
+std::int64_t nw_score_profile(const QueryProfile& profile,
+                              std::span<const std::uint8_t> subject,
+                              const ScoringScheme& scheme, AlignScratch& scratch);
+std::int64_t semiglobal_score_profile(const QueryProfile& profile,
+                                      std::span<const std::uint8_t> subject,
+                                      const ScoringScheme& scheme,
+                                      AlignScratch& scratch);
+
+}  // namespace hdcs::bio

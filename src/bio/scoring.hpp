@@ -29,16 +29,28 @@ class ScoringScheme {
     return matrix_[index(a)][index(b)];
   }
 
+  /// Packed-alphabet size and residue -> index mapping, shared with the
+  /// batch kernels (bio/align_batch.hpp) that pre-encode sequences once
+  /// instead of calling score() per DP cell.
+  static constexpr std::size_t kAlphabetSize = 27;  // 'A'..'Z' + other
+  static std::size_t index_of(char c) {
+    return (c >= 'A' && c <= 'Z') ? static_cast<std::size_t>(c - 'A')
+                                  : kAlphabetSize - 1;
+  }
+
+  /// Substitution score by packed indices (both < kAlphabetSize).
+  [[nodiscard]] int score_indexed(std::size_t a, std::size_t b) const {
+    return matrix_[a][b];
+  }
+
   [[nodiscard]] int gap_open() const { return gap_open_; }
   [[nodiscard]] int gap_extend() const { return gap_extend_; }
   [[nodiscard]] Alphabet alphabet() const { return alphabet_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
-  static constexpr std::size_t kSize = 27;  // 'A'..'Z' + other
-  static std::size_t index(char c) {
-    return (c >= 'A' && c <= 'Z') ? static_cast<std::size_t>(c - 'A') : kSize - 1;
-  }
+  static constexpr std::size_t kSize = kAlphabetSize;
+  static std::size_t index(char c) { return index_of(c); }
   /// Parse a whitespace table "letters\nrow per letter"; validates symmetry.
   static ScoringScheme from_table(const char* letters, const char* table,
                                   Alphabet alphabet, std::string name,

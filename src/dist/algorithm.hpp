@@ -25,6 +25,13 @@ class Algorithm {
 
   /// Compute one unit; the returned bytes become the ResultUnit payload.
   virtual std::vector<std::byte> process(const WorkUnit& unit) = 0;
+
+  /// Hint that up to `threads` worker threads may be used *inside* a single
+  /// process() call (a multi-core donor). Implementations must keep the
+  /// returned payload byte-identical to the single-threaded result; the
+  /// default ignores the hint. process() itself is never called
+  /// concurrently on one instance.
+  virtual void set_parallelism(std::size_t threads) { (void)threads; }
 };
 
 using AlgorithmFactory = std::function<std::unique_ptr<Algorithm>()>;

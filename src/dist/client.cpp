@@ -1,10 +1,12 @@
 #include "dist/client.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <thread>
 
 #include "net/bulk.hpp"
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
@@ -65,6 +67,9 @@ Client::ProblemContext& Client::context_for(net::TcpStream& stream, ProblemId id
   ProblemContext ctx;
   ctx.algorithm = config_.registry->create(header.algorithm_name);
   ctx.algorithm->initialize(blob);
+  if (config_.exec_threads > 1) {
+    ctx.algorithm->set_parallelism(config_.exec_threads);
+  }
   LOG_INFO("problem " << id << ": fetched " << blob.size()
                       << " bytes, algorithm " << header.algorithm_name);
   return contexts_.emplace(id, std::move(ctx)).first->second;
@@ -72,6 +77,8 @@ Client::ProblemContext& Client::context_for(net::TcpStream& stream, ProblemId id
 
 ClientRunStats Client::run() {
   ClientRunStats stats;
+  obs::Registry::global().gauge("client.exec_threads")
+      .set(static_cast<double>(std::max<std::size_t>(config_.exec_threads, 1)));
   auto stream = net::TcpStream::connect(config_.server_host, config_.server_port);
 
   HelloPayload hello;

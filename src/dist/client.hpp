@@ -40,6 +40,12 @@ struct ClientConfig {
   /// trip the server's client timeout. Interval comes from the HelloAck;
   /// set false to emulate a heartbeat-less legacy client in tests.
   bool send_heartbeats = true;
+  /// Worker threads used *inside* each unit (Algorithm::set_parallelism):
+  /// a multi-core donor splits a unit's independent pieces (e.g. DSEARCH
+  /// database blocks) across threads with a deterministic merge, so the
+  /// submitted payload is byte-identical to single-threaded execution.
+  /// Contrast run_pool(), which runs whole independent donors per CPU.
+  std::size_t exec_threads = 1;
   const AlgorithmRegistry* registry = &AlgorithmRegistry::global();
 };
 

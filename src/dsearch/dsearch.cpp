@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
+#include <string_view>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -144,23 +147,103 @@ void merge_topk(SearchResult& accumulated, const SearchResult& incoming,
 }
 
 namespace {
+
+/// Query profiles are built once per problem and shared read-only by every
+/// block/thread (QueryProfile is immutable after construction).
+std::vector<bio::QueryProfile> build_profiles(
+    const std::vector<bio::Sequence>& queries,
+    const bio::ScoringScheme& scheme) {
+  std::vector<bio::QueryProfile> profiles;
+  profiles.reserve(queries.size());
+  for (const auto& q : queries) profiles.emplace_back(q.residues, scheme);
+  return profiles;
+}
+
+/// Raw scores for database sequences [begin, end): scores[q][i - begin] is
+/// profile q vs chunk[i]. The unit of work handed to pool threads.
+struct BlockScores {
+  std::vector<std::vector<std::int64_t>> scores;
+  bio::BatchMetrics metrics;
+};
+
+BlockScores score_block(const std::vector<bio::QueryProfile>& profiles,
+                        const std::vector<bio::Sequence>& chunk,
+                        std::size_t begin, std::size_t end,
+                        const DSearchConfig& config,
+                        const bio::ScoringScheme& scheme) {
+  // DP scratch is reused across blocks, chunks, and queries by each thread.
+  static thread_local bio::AlignScratch scratch;
+  BlockScores out;
+  std::vector<std::string_view> views;
+  views.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    views.emplace_back(chunk[i].residues);
+  }
+  out.scores.reserve(profiles.size());
+  for (const auto& profile : profiles) {
+    out.scores.push_back(bio::batch_align_scores(config.mode, profile, views,
+                                                 scheme, config.band, scratch,
+                                                 &out.metrics));
+  }
+  return out;
+}
+
 /// Score one chunk of database sequences against all queries; returns
-/// per-query top-k (already sorted).
-SearchResult search_chunk(const std::vector<bio::Sequence>& queries,
+/// per-query top-k (already sorted). With a pool, database sequences are
+/// split into contiguous blocks scored concurrently and merged back in
+/// database order; scores are integers (exact as doubles), so stats sums
+/// and the hit ranking — hence the encoded payload — are byte-identical
+/// for every thread count.
+SearchResult search_chunk(const std::vector<bio::QueryProfile>& profiles,
                           const std::vector<bio::Sequence>& chunk,
                           const DSearchConfig& config,
                           const bio::ScoringScheme& scheme,
-                          std::vector<QueryScoreStats>* stats = nullptr) {
-  SearchResult result(queries.size());
-  if (stats) stats->assign(queries.size(), QueryScoreStats{});
-  for (const auto& db_seq : chunk) {
-    for (std::size_t q = 0; q < queries.size(); ++q) {
-      Hit hit;
-      hit.db_id = db_seq.id;
-      hit.score = bio::align_score(config.mode, queries[q].residues,
-                                   db_seq.residues, scheme, config.band);
-      if (stats) (*stats)[q].add(static_cast<double>(hit.score));
-      result[q].push_back(std::move(hit));
+                          std::vector<QueryScoreStats>* stats = nullptr,
+                          bio::BatchMetrics* metrics = nullptr,
+                          ThreadPool* pool = nullptr) {
+  std::vector<BlockScores> blocks;
+  std::size_t n_blocks =
+      pool ? std::min(pool->size(), chunk.size()) : std::size_t{1};
+  if (n_blocks > 1) {
+    // Contiguous split; block boundaries only affect which thread computes
+    // a score, never its value or its merge position.
+    std::vector<std::future<BlockScores>> futures;
+    futures.reserve(n_blocks);
+    std::size_t per_block = (chunk.size() + n_blocks - 1) / n_blocks;
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      std::size_t begin = std::min(b * per_block, chunk.size());
+      std::size_t end = std::min(begin + per_block, chunk.size());
+      futures.push_back(pool->submit_with_result(
+          [&profiles, &chunk, begin, end, &config, &scheme] {
+            return score_block(profiles, chunk, begin, end, config, scheme);
+          }));
+    }
+    blocks.reserve(n_blocks);
+    for (auto& f : futures) blocks.push_back(f.get());
+  } else {
+    blocks.push_back(
+        score_block(profiles, chunk, 0, chunk.size(), config, scheme));
+  }
+
+  SearchResult result(profiles.size());
+  if (stats) stats->assign(profiles.size(), QueryScoreStats{});
+  std::size_t base = 0;
+  for (const auto& block : blocks) {
+    for (std::size_t q = 0; q < profiles.size(); ++q) {
+      const auto& scores = block.scores[q];
+      auto& hits = result[q];
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        Hit hit;
+        hit.db_id = chunk[base + i].id;
+        hit.score = scores[i];
+        if (stats) (*stats)[q].add(static_cast<double>(hit.score));
+        hits.push_back(std::move(hit));
+      }
+    }
+    base += block.scores.empty() ? 0 : block.scores[0].size();
+    if (metrics) {
+      metrics->cells += block.metrics.cells;
+      metrics->saturations += block.metrics.saturations;
     }
   }
   for (auto& hits : result) {
@@ -169,6 +252,7 @@ SearchResult search_chunk(const std::vector<bio::Sequence>& queries,
   }
   return result;
 }
+
 }  // namespace
 
 SearchResult search_serial(const std::vector<bio::Sequence>& queries,
@@ -176,7 +260,8 @@ SearchResult search_serial(const std::vector<bio::Sequence>& queries,
                            const DSearchConfig& config,
                            std::vector<QueryScoreStats>* stats) {
   auto scheme = config.make_scheme();
-  return search_chunk(queries, database, config, scheme, stats);
+  auto profiles = build_profiles(queries, scheme);
+  return search_chunk(profiles, database, config, scheme, stats);
 }
 
 // ---- DataManager ----
@@ -291,6 +376,12 @@ void DSearchAlgorithm::initialize(std::span<const std::byte> problem_data) {
   queries_ = decode_sequences(r);
   r.expect_end();
   scheme_ = config_.make_scheme();
+  profiles_ = build_profiles(queries_, *scheme_);
+}
+
+void DSearchAlgorithm::set_parallelism(std::size_t threads) {
+  threads_ = std::max<std::size_t>(threads, 1);
+  if (threads_ <= 1) pool_.reset();
 }
 
 std::vector<std::byte> DSearchAlgorithm::process(const dist::WorkUnit& unit) {
@@ -298,8 +389,14 @@ std::vector<std::byte> DSearchAlgorithm::process(const dist::WorkUnit& unit) {
   ByteReader r(unit.payload);
   auto chunk = decode_sequences(r);
   r.expect_end();
+  if (threads_ > 1 && !pool_) pool_ = std::make_unique<ThreadPool>(threads_);
   std::vector<QueryScoreStats> stats;
-  auto result = search_chunk(queries_, chunk, config_, *scheme_, &stats);
+  bio::BatchMetrics metrics;
+  auto result = search_chunk(profiles_, chunk, config_, *scheme_, &stats,
+                             &metrics, pool_.get());
+  auto& reg = obs::Registry::global();
+  reg.counter("align.cells_total").inc(metrics.cells);
+  reg.counter("align.batch_saturations").inc(metrics.saturations);
   ByteWriter w;
   encode_result(w, result);
   encode_stats(w, stats);

@@ -22,11 +22,13 @@
 // file, a scoring scheme, and a configuration file".
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bio/align.hpp"
+#include "bio/align_batch.hpp"
 #include "bio/fasta.hpp"
 #include "bio/scoring.hpp"
 #include "dist/algorithm.hpp"
@@ -34,6 +36,7 @@
 #include "dist/registry.hpp"
 #include "util/byte_buffer.hpp"
 #include "util/config.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hdcs::dsearch {
 
@@ -145,16 +148,27 @@ class DSearchDataManager final : public dist::DataManager {
   std::vector<QueryScoreStats> stats_;  // background distribution per query
 };
 
-/// The client-side half: searches one chunk against all queries.
+/// The client-side half: searches one chunk against all queries, through
+/// the batch kernel layer (bio/align_batch.hpp) — query profiles are built
+/// once per problem in initialize() and reused for every chunk.
 class DSearchAlgorithm final : public dist::Algorithm {
  public:
   void initialize(std::span<const std::byte> problem_data) override;
   std::vector<std::byte> process(const dist::WorkUnit& unit) override;
 
+  /// Split each chunk's database sequences into blocks scored on a
+  /// util::ThreadPool. Blocks are merged back in database order and
+  /// score sums are exact integer arithmetic, so the payload stays
+  /// byte-identical to single-threaded execution (docs/KERNELS.md).
+  void set_parallelism(std::size_t threads) override;
+
  private:
   std::vector<bio::Sequence> queries_;
+  std::vector<bio::QueryProfile> profiles_;
   DSearchConfig config_;
   std::optional<bio::ScoringScheme> scheme_;
+  std::size_t threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // created lazily on first chunk
 };
 
 /// Register DSearchAlgorithm under kAlgorithmName (idempotent).

@@ -185,6 +185,32 @@ TEST(AlignScore, DispatchesAllModes) {
             banded_nw_score(a, b, s, 12));
 }
 
+TEST(AlignScore, BandWideningIsSurfacedInDiagnostics) {
+  auto s = simple_dna();
+  std::string a = "ACGTACGTACGTACGT", b = "ACG";  // length gap of 13
+
+  // Requested band cannot bridge |n-m|: align_score widens instead of
+  // throwing (banded_nw_score itself still throws) and reports it.
+  AlignDiagnostics diag;
+  auto score = align_score(AlignMode::kBanded, a, b, s, 2, &diag);
+  EXPECT_TRUE(diag.band_widened);
+  EXPECT_EQ(diag.effective_band, 14u);  // |n-m| + 1
+  EXPECT_EQ(score, banded_nw_score(a, b, s, 14));
+
+  // A sufficient band is used as requested.
+  diag = AlignDiagnostics{};
+  align_score(AlignMode::kBanded, a, b, s, 15, &diag);
+  EXPECT_FALSE(diag.band_widened);
+  EXPECT_EQ(diag.effective_band, 15u);
+
+  // Non-banded modes leave the diagnostics untouched (defaults).
+  diag.effective_band = 999;
+  diag.band_widened = true;
+  align_score(AlignMode::kLocal, a, b, s, 0, &diag);
+  EXPECT_FALSE(diag.band_widened);
+  EXPECT_EQ(diag.effective_band, 0u);
+}
+
 TEST(AlignMode, ParseAndPrint) {
   EXPECT_EQ(parse_align_mode("smith-waterman"), AlignMode::kLocal);
   EXPECT_EQ(parse_align_mode("NW"), AlignMode::kGlobal);

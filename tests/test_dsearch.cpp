@@ -236,6 +236,47 @@ TEST(DSearchDataManager, LocalRunMatchesSerial) {
   EXPECT_GT(stats.units, 1u) << "database should have been chunked";
 }
 
+TEST(DSearchDataManager, ThreadedLocalRunIsByteIdenticalToSerial) {
+  auto w = make_workload(11);
+  auto config = default_config();
+  register_algorithm();
+
+  DSearchDataManager serial_dm(w.queries, w.database, config);
+  auto serial_bytes = dist::run_locally(serial_dm, 150000);
+
+  for (std::size_t threads : {2, 4}) {
+    DSearchDataManager dm(w.queries, w.database, config);
+    auto bytes = dist::run_locally(dm, 150000, nullptr,
+                                   dist::AlgorithmRegistry::global(), threads);
+    EXPECT_EQ(bytes, serial_bytes) << threads << " threads";
+  }
+}
+
+TEST(DSearchAlgorithm, SetParallelismKeepsPayloadByteIdentical) {
+  // Within-unit threading (donor --threads) must not change a single byte
+  // of the submitted payload, for every alignment mode.
+  auto w = make_workload(13);
+  for (auto mode : {bio::AlignMode::kLocal, bio::AlignMode::kGlobal,
+                    bio::AlignMode::kSemiGlobal, bio::AlignMode::kBanded}) {
+    auto config = default_config();
+    config.mode = mode;
+    DSearchDataManager dm(w.queries, w.database, config);
+    auto data = dm.problem_data();
+    auto unit = dm.next_unit(dist::SizeHint{1e18});  // whole db, one unit
+    ASSERT_TRUE(unit);
+
+    DSearchAlgorithm serial_algo;
+    serial_algo.initialize(data);
+    auto serial_payload = serial_algo.process(*unit);
+
+    DSearchAlgorithm threaded_algo;
+    threaded_algo.initialize(data);
+    threaded_algo.set_parallelism(3);
+    EXPECT_EQ(threaded_algo.process(*unit), serial_payload)
+        << "mode=" << static_cast<int>(mode);
+  }
+}
+
 TEST(DSearchDataManager, ChunkSizesFollowHint) {
   auto w = make_workload(6, 100, 1);
   DSearchDataManager dm(w.queries, w.database, default_config());

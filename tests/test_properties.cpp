@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "bio/align.hpp"
+#include "bio/align_batch.hpp"
 #include "bio/fasta.hpp"
 #include "bio/seqgen.hpp"
 #include "dist/scheduler_core.hpp"
@@ -90,6 +91,82 @@ TEST_P(AlignKernelProperties, MutatedCopyScoresBetweenSelfAndRandom) {
 
 INSTANTIATE_TEST_SUITE_P(
     Schemes, AlignKernelProperties,
+    ::testing::Values(KernelCase{"blosum62", bio::Alphabet::kProtein},
+                      KernelCase{"pam250", bio::Alphabet::kProtein},
+                      KernelCase{"dna", bio::Alphabet::kDna}),
+    [](const auto& info) { return std::string(info.param.scheme); });
+
+// ---------------------------------------------------------------------------
+// Batch kernel layer (bio/align_batch.hpp): the vectorized/profile kernels
+// must be bit-identical to the scalar reference kernels for every mode,
+// scheme, and db shape — including ragged lane blocks, empty subjects, and
+// scores past the int16 saturation ceiling.
+// ---------------------------------------------------------------------------
+
+class BatchKernelProperties : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(BatchKernelProperties, BatchMatchesScalarAcrossModes) {
+  auto [scheme_name, alphabet] = GetParam();
+  auto scheme = bio::ScoringScheme::from_name(scheme_name);
+  Rng rng(211);
+  bio::AlignScratch scratch;
+  for (int rep = 0; rep < 6; ++rep) {
+    auto query = bio::random_residues(rng, 10 + rng.next_below(70), alphabet);
+    bio::QueryProfile profile(query, scheme);
+    // 37 subjects + one empty: two full lane blocks plus a ragged tail.
+    std::vector<std::string> db_store;
+    for (int i = 0; i < 37; ++i) {
+      db_store.push_back(
+          bio::random_residues(rng, rng.next_below(90), alphabet));
+    }
+    db_store.emplace_back();
+    std::vector<std::string_view> db(db_store.begin(), db_store.end());
+    for (auto mode : {bio::AlignMode::kLocal, bio::AlignMode::kGlobal,
+                      bio::AlignMode::kSemiGlobal, bio::AlignMode::kBanded}) {
+      auto got = bio::batch_align_scores(mode, profile, db, scheme,
+                                         /*band=*/8, scratch);
+      ASSERT_EQ(got.size(), db.size());
+      for (std::size_t i = 0; i < db.size(); ++i) {
+        EXPECT_EQ(got[i], bio::align_score(mode, query, db[i], scheme, 8))
+            << scheme_name << " mode=" << static_cast<int>(mode)
+            << " subject=" << i << " rep=" << rep;
+      }
+    }
+  }
+}
+
+TEST_P(BatchKernelProperties, SaturationFallsBackToExactScalar) {
+  auto [scheme_name, alphabet] = GetParam();
+  auto scheme = bio::ScoringScheme::from_name(scheme_name);
+  // A homopolymer of the highest-self-scoring residue saturates the int16
+  // lanes at a length small enough to keep the scalar re-run cheap.
+  char rich = 'A';
+  for (char c = 'B'; c <= 'Z'; ++c) {
+    if (scheme.score(c, c) > scheme.score(rich, rich)) rich = c;
+  }
+  int self = scheme.score(rich, rich);
+  ASSERT_GT(self, 0);
+  std::size_t len = 32000 / static_cast<std::size_t>(self) + 64;
+  std::string query(len, rich);
+
+  Rng rng(223);
+  std::vector<std::string> db_store;
+  db_store.push_back(query);  // self-match: score = len * self > kSat16
+  db_store.push_back(bio::random_residues(rng, 300, alphabet));
+  std::vector<std::string_view> db(db_store.begin(), db_store.end());
+
+  bio::QueryProfile profile(query, scheme);
+  bio::AlignScratch scratch;
+  bio::BatchMetrics metrics;
+  auto got = bio::batch_align_scores(bio::AlignMode::kLocal, profile, db,
+                                     scheme, 0, scratch, &metrics);
+  EXPECT_GE(metrics.saturations, 1u) << scheme_name;
+  EXPECT_EQ(got[0], static_cast<std::int64_t>(len) * self) << scheme_name;
+  EXPECT_EQ(got[1], bio::sw_score(query, db[1], scheme)) << scheme_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, BatchKernelProperties,
     ::testing::Values(KernelCase{"blosum62", bio::Alphabet::kProtein},
                       KernelCase{"pam250", bio::Alphabet::kProtein},
                       KernelCase{"dna", bio::Alphabet::kDna}),
