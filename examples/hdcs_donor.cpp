@@ -7,6 +7,8 @@
 // Usage:
 //   hdcs_donor --host 10.0.0.1 --port 4090 [--name lab3-pc07]
 //              [--persist true] [--throttle 1] [--cpus 2] [--threads 1]
+//              [--max-connect-attempts 8] [--backoff-initial 0.05]
+//              [--backoff-max 2]
 //
 // --persist true  keeps polling for new problems forever (service mode);
 //                 the default exits once all submitted problems finish.
@@ -17,6 +19,14 @@
 //                 the result payload is byte-identical to --threads 1).
 //                 Prefer --cpus for throughput; --threads for latency on
 //                 large units. See docs/KERNELS.md.
+// --max-connect-attempts N
+//                 consecutive failed connects before giving up; 0 retries
+//                 forever (the right setting for a deployed service, and
+//                 the default when --persist true). 1 = fail fast.
+// --backoff-initial S / --backoff-max S
+//                 reconnect backoff window: the delay starts at the
+//                 initial value, doubles per failure up to the max, with
+//                 per-donor jitter. See docs/ROBUSTNESS.md.
 
 #include <cstdio>
 #include <map>
@@ -58,6 +68,14 @@ int main(int argc, char** argv) {
     auto threads = parse_i64(get("threads", "1"));
     if (threads < 1) throw InputError("--threads must be >= 1");
     cfg.exec_threads = static_cast<std::size_t>(threads);
+    // A persistent donor should outlast any server outage by default; an
+    // on-demand donor keeps the bounded default so typos fail fast.
+    cfg.max_connect_attempts = static_cast<int>(parse_i64(
+        get("max-connect-attempts", cfg.exit_when_idle ? "8" : "0")));
+    cfg.backoff_initial_s = parse_f64(get("backoff-initial", "0.05"));
+    cfg.backoff_max_s = parse_f64(get("backoff-max", "2"));
+    if (cfg.backoff_initial_s <= 0 || cfg.backoff_max_s < cfg.backoff_initial_s)
+      throw InputError("--backoff-max must be >= --backoff-initial > 0");
 
     int cpus = static_cast<int>(parse_i64(get("cpus", "1")));
 
@@ -80,7 +98,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: hdcs_donor --host <ip> --port <port> [--name n] "
                  "[--persist true|false] [--throttle x] [--cpus n] "
-                 "[--threads n]\n");
+                 "[--threads n] [--max-connect-attempts n] "
+                 "[--backoff-initial s] [--backoff-max s]\n");
     return 1;
   }
 }

@@ -8,8 +8,16 @@
 // Usage:
 //   hdcs_submit --app dsearch --db db.fasta --queries q.fasta
 //               [--config search.cfg] [--port 4090] [--output hits.txt]
+//               [--checkpoint state.ckpt] [--checkpoint-interval 30]
 //   hdcs_submit --app dprml  --alignment aln.fasta [--config ml.cfg] ...
 //   hdcs_submit --app dboot  --alignment aln.fasta [--config boot.cfg] ...
+//
+// --checkpoint PATH makes the server autosave its scheduling state
+// (durable tmp+fsync+rename writes) every --checkpoint-interval seconds;
+// rerunning the same hdcs_submit command after a crash restores from the
+// file and finishes the remaining units instead of starting over. The
+// config file can also set max_attempts_per_unit to quarantine "poison"
+// units that repeatedly kill donors (see docs/ROBUSTNESS.md).
 //
 // Donor machines then run:  hdcs_donor --host <ip> --port <port>
 
@@ -91,6 +99,10 @@ int run(int argc, char** argv) {
   scfg.scheduler.lease_timeout = file_cfg.get_f64("lease_timeout", 600);
   scfg.scheduler.client_timeout = file_cfg.get_f64("client_timeout", 120);
   scfg.scheduler.hedge_endgame = file_cfg.get_bool("hedge_endgame", true);
+  scfg.scheduler.max_attempts_per_unit =
+      static_cast<int>(file_cfg.get_i64("max_attempts_per_unit", 0));
+  scfg.checkpoint_path = args.get("checkpoint", "");
+  scfg.checkpoint_interval_s = parse_f64(args.get("checkpoint-interval", "30"));
 
   // --trace FILE appends the structured scheduling event log (JSONL);
   // summarise it afterwards with tools/trace_summary.

@@ -3,7 +3,11 @@
 # concurrency-sensitive suites (obs registry/tracer, scheduler,
 # server/client) and AddressSanitizer over the alignment-kernel
 # equivalence suites (batch vs scalar), then the bench_align smoke run
-# which re-asserts batch == scalar before timing anything.
+# which re-asserts batch == scalar before timing anything. The chaos
+# suite (server kill/restart + donor churn + injected frame faults,
+# tests/test_chaos.cpp) runs under BOTH sanitizers: it is the test most
+# likely to expose races and lifetime bugs in the reconnect/checkpoint
+# paths, and it must stay clean there, not just in the plain build.
 #
 #   scripts/verify.sh            # full: tier-1 + TSan + ASan + smoke
 #   scripts/verify.sh --fast     # tier-1 only
@@ -20,17 +24,17 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "== TSan: obs + scheduler + integration tests =="
+echo "== TSan: obs + scheduler + integration + chaos tests =="
 cmake --preset tsan >/dev/null
-cmake --build --preset tsan --target test_obs test_dist test_integration -j >/dev/null
+cmake --build --preset tsan --target test_obs test_dist test_integration test_chaos -j >/dev/null
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'Metrics|Jsonl|Tracer|MsgStats|Wire|Scheduler|ServerClient|Granularity'
+  -R 'Metrics|Jsonl|Tracer|MsgStats|Wire|Scheduler|ServerClient|Granularity|Chaos'
 
-echo "== ASan: alignment-kernel equivalence (batch vs scalar) =="
+echo "== ASan: alignment-kernel equivalence + chaos =="
 cmake --preset asan >/dev/null
-cmake --build --preset asan --target test_bio test_properties test_dsearch -j >/dev/null
+cmake --build --preset asan --target test_bio test_properties test_dsearch test_chaos -j >/dev/null
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-  -R 'BatchKernel|AlignScore|Banded|NeedlemanWunsch|SmithWaterman|SemiGlobal|DSearch'
+  -R 'BatchKernel|AlignScore|Banded|NeedlemanWunsch|SmithWaterman|SemiGlobal|DSearch|Chaos'
 
 echo "== bench_align --smoke (kernel equivalence + throughput snapshot) =="
 # Writes into build/ so a verify run never dirties the committed

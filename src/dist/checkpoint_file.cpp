@@ -1,0 +1,142 @@
+#include "dist/checkpoint_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/bulk.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/error.hpp"
+
+namespace hdcs::dist {
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0x484b4350;  // "HKCP"
+constexpr std::uint32_t kCheckpointFileVersion = 1;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+void write_fully(int fd, std::span<const std::byte> data,
+                 const std::string& path) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write " + path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_parent_dir(const std::string& path) {
+  // Make the rename itself durable. Best-effort: some filesystems refuse
+  // O_RDONLY on directories, and the data is already safe in the file.
+  auto slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+}  // namespace
+
+void write_checkpoint_file(const std::string& path,
+                           std::span<const std::byte> payload) {
+  ByteWriter w(payload.size() + 32);
+  w.u32(kCheckpointMagic);
+  w.u32(kCheckpointFileVersion);
+  w.u64(payload.size());
+  w.raw(payload);
+  w.u32(net::crc32(payload));
+
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open " + tmp);
+  try {
+    write_fully(fd, w.data(), tmp);
+    if (::fsync(fd) != 0) throw_errno("fsync " + tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    throw_errno("rename " + tmp + " -> " + path);
+  }
+  fsync_parent_dir(path);
+}
+
+std::optional<std::vector<std::byte>> read_checkpoint_file(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    throw_errno("open " + path);
+  }
+  std::vector<std::byte> raw;
+  std::byte buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("read " + path);
+    }
+    if (n == 0) break;
+    raw.insert(raw.end(), buf, buf + n);
+  }
+  ::close(fd);
+
+  ByteReader r{std::span<const std::byte>(raw)};
+  if (raw.size() < 20 || r.u32() != kCheckpointMagic) {
+    throw ProtocolError("checkpoint file " + path + ": bad magic");
+  }
+  if (std::uint32_t v = r.u32(); v != kCheckpointFileVersion) {
+    throw ProtocolError("checkpoint file " + path + ": unsupported version " +
+                        std::to_string(v));
+  }
+  std::uint64_t len = r.u64();
+  if (len > r.remaining()) {
+    throw ProtocolError("checkpoint file " + path + ": truncated");
+  }
+  auto payload_view = r.raw(static_cast<std::size_t>(len));
+  std::vector<std::byte> payload(payload_view.begin(), payload_view.end());
+  std::uint32_t expected = r.u32();
+  r.expect_end();
+  if (net::crc32(payload) != expected) {
+    throw ProtocolError("checkpoint file " + path + ": CRC mismatch");
+  }
+  return payload;
+}
+
+void record_checkpoint_saved(obs::Tracer* tracer, double t, std::size_t bytes,
+                             std::size_t problems,
+                             std::size_t units_in_flight) {
+  auto& reg = obs::Registry::global();
+  reg.counter("checkpoint.saves").inc();
+  reg.gauge("checkpoint.bytes").set(static_cast<double>(bytes));
+  if (tracer) {
+    tracer->event(t, "checkpoint_saved")
+        .u64("bytes", bytes)
+        .u64("problems", problems)
+        .u64("units_in_flight", units_in_flight);
+  }
+}
+
+}  // namespace hdcs::dist

@@ -12,7 +12,21 @@
 
 namespace hdcs::dist {
 
-Client::Client(ClientConfig config) : config_(std::move(config)) {}
+namespace {
+/// FNV-1a of the donor name: a deterministic per-donor jitter seed, so a
+/// herd of reconnecting donors spreads out without shared state.
+std::uint64_t name_seed(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+Client::Client(ClientConfig config)
+    : config_(std::move(config)), backoff_rng_(name_seed(config_.name)) {}
 
 double Client::measure_benchmark() {
   // A short fixed numeric loop; the returned "ops/sec" is the same abstract
@@ -75,47 +89,114 @@ Client::ProblemContext& Client::context_for(net::TcpStream& stream, ProblemId id
   return contexts_.emplace(id, std::move(ctx)).first->second;
 }
 
+bool Client::backoff_wait(double delay) {
+  double slept = 0;
+  while (slept < delay) {
+    if (stop_.load() || crash_.load()) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    slept += 0.02;
+  }
+  return !stop_.load() && !crash_.load();
+}
+
+void Client::rehello(net::TcpStream& stream, double benchmark) {
+  HelloPayload hello;
+  hello.client_name = config_.name;
+  hello.cores = 1;
+  hello.benchmark_ops_per_sec = benchmark;
+  net::write_message(stream, encode_hello(hello, next_correlation_++));
+  auto ack = decode_hello_ack(net::read_message(stream));
+  my_id_.store(ack.client_id);
+  heartbeat_interval_ = ack.heartbeat_interval_s;
+  LOG_INFO("client '" << config_.name << "' registered as id " << ack.client_id);
+}
+
+bool Client::connect_session(net::TcpStream& stream, double benchmark) {
+  double delay = config_.backoff_initial_s;
+  int failures = 0;
+  for (;;) {
+    if (stop_.load() || crash_.load()) return false;
+    try {
+      auto fresh =
+          net::TcpStream::connect(config_.server_host, config_.server_port);
+      rehello(fresh, benchmark);
+      stream = std::move(fresh);
+      return true;
+    } catch (const IoError& e) {
+      failures += 1;
+      if (config_.max_connect_attempts > 0 &&
+          failures >= config_.max_connect_attempts) {
+        throw;
+      }
+      LOG_DEBUG("client '" << config_.name << "' connect failed (" << e.what()
+                           << "); retrying in ~" << delay << "s");
+    } catch (const ProtocolError& e) {
+      // A corrupt HelloAck counts like a failed connect: same backoff.
+      failures += 1;
+      if (config_.max_connect_attempts > 0 &&
+          failures >= config_.max_connect_attempts) {
+        throw;
+      }
+      LOG_DEBUG("client '" << config_.name << "' handshake failed (" << e.what()
+                           << "); retrying in ~" << delay << "s");
+    }
+    double jitter = 1.0 + config_.backoff_jitter * backoff_rng_.uniform(-1.0, 1.0);
+    if (!backoff_wait(delay * jitter)) return false;
+    delay = std::min(delay * 2.0, config_.backoff_max_s);
+  }
+}
+
 ClientRunStats Client::run() {
   ClientRunStats stats;
   obs::Registry::global().gauge("client.exec_threads")
       .set(static_cast<double>(std::max<std::size_t>(config_.exec_threads, 1)));
-  auto stream = net::TcpStream::connect(config_.server_host, config_.server_port);
+  double benchmark = measure_benchmark() / std::max(config_.throttle, 1.0);
 
-  HelloPayload hello;
-  hello.client_name = config_.name;
-  hello.cores = 1;
-  hello.benchmark_ops_per_sec = measure_benchmark() / std::max(config_.throttle, 1.0);
-  net::write_message(stream, encode_hello(hello, next_correlation_++));
-  auto ack = decode_hello_ack(net::read_message(stream));
-  ClientId my_id = ack.client_id;
-  LOG_INFO("client '" << config_.name << "' registered as id " << my_id);
+  net::TcpStream stream;
+  if (!connect_session(stream, benchmark)) return stats;
 
   // Heartbeats ride a second connection: the work connection is strictly
   // request/response, so it cannot carry liveness while a unit computes.
+  // The thread reads my_id_ each beat so it follows re-Hellos, and it
+  // reconnects with its own backoff if the server goes away for a while.
   std::atomic<bool> heartbeats_done{false};
   std::thread heartbeat_thread;
-  if (config_.send_heartbeats && ack.heartbeat_interval_s > 0) {
-    heartbeat_thread = std::thread([this, my_id, &heartbeats_done,
-                                    interval = ack.heartbeat_interval_s] {
-      try {
-        auto hb_stream =
-            net::TcpStream::connect(config_.server_host, config_.server_port);
-        std::uint64_t corr = 1;
-        while (!heartbeats_done.load()) {
-          net::write_message(hb_stream, encode_heartbeat(my_id, corr++));
-          net::Message reply = net::read_message(hb_stream);
-          if (reply.type != net::MessageType::kHeartbeatAck) break;
-          // Sleep in small slices so shutdown is prompt.
-          double slept = 0;
-          while (slept < interval && !heartbeats_done.load()) {
-            std::this_thread::sleep_for(std::chrono::milliseconds(20));
-            slept += 0.02;
-          }
+  if (config_.send_heartbeats && heartbeat_interval_ > 0) {
+    heartbeat_thread = std::thread([this, &heartbeats_done,
+                                    interval = heartbeat_interval_] {
+      Rng hb_rng(name_seed(config_.name) ^ 0x6865617274626561ull);  // "heartbea"
+      double delay = config_.backoff_initial_s;
+      auto nap = [&heartbeats_done](double seconds) {
+        double slept = 0;
+        while (slept < seconds && !heartbeats_done.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          slept += 0.02;
         }
-        hb_stream.shutdown_write();
-      } catch (const Error&) {
-        // Heartbeat failures are non-fatal; the work loop notices real
-        // connection problems itself.
+      };
+      while (!heartbeats_done.load()) {
+        try {
+          auto hb_stream =
+              net::TcpStream::connect(config_.server_host, config_.server_port);
+          delay = config_.backoff_initial_s;
+          std::uint64_t corr = 1;
+          while (!heartbeats_done.load()) {
+            net::write_message(hb_stream,
+                               encode_heartbeat(my_id_.load(), corr++));
+            // HeartbeatAck, or kError for a heartbeat that raced a server
+            // restart — either way the beat was delivered; keep going.
+            (void)net::read_message(hb_stream);
+            nap(interval);
+          }
+          hb_stream.shutdown_write();
+          return;
+        } catch (const Error&) {
+          // Server unreachable: back off and retry while the work loop
+          // re-establishes its own session.
+          double jitter =
+              1.0 + config_.backoff_jitter * hb_rng.uniform(-1.0, 1.0);
+          nap(delay * jitter);
+          delay = std::min(delay * 2.0, config_.backoff_max_s);
+        }
       }
     });
   }
@@ -128,69 +209,121 @@ ClientRunStats Client::run() {
     }
   } joiner{heartbeats_done, heartbeat_thread};
 
+  // The work loop. `pending` buffers a computed-but-unacknowledged result:
+  // if the session dies between compute and ack, the reconnected session
+  // resubmits it instead of recomputing the unit (the server dedups by
+  // unit id, so a double delivery is just a dropped duplicate).
+  std::optional<ResultUnit> pending;
+  bool resubmitting = false;
   int consecutive_idle = 0;
+  bool session_ok = true;
   while (!stop_.load() && !crash_.load()) {
-    net::write_message(stream, encode_request_work(my_id, next_correlation_++));
-    net::Message reply = net::read_message(stream);
+    try {
+      if (!pending) {
+        net::write_message(stream,
+                           encode_request_work(my_id_.load(), next_correlation_++));
+        net::Message reply = net::read_message(stream);
 
-    if (reply.type == net::MessageType::kNoWorkAvailable) {
-      auto no_work = decode_no_work(reply);
-      stats.idle_polls += 1;
-      if (config_.exit_when_idle &&
-          (no_work.all_problems_complete ||
-           ++consecutive_idle >= config_.max_idle_polls)) {
+        if (reply.type == net::MessageType::kNoWorkAvailable) {
+          auto no_work = decode_no_work(reply);
+          stats.idle_polls += 1;
+          if (config_.exit_when_idle &&
+              (no_work.all_problems_complete ||
+               ++consecutive_idle >= config_.max_idle_polls)) {
+            break;
+          }
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(no_work.retry_after_s));
+          continue;
+        }
+        if (reply.type == net::MessageType::kShutdown) break;
+        if (reply.type == net::MessageType::kError) {
+          // Our id is stale (client timeout, or the server restarted from a
+          // checkpoint): re-register on this same connection and carry on.
+          auto r = reply.reader();
+          LOG_WARN("server rejected request for client '" << config_.name
+                   << "': " << r.str() << " — re-registering");
+          rehello(stream, benchmark);
+          continue;
+        }
+
+        WorkUnit unit = decode_work_assignment(reply);
+        consecutive_idle = 0;
+        ProblemContext& ctx = context_for(stream, unit.problem_id);
+
+        Stopwatch sw;
+        ResultUnit result;
+        result.problem_id = unit.problem_id;
+        result.unit_id = unit.unit_id;
+        result.stage = unit.stage;
+        result.payload = ctx.algorithm->process(unit);
+        double compute_s = sw.seconds();
+        stats.compute_seconds += compute_s;
+        if (config_.throttle > 1.0) {
+          // Emulate a slower donor machine by padding compute time.
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              compute_s * (config_.throttle - 1.0)));
+        }
+        if (config_.crash_after_units >= 0 &&
+            stats.units_processed + 1 >=
+                static_cast<std::uint64_t>(config_.crash_after_units)) {
+          crash_.store(true);
+        }
+        if (crash_.load()) return stats;  // vanish without submitting
+        pending = std::move(result);
+        resubmitting = false;
+      }
+
+      net::write_message(
+          stream, encode_submit_result(my_id_.load(), *pending, next_correlation_++));
+      net::Message reply = net::read_message(stream);
+      if (reply.type == net::MessageType::kError) {
+        rehello(stream, benchmark);
+        continue;  // pending survives; retried under the new id
+      }
+      auto result_ack = decode_result_ack(reply);
+      if (!result_ack.accepted) {
+        LOG_DEBUG("result for unit " << pending->unit_id << " was a duplicate");
+      }
+      if (resubmitting) {
+        stats.results_resubmitted += 1;
+        resubmitting = false;
+      }
+      pending.reset();
+      stats.units_processed += 1;
+    } catch (const IoError& e) {
+      if (stop_.load() || crash_.load()) break;
+      LOG_WARN("client '" << config_.name << "' lost its session (" << e.what()
+                          << "); reconnecting");
+      if (pending) resubmitting = true;
+      if (!connect_session(stream, benchmark)) {
+        session_ok = false;
         break;
       }
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(no_work.retry_after_s));
-      continue;
+      stats.reconnects += 1;
+      obs::Registry::global().counter("client.reconnects").inc();
+    } catch (const ProtocolError& e) {
+      // Corrupt frame (CRC mismatch, torn header): the connection can no
+      // longer be trusted mid-stream — drop it and start a clean session.
+      if (stop_.load() || crash_.load()) break;
+      LOG_WARN("client '" << config_.name << "' got a corrupt frame ("
+                          << e.what() << "); reconnecting");
+      stream.close();
+      if (pending) resubmitting = true;
+      if (!connect_session(stream, benchmark)) {
+        session_ok = false;
+        break;
+      }
+      stats.reconnects += 1;
+      obs::Registry::global().counter("client.reconnects").inc();
     }
-    if (reply.type == net::MessageType::kShutdown) break;
-    if (reply.type == net::MessageType::kError) {
-      auto r = reply.reader();
-      LOG_WARN("server rejected request: " << r.str()
-               << " — leaving (likely expired by the client timeout)");
-      return stats;  // no Goodbye: the server already dropped us
-    }
-
-    WorkUnit unit = decode_work_assignment(reply);
-    consecutive_idle = 0;
-    ProblemContext& ctx = context_for(stream, unit.problem_id);
-
-    Stopwatch sw;
-    ResultUnit result;
-    result.problem_id = unit.problem_id;
-    result.unit_id = unit.unit_id;
-    result.stage = unit.stage;
-    result.payload = ctx.algorithm->process(unit);
-    double compute_s = sw.seconds();
-    stats.compute_seconds += compute_s;
-    if (config_.throttle > 1.0) {
-      // Emulate a slower donor machine by padding compute time.
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(compute_s * (config_.throttle - 1.0)));
-    }
-    if (config_.crash_after_units >= 0 &&
-        stats.units_processed + 1 >=
-            static_cast<std::uint64_t>(config_.crash_after_units)) {
-      crash_.store(true);
-    }
-    if (crash_.load()) return stats;  // vanish without submitting
-
-    net::write_message(stream,
-                       encode_submit_result(my_id, result, next_correlation_++));
-    auto result_ack = decode_result_ack(net::read_message(stream));
-    if (!result_ack.accepted) {
-      LOG_DEBUG("result for unit " << unit.unit_id << " was a duplicate");
-    }
-    stats.units_processed += 1;
   }
 
-  if (!crash_.load()) {
+  if (!crash_.load() && session_ok && stream.valid()) {
     try {
-      net::write_message(stream, encode_goodbye(my_id, next_correlation_++));
+      net::write_message(stream, encode_goodbye(my_id_.load(), next_correlation_++));
       stream.shutdown_write();
-    } catch (const IoError&) {
+    } catch (const Error&) {
       // Server may already be gone; departure is best-effort.
     }
   }

@@ -7,17 +7,27 @@
 // registered Algorithm -> submit the result. Designed to run "as a low
 // priority background service" (paper §3); priority is the deployer's
 // concern (nice/SCHED_IDLE), not this class's.
+//
+// Session resilience: any transport or framing failure — initial connect,
+// a mid-loop read/write, a corrupt frame, the server restarting — is
+// retried on a fresh connection with capped exponential backoff + jitter
+// instead of killing the donor. The new session re-Hellos (new client id),
+// and a computed-but-unsubmitted result is buffered across the reconnect
+// and resubmitted so the unit is never recomputed. Heartbeats ride their
+// own connection with the same reconnect policy.
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 
 #include "dist/registry.hpp"
 #include "dist/wire.hpp"
 #include "net/socket.hpp"
+#include "util/rng.hpp"
 
 namespace hdcs::dist {
 
@@ -46,12 +56,28 @@ struct ClientConfig {
   /// submitted payload is byte-identical to single-threaded execution.
   /// Contrast run_pool(), which runs whole independent donors per CPU.
   std::size_t exec_threads = 1;
+  /// Consecutive failed connect+Hello attempts before the donor gives up
+  /// (run() throws IoError). 1 = fail fast (the pre-reconnect behaviour);
+  /// <= 0 = retry forever (service mode).
+  int max_connect_attempts = 8;
+  /// Reconnect backoff: delay starts at backoff_initial_s, doubles per
+  /// consecutive failure up to backoff_max_s, and each wait is scaled by a
+  /// deterministic (per-name) jitter in [1-backoff_jitter, 1+backoff_jitter]
+  /// so a donor herd doesn't stampede a restarted server.
+  double backoff_initial_s = 0.05;
+  double backoff_max_s = 2.0;
+  double backoff_jitter = 0.25;
   const AlgorithmRegistry* registry = &AlgorithmRegistry::global();
 };
 
 struct ClientRunStats {
   std::uint64_t units_processed = 0;
   std::uint64_t idle_polls = 0;
+  /// Sessions re-established after a transport failure (initial connect
+  /// retries don't count until the first session exists).
+  std::uint64_t reconnects = 0;
+  /// Buffered results that had to be submitted on a later session.
+  std::uint64_t results_resubmitted = 0;
   double compute_seconds = 0;
 };
 
@@ -88,10 +114,24 @@ class Client {
 
   ProblemContext& context_for(net::TcpStream& stream, ProblemId id);
 
+  /// Connect + Hello with exponential backoff. On success `stream` holds
+  /// the new session and my_id_ is updated. Returns false if stop/crash
+  /// was requested while waiting; rethrows the last transport error once
+  /// max_connect_attempts consecutive failures accumulate.
+  bool connect_session(net::TcpStream& stream, double benchmark);
+  /// Re-register on an existing connection (server restarted or expired
+  /// our id): send Hello, adopt the newly assigned client id.
+  void rehello(net::TcpStream& stream, double benchmark);
+  /// Sleep ~delay seconds in small slices; false if stop/crash interrupted.
+  bool backoff_wait(double delay);
+
   ClientConfig config_;
   std::map<ProblemId, ProblemContext> contexts_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> crash_{false};
+  std::atomic<ClientId> my_id_{0};  // heartbeat thread reads across re-Hellos
+  double heartbeat_interval_ = 0;   // from the first HelloAck
+  Rng backoff_rng_;
   std::uint64_t next_correlation_ = 1;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -85,7 +86,7 @@ void SchedulerCore::client_left(ClientId id, double now) {
   if (it == clients_.end()) return;
   if (!it->second.active) return;  // double Goodbye / timeout race: once only
   it->second.active = false;
-  requeue_client_units(id);
+  requeue_client_units(id, now, "client_left");
   LOG_INFO("client " << id << " left; outstanding units requeued");
   if (tracer_) {
     tracer_->event(now, "client_left").u64("client", id).str("reason", "goodbye");
@@ -338,11 +339,19 @@ bool SchedulerCore::submit_result(ClientId client, const ResultUnit& result,
                               return l.unit.unit_id == result.unit_id;
                             });
     if (rit == ps.requeue.end()) {
-      stats_.stale_results_dropped += 1;
-      return drop("stale");
+      // Quarantined poison units are never reissued, but a genuine late
+      // result rescues one.
+      auto qit = ps.quarantined.find(result.unit_id);
+      if (qit == ps.quarantined.end()) {
+        stats_.stale_results_dropped += 1;
+        return drop("stale");
+      }
+      cost_ops = qit->second.unit.cost_ops;
+      ps.quarantined.erase(qit);
+    } else {
+      cost_ops = rit->unit.cost_ops;
+      ps.requeue.erase(rit);
     }
-    cost_ops = rit->unit.cost_ops;
-    ps.requeue.erase(rit);
   } else {
     const Lease& lease = lit->second;
     cost_ops = lease.unit.cost_ops;
@@ -395,7 +404,7 @@ void SchedulerCore::tick(double now) {
         if (oit != clients_.end() && oit->second.stats.outstanding > 0) {
           oit->second.stats.outstanding -= 1;
         }
-        ps.requeue.push_back(it->second);
+        fail_lease(pid, ps, std::move(it->second), now, "lease_expired");
         it = ps.outstanding.erase(it);
       } else {
         ++it;
@@ -408,7 +417,7 @@ void SchedulerCore::tick(double now) {
       if (cs.active && now - cs.stats.last_seen > config_.client_timeout) {
         LOG_WARN("client " << cid << " (" << cs.name << ") timed out");
         cs.active = false;
-        requeue_client_units(cid);
+        requeue_client_units(cid, now, "client_timeout");
         stats_.clients_expired += 1;
         if (tracer_) {
           tracer_->event(now, "client_left")
@@ -422,14 +431,18 @@ void SchedulerCore::tick(double now) {
 
 void SchedulerCore::checkpoint(ByteWriter& w) const {
   if (tracer_) {
-    std::size_t in_flight = 0;
-    for (const auto& [pid, ps] : problems_) {
-      in_flight += ps.requeue.size() + ps.outstanding.size();
-    }
     tracer_->event(last_now_, "checkpoint")
         .u64("problems", problems_.size())
-        .u64("units_in_flight", in_flight);
+        .u64("units_in_flight", in_flight_units());
   }
+  auto write_lease = [&w](const Lease& l) {
+    w.u64(l.unit.unit_id);
+    w.u32(l.unit.stage);
+    w.f64(l.unit.cost_ops);
+    w.bytes(l.unit.payload);
+    w.u32(static_cast<std::uint32_t>(l.attempt));
+  };
+  w.u64(next_client_id_);
   w.u32(static_cast<std::uint32_t>(problems_.size()));
   for (const auto& [pid, ps] : problems_) {
     w.u64(pid);
@@ -441,25 +454,35 @@ void SchedulerCore::checkpoint(ByteWriter& w) const {
     w.u64_vec(completed);
 
     // In-flight work: everything requeued or leased gets persisted with
-    // its payload so it can simply be re-delivered after the restart.
+    // its payload (and attempt count, so the quarantine cap survives the
+    // restart) and is simply re-delivered afterwards.
     w.u32(static_cast<std::uint32_t>(ps.requeue.size() + ps.outstanding.size()));
-    auto write_unit = [&w](const WorkUnit& u) {
-      w.u64(u.unit_id);
-      w.u32(u.stage);
-      w.f64(u.cost_ops);
-      w.bytes(u.payload);
-    };
-    for (const auto& lease : ps.requeue) write_unit(lease.unit);
-    for (const auto& [uid, lease] : ps.outstanding) write_unit(lease.unit);
+    for (const auto& lease : ps.requeue) write_lease(lease);
+    for (const auto& [uid, lease] : ps.outstanding) write_lease(lease);
+    w.u32(static_cast<std::uint32_t>(ps.quarantined.size()));
+    for (const auto& [uid, lease] : ps.quarantined) write_lease(lease);
   }
 }
 
-void SchedulerCore::restore(ByteReader& r) {
+std::size_t SchedulerCore::restore(ByteReader& r) {
+  std::uint64_t saved_next_client = r.u64();
   std::uint32_t count = r.u32();
   if (count != problems_.size()) {
     throw ProtocolError("restore: checkpoint has " + std::to_string(count) +
                         " problems, core has " + std::to_string(problems_.size()));
   }
+  auto read_lease = [&r](ProblemId pid) {
+    Lease lease;
+    lease.unit.problem_id = pid;
+    lease.unit.unit_id = r.u64();
+    lease.unit.stage = r.u32();
+    lease.unit.cost_ops = r.f64();
+    lease.unit.payload = r.bytes();
+    lease.attempt = static_cast<int>(r.u32());
+    return lease;
+  };
+  std::size_t requeued = 0;
+  std::size_t quarantined = 0;
   for (std::uint32_t i = 0; i < count; ++i) {
     ProblemId pid = r.u64();
     auto it = problems_.find(pid);
@@ -475,27 +498,44 @@ void SchedulerCore::restore(ByteReader& r) {
     ByteReader dm_reader{std::span<const std::byte>(dm_state)};
     ps.dm->restore(dm_reader);
     dm_reader.expect_end();
-    ps.next_unit_id = r.u64();
+    ps.next_unit_id = r.u64() + kRestoreIdGap;
     for (auto uid : r.u64_vec()) ps.completed.insert(uid);
 
     std::uint32_t units = r.u32();
     for (std::uint32_t u = 0; u < units; ++u) {
-      Lease lease;
-      lease.unit.problem_id = pid;
-      lease.unit.unit_id = r.u64();
-      lease.unit.stage = r.u32();
-      lease.unit.cost_ops = r.f64();
-      lease.unit.payload = r.bytes();
-      ps.requeue.push_back(std::move(lease));
+      ps.requeue.push_back(read_lease(pid));
+      requeued += 1;
+    }
+    std::uint32_t q = r.u32();
+    for (std::uint32_t u = 0; u < q; ++u) {
+      Lease lease = read_lease(pid);
+      UnitId uid = lease.unit.unit_id;
+      ps.quarantined.emplace(uid, std::move(lease));
+      quarantined += 1;
     }
   }
+  // Client ids jump the same gap as unit ids: a heartbeat or result frame
+  // carrying a pre-crash client id must read as unknown, not as some newly
+  // registered donor.
+  next_client_id_ = std::max(next_client_id_, saved_next_client + kRestoreIdGap);
+  obs::Registry::global()
+      .counter("checkpoint.restore_units_requeued")
+      .inc(requeued);
+  if (tracer_) {
+    tracer_->event(last_now_, "checkpoint_restored")
+        .u64("problems", count)
+        .u64("units_requeued", requeued)
+        .u64("units_quarantined", quarantined);
+  }
+  return requeued;
 }
 
-void SchedulerCore::requeue_client_units(ClientId id) {
+void SchedulerCore::requeue_client_units(ClientId id, double now,
+                                         const char* reason) {
   for (auto& [pid, ps] : problems_) {
     for (auto it = ps.outstanding.begin(); it != ps.outstanding.end();) {
       if (it->second.owner == id) {
-        ps.requeue.push_back(it->second);
+        fail_lease(pid, ps, std::move(it->second), now, reason);
         it = ps.outstanding.erase(it);
       } else {
         ++it;
@@ -504,6 +544,39 @@ void SchedulerCore::requeue_client_units(ClientId id) {
   }
   auto cit = clients_.find(id);
   if (cit != clients_.end()) cit->second.stats.outstanding = 0;
+}
+
+void SchedulerCore::fail_lease(ProblemId pid, ProblemState& ps, Lease&& lease,
+                               double now, const char* reason) {
+  if (config_.max_attempts_per_unit > 0 &&
+      lease.attempt >= config_.max_attempts_per_unit) {
+    LOG_WARN("quarantining poison unit " << lease.unit.unit_id << " of problem "
+                                         << pid << " after " << lease.attempt
+                                         << " failed attempts (" << reason
+                                         << ")");
+    stats_.units_quarantined += 1;
+    if (tracer_) {
+      tracer_->event(now, "unit_quarantined")
+          .u64("problem", pid)
+          .u64("unit", lease.unit.unit_id)
+          .u64("stage", lease.unit.stage)
+          .num("cost_ops", lease.unit.cost_ops)
+          .num("attempts", lease.attempt)
+          .str("reason", reason);
+    }
+    UnitId uid = lease.unit.unit_id;
+    ps.quarantined.emplace(uid, std::move(lease));
+    return;
+  }
+  ps.requeue.push_back(std::move(lease));
+}
+
+std::size_t SchedulerCore::in_flight_units() const {
+  std::size_t n = 0;
+  for (const auto& [pid, ps] : problems_) {
+    n += ps.requeue.size() + ps.outstanding.size();
+  }
+  return n;
 }
 
 }  // namespace hdcs::dist

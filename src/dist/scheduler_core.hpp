@@ -46,6 +46,12 @@ struct SchedulerConfig {
   bool hedge_endgame = false;
   /// Maximum times a unit may be hedged (attempt cap = 1 + this).
   int max_hedges_per_unit = 1;
+  /// Poison-unit quarantine: a unit whose lease has failed (expiry, donor
+  /// crash/timeout) this many times is quarantined instead of reissued
+  /// forever — one unit that crashes every donor it touches must not wedge
+  /// the whole problem. A late genuine result for a quarantined unit is
+  /// still accepted (rescued). 0 = unlimited reissues (the default).
+  int max_attempts_per_unit = 0;
   GranularityBounds bounds;
 };
 
@@ -67,6 +73,7 @@ struct SchedulerStats {
   std::uint64_t stale_results_dropped = 0;
   std::uint64_t work_requests_unserved = 0;
   std::uint64_t clients_expired = 0;
+  std::uint64_t units_quarantined = 0;
 };
 
 class SchedulerCore {
@@ -113,17 +120,33 @@ class SchedulerCore {
 
   // ---- checkpoint / restore ----
 
+  /// Added to next_unit_id and next_client_id by restore(). Ids handed out
+  /// after the checkpoint was taken (and so lost with the crash) can never
+  /// collide with ids the restored core issues: a reconnecting donor's
+  /// buffered pre-crash result is either resumed (pre-checkpoint id) or
+  /// safely dropped as stale — never merged into the wrong unit.
+  static constexpr std::uint64_t kRestoreIdGap = 1ull << 32;
+
   /// Serialize every problem's progress, including units in flight (their
-  /// payloads are retained by the scheduler, so nothing computed is lost).
-  /// Clients are not persisted — donors simply re-register after a
-  /// restart. Requires every DataManager to support snapshots.
+  /// payloads are retained by the scheduler, so nothing computed is lost)
+  /// and quarantined units. Clients are not persisted — donors simply
+  /// re-register after a restart. Requires every DataManager to support
+  /// snapshots.
   void checkpoint(ByteWriter& w) const;
 
   /// Restore a checkpoint into this core. The same problems must already
   /// have been re-submitted (same inputs, same order, hence same ids);
   /// their DataManagers are rewound and all in-flight units are queued for
-  /// reissue. Throws ProtocolError on id mismatch.
-  void restore(ByteReader& r);
+  /// reissue. Id counters jump by kRestoreIdGap (see above). Returns the
+  /// number of units requeued; emits a checkpoint_restored trace event and
+  /// bumps checkpoint.restore_units_requeued. Throws ProtocolError on id
+  /// mismatch or pre-existing progress.
+  std::size_t restore(ByteReader& r);
+
+  /// Registered problem count (for checkpoint observability).
+  [[nodiscard]] std::size_t problem_count() const { return problems_.size(); }
+  /// Units currently leased or awaiting reissue across all problems.
+  [[nodiscard]] std::size_t in_flight_units() const;
 
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
@@ -152,6 +175,7 @@ class SchedulerCore {
     std::shared_ptr<DataManager> dm;
     std::deque<Lease> requeue;              // expired/orphaned units to reissue
     std::map<UnitId, Lease> outstanding;    // unit_id -> live lease
+    std::map<UnitId, Lease> quarantined;    // poison units, never reissued
     std::set<UnitId> completed;             // for duplicate detection
     UnitId next_unit_id = 1;
     bool barrier_flagged = false;  // one stage_barrier event per dry spell
@@ -167,7 +191,11 @@ class SchedulerCore {
   std::optional<WorkUnit> issue_from(ProblemId pid, ProblemState& ps, ClientState& cs,
                                      double now);
   std::optional<WorkUnit> hedge_from(ProblemState& ps, ClientState& cs, double now);
-  void requeue_client_units(ClientId id);
+  void requeue_client_units(ClientId id, double now, const char* reason);
+  /// A lease failed (expiry / donor loss): requeue it, or quarantine it
+  /// once it has burned max_attempts_per_unit attempts.
+  void fail_lease(ProblemId pid, ProblemState& ps, Lease&& lease, double now,
+                  const char* reason);
 
   SchedulerConfig config_;
   std::unique_ptr<GranularityPolicy> policy_;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "dist/checkpoint_file.hpp"
 #include "dist/wire.hpp"
 #include "net/bulk.hpp"
 #include "obs/jsonl.hpp"
@@ -78,6 +79,13 @@ double Server::now() const {
 
 void Server::start() {
   if (running_.exchange(true)) return;
+  if (!config_.checkpoint_path.empty() && config_.restore_on_start) {
+    if (auto blob = read_checkpoint_file(config_.checkpoint_path)) {
+      LOG_INFO("restoring checkpoint from " << config_.checkpoint_path << " ("
+                                            << blob->size() << " bytes)");
+      restore_checkpoint(*blob);
+    }
+  }
   listener_ = net::TcpListener::bind(config_.port);
   port_ = listener_.port();
   acceptor_ = std::thread([this] { acceptor_loop(); });
@@ -153,6 +161,26 @@ void Server::restore_checkpoint(std::span<const std::byte> data) {
   progress_cv_.notify_all();
 }
 
+bool Server::save_checkpoint() {
+  if (config_.checkpoint_path.empty()) return false;
+  std::vector<std::byte> blob;
+  std::size_t problems = 0;
+  std::size_t in_flight = 0;
+  double t = 0;
+  {
+    std::lock_guard lock(core_mutex_);
+    ByteWriter w;
+    core_.checkpoint(w);
+    blob = w.take();
+    problems = core_.problem_count();
+    in_flight = core_.in_flight_units();
+    t = now();
+  }
+  write_checkpoint_file(config_.checkpoint_path, blob);
+  record_checkpoint_saved(config_.tracer, t, blob.size(), problems, in_flight);
+  return true;
+}
+
 SchedulerStats Server::stats() {
   std::lock_guard lock(core_mutex_);
   return core_.stats();
@@ -195,7 +223,8 @@ std::string Server::stats_json(bool include_clients) {
       << ",\"duplicate_results_dropped\":" << s.duplicate_results_dropped
       << ",\"stale_results_dropped\":" << s.stale_results_dropped
       << ",\"work_requests_unserved\":" << s.work_requests_unserved
-      << ",\"clients_expired\":" << s.clients_expired << "}";
+      << ",\"clients_expired\":" << s.clients_expired
+      << ",\"units_quarantined\":" << s.units_quarantined << "}";
   if (include_clients) {
     out << ",\"clients\":[";
     bool first = true;
@@ -236,12 +265,23 @@ void Server::acceptor_loop() {
 }
 
 void Server::housekeeping_loop() {
+  double last_checkpoint = now();
   while (running_.load()) {
     {
       std::lock_guard lock(core_mutex_);
       core_.tick(now());
     }
     progress_cv_.notify_all();
+    if (!config_.checkpoint_path.empty() &&
+        now() - last_checkpoint >= config_.checkpoint_interval_s) {
+      last_checkpoint = now();
+      try {
+        save_checkpoint();
+      } catch (const Error& e) {
+        // A full disk must not kill scheduling; retry next interval.
+        LOG_ERROR("checkpoint autosave failed: " << e.what());
+      }
+    }
     std::this_thread::sleep_for(std::chrono::duration<double>(config_.tick_interval_s));
   }
 }

@@ -29,6 +29,17 @@ struct ServerConfig {
   double tick_interval_s = 0.5;
   double no_work_retry_s = 0.2;
   double heartbeat_interval_s = 10.0;
+  /// Durability: autosave SchedulerCore::checkpoint() to this path (tmp
+  /// file + fsync + atomic rename, see checkpoint_file.hpp) every
+  /// checkpoint_interval_s from the housekeeping thread, so kill -9 loses
+  /// at most one interval of bookkeeping and nothing already computed.
+  /// Empty = no durability (the default).
+  std::string checkpoint_path;
+  double checkpoint_interval_s = 30.0;
+  /// On start(), restore checkpoint_path if the file exists. The caller
+  /// must have re-submitted the same problems (same inputs, same order)
+  /// first; see SchedulerCore::restore().
+  bool restore_on_start = true;
   /// Optional structured event trace. The server stamps events with wall
   /// time (seconds since start()); must outlive the server. Not owned.
   obs::Tracer* tracer = nullptr;
@@ -66,6 +77,11 @@ class Server {
   /// re-submitting the same problems (same inputs, same order), before
   /// donors connect.
   void restore_checkpoint(std::span<const std::byte> data);
+  /// Write a durable checkpoint to config.checkpoint_path right now (the
+  /// autosave cadence calls this too). Returns false when no path is
+  /// configured. Thread-safe; serialization holds the core lock, disk I/O
+  /// does not.
+  bool save_checkpoint();
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] SchedulerStats stats();

@@ -1,5 +1,8 @@
 #include "net/message.hpp"
 
+#include <cstdio>
+
+#include "net/bulk.hpp"
 #include "obs/metrics.hpp"
 
 namespace hdcs::net {
@@ -44,12 +47,13 @@ const char* to_string(MessageType type) {
 }
 
 void write_message(TcpStream& stream, const Message& msg) {
-  ByteWriter header(24);
+  ByteWriter header(kFrameHeaderBytes);
   header.u32(kMagic);
   header.u16(kProtocolVersion);
   header.u16(static_cast<std::uint16_t>(msg.type));
   header.u64(msg.correlation);
   header.u32(static_cast<std::uint32_t>(msg.payload.size()));
+  header.u32(crc32(msg.payload));
   stream.send_all(header.data());
   if (!msg.payload.empty()) stream.send_all(msg.payload);
   wire_metrics().frames_sent.inc();
@@ -57,12 +61,14 @@ void write_message(TcpStream& stream, const Message& msg) {
 }
 
 Message read_message(TcpStream& stream) {
-  std::byte header_buf[20];
+  std::byte header_buf[kFrameHeaderBytes];
   stream.recv_all(header_buf);
   ByteReader header(header_buf);
   std::uint32_t magic = header.u32();
   if (magic != kMagic) {
-    throw ProtocolError("bad frame magic 0x" + std::to_string(magic));
+    char hex[16];
+    std::snprintf(hex, sizeof(hex), "%08x", magic);
+    throw ProtocolError(std::string("bad frame magic 0x") + hex);
   }
   std::uint16_t version = header.u16();
   if (version != kProtocolVersion) {
@@ -75,8 +81,13 @@ Message read_message(TcpStream& stream) {
   if (len > kMaxPayload) {
     throw ProtocolError("frame payload too large: " + std::to_string(len));
   }
+  std::uint32_t expected_crc = header.u32();
   msg.payload.resize(len);
   if (len > 0) stream.recv_all(msg.payload);
+  if (std::uint32_t got = crc32(msg.payload); got != expected_crc) {
+    throw ProtocolError("frame payload CRC mismatch (" +
+                        std::string(to_string(msg.type)) + " frame)");
+  }
   wire_metrics().frames_received.inc();
   wire_metrics().bytes_received.inc(sizeof(header_buf) + msg.payload.size());
   return msg;

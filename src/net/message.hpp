@@ -2,7 +2,11 @@
 // Framed control-plane messages — the C++ stand-in for the paper's Java RMI.
 //
 // Wire frame:   magic(u32) version(u16) type(u16) correlation(u64)
-//               payload_len(u32) payload[payload_len]
+//               payload_len(u32) payload_crc(u32) payload[payload_len]
+//
+// payload_crc is CRC-32 of the payload bytes (version 2): a corrupted
+// frame surfaces as ProtocolError and tears the connection down instead of
+// feeding garbage to the dist layer; the peer reconnects and retransmits.
 //
 // RMI gives the Java system typed request/response calls between the client,
 // server and remote interface. We reproduce the same semantics with a typed
@@ -20,7 +24,8 @@
 namespace hdcs::net {
 
 inline constexpr std::uint32_t kMagic = 0x48444353;  // "HDCS"
-inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::uint16_t kProtocolVersion = 2;  // v2 added payload_crc
+inline constexpr std::size_t kFrameHeaderBytes = 24;
 /// Upper bound on a single frame; bulk data uses the chunked bulk channel.
 inline constexpr std::uint32_t kMaxPayload = 64u * 1024 * 1024;
 
@@ -61,8 +66,8 @@ struct Message {
 /// Write one frame. Throws IoError on transport failure.
 void write_message(TcpStream& stream, const Message& msg);
 
-/// Read one frame. Throws ProtocolError on bad magic/version/length,
-/// ConnectionClosed on clean EOF at a frame boundary.
+/// Read one frame. Throws ProtocolError on bad magic/version/length or a
+/// payload CRC mismatch, ConnectionClosed on clean EOF at a frame boundary.
 Message read_message(TcpStream& stream);
 
 /// Convenience: build a message whose payload is a single string (errors).

@@ -8,7 +8,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "net/fault.hpp"
 
 namespace hdcs::net {
 
@@ -23,6 +27,25 @@ sockaddr_in loopback_addr(std::uint16_t port) {
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   return addr;
+}
+
+void maybe_inject_delay(FaultPlan* fp) {
+  if (double d = fp->delay_s(); d > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(d));
+  }
+}
+
+void send_loop(int fd, std::span<const std::byte> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) throw ConnectionClosed();
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
 }
 }  // namespace
 
@@ -43,6 +66,13 @@ void Socket::close() {
 }
 
 TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+  if (FaultPlan* fp = installed_fault_plan()) {
+    maybe_inject_delay(fp);
+    if (fp->refuse_connect()) {
+      throw IoError("injected fault: connection refused to " + host + ":" +
+                    std::to_string(port));
+    }
+  }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   Socket sock(fd);
@@ -62,19 +92,28 @@ TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
 }
 
 void TcpStream::send_all(std::span<const std::byte> data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(sock_.fd(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EPIPE || errno == ECONNRESET) throw ConnectionClosed();
-      throw_errno("send");
+  if (FaultPlan* fp = installed_fault_plan()) {
+    maybe_inject_delay(fp);
+    if (auto keep = fp->truncate_send(data.size())) {
+      // Deliver only a prefix so the peer sees a torn frame, then break the
+      // connection both ways — the peer gets EOF mid-read, we get EPIPE.
+      send_loop(sock_.fd(), data.subspan(0, *keep));
+      ::shutdown(sock_.fd(), SHUT_RDWR);
+      throw ConnectionClosed();
     }
-    sent += static_cast<std::size_t>(n);
   }
+  send_loop(sock_.fd(), data);
 }
 
 void TcpStream::recv_all(std::span<std::byte> data) {
+  FaultPlan* fp = installed_fault_plan();
+  if (fp) {
+    maybe_inject_delay(fp);
+    if (fp->drop_recv()) {
+      ::shutdown(sock_.fd(), SHUT_RDWR);
+      throw ConnectionClosed();
+    }
+  }
   std::size_t got = 0;
   while (got < data.size()) {
     ssize_t n = ::recv(sock_.fd(), data.data() + got, data.size() - got, 0);
@@ -85,6 +124,11 @@ void TcpStream::recv_all(std::span<std::byte> data) {
     }
     if (n == 0) throw ConnectionClosed();
     got += static_cast<std::size_t>(n);
+  }
+  if (fp) {
+    // Flip one received byte; the frame/bulk CRCs must turn this into a
+    // detected ProtocolError rather than silently merged garbage.
+    if (auto idx = fp->corrupt_byte(data.size())) data[*idx] ^= std::byte{0x20};
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dist/checkpoint_file.hpp"
+#include "util/byte_buffer.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -19,6 +21,12 @@ std::uint64_t fnv64(std::span<const std::byte> data) {
 }
 
 constexpr double kControlBytes = 32;  // request/ack payloads are tiny
+
+// Virtual reconnect backoff under injected connect faults — mirrors the
+// real donor's ClientConfig defaults so simulated and TCP chaos agree.
+constexpr double kJoinBackoffInitial = 0.05;
+constexpr double kJoinBackoffMax = 2.0;
+constexpr double kJoinBackoffJitter = 0.25;
 }  // namespace
 
 double SimOutcome::mean_utilization() const {
@@ -33,6 +41,9 @@ SimDriver::SimDriver(SimConfig config, std::vector<MachineSpec> fleet)
       core_(config_.scheduler, dist::make_policy(config_.policy_spec)),
       rng_(config_.seed) {
   core_.set_tracer(config_.tracer);
+  if (config_.faults.any()) {
+    fault_plan_ = std::make_unique<net::FaultPlan>(config_.faults);
+  }
   machines_.reserve(fleet.size());
   for (auto& spec : fleet) {
     Machine m;
@@ -140,8 +151,27 @@ std::vector<std::byte> SimDriver::execute_unit(const dist::WorkUnit& unit) {
   return result;
 }
 
+bool SimDriver::frame_lost() {
+  if (!fault_plan_ || !fault_plan_->frame_fault()) return false;
+  frames_retransmitted_ += 1;
+  return true;
+}
+
 void SimDriver::machine_join(std::size_t idx) {
   Machine& m = machines_[idx];
+  if (fault_plan_ && fault_plan_->refuse_connect()) {
+    // Connection refused: back off exactly like a real donor (doubling,
+    // capped, jittered) and try again — the machine never gives up.
+    joins_refused_ += 1;
+    m.join_backoff = m.join_backoff <= 0
+                         ? kJoinBackoffInitial
+                         : std::min(m.join_backoff * 2, kJoinBackoffMax);
+    double jitter = 1.0 + kJoinBackoffJitter * m.rng.uniform(-1.0, 1.0);
+    queue_.schedule(queue_.now() + m.join_backoff * jitter,
+                    [this, idx] { machine_join(idx); });
+    return;
+  }
+  m.join_backoff = 0;
   m.alive = true;
   m.ever_joined = true;
   m.have_data.clear();
@@ -182,7 +212,15 @@ void SimDriver::machine_request_work(std::size_t idx, int gen) {
   Machine& m = machines_[idx];
   if (!m.alive || m.generation != gen) return;
 
-  double handled = server_handle(transfer(queue_.now(), kControlBytes) +
+  if (frame_lost()) {
+    // Torn RequestWork exchange: over TCP the donor tears the session down
+    // and retransmits on a fresh one; in virtual time that is a pure delay.
+    queue_.schedule(queue_.now() + config_.no_work_retry_s,
+                    [this, idx, gen] { machine_request_work(idx, gen); });
+    return;
+  }
+  double send_at = queue_.now() + (fault_plan_ ? fault_plan_->delay_s() : 0);
+  double handled = server_handle(transfer(send_at, kControlBytes) +
                                      config_.network.latency_s,
                                  kControlBytes);
   queue_.schedule(handled, [this, idx, gen] {
@@ -233,8 +271,16 @@ void SimDriver::machine_request_work(std::size_t idx, int gen) {
       result.stage = u.stage;
       result.payload = execute_unit(u);
 
+      double submit_at = queue_.now();
+      if (frame_lost()) {
+        // Torn SubmitResult frame: the donor buffers the computed result
+        // across the reconnect and resubmits — the work is never redone,
+        // only delayed (matches Client's pending-result semantics).
+        submit_at += config_.no_work_retry_s;
+      }
+      if (fault_plan_) submit_at += fault_plan_->delay_s();
       double res_handled = server_handle(
-          transfer(queue_.now(), static_cast<double>(result.payload.size())) +
+          transfer(submit_at, static_cast<double>(result.payload.size())) +
               config_.network.latency_s,
           static_cast<double>(result.payload.size()));
       queue_.schedule(res_handled, [this, idx, gen, r = std::move(result),
@@ -281,6 +327,23 @@ void SimDriver::schedule_tick() {
   });
 }
 
+void SimDriver::schedule_checkpoint() {
+  queue_.schedule(queue_.now() + config_.checkpoint_interval_s, [this] {
+    if (core_.all_complete()) return;
+    ByteWriter w;
+    core_.checkpoint(w);
+    auto payload = w.take();
+    if (!config_.checkpoint_path.empty()) {
+      dist::write_checkpoint_file(config_.checkpoint_path, payload);
+    }
+    dist::record_checkpoint_saved(config_.tracer, queue_.now(), payload.size(),
+                                  core_.problem_count(),
+                                  core_.in_flight_units());
+    checkpoints_saved_ += 1;
+    schedule_checkpoint();
+  });
+}
+
 SimOutcome SimDriver::run() {
   if (ran_) throw Error("SimDriver: run() called twice");
   ran_ = true;
@@ -295,6 +358,7 @@ SimOutcome SimDriver::run() {
     }
   }
   schedule_tick();
+  if (config_.checkpoint_interval_s > 0) schedule_checkpoint();
 
   queue_.run_until([this] { return core_.all_complete(); });
 
@@ -321,6 +385,9 @@ SimOutcome SimDriver::run() {
   out.events_executed = queue_.executed();
   out.cache_hits = cache_hits_;
   out.cache_misses = cache_misses_;
+  out.checkpoints_saved = checkpoints_saved_;
+  out.frames_retransmitted = frames_retransmitted_;
+  out.joins_refused = joins_refused_;
   out.completion_time_s = completion_time_;
   for (const auto& m : machines_) {
     MachineOutcome mo;

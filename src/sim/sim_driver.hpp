@@ -25,6 +25,7 @@
 #include "dist/data_manager.hpp"
 #include "dist/registry.hpp"
 #include "dist/scheduler_core.hpp"
+#include "net/fault.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fleet.hpp"
 #include "util/rng.hpp"
@@ -57,6 +58,18 @@ struct SimConfig {
   /// Optional structured event trace, stamped with *virtual* seconds. Same
   /// schema as the TCP server's trace. Must outlive the driver; not owned.
   obs::Tracer* tracer = nullptr;
+  /// Periodic durable checkpoints in *virtual* time: every interval the
+  /// scheduler state is serialized (and, when checkpoint_path is set,
+  /// written durably to disk) with the same checkpoint_saved event and
+  /// checkpoint.* metrics the TCP server emits. 0 = off.
+  double checkpoint_interval_s = 0;
+  std::string checkpoint_path;
+  /// Deterministic network fault model, sharing net::FaultSpec with the
+  /// TCP layer: connect refusals delay a machine's join (retried with the
+  /// same capped exponential backoff a real donor uses) and frame faults
+  /// charge a retransmit penalty on the request/submit paths. Faults cost
+  /// virtual time and messages, never results.
+  net::FaultSpec faults;
 };
 
 struct MachineOutcome {
@@ -75,6 +88,12 @@ struct SimOutcome {
   std::uint64_t events_executed = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Virtual-time checkpoint saves (0 unless checkpoint_interval_s > 0).
+  std::uint64_t checkpoints_saved = 0;
+  /// Control frames lost to injected faults and retransmitted.
+  std::uint64_t frames_retransmitted = 0;
+  /// Join attempts refused by injected connect faults and backed off.
+  std::uint64_t joins_refused = 0;
   std::map<dist::ProblemId, std::vector<std::byte>> final_results;
   std::map<dist::ProblemId, double> completion_time_s;
 
@@ -112,6 +131,7 @@ class SimDriver {
     std::uint64_t units = 0;
     bool departed_for_good = false;
     std::vector<dist::ProblemId> have_data;
+    double join_backoff = 0;  // current reconnect delay under connect faults
   };
 
   struct ProblemCtx {
@@ -135,6 +155,10 @@ class SimDriver {
   std::vector<std::byte> execute_unit(const dist::WorkUnit& unit);
   double availability_draw(Machine& m);
   void schedule_tick();
+  void schedule_checkpoint();
+  /// Draws a frame fault for one control exchange; true = the frame was
+  /// torn and the caller should retransmit after a penalty.
+  bool frame_lost();
 
   SimConfig config_;
   std::vector<Machine> machines_;
@@ -142,6 +166,7 @@ class SimDriver {
   dist::SchedulerCore core_;
   std::map<dist::ProblemId, ProblemCtx> problems_;
   std::shared_ptr<ResultCache> cache_;
+  std::unique_ptr<net::FaultPlan> fault_plan_;
   Rng rng_;
 
   double link_busy_until_ = 0;
@@ -150,6 +175,9 @@ class SimDriver {
   double bytes_ = 0;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  std::uint64_t checkpoints_saved_ = 0;
+  std::uint64_t frames_retransmitted_ = 0;
+  std::uint64_t joins_refused_ = 0;
   double last_completion_ = 0;
   std::map<dist::ProblemId, double> completion_time_;
   bool ran_ = false;

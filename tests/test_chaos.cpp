@@ -1,0 +1,248 @@
+// Chaos: the whole system — TCP server, resilient donors, checkpointing —
+// driven through injected network faults, donor churn, and a server
+// kill/restart that recovers only from the on-disk checkpoint. The final
+// merged answers must be byte-identical to a fault-free local run: faults
+// and crashes may cost time, never correctness.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bio/seqgen.hpp"
+#include "dist/client.hpp"
+#include "dist/local_runner.hpp"
+#include "dist/server.hpp"
+#include "dprml/dprml.hpp"
+#include "dsearch/dsearch.hpp"
+#include "net/fault.hpp"
+#include "obs/metrics.hpp"
+#include "phylo/simulate.hpp"
+#include "tests/toy_problem.hpp"
+#include "util/rng.hpp"
+
+namespace hdcs::dist {
+namespace {
+
+/// Reserve a loopback port the restarted server can come back on. (Bind an
+/// ephemeral port, read it, release it — fine for a single-process test.)
+std::uint16_t pick_port() {
+  auto listener = net::TcpListener::bind(0);
+  std::uint16_t port = listener.port();
+  listener.close();
+  return port;
+}
+
+std::uint64_t total_injected_faults() {
+  auto& reg = obs::Registry::global();
+  return reg.counter("net.fault.connects_refused").value() +
+         reg.counter("net.fault.recv_disconnects").value() +
+         reg.counter("net.fault.sends_truncated").value() +
+         reg.counter("net.fault.bytes_corrupted").value() +
+         reg.counter("net.fault.delays_injected").value();
+}
+
+TEST(Chaos, RealWorkloadsSurviveServerKillDonorChurnAndFrameFaults) {
+  dsearch::register_algorithm();
+  dprml::register_algorithm();
+
+  // --- Build the two workloads and their fault-free reference answers.
+  Rng rng(117);
+  auto queries = bio::make_queries(rng, 2, 60, bio::Alphabet::kProtein);
+  bio::DatabaseSpec spec;
+  spec.num_sequences = 40;
+  spec.mean_length = 80;
+  auto database = bio::make_database(rng, spec, queries);
+  dsearch::DSearchConfig dcfg;
+  dcfg.top_k = 8;
+
+  auto tree = phylo::random_tree(rng, {7, 0.12, "t"});
+  auto aln = phylo::simulate_alignment(rng, tree, phylo::SubstModel::jc69(),
+                                       phylo::RateModel::uniform(), {250});
+  dprml::DPRmlConfig pcfg;
+  pcfg.model_spec = "JC69";
+  pcfg.branch_tolerance = 1e-3;
+  pcfg.eval_passes = 1;
+  pcfg.refine_passes = 1;
+  pcfg.use_eval_cache = false;
+
+  std::vector<std::byte> ref_ds, ref_ml;
+  {
+    dsearch::DSearchDataManager dm(queries, database, dcfg);
+    ref_ds = run_locally(dm, 2e5);
+  }
+  {
+    dprml::DPRmlDataManager dm(aln, pcfg);
+    ref_ml = run_locally(dm, 1.0);
+  }
+
+  // --- Server config: aggressive ticks, short leases, durable autosave.
+  std::string ckpt = testing::TempDir() + "hdcs_chaos_ckpt.bin";
+  std::remove(ckpt.c_str());
+  ServerConfig scfg;
+  scfg.port = pick_port();
+  scfg.scheduler.bounds.min_ops = 1;
+  scfg.scheduler.lease_timeout = 1.5;
+  scfg.scheduler.client_timeout = 1.5;
+  scfg.scheduler.hedge_endgame = true;
+  scfg.policy_spec = "adaptive:0.02";
+  scfg.tick_interval_s = 0.02;
+  scfg.no_work_retry_s = 0.02;
+  scfg.checkpoint_path = ckpt;
+  scfg.checkpoint_interval_s = 0.05;
+
+  auto& saves = obs::Registry::global().counter("checkpoint.saves");
+  std::uint64_t saves_before = saves.value();
+  std::uint64_t faults_before = total_injected_faults();
+
+  // --- The storm: every TCP operation in the process rides through this.
+  net::FaultSpec storm;
+  storm.seed = 2026;
+  storm.connect_refuse_prob = 0.10;
+  storm.recv_disconnect_prob = 0.01;
+  storm.send_truncate_prob = 0.01;
+  storm.corrupt_prob = 0.01;
+  storm.delay_prob = 0.05;
+  storm.delay_max_s = 0.002;
+  net::ScopedFaultPlan scoped(storm);
+
+  auto server = std::make_unique<Server>(scfg);
+  server->start();
+  auto dm_ds =
+      std::make_shared<dsearch::DSearchDataManager>(queries, database, dcfg);
+  auto dm_ml = std::make_shared<dprml::DPRmlDataManager>(aln, pcfg);
+  auto pid_ds = server->submit_problem(dm_ds);
+  auto pid_ml = server->submit_problem(dm_ml);
+
+  // --- Resilient donors: retry forever, must never exit on a fault.
+  constexpr int kDonors = 3;
+  std::vector<std::thread> donors;
+  std::vector<ClientRunStats> donor_stats(kDonors);
+  std::atomic<int> donor_failures{0};
+  for (int i = 0; i < kDonors; ++i) {
+    donors.emplace_back([&, i] {
+      ClientConfig ccfg;
+      ccfg.server_port = scfg.port;
+      ccfg.name = "resilient-" + std::to_string(i);
+      ccfg.max_connect_attempts = 0;  // service mode: outlast any outage
+      try {
+        donor_stats[static_cast<std::size_t>(i)] = Client(ccfg).run();
+      } catch (const Error&) {
+        donor_failures.fetch_add(1);
+      }
+    });
+  }
+  // --- Churn: donors that crash mid-lease, over and over.
+  std::atomic<bool> stop_churn{false};
+  std::thread churn([&] {
+    int n = 0;
+    while (!stop_churn.load()) {
+      ClientConfig ccfg;
+      ccfg.server_port = scfg.port;
+      ccfg.name = "churn-" + std::to_string(n++);
+      ccfg.crash_after_units = 2;
+      ccfg.send_heartbeats = false;
+      ccfg.max_connect_attempts = 3;
+      try {
+        Client(ccfg).run();
+      } catch (const Error&) {
+        // Churn donors are *expected* casualties (refused connects, etc.).
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  // --- Let progress and at least one durable autosave accumulate...
+  for (int i = 0; i < 500 && saves.value() == saves_before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GT(saves.value(), saves_before) << "no autosave reached disk";
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // --- ...then kill the server. Everything in memory is gone; donors are
+  // mid-loop and must fall back to reconnect-with-backoff.
+  server.reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // --- Restart on the same port from the on-disk checkpoint only.
+  server = std::make_unique<Server>(scfg);
+  auto dm_ds2 =
+      std::make_shared<dsearch::DSearchDataManager>(queries, database, dcfg);
+  auto dm_ml2 = std::make_shared<dprml::DPRmlDataManager>(aln, pcfg);
+  auto pid_ds2 = server->submit_problem(dm_ds2);
+  auto pid_ml2 = server->submit_problem(dm_ml2);
+  ASSERT_EQ(pid_ds2, pid_ds);  // same submit order -> same problem ids
+  ASSERT_EQ(pid_ml2, pid_ml);
+  server->start();  // restore_on_start reads the autosaved checkpoint
+
+  ASSERT_TRUE(server->wait_for_problem(pid_ds2, 120.0)) << "DSEARCH stalled";
+  ASSERT_TRUE(server->wait_for_problem(pid_ml2, 120.0)) << "DPRml stalled";
+  stop_churn.store(true);
+  for (auto& t : donors) t.join();
+  churn.join();
+
+  // --- Byte-identical answers despite kill, churn, and frame faults.
+  EXPECT_EQ(server->final_result(pid_ds2), ref_ds);
+  EXPECT_EQ(server->final_result(pid_ml2), ref_ml);
+
+  // --- No resilient donor exited; the outage forced real reconnects.
+  EXPECT_EQ(donor_failures.load(), 0);
+  std::uint64_t reconnects = 0;
+  for (const auto& s : donor_stats) reconnects += s.reconnects;
+  EXPECT_GE(reconnects, 1u);
+
+  // --- Faults actually fired, were detected, and were never merged.
+  EXPECT_GT(total_injected_faults(), faults_before);
+  server->stop();
+  std::remove(ckpt.c_str());
+}
+
+TEST(Chaos, PoisonUnitQuarantinedOverTcp) {
+  test::register_toy_algorithm();
+  ServerConfig scfg;
+  scfg.scheduler.bounds.min_ops = 1000;
+  scfg.scheduler.lease_timeout = 0.15;
+  scfg.scheduler.client_timeout = 0.15;
+  scfg.scheduler.max_attempts_per_unit = 2;
+  scfg.policy_spec = "fixed:1000000000";  // the whole problem in one unit
+  scfg.tick_interval_s = 0.02;
+  scfg.no_work_retry_s = 0.02;
+  Server server(scfg);
+  server.start();
+  auto pid = server.submit_problem(
+      std::make_shared<test::ToySumDataManager>(100000));
+
+  // The "poison" unit kills every donor that takes it: two crashers burn
+  // the attempt cap.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    ClientConfig ccfg;
+    ccfg.server_port = server.port();
+    ccfg.name = "victim-" + std::to_string(attempt);
+    ccfg.crash_after_units = 1;  // take the unit, vanish before submitting
+    ccfg.send_heartbeats = false;
+    Client(ccfg).run();
+    // Wait for the client timeout to reap the crashed donor (and fail its
+    // lease) before the next victim asks for work.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  }
+
+  // Quarantined: a healthy donor gets nothing, the problem stays open, and
+  // the stats snapshot (MSG_STATS / hdcs_top) reports the quarantine.
+  ClientConfig ccfg;
+  ccfg.server_port = server.port();
+  ccfg.name = "healthy";
+  ccfg.max_idle_polls = 3;
+  auto stats = Client(ccfg).run();
+  EXPECT_EQ(stats.units_processed, 0u);
+  EXPECT_FALSE(server.wait_for_problem(pid, 0.2));
+  auto json = server.stats_json();
+  EXPECT_NE(json.find("\"units_quarantined\":1"), std::string::npos) << json;
+  server.stop();
+}
+
+}  // namespace
+}  // namespace hdcs::dist

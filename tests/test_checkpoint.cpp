@@ -4,13 +4,20 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
 #include "bio/seqgen.hpp"
 #include "dboot/dboot.hpp"
+#include "dist/checkpoint_file.hpp"
 #include "dist/client.hpp"
 #include "dist/scheduler_core.hpp"
 #include "dist/server.hpp"
 #include "dprml/dprml.hpp"
 #include "dsearch/dsearch.hpp"
+#include "obs/metrics.hpp"
 #include "phylo/simulate.hpp"
 #include "tests/toy_problem.hpp"
 #include "util/rng.hpp"
@@ -272,6 +279,278 @@ TEST(Checkpoint, ServerLevelRestartOverTcp) {
     EXPECT_EQ(test::read_u64_result(server.final_result(pid)), expected);
     server.stop();
   }
+}
+
+TEST(Checkpoint, HedgedDuplicateInFlightAcrossRestoreDropped) {
+  test::register_toy_algorithm();
+  auto c = cfg();
+  c.hedge_endgame = true;
+  SchedulerCore core1(c, std::make_unique<FixedGranularity>(1000));
+  auto dm1 = std::make_shared<ToySumDataManager>(1000, 3);  // one unit
+  core1.submit_problem(dm1);
+  auto data = dm1->problem_data();
+  test::ToySumAlgorithm algo;
+  algo.initialize(data);
+  auto execute = [&](const WorkUnit& u) {
+    ResultUnit r;
+    r.problem_id = u.problem_id;
+    r.unit_id = u.unit_id;
+    r.stage = u.stage;
+    r.payload = algo.process(u);
+    return r;
+  };
+
+  // Two donors race the same unit (endgame hedge), then the server dies
+  // with the hedged unit still in flight.
+  auto slow = core1.client_joined("slow", 1e6, 0.0);
+  auto fast = core1.client_joined("fast", 1e6, 0.0);
+  auto original = core1.request_work(slow, 0.0);
+  ASSERT_TRUE(original);
+  auto hedged = core1.request_work(fast, 1.0);
+  ASSERT_TRUE(hedged);
+  ASSERT_EQ(hedged->unit_id, original->unit_id);
+  ByteWriter w;
+  core1.checkpoint(w);
+  auto blob = w.take();
+
+  SchedulerCore core2(c, std::make_unique<FixedGranularity>(1000));
+  auto dm2 = std::make_shared<ToySumDataManager>(1000, 3);
+  auto pid2 = core2.submit_problem(dm2);
+  ByteReader r{std::span<const std::byte>(blob)};
+  EXPECT_EQ(core2.restore(r), 1u);  // one lease record for the hedged unit
+
+  // A fresh donor finishes the restored unit; both old racers' buffered
+  // results then arrive late (resubmitted after their reconnect) and are
+  // dropped as duplicates. Stats stay exact: one accept, two drops.
+  auto fresh = core2.client_joined("fresh", 1e6, 2.0);
+  auto reissued = core2.request_work(fresh, 2.0);
+  ASSERT_TRUE(reissued);
+  EXPECT_EQ(reissued->unit_id, original->unit_id);
+  EXPECT_TRUE(core2.submit_result(fresh, execute(*reissued), 3.0));
+  EXPECT_TRUE(core2.problem_complete(pid2));
+
+  auto late1 = core2.client_joined("slow-rejoined", 1e6, 4.0);
+  auto late2 = core2.client_joined("fast-rejoined", 1e6, 4.0);
+  EXPECT_FALSE(core2.submit_result(late1, execute(*original), 5.0));
+  EXPECT_FALSE(core2.submit_result(late2, execute(*hedged), 5.0));
+  EXPECT_EQ(core2.stats().results_accepted, 1u);
+  EXPECT_EQ(core2.stats().duplicate_results_dropped, 2u);
+  EXPECT_EQ(test::read_u64_result(core2.final_result(pid2)),
+            ToySumDataManager(1000, 3).expected());
+}
+
+TEST(Checkpoint, RestoreIdGapPreventsCrossRestartCollisions) {
+  test::register_toy_algorithm();
+  SchedulerCore core1(cfg(), std::make_unique<FixedGranularity>(1000));
+  auto dm1 = std::make_shared<ToySumDataManager>(10000);
+  core1.submit_problem(dm1);
+  auto data = dm1->problem_data();
+  test::ToySumAlgorithm algo;
+  algo.initialize(data);
+  auto c1 = core1.client_joined("c1", 1e6, 0.0);
+
+  ByteWriter w;
+  core1.checkpoint(w);
+  auto blob = w.take();
+  // Units issued AFTER the checkpoint: their ids die with the crash.
+  auto post = core1.request_work(c1, 1.0);
+  ASSERT_TRUE(post);
+
+  SchedulerCore core2(cfg(), std::make_unique<FixedGranularity>(1000));
+  auto dm2 = std::make_shared<ToySumDataManager>(10000);
+  core2.submit_problem(dm2);
+  ByteReader r{std::span<const std::byte>(blob)};
+  core2.restore(r);
+
+  // New ids jump by kRestoreIdGap, so the lost post-checkpoint id can
+  // never be reassigned to different work.
+  auto c2 = core2.client_joined("c2", 1e6, 2.0);
+  auto fresh = core2.request_work(c2, 2.0);
+  ASSERT_TRUE(fresh);
+  EXPECT_GE(fresh->unit_id, SchedulerCore::kRestoreIdGap);
+  EXPECT_NE(fresh->unit_id, post->unit_id);
+
+  // A reconnecting donor's buffered result for the lost unit is dropped
+  // as stale — never merged into the wrong unit.
+  ResultUnit stale;
+  stale.problem_id = post->problem_id;
+  stale.unit_id = post->unit_id;
+  stale.stage = post->stage;
+  stale.payload = algo.process(*post);
+  EXPECT_FALSE(core2.submit_result(c2, stale, 3.0));
+  EXPECT_GE(core2.stats().stale_results_dropped, 1u);
+}
+
+TEST(Checkpoint, AttemptCountsAndQuarantineSurviveRestore) {
+  test::register_toy_algorithm();
+  auto c = cfg();
+  c.lease_timeout = 10.0;
+  c.max_attempts_per_unit = 2;
+  SchedulerCore core1(c, std::make_unique<FixedGranularity>(1000));
+  auto dm1 = std::make_shared<ToySumDataManager>(1000);
+  core1.submit_problem(dm1);
+  auto data = dm1->problem_data();
+  test::ToySumAlgorithm algo;
+  algo.initialize(data);
+
+  // Burn attempt 1 before the crash.
+  auto c1 = core1.client_joined("c1", 1e6, 0.0);
+  auto unit = core1.request_work(c1, 0.0);
+  ASSERT_TRUE(unit);
+  core1.tick(20.0);  // expired: attempt 1 of 2 burned, unit requeued
+  ByteWriter w;
+  core1.checkpoint(w);
+  auto blob = w.take();
+
+  // The restored core remembers the burned attempt: one more failure
+  // quarantines the unit instead of starting the count over.
+  SchedulerCore core2(c, std::make_unique<FixedGranularity>(1000));
+  auto dm2 = std::make_shared<ToySumDataManager>(1000);
+  auto pid2 = core2.submit_problem(dm2);
+  ByteReader r{std::span<const std::byte>(blob)};
+  core2.restore(r);
+  auto c2 = core2.client_joined("c2", 1e6, 21.0);
+  ASSERT_TRUE(core2.request_work(c2, 21.0));  // attempt 2
+  core2.tick(40.0);
+  EXPECT_EQ(core2.stats().units_quarantined, 1u);
+  auto c3 = core2.client_joined("c3", 1e6, 41.0);
+  EXPECT_FALSE(core2.request_work(c3, 41.0).has_value());
+
+  // Quarantine itself round-trips: a third incarnation still refuses to
+  // reissue the unit, and a genuine late result still rescues it.
+  ByteWriter w2;
+  core2.checkpoint(w2);
+  auto blob2 = w2.take();
+  SchedulerCore core3(c, std::make_unique<FixedGranularity>(1000));
+  auto dm3 = std::make_shared<ToySumDataManager>(1000);
+  auto pid3 = core3.submit_problem(dm3);
+  ByteReader r2{std::span<const std::byte>(blob2)};
+  core3.restore(r2);
+  auto c4 = core3.client_joined("c4", 1e6, 50.0);
+  EXPECT_FALSE(core3.request_work(c4, 50.0).has_value());
+  ResultUnit genuine;
+  genuine.problem_id = unit->problem_id;
+  genuine.unit_id = unit->unit_id;
+  genuine.stage = unit->stage;
+  genuine.payload = algo.process(*unit);
+  EXPECT_TRUE(core3.submit_result(c4, genuine, 51.0));
+  EXPECT_TRUE(core3.problem_complete(pid3));
+  EXPECT_EQ(test::read_u64_result(core3.final_result(pid3)),
+            dm1->expected());
+  (void)pid2;
+}
+
+TEST(CheckpointFile, RoundTripAndMissingFile) {
+  std::string path = testing::TempDir() + "hdcs_ckpt_roundtrip.bin";
+  std::remove(path.c_str());
+  EXPECT_EQ(read_checkpoint_file(path), std::nullopt);
+
+  ByteWriter w;
+  w.str("durable scheduler state");
+  w.u64(123456789);
+  auto payload = w.take();
+  write_checkpoint_file(path, payload);
+  auto back = read_checkpoint_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, AtomicOverwriteKeepsLatest) {
+  std::string path = testing::TempDir() + "hdcs_ckpt_overwrite.bin";
+  ByteWriter w1;
+  w1.str("first");
+  write_checkpoint_file(path, w1.data());
+  ByteWriter w2;
+  w2.str("second checkpoint, longer than the first");
+  write_checkpoint_file(path, w2.data());
+  auto back = read_checkpoint_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(std::vector<std::byte>(w2.data().begin(), w2.data().end()), *back);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, CorruptionAndTruncationDetected) {
+  std::string path = testing::TempDir() + "hdcs_ckpt_corrupt.bin";
+  ByteWriter w;
+  w.str("state that must not be trusted after bit rot");
+  write_checkpoint_file(path, w.data());
+
+  // Flip one payload byte in place: CRC must catch it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);  // inside the payload (header is 16 bytes)
+    char b = 0;
+    f.seekg(20);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(20);
+    f.write(&b, 1);
+  }
+  EXPECT_THROW(read_checkpoint_file(path), ProtocolError);
+
+  // Truncate the file mid-payload: also detected, not fed to restore().
+  write_checkpoint_file(path, w.data());
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    ByteWriter part;
+    part.u32(0x484b4350);  // valid magic, then nothing
+    f.write(reinterpret_cast<const char*>(part.data().data()),
+            static_cast<std::streamsize>(part.data().size()));
+  }
+  EXPECT_THROW(read_checkpoint_file(path), ProtocolError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ServerAutosavesAndRestoresFromDisk) {
+  test::register_toy_algorithm();
+  std::string path = testing::TempDir() + "hdcs_ckpt_server.bin";
+  std::remove(path.c_str());
+
+  ServerConfig scfg;
+  scfg.scheduler.bounds.min_ops = 1000;
+  scfg.policy_spec = "fixed:400000";
+  scfg.tick_interval_s = 0.02;
+  scfg.no_work_retry_s = 0.02;
+  scfg.checkpoint_path = path;
+  scfg.checkpoint_interval_s = 0.05;
+
+  std::uint64_t expected = ToySumDataManager(2000000, 5).expected();
+  auto& saves = obs::Registry::global().counter("checkpoint.saves");
+  std::uint64_t saves_before = saves.value();
+
+  {
+    Server server(scfg);
+    server.start();
+    auto dm = std::make_shared<ToySumDataManager>(2000000, 5);
+    server.submit_problem(dm);
+    ClientConfig ccfg;
+    ccfg.server_port = server.port();
+    ccfg.name = "early-bird";
+    ccfg.crash_after_units = 2;  // computes one unit, vanishes on the 2nd
+    Client(ccfg).run();
+    // Wait for the housekeeping loop's periodic autosave to hit disk.
+    for (int i = 0; i < 200 && saves.value() == saves_before; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GT(saves.value(), saves_before);
+    server.save_checkpoint();  // deterministic final state for phase two
+    server.stop();             // "kill -9": nothing else is carried over
+  }
+  {
+    Server server(scfg);  // restore_on_start = true reads the file
+    auto dm = std::make_shared<ToySumDataManager>(2000000, 5);
+    auto pid = server.submit_problem(dm);
+    server.start();
+    ClientConfig ccfg;
+    ccfg.server_port = server.port();
+    ccfg.name = "finisher";
+    Client(ccfg).run();
+    ASSERT_TRUE(server.wait_for_problem(pid, 30.0));
+    EXPECT_EQ(test::read_u64_result(server.final_result(pid)), expected);
+    server.stop();
+  }
+  std::remove(path.c_str());
 }
 
 TEST(Checkpoint, DBootSnapshotRoundTrips) {

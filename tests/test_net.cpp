@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "net/bulk.hpp"
+#include "net/fault.hpp"
 #include "net/message.hpp"
 #include "net/socket.hpp"
 #include "util/rng.hpp"
@@ -95,8 +96,34 @@ TEST(Message, EmptyPayloadOk) {
 
 TEST(Message, BadMagicThrowsProtocolError) {
   Pair p;
-  std::vector<std::byte> garbage(20, std::byte{0x5a});
+  // A full v2 header's worth of garbage (24 bytes): read_message must
+  // reject it on the magic, not block waiting for more header.
+  std::vector<std::byte> garbage(kFrameHeaderBytes, std::byte{0x5a});
   p.client.send_all(garbage);
+  try {
+    read_message(p.server);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    // The offending magic is reported in hex, not decimal.
+    EXPECT_NE(std::string(e.what()).find("0x5a5a5a5a"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Message, CorruptedPayloadFailsFrameCrc) {
+  Pair p;
+  // A well-formed v2 frame whose payload CRC doesn't match its payload:
+  // corruption is detected at the frame layer, never delivered.
+  ByteWriter w;
+  std::string body = "payload-bytes";
+  w.u32(kMagic);
+  w.u16(kProtocolVersion);
+  w.u16(static_cast<std::uint16_t>(MessageType::kHeartbeat));
+  w.u64(9);
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.u32(crc32(as_bytes(body)) ^ 0x1u);
+  p.client.send_all(w.data());
+  p.client.send_all(as_bytes(body));
   EXPECT_THROW(read_message(p.server), ProtocolError);
 }
 
@@ -171,6 +198,89 @@ TEST(Bulk, CorruptedPayloadFailsCrc) {
   p.client.send_all(header.data());
   p.client.send_all(as_bytes(body));
   EXPECT_THROW(recv_blob(p.server), ProtocolError);
+}
+
+TEST(Fault, NoPlanInstalledByDefault) {
+  EXPECT_EQ(installed_fault_plan(), nullptr);
+}
+
+TEST(Fault, DeterministicDecisionSequence) {
+  FaultSpec spec;
+  spec.seed = 42;
+  spec.connect_refuse_prob = 0.5;
+  FaultPlan a(spec);
+  FaultPlan b(spec);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.refuse_connect(), b.refuse_connect()) << "draw " << i;
+  }
+}
+
+TEST(Fault, ConnectRefusalInjected) {
+  auto listener = TcpListener::bind(0);  // real listener: refusal is injected
+  FaultSpec spec;
+  spec.connect_refuse_prob = 1.0;
+  ScopedFaultPlan scoped(spec);
+  EXPECT_THROW(TcpStream::connect("127.0.0.1", listener.port()), IoError);
+}
+
+TEST(Fault, RecvDisconnectInjected) {
+  Pair p;
+  FaultSpec spec;
+  spec.recv_disconnect_prob = 1.0;
+  ScopedFaultPlan scoped(spec);
+  p.client.send_all(as_bytes("data"));
+  std::vector<std::byte> buf(4);
+  EXPECT_THROW(p.server.recv_all(buf), ConnectionClosed);
+}
+
+TEST(Fault, TruncatedSendTearsFrameButPeerDetectsIt) {
+  Pair p;
+  Message out;
+  out.type = MessageType::kHeartbeat;
+  out.correlation = 5;
+  ByteWriter w;
+  w.str("some payload so there is something to truncate");
+  out.payload = w.take();
+  {
+    FaultSpec spec;
+    spec.send_truncate_prob = 1.0;
+    ScopedFaultPlan scoped(spec);
+    EXPECT_THROW(write_message(p.client, out), IoError);
+  }
+  // The peer sees a torn frame: either mid-read EOF or a CRC mismatch,
+  // both surface as an exception — never a silently short message.
+  EXPECT_THROW(read_message(p.server), Error);
+}
+
+TEST(Fault, CorruptionCaughtByFrameCrc) {
+  Pair p;
+  Message out;
+  out.type = MessageType::kSubmitResult;
+  out.correlation = 3;
+  ByteWriter w;
+  w.str("result bytes that must not be silently altered");
+  out.payload = w.take();
+  write_message(p.client, out);
+  // EOF after the frame so a corrupted payload_len can't block the read.
+  p.client.shutdown_write();
+  FaultSpec spec;
+  spec.corrupt_prob = 1.0;
+  ScopedFaultPlan scoped(spec);
+  // Every recv flips a byte; whichever part of the frame it hits (header
+  // or payload), read_message must refuse to deliver the message.
+  EXPECT_THROW(read_message(p.server), Error);
+}
+
+TEST(Fault, ZeroProbabilityPlanIsTransparent) {
+  Pair p;
+  FaultSpec spec;  // all probabilities zero
+  ScopedFaultPlan scoped(spec);
+  Message out;
+  out.type = MessageType::kHeartbeat;
+  out.correlation = 11;
+  write_message(p.client, out);
+  Message in = read_message(p.server);
+  EXPECT_EQ(in.correlation, 11u);
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/fleet.hpp"
+#include "sim/sim_driver.hpp"
 #include "tests/toy_problem.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -318,6 +320,114 @@ TEST(MsgStats, ServerTraceRecordsFullClientLifecycle) {
   EXPECT_EQ(left, 1);  // Goodbye + handler teardown must not double-emit
   EXPECT_EQ(issued, 4);  // 400000 ops in fixed:100000 units
   EXPECT_EQ(completed, 4);
+}
+
+TEST(MsgStats, CheckpointEventsShareSchemaAcrossServerAndSim) {
+  test::register_toy_algorithm();
+  std::string path = ::testing::TempDir() + "hdcs_obs_ckpt.bin";
+  std::remove(path.c_str());
+  auto& saves = obs::Registry::global().counter("checkpoint.saves");
+  auto& requeued =
+      obs::Registry::global().counter("checkpoint.restore_units_requeued");
+  std::uint64_t saves_before = saves.value();
+  std::uint64_t requeued_before = requeued.value();
+
+  // Server (wall clock): save once with a unit in flight, restart from the
+  // file, and collect the checkpoint_saved / checkpoint_restored events.
+  obs::Tracer server_tracer;
+  server_tracer.to_memory();
+  ServerConfig cfg;
+  cfg.scheduler.bounds.min_ops = 1000;
+  cfg.policy_spec = "fixed:100000";
+  cfg.tick_interval_s = 0.05;
+  cfg.no_work_retry_s = 0.02;
+  cfg.tracer = &server_tracer;
+  cfg.checkpoint_path = path;
+  {
+    Server server(cfg);
+    server.start();
+    server.submit_problem(std::make_shared<test::ToySumDataManager>(400000));
+    ClientConfig ccfg;
+    ccfg.server_port = server.port();
+    ccfg.name = "saver";
+    ccfg.crash_after_units = 1;  // leaves its unit in flight
+    Client(ccfg).run();
+    ASSERT_TRUE(server.save_checkpoint());
+    server.stop();
+  }
+  {
+    Server server(cfg);  // restore_on_start picks the file up
+    server.submit_problem(std::make_shared<test::ToySumDataManager>(400000));
+    server.start();
+    server.stop();
+  }
+  EXPECT_GE(saves.value(), saves_before + 1);
+  EXPECT_GE(requeued.value(), requeued_before + 1);
+  EXPECT_GT(obs::Registry::global().gauge("checkpoint.bytes").value(), 0.0);
+
+  // Simulator (virtual clock): periodic autosaves during a toy run.
+  obs::Tracer sim_tracer;
+  sim_tracer.to_memory();
+  sim::SimConfig simcfg;
+  simcfg.reference_ops_per_sec = 1e6;
+  simcfg.scheduler.lease_timeout = 1e5;
+  simcfg.scheduler.bounds.min_ops = 1;
+  simcfg.policy_spec = "adaptive:5";
+  simcfg.tracer = &sim_tracer;
+  simcfg.checkpoint_interval_s = 0.25;  // well inside the virtual makespan
+  sim::SimDriver sim(simcfg, sim::lab_fleet(4));
+  sim.add_problem(std::make_shared<test::ToySumDataManager>(5000000));
+  auto outcome = sim.run();
+  EXPECT_GT(outcome.checkpoints_saved, 0u);
+
+  // The pinned schema: both emitters must produce checkpoint_saved with
+  // exactly these fields so one tool can read either trace.
+  auto saved_fields = [](const std::vector<std::string>& lines,
+                         const char* ev) {
+    std::vector<std::string> keys;
+    for (const auto& line : lines) {
+      auto rec = obs::parse_trace_line(line);
+      if (rec.ev != ev) continue;
+      for (const auto& [k, v] : rec.fields) {
+        if (k != "schema" && k != "t" && k != "ev") keys.push_back(k);
+      }
+      return keys;  // fields is an ordered map: keys come out sorted
+    }
+    return keys;
+  };
+  auto server_keys = saved_fields(server_tracer.lines(), "checkpoint_saved");
+  auto sim_keys = saved_fields(sim_tracer.lines(), "checkpoint_saved");
+  ASSERT_FALSE(server_keys.empty()) << "server emitted no checkpoint_saved";
+  ASSERT_FALSE(sim_keys.empty()) << "sim emitted no checkpoint_saved";
+  EXPECT_EQ(server_keys, sim_keys);
+  std::vector<std::string> expected_keys = {"bytes", "problems",
+                                            "units_in_flight"};
+  EXPECT_EQ(server_keys, expected_keys);
+
+  auto restored_keys =
+      saved_fields(server_tracer.lines(), "checkpoint_restored");
+  std::vector<std::string> expected_restore = {"problems", "units_quarantined",
+                                               "units_requeued"};
+  EXPECT_EQ(restored_keys, expected_restore);
+  std::remove(path.c_str());
+}
+
+TEST(MsgStats, QuarantineSurfacedInStatsSnapshot) {
+  test::register_toy_algorithm();
+  ServerConfig cfg;
+  cfg.scheduler.bounds.min_ops = 1000;
+  cfg.policy_spec = "fixed:100000";
+  cfg.tick_interval_s = 0.05;
+  cfg.no_work_retry_s = 0.02;
+  Server server(cfg);
+  server.start();
+  server.submit_problem(std::make_shared<test::ToySumDataManager>(400000));
+
+  auto stream = net::TcpStream::connect("127.0.0.1", server.port());
+  net::write_message(stream, encode_fetch_stats(FetchStatsPayload{}, 7));
+  auto snap = decode_stats_snapshot(net::read_message(stream));
+  EXPECT_NE(snap.json.find("\"units_quarantined\":"), std::string::npos);
+  server.stop();
 }
 
 }  // namespace

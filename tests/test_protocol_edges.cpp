@@ -64,12 +64,14 @@ TEST(ProtocolEdges, WrongProtocolVersionRejected) {
   server.start();
   auto stream = connect_to(server);
 
-  // Hand-roll a frame with a bad version.
+  // Hand-roll a frame with a bad version (full 24-byte v2 header: the
+  // payload_len and payload_crc fields are present but never reached).
   ByteWriter w;
   w.u32(net::kMagic);
   w.u16(net::kProtocolVersion + 1);
   w.u16(static_cast<std::uint16_t>(net::MessageType::kHello));
   w.u64(1);
+  w.u32(0);
   w.u32(0);
   stream.send_all(w.data());
   // Server drops the connection (ProtocolError path): our next read EOFs.

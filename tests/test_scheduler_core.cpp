@@ -370,6 +370,93 @@ TEST(SchedulerCore, HedgingOffByDefault) {
   EXPECT_EQ(core.stats().units_hedged, 0u);
 }
 
+TEST(SchedulerCore, PoisonUnitQuarantinedAfterAttemptCap) {
+  auto cfg = small_config();
+  cfg.max_attempts_per_unit = 3;
+  SchedulerCore core(cfg, std::make_unique<FixedGranularity>(1000));
+  auto dm = std::make_shared<ToySumDataManager>(1000);  // one unit total
+  auto pid = core.submit_problem(dm);
+  auto cid = core.client_joined("c1", 1e6, 0.0);
+
+  // A unit that crashes every donor that touches it: take it, let the
+  // lease expire, repeat. Each expiry burns one attempt.
+  double t = 0;
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    auto unit = core.request_work(cid, t);
+    ASSERT_TRUE(unit) << "attempt " << attempt;
+    t += 20.0;       // lease_timeout is 10s
+    core.tick(t);    // expires the lease
+    // tick() also expires the silent client; re-join to keep requesting.
+    if (core.active_client_count() == 0) {
+      cid = core.client_joined("c1", 1e6, t);
+    }
+  }
+  // Attempt cap burned: the unit is quarantined, not reissued.
+  EXPECT_FALSE(core.request_work(cid, t + 1).has_value());
+  EXPECT_EQ(core.stats().units_quarantined, 1u);
+  EXPECT_FALSE(core.problem_complete(pid));
+  // Quarantined units are parked, not in flight.
+  EXPECT_EQ(core.in_flight_units(), 0u);
+}
+
+TEST(SchedulerCore, QuarantinedUnitRescuedByGenuineLateResult) {
+  auto cfg = small_config();
+  cfg.max_attempts_per_unit = 1;  // quarantine on the first failure
+  SchedulerCore core(cfg, std::make_unique<FixedGranularity>(1000));
+  auto dm = std::make_shared<ToySumDataManager>(1000);
+  auto pid = core.submit_problem(dm);
+  auto data = dm->problem_data();
+  auto cid = core.client_joined("c1", 1e6, 0.0);
+
+  auto unit = core.request_work(cid, 0.0);
+  ASSERT_TRUE(unit);
+  core.tick(20.0);  // expired -> straight to quarantine (cap = 1)
+  EXPECT_EQ(core.stats().units_quarantined, 1u);
+
+  // The "dead" donor was merely slow: its genuine result still lands, and
+  // the problem completes instead of being stuck in quarantine forever.
+  EXPECT_TRUE(core.submit_result(cid, execute(*unit, data), 30.0));
+  EXPECT_TRUE(core.problem_complete(pid));
+  EXPECT_EQ(test::read_u64_result(core.final_result(pid)), dm->expected());
+}
+
+TEST(SchedulerCore, NoQuarantineWhenCapUnset) {
+  SchedulerCore core(small_config(), std::make_unique<FixedGranularity>(1000));
+  auto dm = std::make_shared<ToySumDataManager>(1000);
+  core.submit_problem(dm);
+
+  double t = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto cid = core.client_joined("c", 1e6, t);
+    ASSERT_TRUE(core.request_work(cid, t).has_value()) << "round " << i;
+    t += 20.0;
+    core.tick(t);
+  }
+  EXPECT_EQ(core.stats().units_quarantined, 0u);
+  EXPECT_GE(core.stats().units_reissued, 5u);
+}
+
+TEST(SchedulerCore, ClientCrashAttemptsCountTowardQuarantine) {
+  auto cfg = small_config();
+  cfg.max_attempts_per_unit = 2;
+  SchedulerCore core(cfg, std::make_unique<FixedGranularity>(1000));
+  auto dm = std::make_shared<ToySumDataManager>(1000);
+  core.submit_problem(dm);
+
+  // Two donors take the unit and leave without finishing it: client_left
+  // requeues count as failed attempts just like lease expiries.
+  auto c1 = core.client_joined("c1", 1e6, 0.0);
+  ASSERT_TRUE(core.request_work(c1, 0.0));
+  core.client_left(c1, 1.0);
+  auto c2 = core.client_joined("c2", 1e6, 2.0);
+  ASSERT_TRUE(core.request_work(c2, 2.0));
+  core.client_left(c2, 3.0);
+
+  auto c3 = core.client_joined("c3", 1e6, 4.0);
+  EXPECT_FALSE(core.request_work(c3, 4.0).has_value());
+  EXPECT_EQ(core.stats().units_quarantined, 1u);
+}
+
 TEST(SchedulerCore, FinalResultBeforeCompletionThrows) {
   SchedulerCore core(small_config(), std::make_unique<FixedGranularity>(100));
   auto pid = core.submit_problem(std::make_shared<ToySumDataManager>(1000));

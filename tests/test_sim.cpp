@@ -102,6 +102,63 @@ TEST(Fleet, CampusFleetMixAndSize) {
   EXPECT_GT(max_speed, 1.5);
 }
 
+TEST(SimDriver, FaultInjectionDelaysButNeverCorrupts) {
+  auto cfg = fast_config();
+  std::uint64_t expected = ToySumDataManager(2000000, 9).expected();
+
+  // Fault-free reference run.
+  SimDriver ref(cfg, lab_fleet(4));
+  auto pid = ref.add_problem(std::make_shared<ToySumDataManager>(2000000, 9));
+  auto base = ref.run();
+  ASSERT_EQ(test::read_u64_result(base.final_results.at(pid)), expected);
+
+  // Same workload through a storm of connect refusals and frame faults:
+  // joins back off, torn frames are retransmitted, and the final merged
+  // payload is byte-identical — faults cost time, never answers.
+  auto chaos_cfg = cfg;
+  chaos_cfg.faults.seed = 77;
+  chaos_cfg.faults.connect_refuse_prob = 0.7;
+  chaos_cfg.faults.recv_disconnect_prob = 0.05;
+  chaos_cfg.faults.corrupt_prob = 0.05;
+  chaos_cfg.faults.delay_prob = 0.2;
+  SimDriver chaos(chaos_cfg, lab_fleet(4));
+  auto pid2 = chaos.add_problem(std::make_shared<ToySumDataManager>(2000000, 9));
+  auto stormy = chaos.run();
+  EXPECT_EQ(stormy.final_results.at(pid2), base.final_results.at(pid));
+  EXPECT_GT(stormy.joins_refused, 0u);
+  EXPECT_GT(stormy.frames_retransmitted, 0u);
+  EXPECT_GE(stormy.makespan_s, base.makespan_s);
+}
+
+TEST(SimDriver, FaultRunsAreDeterministicPerSeed) {
+  auto cfg = fast_config();
+  cfg.faults.seed = 5;
+  cfg.faults.connect_refuse_prob = 0.5;
+  cfg.faults.recv_disconnect_prob = 0.1;
+  auto run_once = [&] {
+    SimDriver sim(cfg, lab_fleet(6));
+    sim.add_problem(std::make_shared<ToySumDataManager>(1000000, 2));
+    return sim.run();
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.frames_retransmitted, b.frames_retransmitted);
+  EXPECT_EQ(a.joins_refused, b.joins_refused);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(SimDriver, VirtualTimeCheckpointsEmitted) {
+  auto cfg = fast_config();
+  cfg.checkpoint_interval_s = 0.25;  // well inside the virtual makespan
+  SimDriver sim(cfg, lab_fleet(4));
+  auto pid = sim.add_problem(std::make_shared<ToySumDataManager>(5000000));
+  auto out = sim.run();
+  EXPECT_GT(out.checkpoints_saved, 0u);
+  EXPECT_EQ(test::read_u64_result(out.final_results.at(pid)),
+            ToySumDataManager(5000000).expected());
+}
+
 TEST(SimDriver, ProducesCorrectResult) {
   auto cfg = fast_config();
   SimDriver sim(cfg, lab_fleet(4));
