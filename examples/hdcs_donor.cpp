@@ -27,6 +27,13 @@
 //                 reconnect backoff window: the delay starts at the
 //                 initial value, doubles per failure up to the max, with
 //                 per-donor jitter. See docs/ROBUSTNESS.md.
+// --corrupt-rate P [--corrupt-seed N]
+//                 fault injection (test-only): corrupt fraction P of
+//                 result payloads before submitting — a "lying donor"
+//                 for exercising the server's replication voting. The
+//                 corrupted bytes carry a matching digest, so only
+//                 quorum voting catches them. Deterministic per
+//                 (seed, name, unit).
 
 #include <cstdio>
 #include <map>
@@ -76,6 +83,11 @@ int main(int argc, char** argv) {
     cfg.backoff_max_s = parse_f64(get("backoff-max", "2"));
     if (cfg.backoff_initial_s <= 0 || cfg.backoff_max_s < cfg.backoff_initial_s)
       throw InputError("--backoff-max must be >= --backoff-initial > 0");
+    cfg.corrupt_rate = parse_f64(get("corrupt-rate", "0"));
+    if (cfg.corrupt_rate < 0 || cfg.corrupt_rate > 1)
+      throw InputError("--corrupt-rate must be in [0, 1]");
+    cfg.corrupt_seed =
+        static_cast<std::uint64_t>(parse_i64(get("corrupt-seed", "0")));
 
     int cpus = static_cast<int>(parse_i64(get("cpus", "1")));
 

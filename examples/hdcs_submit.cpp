@@ -9,6 +9,7 @@
 //   hdcs_submit --app dsearch --db db.fasta --queries q.fasta
 //               [--config search.cfg] [--port 4090] [--output hits.txt]
 //               [--checkpoint state.ckpt] [--checkpoint-interval 30]
+//               [--replicas 2] [--quorum 2] [--spot-check 0.05]
 //   hdcs_submit --app dprml  --alignment aln.fasta [--config ml.cfg] ...
 //   hdcs_submit --app dboot  --alignment aln.fasta [--config boot.cfg] ...
 //
@@ -18,6 +19,12 @@
 // file and finishes the remaining units instead of starting over. The
 // config file can also set max_attempts_per_unit to quarantine "poison"
 // units that repeatedly kill donors (see docs/ROBUSTNESS.md).
+//
+// --replicas K enables result certification: every unit is computed by K
+// distinct donors and merged only when --quorum digests agree (default:
+// majority of K). Donors with a clean voting record run un-replicated,
+// audited at random with probability --spot-check; donors that lose votes
+// are re-replicated and eventually blacklisted.
 //
 // Donor machines then run:  hdcs_donor --host <ip> --port <port>
 
@@ -101,6 +108,16 @@ int run(int argc, char** argv) {
   scfg.scheduler.hedge_endgame = file_cfg.get_bool("hedge_endgame", true);
   scfg.scheduler.max_attempts_per_unit =
       static_cast<int>(file_cfg.get_i64("max_attempts_per_unit", 0));
+  // Result certification: --replicas K leases every unit to K distinct
+  // donors and accepts a payload only on --quorum agreeing digests
+  // (default: majority). Trusted donors drop back to one copy, audited
+  // with probability --spot-check. See docs/ROBUSTNESS.md.
+  scfg.scheduler.replication_factor = static_cast<int>(parse_i64(args.get(
+      "replicas", file_cfg.get_str("replication_factor", "1"))));
+  scfg.scheduler.quorum = static_cast<int>(
+      parse_i64(args.get("quorum", file_cfg.get_str("quorum", "0"))));
+  scfg.scheduler.spot_check_rate = parse_f64(args.get(
+      "spot-check", file_cfg.get_str("spot_check_rate", "0.05")));
   scfg.checkpoint_path = args.get("checkpoint", "");
   scfg.checkpoint_interval_s = parse_f64(args.get("checkpoint-interval", "30"));
 

@@ -1,9 +1,12 @@
 // hdcs_top — poll a live server's MSG_STATS endpoint.
 //
 // Connects to a running hdcs server (see hdcs_submit/hdcs_donor), sends a
-// FetchStats frame and prints the JSON snapshot: scheduler counters, the
-// per-client table and the process metrics registry. No Hello handshake is
-// needed; any connection may ask for stats.
+// FetchStats frame and prints the JSON snapshot: scheduler counters
+// (including the replication/vote counters and results_rejected_*), the
+// per-client table — with each donor's `rep` reputation score,
+// `blacklisted` flag and vote win/loss record — and the process metrics
+// registry. No Hello handshake is needed; any connection may ask for
+// stats.
 //
 //   hdcs_top --port 5005                    one snapshot, pretty-printed
 //   hdcs_top --port 5005 --watch 2          repeat every 2 s until killed

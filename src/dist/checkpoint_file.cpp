@@ -17,7 +17,9 @@ namespace hdcs::dist {
 
 namespace {
 constexpr std::uint32_t kCheckpointMagic = 0x484b4350;  // "HKCP"
-constexpr std::uint32_t kCheckpointFileVersion = 1;
+// v2: SchedulerCore layout gained replication/vote state per in-flight
+// unit and the donor reputation ledger.
+constexpr std::uint32_t kCheckpointFileVersion = 2;
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw IoError(what + ": " + std::strerror(errno));

@@ -257,6 +257,21 @@ ClientRunStats Client::run() {
         result.unit_id = unit.unit_id;
         result.stage = unit.stage;
         result.payload = ctx.algorithm->process(unit);
+        if (config_.corrupt_rate > 0 && !result.payload.empty()) {
+          // Deterministic per-unit draw: the same donor lies about the
+          // same units on every run, so chaos tests are reproducible.
+          Rng draw(config_.corrupt_seed ^ name_seed(config_.name) ^
+                   (unit.unit_id * 0x9e3779b97f4a7c15ull));
+          if (draw.next_double() < config_.corrupt_rate) {
+            std::size_t at = static_cast<std::size_t>(
+                draw.next_below(result.payload.size()));
+            result.payload[at] ^= std::byte{0x5a};
+            LOG_DEBUG("corrupting result for unit " << unit.unit_id);
+          }
+        }
+        // Digest over the bytes actually submitted — a lying donor signs
+        // its lie, so the wire check passes and voting has to catch it.
+        result.payload_crc = net::crc32(result.payload);
         double compute_s = sw.seconds();
         stats.compute_seconds += compute_s;
         if (config_.throttle > 1.0) {

@@ -46,6 +46,13 @@ struct ClientConfig {
   /// Fault injection: crash (vanish without submitting or saying Goodbye)
   /// right after computing the Nth unit. -1 = never.
   int crash_after_units = -1;
+  /// Compute fault injection (test-only): corrupt this fraction of result
+  /// payloads before submitting, modelling flaky RAM or a hostile donor.
+  /// The corrupted payload gets a *matching* digest — a lying donor is
+  /// self-consistent, so only replication voting can catch it. Draws are
+  /// deterministic per (corrupt_seed, donor name, unit id). 0 = off.
+  double corrupt_rate = 0.0;
+  std::uint64_t corrupt_seed = 0;
   /// Send heartbeats on a second connection so long computations don't
   /// trip the server's client timeout. Interval comes from the HelloAck;
   /// set false to emulate a heartbeat-less legacy client in tests.

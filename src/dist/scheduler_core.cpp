@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/bulk.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -11,9 +12,26 @@ namespace hdcs::dist {
 
 SchedulerCore::SchedulerCore(SchedulerConfig config,
                              std::unique_ptr<GranularityPolicy> policy)
-    : config_(config), policy_(std::move(policy)) {
+    : config_(config),
+      policy_(std::move(policy)),
+      integrity_rng_(config.integrity_seed) {
   if (!policy_) throw InputError("SchedulerCore: null granularity policy");
   if (config_.lease_timeout <= 0) throw InputError("lease_timeout must be > 0");
+  if (config_.replication_factor < 1) {
+    throw InputError("replication_factor must be >= 1");
+  }
+  if (config_.quorum < 0 || config_.quorum > config_.replication_factor) {
+    throw InputError("quorum must be in [0, replication_factor]");
+  }
+  if (config_.spot_check_rate < 0 || config_.spot_check_rate > 1) {
+    throw InputError("spot_check_rate must be in [0, 1]");
+  }
+  if (config_.reputation_alpha <= 0 || config_.reputation_alpha > 1) {
+    throw InputError("reputation_alpha must be in (0, 1]");
+  }
+  if (config_.max_tie_breakers < 0) {
+    throw InputError("max_tie_breakers must be >= 0");
+  }
 }
 
 ProblemId SchedulerCore::submit_problem(std::shared_ptr<DataManager> dm) {
@@ -112,6 +130,12 @@ std::vector<ClientInfo> SchedulerCore::all_client_stats() const {
     info.name = cs.name;
     info.active = cs.active;
     info.stats = cs.stats;
+    if (auto rit = reputation_.find(cs.name); rit != reputation_.end()) {
+      info.reputation = rit->second.score;
+      info.blacklisted = rit->second.blacklisted;
+      info.vote_wins = rit->second.vote_wins;
+      info.vote_losses = rit->second.vote_losses;
+    }
     out.push_back(std::move(info));
   }
   return out;
@@ -125,6 +149,40 @@ int SchedulerCore::active_client_count() const {
   return n;
 }
 
+const DonorReputation* SchedulerCore::reputation(const std::string& name) const {
+  auto it = reputation_.find(name);
+  return it == reputation_.end() ? nullptr : &it->second;
+}
+
+std::string SchedulerCore::voter_name(ClientId id) const {
+  auto it = clients_.find(id);
+  return it == clients_.end() ? "#" + std::to_string(id) : it->second.name;
+}
+
+bool SchedulerCore::is_trusted(const std::string& name) const {
+  auto it = reputation_.find(name);
+  if (it == reputation_.end()) return false;  // unknown donors start untrusted
+  return !it->second.blacklisted &&
+         it->second.score >= config_.reputation_trust_threshold;
+}
+
+bool SchedulerCore::is_blacklisted(const std::string& name) const {
+  auto it = reputation_.find(name);
+  return it != reputation_.end() && it->second.blacklisted;
+}
+
+int SchedulerCore::effective_quorum() const {
+  return config_.quorum > 0 ? config_.quorum
+                            : config_.replication_factor / 2 + 1;
+}
+
+void SchedulerCore::release_lease_stat(ClientId owner) {
+  auto it = clients_.find(owner);
+  if (it != clients_.end() && it->second.stats.outstanding > 0) {
+    it->second.stats.outstanding -= 1;
+  }
+}
+
 std::optional<WorkUnit> SchedulerCore::request_work(ClientId client, double now) {
   last_now_ = now;
   auto cit = clients_.find(client);
@@ -135,33 +193,17 @@ std::optional<WorkUnit> SchedulerCore::request_work(ClientId client, double now)
   ClientState& cs = cit->second;
   cs.stats.last_seen = now;
 
-  // 1) Reissue orphaned units first: they are what stage barriers and
-  //    problem completion are waiting on.
+  // A blacklisted donor gets nothing: its results would be rejected anyway,
+  // and handing it replicas would waste honest donors' votes.
+  if (is_blacklisted(cs.name)) {
+    stats_.work_requests_unserved += 1;
+    return std::nullopt;
+  }
+
+  // 1) Queued copies first — reissues of failed units and missing replicas
+  //    are what stage barriers and pending votes are waiting on.
   for (auto& [pid, ps] : problems_) {
-    if (!ps.requeue.empty()) {
-      Lease lease = std::move(ps.requeue.front());
-      ps.requeue.pop_front();
-      lease.owner = client;
-      lease.issued_at = now;
-      lease.deadline = now + config_.lease_timeout;
-      lease.attempt += 1;
-      WorkUnit unit = lease.unit;
-      int attempt = lease.attempt;
-      ps.outstanding[unit.unit_id] = std::move(lease);
-      cs.stats.outstanding += 1;
-      stats_.units_issued += 1;
-      stats_.units_reissued += 1;
-      if (tracer_) {
-        tracer_->event(now, "unit_reissued")
-            .u64("client", client)
-            .u64("problem", unit.problem_id)
-            .u64("unit", unit.unit_id)
-            .u64("stage", unit.stage)
-            .num("cost_ops", unit.cost_ops)
-            .num("attempt", attempt);
-      }
-      return unit;
-    }
+    if (auto unit = serve_queued(pid, ps, cs, now)) return unit;
   }
 
   // 2) Round-robin across active problems for a fresh unit, starting after
@@ -193,7 +235,7 @@ std::optional<WorkUnit> SchedulerCore::request_work(ClientId client, double now)
     do {
       ProblemState& ps = it->second;
       if (!ps.dm->is_complete()) {
-        if (auto unit = hedge_from(ps, cs, now)) {
+        if (auto unit = hedge_from(it->first, ps, cs, now)) {
           rr_cursor_ = it->first;
           return unit;
         }
@@ -207,46 +249,96 @@ std::optional<WorkUnit> SchedulerCore::request_work(ClientId client, double now)
   return std::nullopt;
 }
 
-std::optional<WorkUnit> SchedulerCore::hedge_from(ProblemState& ps,
+std::optional<WorkUnit> SchedulerCore::serve_queued(ProblemId pid,
+                                                    ProblemState& ps,
+                                                    ClientState& cs, double now) {
+  // Bounded single pass: each entry is popped once; entries this client is
+  // not eligible for (it already holds a copy, or its name already voted)
+  // go back to the queue for someone else.
+  std::size_t scan = ps.issue_queue.size();
+  for (std::size_t i = 0; i < scan; ++i) {
+    QueueEntry entry = ps.issue_queue.front();
+    ps.issue_queue.pop_front();
+    auto uit = ps.in_flight.find(entry.uid);
+    if (uit == ps.in_flight.end()) continue;  // unit resolved meanwhile: stale
+    UnitState& us = uit->second;
+    if (us.holds_lease(cs.self_id) || us.votes.count(cs.name)) {
+      ps.issue_queue.push_back(entry);  // replicas must go to distinct donors
+      continue;
+    }
+    us.queued -= 1;
+    us.leases.push_back(Replica{cs.self_id, now, now + config_.lease_timeout,
+                                /*hedge=*/false});
+    cs.stats.outstanding += 1;
+    stats_.units_issued += 1;
+    if (entry.reissue) {
+      us.attempt += 1;
+      stats_.units_reissued += 1;
+      if (tracer_) {
+        tracer_->event(now, "unit_reissued")
+            .u64("client", cs.self_id)
+            .u64("problem", pid)
+            .u64("unit", us.unit.unit_id)
+            .u64("stage", us.unit.stage)
+            .num("cost_ops", us.unit.cost_ops)
+            .num("attempt", us.attempt);
+      }
+    } else {
+      stats_.replicas_issued += 1;
+      if (tracer_) {
+        tracer_->event(now, "replica_issued")
+            .u64("client", cs.self_id)
+            .u64("problem", pid)
+            .u64("unit", us.unit.unit_id)
+            .u64("stage", us.unit.stage)
+            .num("cost_ops", us.unit.cost_ops);
+      }
+    }
+    WorkUnit unit = us.unit;
+    apply_replication_policy(pid, ps, us, cs, now);
+    return unit;
+  }
+  return std::nullopt;
+}
+
+std::optional<WorkUnit> SchedulerCore::hedge_from(ProblemId pid, ProblemState& ps,
                                                   ClientState& cs, double now) {
-  // Oldest outstanding lease owned by someone else, not hedged out yet.
-  auto best = ps.outstanding.end();
-  for (auto it = ps.outstanding.begin(); it != ps.outstanding.end(); ++it) {
-    if (it->second.owner == cs.self_id) continue;
-    if (it->second.attempt > config_.max_hedges_per_unit) continue;
-    if (best == ps.outstanding.end() ||
-        it->second.issued_at < best->second.issued_at) {
+  // Oldest outstanding unit (by its earliest live lease) this client does
+  // not already hold or have voted on, still under the hedge cap.
+  auto best = ps.in_flight.end();
+  double best_issued = 0;
+  for (auto it = ps.in_flight.begin(); it != ps.in_flight.end(); ++it) {
+    UnitState& us = it->second;
+    if (us.leases.empty()) continue;  // queued or mid-vote, not hedgeable
+    if (us.hedges >= config_.max_hedges_per_unit) continue;
+    if (us.holds_lease(cs.self_id) || us.votes.count(cs.name)) continue;
+    double oldest = us.leases.front().issued_at;
+    for (const auto& l : us.leases) oldest = std::min(oldest, l.issued_at);
+    if (best == ps.in_flight.end() || oldest < best_issued) {
       best = it;
+      best_issued = oldest;
     }
   }
-  if (best == ps.outstanding.end()) return std::nullopt;
+  if (best == ps.in_flight.end()) return std::nullopt;
 
-  // Transfer the lease to the hedger (single lease record per unit; the
-  // original owner's late result is still accepted as first-wins).
-  Lease lease = best->second;
-  auto old_owner = clients_.find(lease.owner);
-  if (old_owner != clients_.end() && old_owner->second.stats.outstanding > 0) {
-    old_owner->second.stats.outstanding -= 1;
-  }
-  lease.owner = cs.self_id;
-  lease.issued_at = now;
-  lease.deadline = now + config_.lease_timeout;
-  lease.attempt += 1;
-  WorkUnit unit = lease.unit;
-  int attempt = lease.attempt;
-  best->second = std::move(lease);
+  UnitState& us = best->second;
+  us.hedges += 1;
+  us.leases.push_back(Replica{cs.self_id, now, now + config_.lease_timeout,
+                              /*hedge=*/true});
   cs.stats.outstanding += 1;
   stats_.units_issued += 1;
   stats_.units_hedged += 1;
   if (tracer_) {
     tracer_->event(now, "unit_hedged")
         .u64("client", cs.self_id)
-        .u64("problem", unit.problem_id)
-        .u64("unit", unit.unit_id)
-        .u64("stage", unit.stage)
-        .num("cost_ops", unit.cost_ops)
-        .num("attempt", attempt);
+        .u64("problem", pid)
+        .u64("unit", us.unit.unit_id)
+        .u64("stage", us.unit.stage)
+        .num("cost_ops", us.unit.cost_ops)
+        .num("attempt", us.attempt + us.hedges);
   }
+  WorkUnit unit = us.unit;
+  apply_replication_policy(pid, ps, us, cs, now);
   return unit;
 }
 
@@ -267,8 +359,7 @@ std::optional<WorkUnit> SchedulerCore::issue_from(ProblemId pid, ProblemState& p
       ps.barrier_flagged = true;
       tracer_->event(now, "stage_barrier")
           .u64("problem", pid)
-          .num("outstanding", static_cast<double>(ps.outstanding.size()) +
-                                  static_cast<double>(ps.requeue.size()));
+          .num("outstanding", static_cast<double>(ps.in_flight.size()));
     }
     return std::nullopt;
   }
@@ -279,12 +370,11 @@ std::optional<WorkUnit> SchedulerCore::issue_from(ProblemId pid, ProblemState& p
   unit->problem_id = pid;
   unit->unit_id = ps.next_unit_id++;
 
-  Lease lease;
-  lease.unit = *unit;
-  lease.owner = cs.self_id;
-  lease.issued_at = now;
-  lease.deadline = now + config_.lease_timeout;
-  ps.outstanding[unit->unit_id] = lease;
+  UnitState us;
+  us.unit = *unit;
+  us.leases.push_back(Replica{cs.self_id, now, now + config_.lease_timeout,
+                              /*hedge=*/false});
+  auto [uit, inserted] = ps.in_flight.emplace(unit->unit_id, std::move(us));
   cs.stats.outstanding += 1;
   stats_.units_issued += 1;
   if (tracer_) {
@@ -295,7 +385,46 @@ std::optional<WorkUnit> SchedulerCore::issue_from(ProblemId pid, ProblemState& p
         .u64("stage", unit->stage)
         .num("cost_ops", unit->cost_ops);
   }
+  apply_replication_policy(pid, ps, uit->second, cs, now);
   return unit;
+}
+
+void SchedulerCore::apply_replication_policy(ProblemId pid, ProblemState& ps,
+                                             UnitState& us,
+                                             const ClientState& cs, double now) {
+  if (config_.replication_factor < 2) return;  // integrity layer disabled
+  if (us.replicas_wanted > 1 || !us.votes.empty()) return;  // already voting
+  bool replicate = true;
+  bool spot = false;
+  if (is_trusted(cs.name)) {
+    // Proven donors run un-replicated, minus a seeded random audit.
+    spot = integrity_rng_.next_double() < config_.spot_check_rate;
+    replicate = spot;
+  }
+  if (!replicate) return;
+  us.replicas_wanted = config_.replication_factor;
+  us.quorum_needed = effective_quorum();
+  us.spot_check = spot;
+  if (spot) stats_.spot_checks += 1;
+  stats_.units_replicated += 1;
+  int need = us.replicas_wanted - us.live_copies();
+  if (need > 0) queue_copies(ps, us, need, /*reissue=*/false);
+  if (tracer_) {
+    tracer_->event(now, "unit_replicated")
+        .u64("problem", pid)
+        .u64("unit", us.unit.unit_id)
+        .u64("replicas", static_cast<std::uint64_t>(us.replicas_wanted))
+        .u64("quorum", static_cast<std::uint64_t>(us.quorum_needed))
+        .boolean("spot_check", spot);
+  }
+}
+
+void SchedulerCore::queue_copies(ProblemState& ps, UnitState& us, int copies,
+                                 bool reissue) {
+  for (int i = 0; i < copies; ++i) {
+    ps.issue_queue.push_back(QueueEntry{us.unit.unit_id, reissue});
+    us.queued += 1;
+  }
 }
 
 bool SchedulerCore::submit_result(ClientId client, const ResultUnit& result,
@@ -303,6 +432,19 @@ bool SchedulerCore::submit_result(ClientId client, const ResultUnit& result,
   last_now_ = now;
   auto cit = clients_.find(client);
   if (cit != clients_.end()) cit->second.stats.last_seen = now;
+  std::string voter = voter_name(client);
+
+  if (is_blacklisted(voter)) {
+    stats_.results_rejected_blacklisted += 1;
+    if (tracer_) {
+      tracer_->event(now, "result_rejected")
+          .u64("problem", result.problem_id)
+          .u64("unit", result.unit_id)
+          .str("name", voter)
+          .str("reason", "blacklisted");
+    }
+    return false;
+  }
 
   auto drop = [&](const char* reason) {
     if (tracer_) {
@@ -320,6 +462,7 @@ bool SchedulerCore::submit_result(ClientId client, const ResultUnit& result,
     stats_.stale_results_dropped += 1;
     return drop("unknown_problem");
   }
+  ProblemId pid = pit->first;
   ProblemState& ps = pit->second;
 
   if (ps.completed.count(result.unit_id)) {
@@ -327,88 +470,263 @@ bool SchedulerCore::submit_result(ClientId client, const ResultUnit& result,
     return drop("duplicate");
   }
 
-  double elapsed = -1;  // unknown unless this client held the live lease
-  double cost_ops = 0;
-  auto lit = ps.outstanding.find(result.unit_id);
-  if (lit == ps.outstanding.end()) {
-    // Not completed, not outstanding: could be sitting in the requeue after
-    // a lease expiry — the original owner finished late. Accept it and
-    // drop the requeued copy.
-    auto rit = std::find_if(ps.requeue.begin(), ps.requeue.end(),
-                            [&](const Lease& l) {
-                              return l.unit.unit_id == result.unit_id;
-                            });
-    if (rit == ps.requeue.end()) {
-      // Quarantined poison units are never reissued, but a genuine late
-      // result rescues one.
-      auto qit = ps.quarantined.find(result.unit_id);
-      if (qit == ps.quarantined.end()) {
-        stats_.stale_results_dropped += 1;
-        return drop("stale");
-      }
-      cost_ops = qit->second.unit.cost_ops;
-      ps.quarantined.erase(qit);
-    } else {
-      cost_ops = rit->unit.cost_ops;
-      ps.requeue.erase(rit);
+  // Transport-level certification: the digest the donor computed over the
+  // payload it produced must match the bytes that arrived. A mismatch is a
+  // corrupt donor (or a corrupt path the frame CRC somehow missed) — the
+  // submitting donor's lease is failed, the result never reaches a vote.
+  // Digest 0 means "not supplied" (an old donor); the payload still goes
+  // through replication voting, just without the cheap self-check.
+  std::uint32_t digest = net::crc32(std::span<const std::byte>(result.payload));
+  if (result.payload_crc != 0 && result.payload_crc != digest) {
+    stats_.results_rejected_digest += 1;
+    LOG_WARN("result digest mismatch from client " << client << " ("
+                                                   << voter << ") for unit "
+                                                   << result.unit_id);
+    if (tracer_) {
+      tracer_->event(now, "result_rejected")
+          .u64("problem", result.problem_id)
+          .u64("unit", result.unit_id)
+          .str("name", voter)
+          .str("reason", "digest_mismatch");
     }
-  } else {
-    const Lease& lease = lit->second;
-    cost_ops = lease.unit.cost_ops;
-    // Update the owner's throughput estimate from this unit's turnaround.
-    if (lease.owner == client && cit != clients_.end()) {
-      elapsed = now - lease.issued_at;
-      if (elapsed > 1e-9) {
-        double rate = lease.unit.cost_ops / elapsed;
-        ClientStats& st = cit->second.stats;
-        st.ewma_ops_per_sec = st.ewma_ops_per_sec <= 0
-                                  ? rate
-                                  : config_.ewma_alpha * rate +
-                                        (1 - config_.ewma_alpha) * st.ewma_ops_per_sec;
+    auto uit = ps.in_flight.find(result.unit_id);
+    if (uit != ps.in_flight.end()) {
+      UnitState& us = uit->second;
+      for (auto lit = us.leases.begin(); lit != us.leases.end(); ++lit) {
+        if (lit->owner == client) {
+          Replica lost = *lit;
+          us.leases.erase(lit);
+          release_lease_stat(client);
+          if (fail_replica(pid, ps, us, lost, now, "digest_mismatch")) {
+            move_to_quarantine(pid, ps, result.unit_id, now, "digest_mismatch");
+          }
+          break;
+        }
       }
     }
-    // Decrement outstanding count on whichever client holds the lease.
-    auto oit = clients_.find(lit->second.owner);
-    if (oit != clients_.end() && oit->second.stats.outstanding > 0) {
-      oit->second.stats.outstanding -= 1;
-    }
-    ps.outstanding.erase(lit);
+    return false;
   }
 
-  ps.completed.insert(result.unit_id);
-  if (cit != clients_.end()) cit->second.stats.units_completed += 1;
-  stats_.results_accepted += 1;
-  if (tracer_) {
-    auto ev = tracer_->event(now, "unit_completed");
-    ev.u64("client", client)
-        .u64("problem", result.problem_id)
-        .u64("unit", result.unit_id)
-        .u64("stage", result.stage)
-        .num("cost_ops", cost_ops);
-    if (elapsed >= 0) ev.num("elapsed_s", elapsed);
+  auto uit = ps.in_flight.find(result.unit_id);
+  if (uit == ps.in_flight.end()) {
+    // Quarantined poison units are never reissued, but a genuine late
+    // result still reaches them: un-replicated units are rescued outright,
+    // replicated ones re-enter the vote.
+    auto qit = ps.quarantined.find(result.unit_id);
+    if (qit == ps.quarantined.end()) {
+      stats_.stale_results_dropped += 1;
+      return drop("stale");
+    }
+    auto node = ps.quarantined.extract(qit);
+    uit = ps.in_flight.insert(std::move(node)).position;
   }
-  ps.dm->accept_result(result);
+  UnitState& us = uit->second;
+
+  // Remove this client's lease (if it held one) and fold the turnaround
+  // into its throughput estimate.
+  double elapsed = -1;  // unknown unless this client held a live lease
+  for (auto lit = us.leases.begin(); lit != us.leases.end(); ++lit) {
+    if (lit->owner != client) continue;
+    elapsed = now - lit->issued_at;
+    if (elapsed > 1e-9 && cit != clients_.end()) {
+      double rate = us.unit.cost_ops / elapsed;
+      ClientStats& st = cit->second.stats;
+      st.ewma_ops_per_sec =
+          st.ewma_ops_per_sec <= 0
+              ? rate
+              : config_.ewma_alpha * rate +
+                    (1 - config_.ewma_alpha) * st.ewma_ops_per_sec;
+    }
+    us.leases.erase(lit);
+    release_lease_stat(client);
+    break;
+  }
+
+  if (us.replicas_wanted <= 1 && us.votes.empty()) {
+    // Un-replicated fast path: first result wins, exactly the pre-voting
+    // scheduler. Surviving hedge copies are cancelled.
+    for (const auto& l : us.leases) release_lease_stat(l.owner);
+    double cost_ops = us.unit.cost_ops;
+    ps.in_flight.erase(uit);  // queued copies become stale queue entries
+    ps.completed.insert(result.unit_id);
+    if (cit != clients_.end()) cit->second.stats.units_completed += 1;
+    stats_.results_accepted += 1;
+    if (tracer_) {
+      auto ev = tracer_->event(now, "unit_completed");
+      ev.u64("client", client)
+          .u64("problem", result.problem_id)
+          .u64("unit", result.unit_id)
+          .u64("stage", result.stage)
+          .num("cost_ops", cost_ops);
+      if (elapsed >= 0) ev.num("elapsed_s", elapsed);
+    }
+    ps.dm->accept_result(result);
+    return true;
+  }
+
+  return record_vote(pid, ps, result.unit_id, client, voter, digest, result,
+                     now);
+}
+
+bool SchedulerCore::record_vote(ProblemId pid, ProblemState& ps, UnitId uid,
+                                ClientId client, const std::string& voter,
+                                std::uint32_t digest, const ResultUnit& result,
+                                double now) {
+  UnitState& us = ps.in_flight.at(uid);
+  if (us.votes.count(voter)) {
+    stats_.duplicate_results_dropped += 1;
+    if (tracer_) {
+      tracer_->event(now, "result_duplicate")
+          .u64("client", client)
+          .u64("problem", pid)
+          .u64("unit", uid)
+          .str("reason", "duplicate_vote");
+    }
+    return false;
+  }
+  us.votes.emplace(voter, digest);
+  us.payload_by_digest.emplace(digest, result.payload);  // first copy wins
+  stats_.votes_recorded += 1;
+  int agreeing = 0;
+  for (const auto& [name, d] : us.votes) {
+    if (d == digest) ++agreeing;
+  }
+  if (tracer_) {
+    tracer_->event(now, "vote_recorded")
+        .u64("client", client)
+        .u64("problem", pid)
+        .u64("unit", uid)
+        .u64("digest", digest)
+        .u64("votes", us.votes.size());
+  }
+  if (agreeing >= us.quorum_needed) {
+    auto payload = std::move(us.payload_by_digest.at(digest));
+    accept_unit(pid, ps, uid, client, digest, std::move(payload), now);
+    return true;
+  }
+  if (us.leases.empty() && us.queued == 0) {
+    // Every copy answered and no digest has quorum: the donors disagree.
+    stats_.vote_mismatches += 1;
+    us.tie_breakers += 1;
+    if (tracer_) {
+      tracer_->event(now, "vote_mismatch")
+          .u64("problem", pid)
+          .u64("unit", uid)
+          .u64("votes", us.votes.size())
+          .u64("tie_breakers", static_cast<std::uint64_t>(us.tie_breakers));
+    }
+    if (us.tie_breakers > config_.max_tie_breakers) {
+      move_to_quarantine(pid, ps, uid, now, "vote_unresolvable");
+    } else {
+      queue_copies(ps, us, 1, /*reissue=*/false);
+    }
+  }
   return true;
+}
+
+void SchedulerCore::accept_unit(ProblemId pid, ProblemState& ps, UnitId uid,
+                                ClientId client, std::uint32_t winning_digest,
+                                std::vector<std::byte> payload, double now) {
+  auto node = ps.in_flight.extract(uid);
+  UnitState us = std::move(node.mapped());
+  ps.completed.insert(uid);
+  stats_.results_accepted += 1;
+  stats_.vote_quorums += 1;
+  auto cit = clients_.find(client);
+  if (cit != clients_.end()) cit->second.stats.units_completed += 1;
+  // Donors still holding a copy neither win nor lose — their leases are
+  // simply cancelled (their queued copies turn into stale queue entries).
+  for (const auto& l : us.leases) release_lease_stat(l.owner);
+  int winners = 0;
+  for (const auto& [name, d] : us.votes) {
+    if (d == winning_digest) ++winners;
+  }
+  if (tracer_) {
+    tracer_->event(now, "vote_quorum")
+        .u64("problem", pid)
+        .u64("unit", uid)
+        .u64("digest", winning_digest)
+        .u64("votes", static_cast<std::uint64_t>(winners));
+    tracer_->event(now, "unit_completed")
+        .u64("client", client)
+        .u64("problem", pid)
+        .u64("unit", uid)
+        .u64("stage", us.unit.stage)
+        .num("cost_ops", us.unit.cost_ops);
+  }
+  for (const auto& [name, d] : us.votes) {
+    bool won = d == winning_digest;
+    if (!won) {
+      stats_.results_rejected_mismatch += 1;
+      LOG_WARN("donor '" << name << "' lost digest vote on unit " << uid
+                         << " of problem " << pid);
+      if (tracer_) {
+        tracer_->event(now, "result_rejected")
+            .u64("problem", pid)
+            .u64("unit", uid)
+            .str("name", name)
+            .str("reason", "vote_lost");
+      }
+    }
+    settle_vote(name, won, now);
+  }
+  ResultUnit canonical;
+  canonical.problem_id = pid;
+  canonical.unit_id = uid;
+  canonical.stage = us.unit.stage;
+  canonical.payload = std::move(payload);
+  canonical.payload_crc = winning_digest;
+  ps.dm->accept_result(canonical);
+}
+
+void SchedulerCore::settle_vote(const std::string& name, bool won, double now) {
+  auto& rep = reputation_[name];
+  if (won) {
+    rep.vote_wins += 1;
+  } else {
+    rep.vote_losses += 1;
+  }
+  rep.score = (1 - config_.reputation_alpha) * rep.score +
+              config_.reputation_alpha * (won ? 1.0 : 0.0);
+  if (!won && !rep.blacklisted && config_.blacklist_after > 0 &&
+      rep.vote_losses >= static_cast<std::uint64_t>(config_.blacklist_after)) {
+    rep.blacklisted = true;
+    stats_.donors_blacklisted += 1;
+    LOG_WARN("donor '" << name << "' blacklisted after " << rep.vote_losses
+                       << " lost votes");
+    if (tracer_) {
+      tracer_->event(now, "donor_blacklisted")
+          .str("name", name)
+          .u64("losses", rep.vote_losses)
+          .num("score", rep.score);
+    }
+  }
 }
 
 void SchedulerCore::tick(double now) {
   last_now_ = now;
   // Expire leases.
   for (auto& [pid, ps] : problems_) {
-    for (auto it = ps.outstanding.begin(); it != ps.outstanding.end();) {
-      if (it->second.deadline <= now) {
-        LOG_WARN("lease expired for problem " << pid << " unit "
-                                              << it->first << " (attempt "
-                                              << it->second.attempt << ")");
-        auto oit = clients_.find(it->second.owner);
-        if (oit != clients_.end() && oit->second.stats.outstanding > 0) {
-          oit->second.stats.outstanding -= 1;
+    std::vector<UnitId> to_quarantine;
+    for (auto& [uid, us] : ps.in_flight) {
+      bool quarantine = false;
+      for (auto lit = us.leases.begin(); lit != us.leases.end();) {
+        if (lit->deadline <= now) {
+          Replica lost = *lit;
+          lit = us.leases.erase(lit);
+          release_lease_stat(lost.owner);
+          LOG_WARN("lease expired for problem " << pid << " unit " << uid
+                                                << " (attempt " << us.attempt
+                                                << ")");
+          quarantine |= fail_replica(pid, ps, us, lost, now, "lease_expired");
+        } else {
+          ++lit;
         }
-        fail_lease(pid, ps, std::move(it->second), now, "lease_expired");
-        it = ps.outstanding.erase(it);
-      } else {
-        ++it;
       }
+      if (quarantine) to_quarantine.push_back(uid);
+    }
+    for (UnitId uid : to_quarantine) {
+      move_to_quarantine(pid, ps, uid, now, "lease_expired");
     }
   }
   // Expire silent clients.
@@ -427,6 +745,102 @@ void SchedulerCore::tick(double now) {
       }
     }
   }
+  // Evict long-departed client rows so a fleet of reconnecting donors
+  // cannot grow the table without bound. Aggregates are preserved.
+  if (config_.client_retention_s > 0) {
+    for (auto it = clients_.begin(); it != clients_.end();) {
+      const ClientState& cs = it->second;
+      if (!cs.active && cs.stats.outstanding == 0 &&
+          now - cs.stats.last_seen > config_.client_retention_s) {
+        evicted_units_completed_ +=
+            static_cast<std::uint64_t>(cs.stats.units_completed);
+        stats_.clients_evicted += 1;
+        if (tracer_) {
+          tracer_->event(now, "client_evicted")
+              .u64("client", it->first)
+              .str("name", cs.name);
+        }
+        it = clients_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void SchedulerCore::requeue_client_units(ClientId id, double now,
+                                         const char* reason) {
+  for (auto& [pid, ps] : problems_) {
+    std::vector<UnitId> to_quarantine;
+    for (auto& [uid, us] : ps.in_flight) {
+      for (auto lit = us.leases.begin(); lit != us.leases.end(); ++lit) {
+        if (lit->owner != id) continue;
+        Replica lost = *lit;
+        us.leases.erase(lit);
+        if (fail_replica(pid, ps, us, lost, now, reason)) {
+          to_quarantine.push_back(uid);
+        }
+        break;  // a client holds at most one lease per unit
+      }
+    }
+    for (UnitId uid : to_quarantine) {
+      move_to_quarantine(pid, ps, uid, now, reason);
+    }
+  }
+  auto cit = clients_.find(id);
+  if (cit != clients_.end()) cit->second.stats.outstanding = 0;
+}
+
+bool SchedulerCore::fail_replica(ProblemId pid, ProblemState& ps, UnitState& us,
+                                 const Replica& lost, double now,
+                                 const char* reason) {
+  (void)pid;
+  (void)now;
+  (void)reason;
+  if (us.live_copies() == 0) {
+    // The unit's last copy is gone (recorded votes count as live — they
+    // already delivered). This is the legacy single-lease failure: it
+    // burns an attempt toward quarantine and requeues one reissue copy.
+    if (config_.max_attempts_per_unit > 0 &&
+        us.attempt >= config_.max_attempts_per_unit) {
+      return true;  // caller quarantines (we may be mid-iteration)
+    }
+    queue_copies(ps, us, 1, /*reissue=*/true);
+    return false;
+  }
+  // Sibling copies are still live. A lost hedge is dropped for free; a
+  // lost replica is replaced so the vote can still reach quorum. Neither
+  // burns an attempt — losing a *copy* must not quarantine a healthy unit.
+  if (lost.hedge) return false;
+  int need = us.replicas_wanted - us.live_copies();
+  if (need > 0) queue_copies(ps, us, need, /*reissue=*/false);
+  return false;
+}
+
+void SchedulerCore::move_to_quarantine(ProblemId pid, ProblemState& ps,
+                                       UnitId uid, double now,
+                                       const char* reason) {
+  auto node = ps.in_flight.extract(uid);
+  if (node.empty()) return;
+  UnitState& us = node.mapped();
+  for (const auto& l : us.leases) release_lease_stat(l.owner);
+  us.leases.clear();
+  us.queued = 0;  // surviving queue entries are dropped as stale at serve
+  LOG_WARN("quarantining poison unit " << uid << " of problem " << pid
+                                       << " after " << us.attempt
+                                       << " failed attempts (" << reason
+                                       << ")");
+  stats_.units_quarantined += 1;
+  if (tracer_) {
+    tracer_->event(now, "unit_quarantined")
+        .u64("problem", pid)
+        .u64("unit", uid)
+        .u64("stage", us.unit.stage)
+        .num("cost_ops", us.unit.cost_ops)
+        .num("attempts", us.attempt)
+        .str("reason", reason);
+  }
+  ps.quarantined.emplace(uid, std::move(node.mapped()));
 }
 
 void SchedulerCore::checkpoint(ByteWriter& w) const {
@@ -435,12 +849,26 @@ void SchedulerCore::checkpoint(ByteWriter& w) const {
         .u64("problems", problems_.size())
         .u64("units_in_flight", in_flight_units());
   }
-  auto write_lease = [&w](const Lease& l) {
-    w.u64(l.unit.unit_id);
-    w.u32(l.unit.stage);
-    w.f64(l.unit.cost_ops);
-    w.bytes(l.unit.payload);
-    w.u32(static_cast<std::uint32_t>(l.attempt));
+  auto write_unit = [&w](const UnitState& us) {
+    w.u64(us.unit.unit_id);
+    w.u32(us.unit.stage);
+    w.f64(us.unit.cost_ops);
+    w.bytes(us.unit.payload);
+    w.u32(static_cast<std::uint32_t>(us.attempt));
+    w.u32(static_cast<std::uint32_t>(us.replicas_wanted));
+    w.u32(static_cast<std::uint32_t>(us.quorum_needed));
+    w.u32(static_cast<std::uint32_t>(us.tie_breakers));
+    w.boolean(us.spot_check);
+    w.u32(static_cast<std::uint32_t>(us.votes.size()));
+    for (const auto& [name, digest] : us.votes) {
+      w.str(name);
+      w.u32(digest);
+    }
+    w.u32(static_cast<std::uint32_t>(us.payload_by_digest.size()));
+    for (const auto& [digest, payload] : us.payload_by_digest) {
+      w.u32(digest);
+      w.bytes(payload);
+    }
   };
   w.u64(next_client_id_);
   w.u32(static_cast<std::uint32_t>(problems_.size()));
@@ -453,14 +881,24 @@ void SchedulerCore::checkpoint(ByteWriter& w) const {
     std::vector<std::uint64_t> completed(ps.completed.begin(), ps.completed.end());
     w.u64_vec(completed);
 
-    // In-flight work: everything requeued or leased gets persisted with
-    // its payload (and attempt count, so the quarantine cap survives the
-    // restart) and is simply re-delivered afterwards.
-    w.u32(static_cast<std::uint32_t>(ps.requeue.size() + ps.outstanding.size()));
-    for (const auto& lease : ps.requeue) write_lease(lease);
-    for (const auto& [uid, lease] : ps.outstanding) write_lease(lease);
+    // In-flight work: every incomplete issued unit is persisted with its
+    // payload, attempt count, and any partial digest votes (with the
+    // candidate payloads), so a restart resumes the vote instead of
+    // re-trusting a single donor.
+    w.u32(static_cast<std::uint32_t>(ps.in_flight.size()));
+    for (const auto& [uid, us] : ps.in_flight) write_unit(us);
     w.u32(static_cast<std::uint32_t>(ps.quarantined.size()));
-    for (const auto& [uid, lease] : ps.quarantined) write_lease(lease);
+    for (const auto& [uid, us] : ps.quarantined) write_unit(us);
+  }
+  // The reputation ledger survives restarts: a liar must not launder its
+  // record by crashing the server.
+  w.u32(static_cast<std::uint32_t>(reputation_.size()));
+  for (const auto& [name, rep] : reputation_) {
+    w.str(name);
+    w.f64(rep.score);
+    w.u64(rep.vote_wins);
+    w.u64(rep.vote_losses);
+    w.boolean(rep.blacklisted);
   }
 }
 
@@ -471,15 +909,30 @@ std::size_t SchedulerCore::restore(ByteReader& r) {
     throw ProtocolError("restore: checkpoint has " + std::to_string(count) +
                         " problems, core has " + std::to_string(problems_.size()));
   }
-  auto read_lease = [&r](ProblemId pid) {
-    Lease lease;
-    lease.unit.problem_id = pid;
-    lease.unit.unit_id = r.u64();
-    lease.unit.stage = r.u32();
-    lease.unit.cost_ops = r.f64();
-    lease.unit.payload = r.bytes();
-    lease.attempt = static_cast<int>(r.u32());
-    return lease;
+  auto read_unit = [&r](ProblemId pid) {
+    UnitState us;
+    us.unit.problem_id = pid;
+    us.unit.unit_id = r.u64();
+    us.unit.stage = r.u32();
+    us.unit.cost_ops = r.f64();
+    us.unit.payload = r.bytes();
+    us.attempt = static_cast<int>(r.u32());
+    us.replicas_wanted = static_cast<int>(r.u32());
+    us.quorum_needed = static_cast<int>(r.u32());
+    us.tie_breakers = static_cast<int>(r.u32());
+    us.spot_check = r.boolean();
+    std::uint32_t votes = r.u32();
+    for (std::uint32_t v = 0; v < votes; ++v) {
+      std::string name = r.str();
+      std::uint32_t digest = r.u32();
+      us.votes.emplace(std::move(name), digest);
+    }
+    std::uint32_t payloads = r.u32();
+    for (std::uint32_t p = 0; p < payloads; ++p) {
+      std::uint32_t digest = r.u32();
+      us.payload_by_digest.emplace(digest, r.bytes());
+    }
+    return us;
   };
   std::size_t requeued = 0;
   std::size_t quarantined = 0;
@@ -490,7 +943,8 @@ std::size_t SchedulerCore::restore(ByteReader& r) {
       throw ProtocolError("restore: unknown problem id " + std::to_string(pid));
     }
     ProblemState& ps = it->second;
-    if (!ps.requeue.empty() || !ps.outstanding.empty() || !ps.completed.empty()) {
+    if (!ps.in_flight.empty() || !ps.issue_queue.empty() ||
+        !ps.completed.empty()) {
       throw ProtocolError("restore: problem " + std::to_string(pid) +
                           " already has progress");
     }
@@ -503,16 +957,41 @@ std::size_t SchedulerCore::restore(ByteReader& r) {
 
     std::uint32_t units = r.u32();
     for (std::uint32_t u = 0; u < units; ++u) {
-      ps.requeue.push_back(read_lease(pid));
+      UnitState us = read_unit(pid);
+      UnitId uid = us.unit.unit_id;
+      // Queue the copies the unit is still owed: everything for a fresh
+      // vote, the missing voters for a vote already underway, and always
+      // at least one (the pending tie-breaker case). The first copy of an
+      // un-voted unit counts as a reissue so the quarantine cap still sees
+      // pre-crash attempts.
+      int copies = std::max(
+          us.replicas_wanted - static_cast<int>(us.votes.size()), 1);
+      auto [uit, inserted] = ps.in_flight.emplace(uid, std::move(us));
+      UnitState& ref = uit->second;
+      if (ref.votes.empty()) {
+        queue_copies(ps, ref, 1, /*reissue=*/true);
+        copies -= 1;
+      }
+      if (copies > 0) queue_copies(ps, ref, copies, /*reissue=*/false);
       requeued += 1;
     }
     std::uint32_t q = r.u32();
     for (std::uint32_t u = 0; u < q; ++u) {
-      Lease lease = read_lease(pid);
-      UnitId uid = lease.unit.unit_id;
-      ps.quarantined.emplace(uid, std::move(lease));
+      UnitState us = read_unit(pid);
+      UnitId uid = us.unit.unit_id;
+      ps.quarantined.emplace(uid, std::move(us));
       quarantined += 1;
     }
+  }
+  std::uint32_t reps = r.u32();
+  for (std::uint32_t i = 0; i < reps; ++i) {
+    std::string name = r.str();
+    DonorReputation rep;
+    rep.score = r.f64();
+    rep.vote_wins = r.u64();
+    rep.vote_losses = r.u64();
+    rep.blacklisted = r.boolean();
+    reputation_[std::move(name)] = rep;
   }
   // Client ids jump the same gap as unit ids: a heartbeat or result frame
   // carrying a pre-crash client id must read as unknown, not as some newly
@@ -530,51 +1009,10 @@ std::size_t SchedulerCore::restore(ByteReader& r) {
   return requeued;
 }
 
-void SchedulerCore::requeue_client_units(ClientId id, double now,
-                                         const char* reason) {
-  for (auto& [pid, ps] : problems_) {
-    for (auto it = ps.outstanding.begin(); it != ps.outstanding.end();) {
-      if (it->second.owner == id) {
-        fail_lease(pid, ps, std::move(it->second), now, reason);
-        it = ps.outstanding.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  auto cit = clients_.find(id);
-  if (cit != clients_.end()) cit->second.stats.outstanding = 0;
-}
-
-void SchedulerCore::fail_lease(ProblemId pid, ProblemState& ps, Lease&& lease,
-                               double now, const char* reason) {
-  if (config_.max_attempts_per_unit > 0 &&
-      lease.attempt >= config_.max_attempts_per_unit) {
-    LOG_WARN("quarantining poison unit " << lease.unit.unit_id << " of problem "
-                                         << pid << " after " << lease.attempt
-                                         << " failed attempts (" << reason
-                                         << ")");
-    stats_.units_quarantined += 1;
-    if (tracer_) {
-      tracer_->event(now, "unit_quarantined")
-          .u64("problem", pid)
-          .u64("unit", lease.unit.unit_id)
-          .u64("stage", lease.unit.stage)
-          .num("cost_ops", lease.unit.cost_ops)
-          .num("attempts", lease.attempt)
-          .str("reason", reason);
-    }
-    UnitId uid = lease.unit.unit_id;
-    ps.quarantined.emplace(uid, std::move(lease));
-    return;
-  }
-  ps.requeue.push_back(std::move(lease));
-}
-
 std::size_t SchedulerCore::in_flight_units() const {
   std::size_t n = 0;
   for (const auto& [pid, ps] : problems_) {
-    n += ps.requeue.size() + ps.outstanding.size();
+    n += ps.in_flight.size();
   }
   return n;
 }

@@ -9,6 +9,17 @@
 // time — that is what lets the paper's 83- and 200-machine experiments run
 // faithfully on one core.
 //
+// Result integrity: donors cannot be trusted to return *correct* bytes
+// (flaky RAM, overclocked hardware, hostile volunteers). When replication
+// is enabled the scheduler leases k copies of each unit to distinct donors,
+// votes on the CRC-32 digests of the returned payloads, merges one
+// canonical payload once a quorum of digests agree, and reissues
+// tie-breaker replicas on disagreement. A per-donor reputation score (EWMA
+// of vote wins/losses, keyed by donor *name* so it survives reconnects)
+// lets proven donors run un-replicated, subject to seeded random
+// spot-checks; donors that lose votes are demoted back to full replication
+// and blacklisted after repeated offenses. See docs/ROBUSTNESS.md.
+//
 // Threading: SchedulerCore is NOT thread-safe; callers serialise access
 // (Server holds a mutex, the simulator is single-threaded).
 
@@ -23,6 +34,7 @@
 #include "dist/data_manager.hpp"
 #include "dist/granularity.hpp"
 #include "dist/work.hpp"
+#include "util/rng.hpp"
 
 namespace hdcs::obs {
 class Tracer;
@@ -44,15 +56,61 @@ struct SchedulerConfig {
   /// slow semi-idle donor can add to a problem without waiting for the
   /// lease timeout.
   bool hedge_endgame = false;
-  /// Maximum times a unit may be hedged (attempt cap = 1 + this).
+  /// Maximum times a unit may be hedged.
   int max_hedges_per_unit = 1;
-  /// Poison-unit quarantine: a unit whose lease has failed (expiry, donor
-  /// crash/timeout) this many times is quarantined instead of reissued
-  /// forever — one unit that crashes every donor it touches must not wedge
-  /// the whole problem. A late genuine result for a quarantined unit is
-  /// still accepted (rescued). 0 = unlimited reissues (the default).
+  /// Poison-unit quarantine: a unit whose every lease has failed (expiry,
+  /// donor crash/timeout) this many times is quarantined instead of
+  /// reissued forever — one unit that crashes every donor it touches must
+  /// not wedge the whole problem. A late genuine result for a quarantined
+  /// unit is still accepted (rescued). 0 = unlimited reissues (the
+  /// default). Lost hedge or replica copies whose siblings are still alive
+  /// do NOT burn attempts — only the failure of a unit's *last* live copy
+  /// counts.
   int max_attempts_per_unit = 0;
   GranularityBounds bounds;
+
+  // ---- result integrity (replication / voting / reputation) ----
+
+  /// Lease k copies of each unit to k distinct donors and accept a payload
+  /// only when `quorum` digests agree. 1 (the default) disables
+  /// replication entirely — every behaviour is then identical to the
+  /// pre-integrity scheduler.
+  int replication_factor = 1;
+  /// Digest votes required to accept a payload; 0 = simple majority of
+  /// replication_factor (k/2 + 1).
+  int quorum = 0;
+  /// Trusted donors run un-replicated, but each fresh unit issued to one
+  /// is spot-checked (replicated anyway) with this probability, drawn from
+  /// a deterministic RNG seeded by integrity_seed.
+  double spot_check_rate = 0.05;
+  std::uint64_t integrity_seed = 1;
+  /// Reputation EWMA: score <- (1-a)*score + a*(win ? 1 : 0), starting at
+  /// 0.5. A donor is trusted once score >= reputation_trust_threshold.
+  double reputation_alpha = 0.2;
+  double reputation_trust_threshold = 0.8;
+  /// Blacklist a donor name after this many total vote losses: its work
+  /// requests are refused and its results rejected. 0 = never blacklist.
+  int blacklist_after = 3;
+  /// When every vote is in and no digest has quorum, reissue one
+  /// tie-breaker replica — at most this many times before the unit is
+  /// quarantined as unresolvable.
+  int max_tie_breakers = 4;
+
+  /// Client-table hygiene: a departed client row (Goodbye or timeout) is
+  /// evicted this many seconds after it was last seen, once its leases
+  /// have resolved, so a fleet of reconnecting donors does not grow the
+  /// table forever. Aggregate counts survive eviction (clients_evicted /
+  /// evicted_units_completed). 0 = keep departed rows forever.
+  double client_retention_s = 600.0;
+};
+
+/// Per-donor trust state, keyed by donor *name* (client ids are ephemeral
+/// across reconnects). Persisted in checkpoints.
+struct DonorReputation {
+  double score = 0.5;  // EWMA of vote outcomes in [0, 1]
+  std::uint64_t vote_wins = 0;
+  std::uint64_t vote_losses = 0;
+  bool blacklisted = false;
 };
 
 /// One row of the scheduler's client table, exposed for observability
@@ -62,6 +120,11 @@ struct ClientInfo {
   std::string name;
   bool active = true;
   ClientStats stats;
+  /// Reputation of the donor *name* this row belongs to.
+  double reputation = 0.5;
+  bool blacklisted = false;
+  std::uint64_t vote_wins = 0;
+  std::uint64_t vote_losses = 0;
 };
 
 struct SchedulerStats {
@@ -74,6 +137,18 @@ struct SchedulerStats {
   std::uint64_t work_requests_unserved = 0;
   std::uint64_t clients_expired = 0;
   std::uint64_t units_quarantined = 0;
+  // ---- result integrity ----
+  std::uint64_t units_replicated = 0;      // units put to a vote
+  std::uint64_t replicas_issued = 0;       // extra copies leased out
+  std::uint64_t spot_checks = 0;           // replications of trusted donors
+  std::uint64_t votes_recorded = 0;
+  std::uint64_t vote_quorums = 0;          // units resolved by agreement
+  std::uint64_t vote_mismatches = 0;       // full rounds with no quorum
+  std::uint64_t results_rejected_mismatch = 0;     // lost a digest vote
+  std::uint64_t results_rejected_digest = 0;       // wire CRC != payload
+  std::uint64_t results_rejected_blacklisted = 0;  // from a banned donor
+  std::uint64_t donors_blacklisted = 0;
+  std::uint64_t clients_evicted = 0;  // departed rows aged out of the table
 };
 
 class SchedulerCore {
@@ -102,17 +177,26 @@ class SchedulerCore {
   /// Snapshot of every client (active and departed) the core has seen.
   [[nodiscard]] std::vector<ClientInfo> all_client_stats() const;
   [[nodiscard]] int active_client_count() const;
+  /// Reputation of a donor name; nullptr until it has won or lost a vote
+  /// (or been issued replicated work).
+  [[nodiscard]] const DonorReputation* reputation(const std::string& name) const;
+  /// Units completed by client rows already evicted from the table.
+  [[nodiscard]] std::uint64_t evicted_units_completed() const {
+    return evicted_units_completed_;
+  }
 
   // ---- the work loop ----
 
-  /// Serve a work request. Tries requeued units first, then asks active
-  /// problems (round-robin, starting after the problem served last) for a
-  /// fresh unit sized by the granularity policy. nullopt = nothing
-  /// available right now (all problems complete or stage-blocked).
+  /// Serve a work request. Tries requeued units and pending replica copies
+  /// first, then asks active problems (round-robin, starting after the
+  /// problem served last) for a fresh unit sized by the granularity
+  /// policy. nullopt = nothing available right now (all problems complete
+  /// or stage-blocked) or the requester is blacklisted.
   std::optional<WorkUnit> request_work(ClientId client, double now);
 
-  /// Accept a result. Returns true if this was the first result for the
-  /// unit (merged into the DataManager); false for duplicates/stale.
+  /// Accept a result. Returns true if the result contributed (merged, or
+  /// recorded as a digest vote); false for duplicates, stale results,
+  /// digest mismatches and blacklisted donors.
   bool submit_result(ClientId client, const ResultUnit& result, double now);
 
   /// Housekeeping: expire leases and dead clients. Call periodically.
@@ -128,18 +212,20 @@ class SchedulerCore {
   static constexpr std::uint64_t kRestoreIdGap = 1ull << 32;
 
   /// Serialize every problem's progress, including units in flight (their
-  /// payloads are retained by the scheduler, so nothing computed is lost)
-  /// and quarantined units. Clients are not persisted — donors simply
-  /// re-register after a restart. Requires every DataManager to support
-  /// snapshots.
+  /// payloads are retained by the scheduler, so nothing computed is lost),
+  /// quarantined units, partial digest votes, and the donor reputation
+  /// table. Clients are not persisted — donors simply re-register after a
+  /// restart. Requires every DataManager to support snapshots.
   void checkpoint(ByteWriter& w) const;
 
   /// Restore a checkpoint into this core. The same problems must already
   /// have been re-submitted (same inputs, same order, hence same ids);
   /// their DataManagers are rewound and all in-flight units are queued for
-  /// reissue. Id counters jump by kRestoreIdGap (see above). Returns the
-  /// number of units requeued; emits a checkpoint_restored trace event and
-  /// bumps checkpoint.restore_units_requeued. Throws ProtocolError on id
+  /// reissue (units mid-vote keep their recorded votes and are queued for
+  /// the replicas still missing). Id counters jump by kRestoreIdGap (see
+  /// above). Returns the number of units requeued; emits a
+  /// checkpoint_restored trace event and bumps
+  /// checkpoint.restore_units_requeued. Throws ProtocolError on id
   /// mismatch or pre-existing progress.
   std::size_t restore(ByteReader& r);
 
@@ -153,30 +239,67 @@ class SchedulerCore {
   [[nodiscard]] const GranularityPolicy& policy() const { return *policy_; }
 
   /// Attach a structured event trace (see obs/trace.hpp). Every scheduling
-  /// decision — issue, reissue, hedge, completion, duplicate, join/leave,
-  /// stage barrier, checkpoint — is emitted with the caller's timestamps,
-  /// so the simulator (virtual time) and the Server (wall time) produce
-  /// the same schema. nullptr (the default) disables tracing; the tracer
-  /// must outlive this core. The caller's serialisation rules apply (the
-  /// core is not thread-safe, and neither is its use of the tracer).
+  /// decision — issue, reissue, hedge, replica, vote, completion,
+  /// duplicate, rejection, blacklist, join/leave, stage barrier,
+  /// checkpoint — is emitted with the caller's timestamps, so the
+  /// simulator (virtual time) and the Server (wall time) produce the same
+  /// schema. nullptr (the default) disables tracing; the tracer must
+  /// outlive this core. The caller's serialisation rules apply (the core
+  /// is not thread-safe, and neither is its use of the tracer).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
 
  private:
-  struct Lease {
-    WorkUnit unit;
+  /// One live lease: a copy of the unit in some donor's hands.
+  struct Replica {
     ClientId owner = 0;
     double issued_at = 0;
     double deadline = 0;
+    bool hedge = false;  // a lost hedge is dropped, never requeued
+  };
+
+  /// Everything the scheduler knows about one incomplete unit: the unit
+  /// itself (payload retained for reissue), every live lease, queued
+  /// copies awaiting a donor, and the digest votes received so far.
+  struct UnitState {
+    WorkUnit unit;
+    /// Failed delivery attempts; incremented when a *reissued* copy is
+    /// served. Drives poison-unit quarantine.
     int attempt = 1;
+    int hedges = 0;           // speculative copies issued so far
+    int replicas_wanted = 1;  // k for this unit (1 = un-replicated)
+    int quorum_needed = 1;
+    int tie_breakers = 0;
+    bool spot_check = false;  // replicated only to audit a trusted donor
+    std::vector<Replica> leases;
+    int queued = 0;  // copies sitting in the issue queue
+    std::map<std::string, std::uint32_t> votes;  // donor name -> digest
+    /// First payload seen per digest; the quorum winner becomes canonical.
+    std::map<std::uint32_t, std::vector<std::byte>> payload_by_digest;
+
+    [[nodiscard]] int live_copies() const {
+      return static_cast<int>(leases.size()) + static_cast<int>(votes.size()) +
+             queued;
+    }
+    [[nodiscard]] bool holds_lease(ClientId id) const {
+      for (const auto& l : leases) {
+        if (l.owner == id) return true;
+      }
+      return false;
+    }
+  };
+
+  struct QueueEntry {
+    UnitId uid = 0;
+    bool reissue = false;  // true: a failed unit (counts an attempt when served)
   };
 
   struct ProblemState {
     std::shared_ptr<DataManager> dm;
-    std::deque<Lease> requeue;              // expired/orphaned units to reissue
-    std::map<UnitId, Lease> outstanding;    // unit_id -> live lease
-    std::map<UnitId, Lease> quarantined;    // poison units, never reissued
-    std::set<UnitId> completed;             // for duplicate detection
+    std::map<UnitId, UnitState> in_flight;  // every incomplete issued unit
+    std::deque<QueueEntry> issue_queue;     // copies awaiting a donor
+    std::map<UnitId, UnitState> quarantined;  // poison units, never reissued
+    std::set<UnitId> completed;               // for duplicate detection
     UnitId next_unit_id = 1;
     bool barrier_flagged = false;  // one stage_barrier event per dry spell
   };
@@ -190,21 +313,57 @@ class SchedulerCore {
 
   std::optional<WorkUnit> issue_from(ProblemId pid, ProblemState& ps, ClientState& cs,
                                      double now);
-  std::optional<WorkUnit> hedge_from(ProblemState& ps, ClientState& cs, double now);
+  std::optional<WorkUnit> serve_queued(ProblemId pid, ProblemState& ps,
+                                       ClientState& cs, double now);
+  std::optional<WorkUnit> hedge_from(ProblemId pid, ProblemState& ps,
+                                     ClientState& cs, double now);
   void requeue_client_units(ClientId id, double now, const char* reason);
-  /// A lease failed (expiry / donor loss): requeue it, or quarantine it
-  /// once it has burned max_attempts_per_unit attempts.
-  void fail_lease(ProblemId pid, ProblemState& ps, Lease&& lease, double now,
-                  const char* reason);
+  /// One of a unit's leases failed (expiry / donor loss); the lease has
+  /// already been removed. Drops lost hedges, requeues a replacement copy
+  /// when the unit is short of its replication target. Returns true when
+  /// the failure of the unit's last copy burned the attempt cap — the
+  /// caller must then move_to_quarantine (deferred because the caller may
+  /// be iterating the in_flight map).
+  bool fail_replica(ProblemId pid, ProblemState& ps, UnitState& us,
+                    const Replica& lost, double now, const char* reason);
+  /// Decide whether the unit just leased to `cs` must be replicated
+  /// (untrusted recipient, or a spot-check of a trusted one) and queue the
+  /// missing copies.
+  void apply_replication_policy(ProblemId pid, ProblemState& ps, UnitState& us,
+                                const ClientState& cs, double now);
+  void queue_copies(ProblemState& ps, UnitState& us, int copies, bool reissue);
+  /// Record `client`'s digest vote and resolve: merge on quorum, reissue a
+  /// tie-breaker when every copy has voted without agreement.
+  bool record_vote(ProblemId pid, ProblemState& ps, UnitId uid, ClientId client,
+                   const std::string& voter, std::uint32_t digest,
+                   const ResultUnit& result, double now);
+  /// Merge `payload` as the unit's canonical result and settle the vote:
+  /// reward winners, punish losers, cancel surviving leases.
+  void accept_unit(ProblemId pid, ProblemState& ps, UnitId uid, ClientId client,
+                   std::uint32_t winning_digest, std::vector<std::byte> payload,
+                   double now);
+  void move_to_quarantine(ProblemId pid, ProblemState& ps, UnitId uid,
+                          double now, const char* reason);
+  /// Update a donor's reputation after a vote; may blacklist it.
+  void settle_vote(const std::string& name, bool won, double now);
+  [[nodiscard]] bool is_trusted(const std::string& name) const;
+  [[nodiscard]] bool is_blacklisted(const std::string& name) const;
+  [[nodiscard]] int effective_quorum() const;
+  void release_lease_stat(ClientId owner);
+  /// Voter key for a client id: its name, or "#<id>" if unknown.
+  [[nodiscard]] std::string voter_name(ClientId id) const;
 
   SchedulerConfig config_;
   std::unique_ptr<GranularityPolicy> policy_;
   std::map<ProblemId, ProblemState> problems_;
   std::map<ClientId, ClientState> clients_;
+  std::map<std::string, DonorReputation> reputation_;
   ProblemId next_problem_id_ = 1;
   ClientId next_client_id_ = 1;
   ProblemId rr_cursor_ = 0;  // last problem served (round-robin fairness)
   SchedulerStats stats_;
+  std::uint64_t evicted_units_completed_ = 0;
+  Rng integrity_rng_;  // spot-check draws; seeded by integrity_seed
   obs::Tracer* tracer_ = nullptr;
   double last_now_ = 0;  // latest timestamp seen; stamps clock-less events
 };

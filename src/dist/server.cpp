@@ -206,11 +206,13 @@ std::string json_num(double v) {
 std::string Server::stats_json(bool include_clients) {
   SchedulerStats s;
   std::vector<ClientInfo> clients;
+  std::uint64_t evicted_completed;
   double t;
   {
     std::lock_guard lock(core_mutex_);
     s = core_.stats();
     if (include_clients) clients = core_.all_client_stats();
+    evicted_completed = core_.evicted_units_completed();
     t = now();
   }
   std::ostringstream out;
@@ -224,7 +226,19 @@ std::string Server::stats_json(bool include_clients) {
       << ",\"stale_results_dropped\":" << s.stale_results_dropped
       << ",\"work_requests_unserved\":" << s.work_requests_unserved
       << ",\"clients_expired\":" << s.clients_expired
-      << ",\"units_quarantined\":" << s.units_quarantined << "}";
+      << ",\"units_quarantined\":" << s.units_quarantined
+      << ",\"units_replicated\":" << s.units_replicated
+      << ",\"replicas_issued\":" << s.replicas_issued
+      << ",\"spot_checks\":" << s.spot_checks
+      << ",\"votes_recorded\":" << s.votes_recorded
+      << ",\"vote_quorums\":" << s.vote_quorums
+      << ",\"vote_mismatches\":" << s.vote_mismatches
+      << ",\"results_rejected_mismatch\":" << s.results_rejected_mismatch
+      << ",\"results_rejected_digest\":" << s.results_rejected_digest
+      << ",\"results_rejected_blacklisted\":" << s.results_rejected_blacklisted
+      << ",\"donors_blacklisted\":" << s.donors_blacklisted
+      << ",\"clients_evicted\":" << s.clients_evicted
+      << ",\"evicted_units_completed\":" << evicted_completed << "}";
   if (include_clients) {
     out << ",\"clients\":[";
     bool first = true;
@@ -237,7 +251,11 @@ std::string Server::stats_json(bool include_clients) {
           << ",\"ewma_ops_per_sec\":" << json_num(c.stats.ewma_ops_per_sec)
           << ",\"units_completed\":" << c.stats.units_completed
           << ",\"outstanding\":" << c.stats.outstanding
-          << ",\"last_seen\":" << json_num(c.stats.last_seen) << "}";
+          << ",\"last_seen\":" << json_num(c.stats.last_seen)
+          << ",\"rep\":" << json_num(c.reputation)
+          << ",\"blacklisted\":" << (c.blacklisted ? "true" : "false")
+          << ",\"vote_wins\":" << c.vote_wins
+          << ",\"vote_losses\":" << c.vote_losses << "}";
     }
     out << "]";
   }

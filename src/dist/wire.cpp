@@ -123,6 +123,7 @@ net::Message encode_submit_result(ClientId client, const ResultUnit& result,
   w.u64(client);
   write_unit_fields(w, result.problem_id, result.unit_id, result.stage);
   w.bytes(result.payload);
+  w.u32(result.payload_crc);
   return make(net::MessageType::kSubmitResult, correlation, std::move(w));
 }
 
@@ -135,6 +136,7 @@ std::pair<ClientId, ResultUnit> decode_submit_result(const net::Message& m) {
   result.unit_id = r.u64();
   result.stage = r.u32();
   result.payload = r.bytes();
+  result.payload_crc = r.u32();
   r.expect_end();
   return {client, std::move(result)};
 }

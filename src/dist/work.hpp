@@ -30,6 +30,10 @@ struct ResultUnit {
   UnitId unit_id = 0;
   std::uint32_t stage = 0;
   std::vector<std::byte> payload;
+  /// CRC-32 digest of `payload`, computed by the donor that produced it
+  /// and re-verified server-side (protocol v3). 0 = not supplied; the
+  /// scheduler then computes the digest itself for replication voting.
+  std::uint32_t payload_crc = 0;
 };
 
 }  // namespace hdcs::dist

@@ -24,7 +24,9 @@
 namespace hdcs::net {
 
 inline constexpr std::uint32_t kMagic = 0x48444353;  // "HDCS"
-inline constexpr std::uint16_t kProtocolVersion = 2;  // v2 added payload_crc
+// v2 added the frame payload_crc; v3 added the result-digest field to
+// SubmitResult (donor-computed CRC-32 over the result payload).
+inline constexpr std::uint16_t kProtocolVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 24;
 /// Upper bound on a single frame; bulk data uses the chunked bulk channel.
 inline constexpr std::uint32_t kMaxPayload = 64u * 1024 * 1024;

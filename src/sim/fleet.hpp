@@ -36,6 +36,12 @@ struct MachineSpec {
   /// behaviour the lease/hedging machinery exists for.
   double owner_busy_mean = 0.0;  // <= 0: use the per-unit jitter model
   double owner_free_mean = 0.0;
+
+  /// Lying donor (compute fault injection): fraction of this machine's
+  /// result payloads that are corrupted before submission, drawn from the
+  /// machine's deterministic RNG. The corrupted payload carries a matching
+  /// digest, so only the scheduler's replication voting can catch it.
+  double corrupt_rate = 0.0;
 };
 
 /// Fig. 1's testbed: n homogeneous PIII-1GHz lab machines, semi-idle.

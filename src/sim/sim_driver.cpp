@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dist/checkpoint_file.hpp"
+#include "net/bulk.hpp"
 #include "util/byte_buffer.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -270,6 +271,16 @@ void SimDriver::machine_request_work(std::size_t idx, int gen) {
       result.unit_id = u.unit_id;
       result.stage = u.stage;
       result.payload = execute_unit(u);
+      if (m2.spec.corrupt_rate > 0 && !result.payload.empty() &&
+          m2.rng.next_double() < m2.spec.corrupt_rate) {
+        // Lying donor: flip a byte of the *submitted copy* (never the
+        // shared result cache) and sign the lie with a matching digest so
+        // only replication voting can reject it.
+        auto at = static_cast<std::size_t>(
+            m2.rng.next_below(result.payload.size()));
+        result.payload[at] ^= std::byte{0x5a};
+      }
+      result.payload_crc = net::crc32(result.payload);
 
       double submit_at = queue_.now();
       if (frame_lost()) {

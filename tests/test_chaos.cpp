@@ -9,7 +9,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,7 +23,9 @@
 #include "dsearch/dsearch.hpp"
 #include "net/fault.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phylo/simulate.hpp"
+#include "sim/sim_driver.hpp"
 #include "tests/toy_problem.hpp"
 #include "util/rng.hpp"
 
@@ -199,6 +203,313 @@ TEST(Chaos, RealWorkloadsSurviveServerKillDonorChurnAndFrameFaults) {
   EXPECT_GT(total_injected_faults(), faults_before);
   server->stop();
   std::remove(ckpt.c_str());
+}
+
+int count_events(const obs::Tracer& tracer, const std::string& ev) {
+  int n = 0;
+  for (const auto& line : tracer.lines()) {
+    if (obs::parse_trace_line(line).ev == ev) ++n;
+  }
+  return n;
+}
+
+TEST(Chaos, LyingDonorsCannotCorruptResultsAcrossServerRestart) {
+  // 20% of the fleet lies deterministically: one donor in five corrupts
+  // every payload it produces — each lie carrying a *matching* digest, so
+  // only replication voting can catch it. Mid-run the server is killed and
+  // restarted from its checkpoint (partial votes and the reputation ledger
+  // ride the file). The merged answers must still be byte-identical to
+  // fault-free local runs, and the liar must end up blacklisted.
+  dsearch::register_algorithm();
+  dprml::register_algorithm();
+
+  Rng rng(211);
+  auto queries = bio::make_queries(rng, 2, 60, bio::Alphabet::kProtein);
+  bio::DatabaseSpec spec;
+  spec.num_sequences = 40;
+  spec.mean_length = 80;
+  auto database = bio::make_database(rng, spec, queries);
+  dsearch::DSearchConfig dcfg;
+  dcfg.top_k = 8;
+  auto tree = phylo::random_tree(rng, {7, 0.12, "t"});
+  auto aln = phylo::simulate_alignment(rng, tree, phylo::SubstModel::jc69(),
+                                       phylo::RateModel::uniform(), {250});
+  dprml::DPRmlConfig pcfg;
+  pcfg.model_spec = "JC69";
+  pcfg.branch_tolerance = 1e-3;
+  pcfg.eval_passes = 1;
+  pcfg.refine_passes = 1;
+  pcfg.use_eval_cache = false;
+
+  std::vector<std::byte> ref_ds, ref_ml;
+  {
+    dsearch::DSearchDataManager dm(queries, database, dcfg);
+    ref_ds = run_locally(dm, 2e5);
+  }
+  {
+    dprml::DPRmlDataManager dm(aln, pcfg);
+    ref_ml = run_locally(dm, 1.0);
+  }
+
+  std::string ckpt = testing::TempDir() + "hdcs_chaos_integrity_ckpt.bin";
+  std::remove(ckpt.c_str());
+  obs::Tracer tracer;  // shared across both server incarnations
+  tracer.to_memory();
+  ServerConfig scfg;
+  scfg.port = pick_port();
+  scfg.scheduler.bounds.min_ops = 1;
+  scfg.scheduler.lease_timeout = 2.0;
+  scfg.scheduler.client_timeout = 2.0;
+  scfg.scheduler.hedge_endgame = true;
+  scfg.scheduler.replication_factor = 2;
+  scfg.scheduler.quorum = 2;
+  scfg.scheduler.blacklist_after = 2;
+  scfg.scheduler.spot_check_rate = 0.05;
+  scfg.policy_spec = "adaptive:0.02";
+  scfg.tick_interval_s = 0.02;
+  scfg.no_work_retry_s = 0.02;
+  scfg.checkpoint_path = ckpt;
+  scfg.checkpoint_interval_s = 0.05;
+  scfg.tracer = &tracer;
+
+  auto& saves = obs::Registry::global().counter("checkpoint.saves");
+  std::uint64_t saves_before = saves.value();
+
+  auto server = std::make_unique<Server>(scfg);
+  server->start();
+  auto pid_ds = server->submit_problem(
+      std::make_shared<dsearch::DSearchDataManager>(queries, database, dcfg));
+  auto pid_ml =
+      server->submit_problem(std::make_shared<dprml::DPRmlDataManager>(aln, pcfg));
+
+  constexpr int kDonors = 5;  // donor 0 lies on every unit it touches
+  std::vector<std::thread> donors;
+  std::atomic<int> donor_failures{0};
+  for (int i = 0; i < kDonors; ++i) {
+    donors.emplace_back([&, i] {
+      ClientConfig ccfg;
+      ccfg.server_port = scfg.port;
+      ccfg.name = i == 0 ? "liar" : "honest-" + std::to_string(i);
+      ccfg.max_connect_attempts = 0;  // outlast the restart
+      if (i == 0) {
+        ccfg.corrupt_rate = 1.0;
+        ccfg.corrupt_seed = 7;
+      }
+      try {
+        Client(ccfg).run();
+      } catch (const Error&) {
+        donor_failures.fetch_add(1);
+      }
+    });
+  }
+
+  // Progress + one durable autosave, then kill: votes mid-flight and the
+  // liar's accumulating loss record survive only through the checkpoint.
+  for (int i = 0; i < 500 && saves.value() == saves_before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GT(saves.value(), saves_before) << "no autosave reached disk";
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  auto rejected_before_kill = server->stats().results_rejected_mismatch;
+  server.reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  server = std::make_unique<Server>(scfg);
+  auto pid_ds2 = server->submit_problem(
+      std::make_shared<dsearch::DSearchDataManager>(queries, database, dcfg));
+  auto pid_ml2 =
+      server->submit_problem(std::make_shared<dprml::DPRmlDataManager>(aln, pcfg));
+  ASSERT_EQ(pid_ds2, pid_ds);
+  ASSERT_EQ(pid_ml2, pid_ml);
+  server->start();  // restore_on_start reads the autosaved checkpoint
+
+  ASSERT_TRUE(server->wait_for_problem(pid_ds2, 120.0)) << "DSEARCH stalled";
+  ASSERT_TRUE(server->wait_for_problem(pid_ml2, 120.0)) << "DPRml stalled";
+  for (auto& t : donors) t.join();
+  EXPECT_EQ(donor_failures.load(), 0);
+
+  // Byte-identical despite a 20% lying fleet and a mid-run restart.
+  EXPECT_EQ(server->final_result(pid_ds2), ref_ds);
+  EXPECT_EQ(server->final_result(pid_ml2), ref_ml);
+
+  // Corrupt payloads were outvoted, never merged, and the liar was caught.
+  auto rejected_total =
+      rejected_before_kill + server->stats().results_rejected_mismatch;
+  EXPECT_GT(rejected_total, 0u);
+  EXPECT_GE(count_events(tracer, "donor_blacklisted"), 1);
+  bool liar_banned = false;
+  for (const auto& line : tracer.lines()) {
+    if (obs::parse_trace_line(line).ev == "donor_blacklisted" &&
+        line.find("\"name\":\"liar\"") != std::string::npos) {
+      liar_banned = true;
+    }
+  }
+  EXPECT_TRUE(liar_banned);
+  server->stop();
+  std::remove(ckpt.c_str());
+}
+
+TEST(Chaos, LyingDonorsInSimulatedFleetMatchFaultFreeRuns) {
+  // The simulator drives the same SchedulerCore: 2 of 10 machines lie on
+  // every unit. Both applications' final payloads must be byte-identical
+  // to fault-free local runs, with the liars outvoted and blacklisted.
+  dsearch::register_algorithm();
+  dprml::register_algorithm();
+
+  Rng rng(223);
+  auto queries = bio::make_queries(rng, 2, 60, bio::Alphabet::kProtein);
+  bio::DatabaseSpec spec;
+  spec.num_sequences = 30;
+  spec.mean_length = 80;
+  auto database = bio::make_database(rng, spec, queries);
+  dsearch::DSearchConfig dcfg;
+  dcfg.top_k = 8;
+  auto tree = phylo::random_tree(rng, {6, 0.12, "t"});
+  auto aln = phylo::simulate_alignment(rng, tree, phylo::SubstModel::jc69(),
+                                       phylo::RateModel::uniform(), {200});
+  dprml::DPRmlConfig pcfg;
+  pcfg.model_spec = "JC69";
+  pcfg.branch_tolerance = 1e-3;
+  pcfg.eval_passes = 1;
+  pcfg.refine_passes = 1;
+  pcfg.use_eval_cache = false;
+
+  std::vector<std::byte> ref_ds, ref_ml;
+  {
+    dsearch::DSearchDataManager dm(queries, database, dcfg);
+    ref_ds = run_locally(dm, 2e4);
+  }
+  {
+    dprml::DPRmlDataManager dm(aln, pcfg);
+    ref_ml = run_locally(dm, 1.0);
+  }
+
+  obs::Tracer tracer;
+  tracer.to_memory();
+  sim::SimConfig simcfg;
+  simcfg.reference_ops_per_sec = 1e6;
+  simcfg.scheduler.lease_timeout = 1e5;
+  simcfg.scheduler.bounds.min_ops = 1;
+  simcfg.scheduler.replication_factor = 2;
+  simcfg.scheduler.quorum = 2;
+  simcfg.scheduler.blacklist_after = 2;
+  simcfg.scheduler.spot_check_rate = 0.05;
+  simcfg.policy_spec = "adaptive:0.02";  // many units -> many votes
+  simcfg.no_work_retry_s = 0.25;
+  simcfg.tracer = &tracer;
+
+  auto fleet = sim::lab_fleet(10);
+  fleet[0].corrupt_rate = 1.0;  // 20% of the fleet lies deterministically
+  fleet[1].corrupt_rate = 1.0;
+  sim::SimDriver sim(simcfg, fleet);
+  auto pid_ds = sim.add_problem(
+      std::make_shared<dsearch::DSearchDataManager>(queries, database, dcfg));
+  auto pid_ml =
+      sim.add_problem(std::make_shared<dprml::DPRmlDataManager>(aln, pcfg));
+  auto outcome = sim.run();
+
+  EXPECT_EQ(outcome.final_results.at(pid_ds), ref_ds);
+  EXPECT_EQ(outcome.final_results.at(pid_ml), ref_ml);
+  EXPECT_GT(outcome.scheduler.results_rejected_mismatch, 0u);
+  EXPECT_GE(outcome.scheduler.donors_blacklisted, 1u);
+  EXPECT_GE(count_events(tracer, "donor_blacklisted"), 1);
+  EXPECT_GT(outcome.scheduler.vote_quorums, 0u);
+}
+
+TEST(Chaos, VoteTraceSchemaSharedAcrossServerAndSim) {
+  // Pinned schema: the TCP server (wall clock) and the simulator (virtual
+  // clock) must emit replication/vote events with exactly the same fields,
+  // so one trace tool reads either. Both runs include a lying donor so
+  // every event type actually fires.
+  test::register_toy_algorithm();
+
+  // Server half: two donors at first, so the liar is guaranteed to be the
+  // second voter on every early unit; a third joins to break the ties.
+  obs::Tracer server_tracer;
+  server_tracer.to_memory();
+  {
+    ServerConfig cfg;
+    cfg.scheduler.bounds.min_ops = 1000;
+    cfg.scheduler.replication_factor = 2;
+    cfg.scheduler.quorum = 2;
+    cfg.scheduler.blacklist_after = 1;
+    cfg.policy_spec = "fixed:1000";
+    cfg.tick_interval_s = 0.02;
+    cfg.no_work_retry_s = 0.02;
+    cfg.tracer = &server_tracer;
+    Server server(cfg);
+    server.start();
+    auto pid = server.submit_problem(std::make_shared<test::ToySumDataManager>(4000));
+
+    auto donor = [&](const std::string& name, double corrupt_rate) {
+      ClientConfig ccfg;
+      ccfg.server_port = server.port();
+      ccfg.name = name;
+      ccfg.corrupt_rate = corrupt_rate;
+      ccfg.corrupt_seed = 11;
+      return std::thread([ccfg] { Client(ccfg).run(); });
+    };
+    auto liar = donor("liar", 1.0);
+    auto h1 = donor("h1", 0.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    auto h2 = donor("h2", 0.0);
+    ASSERT_TRUE(server.wait_for_problem(pid, 60.0));
+    liar.join();
+    h1.join();
+    h2.join();
+    server.stop();
+  }
+
+  // Simulator half: three machines, one lying.
+  obs::Tracer sim_tracer;
+  sim_tracer.to_memory();
+  {
+    sim::SimConfig simcfg;
+    simcfg.reference_ops_per_sec = 1e6;
+    simcfg.scheduler.lease_timeout = 1e5;
+    simcfg.scheduler.bounds.min_ops = 1;
+    simcfg.scheduler.replication_factor = 2;
+    simcfg.scheduler.quorum = 2;
+    simcfg.scheduler.blacklist_after = 1;
+    simcfg.policy_spec = "fixed:250000";
+    simcfg.tracer = &sim_tracer;
+    auto fleet = sim::lab_fleet(3);
+    fleet[0].corrupt_rate = 1.0;
+    sim::SimDriver sim(simcfg, fleet);
+    sim.add_problem(std::make_shared<test::ToySumDataManager>(5000000));
+    sim.run();
+  }
+
+  auto first_fields = [](const obs::Tracer& tracer, const char* ev) {
+    std::vector<std::string> keys;
+    for (const auto& line : tracer.lines()) {
+      auto rec = obs::parse_trace_line(line);
+      if (rec.ev != ev) continue;
+      for (const auto& [k, v] : rec.fields) {
+        if (k != "schema" && k != "t" && k != "ev") keys.push_back(k);
+      }
+      return keys;  // fields is an ordered map: keys come out sorted
+    }
+    return keys;
+  };
+
+  const std::map<std::string, std::vector<std::string>> pinned = {
+      {"replica_issued", {"client", "cost_ops", "problem", "stage", "unit"}},
+      {"unit_replicated", {"problem", "quorum", "replicas", "spot_check", "unit"}},
+      {"vote_recorded", {"client", "digest", "problem", "unit", "votes"}},
+      {"vote_quorum", {"digest", "problem", "unit", "votes"}},
+      {"vote_mismatch", {"problem", "tie_breakers", "unit", "votes"}},
+      {"result_rejected", {"name", "problem", "reason", "unit"}},
+      {"donor_blacklisted", {"losses", "name", "score"}},
+  };
+  for (const auto& [ev, expected] : pinned) {
+    auto server_keys = first_fields(server_tracer, ev.c_str());
+    auto sim_keys = first_fields(sim_tracer, ev.c_str());
+    ASSERT_FALSE(server_keys.empty()) << "server emitted no " << ev;
+    ASSERT_FALSE(sim_keys.empty()) << "sim emitted no " << ev;
+    EXPECT_EQ(server_keys, sim_keys) << ev;
+    EXPECT_EQ(server_keys, expected) << ev;
+  }
 }
 
 TEST(Chaos, PoisonUnitQuarantinedOverTcp) {

@@ -55,11 +55,13 @@ TEST(Wire, SubmitResultRoundTrip) {
   ByteWriter w;
   w.f64(-1234.5);
   result.payload = w.take();
+  result.payload_crc = 0xdeadbeefu;  // v3: the donor's digest over payload
 
   auto [client, decoded] = decode_submit_result(encode_submit_result(9, result, 6));
   EXPECT_EQ(client, 9u);
   EXPECT_EQ(decoded.unit_id, 2u);
   EXPECT_EQ(decoded.payload, result.payload);
+  EXPECT_EQ(decoded.payload_crc, 0xdeadbeefu);
 }
 
 TEST(Wire, NoWorkRoundTrip) {
