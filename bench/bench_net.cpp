@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "net/bulk.hpp"
+#include "net/compress.hpp"
 #include "net/message.hpp"
 #include "net/socket.hpp"
 #include "util/rng.hpp"
@@ -90,6 +91,86 @@ void BM_BulkTransfer(benchmark::State& state) {
                           static_cast<std::int64_t>(size));
 }
 BENCHMARK(BM_BulkTransfer)->Arg(64 << 10)->Arg(1 << 20)->Arg(8 << 20);
+
+/// Blob bytes with a controllable compression ratio: entropy 0 = one
+/// repeated motif (FASTA-like redundancy), 1 = uniform random residues.
+std::vector<std::byte> mixed_blob(std::size_t size, double entropy) {
+  Rng rng(7);
+  static constexpr char kMotif[] = "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ";
+  std::vector<std::byte> blob(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    bool random = rng.next_double() < entropy;
+    blob[i] = static_cast<std::byte>(
+        random ? rng.next_u64() & 0xff : kMotif[i % (sizeof kMotif - 1)]);
+  }
+  return blob;
+}
+
+/// The v4 data path (header + optional LZ + chunks) on the same loopback
+/// workload as BM_BulkTransfer; range(1) is entropy in percent, so the
+/// compressible and incompressible cases are separate timing series.
+void BM_BulkTransferV4(benchmark::State& state) {
+  auto size = static_cast<std::size_t>(state.range(0));
+  auto blob = mixed_blob(size, static_cast<double>(state.range(1)) / 100.0);
+
+  TcpListener listener = TcpListener::bind(0);
+  TcpStream client;
+  std::thread connector(
+      [&] { client = TcpStream::connect("127.0.0.1", listener.port()); });
+  TcpStream server = std::move(*listener.accept(5000));
+  connector.join();
+
+  std::uint64_t wire = 0;
+  for (auto _ : state) {
+    BlobWireInfo info;
+    std::thread sender([&] { info = send_blob_v4(client, blob); });
+    auto received = recv_blob_v4(server);
+    sender.join();
+    wire += info.wire_bytes;
+    benchmark::DoNotOptimize(received.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+  state.counters["wire_ratio"] =
+      state.iterations()
+          ? static_cast<double>(wire) /
+                (static_cast<double>(state.iterations()) *
+                 static_cast<double>(size))
+          : 0;
+}
+BENCHMARK(BM_BulkTransferV4)
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 100})
+    ->Args({8 << 20, 0});
+
+void BM_LzCompress(benchmark::State& state) {
+  auto blob =
+      mixed_blob(static_cast<std::size_t>(state.range(0)),
+                 static_cast<double>(state.range(1)) / 100.0);
+  for (auto _ : state) {
+    auto packed = lz_compress(blob);
+    benchmark::DoNotOptimize(packed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LzCompress)->Args({1 << 20, 0})->Args({1 << 20, 100});
+
+void BM_LzDecompress(benchmark::State& state) {
+  auto blob = mixed_blob(static_cast<std::size_t>(state.range(0)), 0.0);
+  auto packed = lz_compress(blob);
+  if (!packed) {
+    state.SkipWithError("motif blob unexpectedly incompressible");
+    return;
+  }
+  for (auto _ : state) {
+    auto raw = lz_decompress(*packed, blob.size());
+    benchmark::DoNotOptimize(raw.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LzDecompress)->Arg(1 << 20);
 
 void BM_Crc32(benchmark::State& state) {
   auto size = static_cast<std::size_t>(state.range(0));

@@ -27,6 +27,13 @@
 //                 reconnect backoff window: the delay starts at the
 //                 initial value, doubles per failure up to the max, with
 //                 per-donor jitter. See docs/ROBUSTNESS.md.
+// --cache-dir D   persist the blob cache (database chunks, stage trees)
+//                 under directory D so a restarted donor skips
+//                 re-downloading blobs it already has. Empty = memory only.
+// --cache-mb N / --cache-disk-mb N
+//                 memory / disk budgets for that cache (default 64 / 256).
+// --protocol V    speak protocol version V (3 or 4); 3 disables the blob
+//                 cache path for servers predating the v4 data plane.
 // --corrupt-rate P [--corrupt-seed N]
 //                 fault injection (test-only): corrupt fraction P of
 //                 result payloads before submitting — a "lying donor"
@@ -88,6 +95,16 @@ int main(int argc, char** argv) {
       throw InputError("--corrupt-rate must be in [0, 1]");
     cfg.corrupt_seed =
         static_cast<std::uint64_t>(parse_i64(get("corrupt-seed", "0")));
+    cfg.blob_cache_dir = get("cache-dir", "");
+    cfg.blob_cache_bytes =
+        static_cast<std::size_t>(parse_i64(get("cache-mb", "64"))) * 1024 * 1024;
+    cfg.blob_cache_disk_bytes =
+        static_cast<std::size_t>(parse_i64(get("cache-disk-mb", "256"))) * 1024 *
+        1024;
+    auto protocol = parse_i64(get("protocol", "4"));
+    if (protocol < net::kMinProtocolVersion || protocol > net::kProtocolVersion)
+      throw InputError("--protocol must be 3 or 4");
+    cfg.protocol_version = static_cast<int>(protocol);
 
     int cpus = static_cast<int>(parse_i64(get("cpus", "1")));
 
@@ -111,7 +128,8 @@ int main(int argc, char** argv) {
                  "usage: hdcs_donor --host <ip> --port <port> [--name n] "
                  "[--persist true|false] [--throttle x] [--cpus n] "
                  "[--threads n] [--max-connect-attempts n] "
-                 "[--backoff-initial s] [--backoff-max s]\n");
+                 "[--backoff-initial s] [--backoff-max s] [--cache-dir d] "
+                 "[--cache-mb n] [--cache-disk-mb n] [--protocol 3|4]\n");
     return 1;
   }
 }

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Perf gate over bench_align --smoke artifacts.
+
+Compares the per-kernel throughputs in a freshly measured BENCH_ALIGN.json
+against a committed baseline and fails (exit 1) when any kernel regresses
+by more than --max-regress (default 20%). Keys present in the baseline must
+exist in the current run — a silently vanished kernel is a failure, not a
+pass. Throughput improvements are reported but never fail the gate; refresh
+the committed baseline deliberately with `./build/bench/bench_align --smoke`.
+
+Usage:
+  bench_gate.py --baseline BENCH_ALIGN.json --current build/BENCH_ALIGN.json
+  bench_gate.py --self-test          # prove the gate trips on a 25% slowdown
+"""
+
+import argparse
+import json
+import sys
+
+KERNEL_KEY = "kernels_cells_per_sec"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    kernels = doc.get(KERNEL_KEY)
+    if not isinstance(kernels, dict) or not kernels:
+        raise SystemExit(f"{path}: missing or empty '{KERNEL_KEY}'")
+    return kernels
+
+
+def compare(baseline, current, max_regress):
+    """Return (failures, lines): failed kernel names and a report table."""
+    failures = []
+    lines = []
+    for name in sorted(baseline):
+        base = float(baseline[name])
+        floor = base * (1.0 - max_regress)
+        if name not in current:
+            failures.append(name)
+            lines.append(f"  {name:24s} baseline {base:12.4g}  MISSING in current run")
+            continue
+        cur = float(current[name])
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "ok" if cur >= floor else "REGRESSED"
+        if cur < floor:
+            failures.append(name)
+        lines.append(
+            f"  {name:24s} baseline {base:12.4g}  current {cur:12.4g}"
+            f"  ({ratio:6.2%})  {verdict}"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"  {name:24s} new kernel (not gated)")
+    return failures, lines
+
+
+def self_test(baseline_path, max_regress):
+    baseline = load(baseline_path)
+    # A fabricated 25% across-the-board slowdown must trip a 20% gate.
+    slowed = {k: float(v) * 0.75 for k, v in baseline.items()}
+    failures, _ = compare(baseline, slowed, max_regress)
+    if set(failures) != set(baseline):
+        print("self-test FAILED: 25% slowdown did not trip every kernel",
+              file=sys.stderr)
+        return 1
+    # An identical run must pass.
+    failures, _ = compare(baseline, dict(baseline), max_regress)
+    if failures:
+        print("self-test FAILED: identical run tripped the gate", file=sys.stderr)
+        return 1
+    # A vanished kernel must fail even when everything else is fast.
+    partial = {k: float(v) * 2 for k, v in list(baseline.items())[1:]}
+    failures, _ = compare(baseline, partial, max_regress)
+    if len(failures) != 1:
+        print("self-test FAILED: missing kernel not detected", file=sys.stderr)
+        return 1
+    print(f"self-test OK: gate trips on 25% slowdown at max-regress {max_regress:.0%}")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", default="BENCH_ALIGN.json",
+                    help="committed reference artifact (default: %(default)s)")
+    ap.add_argument("--current", default="build/BENCH_ALIGN.json",
+                    help="freshly measured artifact (default: %(default)s)")
+    ap.add_argument("--max-regress", type=float, default=0.20,
+                    help="allowed fractional slowdown per kernel (default: 0.20)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate logic against a fabricated slowdown")
+    args = ap.parse_args()
+
+    if not 0 <= args.max_regress < 1:
+        raise SystemExit("--max-regress must be in [0, 1)")
+    if args.self_test:
+        return self_test(args.baseline, args.max_regress)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    failures, lines = compare(baseline, current, args.max_regress)
+    print(f"bench gate: {args.current} vs {args.baseline} "
+          f"(max regress {args.max_regress:.0%})")
+    print("\n".join(lines))
+    if failures:
+        print(f"FAIL: {len(failures)} kernel(s) regressed beyond "
+              f"{args.max_regress:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("PASS: no kernel regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,21 +24,24 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "== TSan: obs + scheduler + integration + chaos tests =="
+echo "== TSan: obs + scheduler + integration + chaos + data-plane tests =="
 cmake --preset tsan >/dev/null
-cmake --build --preset tsan --target test_obs test_dist test_integration test_chaos -j >/dev/null
+cmake --build --preset tsan --target test_obs test_dist test_integration test_chaos test_data_plane -j >/dev/null
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'Metrics|Jsonl|Tracer|MsgStats|Wire|Scheduler|ServerClient|Granularity|Chaos'
+  -R 'Metrics|Jsonl|Tracer|MsgStats|Wire|Scheduler|ServerClient|Granularity|Chaos|DataPlane|BulkV4|BlobCache|Compress'
 
-echo "== ASan: alignment-kernel equivalence + chaos =="
+echo "== ASan: alignment-kernel equivalence + chaos + data-plane =="
 cmake --preset asan >/dev/null
-cmake --build --preset asan --target test_bio test_properties test_dsearch test_chaos -j >/dev/null
+cmake --build --preset asan --target test_bio test_properties test_dsearch test_chaos test_data_plane -j >/dev/null
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-  -R 'BatchKernel|AlignScore|Banded|NeedlemanWunsch|SmithWaterman|SemiGlobal|DSearch|Chaos'
+  -R 'BatchKernel|AlignScore|Banded|NeedlemanWunsch|SmithWaterman|SemiGlobal|DSearch|Chaos|DataPlane|BulkV4|BlobCache|Compress'
 
 echo "== bench_align --smoke (kernel equivalence + throughput snapshot) =="
 # Writes into build/ so a verify run never dirties the committed
 # BENCH_ALIGN.json; refresh that with: ./build/bench/bench_align --smoke
 ./build/bench/bench_align --smoke --out build/BENCH_ALIGN.json
+
+echo "== bench gate self-test (logic check; CI compares vs the baseline) =="
+python3 scripts/bench_gate.py --self-test
 
 echo "verify OK"

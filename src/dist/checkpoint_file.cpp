@@ -19,7 +19,10 @@ namespace {
 constexpr std::uint32_t kCheckpointMagic = 0x484b4350;  // "HKCP"
 // v2: SchedulerCore layout gained replication/vote state per in-flight
 // unit and the donor reputation ledger.
-constexpr std::uint32_t kCheckpointFileVersion = 2;
+// v3: content-addressed bulk-data plane — per-unit blob references plus a
+// global digest -> bytes table (problem-data blobs excluded; they are
+// re-interned when the problems are re-submitted before restore()).
+constexpr std::uint32_t kCheckpointFileVersion = 3;
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw IoError(what + ": " + std::strerror(errno));

@@ -7,6 +7,7 @@
 
 #include "net/bulk.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
@@ -26,7 +27,23 @@ std::uint64_t name_seed(const std::string& name) {
 }  // namespace
 
 Client::Client(ClientConfig config)
-    : config_(std::move(config)), backoff_rng_(name_seed(config_.name)) {}
+    : config_(std::move(config)),
+      blob_cache_(net::BlobCacheConfig{config_.blob_cache_bytes,
+                                       config_.blob_cache_dir,
+                                       config_.blob_cache_disk_bytes}),
+      epoch_(std::chrono::steady_clock::now()),
+      backoff_rng_(name_seed(config_.name)) {}
+
+double Client::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void Client::send_message(net::TcpStream& stream, net::Message m) {
+  m.version = static_cast<std::uint16_t>(config_.protocol_version);
+  net::write_message(stream, m);
+}
 
 double Client::measure_benchmark() {
   // A short fixed numeric loop; the returned "ops/sec" is the same abstract
@@ -69,12 +86,24 @@ Client::ProblemContext& Client::context_for(net::TcpStream& stream, ProblemId id
   if (it != contexts_.end()) return it->second;
 
   // First unit of this problem: download the bulk data and build the
-  // Algorithm named by the DataManager.
+  // Algorithm named by the DataManager. v3 streams the bytes right after
+  // the header; v4 only names their digest, which we resolve through the
+  // blob cache like any other blob — a donor that saw this problem before
+  // a restart (disk cache) skips the download entirely.
   FetchProblemDataPayload fetch;
   fetch.problem_id = id;
-  net::write_message(stream, encode_fetch_problem_data(fetch, next_correlation_++));
+  send_message(stream, encode_fetch_problem_data(fetch, next_correlation_++));
   auto header = decode_problem_data_header(net::read_message(stream));
-  auto blob = net::recv_blob(stream);
+  std::vector<std::byte> blob;
+  if (config_.protocol_version >= 4) {
+    auto resolved = resolve_blob(stream, header.data_digest);
+    if (!resolved) {
+      throw ProtocolError("server no longer holds problem data blob");
+    }
+    blob = std::move(*resolved);
+  } else {
+    blob = net::recv_blob(stream, config_.max_blob_bytes);
+  }
   if (blob.size() != header.data_bytes) {
     throw ProtocolError("problem data size mismatch");
   }
@@ -87,6 +116,92 @@ Client::ProblemContext& Client::context_for(net::TcpStream& stream, ProblemId id
   LOG_INFO("problem " << id << ": fetched " << blob.size()
                       << " bytes, algorithm " << header.algorithm_name);
   return contexts_.emplace(id, std::move(ctx)).first->second;
+}
+
+std::optional<std::vector<std::byte>> Client::resolve_blob(
+    net::TcpStream& stream, std::uint64_t digest) {
+  auto& bulk = net::bulk_plane_metrics();
+  if (auto hit = blob_cache_.get(digest)) {
+    bulk.blobs_cache_hit.inc();
+    if (config_.tracer) {
+      config_.tracer->event(now(), "blob_cache_hit")
+          .u64("client", my_id_.load())
+          .u64("digest", digest)
+          .u64("size", hit->size());
+    }
+    return hit;
+  }
+  FetchBlobsPayload need;
+  need.client_id = my_id_.load();
+  need.digests.push_back(digest);
+  send_message(stream, encode_fetch_blobs(need, next_correlation_++));
+  auto reply = decode_blob_data(net::read_message(stream));
+  if (reply.blobs.size() != 1 || reply.blobs[0].digest != digest) {
+    throw ProtocolError("BlobData reply does not match the requested digest");
+  }
+  if (!reply.blobs[0].present) return std::nullopt;
+  auto bytes = net::recv_blob_v4(stream, config_.max_blob_bytes);
+  if (net::blob_digest(bytes) != digest) {
+    throw ProtocolError("fetched blob does not hash to its digest");
+  }
+  blob_cache_.put(digest, bytes);
+  return bytes;
+}
+
+bool Client::ensure_blobs(net::TcpStream& stream, WorkUnit& unit) {
+  if (unit.blobs.empty()) return true;
+  auto& bulk = net::bulk_plane_metrics();
+  std::vector<std::vector<std::byte>> resolved(unit.blobs.size());
+  std::vector<std::size_t> missing;  // indices into unit.blobs
+  for (std::size_t i = 0; i < unit.blobs.size(); ++i) {
+    if (auto hit = blob_cache_.get(unit.blobs[i].digest)) {
+      bulk.blobs_cache_hit.inc();
+      if (config_.tracer) {
+        config_.tracer->event(now(), "blob_cache_hit")
+            .u64("client", my_id_.load())
+            .u64("digest", unit.blobs[i].digest)
+            .u64("size", hit->size());
+      }
+      resolved[i] = std::move(*hit);
+    } else {
+      missing.push_back(i);
+    }
+  }
+  bool all_present = true;
+  if (!missing.empty()) {
+    FetchBlobsPayload need;
+    need.client_id = my_id_.load();
+    for (std::size_t i : missing) need.digests.push_back(unit.blobs[i].digest);
+    send_message(stream, encode_fetch_blobs(need, next_correlation_++));
+    auto reply = decode_blob_data(net::read_message(stream));
+    if (reply.blobs.size() != missing.size()) {
+      throw ProtocolError("BlobData reply count does not match the request");
+    }
+    // Drain every present body — even after discovering an absent blob —
+    // so the stream stays framed; the side effect is that the bytes land
+    // in the cache for the next unit that wants them.
+    for (std::size_t k = 0; k < missing.size(); ++k) {
+      std::uint64_t digest = unit.blobs[missing[k]].digest;
+      if (reply.blobs[k].digest != digest) {
+        throw ProtocolError("BlobData reply does not match the requested digest");
+      }
+      if (!reply.blobs[k].present) {
+        all_present = false;
+        continue;
+      }
+      auto bytes = net::recv_blob_v4(stream, config_.max_blob_bytes);
+      if (net::blob_digest(bytes) != digest) {
+        throw ProtocolError("fetched blob does not hash to its digest");
+      }
+      blob_cache_.put(digest, bytes);
+      resolved[missing[k]] = std::move(bytes);
+    }
+  }
+  if (!all_present) return false;
+  for (std::size_t i = 0; i < unit.blobs.size(); ++i) {
+    unit.blobs[i].bytes = std::move(resolved[i]);
+  }
+  return true;
 }
 
 bool Client::backoff_wait(double delay) {
@@ -104,7 +219,7 @@ void Client::rehello(net::TcpStream& stream, double benchmark) {
   hello.client_name = config_.name;
   hello.cores = 1;
   hello.benchmark_ops_per_sec = benchmark;
-  net::write_message(stream, encode_hello(hello, next_correlation_++));
+  send_message(stream, encode_hello(hello, next_correlation_++));
   auto ack = decode_hello_ack(net::read_message(stream));
   my_id_.store(ack.client_id);
   heartbeat_interval_ = ack.heartbeat_interval_s;
@@ -180,8 +295,7 @@ ClientRunStats Client::run() {
           delay = config_.backoff_initial_s;
           std::uint64_t corr = 1;
           while (!heartbeats_done.load()) {
-            net::write_message(hb_stream,
-                               encode_heartbeat(my_id_.load(), corr++));
+            send_message(hb_stream, encode_heartbeat(my_id_.load(), corr++));
             // HeartbeatAck, or kError for a heartbeat that raced a server
             // restart — either way the beat was delivered; keep going.
             (void)net::read_message(hb_stream);
@@ -220,8 +334,8 @@ ClientRunStats Client::run() {
   while (!stop_.load() && !crash_.load()) {
     try {
       if (!pending) {
-        net::write_message(stream,
-                           encode_request_work(my_id_.load(), next_correlation_++));
+        send_message(stream,
+                     encode_request_work(my_id_.load(), next_correlation_++));
         net::Message reply = net::read_message(stream);
 
         if (reply.type == net::MessageType::kNoWorkAvailable) {
@@ -250,6 +364,14 @@ ClientRunStats Client::run() {
         WorkUnit unit = decode_work_assignment(reply);
         consecutive_idle = 0;
         ProblemContext& ctx = context_for(stream, unit.problem_id);
+        if (!ensure_blobs(stream, unit)) {
+          // A referenced blob is gone server-side: a replica finished the
+          // unit while our NEED list was in flight. Drop it and ask for
+          // fresh work.
+          LOG_DEBUG("unit " << unit.unit_id
+                            << " references a released blob; dropping");
+          continue;
+        }
 
         Stopwatch sw;
         ResultUnit result;
@@ -289,7 +411,7 @@ ClientRunStats Client::run() {
         resubmitting = false;
       }
 
-      net::write_message(
+      send_message(
           stream, encode_submit_result(my_id_.load(), *pending, next_correlation_++));
       net::Message reply = net::read_message(stream);
       if (reply.type == net::MessageType::kError) {
@@ -336,7 +458,7 @@ ClientRunStats Client::run() {
 
   if (!crash_.load() && session_ok && stream.valid()) {
     try {
-      net::write_message(stream, encode_goodbye(my_id_.load(), next_correlation_++));
+      send_message(stream, encode_goodbye(my_id_.load(), next_correlation_++));
       stream.shutdown_write();
     } catch (const Error&) {
       // Server may already be gone; departure is best-effort.

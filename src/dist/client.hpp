@@ -17,6 +17,7 @@
 // own connection with the same reconnect policy.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -26,8 +27,14 @@
 
 #include "dist/registry.hpp"
 #include "dist/wire.hpp"
+#include "net/blob_cache.hpp"
+#include "net/bulk.hpp"
 #include "net/socket.hpp"
 #include "util/rng.hpp"
+
+namespace hdcs::obs {
+class Tracer;
+}
 
 namespace hdcs::dist {
 
@@ -74,6 +81,22 @@ struct ClientConfig {
   double backoff_initial_s = 0.05;
   double backoff_max_s = 2.0;
   double backoff_jitter = 0.25;
+  /// Protocol version this donor speaks. 3 emulates a legacy donor from
+  /// before the content-addressed data plane (the server flattens blob
+  /// references back into the payload for it); 4 (the default) negotiates
+  /// HAVE/NEED blob transfers through the cache below.
+  int protocol_version = net::kProtocolVersion;
+  /// Largest single blob this donor will accept on the bulk channel; a
+  /// corrupt length header can cost at most this much allocation.
+  std::size_t max_blob_bytes = net::kDefaultMaxBlobBytes;
+  /// v4 blob cache: LRU memory-tier budget, plus an optional disk tier
+  /// (empty dir = memory only) that survives donor restarts.
+  std::size_t blob_cache_bytes = 64ull * 1024 * 1024;
+  std::string blob_cache_dir;
+  std::size_t blob_cache_disk_bytes = 256ull * 1024 * 1024;
+  /// Optional structured event trace (blob_cache_hit events, stamped with
+  /// wall seconds since this client was constructed). Not owned.
+  obs::Tracer* tracer = nullptr;
   const AlgorithmRegistry* registry = &AlgorithmRegistry::global();
 };
 
@@ -121,6 +144,27 @@ class Client {
 
   ProblemContext& context_for(net::TcpStream& stream, ProblemId id);
 
+  /// Stamp the configured protocol version on `m` and send it — every
+  /// frame a donor writes carries its version so the server can answer in
+  /// kind.
+  void send_message(net::TcpStream& stream, net::Message m);
+
+  /// Resolve every blob the unit references: cache hits fill in the bytes
+  /// locally, misses are batched into one FetchBlobs round-trip. Returns
+  /// false when the server no longer holds a referenced blob (the unit
+  /// completed via a replica while our request was in flight) — the caller
+  /// drops the unit and asks for fresh work. Present bodies are always
+  /// drained off the stream (and cached) even on a partial miss, so the
+  /// connection stays in sync.
+  bool ensure_blobs(net::TcpStream& stream, WorkUnit& unit);
+
+  /// Single-digest variant used for problem data (v4). nullopt = gone.
+  std::optional<std::vector<std::byte>> resolve_blob(net::TcpStream& stream,
+                                                     std::uint64_t digest);
+
+  /// Wall seconds since construction — the clock blob trace events use.
+  double now() const;
+
   /// Connect + Hello with exponential backoff. On success `stream` holds
   /// the new session and my_id_ is updated. Returns false if stop/crash
   /// was requested while waiting; rethrows the last transport error once
@@ -133,6 +177,8 @@ class Client {
   bool backoff_wait(double delay);
 
   ClientConfig config_;
+  net::BlobCache blob_cache_;
+  std::chrono::steady_clock::time_point epoch_;
   std::map<ProblemId, ProblemContext> contexts_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> crash_{false};

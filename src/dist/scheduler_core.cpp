@@ -39,10 +39,82 @@ ProblemId SchedulerCore::submit_problem(std::shared_ptr<DataManager> dm) {
   ProblemId id = next_problem_id_++;
   ProblemState ps;
   ps.dm = std::move(dm);
+  // Intern the problem data as a pinned blob: v4 donors address it by
+  // digest like any other blob, and the serving path never re-encodes it.
+  auto data = ps.dm->problem_data();
+  ps.data_bytes = data.size();
+  ps.data_digest = net::blob_digest(data);
+  BlobEntry& entry = blob_store_[ps.data_digest];
+  if (!entry.bytes) {
+    entry.bytes =
+        std::make_shared<const std::vector<std::byte>>(std::move(data));
+  }
+  entry.pinned = true;
   problems_.emplace(id, std::move(ps));
   LOG_INFO("problem " << id << " submitted (algorithm="
                       << problems_.at(id).dm->algorithm_name() << ")");
   return id;
+}
+
+std::shared_ptr<const std::vector<std::byte>> SchedulerCore::blob_bytes(
+    std::uint64_t digest) const {
+  auto it = blob_store_.find(digest);
+  return it == blob_store_.end() ? nullptr : it->second.bytes;
+}
+
+std::uint64_t SchedulerCore::problem_data_digest(ProblemId id) const {
+  auto it = problems_.find(id);
+  if (it == problems_.end()) throw InputError("unknown problem id");
+  return it->second.data_digest;
+}
+
+std::uint64_t SchedulerCore::problem_data_bytes(ProblemId id) const {
+  auto it = problems_.find(id);
+  if (it == problems_.end()) throw InputError("unknown problem id");
+  return it->second.data_bytes;
+}
+
+void SchedulerCore::materialize_unit_blobs(WorkUnit& unit) const {
+  for (WorkBlob& blob : unit.blobs) {
+    auto bytes = blob_bytes(blob.digest);
+    if (!bytes) {
+      throw ProtocolError("materialize_unit_blobs: unknown blob digest " +
+                          std::to_string(blob.digest));
+    }
+    blob.bytes = *bytes;
+  }
+}
+
+void SchedulerCore::intern_unit_blobs(WorkUnit& unit) {
+  for (WorkBlob& blob : unit.blobs) {
+    if (!blob.bytes.empty()) {
+      blob.digest = net::blob_digest(blob.bytes);
+      blob.size = blob.bytes.size();
+      BlobEntry& entry = blob_store_[blob.digest];
+      if (!entry.bytes) {
+        entry.bytes = std::make_shared<const std::vector<std::byte>>(
+            std::move(blob.bytes));
+      }
+      entry.refs += 1;
+      blob.bytes = {};
+    } else {
+      auto it = blob_store_.find(blob.digest);
+      if (it == blob_store_.end()) {
+        throw ProtocolError("unit references unknown blob digest " +
+                            std::to_string(blob.digest));
+      }
+      it->second.refs += 1;
+    }
+  }
+}
+
+void SchedulerCore::release_unit_blobs(const WorkUnit& unit) {
+  for (const WorkBlob& blob : unit.blobs) {
+    auto it = blob_store_.find(blob.digest);
+    if (it == blob_store_.end()) continue;
+    it->second.refs -= 1;
+    if (it->second.refs <= 0 && !it->second.pinned) blob_store_.erase(it);
+  }
 }
 
 bool SchedulerCore::problem_complete(ProblemId id) const {
@@ -369,6 +441,9 @@ std::optional<WorkUnit> SchedulerCore::issue_from(ProblemId pid, ProblemState& p
   }
   unit->problem_id = pid;
   unit->unit_id = ps.next_unit_id++;
+  // Bytes move into the content-addressed store; the stored UnitState and
+  // the returned assignment both carry only {digest, size} references.
+  intern_unit_blobs(*unit);
 
   UnitState us;
   us.unit = *unit;
@@ -547,6 +622,7 @@ bool SchedulerCore::submit_result(ClientId client, const ResultUnit& result,
     // scheduler. Surviving hedge copies are cancelled.
     for (const auto& l : us.leases) release_lease_stat(l.owner);
     double cost_ops = us.unit.cost_ops;
+    release_unit_blobs(us.unit);
     ps.in_flight.erase(uit);  // queued copies become stale queue entries
     ps.completed.insert(result.unit_id);
     if (cit != clients_.end()) cit->second.stats.units_completed += 1;
@@ -629,6 +705,7 @@ void SchedulerCore::accept_unit(ProblemId pid, ProblemState& ps, UnitId uid,
                                 std::vector<std::byte> payload, double now) {
   auto node = ps.in_flight.extract(uid);
   UnitState us = std::move(node.mapped());
+  release_unit_blobs(us.unit);
   ps.completed.insert(uid);
   stats_.results_accepted += 1;
   stats_.vote_quorums += 1;
@@ -854,6 +931,11 @@ void SchedulerCore::checkpoint(ByteWriter& w) const {
     w.u32(us.unit.stage);
     w.f64(us.unit.cost_ops);
     w.bytes(us.unit.payload);
+    w.u32(static_cast<std::uint32_t>(us.unit.blobs.size()));
+    for (const WorkBlob& blob : us.unit.blobs) {
+      w.u64(blob.digest);
+      w.u64(blob.size);
+    }
     w.u32(static_cast<std::uint32_t>(us.attempt));
     w.u32(static_cast<std::uint32_t>(us.replicas_wanted));
     w.u32(static_cast<std::uint32_t>(us.quorum_needed));
@@ -871,6 +953,29 @@ void SchedulerCore::checkpoint(ByteWriter& w) const {
     }
   };
   w.u64(next_client_id_);
+  // Blob table: bytes for every digest referenced by a persisted unit.
+  // Pinned problem-data blobs are excluded — they are re-interned when the
+  // problems are re-submitted before restore().
+  std::map<std::uint64_t, const std::vector<std::byte>*> blob_table;
+  for (const auto& [pid, ps] : problems_) {
+    auto collect = [&](const std::map<UnitId, UnitState>& units) {
+      for (const auto& [uid, us] : units) {
+        for (const WorkBlob& blob : us.unit.blobs) {
+          auto it = blob_store_.find(blob.digest);
+          if (it != blob_store_.end() && !it->second.pinned) {
+            blob_table.emplace(blob.digest, it->second.bytes.get());
+          }
+        }
+      }
+    };
+    collect(ps.in_flight);
+    collect(ps.quarantined);
+  }
+  w.u32(static_cast<std::uint32_t>(blob_table.size()));
+  for (const auto& [digest, bytes] : blob_table) {
+    w.u64(digest);
+    w.bytes(*bytes);
+  }
   w.u32(static_cast<std::uint32_t>(problems_.size()));
   for (const auto& [pid, ps] : problems_) {
     w.u64(pid);
@@ -904,18 +1009,38 @@ void SchedulerCore::checkpoint(ByteWriter& w) const {
 
 std::size_t SchedulerCore::restore(ByteReader& r) {
   std::uint64_t saved_next_client = r.u64();
+  // Re-intern the checkpointed blob table before any unit references it.
+  std::uint32_t blob_count = r.u32();
+  for (std::uint32_t i = 0; i < blob_count; ++i) {
+    std::uint64_t digest = r.u64();
+    auto bytes = r.bytes();
+    BlobEntry& entry = blob_store_[digest];
+    if (!entry.bytes) {
+      entry.bytes =
+          std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+    }
+  }
   std::uint32_t count = r.u32();
   if (count != problems_.size()) {
     throw ProtocolError("restore: checkpoint has " + std::to_string(count) +
                         " problems, core has " + std::to_string(problems_.size()));
   }
-  auto read_unit = [&r](ProblemId pid) {
+  auto read_unit = [this, &r](ProblemId pid) {
     UnitState us;
     us.unit.problem_id = pid;
     us.unit.unit_id = r.u64();
     us.unit.stage = r.u32();
     us.unit.cost_ops = r.f64();
     us.unit.payload = r.bytes();
+    std::uint32_t blobs = r.u32();
+    us.unit.blobs.reserve(blobs);
+    for (std::uint32_t b = 0; b < blobs; ++b) {
+      WorkBlob blob;
+      blob.digest = r.u64();
+      blob.size = r.u64();
+      us.unit.blobs.push_back(std::move(blob));
+    }
+    intern_unit_blobs(us.unit);  // byte-less refs: bump store refcounts
     us.attempt = static_cast<int>(r.u32());
     us.replicas_wanted = static_cast<int>(r.u32());
     us.quorum_needed = static_cast<int>(r.u32());

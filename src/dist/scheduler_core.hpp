@@ -166,6 +166,28 @@ class SchedulerCore {
   [[nodiscard]] const DataManager& data_manager(ProblemId id) const;
   [[nodiscard]] std::vector<ProblemId> active_problems() const;
 
+  // ---- content-addressed blob store (protocol v4 bulk-data plane) ----
+  //
+  // submit_problem() interns the problem data as a pinned blob;
+  // request_work() interns every blob a DataManager attaches to a fresh
+  // unit and strips the bytes, so UnitStates and wire assignments carry
+  // only {digest, size} references. A blob's bytes live until the last
+  // incomplete unit referencing it is merged (pinned problem-data blobs
+  // live as long as the core).
+
+  /// Bytes of an interned blob; nullptr when no incomplete unit references
+  /// the digest (the caller should treat the referencing unit as stale).
+  [[nodiscard]] std::shared_ptr<const std::vector<std::byte>> blob_bytes(
+      std::uint64_t digest) const;
+  /// Content digest / raw size of a problem's input data.
+  [[nodiscard]] std::uint64_t problem_data_digest(ProblemId id) const;
+  [[nodiscard]] std::uint64_t problem_data_bytes(ProblemId id) const;
+  /// Fill an issued unit's blob references back in with their bytes. The
+  /// transports stream blobs separately (cache-negotiated); in-process
+  /// drivers that hand the unit straight to an Algorithm call this instead.
+  /// Throws ProtocolError if a referenced digest is no longer interned.
+  void materialize_unit_blobs(WorkUnit& unit) const;
+
   // ---- clients ----
 
   ClientId client_joined(const std::string& name, double benchmark_ops_per_sec,
@@ -302,6 +324,14 @@ class SchedulerCore {
     std::set<UnitId> completed;               // for duplicate detection
     UnitId next_unit_id = 1;
     bool barrier_flagged = false;  // one stage_barrier event per dry spell
+    std::uint64_t data_digest = 0;  // content digest of dm->problem_data()
+    std::uint64_t data_bytes = 0;
+  };
+
+  struct BlobEntry {
+    std::shared_ptr<const std::vector<std::byte>> bytes;
+    int refs = 0;        // incomplete units referencing this digest
+    bool pinned = false; // problem data: never released
   };
 
   struct ClientState {
@@ -352,10 +382,19 @@ class SchedulerCore {
   void release_lease_stat(ClientId owner);
   /// Voter key for a client id: its name, or "#<id>" if unknown.
   [[nodiscard]] std::string voter_name(ClientId id) const;
+  /// Move a unit's blob bytes into the store (bumping refcounts) and strip
+  /// them from the unit, leaving {digest, size} references. Blobs already
+  /// byte-less (restore path) only bump refs; an unknown digest there is a
+  /// ProtocolError.
+  void intern_unit_blobs(WorkUnit& unit);
+  /// Drop one reference per blob of a completing unit; unpinned entries
+  /// reaching zero refs are erased.
+  void release_unit_blobs(const WorkUnit& unit);
 
   SchedulerConfig config_;
   std::unique_ptr<GranularityPolicy> policy_;
   std::map<ProblemId, ProblemState> problems_;
+  std::map<std::uint64_t, BlobEntry> blob_store_;
   std::map<ClientId, ClientState> clients_;
   std::map<std::string, DonorReputation> reputation_;
   ProblemId next_problem_id_ = 1;

@@ -47,6 +47,10 @@ obs::Histogram* handler_histogram(net::MessageType type) {
       static obs::Histogram* h = make("FetchProblemData");
       return h;
     }
+    case net::MessageType::kFetchBlobs: {
+      static obs::Histogram* h = make("FetchBlobs");
+      return h;
+    }
     case net::MessageType::kFetchStats: {
       static obs::Histogram* h = make("FetchStats");
       return h;
@@ -314,6 +318,13 @@ void Server::handler_loop(net::TcpStream stream) {
       net::Message response;
       bool send_bulk = false;
       std::vector<std::byte> bulk;
+      // FetchBlobs bodies: shared_ptrs collected under the core lock, sent
+      // (and compressed) after the response frame without holding it.
+      std::vector<
+          std::pair<std::uint64_t,
+                    std::shared_ptr<const std::vector<std::byte>>>>
+          blob_bodies;
+      ClientId blob_client = 0;
       Stopwatch handle_timer;
 
       try {
@@ -334,7 +345,26 @@ void Server::handler_loop(net::TcpStream stream) {
           std::lock_guard lock(core_mutex_);
           auto unit = core_.request_work(id, now());
           if (unit) {
-            response = encode_work_assignment(*unit, request.correlation);
+            if (request.version >= 4) {
+              response = encode_work_assignment(*unit, request.correlation,
+                                                request.version);
+            } else {
+              // Legacy donor: inline each referenced blob by appending its
+              // bytes to the payload, in blob order — applications lay
+              // their payloads out so this flattened form decodes with the
+              // pre-v4 logic.
+              WorkUnit flat = *unit;
+              for (const WorkBlob& blob : flat.blobs) {
+                auto bytes = core_.blob_bytes(blob.digest);
+                if (bytes) {
+                  flat.payload.insert(flat.payload.end(), bytes->begin(),
+                                      bytes->end());
+                }
+              }
+              flat.blobs.clear();
+              response =
+                  encode_work_assignment(flat, request.correlation, 3);
+            }
           } else {
             NoWorkPayload p;
             p.retry_after_s = config_.no_work_retry_s;
@@ -362,11 +392,33 @@ void Server::handler_loop(net::TcpStream stream) {
             std::lock_guard lock(core_mutex_);
             const DataManager& dm = core_.data_manager(fetch.problem_id);
             header.algorithm_name = dm.algorithm_name();
-            bulk = dm.problem_data();
+            header.data_bytes = core_.problem_data_bytes(fetch.problem_id);
+            header.data_digest = core_.problem_data_digest(fetch.problem_id);
+            if (request.version < 4) {
+              // v3: the data itself follows on the bulk channel. v4 donors
+              // instead resolve data_digest through their cache/FetchBlobs.
+              bulk = *core_.blob_bytes(header.data_digest);
+              send_bulk = true;
+            }
           }
-          header.data_bytes = bulk.size();
-          response = encode_problem_data_header(header, request.correlation);
-          send_bulk = true;
+          response = encode_problem_data_header(header, request.correlation,
+                                                request.version);
+          break;
+        }
+        case net::MessageType::kFetchBlobs: {
+          auto fetch = decode_fetch_blobs(request);
+          BlobDataPayload reply;
+          {
+            std::lock_guard lock(core_mutex_);
+            for (std::uint64_t digest : fetch.digests) {
+              auto bytes = core_.blob_bytes(digest);
+              bool ok = bytes && bytes->size() <= config_.max_blob_bytes;
+              reply.blobs.push_back({digest, ok});
+              if (ok) blob_bodies.emplace_back(digest, std::move(bytes));
+            }
+          }
+          blob_client = fetch.client_id;
+          response = encode_blob_data(reply, request.correlation);
           break;
         }
         case net::MessageType::kHeartbeat: {
@@ -414,8 +466,26 @@ void Server::handler_loop(net::TcpStream stream) {
       if (obs::Histogram* h = handler_histogram(request.type)) {
         h->observe(handle_timer.seconds());
       }
+      // Answer at the requester's protocol version: a v3 donor must never
+      // see a v4 frame.
+      response.version = request.version;
       net::write_message(stream, response);
       if (send_bulk) net::send_blob(stream, bulk);
+      for (const auto& [digest, bytes] : blob_bodies) {
+        auto info = net::send_blob_v4(stream, *bytes);
+        auto& bm = net::bulk_plane_metrics();
+        bm.blobs_sent.inc();
+        bm.bytes_raw.inc(info.raw_bytes);
+        bm.bytes_wire.inc(info.wire_bytes);
+        if (config_.tracer) {
+          config_.tracer->event(now(), "blob_sent")
+              .u64("client", blob_client)
+              .u64("digest", digest)
+              .u64("raw", info.raw_bytes)
+              .u64("wire", info.wire_bytes)
+              .boolean("compressed", info.compressed);
+        }
+      }
     }
   } catch (const net::ConnectionClosed&) {
     LOG_INFO("client connection closed (client " << client_id << ")");

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dist/scheduler_core.hpp"
+#include "net/bulk.hpp"
 #include "net/socket.hpp"
 
 namespace hdcs::dist {
@@ -43,6 +44,9 @@ struct ServerConfig {
   /// Optional structured event trace. The server stamps events with wall
   /// time (seconds since start()); must outlive the server. Not owned.
   obs::Tracer* tracer = nullptr;
+  /// Largest blob the server will serve over FetchBlobs; larger interned
+  /// blobs are reported absent (the donor drops the unit).
+  std::size_t max_blob_bytes = net::kDefaultMaxBlobBytes;
 };
 
 class Server {

@@ -79,12 +79,22 @@ void write_unit_fields(ByteWriter& w, ProblemId pid, UnitId uid, std::uint32_t s
 }
 }  // namespace
 
-net::Message encode_work_assignment(const WorkUnit& unit, std::uint64_t correlation) {
+net::Message encode_work_assignment(const WorkUnit& unit, std::uint64_t correlation,
+                                    std::uint16_t version) {
   ByteWriter w;
   write_unit_fields(w, unit.problem_id, unit.unit_id, unit.stage);
   w.f64(unit.cost_ops);
   w.bytes(unit.payload);
-  return make(net::MessageType::kWorkAssignment, correlation, std::move(w));
+  if (version >= 4) {
+    w.u32(static_cast<std::uint32_t>(unit.blobs.size()));
+    for (const WorkBlob& blob : unit.blobs) {
+      w.u64(blob.digest);
+      w.u64(blob.size);
+    }
+  }
+  auto m = make(net::MessageType::kWorkAssignment, correlation, std::move(w));
+  m.version = version;
+  return m;
 }
 
 WorkUnit decode_work_assignment(const net::Message& m) {
@@ -96,6 +106,16 @@ WorkUnit decode_work_assignment(const net::Message& m) {
   unit.stage = r.u32();
   unit.cost_ops = r.f64();
   unit.payload = r.bytes();
+  if (m.version >= 4) {
+    std::uint32_t count = r.u32();
+    unit.blobs.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      WorkBlob blob;
+      blob.digest = r.u64();
+      blob.size = r.u64();
+      unit.blobs.push_back(std::move(blob));
+    }
+  }
   r.expect_end();
   return unit;
 }
@@ -173,12 +193,16 @@ FetchProblemDataPayload decode_fetch_problem_data(const net::Message& m) {
 }
 
 net::Message encode_problem_data_header(const ProblemDataHeaderPayload& p,
-                                        std::uint64_t correlation) {
+                                        std::uint64_t correlation,
+                                        std::uint16_t version) {
   ByteWriter w;
   w.u64(p.problem_id);
   w.str(p.algorithm_name);
   w.u64(p.data_bytes);
-  return make(net::MessageType::kProblemData, correlation, std::move(w));
+  if (version >= 4) w.u64(p.data_digest);
+  auto m = make(net::MessageType::kProblemData, correlation, std::move(w));
+  m.version = version;
+  return m;
 }
 
 ProblemDataHeaderPayload decode_problem_data_header(const net::Message& m) {
@@ -188,6 +212,55 @@ ProblemDataHeaderPayload decode_problem_data_header(const net::Message& m) {
   p.problem_id = r.u64();
   p.algorithm_name = r.str();
   p.data_bytes = r.u64();
+  if (m.version >= 4) p.data_digest = r.u64();
+  r.expect_end();
+  return p;
+}
+
+net::Message encode_fetch_blobs(const FetchBlobsPayload& p,
+                                std::uint64_t correlation) {
+  ByteWriter w;
+  w.u64(p.client_id);
+  w.u32(static_cast<std::uint32_t>(p.digests.size()));
+  for (std::uint64_t digest : p.digests) w.u64(digest);
+  return make(net::MessageType::kFetchBlobs, correlation, std::move(w));
+}
+
+FetchBlobsPayload decode_fetch_blobs(const net::Message& m) {
+  check_type(m, net::MessageType::kFetchBlobs);
+  auto r = m.reader();
+  FetchBlobsPayload p;
+  p.client_id = r.u64();
+  std::uint32_t count = r.u32();
+  p.digests.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) p.digests.push_back(r.u64());
+  r.expect_end();
+  return p;
+}
+
+net::Message encode_blob_data(const BlobDataPayload& p,
+                              std::uint64_t correlation) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(p.blobs.size()));
+  for (const auto& entry : p.blobs) {
+    w.u64(entry.digest);
+    w.boolean(entry.present);
+  }
+  return make(net::MessageType::kBlobData, correlation, std::move(w));
+}
+
+BlobDataPayload decode_blob_data(const net::Message& m) {
+  check_type(m, net::MessageType::kBlobData);
+  auto r = m.reader();
+  BlobDataPayload p;
+  std::uint32_t count = r.u32();
+  p.blobs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BlobDataPayload::Entry entry;
+    entry.digest = r.u64();
+    entry.present = r.boolean();
+    p.blobs.push_back(entry);
+  }
   r.expect_end();
   return p;
 }

@@ -35,8 +35,31 @@ struct FetchProblemDataPayload {
 struct ProblemDataHeaderPayload {
   ProblemId problem_id = 0;
   std::string algorithm_name;
-  /// The blob itself follows on the bulk channel after this frame.
+  /// v3: the blob itself follows on the bulk channel after this frame.
+  /// v4: nothing follows — the donor resolves `data_digest` through its
+  /// blob cache / FetchBlobs like any other blob.
   std::uint64_t data_bytes = 0;
+  /// Content digest of the problem data (v4 frames only; 0 on v3).
+  std::uint64_t data_digest = 0;
+};
+
+/// v4 NEED list: the digests a donor wants after checking its cache.
+struct FetchBlobsPayload {
+  ClientId client_id = 0;
+  std::vector<std::uint64_t> digests;
+};
+
+/// v4 reply header. For every requested digest, whether the server still
+/// holds it (a blob can vanish when its last referencing unit completes
+/// while the request was in flight — the donor then just drops the unit).
+/// Present blobs follow on the bulk channel, in order, in the v4
+/// compressed format (net::send_blob_v4).
+struct BlobDataPayload {
+  struct Entry {
+    std::uint64_t digest = 0;
+    bool present = false;
+  };
+  std::vector<Entry> blobs;
 };
 
 struct ResultAckPayload {
@@ -67,7 +90,13 @@ HelloAckPayload decode_hello_ack(const net::Message& m);
 net::Message encode_request_work(ClientId client, std::uint64_t correlation);
 ClientId decode_request_work(const net::Message& m);
 
-net::Message encode_work_assignment(const WorkUnit& unit, std::uint64_t correlation);
+/// `version` picks the frame format: v3 writes the legacy payload-only
+/// shape (bit-identical to the old encoder — the caller must have
+/// flattened any blobs into `payload` first); v4 appends the blob
+/// reference list {digest, size} after the payload. Decode keys off the
+/// frame's own version field.
+net::Message encode_work_assignment(const WorkUnit& unit, std::uint64_t correlation,
+                                    std::uint16_t version = net::kProtocolVersion);
 WorkUnit decode_work_assignment(const net::Message& m);
 
 net::Message encode_no_work(const NoWorkPayload& p, std::uint64_t correlation);
@@ -84,9 +113,19 @@ net::Message encode_fetch_problem_data(const FetchProblemDataPayload& p,
                                        std::uint64_t correlation);
 FetchProblemDataPayload decode_fetch_problem_data(const net::Message& m);
 
+/// v4 appends data_digest; decode keys off the frame version.
 net::Message encode_problem_data_header(const ProblemDataHeaderPayload& p,
-                                        std::uint64_t correlation);
+                                        std::uint64_t correlation,
+                                        std::uint16_t version = net::kProtocolVersion);
 ProblemDataHeaderPayload decode_problem_data_header(const net::Message& m);
+
+net::Message encode_fetch_blobs(const FetchBlobsPayload& p,
+                                std::uint64_t correlation);
+FetchBlobsPayload decode_fetch_blobs(const net::Message& m);
+
+net::Message encode_blob_data(const BlobDataPayload& p,
+                              std::uint64_t correlation);
+BlobDataPayload decode_blob_data(const net::Message& m);
 
 net::Message encode_heartbeat(ClientId client, std::uint64_t correlation);
 ClientId decode_heartbeat(const net::Message& m);

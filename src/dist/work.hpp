@@ -6,13 +6,39 @@
 // the final answer (paper §2.1). Payloads are opaque application bytes.
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
+
+#include "net/blob_cache.hpp"
 
 namespace hdcs::dist {
 
 using ProblemId = std::uint64_t;
 using UnitId = std::uint64_t;
 using ClientId = std::uint64_t;
+
+/// An immutable bulk input addressed by content digest (protocol v4). A
+/// DataManager attaches blobs to units it emits, with bytes populated; the
+/// scheduler interns the bytes into its content-addressed store and ships
+/// units carrying only {digest, size} references — donors resolve them
+/// through their local BlobCache, fetching misses with FetchBlobs.
+struct WorkBlob {
+  std::uint64_t digest = 0;  // net::blob_digest over the content
+  std::uint64_t size = 0;    // raw (uncompressed) byte count
+  /// Content. Empty in a reference-only unit (on the wire, or stored in
+  /// the scheduler once interned).
+  std::vector<std::byte> bytes;
+};
+
+/// Wrap bytes as a blob with its digest/size filled in.
+inline WorkBlob make_work_blob(std::vector<std::byte> bytes) {
+  WorkBlob blob;
+  blob.digest = net::blob_digest(bytes);
+  blob.size = bytes.size();
+  blob.bytes = std::move(bytes);
+  return blob;
+}
 
 struct WorkUnit {
   ProblemId problem_id = 0;  // assigned by the scheduler
@@ -23,6 +49,10 @@ struct WorkUnit {
   /// machine cost model. Must be > 0.
   double cost_ops = 0;
   std::vector<std::byte> payload;
+  /// Content-addressed bulk inputs shared across units (database chunks,
+  /// stage trees). Algorithms see them with bytes materialized; legacy
+  /// (v3) donors instead receive them flattened onto `payload`.
+  std::vector<WorkBlob> blobs;
 };
 
 struct ResultUnit {

@@ -229,16 +229,19 @@ std::optional<dist::WorkUnit> DPRmlDataManager::next_unit(
           std::max(1.0, hint.target_ops / per_edge_cost()));
       batch = std::min(batch, pending_edges_.size());
 
-      EvalUnitPayload p;
-      p.tree_newick = current_tree_;
-      p.taxon = order_[static_cast<std::size_t>(next_taxon_)];
-      p.edge_nodes.assign(pending_edges_.begin(),
-                          pending_edges_.begin() + static_cast<std::ptrdiff_t>(batch));
+      // Shared-tree layout: fixed fields in the payload, the stage's tree
+      // in a content-addressed blob. Every batch of this stage references
+      // the same blob, so donors download the tree once per stage.
+      ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(UnitKind::kEvalShared));
+      w.str(order_[static_cast<std::size_t>(next_taxon_)]);
+      w.u32(static_cast<std::uint32_t>(batch));
+      for (std::size_t i = 0; i < batch; ++i) w.i32(pending_edges_[i]);
       pending_edges_.erase(pending_edges_.begin(),
                            pending_edges_.begin() + static_cast<std::ptrdiff_t>(batch));
-      ByteWriter w;
-      encode_eval_unit(w, p);
       unit.payload = w.take();
+      unit.blobs.push_back(dist::make_work_blob(
+          {as_bytes(current_tree_).begin(), as_bytes(current_tree_).end()}));
       unit.cost_ops = static_cast<double>(batch) * per_edge_cost();
       outstanding_ += 1;
       return unit;
@@ -264,8 +267,7 @@ std::optional<dist::WorkUnit> DPRmlDataManager::next_unit(
       batch = std::min(batch, pending_nni_.size());
 
       ByteWriter w;
-      w.u8(static_cast<std::uint8_t>(UnitKind::kNniEval));
-      w.str(current_tree_);
+      w.u8(static_cast<std::uint8_t>(UnitKind::kNniEvalShared));
       w.u32(static_cast<std::uint32_t>(batch));
       for (std::size_t i = 0; i < batch; ++i) {
         w.i32(pending_nni_[i].edge_node);
@@ -274,6 +276,8 @@ std::optional<dist::WorkUnit> DPRmlDataManager::next_unit(
       pending_nni_.erase(pending_nni_.begin(),
                          pending_nni_.begin() + static_cast<std::ptrdiff_t>(batch));
       unit.payload = w.take();
+      unit.blobs.push_back(dist::make_work_blob(
+          {as_bytes(current_tree_).begin(), as_bytes(current_tree_).end()}));
       unit.cost_ops = static_cast<double>(batch) * per_edge_cost();
       outstanding_ += 1;
       return unit;
@@ -558,12 +562,36 @@ void DPRmlAlgorithm::initialize(std::span<const std::byte> problem_data) {
   cache_prefix_ = std::to_string(fnv64(key.data())) + "|";
 }
 
+namespace {
+
+/// The shared tree of a kEvalShared/kNniEvalShared unit: blobs[0] on a v4
+/// donor, or the bytes the server appended to the payload when flattening
+/// for a v3 donor. Either way the Newick occupies the tail of the decoded
+/// stream, so both paths read identical bytes.
+std::string shared_tree_newick(const dist::WorkUnit& unit, ByteReader& r) {
+  if (!unit.blobs.empty()) {
+    r.expect_end();
+    const auto& b = unit.blobs.front().bytes;
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+  auto rest = r.raw(r.remaining());
+  return std::string(reinterpret_cast<const char*>(rest.data()), rest.size());
+}
+
+}  // namespace
+
 std::vector<std::byte> DPRmlAlgorithm::process(const dist::WorkUnit& unit) {
   if (!engine_) throw Error("DPRmlAlgorithm: process before initialize");
   ByteReader r(unit.payload);
   auto kind = static_cast<UnitKind>(r.u8());
+  // Shared-tree units answer with the legacy kind byte, so the
+  // DataManager's merge path (and result dedup across mixed v3/v4 donor
+  // fleets) never sees the transport difference.
+  UnitKind result_kind = kind;
+  if (kind == UnitKind::kEvalShared) result_kind = UnitKind::kEval;
+  if (kind == UnitKind::kNniEvalShared) result_kind = UnitKind::kNniEval;
   ByteWriter out;
-  out.u8(static_cast<std::uint8_t>(kind));
+  out.u8(static_cast<std::uint8_t>(result_kind));
 
   switch (kind) {
     case UnitKind::kInit: {
@@ -579,13 +607,25 @@ std::vector<std::byte> DPRmlAlgorithm::process(const dist::WorkUnit& unit) {
       out.f64(logl);
       break;
     }
-    case UnitKind::kEval: {
-      std::string newick = r.str();
-      std::string taxon = r.str();
-      std::uint32_t n = r.u32();
-      std::vector<int> edges(n);
-      for (auto& e : edges) e = r.i32();
-      r.expect_end();
+    case UnitKind::kEval:
+    case UnitKind::kEvalShared: {
+      std::string newick, taxon;
+      std::uint32_t n = 0;
+      std::vector<int> edges;
+      if (kind == UnitKind::kEval) {
+        newick = r.str();
+        taxon = r.str();
+        n = r.u32();
+        edges.resize(n);
+        for (auto& e : edges) e = r.i32();
+        r.expect_end();
+      } else {
+        taxon = r.str();
+        n = r.u32();
+        edges.resize(n);
+        for (auto& e : edges) e = r.i32();
+        newick = shared_tree_newick(unit, r);
+      }
 
       out.u32(n);
       auto emit = [&out](int edge, const CachedEval& e) {
@@ -621,15 +661,29 @@ std::vector<std::byte> DPRmlAlgorithm::process(const dist::WorkUnit& unit) {
       }
       break;
     }
-    case UnitKind::kNniEval: {
-      std::string newick = r.str();
-      std::uint32_t n = r.u32();
-      std::vector<NniCandidate> cands(n);
-      for (auto& c : cands) {
-        c.edge_node = r.i32();
-        c.variant = r.u8();
+    case UnitKind::kNniEval:
+    case UnitKind::kNniEvalShared: {
+      std::string newick;
+      std::uint32_t n = 0;
+      std::vector<NniCandidate> cands;
+      if (kind == UnitKind::kNniEval) {
+        newick = r.str();
+        n = r.u32();
+        cands.resize(n);
+        for (auto& c : cands) {
+          c.edge_node = r.i32();
+          c.variant = r.u8();
+        }
+        r.expect_end();
+      } else {
+        n = r.u32();
+        cands.resize(n);
+        for (auto& c : cands) {
+          c.edge_node = r.i32();
+          c.variant = r.u8();
+        }
+        newick = shared_tree_newick(unit, r);
       }
-      r.expect_end();
 
       out.u32(n);
       for (const auto& c : cands) {

@@ -1,0 +1,167 @@
+#include "net/blob_cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace hdcs::net {
+
+namespace fs = std::filesystem;
+
+std::uint64_t blob_digest(std::span<const std::byte> data) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint8_t>(b);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+BlobCache::BlobCache(BlobCacheConfig config) : config_(std::move(config)) {
+  if (config_.disk_dir.empty()) return;
+  std::error_code ec;
+  fs::create_directories(config_.disk_dir, ec);
+  // Adopt blobs left by a previous run, oldest first so budget eviction
+  // drops the stalest ones. Unparseable names are ignored, not deleted.
+  std::vector<std::pair<fs::file_time_type, std::pair<std::uint64_t, std::size_t>>>
+      found;
+  for (const auto& entry : fs::directory_iterator(config_.disk_dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != ".blob") continue;
+    unsigned long long digest = 0;
+    if (std::sscanf(path.stem().string().c_str(), "%16llx", &digest) != 1) {
+      continue;
+    }
+    found.emplace_back(
+        entry.last_write_time(ec),
+        std::pair{static_cast<std::uint64_t>(digest),
+                  static_cast<std::size_t>(entry.file_size(ec))});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [mtime, blob] : found) {
+    disk_index_[blob.first] = blob.second;
+    disk_order_.push_back(blob.first);
+    disk_bytes_ += blob.second;
+  }
+  trim_disk();
+}
+
+std::string BlobCache::disk_path(std::uint64_t digest) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.blob",
+                static_cast<unsigned long long>(digest));
+  return (fs::path(config_.disk_dir) / name).string();
+}
+
+std::optional<std::vector<std::byte>> BlobCache::get(std::uint64_t digest) {
+  if (auto it = index_.find(digest); it != index_.end()) {
+    if (blob_digest(it->second->bytes) != digest) {
+      ++stats_.corrupt_dropped;
+      memory_bytes_ -= it->second->bytes.size();
+      lru_.erase(it->second);
+      index_.erase(it);
+      disk_drop(digest);
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    return it->second->bytes;
+  }
+  if (auto bytes = disk_get(digest)) {
+    ++stats_.hits;
+    auto copy = *bytes;
+    // Promote: re-insert into the memory tier (disk copy stays).
+    lru_.push_front(Entry{digest, std::move(*bytes)});
+    index_[digest] = lru_.begin();
+    memory_bytes_ += lru_.front().bytes.size();
+    trim_memory();
+    return copy;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void BlobCache::put(std::uint64_t digest, std::vector<std::byte> bytes) {
+  disk_put(digest, bytes);
+  if (auto it = index_.find(digest); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  std::size_t size = bytes.size();
+  lru_.push_front(Entry{digest, std::move(bytes)});
+  index_[digest] = lru_.begin();
+  memory_bytes_ += size;
+  trim_memory();
+}
+
+void BlobCache::trim_memory() {
+  while (memory_bytes_ > config_.memory_budget_bytes && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    memory_bytes_ -= victim.bytes.size();
+    index_.erase(victim.digest);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void BlobCache::disk_put(std::uint64_t digest,
+                         std::span<const std::byte> bytes) {
+  if (config_.disk_dir.empty() || disk_index_.count(digest)) return;
+  if (bytes.size() > config_.disk_budget_bytes) return;
+  std::ofstream out(disk_path(digest), std::ios::binary | std::ios::trunc);
+  if (!out) return;  // a broken disk tier degrades to memory-only
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    out.close();
+    std::error_code ec;
+    fs::remove(disk_path(digest), ec);
+    return;
+  }
+  disk_index_[digest] = bytes.size();
+  disk_order_.push_back(digest);
+  disk_bytes_ += bytes.size();
+  trim_disk();
+}
+
+std::optional<std::vector<std::byte>> BlobCache::disk_get(
+    std::uint64_t digest) {
+  auto it = disk_index_.find(digest);
+  if (it == disk_index_.end()) return std::nullopt;
+  std::ifstream in(disk_path(digest), std::ios::binary);
+  std::vector<std::byte> bytes(it->second);
+  if (in) {
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  }
+  if (!in || static_cast<std::size_t>(in.gcount()) != bytes.size() ||
+      blob_digest(bytes) != digest) {
+    ++stats_.corrupt_dropped;
+    disk_drop(digest);
+    return std::nullopt;
+  }
+  return bytes;
+}
+
+void BlobCache::disk_drop(std::uint64_t digest) {
+  auto it = disk_index_.find(digest);
+  if (it == disk_index_.end()) return;
+  disk_bytes_ -= it->second;
+  disk_index_.erase(it);
+  disk_order_.remove(digest);
+  std::error_code ec;
+  fs::remove(disk_path(digest), ec);
+}
+
+void BlobCache::trim_disk() {
+  while (disk_bytes_ > config_.disk_budget_bytes && !disk_order_.empty()) {
+    disk_drop(disk_order_.front());
+  }
+}
+
+}  // namespace hdcs::net

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "net/compress.hpp"
 #include "obs/metrics.hpp"
 #include "util/byte_buffer.hpp"
 
@@ -22,6 +23,14 @@ BulkMetrics& bulk_metrics() {
   return m;
 }
 }  // namespace
+
+BulkPlaneMetrics& bulk_plane_metrics() {
+  auto& reg = obs::Registry::global();
+  static BulkPlaneMetrics m{
+      reg.counter("bulk.blobs_sent"), reg.counter("bulk.blobs_cache_hit"),
+      reg.counter("bulk.bytes_raw"), reg.counter("bulk.bytes_wire")};
+  return m;
+}
 
 namespace {
 std::array<std::uint32_t, 256> make_crc_table() {
@@ -63,7 +72,7 @@ void send_blob(TcpStream& stream, std::span<const std::byte> data) {
 
 std::vector<std::byte> recv_blob(TcpStream& stream, std::size_t max_bytes) {
   std::byte header_buf[12];
-  stream.recv_all(header_buf);
+  stream.recv_all(header_buf, kMidStreamStallMs);
   ByteReader header(header_buf);
   std::uint64_t size = header.u64();
   std::uint32_t expected_crc = header.u32();
@@ -74,7 +83,7 @@ std::vector<std::byte> recv_blob(TcpStream& stream, std::size_t max_bytes) {
   std::size_t off = 0;
   while (off < data.size()) {
     std::size_t n = std::min(kBulkChunk, data.size() - off);
-    stream.recv_all(std::span(data).subspan(off, n));
+    stream.recv_all(std::span(data).subspan(off, n), kMidStreamStallMs);
     off += n;
   }
   if (crc32(data) != expected_crc) {
@@ -82,6 +91,84 @@ std::vector<std::byte> recv_blob(TcpStream& stream, std::size_t max_bytes) {
   }
   bulk_metrics().blobs_received.inc();
   bulk_metrics().bulk_bytes_received.inc(sizeof(header_buf) + data.size());
+  return data;
+}
+
+namespace {
+// raw_size | crc32(raw) | flags | wire_size | crc32(header). The trailing
+// header CRC lets the receiver reject a corrupted length field *before*
+// trusting it — without it, a flipped wire_size byte makes the receiver
+// wait for bytes the sender never sent, and the body CRC (checked only
+// after a full read) can never run.
+constexpr std::size_t kBlobV4LengthsBytes = 8 + 4 + 1 + 8;
+constexpr std::size_t kBlobV4HeaderBytes = kBlobV4LengthsBytes + 4;
+constexpr std::uint8_t kBlobFlagCompressed = 1;
+
+void send_chunked(TcpStream& stream, std::span<const std::byte> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    std::size_t n = std::min(kBulkChunk, data.size() - off);
+    stream.send_all(data.subspan(off, n));
+    off += n;
+  }
+}
+}  // namespace
+
+BlobWireInfo send_blob_v4(TcpStream& stream, std::span<const std::byte> data) {
+  auto compressed = lz_compress(data);
+  std::span<const std::byte> body =
+      compressed ? std::span<const std::byte>(*compressed) : data;
+  ByteWriter header(kBlobV4HeaderBytes);
+  header.u64(data.size());
+  header.u32(crc32(data));
+  header.u8(compressed ? kBlobFlagCompressed : 0);
+  header.u64(body.size());
+  header.u32(crc32(header.data()));
+  stream.send_all(header.data());
+  send_chunked(stream, body);
+  bulk_metrics().blobs_sent.inc();
+  bulk_metrics().bulk_bytes_sent.inc(header.size() + body.size());
+  return BlobWireInfo{data.size(), header.size() + body.size(),
+                      compressed.has_value()};
+}
+
+std::vector<std::byte> recv_blob_v4(TcpStream& stream, std::size_t max_bytes) {
+  std::byte header_buf[kBlobV4HeaderBytes];
+  stream.recv_all(header_buf, kMidStreamStallMs);
+  ByteReader header(header_buf);
+  std::uint64_t raw_size = header.u64();
+  std::uint32_t expected_crc = header.u32();
+  std::uint8_t flags = header.u8();
+  std::uint64_t wire_size = header.u64();
+  std::uint32_t header_crc = header.u32();
+  if (crc32(std::span(header_buf).first(kBlobV4LengthsBytes)) != header_crc) {
+    throw ProtocolError("bulk blob header CRC mismatch");
+  }
+  if (raw_size > max_bytes || wire_size > max_bytes) {
+    throw IoError("bulk blob too large: raw " + std::to_string(raw_size) +
+                  " / wire " + std::to_string(wire_size) + " bytes");
+  }
+  if (flags & ~kBlobFlagCompressed) {
+    throw ProtocolError("bulk blob: unknown flags");
+  }
+  bool is_compressed = flags & kBlobFlagCompressed;
+  if (!is_compressed && wire_size != raw_size) {
+    throw ProtocolError("bulk blob: stored size mismatch");
+  }
+  std::vector<std::byte> body(wire_size);
+  std::size_t off = 0;
+  while (off < body.size()) {
+    std::size_t n = std::min(kBulkChunk, body.size() - off);
+    stream.recv_all(std::span(body).subspan(off, n), kMidStreamStallMs);
+    off += n;
+  }
+  std::vector<std::byte> data =
+      is_compressed ? lz_decompress(body, raw_size) : std::move(body);
+  if (crc32(data) != expected_crc) {
+    throw ProtocolError("bulk blob CRC mismatch");
+  }
+  bulk_metrics().blobs_received.inc();
+  bulk_metrics().bulk_bytes_received.inc(sizeof(header_buf) + wire_size);
   return data;
 }
 

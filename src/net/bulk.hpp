@@ -17,6 +17,11 @@ namespace hdcs::net {
 
 inline constexpr std::size_t kBulkChunk = 256 * 1024;
 
+/// Default receive-side blob cap. The old default of 4 GiB meant one
+/// corrupt length header could exhaust donor RAM; anything bigger than this
+/// must be opted into via ClientConfig/ServerConfig::max_blob_bytes.
+inline constexpr std::size_t kDefaultMaxBlobBytes = 256ull * 1024 * 1024;
+
 /// CRC-32 (IEEE, reflected) of a byte span.
 std::uint32_t crc32(std::span<const std::byte> data);
 
@@ -26,6 +31,50 @@ void send_blob(TcpStream& stream, std::span<const std::byte> data);
 /// Receive a blob; throws ProtocolError on CRC mismatch, IoError on size
 /// above max_bytes (guards against a corrupt length header allocating GBs).
 std::vector<std::byte> recv_blob(TcpStream& stream,
-                                 std::size_t max_bytes = 1ull << 32);
+                                 std::size_t max_bytes = kDefaultMaxBlobBytes);
+
+/// What send_blob_v4 put on the wire (for byte accounting and trace events).
+struct BlobWireInfo {
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t wire_bytes = 0;  // header + body actually transmitted
+  bool compressed = false;
+};
+
+/// Protocol-v4 blob transfer with transparent compression:
+///
+///   u64 raw_size | u32 crc32(raw) | u8 flags | u64 wire_size | body chunks
+///
+/// flags bit 0 = body is lz_compress output (raw otherwise). Incompressible
+/// data is sent stored, so the flag — not a heuristic — decides decoding.
+/// The CRC is always over the *raw* bytes and is checked after
+/// decompression, so corruption anywhere surfaces as ProtocolError.
+BlobWireInfo send_blob_v4(TcpStream& stream, std::span<const std::byte> data);
+
+/// Receive a v4 blob. Both raw_size and wire_size are bounded by max_bytes
+/// before any allocation.
+std::vector<std::byte> recv_blob_v4(
+    TcpStream& stream, std::size_t max_bytes = kDefaultMaxBlobBytes);
+
+}  // namespace hdcs::net
+
+namespace hdcs::obs {
+class Counter;
+}
+
+namespace hdcs::net {
+
+/// The bulk-data-plane counters (process-global registry). One accessor so
+/// the TCP server, the donor client and the simulator bump the same names:
+///   bulk.blobs_sent       blobs actually transferred (server->donor)
+///   bulk.blobs_cache_hit  transfers avoided by a donor cache hit
+///   bulk.bytes_raw        uncompressed bytes of transferred blobs
+///   bulk.bytes_wire       bytes put on the wire for them (post-compression)
+struct BulkPlaneMetrics {
+  obs::Counter& blobs_sent;
+  obs::Counter& blobs_cache_hit;
+  obs::Counter& bytes_raw;
+  obs::Counter& bytes_wire;
+};
+BulkPlaneMetrics& bulk_plane_metrics();
 
 }  // namespace hdcs::net

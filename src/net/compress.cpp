@@ -1,0 +1,141 @@
+#include "net/compress.hpp"
+
+#include <cstdint>
+
+#include "net/socket.hpp"
+
+namespace hdcs::net {
+
+namespace {
+
+constexpr std::size_t kHashBits = 13;
+constexpr std::uint32_t kNoPos = 0xffffffffu;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 0xffff;
+// Below this there is nothing to win; above it the greedy matcher earns its
+// keep. Also keeps the 4-byte hash reads trivially in range.
+constexpr std::size_t kMinCompressInput = 16;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                    static_cast<std::uint32_t>(p[1]) << 8 |
+                    static_cast<std::uint32_t>(p[2]) << 16 |
+                    static_cast<std::uint32_t>(p[3]) << 24;
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_len(std::vector<std::byte>& out, std::size_t len) {
+  while (len >= 255) {
+    out.push_back(std::byte{255});
+    len -= 255;
+  }
+  out.push_back(static_cast<std::byte>(len));
+}
+
+// token | [literal-length extension] | literals | offset u16 | [match ext.]
+// A zero offset-less tail is written by the caller for the final literals.
+void put_sequence(std::vector<std::byte>& out, std::span<const std::byte> src,
+                  std::size_t lit_start, std::size_t lit_len,
+                  std::size_t offset, std::size_t match_len) {
+  std::size_t lit_nibble = lit_len < 15 ? lit_len : 15;
+  std::size_t match_nibble =
+      offset == 0 ? 0
+                  : (match_len - kMinMatch < 15 ? match_len - kMinMatch : 15);
+  out.push_back(static_cast<std::byte>(lit_nibble << 4 | match_nibble));
+  if (lit_nibble == 15) put_len(out, lit_len - 15);
+  out.insert(out.end(), src.begin() + static_cast<std::ptrdiff_t>(lit_start),
+             src.begin() + static_cast<std::ptrdiff_t>(lit_start + lit_len));
+  if (offset == 0) return;  // final sequence: literals only
+  out.push_back(static_cast<std::byte>(offset & 0xff));
+  out.push_back(static_cast<std::byte>(offset >> 8));
+  if (match_nibble == 15) put_len(out, match_len - kMinMatch - 15);
+}
+
+}  // namespace
+
+std::optional<std::vector<std::byte>> lz_compress(
+    std::span<const std::byte> src) {
+  const std::size_t n = src.size();
+  if (n < kMinCompressInput) return std::nullopt;
+  const auto* p = reinterpret_cast<const std::uint8_t*>(src.data());
+  std::vector<std::byte> out;
+  out.reserve(n / 2);
+  std::vector<std::uint32_t> head(std::size_t{1} << kHashBits, kNoPos);
+  // Matches stop short of the last 5 bytes so the final sequence always has
+  // literals to carry (same tail rule as LZ4).
+  const std::size_t match_limit = n - 5;
+  std::size_t lit_start = 0;
+  std::size_t i = 0;
+  while (i + kMinMatch <= match_limit) {
+    std::uint32_t h = hash4(p + i);
+    std::uint32_t cand = head[h];
+    head[h] = static_cast<std::uint32_t>(i);
+    if (cand != kNoPos && i - cand <= kMaxOffset && p[cand] == p[i] &&
+        p[cand + 1] == p[i + 1] && p[cand + 2] == p[i + 2] &&
+        p[cand + 3] == p[i + 3]) {
+      std::size_t len = kMinMatch;
+      while (i + len < match_limit && p[cand + len] == p[i + len]) ++len;
+      put_sequence(out, src, lit_start, i - lit_start, i - cand, len);
+      i += len;
+      lit_start = i;
+      if (out.size() >= n) return std::nullopt;  // not winning, stop early
+    } else {
+      ++i;
+    }
+  }
+  put_sequence(out, src, lit_start, n - lit_start, 0, 0);
+  if (out.size() >= n) return std::nullopt;
+  return out;
+}
+
+std::vector<std::byte> lz_decompress(std::span<const std::byte> src,
+                                     std::size_t raw_size) {
+  std::vector<std::byte> out;
+  out.reserve(raw_size);
+  std::size_t ip = 0;
+  const std::size_t ie = src.size();
+  auto fail = [](const char* what) -> std::size_t {
+    throw ProtocolError(std::string("lz_decompress: ") + what);
+  };
+  auto extend_len = [&](std::size_t base) {
+    std::size_t len = base;
+    if (base == 15) {
+      std::uint8_t b = 255;
+      while (b == 255) {
+        if (ip >= ie) fail("truncated length run");
+        b = static_cast<std::uint8_t>(src[ip++]);
+        len += b;
+        if (len > raw_size) fail("length run exceeds raw size");
+      }
+    }
+    return len;
+  };
+  while (ip < ie) {
+    std::uint8_t token = static_cast<std::uint8_t>(src[ip++]);
+    std::size_t lit_len = extend_len(token >> 4);
+    if (lit_len > ie - ip) fail("literal run past end of input");
+    if (lit_len > raw_size - out.size()) fail("literal run past raw size");
+    out.insert(out.end(), src.begin() + static_cast<std::ptrdiff_t>(ip),
+               src.begin() + static_cast<std::ptrdiff_t>(ip + lit_len));
+    ip += lit_len;
+    if (ip == ie) break;  // final sequence carries no match
+    if (ie - ip < 2) fail("truncated match offset");
+    std::size_t offset = static_cast<std::uint8_t>(src[ip]) |
+                         static_cast<std::size_t>(
+                             static_cast<std::uint8_t>(src[ip + 1]))
+                             << 8;
+    ip += 2;
+    if (offset == 0 || offset > out.size()) fail("match offset out of range");
+    std::size_t match_len = kMinMatch + extend_len(token & 0xf);
+    if (match_len > raw_size - out.size()) fail("match run past raw size");
+    // Byte-by-byte on purpose: offsets shorter than the match length mean
+    // the match overlaps its own output (run-length encoding).
+    for (std::size_t k = 0; k < match_len; ++k) {
+      out.push_back(out[out.size() - offset]);
+    }
+  }
+  if (out.size() != raw_size) fail("decoded size mismatch");
+  return out;
+}
+
+}  // namespace hdcs::net

@@ -1,0 +1,37 @@
+#pragma once
+// Minimal LZ77 block codec for the bulk-data plane (no external deps).
+//
+// The format is LZ4-shaped: a stream of sequences, each a token byte whose
+// high nibble is the literal length and low nibble the match length minus
+// the 4-byte minimum (15 in either nibble extends via 255-run bytes),
+// followed by the literals and a little-endian u16 match offset. The final
+// sequence is literals-only. This keeps the decoder a tight, fully
+// bounds-checked loop — the compressor can be naive (greedy hash-table
+// matcher) because donors decompress far more often than the server
+// compresses a given blob.
+//
+// Compression is advisory: lz_compress() returns nullopt when the encoded
+// form would not be smaller (random bytes, already-compressed data), and
+// the blob wire format carries a per-blob "stored" flag so such data passes
+// through untouched. Decompression of attacker-controlled bytes is safe:
+// every read and copy is bounds-checked and malformed input throws
+// ProtocolError, never reads or writes out of range.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace hdcs::net {
+
+/// Compress `src`. Returns nullopt when the compressed form would not be
+/// strictly smaller than the input (caller sends the raw bytes instead).
+std::optional<std::vector<std::byte>> lz_compress(std::span<const std::byte> src);
+
+/// Decompress a block produced by lz_compress. `raw_size` is the expected
+/// decoded size (carried separately on the wire); output is exactly that
+/// long. Throws ProtocolError on any malformed input.
+std::vector<std::byte> lz_decompress(std::span<const std::byte> src,
+                                     std::size_t raw_size);
+
+}  // namespace hdcs::net

@@ -33,6 +33,7 @@ const char* to_string(MessageType type) {
     case MessageType::kFetchProblemData: return "FetchProblemData";
     case MessageType::kGoodbye: return "Goodbye";
     case MessageType::kFetchStats: return "FetchStats";
+    case MessageType::kFetchBlobs: return "FetchBlobs";
     case MessageType::kHelloAck: return "HelloAck";
     case MessageType::kWorkAssignment: return "WorkAssignment";
     case MessageType::kNoWorkAvailable: return "NoWorkAvailable";
@@ -41,6 +42,7 @@ const char* to_string(MessageType type) {
     case MessageType::kHeartbeatAck: return "HeartbeatAck";
     case MessageType::kShutdown: return "Shutdown";
     case MessageType::kStatsSnapshot: return "StatsSnapshot";
+    case MessageType::kBlobData: return "BlobData";
     case MessageType::kError: return "Error";
   }
   return "Unknown";
@@ -49,7 +51,7 @@ const char* to_string(MessageType type) {
 void write_message(TcpStream& stream, const Message& msg) {
   ByteWriter header(kFrameHeaderBytes);
   header.u32(kMagic);
-  header.u16(kProtocolVersion);
+  header.u16(msg.version);
   header.u16(static_cast<std::uint16_t>(msg.type));
   header.u64(msg.correlation);
   header.u32(static_cast<std::uint32_t>(msg.payload.size()));
@@ -71,10 +73,11 @@ Message read_message(TcpStream& stream) {
     throw ProtocolError(std::string("bad frame magic 0x") + hex);
   }
   std::uint16_t version = header.u16();
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     throw ProtocolError("unsupported protocol version " + std::to_string(version));
   }
   Message msg;
+  msg.version = version;
   msg.type = static_cast<MessageType>(header.u16());
   msg.correlation = header.u64();
   std::uint32_t len = header.u32();
@@ -82,8 +85,12 @@ Message read_message(TcpStream& stream) {
     throw ProtocolError("frame payload too large: " + std::to_string(len));
   }
   std::uint32_t expected_crc = header.u32();
+  // The header announced len bytes that are already in flight; a bounded
+  // stall wait means a corrupted payload_len (recv-side fault injection
+  // flips bytes the frame CRC can only check after a full read) cannot
+  // wedge the reader forever against a peer that sent fewer bytes.
   msg.payload.resize(len);
-  if (len > 0) stream.recv_all(msg.payload);
+  if (len > 0) stream.recv_all(msg.payload, kMidStreamStallMs);
   if (std::uint32_t got = crc32(msg.payload); got != expected_crc) {
     throw ProtocolError("frame payload CRC mismatch (" +
                         std::string(to_string(msg.type)) + " frame)");

@@ -25,8 +25,12 @@ namespace hdcs::net {
 
 inline constexpr std::uint32_t kMagic = 0x48444353;  // "HDCS"
 // v2 added the frame payload_crc; v3 added the result-digest field to
-// SubmitResult (donor-computed CRC-32 over the result payload).
-inline constexpr std::uint16_t kProtocolVersion = 3;
+// SubmitResult (donor-computed CRC-32 over the result payload); v4 added
+// the content-addressed bulk-data plane (blob-referencing WorkAssignment,
+// FetchBlobs/BlobData, compressed blob transfer). v3 peers are still
+// accepted: the server answers every request at the requester's version.
+inline constexpr std::uint16_t kProtocolVersion = 4;
+inline constexpr std::uint16_t kMinProtocolVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 24;
 /// Upper bound on a single frame; bulk data uses the chunked bulk channel.
 inline constexpr std::uint32_t kMaxPayload = 64u * 1024 * 1024;
@@ -40,6 +44,7 @@ enum class MessageType : std::uint16_t {
   kFetchProblemData = 5,  // ask for a problem's bulk input data
   kGoodbye = 6,        // orderly departure (donor machine reclaimed)
   kFetchStats = 7,     // MSG_STATS: ask for a live metrics snapshot
+  kFetchBlobs = 8,     // v4: NEED list — digests missing from donor cache
 
   // Server -> client
   kHelloAck = 32,      // assigned client id
@@ -50,6 +55,7 @@ enum class MessageType : std::uint16_t {
   kHeartbeatAck = 37,
   kShutdown = 38,      // server is stopping; client should exit
   kStatsSnapshot = 39, // MSG_STATS reply: JSON metrics snapshot
+  kBlobData = 40,      // v4: per-digest present flags; bodies follow on bulk
 
   // Either direction
   kError = 64,
@@ -60,6 +66,10 @@ const char* to_string(MessageType type);
 struct Message {
   MessageType type = MessageType::kError;
   std::uint64_t correlation = 0;
+  /// Frame version this message was read with / will be written as. A v3
+  /// donor's requests arrive marked 3 and the server mirrors that version
+  /// into its responses, so payload codecs know which fields to expect.
+  std::uint16_t version = kProtocolVersion;
   std::vector<std::byte> payload;
 
   [[nodiscard]] ByteReader reader() const { return ByteReader(payload); }

@@ -105,7 +105,7 @@ void TcpStream::send_all(std::span<const std::byte> data) {
   send_loop(sock_.fd(), data);
 }
 
-void TcpStream::recv_all(std::span<std::byte> data) {
+void TcpStream::recv_all(std::span<std::byte> data, int stall_timeout_ms) {
   FaultPlan* fp = installed_fault_plan();
   if (fp) {
     maybe_inject_delay(fp);
@@ -116,6 +116,10 @@ void TcpStream::recv_all(std::span<std::byte> data) {
   }
   std::size_t got = 0;
   while (got < data.size()) {
+    if (stall_timeout_ms >= 0 && !readable(stall_timeout_ms)) {
+      throw IoError("peer stalled mid-read: got " + std::to_string(got) +
+                    " of " + std::to_string(data.size()) + " bytes");
+    }
     ssize_t n = ::recv(sock_.fd(), data.data() + got, data.size() - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;

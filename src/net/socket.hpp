@@ -43,6 +43,10 @@ class Socket {
   int fd_ = -1;
 };
 
+/// Max silence tolerated mid-structure (between a length header and the
+/// bytes it announces) before the read is abandoned as a stalled peer.
+inline constexpr int kMidStreamStallMs = 10'000;
+
 /// Connected TCP stream with whole-buffer send/recv.
 class TcpStream {
  public:
@@ -56,7 +60,11 @@ class TcpStream {
   void send_all(std::span<const std::byte> data);
 
   /// Receive exactly data.size() bytes; throws ConnectionClosed on EOF.
-  void recv_all(std::span<std::byte> data);
+  /// With stall_timeout_ms >= 0, throws IoError if the peer goes silent
+  /// for that long mid-read — used after a header has announced bytes
+  /// that must already be in flight, so a corrupted length field cannot
+  /// block the reader forever (the bytes it waits for were never sent).
+  void recv_all(std::span<std::byte> data, int stall_timeout_ms = -1);
 
   /// Receive up to data.size() bytes; returns 0 on orderly EOF.
   std::size_t recv_some(std::span<std::byte> data);

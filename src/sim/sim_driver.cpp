@@ -4,6 +4,9 @@
 
 #include "dist/checkpoint_file.hpp"
 #include "net/bulk.hpp"
+#include "net/compress.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/byte_buffer.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -22,6 +25,11 @@ std::uint64_t fnv64(std::span<const std::byte> data) {
 }
 
 constexpr double kControlBytes = 32;  // request/ack payloads are tiny
+
+// Fixed per-blob framing of the v4 bulk format (raw size + CRC + flags +
+// wire size + header CRC), mirrored from net::send_blob_v4 for virtual
+// byte accounting.
+constexpr double kBlobV4HeaderBytes = 8 + 4 + 1 + 8 + 4;
 
 // Virtual reconnect backoff under injected connect faults — mirrors the
 // real donor's ClientConfig defaults so simulated and TCP chaos agree.
@@ -123,15 +131,21 @@ std::vector<std::byte> SimDriver::execute_unit(const dist::WorkUnit& unit) {
   ProblemCtx& ctx = problems_.at(unit.problem_id);
   std::string key;
   if (cache_) {
-    // Key on (problem data hash, unit payload) — stable across SimDriver
-    // instances so fleet-size sweeps share one cache.
+    // Key on (problem data hash, blob digests, unit payload) — stable
+    // across SimDriver instances so fleet-size sweeps share one cache. The
+    // digests matter: blob-bearing units may have identical (even empty)
+    // payloads and differ only in the content they reference.
     if (!ctx.data_hashed) {
       auto data = ctx.dm->problem_data();
       ctx.data_hash = fnv64(data);
       ctx.data_hashed = true;
     }
-    key.reserve(16 + unit.payload.size());
+    key.reserve(16 + 21 * unit.blobs.size() + unit.payload.size());
     key.append(std::to_string(ctx.data_hash));
+    for (const auto& blob : unit.blobs) {
+      key.push_back('/');
+      key.append(std::to_string(blob.digest));
+    }
     key.push_back(':');
     key.append(reinterpret_cast<const char*>(unit.payload.data()),
                unit.payload.size());
@@ -150,6 +164,52 @@ std::vector<std::byte> SimDriver::execute_unit(const dist::WorkUnit& unit) {
   auto result = ctx.algorithm->process(unit);
   if (cache_) (*cache_)[key] = result;
   return result;
+}
+
+double SimDriver::blob_wire_bytes(std::uint64_t digest,
+                                  std::span<const std::byte> bytes) {
+  auto it = blob_wire_bytes_.find(digest);
+  if (it != blob_wire_bytes_.end()) return it->second;
+  auto compressed = net::lz_compress(bytes);
+  double wire = kBlobV4HeaderBytes + static_cast<double>(
+                    compressed ? compressed->size() : bytes.size());
+  blob_wire_bytes_.emplace(digest, wire);
+  return wire;
+}
+
+double SimDriver::deliver_blob(Machine& m, double ready, std::uint64_t digest,
+                               std::span<const std::byte> bytes) {
+  auto& bm = net::bulk_plane_metrics();
+  if (m.have_blobs.count(digest)) {
+    blob_cache_hits_ += 1;
+    bm.blobs_cache_hit.inc();
+    if (config_.tracer) {
+      config_.tracer->event(queue_.now(), "blob_cache_hit")
+          .u64("client", m.client_id)
+          .u64("digest", digest)
+          .u64("size", bytes.size());
+    }
+    return ready;
+  }
+  double wire = blob_wire_bytes(digest, bytes);
+  double done = transfer(ready, wire) + config_.network.latency_s;
+  m.have_blobs.insert(digest);
+  blobs_sent_ += 1;
+  blob_bytes_raw_ += static_cast<double>(bytes.size());
+  blob_bytes_wire_ += wire;
+  bm.blobs_sent.inc();
+  bm.bytes_raw.inc(bytes.size());
+  bm.bytes_wire.inc(static_cast<std::uint64_t>(wire));
+  if (config_.tracer) {
+    config_.tracer->event(queue_.now(), "blob_sent")
+        .u64("client", m.client_id)
+        .u64("digest", digest)
+        .u64("raw", bytes.size())
+        .u64("wire", static_cast<std::uint64_t>(wire))
+        .boolean("compressed",
+                 wire - kBlobV4HeaderBytes < static_cast<double>(bytes.size()));
+  }
+  return done;
 }
 
 bool SimDriver::frame_lost() {
@@ -175,6 +235,9 @@ void SimDriver::machine_join(std::size_t idx) {
   m.join_backoff = 0;
   m.alive = true;
   m.ever_joined = true;
+  // A rejoin models a donor restart with a memory-only cache: every blob
+  // (problem data included) must be re-negotiated.
+  m.have_blobs.clear();
   m.have_data.clear();
   int gen = m.generation;
 
@@ -238,20 +301,31 @@ void SimDriver::machine_request_work(std::size_t idx, int gen) {
       return;
     }
 
-    // First contact with this problem: the bulk problem data is downloaded
-    // over the shared link before the unit can start (paper §2.2).
+    // Bulk data rides the content-addressed blob plane: the problem data
+    // (first contact only — its digest lands in the machine's cache) and
+    // every blob the unit references, each charged at compressed wire size
+    // and skipped entirely on a cache hit.
     double ready = queue_.now();
-    ProblemCtx& ctx = problems_.at(unit->problem_id);
-    if (std::find(mm.have_data.begin(), mm.have_data.end(), unit->problem_id) ==
-        mm.have_data.end()) {
-      if (ctx.data_bytes < 0) {
-        ctx.data_bytes = static_cast<double>(ctx.dm->problem_data().size());
+    if (std::find(mm.have_data.begin(), mm.have_data.end(),
+                  unit->problem_id) == mm.have_data.end()) {
+      std::uint64_t pdata_digest = core_.problem_data_digest(unit->problem_id);
+      if (auto pdata = core_.blob_bytes(pdata_digest)) {
+        ready = deliver_blob(mm, ready, pdata_digest, *pdata);
       }
-      ready = transfer(ready, ctx.data_bytes) + config_.network.latency_s;
       mm.have_data.push_back(unit->problem_id);
     }
+    for (auto& blob : unit->blobs) {
+      auto bytes = core_.blob_bytes(blob.digest);
+      if (!bytes) {
+        // Unreachable by construction (an issued unit pins its blobs), but
+        // a hard error beats silently computing on missing input.
+        throw Error("sim: issued unit references an unknown blob");
+      }
+      ready = deliver_blob(mm, ready, blob.digest, *bytes);
+      blob.bytes = *bytes;  // materialize for execute_unit / the Algorithm
+    }
 
-    // Ship the unit itself, then compute.
+    // Ship the unit frame itself, then compute.
     double unit_arrival =
         transfer(ready, static_cast<double>(unit->payload.size())) +
         config_.network.latency_s;
@@ -399,6 +473,10 @@ SimOutcome SimDriver::run() {
   out.checkpoints_saved = checkpoints_saved_;
   out.frames_retransmitted = frames_retransmitted_;
   out.joins_refused = joins_refused_;
+  out.blobs_sent = blobs_sent_;
+  out.blob_cache_hits = blob_cache_hits_;
+  out.blob_bytes_raw = blob_bytes_raw_;
+  out.blob_bytes_wire = blob_bytes_wire_;
   out.completion_time_s = completion_time_;
   for (const auto& m : machines_) {
     MachineOutcome mo;

@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -94,6 +95,14 @@ struct SimOutcome {
   std::uint64_t frames_retransmitted = 0;
   /// Join attempts refused by injected connect faults and backed off.
   std::uint64_t joins_refused = 0;
+  /// Bulk-data plane (mirrors the TCP bulk.* counters): blobs actually
+  /// shipped over the virtual link vs transfers avoided because the
+  /// machine already held the digest, plus the raw/wire byte totals (wire
+  /// < raw when the simulated compression bites).
+  std::uint64_t blobs_sent = 0;
+  std::uint64_t blob_cache_hits = 0;
+  double blob_bytes_raw = 0;
+  double blob_bytes_wire = 0;
   std::map<dist::ProblemId, std::vector<std::byte>> final_results;
   std::map<dist::ProblemId, double> completion_time_s;
 
@@ -130,6 +139,13 @@ class SimDriver {
     double busy_s = 0;
     std::uint64_t units = 0;
     bool departed_for_good = false;
+    /// Digests this machine holds (its virtual blob cache, memory-tier
+    /// semantics: cleared on rejoin). Problem data and unit blobs both
+    /// live here — one dedup plane, like the real donor.
+    std::set<std::uint64_t> have_blobs;
+    /// Problems whose data this machine has initialized — a real donor
+    /// builds its Algorithm once per problem and never consults the blob
+    /// plane for that data again, so neither does the simulated one.
     std::vector<dist::ProblemId> have_data;
     double join_backoff = 0;  // current reconnect delay under connect faults
   };
@@ -138,7 +154,6 @@ class SimDriver {
     std::shared_ptr<dist::DataManager> dm;
     std::unique_ptr<dist::Algorithm> algorithm;  // lazily initialized
     bool complete_recorded = false;
-    double data_bytes = -1;          // cached problem_data().size()
     std::uint64_t data_hash = 0;     // cached FNV of problem_data()
     bool data_hashed = false;
   };
@@ -153,6 +168,15 @@ class SimDriver {
   double wall_time_for_compute(Machine& m, double compute_s);
   double server_handle(double arrival, double payload_bytes);  // server CPU FIFO
   std::vector<std::byte> execute_unit(const dist::WorkUnit& unit);
+  /// Wire bytes a v4 transfer of this blob would cost (header + compressed
+  /// body, memoised per digest — blobs are immutable).
+  double blob_wire_bytes(std::uint64_t digest, std::span<const std::byte> bytes);
+  /// Deliver one blob to machine `m` unless it already holds the digest.
+  /// Charges the shared link (compressed wire size) on a miss and emits the
+  /// same blob_sent / blob_cache_hit events and bulk.* counters as the TCP
+  /// server. Returns when the blob is available on the machine.
+  double deliver_blob(Machine& m, double ready, std::uint64_t digest,
+                      std::span<const std::byte> bytes);
   double availability_draw(Machine& m);
   void schedule_tick();
   void schedule_checkpoint();
@@ -178,6 +202,11 @@ class SimDriver {
   std::uint64_t checkpoints_saved_ = 0;
   std::uint64_t frames_retransmitted_ = 0;
   std::uint64_t joins_refused_ = 0;
+  std::map<std::uint64_t, double> blob_wire_bytes_;  // digest -> wire cost
+  std::uint64_t blobs_sent_ = 0;
+  std::uint64_t blob_cache_hits_ = 0;
+  double blob_bytes_raw_ = 0;
+  double blob_bytes_wire_ = 0;
   double last_completion_ = 0;
   std::map<dist::ProblemId, double> completion_time_;
   bool ran_ = false;

@@ -41,6 +41,7 @@ void drive(SchedulerCore& core, ClientId cid, Exec&& execute, int steps,
   for (int i = 0; i < steps; ++i) {
     auto unit = core.request_work(cid, t);
     if (!unit) return;
+    core.materialize_unit_blobs(*unit);
     core.submit_result(cid, execute(*unit), t + 0.5);
     t += 1;
   }
@@ -173,6 +174,7 @@ TEST(Checkpoint, DSearchResumeMatchesUninterrupted) {
     while (!core2.problem_complete(pid2)) {
       auto unit = core2.request_work(c2, t);
       ASSERT_TRUE(unit);
+      core2.materialize_unit_blobs(*unit);
       core2.submit_result(c2, execute(*unit), t);
       t += 1;
     }
@@ -233,6 +235,7 @@ TEST(Checkpoint, DPRmlResumeMidStageMatchesSerial) {
       ASSERT_LT(++spins, 100000) << "restored DPRml stalled";
       continue;
     }
+    core2.materialize_unit_blobs(*unit);
     core2.submit_result(c2, execute(*unit), t);
   }
   auto resumed = dm2->result();

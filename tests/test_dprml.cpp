@@ -231,6 +231,7 @@ TEST(DPRmlDistributed, SchedulerCoreMatchesSerial) {
     for (auto [cid, algo] : {std::pair{c1, &a1}, std::pair{c2, &a2}}) {
       auto unit = core.request_work(cid, t);
       if (!unit) continue;
+      core.materialize_unit_blobs(*unit);
       served = true;
       dist::ResultUnit result;
       result.problem_id = unit->problem_id;
@@ -326,6 +327,7 @@ TEST(DPRmlNni, DistributedMatchesSerialWithRearrangement) {
       ASSERT_LT(++spins, 100000) << "deadlock";
       continue;
     }
+    core.materialize_unit_blobs(*unit);
     dist::ResultUnit result;
     result.problem_id = unit->problem_id;
     result.unit_id = unit->unit_id;

@@ -284,7 +284,9 @@ TEST(DSearchDataManager, ChunkSizesFollowHint) {
   dist::SizeHint tiny{1.0};
   auto unit = dm.next_unit(tiny);
   ASSERT_TRUE(unit);
-  ByteReader r(unit->payload);
+  // The chunk rides in the unit's content-addressed blob, not the payload.
+  ASSERT_EQ(unit->blobs.size(), 1u);
+  ByteReader r(unit->blobs[0].bytes);
   auto chunk = decode_sequences(r);
   EXPECT_EQ(chunk.size(), 1u);
 
@@ -292,7 +294,8 @@ TEST(DSearchDataManager, ChunkSizesFollowHint) {
   dist::SizeHint huge{1e18};
   auto unit2 = dm.next_unit(huge);
   ASSERT_TRUE(unit2);
-  ByteReader r2(unit2->payload);
+  ASSERT_EQ(unit2->blobs.size(), 1u);
+  ByteReader r2(unit2->blobs[0].bytes);
   auto chunk2 = decode_sequences(r2);
   EXPECT_EQ(chunk2.size(), w.database.size() - 1);
   EXPECT_FALSE(dm.next_unit(huge).has_value());
@@ -351,6 +354,7 @@ TEST(DSearchDistributed, SchedulerCoreMultiClientMatchesSerial) {
     ++turn;
     auto unit = core.request_work(cid, t);
     if (!unit) continue;
+    core.materialize_unit_blobs(*unit);
     dist::ResultUnit result;
     result.problem_id = unit->problem_id;
     result.unit_id = unit->unit_id;

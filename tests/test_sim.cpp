@@ -449,10 +449,13 @@ TEST(SimDriver, TraceMatchesRealServerEventOrder) {
   ASSERT_FALSE(sim_events.empty());
   EXPECT_EQ(sim_events, srv_events);
 
-  // And the shape is exactly the canonical single-client lifecycle.
+  // And the shape is exactly the canonical single-client lifecycle: the
+  // first issued unit triggers one problem-data blob transfer (the v4 data
+  // plane); after that the donor's cache holds it silently.
   std::vector<std::string> expected{"client_joined"};
   for (int i = 0; i < 4; ++i) {
     expected.emplace_back("unit_issued");
+    if (i == 0) expected.emplace_back("blob_sent");
     expected.emplace_back("unit_completed");
   }
   expected.emplace_back("client_left");
