@@ -32,8 +32,9 @@
 //                 re-downloading blobs it already has. Empty = memory only.
 // --cache-mb N / --cache-disk-mb N
 //                 memory / disk budgets for that cache (default 64 / 256).
-// --protocol V    speak protocol version V (3 or 4); 3 disables the blob
-//                 cache path for servers predating the v4 data plane.
+// --protocol V    speak protocol version V (3, 4 or 5); 3 disables the
+//                 blob cache path for servers predating the v4 data
+//                 plane; 4 omits the v5 span-profile trailer.
 // --corrupt-rate P [--corrupt-seed N]
 //                 fault injection (test-only): corrupt fraction P of
 //                 result payloads before submitting — a "lying donor"
@@ -101,9 +102,9 @@ int main(int argc, char** argv) {
     cfg.blob_cache_disk_bytes =
         static_cast<std::size_t>(parse_i64(get("cache-disk-mb", "256"))) * 1024 *
         1024;
-    auto protocol = parse_i64(get("protocol", "4"));
+    auto protocol = parse_i64(get("protocol", "5"));
     if (protocol < net::kMinProtocolVersion || protocol > net::kProtocolVersion)
-      throw InputError("--protocol must be 3 or 4");
+      throw InputError("--protocol must be 3, 4 or 5");
     cfg.protocol_version = static_cast<int>(protocol);
 
     int cpus = static_cast<int>(parse_i64(get("cpus", "1")));
@@ -129,7 +130,7 @@ int main(int argc, char** argv) {
                  "[--persist true|false] [--throttle x] [--cpus n] "
                  "[--threads n] [--max-connect-attempts n] "
                  "[--backoff-initial s] [--backoff-max s] [--cache-dir d] "
-                 "[--cache-mb n] [--cache-disk-mb n] [--protocol 3|4]\n");
+                 "[--cache-mb n] [--cache-disk-mb n] [--protocol 3|4|5]\n");
     return 1;
   }
 }

@@ -119,6 +119,61 @@ std::string prettify(const std::string& json, int max_depth = 2) {
   return out;
 }
 
+/// Lexically pull the number following `"key":` out of a JSON document.
+/// Metric and counter names are unique across the snapshot, so no real
+/// parser is needed. `from` restricts the search start (nested lookups).
+double find_number(const std::string& json, const std::string& key,
+                   std::size_t from = 0, bool* found = nullptr) {
+  std::string needle = "\"" + key + "\":";
+  std::size_t at = json.find(needle, from);
+  if (found) *found = at != std::string::npos;
+  if (at == std::string::npos) return 0;
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+/// The `sub` number inside the object value of `"obj":{...}` — e.g. the
+/// "sum" of one named histogram in the metrics registry snapshot.
+double find_nested_number(const std::string& json, const std::string& obj,
+                          const std::string& sub, bool* found = nullptr) {
+  std::size_t at = json.find("\"" + obj + "\":{");
+  if (at == std::string::npos) {
+    if (found) *found = false;
+    return 0;
+  }
+  return find_number(json, sub, at, found);
+}
+
+/// One-glance header above the pretty JSON: donor count, scheduler
+/// backlog, bulk-plane cache hit-rate, and the mean per-phase span costs
+/// from the v5 unit profiles (absent until a v5 donor submits).
+void print_digest(const std::string& json) {
+  double connected = find_number(json, "connected_clients");
+  double pending = find_number(json, "units_pending");
+  double hits = find_number(json, "bulk.blobs_cache_hit");
+  double sent = find_number(json, "bulk.blobs_sent");
+  std::printf("donors %.0f | pending %.0f", connected, pending);
+  if (hits + sent > 0) {
+    std::printf(" | blob cache hit-rate %.1f%% (%.0f hit / %.0f sent)",
+                100.0 * hits / (hits + sent), hits, sent);
+  }
+  std::printf("\n");
+  constexpr const char* kPhases[] = {"queue_wait", "blob_fetch", "decompress",
+                                     "compute",    "encode",     "submit"};
+  std::string line;
+  for (const char* phase : kPhases) {
+    std::string name = std::string("unit.") + phase + "_s";
+    bool found = false;
+    double count = find_nested_number(json, name, "count", &found);
+    if (!found || count <= 0) continue;
+    double sum = find_nested_number(json, name, "sum");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %s %.3gms", phase,
+                  1e3 * sum / count);
+    line += buf;
+  }
+  if (!line.empty()) std::printf("phase means:%s\n", line.c_str());
+}
+
 std::string fetch_snapshot(const Args& a, std::uint64_t correlation) {
   auto stream = hdcs::net::TcpStream::connect(a.host, a.port);
   hdcs::dist::FetchStatsPayload req;
@@ -137,7 +192,12 @@ int main(int argc, char** argv) {
   try {
     for (;;) {
       std::string json = fetch_snapshot(args, correlation++);
-      std::printf("%s\n", args.raw ? json.c_str() : prettify(json).c_str());
+      if (args.raw) {
+        std::printf("%s\n", json.c_str());
+      } else {
+        print_digest(json);
+        std::printf("%s\n", prettify(json).c_str());
+      }
       if (args.watch_s < 0) break;
       std::fflush(stdout);
       std::this_thread::sleep_for(std::chrono::duration<double>(args.watch_s));

@@ -140,7 +140,8 @@ std::optional<std::vector<std::byte>> Client::resolve_blob(
     throw ProtocolError("BlobData reply does not match the requested digest");
   }
   if (!reply.blobs[0].present) return std::nullopt;
-  auto bytes = net::recv_blob_v4(stream, config_.max_blob_bytes);
+  auto bytes =
+      net::recv_blob_v4(stream, config_.max_blob_bytes, &profile_.decompress_s);
   if (net::blob_digest(bytes) != digest) {
     throw ProtocolError("fetched blob does not hash to its digest");
   }
@@ -189,7 +190,8 @@ bool Client::ensure_blobs(net::TcpStream& stream, WorkUnit& unit) {
         all_present = false;
         continue;
       }
-      auto bytes = net::recv_blob_v4(stream, config_.max_blob_bytes);
+      auto bytes = net::recv_blob_v4(stream, config_.max_blob_bytes,
+                                     &profile_.decompress_s);
       if (net::blob_digest(bytes) != digest) {
         throw ProtocolError("fetched blob does not hash to its digest");
       }
@@ -334,6 +336,7 @@ ClientRunStats Client::run() {
   while (!stop_.load() && !crash_.load()) {
     try {
       if (!pending) {
+        Stopwatch queue_sw;  // RequestWork sent -> assignment decoded
         send_message(stream,
                      encode_request_work(my_id_.load(), next_correlation_++));
         net::Message reply = net::read_message(stream);
@@ -362,9 +365,25 @@ ClientRunStats Client::run() {
         }
 
         WorkUnit unit = decode_work_assignment(reply);
+        profile_ = obs::UnitProfile{};
+        profile_.queue_wait_s = queue_sw.seconds();
+        profile_.threads = static_cast<std::uint32_t>(
+            std::max<std::size_t>(config_.exec_threads, 1));
         consecutive_idle = 0;
-        ProblemContext& ctx = context_for(stream, unit.problem_id);
-        if (!ensure_blobs(stream, unit)) {
+        // blob_fetch covers problem-data + unit-blob resolution; the LZ
+        // inflation inside recv_blob_v4 accumulates separately into
+        // decompress_s, so subtract it to keep the two spans disjoint.
+        double fetch_total = 0;
+        ProblemContext* ctx = nullptr;
+        bool blobs_ok;
+        {
+          obs::SpanTimer fetch(fetch_total);
+          ctx = &context_for(stream, unit.problem_id);
+          blobs_ok = ensure_blobs(stream, unit);
+        }
+        profile_.blob_fetch_s =
+            std::max(0.0, fetch_total - profile_.decompress_s);
+        if (!blobs_ok) {
           // A referenced blob is gone server-side: a replica finished the
           // unit while our NEED list was in flight. Drop it and ask for
           // fresh work.
@@ -373,31 +392,42 @@ ClientRunStats Client::run() {
           continue;
         }
 
+        auto& saturation_counter =
+            obs::Registry::global().counter("align.batch_saturations");
+        const std::uint64_t saturations_before = saturation_counter.value();
         Stopwatch sw;
         ResultUnit result;
         result.problem_id = unit.problem_id;
         result.unit_id = unit.unit_id;
         result.stage = unit.stage;
-        result.payload = ctx.algorithm->process(unit);
-        if (config_.corrupt_rate > 0 && !result.payload.empty()) {
-          // Deterministic per-unit draw: the same donor lies about the
-          // same units on every run, so chaos tests are reproducible.
-          Rng draw(config_.corrupt_seed ^ name_seed(config_.name) ^
-                   (unit.unit_id * 0x9e3779b97f4a7c15ull));
-          if (draw.next_double() < config_.corrupt_rate) {
-            std::size_t at = static_cast<std::size_t>(
-                draw.next_below(result.payload.size()));
-            result.payload[at] ^= std::byte{0x5a};
-            LOG_DEBUG("corrupting result for unit " << unit.unit_id);
+        result.payload = ctx->algorithm->process(unit);
+        profile_.compute_s = sw.seconds();
+        profile_.saturations = saturation_counter.value() - saturations_before;
+        {
+          obs::SpanTimer encode_span(profile_.encode_s);
+          if (config_.corrupt_rate > 0 && !result.payload.empty()) {
+            // Deterministic per-unit draw: the same donor lies about the
+            // same units on every run, so chaos tests are reproducible.
+            Rng draw(config_.corrupt_seed ^ name_seed(config_.name) ^
+                     (unit.unit_id * 0x9e3779b97f4a7c15ull));
+            if (draw.next_double() < config_.corrupt_rate) {
+              std::size_t at = static_cast<std::size_t>(
+                  draw.next_below(result.payload.size()));
+              result.payload[at] ^= std::byte{0x5a};
+              LOG_DEBUG("corrupting result for unit " << unit.unit_id);
+            }
           }
+          // Digest over the bytes actually submitted — a lying donor signs
+          // its lie, so the wire check passes and voting has to catch it.
+          result.payload_crc = net::crc32(result.payload);
         }
-        // Digest over the bytes actually submitted — a lying donor signs
-        // its lie, so the wire check passes and voting has to catch it.
-        result.payload_crc = net::crc32(result.payload);
         double compute_s = sw.seconds();
         stats.compute_seconds += compute_s;
         if (config_.throttle > 1.0) {
-          // Emulate a slower donor machine by padding compute time.
+          // Emulate a slower donor machine by padding compute time. The
+          // padding belongs to the compute span — it models a machine for
+          // which process() really would have taken that long.
+          obs::SpanTimer pad(profile_.compute_s);
           std::this_thread::sleep_for(std::chrono::duration<double>(
               compute_s * (config_.throttle - 1.0)));
         }
@@ -407,12 +437,15 @@ ClientRunStats Client::run() {
           crash_.store(true);
         }
         if (crash_.load()) return stats;  // vanish without submitting
+        if (config_.protocol_version >= 5) result.profile = profile_;
         pending = std::move(result);
         resubmitting = false;
       }
 
       send_message(
-          stream, encode_submit_result(my_id_.load(), *pending, next_correlation_++));
+          stream,
+          encode_submit_result(my_id_.load(), *pending, next_correlation_++,
+                               static_cast<std::uint16_t>(config_.protocol_version)));
       net::Message reply = net::read_message(stream);
       if (reply.type == net::MessageType::kError) {
         rehello(stream, benchmark);

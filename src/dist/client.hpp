@@ -30,6 +30,7 @@
 #include "net/blob_cache.hpp"
 #include "net/bulk.hpp"
 #include "net/socket.hpp"
+#include "obs/span_profile.hpp"
 #include "util/rng.hpp"
 
 namespace hdcs::obs {
@@ -178,6 +179,11 @@ class Client {
 
   ClientConfig config_;
   net::BlobCache blob_cache_;
+  /// Span profile of the unit currently being processed. Reset when an
+  /// assignment is decoded; context_for/ensure_blobs/resolve_blob
+  /// accumulate blob-fetch and decompress spans into it; attached to the
+  /// outgoing ResultUnit when the donor speaks protocol >= 5.
+  obs::UnitProfile profile_;
   std::chrono::steady_clock::time_point epoch_;
   std::map<ProblemId, ProblemContext> contexts_;
   std::atomic<bool> stop_{false};

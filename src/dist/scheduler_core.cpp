@@ -10,6 +10,28 @@
 
 namespace hdcs::dist {
 
+namespace {
+/// Fleet-wide per-phase latency histograms, fed from every v5 span profile
+/// the scheduler merges. Process-global registry so the MSG_STATS snapshot
+/// (and hdcs_top's phase-breakdown columns) see them without plumbing.
+struct ProfileHistograms {
+  obs::Histogram& queue_wait;
+  obs::Histogram& blob_fetch;
+  obs::Histogram& decompress;
+  obs::Histogram& compute;
+  obs::Histogram& encode;
+  obs::Histogram& submit;
+};
+ProfileHistograms& profile_histograms() {
+  auto& reg = obs::Registry::global();
+  static ProfileHistograms h{
+      reg.histogram("unit.queue_wait_s"), reg.histogram("unit.blob_fetch_s"),
+      reg.histogram("unit.decompress_s"), reg.histogram("unit.compute_s"),
+      reg.histogram("unit.encode_s"),     reg.histogram("unit.submit_s")};
+  return h;
+}
+}  // namespace
+
 SchedulerCore::SchedulerCore(SchedulerConfig config,
                              std::unique_ptr<GranularityPolicy> policy)
     : config_(config),
@@ -617,6 +639,40 @@ bool SchedulerCore::submit_result(ClientId client, const ResultUnit& result,
     break;
   }
 
+  // v5 donors ship a span profile with the result. Merge it with the lease
+  // timeline: the donor measured durations only (no clock sync), so the
+  // scheduler derives the submit/server-side residual as elapsed minus the
+  // donor's spans (clamped — the donor's queue_wait starts slightly before
+  // the lease clock does). Skipped when no live lease matched (elapsed
+  // unknown: the lease expired or the donor re-registered mid-unit).
+  if (result.profile && elapsed >= 0) {
+    const obs::UnitProfile& prof = *result.profile;
+    double submit_s = std::max(0.0, elapsed - prof.total_s());
+    auto& h = profile_histograms();
+    h.queue_wait.observe(prof.queue_wait_s);
+    h.blob_fetch.observe(prof.blob_fetch_s);
+    h.decompress.observe(prof.decompress_s);
+    h.compute.observe(prof.compute_s);
+    h.encode.observe(prof.encode_s);
+    h.submit.observe(submit_s);
+    if (tracer_) {
+      tracer_->event(now, "unit_profile")
+          .u64("client", client)
+          .u64("problem", result.problem_id)
+          .u64("unit", result.unit_id)
+          .u64("stage", result.stage)
+          .num("elapsed_s", elapsed)
+          .num("queue_wait_s", prof.queue_wait_s)
+          .num("blob_fetch_s", prof.blob_fetch_s)
+          .num("decompress_s", prof.decompress_s)
+          .num("compute_s", prof.compute_s)
+          .num("encode_s", prof.encode_s)
+          .num("submit_s", submit_s)
+          .u64("threads", prof.threads)
+          .u64("saturations", prof.saturations);
+    }
+  }
+
   if (us.replicas_wanted <= 1 && us.votes.empty()) {
     // Un-replicated fast path: first result wins, exactly the pre-voting
     // scheduler. Surviving hedge copies are cancelled.
@@ -1138,6 +1194,14 @@ std::size_t SchedulerCore::in_flight_units() const {
   std::size_t n = 0;
   for (const auto& [pid, ps] : problems_) {
     n += ps.in_flight.size();
+  }
+  return n;
+}
+
+std::size_t SchedulerCore::pending_units() const {
+  std::size_t n = 0;
+  for (const auto& [pid, ps] : problems_) {
+    n += ps.issue_queue.size();
   }
   return n;
 }

@@ -255,6 +255,10 @@ class SchedulerCore {
   [[nodiscard]] std::size_t problem_count() const { return problems_.size(); }
   /// Units currently leased or awaiting reissue across all problems.
   [[nodiscard]] std::size_t in_flight_units() const;
+  /// Queued unit copies waiting for a donor to ask (reissues + replica
+  /// copies). A persistently non-zero value means the fleet is too small
+  /// for the failure/replication rate.
+  [[nodiscard]] std::size_t pending_units() const;
 
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }

@@ -211,14 +211,20 @@ std::string Server::stats_json(bool include_clients) {
   SchedulerStats s;
   std::vector<ClientInfo> clients;
   std::uint64_t evicted_completed;
+  std::size_t pending;
   double t;
   {
     std::lock_guard lock(core_mutex_);
     s = core_.stats();
     if (include_clients) clients = core_.all_client_stats();
     evicted_completed = core_.evicted_units_completed();
+    pending = core_.pending_units();
     t = now();
   }
+  // Mirrored as a gauge so registry-only consumers (render_text dumps,
+  // hdcs_top's metrics pane) see the backlog too.
+  obs::Registry::global().gauge("scheduler.units_pending")
+      .set(static_cast<double>(pending));
   std::ostringstream out;
   out << "{\"schema\":" << obs::kTraceSchemaVersion << ",\"now\":" << json_num(t)
       << ",\"connected_clients\":" << connected_.load() << ",\"scheduler\":{"
@@ -242,7 +248,8 @@ std::string Server::stats_json(bool include_clients) {
       << ",\"results_rejected_blacklisted\":" << s.results_rejected_blacklisted
       << ",\"donors_blacklisted\":" << s.donors_blacklisted
       << ",\"clients_evicted\":" << s.clients_evicted
-      << ",\"evicted_units_completed\":" << evicted_completed << "}";
+      << ",\"evicted_units_completed\":" << evicted_completed
+      << ",\"units_pending\":" << pending << "}";
   if (include_clients) {
     out << ",\"clients\":[";
     bool first = true;

@@ -138,13 +138,29 @@ NoWorkPayload decode_no_work(const net::Message& m) {
 }
 
 net::Message encode_submit_result(ClientId client, const ResultUnit& result,
-                                  std::uint64_t correlation) {
+                                  std::uint64_t correlation,
+                                  std::uint16_t version) {
   ByteWriter w;
   w.u64(client);
   write_unit_fields(w, result.problem_id, result.unit_id, result.stage);
   w.bytes(result.payload);
   w.u32(result.payload_crc);
-  return make(net::MessageType::kSubmitResult, correlation, std::move(w));
+  if (version >= 5) {
+    w.boolean(result.profile.has_value());
+    if (result.profile) {
+      const obs::UnitProfile& p = *result.profile;
+      w.f64(p.queue_wait_s);
+      w.f64(p.blob_fetch_s);
+      w.f64(p.decompress_s);
+      w.f64(p.compute_s);
+      w.f64(p.encode_s);
+      w.u32(p.threads);
+      w.u64(p.saturations);
+    }
+  }
+  auto m = make(net::MessageType::kSubmitResult, correlation, std::move(w));
+  m.version = version;
+  return m;
 }
 
 std::pair<ClientId, ResultUnit> decode_submit_result(const net::Message& m) {
@@ -157,6 +173,17 @@ std::pair<ClientId, ResultUnit> decode_submit_result(const net::Message& m) {
   result.stage = r.u32();
   result.payload = r.bytes();
   result.payload_crc = r.u32();
+  if (m.version >= 5 && r.boolean()) {
+    obs::UnitProfile p;
+    p.queue_wait_s = r.f64();
+    p.blob_fetch_s = r.f64();
+    p.decompress_s = r.f64();
+    p.compute_s = r.f64();
+    p.encode_s = r.f64();
+    p.threads = r.u32();
+    p.saturations = r.u64();
+    result.profile = p;
+  }
   r.expect_end();
   return {client, std::move(result)};
 }

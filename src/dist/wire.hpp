@@ -102,8 +102,12 @@ WorkUnit decode_work_assignment(const net::Message& m);
 net::Message encode_no_work(const NoWorkPayload& p, std::uint64_t correlation);
 NoWorkPayload decode_no_work(const net::Message& m);
 
+/// v5 appends the optional span-profile trailer (presence flag + phase
+/// durations); v3/v4 write the legacy payload-only shape. Decode keys off
+/// the frame's own version field.
 net::Message encode_submit_result(ClientId client, const ResultUnit& result,
-                                  std::uint64_t correlation);
+                                  std::uint64_t correlation,
+                                  std::uint16_t version = net::kProtocolVersion);
 std::pair<ClientId, ResultUnit> decode_submit_result(const net::Message& m);
 
 net::Message encode_result_ack(const ResultAckPayload& p, std::uint64_t correlation);

@@ -6,11 +6,13 @@
 // the final answer (paper §2.1). Payloads are opaque application bytes.
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "net/blob_cache.hpp"
+#include "obs/span_profile.hpp"
 
 namespace hdcs::dist {
 
@@ -64,6 +66,10 @@ struct ResultUnit {
   /// and re-verified server-side (protocol v3). 0 = not supplied; the
   /// scheduler then computes the digest itself for replication voting.
   std::uint32_t payload_crc = 0;
+  /// Donor-measured phase durations (protocol v5 trailer). Absent from
+  /// v3/v4 donors; the scheduler merges it with its lease timeline into
+  /// the `unit_profile` trace event when present.
+  std::optional<obs::UnitProfile> profile;
 };
 
 }  // namespace hdcs::dist

@@ -5,6 +5,7 @@
 #include "net/compress.hpp"
 #include "obs/metrics.hpp"
 #include "util/byte_buffer.hpp"
+#include "util/stopwatch.hpp"
 
 namespace hdcs::net {
 
@@ -132,7 +133,8 @@ BlobWireInfo send_blob_v4(TcpStream& stream, std::span<const std::byte> data) {
                       compressed.has_value()};
 }
 
-std::vector<std::byte> recv_blob_v4(TcpStream& stream, std::size_t max_bytes) {
+std::vector<std::byte> recv_blob_v4(TcpStream& stream, std::size_t max_bytes,
+                                    double* decompress_s) {
   std::byte header_buf[kBlobV4HeaderBytes];
   stream.recv_all(header_buf, kMidStreamStallMs);
   ByteReader header(header_buf);
@@ -162,8 +164,14 @@ std::vector<std::byte> recv_blob_v4(TcpStream& stream, std::size_t max_bytes) {
     stream.recv_all(std::span(body).subspan(off, n), kMidStreamStallMs);
     off += n;
   }
-  std::vector<std::byte> data =
-      is_compressed ? lz_decompress(body, raw_size) : std::move(body);
+  std::vector<std::byte> data;
+  if (is_compressed) {
+    Stopwatch inflate;
+    data = lz_decompress(body, raw_size);
+    if (decompress_s) *decompress_s += inflate.seconds();
+  } else {
+    data = std::move(body);
+  }
   if (crc32(data) != expected_crc) {
     throw ProtocolError("bulk blob CRC mismatch");
   }

@@ -51,9 +51,11 @@ struct BlobWireInfo {
 BlobWireInfo send_blob_v4(TcpStream& stream, std::span<const std::byte> data);
 
 /// Receive a v4 blob. Both raw_size and wire_size are bounded by max_bytes
-/// before any allocation.
+/// before any allocation. When `decompress_s` is non-null, the wall seconds
+/// spent in LZ decompression are *added* to it (span profiling).
 std::vector<std::byte> recv_blob_v4(
-    TcpStream& stream, std::size_t max_bytes = kDefaultMaxBlobBytes);
+    TcpStream& stream, std::size_t max_bytes = kDefaultMaxBlobBytes,
+    double* decompress_s = nullptr);
 
 }  // namespace hdcs::net
 

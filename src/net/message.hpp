@@ -27,9 +27,11 @@ inline constexpr std::uint32_t kMagic = 0x48444353;  // "HDCS"
 // v2 added the frame payload_crc; v3 added the result-digest field to
 // SubmitResult (donor-computed CRC-32 over the result payload); v4 added
 // the content-addressed bulk-data plane (blob-referencing WorkAssignment,
-// FetchBlobs/BlobData, compressed blob transfer). v3 peers are still
-// accepted: the server answers every request at the requester's version.
-inline constexpr std::uint16_t kProtocolVersion = 4;
+// FetchBlobs/BlobData, compressed blob transfer); v5 added the optional
+// span-profile trailer to SubmitResult (donor-measured per-phase
+// durations). v3/v4 peers are still accepted: the server answers every
+// request at the requester's version.
+inline constexpr std::uint16_t kProtocolVersion = 5;
 inline constexpr std::uint16_t kMinProtocolVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 24;
 /// Upper bound on a single frame; bulk data uses the chunked bulk channel.

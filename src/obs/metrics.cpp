@@ -136,7 +136,8 @@ std::string Registry::render_text() const {
     out << name << " count=" << s.count << " mean=" << format_num(s.mean())
         << " p50=" << format_num(s.quantile(0.5))
         << " p90=" << format_num(s.quantile(0.9))
-        << " p99=" << format_num(s.quantile(0.99)) << "\n";
+        << " p99=" << format_num(s.quantile(0.99))
+        << " p999=" << format_num(s.quantile(0.999)) << "\n";
   }
   return out.str();
 }
@@ -164,8 +165,14 @@ std::string Registry::render_json() const {
     if (!first) out << ",";
     first = false;
     auto s = h->snapshot();
+    // Quantiles are computed here rather than by each consumer so pollers
+    // (hdcs_top, dashboards) don't have to re-derive them from buckets.
     out << "\"" << json_escape(name) << "\":{\"count\":" << s.count
-        << ",\"sum\":" << format_num(s.sum) << ",\"buckets\":[";
+        << ",\"sum\":" << format_num(s.sum) << ",\"quantiles\":{\"p50\":"
+        << format_num(s.quantile(0.5)) << ",\"p90\":"
+        << format_num(s.quantile(0.9)) << ",\"p99\":"
+        << format_num(s.quantile(0.99)) << ",\"p999\":"
+        << format_num(s.quantile(0.999)) << "},\"buckets\":[";
     for (std::size_t i = 0; i < s.counts.size(); ++i) {
       if (i) out << ",";
       out << "{\"le\":";

@@ -101,9 +101,10 @@ class Registry {
   Histogram& histogram(const std::string& name, std::vector<double> bounds =
                                                     Histogram::latency_bounds());
 
-  /// Aligned "name value" lines, histograms as count/mean/p50/p90/p99.
+  /// Aligned "name value" lines, histograms as count/mean/p50/p90/p99/p999.
   [[nodiscard]] std::string render_text() const;
-  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,buckets}}}
+  /// {"counters":{...},"gauges":{...},
+  ///  "histograms":{name:{count,sum,quantiles:{p50,p90,p99,p999},buckets}}}
   [[nodiscard]] std::string render_json() const;
 
   /// Zero every instrument without invalidating references (tests).

@@ -10,11 +10,15 @@
 //
 // Event line shape (flat JSON, parseable by obs::parse_flat_json):
 //
-//   {"schema":1,"t":12.375,"ev":"unit_issued","client":3,"problem":1,...}
+//   {"schema":2,"t":12.375,"ev":"unit_issued","client":3,"problem":1,...}
 //
 // Event types and their fields are listed in docs/OBSERVABILITY.md:
 //   unit_issued unit_completed unit_reissued unit_hedged result_duplicate
-//   client_joined client_left stage_barrier checkpoint log
+//   unit_profile client_joined client_left stage_barrier checkpoint log
+//
+// Schema history: v2 added the unit_profile event (donor-measured span
+// profile merged with the scheduler's lease timeline). v1 lines are still
+// parsed; only the emitted version moved.
 //
 // A Tracer with no sink is "disabled": event() returns a dead builder and
 // the cost at every call site is one pointer-null check. Sinks:
@@ -36,7 +40,7 @@
 
 namespace hdcs::obs {
 
-inline constexpr int kTraceSchemaVersion = 1;
+inline constexpr int kTraceSchemaVersion = 2;
 
 class Tracer {
  public:

@@ -291,6 +291,7 @@ void SimDriver::machine_request_work(std::size_t idx, int gen) {
     Machine& mm = machines_[idx];
     if (!mm.alive || mm.generation != gen) return;
 
+    const double lease_start = queue_.now();  // == the lease's issued_at
     auto unit = core_.request_work(mm.client_id, queue_.now());
     if (!unit) {
       if (core_.all_complete()) return;  // donor goes quiet; run is over
@@ -334,7 +335,18 @@ void SimDriver::machine_request_work(std::size_t idx, int gen) {
     double duration = wall_time_for_compute(mm, compute_s);
     double finish = unit_arrival + duration;
 
-    queue_.schedule(finish, [this, idx, gen, u = *unit, duration] {
+    // Mirror of the v5 donor span profile, in virtual time. Phases tile
+    // the lease exactly: blob_fetch + queue_wait + compute == finish -
+    // lease_start, so the scheduler-derived submit residual equals the
+    // result's return trip with no clamp — components sum to elapsed_s
+    // *exactly*, which tests pin. (decompress/encode are wall-clock
+    // artifacts the virtual machine model has no cost for.)
+    obs::UnitProfile prof;
+    prof.blob_fetch_s = ready - lease_start;
+    prof.queue_wait_s = unit_arrival - ready;
+    prof.compute_s = duration;
+
+    queue_.schedule(finish, [this, idx, gen, u = *unit, duration, prof] {
       Machine& m2 = machines_[idx];
       if (!m2.alive || m2.generation != gen) return;  // crashed mid-compute
       m2.busy_s += duration;
@@ -344,7 +356,13 @@ void SimDriver::machine_request_work(std::size_t idx, int gen) {
       result.problem_id = u.problem_id;
       result.unit_id = u.unit_id;
       result.stage = u.stage;
+      auto& saturation_counter =
+          obs::Registry::global().counter("align.batch_saturations");
+      const std::uint64_t saturations_before = saturation_counter.value();
       result.payload = execute_unit(u);
+      result.profile = prof;
+      result.profile->saturations =
+          saturation_counter.value() - saturations_before;
       if (m2.spec.corrupt_rate > 0 && !result.payload.empty() &&
           m2.rng.next_double() < m2.spec.corrupt_rate) {
         // Lying donor: flip a byte of the *submitted copy* (never the

@@ -9,6 +9,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -48,6 +51,18 @@ std::uint64_t total_injected_faults() {
          reg.counter("net.fault.sends_truncated").value() +
          reg.counter("net.fault.bytes_corrupted").value() +
          reg.counter("net.fault.delays_injected").value();
+}
+
+/// CI artifact hook: when HDCS_TRACE_DIR is set, persist a test's in-memory
+/// trace to <dir>/<name>.jsonl. The chaos CI jobs upload those timelines
+/// and lint every line with `trace_summary --json`, so a schema drift in
+/// either emitter fails the job even if no assertion here noticed.
+void dump_trace(const obs::Tracer& tracer, const std::string& name) {
+  const char* dir = std::getenv("HDCS_TRACE_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::filesystem::create_directories(dir);
+  std::ofstream out(std::filesystem::path(dir) / (name + ".jsonl"));
+  for (const auto& line : tracer.lines()) out << line << '\n';
 }
 
 TEST(Chaos, RealWorkloadsSurviveServerKillDonorChurnAndFrameFaults) {
@@ -347,6 +362,7 @@ TEST(Chaos, LyingDonorsCannotCorruptResultsAcrossServerRestart) {
   EXPECT_TRUE(liar_banned);
   server->stop();
   std::remove(ckpt.c_str());
+  dump_trace(tracer, "chaos_lying_donors_tcp_restart");
 }
 
 TEST(Chaos, LyingDonorsInSimulatedFleetMatchFaultFreeRuns) {
@@ -414,6 +430,7 @@ TEST(Chaos, LyingDonorsInSimulatedFleetMatchFaultFreeRuns) {
   EXPECT_GE(outcome.scheduler.donors_blacklisted, 1u);
   EXPECT_GE(count_events(tracer, "donor_blacklisted"), 1);
   EXPECT_GT(outcome.scheduler.vote_quorums, 0u);
+  dump_trace(tracer, "chaos_lying_donors_sim");
 }
 
 TEST(Chaos, VoteTraceSchemaSharedAcrossServerAndSim) {
@@ -510,6 +527,8 @@ TEST(Chaos, VoteTraceSchemaSharedAcrossServerAndSim) {
     EXPECT_EQ(server_keys, sim_keys) << ev;
     EXPECT_EQ(server_keys, expected) << ev;
   }
+  dump_trace(server_tracer, "chaos_vote_schema_server");
+  dump_trace(sim_tracer, "chaos_vote_schema_sim");
 }
 
 TEST(Chaos, PoisonUnitQuarantinedOverTcp) {

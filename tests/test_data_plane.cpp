@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <thread>
 
 #include "bio/seqgen.hpp"
@@ -26,6 +27,7 @@
 #include "net/message.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phylo/simulate.hpp"
 #include "sim/sim_driver.hpp"
 #include "util/byte_buffer.hpp"
@@ -530,6 +532,64 @@ TEST(DataPlaneTcp, MixedV3AndV4DonorsAgree) {
   ASSERT_TRUE(server.wait_for_problem(pid, 30.0));
   EXPECT_EQ(dm->result(), serial);
   server.stop();
+}
+
+TEST(DataPlaneTcp, MixedFleetProfilesComeOnlyFromV5Donors) {
+  // v3 + v4 + v5 donors against one server: the merged result is
+  // byte-identical to the serial reference, and every span profile the
+  // trace records came from the v5 donor — exactly one per completion it
+  // contributed, none from the legacy donors.
+  auto c = dsearch_case(331, 96);
+  auto serial = dsearch::search_serial(c.queries, c.database, c.config);
+
+  obs::Tracer tracer;
+  tracer.to_memory();
+  auto scfg = dsearch_server_config();
+  scfg.tracer = &tracer;
+  dist::Server server(scfg);
+  server.start();
+  auto dm = std::make_shared<dsearch::DSearchDataManager>(c.queries,
+                                                          c.database, c.config);
+  auto pid = server.submit_problem(dm);
+
+  auto v3_cfg = donor_config(server.port(), "v3-donor");
+  v3_cfg.protocol_version = 3;
+  auto v4_cfg = donor_config(server.port(), "v4-donor");
+  v4_cfg.protocol_version = 4;
+  auto v5_cfg = donor_config(server.port(), "v5-donor");  // default: v5
+  std::thread t3([&] { dist::Client(v3_cfg).run(); });
+  std::thread t4([&] { dist::Client(v4_cfg).run(); });
+  std::thread t5([&] { dist::Client(v5_cfg).run(); });
+  t3.join();
+  t4.join();
+  t5.join();
+
+  ASSERT_TRUE(server.wait_for_problem(pid, 30.0));
+  EXPECT_EQ(dm->result(), serial);
+  server.stop();
+
+  std::set<std::uint64_t> v5_ids;
+  std::uint64_t v5_completed = 0, profiles = 0;
+  for (const auto& line : tracer.lines()) {
+    auto rec = obs::parse_trace_line(line);
+    if (rec.ev == "client_joined") {
+      if (rec.text("name") == "v5-donor") {
+        v5_ids.insert(static_cast<std::uint64_t>(rec.number("client")));
+      }
+    } else if (rec.ev == "unit_completed") {
+      if (v5_ids.count(static_cast<std::uint64_t>(rec.number("client")))) {
+        v5_completed += 1;
+      }
+    } else if (rec.ev == "unit_profile") {
+      profiles += 1;
+      EXPECT_TRUE(v5_ids.count(static_cast<std::uint64_t>(rec.number("client"))))
+          << "span profile attributed to a legacy donor";
+      EXPECT_GE(rec.number("submit_s"), 0.0);
+    }
+  }
+  EXPECT_EQ(profiles, v5_completed);
+  EXPECT_GT(profiles + v5_completed, 0u)
+      << "v5 donor never completed a unit; widen the workload";
 }
 
 // ------------------------------------------------------- dedup headline --

@@ -273,6 +273,12 @@ TEST(MsgStats, LiveServerServesSnapshot) {
   EXPECT_NE(snap.json.find("\"counters\":{"), std::string::npos);
   EXPECT_NE(snap.json.find("net.frames_received"), std::string::npos);
   EXPECT_NE(snap.json.find("server.handle_s.RequestWork"), std::string::npos);
+  EXPECT_NE(snap.json.find("\"units_pending\":"), std::string::npos);
+  // Histograms export computed quantiles alongside their raw buckets.
+  EXPECT_NE(snap.json.find("\"quantiles\":{\"p50\":"), std::string::npos);
+  // A v5 donor completed units, so the per-phase span histograms exist.
+  EXPECT_NE(snap.json.find("\"unit.compute_s\":"), std::string::npos);
+  EXPECT_NE(snap.json.find("\"unit.submit_s\":"), std::string::npos);
 
   // The in-process accessor sees the same per-client table.
   auto clients = server.client_stats();
@@ -320,6 +326,91 @@ TEST(MsgStats, ServerTraceRecordsFullClientLifecycle) {
   EXPECT_EQ(left, 1);  // Goodbye + handler teardown must not double-emit
   EXPECT_EQ(issued, 4);  // 400000 ops in fixed:100000 units
   EXPECT_EQ(completed, 4);
+}
+
+TEST(MsgStats, UnitProfileSharedSchemaAcrossServerAndSim) {
+  test::register_toy_algorithm();
+
+  // Real TCP run: one v5 donor against a live server, trace collected.
+  obs::Tracer server_tracer;
+  server_tracer.to_memory();
+  {
+    ServerConfig cfg;
+    cfg.scheduler.bounds.min_ops = 1000;
+    cfg.policy_spec = "fixed:100000";
+    cfg.tick_interval_s = 0.05;
+    cfg.no_work_retry_s = 0.02;
+    cfg.tracer = &server_tracer;
+    Server server(cfg);
+    server.start();
+    auto pid = server.submit_problem(std::make_shared<test::ToySumDataManager>(400000));
+    ClientConfig ccfg;
+    ccfg.server_port = server.port();
+    ccfg.name = "profiled";
+    Client(ccfg).run();
+    ASSERT_TRUE(server.wait_for_problem(pid, 30.0));
+    server.stop();
+  }
+
+  // Simulated run (virtual clock), same workload shape.
+  obs::Tracer sim_tracer;
+  sim_tracer.to_memory();
+  {
+    sim::SimConfig simcfg;
+    simcfg.reference_ops_per_sec = 1e6;
+    simcfg.scheduler.lease_timeout = 1e5;
+    simcfg.scheduler.bounds.min_ops = 1;
+    simcfg.policy_spec = "fixed:100000";
+    simcfg.tracer = &sim_tracer;
+    sim::SimDriver sim(simcfg, sim::lab_fleet(2));
+    sim.add_problem(std::make_shared<test::ToySumDataManager>(400000));
+    sim.run();
+  }
+
+  // Decomposition invariant: the six phases tile the lease. Wall-clock
+  // runs may carry a small residual (the donor's queue_wait starts before
+  // the lease clock); virtual-time runs tile it exactly (the 1e-6 slack is
+  // only the %.9g rounding of the JSONL encoder).
+  auto check_sums = [](const std::vector<std::string>& lines, double tol) {
+    int profiles = 0;
+    for (const auto& line : lines) {
+      auto rec = obs::parse_trace_line(line);
+      if (rec.ev != "unit_profile") continue;
+      ++profiles;
+      double sum = rec.number("queue_wait_s") + rec.number("blob_fetch_s") +
+                   rec.number("decompress_s") + rec.number("compute_s") +
+                   rec.number("encode_s") + rec.number("submit_s");
+      EXPECT_NEAR(sum, rec.number("elapsed_s"), tol);
+      EXPECT_GE(rec.number("submit_s"), 0.0);
+    }
+    return profiles;
+  };
+  EXPECT_GT(check_sums(server_tracer.lines(), 10e-3), 0);
+  EXPECT_GT(check_sums(sim_tracer.lines(), 1e-6), 0);
+
+  // The pinned schema: both emitters must produce unit_profile with
+  // exactly these fields so one tool (trace_summary --critical-path,
+  // --perfetto) can read either trace.
+  auto profile_fields = [](const std::vector<std::string>& lines) {
+    std::vector<std::string> keys;
+    for (const auto& line : lines) {
+      auto rec = obs::parse_trace_line(line);
+      if (rec.ev != "unit_profile") continue;
+      for (const auto& [k, v] : rec.fields) {
+        if (k != "schema" && k != "t" && k != "ev") keys.push_back(k);
+      }
+      return keys;  // fields is an ordered map: keys come out sorted
+    }
+    return keys;
+  };
+  auto server_keys = profile_fields(server_tracer.lines());
+  auto sim_keys = profile_fields(sim_tracer.lines());
+  std::vector<std::string> expected_keys = {
+      "blob_fetch_s", "client", "compute_s",   "decompress_s",
+      "elapsed_s",    "encode_s", "problem",   "queue_wait_s",
+      "saturations",  "stage",  "submit_s",    "threads", "unit"};
+  EXPECT_EQ(server_keys, expected_keys);
+  EXPECT_EQ(sim_keys, expected_keys);
 }
 
 TEST(MsgStats, CheckpointEventsShareSchemaAcrossServerAndSim) {

@@ -451,11 +451,13 @@ TEST(SimDriver, TraceMatchesRealServerEventOrder) {
 
   // And the shape is exactly the canonical single-client lifecycle: the
   // first issued unit triggers one problem-data blob transfer (the v4 data
-  // plane); after that the donor's cache holds it silently.
+  // plane); after that the donor's cache holds it silently. Every result
+  // from a v5 donor lands a unit_profile right before its unit_completed.
   std::vector<std::string> expected{"client_joined"};
   for (int i = 0; i < 4; ++i) {
     expected.emplace_back("unit_issued");
     if (i == 0) expected.emplace_back("blob_sent");
+    expected.emplace_back("unit_profile");
     expected.emplace_back("unit_completed");
   }
   expected.emplace_back("client_left");

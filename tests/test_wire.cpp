@@ -64,6 +64,64 @@ TEST(Wire, SubmitResultRoundTrip) {
   EXPECT_EQ(decoded.payload_crc, 0xdeadbeefu);
 }
 
+TEST(Wire, SubmitResultV5ProfileTrailerRoundTrip) {
+  ResultUnit result;
+  result.problem_id = 1;
+  result.unit_id = 2;
+  result.stage = 3;
+  obs::UnitProfile prof;
+  prof.queue_wait_s = 0.015;
+  prof.blob_fetch_s = 0.25;
+  prof.decompress_s = 0.004;
+  prof.compute_s = 2.75;
+  prof.encode_s = 0.001;
+  prof.threads = 4;
+  prof.saturations = 17;
+  result.profile = prof;
+
+  auto [client, decoded] =
+      decode_submit_result(encode_submit_result(9, result, 6, 5));
+  EXPECT_EQ(client, 9u);
+  ASSERT_TRUE(decoded.profile.has_value());
+  EXPECT_DOUBLE_EQ(decoded.profile->queue_wait_s, 0.015);
+  EXPECT_DOUBLE_EQ(decoded.profile->blob_fetch_s, 0.25);
+  EXPECT_DOUBLE_EQ(decoded.profile->decompress_s, 0.004);
+  EXPECT_DOUBLE_EQ(decoded.profile->compute_s, 2.75);
+  EXPECT_DOUBLE_EQ(decoded.profile->encode_s, 0.001);
+  EXPECT_EQ(decoded.profile->threads, 4u);
+  EXPECT_EQ(decoded.profile->saturations, 17u);
+
+  // A v5 frame without a profile carries only the presence flag.
+  result.profile.reset();
+  auto [c2, d2] = decode_submit_result(encode_submit_result(9, result, 7, 5));
+  EXPECT_EQ(c2, 9u);
+  EXPECT_FALSE(d2.profile.has_value());
+}
+
+TEST(Wire, SubmitResultV4FrameHasNoTrailer) {
+  // A v4 encoder must stay bit-identical to the pre-v5 shape: a profile on
+  // the ResultUnit is silently dropped, never written, so v3/v4 servers
+  // (which expect_end after payload_crc) keep parsing the frame.
+  ResultUnit result;
+  result.problem_id = 1;
+  result.unit_id = 2;
+  ByteWriter w;
+  w.str("payload");
+  result.payload = w.take();
+  result.payload_crc = 7;
+
+  auto legacy = encode_submit_result(9, result, 6, 4);
+  result.profile = obs::UnitProfile{};
+  result.profile->compute_s = 1.25;
+  auto with_profile = encode_submit_result(9, result, 6, 4);
+  EXPECT_EQ(legacy.payload, with_profile.payload);
+  EXPECT_EQ(legacy.version, 4u);
+
+  auto [client, decoded] = decode_submit_result(legacy);
+  EXPECT_EQ(client, 9u);
+  EXPECT_FALSE(decoded.profile.has_value());
+}
+
 TEST(Wire, NoWorkRoundTrip) {
   NoWorkPayload p;
   p.retry_after_s = 2.5;

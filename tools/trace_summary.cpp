@@ -1,14 +1,29 @@
-// trace_summary — turn a JSONL event trace into human-readable tables.
+// trace_summary — turn a JSONL event trace into human-readable tables,
+// machine-readable JSON, a critical-path decomposition, or a Perfetto
+// (Chrome trace-event) timeline.
 //
 // Works on traces from either the TCP server or the simulator (same
-// schema). Reports:
+// schema). The default text report covers:
 //   - run-wide event counts and unit accounting,
 //   - per-client throughput (units, ops, units/sec over attached span),
 //   - the straggler tail of unit service times (p50/p90/p99/max),
 //   - reissue / hedge / duplicate breakdowns per problem.
 //
-// Usage: trace_summary <trace.jsonl> [trace2.jsonl ...]
-//        trace_summary -          (read a single trace from stdin)
+// Modes (composable):
+//   --json           one JSON document per input instead of text; exits
+//                    non-zero when any line failed to parse, so CI can use
+//                    it as a trace schema lint.
+//   --critical-path  append a makespan decomposition built from
+//                    unit_profile events (schema v2): scheduler idle vs
+//                    per-phase donor time vs the straggler tail, plus
+//                    per-client utilization.
+//   --perfetto OUT   write a Chrome trace-event JSON to OUT: one process
+//                    per input trace, one track (tid) per donor, one slice
+//                    per span-profile phase. Load it in Perfetto or
+//                    chrome://tracing.
+//
+// Usage: trace_summary [--json] [--critical-path] [--perfetto out.json]
+//                      <trace.jsonl>... | -
 
 #include <algorithm>
 #include <cstdio>
@@ -19,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/jsonl.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -34,6 +50,7 @@ struct ClientRow {
   std::uint64_t issued = 0;
   std::uint64_t completed = 0;
   double cost_ops = 0;
+  double busy_s = 0;  // sum of elapsed_s over this client's completions
 
   [[nodiscard]] double attached_span() const {
     double end = left_at >= 0 ? left_at : last_event;
@@ -49,11 +66,42 @@ struct ProblemRow {
   std::uint64_t duplicates = 0;
 };
 
+/// One unit_profile event: the donor's span profile merged with the
+/// scheduler's lease clock (see docs/OBSERVABILITY.md, schema v2).
+struct ProfileRow {
+  double t = 0;  // completion time; the lease began at t - elapsed_s
+  std::uint64_t client = 0, problem = 0, unit = 0;
+  double elapsed_s = 0;
+  double queue_wait_s = 0, blob_fetch_s = 0, decompress_s = 0;
+  double compute_s = 0, encode_s = 0, submit_s = 0;
+  std::uint64_t threads = 1, saturations = 0;
+
+  [[nodiscard]] double phase_sum() const {
+    return queue_wait_s + blob_fetch_s + decompress_s + compute_s + encode_s +
+           submit_s;
+  }
+};
+
+constexpr const char* kPhaseNames[] = {"queue_wait", "blob_fetch",
+                                       "decompress", "compute",
+                                       "encode",     "submit"};
+
+double phase_value(const ProfileRow& p, std::size_t i) {
+  const double v[] = {p.queue_wait_s, p.blob_fetch_s, p.decompress_s,
+                      p.compute_s,    p.encode_s,     p.submit_s};
+  return v[i];
+}
+
 struct Summary {
   std::map<std::string, std::uint64_t> event_counts;
   std::map<std::uint64_t, ClientRow> clients;
   std::map<std::uint64_t, ProblemRow> problems;
   std::vector<double> unit_elapsed;  // service times from unit_completed
+  std::vector<ProfileRow> profiles;
+  /// [start, end] lease intervals from any event carrying elapsed_s; the
+  /// uncovered part of the trace span is time the scheduler sat with no
+  /// unit in any donor's hands.
+  std::vector<std::pair<double, double>> busy_intervals;
   double t_min = 0, t_max = 0;
   bool any = false;
   std::uint64_t parse_errors = 0;
@@ -105,12 +153,37 @@ void ingest_line(Summary& s, const std::string& line) {
     }
   } else if (rec.ev == "unit_completed") {
     ClientRow* c = client_of();
+    if (ProblemRow* p = problem_of()) p->completed += 1;
+    if (rec.has("elapsed_s")) {
+      double e = rec.number("elapsed_s");
+      s.unit_elapsed.push_back(e);
+      s.busy_intervals.emplace_back(rec.t - e, rec.t);
+      if (c) c->busy_s += e;
+    }
     if (c) {
       c->completed += 1;
       if (rec.has("cost_ops")) c->cost_ops += rec.number("cost_ops");
     }
-    if (ProblemRow* p = problem_of()) p->completed += 1;
-    if (rec.has("elapsed_s")) s.unit_elapsed.push_back(rec.number("elapsed_s"));
+  } else if (rec.ev == "unit_profile") {
+    ProfileRow p;
+    p.t = rec.t;
+    if (rec.has("client")) p.client = static_cast<std::uint64_t>(rec.number("client"));
+    if (rec.has("problem")) p.problem = static_cast<std::uint64_t>(rec.number("problem"));
+    if (rec.has("unit")) p.unit = static_cast<std::uint64_t>(rec.number("unit"));
+    p.elapsed_s = rec.has("elapsed_s") ? rec.number("elapsed_s") : 0;
+    p.queue_wait_s = rec.has("queue_wait_s") ? rec.number("queue_wait_s") : 0;
+    p.blob_fetch_s = rec.has("blob_fetch_s") ? rec.number("blob_fetch_s") : 0;
+    p.decompress_s = rec.has("decompress_s") ? rec.number("decompress_s") : 0;
+    p.compute_s = rec.has("compute_s") ? rec.number("compute_s") : 0;
+    p.encode_s = rec.has("encode_s") ? rec.number("encode_s") : 0;
+    p.submit_s = rec.has("submit_s") ? rec.number("submit_s") : 0;
+    if (rec.has("threads")) p.threads = static_cast<std::uint64_t>(rec.number("threads"));
+    if (rec.has("saturations")) {
+      p.saturations = static_cast<std::uint64_t>(rec.number("saturations"));
+    }
+    s.profiles.push_back(p);
+    s.busy_intervals.emplace_back(rec.t - p.elapsed_s, rec.t);
+    client_of();  // keep last_event fresh for attached_span
   } else if (rec.ev == "result_duplicate") {
     client_of();
     if (ProblemRow* p = problem_of()) p->duplicates += 1;
@@ -126,7 +199,99 @@ double quantile(std::vector<double>& sorted, double q) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
-void print_summary(const std::string& label, Summary& s) {
+/// Time within [t_min, t_max] not covered by any lease interval: the
+/// scheduler had zero units in flight (donor-starved, stage barrier, or
+/// simply done issuing).
+double scheduler_idle(const Summary& s) {
+  if (!s.any) return 0;
+  auto intervals = s.busy_intervals;
+  std::sort(intervals.begin(), intervals.end());
+  double covered = 0, cur_lo = 0, cur_hi = -1;
+  bool open = false;
+  for (auto [lo, hi] : intervals) {
+    lo = std::max(lo, s.t_min);
+    hi = std::min(hi, s.t_max);
+    if (hi <= lo) continue;
+    if (!open || lo > cur_hi) {
+      if (open) covered += cur_hi - cur_lo;
+      cur_lo = lo;
+      cur_hi = hi;
+      open = true;
+    } else {
+      cur_hi = std::max(cur_hi, hi);
+    }
+  }
+  if (open) covered += cur_hi - cur_lo;
+  return std::max(0.0, (s.t_max - s.t_min) - covered);
+}
+
+struct CriticalPath {
+  std::size_t profiled_units = 0;
+  double makespan_s = 0;
+  double idle_s = 0;
+  double busy_s = 0;                // sum of profiled elapsed_s
+  double phase_total[6] = {0};      // indexed like kPhaseNames
+  double max_residual_s = 0;        // |elapsed - sum(phases)| worst case
+  const ProfileRow* slowest = nullptr;
+};
+
+CriticalPath critical_path(const Summary& s) {
+  CriticalPath cp;
+  cp.makespan_s = s.any ? s.t_max - s.t_min : 0;
+  cp.idle_s = scheduler_idle(s);
+  cp.profiled_units = s.profiles.size();
+  for (const ProfileRow& p : s.profiles) {
+    cp.busy_s += p.elapsed_s;
+    for (std::size_t i = 0; i < 6; ++i) cp.phase_total[i] += phase_value(p, i);
+    cp.max_residual_s =
+        std::max(cp.max_residual_s, std::abs(p.elapsed_s - p.phase_sum()));
+    if (!cp.slowest || p.elapsed_s > cp.slowest->elapsed_s) cp.slowest = &p;
+  }
+  return cp;
+}
+
+void print_critical_path(const Summary& s) {
+  CriticalPath cp = critical_path(s);
+  std::printf("\ncritical path (makespan decomposition):\n");
+  if (cp.profiled_units == 0) {
+    std::printf("  (no unit_profile events — v5 donors and trace schema v2 "
+                "required)\n");
+    return;
+  }
+  auto pct = [&](double v, double whole) {
+    return whole > 0 ? 100.0 * v / whole : 0.0;
+  };
+  std::printf("  makespan        %10.4g s\n", cp.makespan_s);
+  std::printf("  scheduler idle  %10.4g s  (%5.1f%% of makespan, no unit in "
+              "flight)\n",
+              cp.idle_s, pct(cp.idle_s, cp.makespan_s));
+  std::printf("  donor lease time %9.4g s across %zu profiled units:\n",
+              cp.busy_s, cp.profiled_units);
+  for (std::size_t i = 0; i < 6; ++i) {
+    std::printf("    %-11s %10.4g s  (%5.1f%%)\n", kPhaseNames[i],
+                cp.phase_total[i], pct(cp.phase_total[i], cp.busy_s));
+  }
+  if (cp.slowest) {
+    std::printf("  straggler tail: unit %llu on client %llu took %.4g s\n",
+                static_cast<unsigned long long>(cp.slowest->unit),
+                static_cast<unsigned long long>(cp.slowest->client),
+                cp.slowest->elapsed_s);
+  }
+  std::printf("  max profile residual: %.4g s (|elapsed - sum(phases)|)\n",
+              cp.max_residual_s);
+
+  std::printf("\nper-client utilization (lease time / attached span):\n");
+  std::printf("  %6s  %-16s %10s %10s %6s\n", "id", "name", "busy_s", "span_s",
+              "util%");
+  for (const auto& [id, c] : s.clients) {
+    double span = c.attached_span();
+    std::printf("  %6llu  %-16s %10.4g %10.4g %6.1f\n",
+                static_cast<unsigned long long>(id), c.name.c_str(), c.busy_s,
+                span, span > 0 ? 100.0 * c.busy_s / span : 0.0);
+  }
+}
+
+void print_summary(const std::string& label, Summary& s, bool with_critical) {
   std::printf("=== %s ===\n", label.c_str());
   if (!s.any) {
     std::printf("  (no events)\n");
@@ -178,29 +343,170 @@ void print_summary(const std::string& label, Summary& s) {
                 static_cast<unsigned long long>(p.hedged),
                 static_cast<unsigned long long>(p.duplicates));
   }
+  if (with_critical) print_critical_path(s);
   std::printf("\n");
 }
 
-int run(std::istream& in, const std::string& label) {
-  Summary s;
-  std::string line;
-  while (std::getline(in, line)) ingest_line(s, line);
-  print_summary(label, s);
-  return s.any ? 0 : 1;
+std::string json_str(const std::string& v) {
+  return "\"" + hdcs::obs::json_escape(v) + "\"";
+}
+
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  // A bare nan/inf is not JSON; the trace never produces them, but a tool
+  // must not emit unparseable output even on a hostile input.
+  std::string s = buf;
+  if (s.find_first_not_of("0123456789+-.eE") != std::string::npos) return "0";
+  return s;
+}
+
+/// One JSON document for one trace (printed on its own line — several
+/// inputs yield JSONL).
+void print_json(const std::string& label, Summary& s) {
+  std::ostringstream out;
+  out << "{\"label\":" << json_str(label) << ",\"parse_errors\":" << s.parse_errors
+      << ",\"span_s\":" << json_num(s.any ? s.t_max - s.t_min : 0)
+      << ",\"t_min\":" << json_num(s.t_min) << ",\"t_max\":" << json_num(s.t_max);
+  out << ",\"events\":{";
+  bool first = true;
+  for (const auto& [ev, n] : s.event_counts) {
+    if (!first) out << ",";
+    first = false;
+    out << json_str(ev) << ":" << n;
+  }
+  out << "},\"clients\":[";
+  first = true;
+  for (const auto& [id, c] : s.clients) {
+    if (!first) out << ",";
+    first = false;
+    double span = c.attached_span();
+    out << "{\"id\":" << id << ",\"name\":" << json_str(c.name)
+        << ",\"issued\":" << c.issued << ",\"completed\":" << c.completed
+        << ",\"cost_ops\":" << json_num(c.cost_ops)
+        << ",\"busy_s\":" << json_num(c.busy_s)
+        << ",\"span_s\":" << json_num(span) << ",\"units_per_s\":"
+        << json_num(span > 0 ? static_cast<double>(c.completed) / span : 0)
+        << "}";
+  }
+  out << "],\"problems\":[";
+  first = true;
+  for (const auto& [pid, p] : s.problems) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"problem\":" << pid << ",\"issued\":" << p.issued
+        << ",\"completed\":" << p.completed << ",\"reissued\":" << p.reissued
+        << ",\"hedged\":" << p.hedged << ",\"duplicates\":" << p.duplicates
+        << "}";
+  }
+  out << "]";
+  std::sort(s.unit_elapsed.begin(), s.unit_elapsed.end());
+  out << ",\"unit_elapsed\":{\"count\":" << s.unit_elapsed.size()
+      << ",\"p50\":" << json_num(quantile(s.unit_elapsed, 0.5))
+      << ",\"p90\":" << json_num(quantile(s.unit_elapsed, 0.9))
+      << ",\"p99\":" << json_num(quantile(s.unit_elapsed, 0.99)) << ",\"max\":"
+      << json_num(s.unit_elapsed.empty() ? 0 : s.unit_elapsed.back()) << "}";
+  CriticalPath cp = critical_path(s);
+  out << ",\"critical_path\":{\"profiled_units\":" << cp.profiled_units
+      << ",\"makespan_s\":" << json_num(cp.makespan_s)
+      << ",\"scheduler_idle_s\":" << json_num(cp.idle_s)
+      << ",\"donor_lease_s\":" << json_num(cp.busy_s) << ",\"phases\":{";
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (i) out << ",";
+    out << "\"" << kPhaseNames[i] << "_s\":" << json_num(cp.phase_total[i]);
+  }
+  out << "},\"max_residual_s\":" << json_num(cp.max_residual_s);
+  if (cp.slowest) {
+    out << ",\"slowest\":{\"unit\":" << cp.slowest->unit
+        << ",\"client\":" << cp.slowest->client
+        << ",\"elapsed_s\":" << json_num(cp.slowest->elapsed_s) << "}";
+  }
+  out << "}}";
+  std::printf("%s\n", out.str().c_str());
+}
+
+/// Chrome trace-event (Perfetto-loadable) export: one process per input
+/// trace, one thread per donor, the six profile phases of each unit laid
+/// end to end from lease start (t - elapsed_s) to completion (t).
+/// Timestamps are microseconds, as the format requires.
+void write_perfetto(std::ostream& out,
+                    const std::vector<std::pair<std::string, Summary>>& all) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& body) {
+    if (!first) out << ",";
+    first = false;
+    out << "{" << body << "}";
+  };
+  for (std::size_t fi = 0; fi < all.size(); ++fi) {
+    const auto& [label, s] = all[fi];
+    const std::uint64_t pid = fi + 1;
+    emit("\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + std::to_string(pid)
+         + ",\"args\":{\"name\":" + json_str(label) + "}");
+    for (const auto& [id, c] : s.clients) {
+      std::string name = c.name.empty() ? ("client-" + std::to_string(id))
+                                        : c.name;
+      emit("\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":" + std::to_string(id) +
+           ",\"args\":{\"name\":" + json_str(name) + "}");
+    }
+    for (const ProfileRow& p : s.profiles) {
+      double start = p.t - p.elapsed_s;
+      for (std::size_t i = 0; i < 6; ++i) {
+        double dur = phase_value(p, i);
+        if (dur <= 0) continue;
+        emit("\"ph\":\"X\",\"cat\":\"unit\",\"name\":\"" +
+             std::string(kPhaseNames[i]) + "\",\"pid\":" + std::to_string(pid) +
+             ",\"tid\":" + std::to_string(p.client) + ",\"ts\":" +
+             json_num(start * 1e6) + ",\"dur\":" + json_num(dur * 1e6) +
+             ",\"args\":{\"unit\":" + std::to_string(p.unit) + ",\"problem\":" +
+             std::to_string(p.problem) + ",\"threads\":" +
+             std::to_string(p.threads) + ",\"saturations\":" +
+             std::to_string(p.saturations) + "}");
+        start += dur;
+      }
+    }
+  }
+  out << "]}\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <trace.jsonl>... | %s -\n", argv[0], argv[0]);
-    return 2;
-  }
-  int rc = 0;
+  bool json = false, critical = false;
+  std::string perfetto_path;
+  std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--critical-path") {
+      critical = true;
+    } else if (arg == "--perfetto") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--perfetto needs an output path\n");
+        return 2;
+      }
+      perfetto_path = argv[++i];
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--json] [--critical-path] [--perfetto out.json] "
+                 "<trace.jsonl>... | -\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<std::pair<std::string, Summary>> all;
+  for (const std::string& arg : inputs) {
+    Summary s;
+    std::string line;
     if (arg == "-") {
-      rc |= run(std::cin, "stdin");
+      while (std::getline(std::cin, line)) ingest_line(s, line);
+      all.emplace_back("stdin", std::move(s));
       continue;
     }
     std::ifstream f(arg);
@@ -208,7 +514,30 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s\n", arg.c_str());
       return 2;
     }
-    rc |= run(f, arg);
+    while (std::getline(f, line)) ingest_line(s, line);
+    all.emplace_back(arg, std::move(s));
+  }
+
+  int rc = 0;
+  for (auto& [label, s] : all) {
+    if (json) {
+      print_json(label, s);
+      // JSON mode doubles as the CI schema lint: an unparseable line in a
+      // trace artifact must fail the job, not vanish into a warning.
+      if (s.parse_errors > 0) rc = 1;
+    } else {
+      print_summary(label, s, critical);
+    }
+    if (!s.any) rc |= 1;
+  }
+  if (!perfetto_path.empty()) {
+    std::ofstream out(perfetto_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   perfetto_path.c_str());
+      return 2;
+    }
+    write_perfetto(out, all);
   }
   return rc;
 }
