@@ -24,6 +24,7 @@
 #include "bio/align_batch.hpp"
 #include "bio/seqgen.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/stopwatch.hpp"
 
 using namespace hdcs;
@@ -174,6 +175,8 @@ double measure_cells_per_sec(F&& pass, std::size_t cells_per_pass) {
 }
 
 int run_smoke(const std::string& out_path) {
+  std::printf("simd tier: %s (detected %s)\n", to_string(simd_tier()),
+              to_string(simd_tier_detected()));
   auto d = make_smoke_data();
   bio::QueryProfile profile(d.query, d.scheme);
   bio::AlignScratch scratch;
@@ -240,8 +243,9 @@ int run_smoke(const std::string& out_path) {
   std::snprintf(buf, sizeof buf,
                 "  \"config\": {\n    \"scheme\": \"blosum62\",\n"
                 "    \"query_len\": %zu,\n    \"db_sequences\": %zu,\n"
-                "    \"cells_per_pass\": %zu\n  },\n",
-                d.query.size(), d.db.size(), d.cells_per_pass);
+                "    \"cells_per_pass\": %zu,\n    \"simd_tier\": \"%s\"\n  },\n",
+                d.query.size(), d.db.size(), d.cells_per_pass,
+                to_string(simd_tier()));
   json += buf;
   json += "  \"kernels_cells_per_sec\": {\n" + kernels_json + "  },\n";
   json += "  \"speedup_batch_over_scalar\": {\n" + speedup_json + "  }\n}\n";

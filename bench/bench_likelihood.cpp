@@ -2,13 +2,30 @@
 // log-likelihood evaluations and branch optimisations across substitution
 // models and rate-category counts. These calibrate DPRml's cost model
 // (pattern_cost x nodes x Brent evaluations).
+//
+// Two entry points:
+//   bench_likelihood [gbench flags]     full google-benchmark suite
+//   bench_likelihood --smoke [--out f]  asserts every SIMD dispatch tier
+//                                       returns the bit-identical
+//                                       log-likelihood, then times the
+//                                       partials loop per tier and writes
+//                                       BENCH_LIKELIHOOD.json (same schema
+//                                       style as BENCH_ALIGN.json; gated
+//                                       in CI by scripts/bench_gate.py).
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "phylo/distance.hpp"
 #include "phylo/likelihood.hpp"
 #include "phylo/simulate.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/stopwatch.hpp"
 
 using namespace hdcs;
 using namespace hdcs::phylo;
@@ -118,6 +135,105 @@ void BM_NeighborJoining(benchmark::State& state) {
 }
 BENCHMARK(BM_NeighborJoining)->Arg(20)->Arg(50);
 
+// ---------------------------------------------------------------------------
+// --smoke: tier equivalence + scalar-vs-SIMD partials throughput, JSON
+// artifact (BENCH_LIKELIHOOD.json).
+// ---------------------------------------------------------------------------
+
+double measure_evals_per_sec(LikelihoodEngine& engine, const Tree& tree) {
+  benchmark::DoNotOptimize(engine.log_likelihood(tree));  // warm-up
+  hdcs::Stopwatch sw;
+  std::size_t evals = 0;
+  do {
+    benchmark::DoNotOptimize(engine.log_likelihood(tree));
+    ++evals;
+  } while (sw.seconds() < 0.25);
+  return static_cast<double>(evals) / sw.seconds();
+}
+
+int run_smoke(const std::string& out_path) {
+  constexpr int kTaxa = 30;
+  constexpr std::size_t kSites = 1000;
+  constexpr int kCats = 4;
+  auto c = make_case(kTaxa, kSites, "HKY85", kCats);
+  LikelihoodEngine engine(c.patterns, c.model, c.rates);
+
+  // Equivalence guard: every available tier must produce the bit-identical
+  // log-likelihood (the kernels share summation order and never use FMA).
+  const SimdTier tiers[] = {SimdTier::kScalar, SimdTier::kSse2,
+                            SimdTier::kAvx2};
+  bool have_ref = false;
+  double ref = 0;
+  for (SimdTier t : tiers) {
+    if (!simd_tier_available(t)) continue;
+    ScopedSimdTier pin(t);
+    double ll = engine.log_likelihood(c.tree);
+    if (!have_ref) {
+      ref = ll;
+      have_ref = true;
+    } else if (ll != ref) {
+      std::fprintf(stderr, "smoke FAILED: tier %s log-likelihood %.17g != %.17g\n",
+                   to_string(t), ll, ref);
+      return 1;
+    }
+  }
+
+  double scalar_rate, simd_rate;
+  {
+    ScopedSimdTier pin(SimdTier::kScalar);
+    scalar_rate = measure_evals_per_sec(engine, c.tree);
+  }
+  const SimdTier best = simd_tier_detected();
+  {
+    ScopedSimdTier pin(best);
+    simd_rate = measure_evals_per_sec(engine, c.tree);
+  }
+  std::printf("partials   scalar %8.1f evals/s   %s %8.1f evals/s   %.2fx\n",
+              scalar_rate, to_string(best), simd_rate,
+              simd_rate / scalar_rate);
+
+  char buf[512];
+  std::string json;
+  json += "{\n  \"schema\": 1,\n  \"bench\": \"bench_likelihood --smoke\",\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"config\": {\n    \"model\": \"HKY85\",\n"
+                "    \"taxa\": %d,\n    \"sites\": %zu,\n"
+                "    \"patterns\": %zu,\n    \"categories\": %d,\n"
+                "    \"simd_tier\": \"%s\"\n  },\n",
+                kTaxa, kSites, c.patterns.patterns, kCats, to_string(best));
+  json += buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"kernels_evals_per_sec\": {\n"
+                "    \"partials_scalar\": %.4g,\n"
+                "    \"partials_simd\": %.4g\n  },\n"
+                "  \"speedup_simd_over_scalar\": {\n"
+                "    \"partials\": %.3g\n  }\n}\n",
+                scalar_rate, simd_rate, simd_rate / scalar_rate);
+  json += buf;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      std::string out_path = "BENCH_LIKELIHOOD.json";
+      for (int j = 1; j + 1 < argc; ++j) {
+        if (std::strcmp(argv[j], "--out") == 0) out_path = argv[j + 1];
+      }
+      return run_smoke(out_path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

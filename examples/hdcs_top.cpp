@@ -143,6 +143,17 @@ double find_nested_number(const std::string& json, const std::string& obj,
   return find_number(json, sub, at, found);
 }
 
+/// The string value following `"key":"` — empty when absent.
+std::string find_string(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\":\"";
+  std::size_t at = json.find(needle);
+  if (at == std::string::npos) return {};
+  std::size_t start = at + needle.size();
+  std::size_t end = json.find('"', start);
+  if (end == std::string::npos) return {};
+  return json.substr(start, end - start);
+}
+
 /// One-glance header above the pretty JSON: donor count, scheduler
 /// backlog, bulk-plane cache hit-rate, and the mean per-phase span costs
 /// from the v5 unit profiles (absent until a v5 donor submits).
@@ -151,7 +162,9 @@ void print_digest(const std::string& json) {
   double pending = find_number(json, "units_pending");
   double hits = find_number(json, "bulk.blobs_cache_hit");
   double sent = find_number(json, "bulk.blobs_sent");
+  std::string tier = find_string(json, "simd_tier");
   std::printf("donors %.0f | pending %.0f", connected, pending);
+  if (!tier.empty()) std::printf(" | simd %s", tier.c_str());
   if (hits + sent > 0) {
     std::printf(" | blob cache hit-rate %.1f%% (%.0f hit / %.0f sent)",
                 100.0 * hits / (hits + sent), hits, sent);

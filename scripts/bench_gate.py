@@ -1,32 +1,45 @@
 #!/usr/bin/env python3
-"""Perf gate over bench_align --smoke artifacts.
+"""Perf gate over bench smoke artifacts (BENCH_ALIGN.json, BENCH_LIKELIHOOD.json).
 
-Compares the per-kernel throughputs in a freshly measured BENCH_ALIGN.json
-against a committed baseline and fails (exit 1) when any kernel regresses
-by more than --max-regress (default 20%). Keys present in the baseline must
-exist in the current run — a silently vanished kernel is a failure, not a
-pass. Throughput improvements are reported but never fail the gate; refresh
-the committed baseline deliberately with `./build/bench/bench_align --smoke`.
+Two kinds of checks, both against a freshly measured artifact:
+
+  1. Regression gate: every kernel throughput in the baseline's --section
+     table must stay within --max-regress (default 20%) of the committed
+     value. Keys present in the baseline must exist in the current run — a
+     silently vanished kernel is a failure, not a pass. Improvements are
+     reported but never fail the gate; refresh the committed baseline
+     deliberately with the bench's --smoke mode.
+
+  2. Minimum ratchets: repeatable --min PATH=VALUE flags assert absolute
+     floors on dotted paths into the *current* artifact, e.g.
+     --min speedup_batch_over_scalar.nw=3.0. This is how "the batch kernel
+     must beat scalar by 3x" stays locked in even if both sides of the
+     ratio drift together (which the relative gate would wave through).
 
 Usage:
-  bench_gate.py --baseline BENCH_ALIGN.json --current build/BENCH_ALIGN.json
-  bench_gate.py --self-test          # prove the gate trips on a 25% slowdown
+  bench_gate.py --baseline BENCH_ALIGN.json --current build/BENCH_ALIGN.json \\
+      --min speedup_batch_over_scalar.sw=3.0
+  bench_gate.py --baseline BENCH_LIKELIHOOD.json \\
+      --current build/BENCH_LIKELIHOOD.json --section kernels_evals_per_sec \\
+      --min speedup_simd_over_scalar.partials=1.5
+  bench_gate.py --self-test     # prove the gate trips on slowdowns and
+                                # on ratchet violations
 """
 
 import argparse
 import json
 import sys
 
-KERNEL_KEY = "kernels_cells_per_sec"
+DEFAULT_SECTION = "kernels_cells_per_sec"
 
 
-def load(path):
+def load(path, section):
     with open(path) as f:
         doc = json.load(f)
-    kernels = doc.get(KERNEL_KEY)
+    kernels = doc.get(section)
     if not isinstance(kernels, dict) or not kernels:
-        raise SystemExit(f"{path}: missing or empty '{KERNEL_KEY}'")
-    return kernels
+        raise SystemExit(f"{path}: missing or empty '{section}'")
+    return doc, kernels
 
 
 def compare(baseline, current, max_regress):
@@ -54,8 +67,49 @@ def compare(baseline, current, max_regress):
     return failures, lines
 
 
+def resolve(doc, dotted):
+    """Walk a dotted path through nested dicts; None when absent."""
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check_mins(doc, mins):
+    """Assert ratchet floors on the current artifact. mins: [(path, floor)]."""
+    failures = []
+    lines = []
+    for path, floor in mins:
+        value = resolve(doc, path)
+        if value is None:
+            failures.append(path)
+            lines.append(f"  {path:36s} MISSING (ratchet >= {floor:g})")
+            continue
+        value = float(value)
+        ok = value >= floor
+        if not ok:
+            failures.append(path)
+        lines.append(
+            f"  {path:36s} {value:10.4g}  (ratchet >= {floor:g})"
+            f"  {'ok' if ok else 'BELOW RATCHET'}"
+        )
+    return failures, lines
+
+
+def parse_min(text):
+    path, sep, value = text.partition("=")
+    if not sep or not path:
+        raise SystemExit(f"--min wants PATH=VALUE, got '{text}'")
+    try:
+        return path, float(value)
+    except ValueError:
+        raise SystemExit(f"--min {path}: '{value}' is not a number")
+
+
 def self_test(baseline_path, max_regress):
-    baseline = load(baseline_path)
+    _, baseline = load(baseline_path, DEFAULT_SECTION)
     # A fabricated 25% across-the-board slowdown must trip a 20% gate.
     slowed = {k: float(v) * 0.75 for k, v in baseline.items()}
     failures, _ = compare(baseline, slowed, max_regress)
@@ -74,7 +128,24 @@ def self_test(baseline_path, max_regress):
     if len(failures) != 1:
         print("self-test FAILED: missing kernel not detected", file=sys.stderr)
         return 1
-    print(f"self-test OK: gate trips on 25% slowdown at max-regress {max_regress:.0%}")
+    # Ratchets: a value below the floor, a missing path, and a passing value.
+    doc = {"speedup": {"nw": 2.9, "sw": 5.0}}
+    failures, _ = check_mins(doc, [("speedup.nw", 3.0)])
+    if failures != ["speedup.nw"]:
+        print("self-test FAILED: ratchet did not trip below the floor",
+              file=sys.stderr)
+        return 1
+    failures, _ = check_mins(doc, [("speedup.vanished", 1.0)])
+    if failures != ["speedup.vanished"]:
+        print("self-test FAILED: missing ratchet path not detected",
+              file=sys.stderr)
+        return 1
+    failures, _ = check_mins(doc, [("speedup.sw", 3.0), ("speedup.nw", 2.5)])
+    if failures:
+        print("self-test FAILED: satisfied ratchet tripped", file=sys.stderr)
+        return 1
+    print(f"self-test OK: gate trips on 25% slowdown at max-regress "
+          f"{max_regress:.0%} and on ratchet violations")
     return 0
 
 
@@ -85,10 +156,16 @@ def main():
                     help="committed reference artifact (default: %(default)s)")
     ap.add_argument("--current", default="build/BENCH_ALIGN.json",
                     help="freshly measured artifact (default: %(default)s)")
+    ap.add_argument("--section", default=DEFAULT_SECTION,
+                    help="throughput table compared between the two artifacts "
+                         "(default: %(default)s)")
     ap.add_argument("--max-regress", type=float, default=0.20,
                     help="allowed fractional slowdown per kernel (default: 0.20)")
+    ap.add_argument("--min", action="append", default=[], metavar="PATH=VALUE",
+                    help="ratchet: dotted path into the current artifact that "
+                         "must be >= VALUE (repeatable)")
     ap.add_argument("--self-test", action="store_true",
-                    help="verify the gate logic against a fabricated slowdown")
+                    help="verify the gate logic against fabricated failures")
     args = ap.parse_args()
 
     if not 0 <= args.max_regress < 1:
@@ -96,17 +173,22 @@ def main():
     if args.self_test:
         return self_test(args.baseline, args.max_regress)
 
-    baseline = load(args.baseline)
-    current = load(args.current)
+    _, baseline = load(args.baseline, args.section)
+    current_doc, current = load(args.current, args.section)
     failures, lines = compare(baseline, current, args.max_regress)
     print(f"bench gate: {args.current} vs {args.baseline} "
           f"(max regress {args.max_regress:.0%})")
     print("\n".join(lines))
+    mins = [parse_min(m) for m in args.min]
+    if mins:
+        min_failures, min_lines = check_mins(current_doc, mins)
+        print("\n".join(min_lines))
+        failures += min_failures
     if failures:
-        print(f"FAIL: {len(failures)} kernel(s) regressed beyond "
-              f"{args.max_regress:.0%}: {', '.join(failures)}", file=sys.stderr)
+        print(f"FAIL: {len(failures)} check(s) failed: {', '.join(failures)}",
+              file=sys.stderr)
         return 1
-    print("PASS: no kernel regressed beyond the threshold")
+    print("PASS: no kernel regressed beyond the threshold; ratchets hold")
     return 0
 
 

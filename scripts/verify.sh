@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus sanitizer passes: ThreadSanitizer over the
 # concurrency-sensitive suites (obs registry/tracer, scheduler,
-# server/client) and AddressSanitizer over the alignment-kernel
-# equivalence suites (batch vs scalar), then the bench_align smoke run
-# which re-asserts batch == scalar before timing anything. The chaos
-# suite (server kill/restart + donor churn + injected frame faults,
-# tests/test_chaos.cpp) runs under BOTH sanitizers: it is the test most
-# likely to expose races and lifetime bugs in the reconnect/checkpoint
-# paths, and it must stay clean there, not just in the plain build.
+# server/client) and AddressSanitizer over the kernel equivalence
+# suites (batch alignment vs scalar, SIMD dispatch tiers), then the
+# bench smoke runs which re-assert equivalence before timing anything.
+# The chaos suite (server kill/restart + donor churn + injected frame
+# faults, tests/test_chaos.cpp) runs under BOTH sanitizers: it is the
+# test most likely to expose races and lifetime bugs in the
+# reconnect/checkpoint paths, and it must stay clean there, not just in
+# the plain build. The Simd/BatchKernel suites additionally run with
+# HDCS_SIMD=scalar so the no-SIMD dispatch path stays exercised.
 #
 #   scripts/verify.sh            # full: tier-1 + TSan + ASan + smoke
 #   scripts/verify.sh --fast     # tier-1 only
@@ -24,24 +26,43 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
+echo "== kernel equivalence with SIMD forced off (HDCS_SIMD=scalar) =="
+HDCS_SIMD=scalar ctest --test-dir build --output-on-failure -j"$(nproc)" \
+  -R 'Simd|BatchKernel'
+
 echo "== TSan: obs + scheduler + integration + chaos + data-plane tests =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan --target test_obs test_dist test_integration test_chaos test_data_plane -j >/dev/null
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
   -R 'Metrics|Jsonl|Tracer|MsgStats|Wire|Scheduler|ServerClient|Granularity|Chaos|DataPlane|BulkV4|BlobCache|Compress'
 
-echo "== ASan: alignment-kernel equivalence + chaos + data-plane =="
+echo "== ASan: kernel equivalence + SIMD tiers + chaos + data-plane =="
 cmake --preset asan >/dev/null
-cmake --build --preset asan --target test_bio test_properties test_dsearch test_chaos test_data_plane -j >/dev/null
+cmake --build --preset asan --target test_bio test_properties test_simd test_dsearch test_chaos test_data_plane -j >/dev/null
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-  -R 'BatchKernel|AlignScore|Banded|NeedlemanWunsch|SmithWaterman|SemiGlobal|DSearch|Chaos|DataPlane|BulkV4|BlobCache|Compress'
+  -R 'Simd|BatchKernel|AlignScore|Banded|NeedlemanWunsch|SmithWaterman|SemiGlobal|DSearch|Chaos|DataPlane|BulkV4|BlobCache|Compress'
 
 echo "== bench_align --smoke (kernel equivalence + throughput snapshot) =="
 # Writes into build/ so a verify run never dirties the committed
 # BENCH_ALIGN.json; refresh that with: ./build/bench/bench_align --smoke
 ./build/bench/bench_align --smoke --out build/BENCH_ALIGN.json
 
-echo "== bench gate self-test (logic check; CI compares vs the baseline) =="
+echo "== bench_likelihood --smoke (tier bit-equality + throughput) =="
+./build/bench/bench_likelihood --smoke --out build/BENCH_LIKELIHOOD.json
+
+echo "== bench gate self-test + speedup ratchets on the fresh artifacts =="
+# Self-compare (baseline = current) skips the machine-dependent absolute
+# throughput comparison — CI does that against the committed baselines —
+# but still enforces the machine-independent speedup ratchets locally.
 python3 scripts/bench_gate.py --self-test
+python3 scripts/bench_gate.py \
+  --baseline build/BENCH_ALIGN.json --current build/BENCH_ALIGN.json \
+  --min speedup_batch_over_scalar.sw=3.0 \
+  --min speedup_batch_over_scalar.nw=3.0 \
+  --min speedup_batch_over_scalar.semiglobal=3.0
+python3 scripts/bench_gate.py --section kernels_evals_per_sec \
+  --baseline build/BENCH_LIKELIHOOD.json \
+  --current build/BENCH_LIKELIHOOD.json \
+  --min speedup_simd_over_scalar.partials=1.5
 
 echo "verify OK"

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <numeric>
 
+#include "bio/align_lanes.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace hdcs::bio {
 
@@ -57,73 +60,6 @@ struct GapCosts {
 GapCosts gap_costs(const ScoringScheme& s) {
   return {static_cast<std::int64_t>(s.gap_open()) + s.gap_extend(),
           static_cast<std::int64_t>(s.gap_extend())};
-}
-
-/// One lane batch: up to kBatchLanes encoded subjects advancing in lockstep.
-/// Unused lanes have len == 0 and never contribute.
-struct LaneBatch {
-  const std::uint8_t* seq[kBatchLanes] = {};
-  std::size_t len[kBatchLanes] = {};
-  std::size_t max_len = 0;
-};
-
-/// Lane-parallel Smith–Waterman, int16. Writes each lane's running maximum
-/// into best[]; a lane with best >= kSat16 saturated and must be re-run in
-/// int64. Non-saturated lanes are exact (see header).
-void sw_lanes16(const QueryProfile& p, const LaneBatch& batch, int oe, int ext,
-                AlignScratch& sc, std::int16_t best[kBatchLanes]) {
-  const std::size_t n = p.length();
-  sc.h16.assign((n + 1) * kBatchLanes, 0);
-  sc.e16.assign((n + 1) * kBatchLanes, kFloor16);
-  std::int16_t* const h = sc.h16.data();
-  std::int16_t* const e = sc.e16.data();
-
-  alignas(64) std::int16_t f[kBatchLanes];
-  alignas(64) std::int16_t hdiag[kBatchLanes];
-  alignas(64) std::int16_t sub[kBatchLanes];
-  alignas(64) std::int16_t bst[kBatchLanes] = {};
-  const std::int16_t* col[kBatchLanes];
-  const auto oe16 = static_cast<std::int16_t>(oe);
-  const auto ext16 = static_cast<std::int16_t>(ext);
-
-  for (std::size_t t = 0; t < batch.max_len; ++t) {
-    for (std::size_t l = 0; l < kBatchLanes; ++l) {
-      std::uint8_t symbol = t < batch.len[l] ? batch.seq[l][t] : kPadSymbol;
-      col[l] = p.column16(symbol);
-    }
-    for (std::size_t l = 0; l < kBatchLanes; ++l) {
-      f[l] = kFloor16;  // F(0, j) = -inf
-      hdiag[l] = 0;     // H(0, j-1) = 0
-    }
-    for (std::size_t i = 1; i <= n; ++i) {
-      const std::int16_t* const hup = h + (i - 1) * kBatchLanes;  // H(i-1, j)
-      std::int16_t* const hrow = h + i * kBatchLanes;
-      std::int16_t* const erow = e + i * kBatchLanes;
-      for (std::size_t l = 0; l < kBatchLanes; ++l) sub[l] = col[l][i - 1];
-      for (std::size_t l = 0; l < kBatchLanes; ++l) {
-        // All arithmetic stays inside int16: H in [0, kSat16], E/F in
-        // [kFloor16 - ext, kSat16], |sub| <= kLaneScoreLimit.
-        auto fl = static_cast<std::int16_t>(std::max<std::int16_t>(
-            static_cast<std::int16_t>(hup[l] - oe16),
-            static_cast<std::int16_t>(f[l] - ext16)));
-        std::int16_t old_h = hrow[l];  // H(i, j-1)
-        auto el = static_cast<std::int16_t>(std::max<std::int16_t>(
-            static_cast<std::int16_t>(old_h - oe16),
-            static_cast<std::int16_t>(erow[l] - ext16)));
-        auto hn = static_cast<std::int16_t>(hdiag[l] + sub[l]);
-        hn = std::max(hn, el);
-        hn = std::max(hn, fl);
-        hn = std::max<std::int16_t>(hn, 0);
-        hn = std::min(hn, kSat16);
-        hdiag[l] = old_h;
-        hrow[l] = hn;
-        erow[l] = el;
-        f[l] = fl;
-        bst[l] = std::max(bst[l], hn);
-      }
-    }
-  }
-  for (std::size_t l = 0; l < kBatchLanes; ++l) best[l] = bst[l];
 }
 
 }  // namespace
@@ -239,53 +175,111 @@ std::vector<std::int64_t> batch_align_scores(
         scratch.enc_offset[i + 1] - scratch.enc_offset[i]);
   };
 
+  // Exact int64 scoring for one pair — the fallback for saturated/railed/
+  // ineligible lanes and the entire path for the scalar dispatch tier.
+  // Bit-identical to align_score(mode, ...) per pair.
+  auto exact = [&](std::size_t i) -> std::int64_t {
+    switch (mode) {
+      case AlignMode::kLocal:
+        return sw_score(profile.query(), db[i], scheme);
+      case AlignMode::kGlobal:
+        return nw_score_profile(profile, subject(i), scheme, scratch);
+      default:
+        return semiglobal_score_profile(profile, subject(i), scheme, scratch);
+    }
+  };
+
   switch (mode) {
-    case AlignMode::kLocal: {
-      const bool lanes_ok = profile.lane_safe() && n > 0;
-      for (std::size_t base = 0; base < db.size(); base += kBatchLanes) {
-        const std::size_t count = std::min(kBatchLanes, db.size() - base);
-        if (!lanes_ok) {
-          for (std::size_t k = 0; k < count; ++k) {
-            scores[base + k] = sw_score(profile.query(), db[base + k], scheme);
-            m.cells += static_cast<std::uint64_t>(n) * db[base + k].size();
-          }
-          continue;
+    case AlignMode::kLocal:
+    case AlignMode::kGlobal:
+    case AlignMode::kSemiGlobal: {
+      const auto [oe, ext] = gap_costs(scheme);
+      const SimdTier tier = simd_tier();
+      const lanes::Kernels* kern = nullptr;
+      if (tier == SimdTier::kAvx2) {
+        kern = &lanes::avx2_kernels();
+      } else if (tier == SimdTier::kSse2) {
+        kern = &lanes::portable_kernels();
+      }
+      if (kern == nullptr || !profile.lane_safe() || n == 0) {
+        for (std::size_t i = 0; i < db.size(); ++i) {
+          scores[i] = exact(i);
+          m.cells += static_cast<std::uint64_t>(n) * db[i].size();
         }
-        LaneBatch batch;
+        break;
+      }
+
+      // NW/semi-global boundary cells H(i,0)/H(0,t) reach -(oe + L*ext);
+      // a lane is int16-eligible only when those are representable without
+      // clamping. SW boundaries are 0, always eligible.
+      auto lane_eligible = [&](std::size_t len) {
+        if (mode == AlignMode::kLocal) return true;
+        if (len == 0) return false;  // exact path is O(n), not worth a lane
+        std::int64_t worst =
+            oe + static_cast<std::int64_t>(std::max(n, len)) * ext;
+        return worst < -static_cast<std::int64_t>(kFloor16);
+      };
+
+      // Pack lanes in length-sorted order so the 16 lanes of a batch finish
+      // together instead of the longest subject dragging 15 idle lanes.
+      // Results scatter back through the original index: output order (and
+      // every value) is unchanged.
+      auto& order = scratch.order;
+      order.resize(db.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return db[a].size() > db[b].size();
+                       });
+
+      const auto oe16 = static_cast<std::int16_t>(oe);
+      const auto ext16 = static_cast<std::int16_t>(ext);
+      for (std::size_t base = 0; base < order.size(); base += kBatchLanes) {
+        const std::size_t count = std::min(kBatchLanes, order.size() - base);
+        lanes::LaneBatch batch;
+        std::size_t lane_idx[kBatchLanes];
+        std::size_t used = 0;
         for (std::size_t k = 0; k < count; ++k) {
-          auto s = subject(base + k);
-          batch.seq[k] = s.data();
-          batch.len[k] = s.size();
-          batch.max_len = std::max(batch.max_len, s.size());
+          const std::size_t i = order[base + k];
+          auto s = subject(i);
           m.cells += static_cast<std::uint64_t>(n) * s.size();
+          if (!lane_eligible(s.size())) {
+            scores[i] = exact(i);
+            continue;
+          }
+          batch.seq[used] = s.data();
+          batch.len[used] = s.size();
+          batch.max_len = std::max(batch.max_len, s.size());
+          lane_idx[used++] = i;
         }
-        std::int16_t best[kBatchLanes];
-        sw_lanes16(profile, batch, scheme.gap_open() + scheme.gap_extend(),
-                   scheme.gap_extend(), scratch, best);
-        for (std::size_t k = 0; k < count; ++k) {
-          if (best[k] >= kSat16) {
+        if (used == 0) continue;
+
+        std::int16_t out[kBatchLanes];
+        std::uint32_t railed = 0;
+        switch (mode) {
+          case AlignMode::kLocal:
+            kern->sw(profile, batch, oe16, ext16, scratch, out);
+            for (std::size_t k = 0; k < used; ++k) {
+              if (out[k] >= kSat16) railed |= 1u << k;
+            }
+            break;
+          case AlignMode::kGlobal:
+            kern->nw(profile, batch, oe16, ext16, scratch, out, &railed);
+            break;
+          default:
+            kern->sg(profile, batch, oe16, ext16, scratch, out, &railed);
+            break;
+        }
+        for (std::size_t k = 0; k < used; ++k) {
+          const std::size_t i = lane_idx[k];
+          if ((railed >> k) & 1u) {
             // Score left the int16 domain: exact int64 re-run.
             m.saturations += 1;
-            scores[base + k] = sw_score(profile.query(), db[base + k], scheme);
+            scores[i] = exact(i);
           } else {
-            scores[base + k] = best[k];
+            scores[i] = out[k];
           }
         }
-      }
-      break;
-    }
-    case AlignMode::kGlobal: {
-      for (std::size_t i = 0; i < db.size(); ++i) {
-        scores[i] = nw_score_profile(profile, subject(i), scheme, scratch);
-        m.cells += static_cast<std::uint64_t>(n) * db[i].size();
-      }
-      break;
-    }
-    case AlignMode::kSemiGlobal: {
-      for (std::size_t i = 0; i < db.size(); ++i) {
-        scores[i] = semiglobal_score_profile(profile, subject(i), scheme,
-                                             scratch);
-        m.cells += static_cast<std::uint64_t>(n) * db[i].size();
       }
       break;
     }

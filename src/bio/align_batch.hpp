@@ -8,14 +8,17 @@
 //   1. Sequences are encoded once into the scheme's packed alphabet and the
 //      query becomes a *score profile* — a (symbol x query-position) table —
 //      so the inner loop is a pure array walk.
-//   2. Smith–Waterman runs in a lane-parallel int16 kernel: kBatchLanes
-//      database sequences advance in lockstep, one DP column per step, with
-//      fixed-width lane loops the compiler auto-vectorizes. H is clamped to
-//      [0, kSat16]; a lane whose running best reaches kSat16 is re-run
-//      through the exact int64 scalar kernel, so results are always
-//      bit-identical to bio/align.hpp.
-//   3. Global and semi-global scoring use transposed profile kernels
-//      (subject-major, contiguous profile rows) over reusable scratch.
+//   2. SW, NW and semi-global all run in lane-parallel int16 kernels:
+//      kBatchLanes database sequences advance in lockstep, one DP column
+//      per step, packed in length-sorted order so the lanes of a batch
+//      finish together. The kernels live behind the runtime SIMD dispatch
+//      (util/simd.hpp): an AVX2 intrinsics tier, a portable fixed-width
+//      lane tier, and a scalar tier that skips the lanes entirely.
+//   3. int16 saturation is detected per lane — SW by its clamped running
+//      best reaching kSat16, NW/semi-global by any live H cell touching
+//      the kFloor16/kSat16 rails — and flagged lanes are re-run through
+//      the exact int64 kernels, so every tier's results are bit-identical
+//      to bio/align.hpp (see align_lanes.hpp and docs/KERNELS.md).
 //   4. All per-pair allocation is hoisted into AlignScratch, one per thread.
 //
 // batch_align_scores() is the only entry point DSEARCH needs; everything
@@ -90,7 +93,7 @@ class QueryProfile {
 /// align.batch_saturations; bio itself stays observability-free.
 struct BatchMetrics {
   std::uint64_t cells = 0;        // semantic DP cells (query_len x subject_len)
-  std::uint64_t saturations = 0;  // int16 lanes re-run through int64
+  std::uint64_t saturations = 0;  // int16 lanes re-run through int64 (any mode)
 };
 
 /// Reusable per-thread DP state. Buffers grow to the largest problem seen
@@ -99,6 +102,7 @@ struct AlignScratch {
   std::vector<std::int16_t> h16, e16;     // int16 lane state, (n+1)*kBatchLanes
   std::vector<std::uint8_t> enc;          // encoded subjects, concatenated
   std::vector<std::size_t> enc_offset;    // per-subject offsets into enc
+  std::vector<std::size_t> order;         // length-sorted packing order
   // int64 rows for the profile kernels (two H rows ping-ponged + one F row).
   std::vector<std::int64_t> row_h, row_h2, row_f;
 };

@@ -1,0 +1,56 @@
+#pragma once
+// Lane-parallel int16 alignment kernels behind the runtime SIMD dispatch
+// (util/simd.hpp). One kernel table per tier:
+//
+//   portable_kernels()  fixed-width-lane C++ compiled at the baseline
+//                       target ISA (auto-vectorized; the "sse2" tier)
+//   avx2_kernels()      hand-written AVX2 intrinsics from the -mavx2
+//                       translation unit; forwards to portable when the
+//                       binary was built without AVX2 support
+//
+// Both tables implement the same contract (docs/KERNELS.md):
+//
+//   sw  Smith–Waterman. best[l] is the lane's running maximum clamped to
+//       [0, kSat16]; best[l] >= kSat16 means the lane saturated and must
+//       be re-run exactly. Otherwise best[l] is the exact score.
+//   nw  Needleman–Wunsch (global). out[l] = H(n, len[l]); bit l of
+//       *railed set when the lane's clamped state touched kFloor16 or
+//       kSat16 inside the lane's live region — the int16 value may then
+//       be wrong and the caller re-runs the lane in int64.
+//   sg  Semi-global (query global, subject ends free): out[l] =
+//       max over t <= len[l] of H(n, t); same rail contract as nw.
+//
+// Callers must guarantee, per lane: len >= 1, profile.lane_safe(), and
+// oe + max(query_len, len) * ext < -kFloor16 so every boundary cell is
+// representable without clamping (batch_align_scores prechecks this and
+// routes ineligible lanes straight to the exact kernels).
+
+#include "bio/align_batch.hpp"
+
+namespace hdcs::bio::lanes {
+
+/// Up to kBatchLanes encoded subjects advancing in lockstep. Unused lanes
+/// have len == 0, are fed kPadSymbol columns and never touch seq[].
+struct LaneBatch {
+  const std::uint8_t* seq[kBatchLanes] = {};
+  std::size_t len[kBatchLanes] = {};
+  std::size_t max_len = 0;
+};
+
+using SwFn = void (*)(const QueryProfile&, const LaneBatch&, std::int16_t oe,
+                      std::int16_t ext, AlignScratch&,
+                      std::int16_t best[kBatchLanes]);
+using GlobalFn = void (*)(const QueryProfile&, const LaneBatch&,
+                          std::int16_t oe, std::int16_t ext, AlignScratch&,
+                          std::int16_t out[kBatchLanes], std::uint32_t* railed);
+
+struct Kernels {
+  SwFn sw;
+  GlobalFn nw;
+  GlobalFn sg;
+};
+
+const Kernels& portable_kernels();
+const Kernels& avx2_kernels();
+
+}  // namespace hdcs::bio::lanes

@@ -1,0 +1,212 @@
+// Portable fixed-width-lane kernels — the "sse2" dispatch tier. Plain C++
+// over kBatchLanes-wide arrays with compile-time trip counts; the compiler
+// auto-vectorizes the lane loops at whatever the baseline target ISA is
+// (SSE2 on x86-64). The AVX2 tier (align_lanes_avx2.cpp) implements the
+// identical contract with explicit intrinsics.
+//
+// Correctness of the int16 rails (see align_lanes.hpp and docs/KERNELS.md):
+// H is clamped into [kFloor16, kSat16] every cell. Given lane_safe()
+// (|sub| <= 500, 0 <= oe, ext <= 4000) no intermediate leaves int16:
+//   H - oe        >= kFloor16 - 4000           = -20000
+//   E, F          >= kFloor16 - 4000 (max with H - oe pulls them back)
+//   E - ext       >= kFloor16 - 8000           = -24000
+//   Hdiag + sub   >= kFloor16 + kFloor16       = -32000  (pad column)
+//   Hdiag + sub   <= kSat16 + 500              =  32500
+// A clamped E or F can only corrupt H by dragging it onto the floor rail,
+// and the kernels track min/max of every live H cell, so any lane whose
+// state touched a rail is flagged and re-run exactly by the caller.
+
+#include "bio/align_lanes.hpp"
+
+namespace hdcs::bio::lanes {
+
+namespace {
+
+/// Lane-parallel Smith–Waterman, int16. Writes each lane's running maximum
+/// into best[]; a lane with best >= kSat16 saturated and must be re-run in
+/// int64. Non-saturated lanes are exact: H >= 0 always, so the floor rail
+/// is unreachable and the only clamp is the kSat16 ceiling, which the
+/// running maximum witnesses.
+void sw_lanes16_portable(const QueryProfile& p, const LaneBatch& batch,
+                         std::int16_t oe16, std::int16_t ext16,
+                         AlignScratch& sc, std::int16_t best[kBatchLanes]) {
+  const std::size_t n = p.length();
+  sc.h16.assign((n + 1) * kBatchLanes, 0);
+  sc.e16.assign((n + 1) * kBatchLanes, kFloor16);
+  std::int16_t* const h = sc.h16.data();
+  std::int16_t* const e = sc.e16.data();
+
+  alignas(64) std::int16_t f[kBatchLanes];
+  alignas(64) std::int16_t hdiag[kBatchLanes];
+  alignas(64) std::int16_t sub[kBatchLanes];
+  alignas(64) std::int16_t bst[kBatchLanes] = {};
+  const std::int16_t* col[kBatchLanes];
+
+  for (std::size_t t = 0; t < batch.max_len; ++t) {
+    for (std::size_t l = 0; l < kBatchLanes; ++l) {
+      std::uint8_t symbol = t < batch.len[l] ? batch.seq[l][t] : kPadSymbol;
+      col[l] = p.column16(symbol);
+    }
+    for (std::size_t l = 0; l < kBatchLanes; ++l) {
+      f[l] = kFloor16;  // F(0, j) = -inf
+      hdiag[l] = 0;     // H(0, j-1) = 0
+    }
+    for (std::size_t i = 1; i <= n; ++i) {
+      const std::int16_t* const hup = h + (i - 1) * kBatchLanes;  // H(i-1, j)
+      std::int16_t* const hrow = h + i * kBatchLanes;
+      std::int16_t* const erow = e + i * kBatchLanes;
+      for (std::size_t l = 0; l < kBatchLanes; ++l) sub[l] = col[l][i - 1];
+      for (std::size_t l = 0; l < kBatchLanes; ++l) {
+        auto fl = static_cast<std::int16_t>(std::max<std::int16_t>(
+            static_cast<std::int16_t>(hup[l] - oe16),
+            static_cast<std::int16_t>(f[l] - ext16)));
+        std::int16_t old_h = hrow[l];  // H(i, j-1)
+        auto el = static_cast<std::int16_t>(std::max<std::int16_t>(
+            static_cast<std::int16_t>(old_h - oe16),
+            static_cast<std::int16_t>(erow[l] - ext16)));
+        auto hn = static_cast<std::int16_t>(hdiag[l] + sub[l]);
+        hn = std::max(hn, el);
+        hn = std::max(hn, fl);
+        hn = std::max<std::int16_t>(hn, 0);
+        hn = std::min(hn, kSat16);
+        hdiag[l] = old_h;
+        hrow[l] = hn;
+        erow[l] = el;
+        f[l] = fl;
+        bst[l] = std::max(bst[l], hn);
+      }
+    }
+  }
+  for (std::size_t l = 0; l < kBatchLanes; ++l) best[l] = bst[l];
+}
+
+/// Shared NW / semi-global lane kernel. Orientation matches the exact
+/// profile kernels: column t holds H(query position i, subject position
+/// t+1); F gaps consume the query (serial in i, per column), E gaps consume
+/// the subject (carried across columns per i).
+///
+/// kSemi == false (NW): H(0, t) = -(oe + (t-1)ext), answer H(n, len).
+/// kSemi == true  (SG): H(0, t) = 0,  answer max over t <= len of H(n, t).
+/// Both share the penalized init column H(i, 0) = -(oe + (i-1)ext).
+template <bool kSemi>
+void global_lanes16(const QueryProfile& p, const LaneBatch& batch,
+                    std::int16_t oe16, std::int16_t ext16, AlignScratch& sc,
+                    std::int16_t out[kBatchLanes], std::uint32_t* railed) {
+  const std::size_t n = p.length();
+  sc.h16.resize((n + 1) * kBatchLanes);
+  sc.e16.resize((n + 1) * kBatchLanes);
+  std::int16_t* const h = sc.h16.data();
+  std::int16_t* const e = sc.e16.data();
+
+  for (std::size_t i = 0; i <= n; ++i) {
+    // Caller prechecked oe + n*ext < -kFloor16, so this cast is exact.
+    auto hv = static_cast<std::int16_t>(
+        i == 0 ? 0
+               : -(oe16 + static_cast<std::int32_t>(i - 1) * ext16));
+    for (std::size_t l = 0; l < kBatchLanes; ++l) {
+      h[i * kBatchLanes + l] = hv;
+      e[i * kBatchLanes + l] = kFloor16;  // E(i, 0) = -inf
+    }
+  }
+
+  alignas(64) std::int16_t f[kBatchLanes];
+  alignas(64) std::int16_t hdiag[kBatchLanes];
+  alignas(64) std::int16_t sub[kBatchLanes];
+  alignas(64) std::int16_t amask[kBatchLanes];
+  alignas(64) std::int16_t minacc[kBatchLanes] = {};
+  alignas(64) std::int16_t maxacc[kBatchLanes] = {};
+  alignas(64) std::int16_t best[kBatchLanes];
+  const std::int16_t* col[kBatchLanes];
+
+  // Semi-global answers include the t = 0 term H(n, 0) (subject fully
+  // skipped); NW answers are captured when a lane reaches its length.
+  for (std::size_t l = 0; l < kBatchLanes; ++l) {
+    best[l] = kSemi ? h[n * kBatchLanes + l] : 0;
+  }
+
+  for (std::size_t t = 0; t < batch.max_len; ++t) {
+    for (std::size_t l = 0; l < kBatchLanes; ++l) {
+      std::uint8_t symbol = t < batch.len[l] ? batch.seq[l][t] : kPadSymbol;
+      col[l] = p.column16(symbol);
+      amask[l] = t < batch.len[l] ? static_cast<std::int16_t>(-1) : 0;
+    }
+    // Boundary row 0 for this column: H(0, t+1). Bounded by the longest
+    // lane's precheck, so the int16 cast is exact.
+    auto h0 = static_cast<std::int16_t>(
+        kSemi ? 0 : -(oe16 + static_cast<std::int32_t>(t) * ext16));
+    for (std::size_t l = 0; l < kBatchLanes; ++l) {
+      f[l] = kFloor16;               // F(0, t+1) = -inf
+      hdiag[l] = h[l];               // H(0, t)
+      h[l] = h0;
+    }
+    for (std::size_t i = 1; i <= n; ++i) {
+      const std::int16_t* const hup = h + (i - 1) * kBatchLanes;
+      std::int16_t* const hrow = h + i * kBatchLanes;
+      std::int16_t* const erow = e + i * kBatchLanes;
+      for (std::size_t l = 0; l < kBatchLanes; ++l) sub[l] = col[l][i - 1];
+      for (std::size_t l = 0; l < kBatchLanes; ++l) {
+        auto fl = static_cast<std::int16_t>(std::max<std::int16_t>(
+            static_cast<std::int16_t>(hup[l] - oe16),
+            static_cast<std::int16_t>(f[l] - ext16)));
+        std::int16_t old_h = hrow[l];  // H(i, t)
+        auto el = static_cast<std::int16_t>(std::max<std::int16_t>(
+            static_cast<std::int16_t>(old_h - oe16),
+            static_cast<std::int16_t>(erow[l] - ext16)));
+        auto hn = static_cast<std::int16_t>(hdiag[l] + sub[l]);
+        hn = std::max(hn, el);
+        hn = std::max(hn, fl);
+        hn = std::max(hn, kFloor16);
+        hn = std::min(hn, kSat16);
+        hdiag[l] = old_h;
+        hrow[l] = hn;
+        erow[l] = el;
+        f[l] = fl;
+        // Rail witness, live lanes only (pad columns clamp by design).
+        auto hm = static_cast<std::int16_t>(hn & amask[l]);
+        minacc[l] = std::min(minacc[l], hm);
+        maxacc[l] = std::max(maxacc[l], hm);
+      }
+    }
+    if constexpr (kSemi) {
+      const std::int16_t* const last = h + n * kBatchLanes;
+      for (std::size_t l = 0; l < kBatchLanes; ++l) {
+        auto v = static_cast<std::int16_t>((last[l] & amask[l]) |
+                                           (kFloor16 & ~amask[l]));
+        best[l] = std::max(best[l], v);
+      }
+    } else {
+      for (std::size_t l = 0; l < kBatchLanes; ++l) {
+        if (batch.len[l] == t + 1) best[l] = h[n * kBatchLanes + l];
+      }
+    }
+  }
+
+  std::uint32_t r = 0;
+  for (std::size_t l = 0; l < kBatchLanes; ++l) {
+    if (minacc[l] <= kFloor16 || maxacc[l] >= kSat16) r |= 1u << l;
+    out[l] = best[l];
+  }
+  *railed = r;
+}
+
+void nw_lanes16_portable(const QueryProfile& p, const LaneBatch& b,
+                         std::int16_t oe, std::int16_t ext, AlignScratch& sc,
+                         std::int16_t out[kBatchLanes], std::uint32_t* railed) {
+  global_lanes16<false>(p, b, oe, ext, sc, out, railed);
+}
+
+void sg_lanes16_portable(const QueryProfile& p, const LaneBatch& b,
+                         std::int16_t oe, std::int16_t ext, AlignScratch& sc,
+                         std::int16_t out[kBatchLanes], std::uint32_t* railed) {
+  global_lanes16<true>(p, b, oe, ext, sc, out, railed);
+}
+
+}  // namespace
+
+const Kernels& portable_kernels() {
+  static const Kernels k{&sw_lanes16_portable, &nw_lanes16_portable,
+                         &sg_lanes16_portable};
+  return k;
+}
+
+}  // namespace hdcs::bio::lanes

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
+#include "util/simd.hpp"
 #include "util/stopwatch.hpp"
 
 namespace hdcs::dist {
@@ -32,7 +33,12 @@ Client::Client(ClientConfig config)
                                        config_.blob_cache_dir,
                                        config_.blob_cache_disk_bytes}),
       epoch_(std::chrono::steady_clock::now()),
-      backoff_rng_(name_seed(config_.name)) {}
+      backoff_rng_(name_seed(config_.name)) {
+  // 0=scalar 1=sse2 2=avx2 (util/simd.hpp): the kernel tier this donor's
+  // compute threads will dispatch.
+  obs::Registry::global().gauge("simd.tier")
+      .set(static_cast<double>(static_cast<int>(simd_tier())));
+}
 
 double Client::now() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -12,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
+#include "util/simd.hpp"
 #include "util/stopwatch.hpp"
 
 namespace hdcs::dist {
@@ -72,6 +73,10 @@ Server::Server(ServerConfig config)
       core_(config_.scheduler, make_policy(config_.policy_spec)),
       epoch_(std::chrono::steady_clock::now()) {
   core_.set_tracer(config_.tracer);
+  // 0=scalar 1=sse2 2=avx2 (util/simd.hpp); which kernel tier this process
+  // dispatches — visible in metrics dumps and hdcs_top.
+  obs::Registry::global().gauge("simd.tier")
+      .set(static_cast<double>(static_cast<int>(simd_tier())));
 }
 
 Server::~Server() { stop(); }
@@ -227,6 +232,7 @@ std::string Server::stats_json(bool include_clients) {
       .set(static_cast<double>(pending));
   std::ostringstream out;
   out << "{\"schema\":" << obs::kTraceSchemaVersion << ",\"now\":" << json_num(t)
+      << ",\"simd_tier\":\"" << to_string(simd_tier()) << "\""
       << ",\"connected_clients\":" << connected_.load() << ",\"scheduler\":{"
       << "\"units_issued\":" << s.units_issued
       << ",\"units_reissued\":" << s.units_reissued

@@ -5,7 +5,9 @@
 #include <mutex>
 
 #include "dist/local_runner.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 #include "util/strings.hpp"
 
 namespace hdcs::dprml {
@@ -554,6 +556,10 @@ void DPRmlAlgorithm::initialize(std::span<const std::byte> problem_data) {
   rates_ = spec.rates;
   patterns_ = phylo::compress(alignment_);
   engine_ = std::make_unique<phylo::LikelihoodEngine>(*patterns_, model_, rates_);
+  // 0=scalar 1=sse2 2=avx2: which partials-kernel tier the likelihood
+  // engine will dispatch on this host (util/simd.hpp).
+  obs::Registry::global().gauge("simd.tier")
+      .set(static_cast<double>(static_cast<int>(simd_tier())));
 
   // Cache keys must distinguish different problems (alignment + model).
   ByteWriter key;

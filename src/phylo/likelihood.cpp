@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "phylo/optimize.hpp"
+#include "phylo/partials_kernels.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace hdcs::phylo {
 
@@ -32,8 +34,12 @@ double LikelihoodEngine::log_likelihood(const Tree& tree) {
   const std::size_t C = rates_.category_count();
   const std::size_t stride = P * C * 4;
   const auto n_nodes = static_cast<std::size_t>(tree.node_count());
+  const PartialsCombineFn combine = partials_combine_for(simd_tier());
 
-  partials_.assign(n_nodes * stride, 0.0);
+  // Every node's cells are fully written below (leaves store all four
+  // states, the first child's combine assigns), so the buffer only needs
+  // to be large enough — no per-eval zeroing of n_nodes*stride doubles.
+  partials_.resize(n_nodes * stride);
   scale_log_.assign(P, 0.0);
   leaf_row_.assign(n_nodes, -1);
   for (int leaf : tree.leaves()) {
@@ -51,13 +57,15 @@ double LikelihoodEngine::log_likelihood(const Tree& tree) {
 
     if (tree.is_leaf(node)) {
       int row = leaf_row_[ni];
-      for (std::size_t p = 0; p < P; ++p) {
-        std::uint8_t code = alignment_.code(p, static_cast<std::size_t>(row));
-        for (std::size_t c = 0; c < C; ++c) {
-          double* cell = np + (p * C + c) * 4;
+      for (std::size_t c = 0; c < C; ++c) {
+        double* cat_base = np + c * P * 4;
+        for (std::size_t p = 0; p < P; ++p) {
+          std::uint8_t code = alignment_.code(p, static_cast<std::size_t>(row));
+          double* cell = cat_base + p * 4;
           if (code == kMissing) {
             cell[0] = cell[1] = cell[2] = cell[3] = 1.0;
           } else {
+            cell[0] = cell[1] = cell[2] = cell[3] = 0.0;
             cell[code] = 1.0;
           }
         }
@@ -66,6 +74,9 @@ double LikelihoodEngine::log_likelihood(const Tree& tree) {
     }
 
     // Internal: product over children of (P_child^T . child partials).
+    // Patterns of one category are contiguous ([cat][pattern][state]
+    // layout), so each combine call is one long unit-stride sweep through
+    // the dispatched kernel (partials_kernels.hpp).
     bool first = true;
     for (int child : tree.at(node).children) {
       auto ci = static_cast<std::size_t>(child);
@@ -74,19 +85,7 @@ double LikelihoodEngine::log_likelihood(const Tree& tree) {
 
       for (std::size_t c = 0; c < C; ++c) {
         Matrix4 pm = model_->transition_probs(t * rates_.rates[c]);
-        for (std::size_t p = 0; p < P; ++p) {
-          const double* cc = cp + (p * C + c) * 4;
-          double* nc = np + (p * C + c) * 4;
-          for (int i = 0; i < 4; ++i) {
-            double sum = pm(i, 0) * cc[0] + pm(i, 1) * cc[1] +
-                         pm(i, 2) * cc[2] + pm(i, 3) * cc[3];
-            if (first) {
-              nc[i] = sum;
-            } else {
-              nc[i] *= sum;
-            }
-          }
-        }
+        combine(&pm.m[0][0], cp + c * P * 4, np + c * P * 4, P, first);
       }
       first = false;
     }
@@ -95,13 +94,13 @@ double LikelihoodEngine::log_likelihood(const Tree& tree) {
     for (std::size_t p = 0; p < P; ++p) {
       double maxv = 0;
       for (std::size_t c = 0; c < C; ++c) {
-        const double* cell = np + (p * C + c) * 4;
+        const double* cell = np + (c * P + p) * 4;
         for (int i = 0; i < 4; ++i) maxv = std::max(maxv, cell[i]);
       }
       if (maxv > 0 && maxv < 1e-100) {
         double inv = 1.0 / maxv;
         for (std::size_t c = 0; c < C; ++c) {
-          double* cell = np + (p * C + c) * 4;
+          double* cell = np + (c * P + p) * 4;
           for (int i = 0; i < 4; ++i) cell[i] *= inv;
         }
         scale_log_[p] += std::log(maxv);
@@ -116,7 +115,7 @@ double LikelihoodEngine::log_likelihood(const Tree& tree) {
   for (std::size_t p = 0; p < P; ++p) {
     double site = 0;
     for (std::size_t c = 0; c < C; ++c) {
-      const double* cell = rp + (p * C + c) * 4;
+      const double* cell = rp + (c * P + p) * 4;
       double cat = pi[0] * cell[0] + pi[1] * cell[1] + pi[2] * cell[2] +
                    pi[3] * cell[3];
       site += rates_.probs[c] * cat;

@@ -54,7 +54,7 @@ class LikelihoodEngine {
   std::uint64_t evals_ = 0;
 
   // Scratch buffers reused across evaluations.
-  std::vector<double> partials_;    // [node][pattern][cat][state]
+  std::vector<double> partials_;    // [node][cat][pattern][state]
   std::vector<double> scale_log_;   // [pattern]
   std::vector<int> leaf_row_;       // node -> alignment row (-1 internal)
 };

@@ -1,0 +1,67 @@
+// AVX2 tier of the partials-combine kernel: one __m256d holds the four
+// states of one pattern, the 4x4 matvec becomes broadcast-column
+// multiply-adds in the same association as the scalar expression
+// (((p0*c0 + p1*c1) + p2*c2) + p3*c3), and this TU is compiled with -mavx2
+// but NOT -mfma — no contraction, so results are bit-identical to the
+// scalar and portable tiers (see partials_kernels.hpp).
+
+#include "phylo/partials_kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace hdcs::phylo {
+
+namespace {
+
+template <bool kAssign>
+void combine_body_avx2(const double* pm, const double* child, double* node,
+                       std::size_t count) {
+  // col_j[i] = pm[i][j]: the matrix columns, loaded once per call.
+  const __m256d col0 = _mm256_set_pd(pm[12], pm[8], pm[4], pm[0]);
+  const __m256d col1 = _mm256_set_pd(pm[13], pm[9], pm[5], pm[1]);
+  const __m256d col2 = _mm256_set_pd(pm[14], pm[10], pm[6], pm[2]);
+  const __m256d col3 = _mm256_set_pd(pm[15], pm[11], pm[7], pm[3]);
+  for (std::size_t k = 0; k < count; ++k) {
+    const __m256d c = _mm256_loadu_pd(child + k * 4);
+    const __m256d s01 =
+        _mm256_add_pd(_mm256_mul_pd(col0, _mm256_permute4x64_pd(c, 0x00)),
+                      _mm256_mul_pd(col1, _mm256_permute4x64_pd(c, 0x55)));
+    const __m256d s012 = _mm256_add_pd(
+        s01, _mm256_mul_pd(col2, _mm256_permute4x64_pd(c, 0xAA)));
+    const __m256d sum = _mm256_add_pd(
+        s012, _mm256_mul_pd(col3, _mm256_permute4x64_pd(c, 0xFF)));
+    if constexpr (kAssign) {
+      _mm256_storeu_pd(node + k * 4, sum);
+    } else {
+      _mm256_storeu_pd(node + k * 4,
+                       _mm256_mul_pd(_mm256_loadu_pd(node + k * 4), sum));
+    }
+  }
+}
+
+void combine_avx2(const double* pm, const double* child, double* node,
+                  std::size_t count, bool assign) {
+  if (assign) {
+    combine_body_avx2<true>(pm, child, node, count);
+  } else {
+    combine_body_avx2<false>(pm, child, node, count);
+  }
+}
+
+}  // namespace
+
+PartialsCombineFn partials_combine_avx2() { return &combine_avx2; }
+
+}  // namespace hdcs::phylo
+
+#else  // !defined(__AVX2__)
+
+namespace hdcs::phylo {
+
+PartialsCombineFn partials_combine_avx2() { return partials_combine_portable(); }
+
+}  // namespace hdcs::phylo
+
+#endif

@@ -15,6 +15,7 @@
 #include "phylo/simulate.hpp"
 #include "tests/toy_problem.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace hdcs {
 namespace {
@@ -160,7 +161,10 @@ TEST_P(BatchKernelProperties, SaturationFallsBackToExactScalar) {
   bio::BatchMetrics metrics;
   auto got = bio::batch_align_scores(bio::AlignMode::kLocal, profile, db,
                                      scheme, 0, scratch, &metrics);
-  EXPECT_GE(metrics.saturations, 1u) << scheme_name;
+  if (simd_tier() != SimdTier::kScalar) {
+    // The scalar tier never enters the int16 lanes, so nothing saturates.
+    EXPECT_GE(metrics.saturations, 1u) << scheme_name;
+  }
   EXPECT_EQ(got[0], static_cast<std::int64_t>(len) * self) << scheme_name;
   EXPECT_EQ(got[1], bio::sw_score(query, db[1], scheme)) << scheme_name;
 }
