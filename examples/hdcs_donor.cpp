@@ -8,8 +8,14 @@
 //   hdcs_donor --host 10.0.0.1 --port 4090 [--name lab3-pc07]
 //              [--persist true] [--throttle 1] [--cpus 2] [--threads 1]
 //              [--max-connect-attempts 8] [--backoff-initial 0.05]
-//              [--backoff-max 2]
+//              [--backoff-max 2] [--servers 10.0.0.1:4090,10.0.0.2:4090]
 //
+// --servers A:P,B:P
+//                 ordered failover list (supersedes --host/--port): the
+//                 donor sticks with the endpoint that last answered and
+//                 rotates to the next on a failed connect or handshake —
+//                 so listing a primary and its hot standby keeps the donor
+//                 working through a failover (docs/ROBUSTNESS.md).
 // --persist true  keeps polling for new problems forever (service mode);
 //                 the default exits once all submitted problems finish.
 // --throttle N    pretends to be an N-times slower machine (testing aid).
@@ -32,9 +38,11 @@
 //                 re-downloading blobs it already has. Empty = memory only.
 // --cache-mb N / --cache-disk-mb N
 //                 memory / disk budgets for that cache (default 64 / 256).
-// --protocol V    speak protocol version V (3, 4 or 5); 3 disables the
+// --protocol V    speak protocol version V (3..6); 3 disables the
 //                 blob cache path for servers predating the v4 data
-//                 plane; 4 omits the v5 span-profile trailer.
+//                 plane; 4 omits the v5 span-profile trailer; 5 omits
+//                 the v6 epoch echo (its results cannot be fenced after
+//                 a failover).
 // --corrupt-rate P [--corrupt-seed N]
 //                 fault injection (test-only): corrupt fraction P of
 //                 result payloads before submitting — a "lying donor"
@@ -75,8 +83,20 @@ int main(int argc, char** argv) {
     dboot::register_algorithm();
 
     dist::ClientConfig cfg;
-    cfg.server_host = get("host", "127.0.0.1");
-    cfg.server_port = static_cast<std::uint16_t>(parse_i64(get("port", "")));
+    std::string servers = get("servers", "");
+    if (!servers.empty()) {
+      for (const auto& entry : split(servers, ',')) {
+        auto colon = entry.rfind(':');
+        if (colon == std::string::npos)
+          throw InputError("--servers expects HOST:PORT,... got: " + entry);
+        cfg.servers.push_back(
+            {entry.substr(0, colon),
+             static_cast<std::uint16_t>(parse_i64(entry.substr(colon + 1)))});
+      }
+    } else {
+      cfg.server_host = get("host", "127.0.0.1");
+      cfg.server_port = static_cast<std::uint16_t>(parse_i64(get("port", "")));
+    }
     cfg.name = get("name", "donor");
     cfg.throttle = parse_f64(get("throttle", "1"));
     cfg.exit_when_idle = !parse_bool(get("persist", "false"));
@@ -102,16 +122,21 @@ int main(int argc, char** argv) {
     cfg.blob_cache_disk_bytes =
         static_cast<std::size_t>(parse_i64(get("cache-disk-mb", "256"))) * 1024 *
         1024;
-    auto protocol = parse_i64(get("protocol", "5"));
+    auto protocol = parse_i64(get("protocol", "6"));
     if (protocol < net::kMinProtocolVersion || protocol > net::kProtocolVersion)
-      throw InputError("--protocol must be 3, 4 or 5");
+      throw InputError("--protocol must be 3..6");
     cfg.protocol_version = static_cast<int>(protocol);
 
     int cpus = static_cast<int>(parse_i64(get("cpus", "1")));
 
     set_log_level(LogLevel::kInfo);
-    std::printf("donating %d cpu(s) to %s:%u as '%s'%s\n", cpus,
-                cfg.server_host.c_str(), cfg.server_port, cfg.name.c_str(),
+    const std::string& host0 =
+        cfg.servers.empty() ? cfg.server_host : cfg.servers.front().host;
+    std::uint16_t port0 =
+        cfg.servers.empty() ? cfg.server_port : cfg.servers.front().port;
+    std::printf("donating %d cpu(s) to %s:%u%s as '%s'%s\n", cpus,
+                host0.c_str(), port0,
+                cfg.servers.size() > 1 ? " (+failover)" : "", cfg.name.c_str(),
                 cfg.exit_when_idle ? "" : " (service mode)");
     auto all_stats = dist::Client::run_pool(cfg, cpus);
     std::uint64_t units = 0;
@@ -127,10 +152,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     std::fprintf(stderr,
                  "usage: hdcs_donor --host <ip> --port <port> [--name n] "
+                 "[--servers a:p,b:p] "
                  "[--persist true|false] [--throttle x] [--cpus n] "
                  "[--threads n] [--max-connect-attempts n] "
                  "[--backoff-initial s] [--backoff-max s] [--cache-dir d] "
-                 "[--cache-mb n] [--cache-disk-mb n] [--protocol 3|4|5]\n");
+                 "[--cache-mb n] [--cache-disk-mb n] [--protocol 3..6]\n");
     return 1;
   }
 }

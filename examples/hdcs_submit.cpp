@@ -10,6 +10,8 @@
 //               [--config search.cfg] [--port 4090] [--output hits.txt]
 //               [--checkpoint state.ckpt] [--checkpoint-interval 30]
 //               [--replicas 2] [--quorum 2] [--spot-check 0.05]
+//               [--wal-dir state.wal] [--standby-of HOST:PORT]
+//               [--failover-timeout 2]
 //   hdcs_submit --app dprml  --alignment aln.fasta [--config ml.cfg] ...
 //   hdcs_submit --app dboot  --alignment aln.fasta [--config boot.cfg] ...
 //
@@ -20,6 +22,18 @@
 // config file can also set max_attempts_per_unit to quarantine "poison"
 // units that repeatedly kill donors (see docs/ROBUSTNESS.md).
 //
+// --wal-dir DIR turns on the write-ahead log: every accepted result is
+// fsynced durable before its ack, so a kill -9 loses nothing (rerun the
+// same command to replay). --standby-of HOST:PORT starts this process as a
+// hot standby of a primary running with the same problems: it mirrors the
+// primary's state live and promotes itself — bumping the fencing epoch —
+// once the primary has been silent for --failover-timeout seconds. Point
+// donors at both with  hdcs_donor --servers primary:P,standby:P.
+//
+// SIGINT/SIGTERM shut down gracefully: a final durable checkpoint is
+// written and connected donors are told to stop (kShutdown on their next
+// request) instead of relying on the autosave window.
+//
 // --replicas K enables result certification: every unit is computed by K
 // distinct donors and merged only when --quorum digests agree (default:
 // majority of K). Donors with a clean voting record run un-replicated,
@@ -28,10 +42,14 @@
 //
 // Donor machines then run:  hdcs_donor --host <ip> --port <port>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "dboot/dboot.hpp"
 #include "dist/server.hpp"
@@ -44,6 +62,13 @@
 using namespace hdcs;
 
 namespace {
+
+/// Set by the SIGINT/SIGTERM handler; the wait loop polls it and runs the
+/// graceful-shutdown path (final checkpoint + drain) instead of dying with
+/// up to checkpoint_interval_s of un-saved bookkeeping.
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig); }
 
 struct Args {
   std::map<std::string, std::string> values;
@@ -120,6 +145,22 @@ int run(int argc, char** argv) {
       "spot-check", file_cfg.get_str("spot_check_rate", "0.05")));
   scfg.checkpoint_path = args.get("checkpoint", "");
   scfg.checkpoint_interval_s = parse_f64(args.get("checkpoint-interval", "30"));
+  // Durability + failover (docs/ROBUSTNESS.md): --wal-dir logs every core
+  // mutation (results fsynced before ack); --standby-of makes this process
+  // a hot standby that mirrors the named primary and promotes when its
+  // stream goes silent for --failover-timeout seconds.
+  scfg.wal_dir = args.get("wal-dir", "");
+  std::string standby_of = args.get("standby-of", "");
+  if (!standby_of.empty()) {
+    auto colon = standby_of.rfind(':');
+    if (colon == std::string::npos) {
+      throw InputError("--standby-of expects HOST:PORT, got: " + standby_of);
+    }
+    scfg.primary_host = standby_of.substr(0, colon);
+    scfg.primary_port =
+        static_cast<std::uint16_t>(parse_i64(standby_of.substr(colon + 1)));
+  }
+  scfg.failover_timeout_s = parse_f64(args.get("failover-timeout", "2"));
 
   // --trace FILE appends the structured scheduling event log (JSONL);
   // summarise it afterwards with tools/trace_summary.
@@ -153,14 +194,35 @@ int run(int argc, char** argv) {
 
   dist::Server server(scfg);
   server.start();
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
   auto keep_dm = dm;  // results are read back through the concrete manager
   auto pid = server.submit_problem(dm);
-  std::printf("serving problem %llu on 127.0.0.1:%u — point donors here "
+  std::printf("serving problem %llu on 127.0.0.1:%u%s — point donors here "
               "(hdcs_donor --host 127.0.0.1 --port %u)\n",
               static_cast<unsigned long long>(pid), server.port(),
+              server.is_standby() ? " [standby]" : "",
               server.port());
 
-  server.wait_for_problem(pid);
+  // Poll so SIGINT/SIGTERM can interrupt the wait: on a signal, write a
+  // final durable checkpoint (best effort) and drain — donors get a clean
+  // kShutdown instead of a dead socket, and nothing depends on the last
+  // autosave having happened recently.
+  while (!server.wait_for_problem(pid, 0.2)) {
+    int sig = g_signal.load();
+    if (sig != 0) {
+      std::fprintf(stderr, "signal %d: checkpointing and draining\n", sig);
+      try {
+        server.save_checkpoint();
+      } catch (const Error& e) {
+        std::fprintf(stderr, "final checkpoint failed: %s\n", e.what());
+      }
+      server.drain();
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      server.stop();
+      return 128 + sig;
+    }
+  }
   auto stats = server.stats();
   std::printf("complete: %llu units (%llu reissued, %llu hedged)\n",
               static_cast<unsigned long long>(stats.units_issued),

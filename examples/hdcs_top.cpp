@@ -163,6 +163,17 @@ void print_digest(const std::string& json) {
   double hits = find_number(json, "bulk.blobs_cache_hit");
   double sent = find_number(json, "bulk.blobs_sent");
   std::string tier = find_string(json, "simd_tier");
+  // v6: role (primary vs unpromoted standby), fencing epoch, and the WAL
+  // position — absent from pre-v6 servers, so only printed when present.
+  std::string role = find_string(json, "role");
+  if (!role.empty()) {
+    double epoch = find_number(json, "epoch");
+    bool has_lsn = false;
+    double lsn = find_number(json, "wal_lsn", 0, &has_lsn);
+    std::printf("%s | epoch %.0f", role.c_str(), epoch);
+    if (has_lsn && lsn > 0) std::printf(" | wal lsn %.0f", lsn);
+    std::printf("\n");
+  }
   std::printf("donors %.0f | pending %.0f", connected, pending);
   if (!tier.empty()) std::printf(" | simd %s", tier.c_str());
   if (hits + sent > 0) {

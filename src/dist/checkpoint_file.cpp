@@ -22,7 +22,9 @@ constexpr std::uint32_t kCheckpointMagic = 0x484b4350;  // "HKCP"
 // v3: content-addressed bulk-data plane — per-unit blob references plus a
 // global digest -> bytes table (problem-data blobs excluded; they are
 // re-interned when the problems are re-submitted before restore()).
-constexpr std::uint32_t kCheckpointFileVersion = 3;
+// v4: the scheduler epoch (server term, WAL/failover fencing) leads the
+// payload; restore enters a new term past it.
+constexpr std::uint32_t kCheckpointFileVersion = 4;
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw IoError(what + ": " + std::strerror(errno));

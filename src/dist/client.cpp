@@ -29,6 +29,12 @@ std::uint64_t name_seed(const std::string& name) {
 
 Client::Client(ClientConfig config)
     : config_(std::move(config)),
+      endpoints_(config_.servers.empty()
+                     ? std::vector<ServerEndpoint>{{config_.server_host,
+                                                    config_.server_port}}
+                     : config_.servers),
+      backoff_(config_.backoff_initial_s, config_.backoff_max_s,
+               config_.backoff_reset_beats),
       blob_cache_(net::BlobCacheConfig{config_.blob_cache_bytes,
                                        config_.blob_cache_dir,
                                        config_.blob_cache_disk_bytes}),
@@ -235,13 +241,12 @@ void Client::rehello(net::TcpStream& stream, double benchmark) {
 }
 
 bool Client::connect_session(net::TcpStream& stream, double benchmark) {
-  double delay = config_.backoff_initial_s;
   int failures = 0;
   for (;;) {
     if (stop_.load() || crash_.load()) return false;
+    const ServerEndpoint ep = endpoint();
     try {
-      auto fresh =
-          net::TcpStream::connect(config_.server_host, config_.server_port);
+      auto fresh = net::TcpStream::connect(ep.host, ep.port);
       rehello(fresh, benchmark);
       stream = std::move(fresh);
       return true;
@@ -251,21 +256,28 @@ bool Client::connect_session(net::TcpStream& stream, double benchmark) {
           failures >= config_.max_connect_attempts) {
         throw;
       }
-      LOG_DEBUG("client '" << config_.name << "' connect failed (" << e.what()
-                           << "); retrying in ~" << delay << "s");
+      LOG_DEBUG("client '" << config_.name << "' connect to " << ep.host << ":"
+                           << ep.port << " failed (" << e.what()
+                           << "); rotating");
     } catch (const ProtocolError& e) {
-      // A corrupt HelloAck counts like a failed connect: same backoff.
+      // A corrupt HelloAck — or an unpromoted standby rejecting Hello with
+      // an error frame — counts like a failed connect: same backoff, and
+      // the rotation below moves on to the next endpoint in the list.
       failures += 1;
       if (config_.max_connect_attempts > 0 &&
           failures >= config_.max_connect_attempts) {
         throw;
       }
-      LOG_DEBUG("client '" << config_.name << "' handshake failed (" << e.what()
-                           << "); retrying in ~" << delay << "s");
+      LOG_DEBUG("client '" << config_.name << "' handshake with " << ep.host
+                           << ":" << ep.port << " failed (" << e.what()
+                           << "); rotating");
     }
+    rotate_endpoint();
+    // The escalation lives in backoff_ and survives this call: only a
+    // healthy session (heartbeat acks) resets it.
+    double delay = backoff_.next_delay();
     double jitter = 1.0 + config_.backoff_jitter * backoff_rng_.uniform(-1.0, 1.0);
     if (!backoff_wait(delay * jitter)) return false;
-    delay = std::min(delay * 2.0, config_.backoff_max_s);
   }
 }
 
@@ -298,22 +310,30 @@ ClientRunStats Client::run() {
       };
       while (!heartbeats_done.load()) {
         try {
-          auto hb_stream =
-              net::TcpStream::connect(config_.server_host, config_.server_port);
+          const ServerEndpoint ep = endpoint();
+          auto hb_stream = net::TcpStream::connect(ep.host, ep.port);
           delay = config_.backoff_initial_s;
           std::uint64_t corr = 1;
           while (!heartbeats_done.load()) {
             send_message(hb_stream, encode_heartbeat(my_id_.load(), corr++));
             // HeartbeatAck, or kError for a heartbeat that raced a server
-            // restart — either way the beat was delivered; keep going.
-            (void)net::read_message(hb_stream);
+            // restart — either way the beat was delivered; keep going. Only
+            // a real ack counts toward the healthy-session streak that
+            // resets the reconnect backoff escalation.
+            auto reply = net::read_message(hb_stream);
+            if (reply.type == net::MessageType::kHeartbeatAck &&
+                backoff_.heartbeat_ok()) {
+              LOG_DEBUG("client '" << config_.name
+                                   << "' session healthy; backoff reset");
+            }
             nap(interval);
           }
           hb_stream.shutdown_write();
           return;
         } catch (const Error&) {
           // Server unreachable: back off and retry while the work loop
-          // re-establishes its own session.
+          // re-establishes its own session (and rotates the endpoint).
+          backoff_.session_lost();
           double jitter =
               1.0 + config_.backoff_jitter * hb_rng.uniform(-1.0, 1.0);
           nap(delay * jitter);
@@ -406,6 +426,9 @@ ClientRunStats Client::run() {
         result.problem_id = unit.problem_id;
         result.unit_id = unit.unit_id;
         result.stage = unit.stage;
+        // Echo the lease's term (v6): a result computed for a deposed
+        // primary carries its old epoch, and the promoted server fences it.
+        result.epoch = unit.epoch;
         result.payload = ctx->algorithm->process(unit);
         profile_.compute_s = sw.seconds();
         profile_.saturations = saturation_counter.value() - saturations_before;

@@ -21,9 +21,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "dist/registry.hpp"
 #include "dist/wire.hpp"
@@ -39,9 +41,20 @@ class Tracer;
 
 namespace hdcs::dist {
 
+struct ServerEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
 struct ClientConfig {
   std::string server_host = "127.0.0.1";
   std::uint16_t server_port = 0;
+  /// Ordered failover list (v6 hot-standby deployments): non-empty
+  /// supersedes server_host/server_port. The donor sticks with the
+  /// endpoint that last answered and rotates to the next on a failed
+  /// connect or handshake — an unpromoted standby rejects Hello with an
+  /// error, so donors naturally skip past it until it promotes.
+  std::vector<ServerEndpoint> servers;
   std::string name = "donor";
   /// Stop when the server reports all problems complete (used by tests and
   /// examples; a real deployment would keep waiting for new problems).
@@ -82,6 +95,12 @@ struct ClientConfig {
   double backoff_initial_s = 0.05;
   double backoff_max_s = 2.0;
   double backoff_jitter = 0.25;
+  /// The backoff escalation persists across sessions — a donor that
+  /// reconnects and immediately loses the server again must not restart
+  /// from the short initial delay. Only a demonstrably healthy session
+  /// resets it: this many consecutive heartbeat acks. <= 0 disables the
+  /// reset (escalation then persists for the donor's lifetime).
+  int backoff_reset_beats = 3;
   /// Protocol version this donor speaks. 3 emulates a legacy donor from
   /// before the content-addressed data plane (the server flattens blob
   /// references back into the payload for it); 4 (the default) negotiates
@@ -99,6 +118,60 @@ struct ClientConfig {
   /// wall seconds since this client was constructed). Not owned.
   obs::Tracer* tracer = nullptr;
   const AlgorithmRegistry* registry = &AlgorithmRegistry::global();
+};
+
+/// Reconnect backoff that survives sessions. Each failed attempt escalates
+/// the delay (x2, capped); merely reconnecting does NOT reset it — the
+/// session must prove healthy (`reset_beats` consecutive heartbeat acks)
+/// first, so a donor flapping against a sick server keeps paying the long
+/// delays instead of hammering it, while one that survived a single blip
+/// soon earns the short initial delay back. Thread-safe: the work loop
+/// calls next_delay(), the heartbeat thread calls heartbeat_ok() /
+/// session_lost().
+class ReconnectBackoff {
+ public:
+  ReconnectBackoff(double initial_s, double max_s, int reset_beats)
+      : initial_s_(initial_s), max_s_(max_s), reset_beats_(reset_beats) {}
+
+  /// Delay to wait before the next reconnect attempt (escalates per call).
+  double next_delay() {
+    std::lock_guard lock(m_);
+    delay_ = (delay_ <= 0) ? initial_s_ : std::min(delay_ * 2.0, max_s_);
+    return delay_;
+  }
+
+  /// A heartbeat ack landed. Returns true when the streak just reset the
+  /// escalation back to the initial delay.
+  bool heartbeat_ok() {
+    std::lock_guard lock(m_);
+    beats_ += 1;
+    if (reset_beats_ > 0 && beats_ >= reset_beats_ && delay_ > 0) {
+      delay_ = 0;
+      beats_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  /// The session died: the ack streak restarts (escalation is kept).
+  void session_lost() {
+    std::lock_guard lock(m_);
+    beats_ = 0;
+  }
+
+  /// Last delay handed out; 0 = fully reset (next attempt waits initial).
+  [[nodiscard]] double current_delay() const {
+    std::lock_guard lock(m_);
+    return delay_;
+  }
+
+ private:
+  mutable std::mutex m_;
+  double initial_s_;
+  double max_s_;
+  int reset_beats_;
+  double delay_ = 0;
+  int beats_ = 0;
 };
 
 struct ClientRunStats {
@@ -177,7 +250,19 @@ class Client {
   /// Sleep ~delay seconds in small slices; false if stop/crash interrupted.
   bool backoff_wait(double delay);
 
+  /// The endpoint the next connect will try (work + heartbeat connections
+  /// follow the same cursor so both roll over together).
+  const ServerEndpoint& endpoint() const {
+    return endpoints_[endpoint_.load() % endpoints_.size()];
+  }
+  void rotate_endpoint() {
+    if (endpoints_.size() > 1) endpoint_.fetch_add(1);
+  }
+
   ClientConfig config_;
+  std::vector<ServerEndpoint> endpoints_;
+  std::atomic<std::size_t> endpoint_{0};
+  ReconnectBackoff backoff_;
   net::BlobCache blob_cache_;
   /// Span profile of the unit currently being processed. Reset when an
   /// assignment is decoded; context_for/ensure_blobs/resolve_blob

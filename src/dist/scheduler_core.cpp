@@ -389,6 +389,7 @@ std::optional<WorkUnit> SchedulerCore::serve_queued(ProblemId pid,
       }
     }
     WorkUnit unit = us.unit;
+    unit.epoch = epoch_;  // lease carries the current term (v6 fencing)
     apply_replication_policy(pid, ps, us, cs, now);
     return unit;
   }
@@ -432,6 +433,7 @@ std::optional<WorkUnit> SchedulerCore::hedge_from(ProblemId pid, ProblemState& p
         .num("attempt", us.attempt + us.hedges);
   }
   WorkUnit unit = us.unit;
+  unit.epoch = epoch_;
   apply_replication_policy(pid, ps, us, cs, now);
   return unit;
 }
@@ -463,6 +465,7 @@ std::optional<WorkUnit> SchedulerCore::issue_from(ProblemId pid, ProblemState& p
   }
   unit->problem_id = pid;
   unit->unit_id = ps.next_unit_id++;
+  unit->epoch = epoch_;
   // Bytes move into the content-addressed store; the stored UnitState and
   // the returned assignment both carry only {digest, size} references.
   intern_unit_blobs(*unit);
@@ -539,6 +542,26 @@ bool SchedulerCore::submit_result(ClientId client, const ResultUnit& result,
           .u64("unit", result.unit_id)
           .str("name", voter)
           .str("reason", "blacklisted");
+    }
+    return false;
+  }
+
+  // Epoch fence (protocol v6): a lease stamped with an older term was
+  // issued by a server incarnation this core has superseded — a deposed
+  // primary, or a pre-recovery life whose unsynced tail may have reused
+  // ids. Its results must never merge. Epoch 0 is a legacy (pre-v6)
+  // donor: no fence, the kRestoreIdGap machinery still protects it.
+  if (result.epoch != 0 && result.epoch != epoch_) {
+    stats_.results_rejected_stale_epoch += 1;
+    LOG_WARN("result from client " << client << " (" << voter
+                                   << ") fenced: lease epoch " << result.epoch
+                                   << " != current " << epoch_);
+    if (tracer_) {
+      tracer_->event(now, "result_rejected")
+          .u64("problem", result.problem_id)
+          .u64("unit", result.unit_id)
+          .str("name", voter)
+          .str("reason", "stale_epoch");
     }
     return false;
   }
@@ -1008,6 +1031,7 @@ void SchedulerCore::checkpoint(ByteWriter& w) const {
       w.bytes(payload);
     }
   };
+  w.u64(epoch_);
   w.u64(next_client_id_);
   // Blob table: bytes for every digest referenced by a persisted unit.
   // Pinned problem-data blobs are excluded — they are re-interned when the
@@ -1064,6 +1088,7 @@ void SchedulerCore::checkpoint(ByteWriter& w) const {
 }
 
 std::size_t SchedulerCore::restore(ByteReader& r) {
+  std::uint64_t saved_epoch = r.u64();
   std::uint64_t saved_next_client = r.u64();
   // Re-intern the checkpointed blob table before any unit references it.
   std::uint32_t blob_count = r.u32();
@@ -1178,6 +1203,10 @@ std::size_t SchedulerCore::restore(ByteReader& r) {
   // carrying a pre-crash client id must read as unknown, not as some newly
   // registered donor.
   next_client_id_ = std::max(next_client_id_, saved_next_client + kRestoreIdGap);
+  // Crash recovery enters a new term: leases handed out by the dead
+  // incarnation (post-checkpoint, so unknown to us) are fenced by epoch in
+  // addition to the id gap above.
+  epoch_ = std::max(epoch_, saved_epoch) + 1;
   obs::Registry::global()
       .counter("checkpoint.restore_units_requeued")
       .inc(requeued);
@@ -1188,6 +1217,350 @@ std::size_t SchedulerCore::restore(ByteReader& r) {
         .u64("units_quarantined", quarantined);
   }
   return requeued;
+}
+
+// ---- exact snapshot / restore ------------------------------------------
+//
+// Unlike checkpoint()/restore() above (which deliberately requeue leases
+// and gap the id counters), this pair transfers *every* member verbatim so
+// a standby replaying the primary's WAL lands in the identical state.
+// Containers are ordered maps, so serialisation order — and therefore the
+// snapshot bytes — is a pure function of state: byte-equal snapshots <=>
+// equal cores. config_/policy_/tracer_ are runtime wiring, supplied by the
+// restoring host, and deliberately excluded.
+
+namespace {
+constexpr std::uint32_t kExactSnapshotMagic = 0x48455853;  // "XSEH"
+constexpr std::uint32_t kExactSnapshotVersion = 1;
+}  // namespace
+
+void SchedulerCore::bump_epoch(std::uint64_t new_epoch) {
+  if (new_epoch <= epoch_) {
+    throw ProtocolError("bump_epoch: term " + std::to_string(new_epoch) +
+                        " does not advance current " + std::to_string(epoch_));
+  }
+  epoch_ = new_epoch;
+  if (tracer_) {
+    tracer_->event(last_now_, "epoch_bumped").u64("epoch", epoch_);
+  }
+}
+
+void SchedulerCore::snapshot_exact(ByteWriter& w) const {
+  auto write_stats = [&w](const ClientStats& st) {
+    w.f64(st.benchmark_ops_per_sec);
+    w.f64(st.ewma_ops_per_sec);
+    w.i32(st.units_completed);
+    w.i32(st.outstanding);
+    w.f64(st.last_seen);
+  };
+  auto write_unit = [&w](const UnitState& us) {
+    w.u64(us.unit.problem_id);
+    w.u64(us.unit.unit_id);
+    w.u32(us.unit.stage);
+    w.f64(us.unit.cost_ops);
+    w.u64(us.unit.epoch);
+    w.bytes(us.unit.payload);
+    w.u32(static_cast<std::uint32_t>(us.unit.blobs.size()));
+    for (const WorkBlob& blob : us.unit.blobs) {
+      w.u64(blob.digest);
+      w.u64(blob.size);
+    }
+    w.i32(us.attempt);
+    w.i32(us.hedges);
+    w.i32(us.replicas_wanted);
+    w.i32(us.quorum_needed);
+    w.i32(us.tie_breakers);
+    w.boolean(us.spot_check);
+    w.i32(us.queued);
+    w.u32(static_cast<std::uint32_t>(us.leases.size()));
+    for (const Replica& l : us.leases) {
+      w.u64(l.owner);
+      w.f64(l.issued_at);
+      w.f64(l.deadline);
+      w.boolean(l.hedge);
+    }
+    w.u32(static_cast<std::uint32_t>(us.votes.size()));
+    for (const auto& [name, digest] : us.votes) {
+      w.str(name);
+      w.u32(digest);
+    }
+    w.u32(static_cast<std::uint32_t>(us.payload_by_digest.size()));
+    for (const auto& [digest, payload] : us.payload_by_digest) {
+      w.u32(digest);
+      w.bytes(payload);
+    }
+  };
+
+  w.u32(kExactSnapshotMagic);
+  w.u32(kExactSnapshotVersion);
+  w.u64(epoch_);
+  w.u64(next_problem_id_);
+  w.u64(next_client_id_);
+  w.u64(rr_cursor_);
+  w.f64(last_now_);
+  w.u64(evicted_units_completed_);
+
+  const SchedulerStats& s = stats_;
+  w.u64(s.units_issued);
+  w.u64(s.units_reissued);
+  w.u64(s.units_hedged);
+  w.u64(s.results_accepted);
+  w.u64(s.duplicate_results_dropped);
+  w.u64(s.stale_results_dropped);
+  w.u64(s.work_requests_unserved);
+  w.u64(s.clients_expired);
+  w.u64(s.units_quarantined);
+  w.u64(s.units_replicated);
+  w.u64(s.replicas_issued);
+  w.u64(s.spot_checks);
+  w.u64(s.votes_recorded);
+  w.u64(s.vote_quorums);
+  w.u64(s.vote_mismatches);
+  w.u64(s.results_rejected_mismatch);
+  w.u64(s.results_rejected_digest);
+  w.u64(s.results_rejected_blacklisted);
+  w.u64(s.donors_blacklisted);
+  w.u64(s.clients_evicted);
+  w.u64(s.results_rejected_stale_epoch);
+
+  Rng::State rng = integrity_rng_.state();
+  for (std::uint64_t word : rng.s) w.u64(word);
+  w.f64(rng.spare);
+  w.boolean(rng.has_spare);
+
+  w.u32(static_cast<std::uint32_t>(blob_store_.size()));
+  for (const auto& [digest, entry] : blob_store_) {
+    w.u64(digest);
+    w.i32(entry.refs);
+    w.boolean(entry.pinned);
+    w.bytes(*entry.bytes);
+  }
+
+  w.u32(static_cast<std::uint32_t>(clients_.size()));
+  for (const auto& [id, cs] : clients_) {
+    w.u64(id);
+    w.str(cs.name);
+    w.boolean(cs.active);
+    write_stats(cs.stats);
+  }
+
+  w.u32(static_cast<std::uint32_t>(reputation_.size()));
+  for (const auto& [name, rep] : reputation_) {
+    w.str(name);
+    w.f64(rep.score);
+    w.u64(rep.vote_wins);
+    w.u64(rep.vote_losses);
+    w.boolean(rep.blacklisted);
+  }
+
+  w.u32(static_cast<std::uint32_t>(problems_.size()));
+  for (const auto& [pid, ps] : problems_) {
+    w.u64(pid);
+    ByteWriter dm_state;
+    ps.dm->snapshot(dm_state);
+    w.bytes(dm_state.data());
+    w.u64(ps.next_unit_id);
+    w.boolean(ps.barrier_flagged);
+    w.u64(ps.data_digest);
+    w.u64(ps.data_bytes);
+    std::vector<std::uint64_t> completed(ps.completed.begin(),
+                                         ps.completed.end());
+    w.u64_vec(completed);
+    w.u32(static_cast<std::uint32_t>(ps.in_flight.size()));
+    for (const auto& [uid, us] : ps.in_flight) write_unit(us);
+    w.u32(static_cast<std::uint32_t>(ps.quarantined.size()));
+    for (const auto& [uid, us] : ps.quarantined) write_unit(us);
+    w.u32(static_cast<std::uint32_t>(ps.issue_queue.size()));
+    for (const QueueEntry& e : ps.issue_queue) {
+      w.u64(e.uid);
+      w.boolean(e.reissue);
+    }
+  }
+}
+
+void SchedulerCore::restore_exact(ByteReader& r) {
+  if (r.u32() != kExactSnapshotMagic) {
+    throw ProtocolError("restore_exact: bad snapshot magic");
+  }
+  if (std::uint32_t v = r.u32(); v != kExactSnapshotVersion) {
+    throw ProtocolError("restore_exact: unsupported snapshot version " +
+                        std::to_string(v));
+  }
+  auto read_stats = [&r]() {
+    ClientStats st;
+    st.benchmark_ops_per_sec = r.f64();
+    st.ewma_ops_per_sec = r.f64();
+    st.units_completed = r.i32();
+    st.outstanding = r.i32();
+    st.last_seen = r.f64();
+    return st;
+  };
+  auto read_unit = [&r]() {
+    UnitState us;
+    us.unit.problem_id = r.u64();
+    us.unit.unit_id = r.u64();
+    us.unit.stage = r.u32();
+    us.unit.cost_ops = r.f64();
+    us.unit.epoch = r.u64();
+    us.unit.payload = r.bytes();
+    std::uint32_t blobs = r.u32();
+    us.unit.blobs.reserve(blobs);
+    for (std::uint32_t b = 0; b < blobs; ++b) {
+      WorkBlob blob;
+      blob.digest = r.u64();
+      blob.size = r.u64();
+      us.unit.blobs.push_back(std::move(blob));
+    }
+    us.attempt = r.i32();
+    us.hedges = r.i32();
+    us.replicas_wanted = r.i32();
+    us.quorum_needed = r.i32();
+    us.tie_breakers = r.i32();
+    us.spot_check = r.boolean();
+    us.queued = r.i32();
+    std::uint32_t leases = r.u32();
+    us.leases.reserve(leases);
+    for (std::uint32_t l = 0; l < leases; ++l) {
+      Replica rep;
+      rep.owner = r.u64();
+      rep.issued_at = r.f64();
+      rep.deadline = r.f64();
+      rep.hedge = r.boolean();
+      us.leases.push_back(rep);
+    }
+    std::uint32_t votes = r.u32();
+    for (std::uint32_t v = 0; v < votes; ++v) {
+      std::string name = r.str();
+      std::uint32_t digest = r.u32();
+      us.votes.emplace(std::move(name), digest);
+    }
+    std::uint32_t payloads = r.u32();
+    for (std::uint32_t p = 0; p < payloads; ++p) {
+      std::uint32_t digest = r.u32();
+      us.payload_by_digest.emplace(digest, r.bytes());
+    }
+    return us;
+  };
+
+  epoch_ = r.u64();
+  next_problem_id_ = r.u64();
+  next_client_id_ = r.u64();
+  rr_cursor_ = r.u64();
+  last_now_ = r.f64();
+  evicted_units_completed_ = r.u64();
+
+  SchedulerStats s;
+  s.units_issued = r.u64();
+  s.units_reissued = r.u64();
+  s.units_hedged = r.u64();
+  s.results_accepted = r.u64();
+  s.duplicate_results_dropped = r.u64();
+  s.stale_results_dropped = r.u64();
+  s.work_requests_unserved = r.u64();
+  s.clients_expired = r.u64();
+  s.units_quarantined = r.u64();
+  s.units_replicated = r.u64();
+  s.replicas_issued = r.u64();
+  s.spot_checks = r.u64();
+  s.votes_recorded = r.u64();
+  s.vote_quorums = r.u64();
+  s.vote_mismatches = r.u64();
+  s.results_rejected_mismatch = r.u64();
+  s.results_rejected_digest = r.u64();
+  s.results_rejected_blacklisted = r.u64();
+  s.donors_blacklisted = r.u64();
+  s.clients_evicted = r.u64();
+  s.results_rejected_stale_epoch = r.u64();
+  stats_ = s;
+
+  Rng::State rng;
+  for (auto& word : rng.s) word = r.u64();
+  rng.spare = r.f64();
+  rng.has_spare = r.boolean();
+  integrity_rng_.set_state(rng);
+
+  blob_store_.clear();
+  std::uint32_t blob_count = r.u32();
+  for (std::uint32_t i = 0; i < blob_count; ++i) {
+    std::uint64_t digest = r.u64();
+    BlobEntry entry;
+    entry.refs = r.i32();
+    entry.pinned = r.boolean();
+    entry.bytes = std::make_shared<const std::vector<std::byte>>(r.bytes());
+    blob_store_.emplace(digest, std::move(entry));
+  }
+
+  clients_.clear();
+  std::uint32_t client_count = r.u32();
+  for (std::uint32_t i = 0; i < client_count; ++i) {
+    ClientState cs;
+    ClientId id = r.u64();
+    cs.self_id = id;
+    cs.name = r.str();
+    cs.active = r.boolean();
+    cs.stats = read_stats();
+    clients_.emplace(id, std::move(cs));
+  }
+
+  reputation_.clear();
+  std::uint32_t rep_count = r.u32();
+  for (std::uint32_t i = 0; i < rep_count; ++i) {
+    std::string name = r.str();
+    DonorReputation rep;
+    rep.score = r.f64();
+    rep.vote_wins = r.u64();
+    rep.vote_losses = r.u64();
+    rep.blacklisted = r.boolean();
+    reputation_.emplace(std::move(name), rep);
+  }
+
+  std::uint32_t problem_count = r.u32();
+  if (problem_count != problems_.size()) {
+    throw ProtocolError("restore_exact: snapshot has " +
+                        std::to_string(problem_count) + " problems, core has " +
+                        std::to_string(problems_.size()));
+  }
+  for (std::uint32_t i = 0; i < problem_count; ++i) {
+    ProblemId pid = r.u64();
+    auto it = problems_.find(pid);
+    if (it == problems_.end()) {
+      throw ProtocolError("restore_exact: unknown problem id " +
+                          std::to_string(pid));
+    }
+    ProblemState& ps = it->second;
+    auto dm_state = r.bytes();
+    ByteReader dm_reader{std::span<const std::byte>(dm_state)};
+    ps.dm->restore(dm_reader);
+    dm_reader.expect_end();
+    ps.next_unit_id = r.u64();
+    ps.barrier_flagged = r.boolean();
+    ps.data_digest = r.u64();
+    ps.data_bytes = r.u64();
+    ps.completed.clear();
+    for (auto uid : r.u64_vec()) ps.completed.insert(uid);
+    ps.in_flight.clear();
+    std::uint32_t units = r.u32();
+    for (std::uint32_t u = 0; u < units; ++u) {
+      UnitState us = read_unit();
+      UnitId uid = us.unit.unit_id;
+      ps.in_flight.emplace(uid, std::move(us));
+    }
+    ps.quarantined.clear();
+    std::uint32_t q = r.u32();
+    for (std::uint32_t u = 0; u < q; ++u) {
+      UnitState us = read_unit();
+      UnitId uid = us.unit.unit_id;
+      ps.quarantined.emplace(uid, std::move(us));
+    }
+    ps.issue_queue.clear();
+    std::uint32_t queue = r.u32();
+    for (std::uint32_t e = 0; e < queue; ++e) {
+      QueueEntry entry;
+      entry.uid = r.u64();
+      entry.reissue = r.boolean();
+      ps.issue_queue.push_back(entry);
+    }
+  }
 }
 
 std::size_t SchedulerCore::in_flight_units() const {

@@ -149,6 +149,7 @@ struct SchedulerStats {
   std::uint64_t results_rejected_blacklisted = 0;  // from a banned donor
   std::uint64_t donors_blacklisted = 0;
   std::uint64_t clients_evicted = 0;  // departed rows aged out of the table
+  std::uint64_t results_rejected_stale_epoch = 0;  // fenced deposed-primary work
 };
 
 class SchedulerCore {
@@ -250,6 +251,33 @@ class SchedulerCore {
   /// checkpoint.restore_units_requeued. Throws ProtocolError on id
   /// mismatch or pre-existing progress.
   std::size_t restore(ByteReader& r);
+
+  // ---- exact snapshot / restore (WAL base image, hot-standby sync) ----
+  //
+  // checkpoint()/restore() above are intentionally lossy: restore requeues
+  // every in-flight lease, drops the client table, and jumps the id
+  // counters by kRestoreIdGap. The WAL and the replication stream instead
+  // need a byte-exact state transfer: a standby replaying the primary's
+  // operation log must land in the *same* state the primary was in, field
+  // for field, or replay diverges. snapshot_exact() serialises every
+  // member — leases, client rows, stats, the RR cursor, the integrity
+  // RNG's raw state, the epoch — and restore_exact() overwrites a live
+  // core with it. The same problems must already be registered (same
+  // inputs, same order); their DataManagers are rewound to the snapshot.
+  // Because all core containers are ordered maps, two cores are in
+  // identical states iff their snapshot_exact() bytes are identical —
+  // the equivalence tests rely on this.
+
+  /// Current server term. Starts at 1; bumped via bump_epoch() on WAL
+  /// recovery and standby promotion. Stamped into every issued lease.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  /// Enter a new term (monotonic; throws ProtocolError on regression).
+  /// Leases issued from now on carry the new epoch; results stamped with
+  /// an older non-zero epoch are rejected by submit_result.
+  void bump_epoch(std::uint64_t new_epoch);
+
+  void snapshot_exact(ByteWriter& w) const;
+  void restore_exact(ByteReader& r);
 
   /// Registered problem count (for checkpoint observability).
   [[nodiscard]] std::size_t problem_count() const { return problems_.size(); }
@@ -409,6 +437,7 @@ class SchedulerCore {
   Rng integrity_rng_;  // spot-check draws; seeded by integrity_seed
   obs::Tracer* tracer_ = nullptr;
   double last_now_ = 0;  // latest timestamp seen; stamps clock-less events
+  std::uint64_t epoch_ = 1;  // server term; see epoch()/bump_epoch()
 };
 
 }  // namespace hdcs::dist

@@ -68,6 +68,34 @@ obs::Gauge& connected_gauge() {
 }
 }  // namespace
 
+// One hot standby's outbound record queue. Handlers push (under
+// core_mutex_, in core-mutation order) the same encoded payloads the WAL
+// stores; the replica connection's thread drains them into WalAppend
+// batches. A standby that stops acking while records pile up overflows and
+// is disconnected — it resyncs from a fresh snapshot instead of wedging
+// the primary on an unbounded queue.
+struct Server::ReplicaFeed {
+  static constexpr std::size_t kMaxQueued = 1u << 16;
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<std::vector<std::byte>> q;
+  bool overflow = false;
+
+  void push(const std::vector<std::byte>& rec) {
+    {
+      std::lock_guard lock(m);
+      if (q.size() >= kMaxQueued) {
+        overflow = true;
+        q.clear();
+      } else {
+        q.push_back(rec);
+      }
+    }
+    cv.notify_one();
+  }
+};
+
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
       core_(config_.scheduler, make_policy(config_.policy_spec)),
@@ -88,7 +116,49 @@ double Server::now() const {
 
 void Server::start() {
   if (running_.exchange(true)) return;
-  if (!config_.checkpoint_path.empty() && config_.restore_on_start) {
+  bool wal_recovered = false;
+  if (!config_.wal_dir.empty()) {
+    WalConfig wc;
+    wc.dir = config_.wal_dir;
+    wc.segment_bytes = config_.wal_segment_bytes;
+    wal_ = std::make_unique<WalLog>(wc);
+    wal_->set_tracer(config_.tracer);
+    WalRecovery rec = wal_->take_recovery();
+    if (rec.base_snapshot || !rec.tail.empty()) {
+      std::lock_guard lock(core_mutex_);
+      // Replay with the tracer detached: the recovered mutations were
+      // already traced by the previous life of this scheduler.
+      core_.set_tracer(nullptr);
+      if (rec.base_snapshot) {
+        ByteReader r(*rec.base_snapshot);
+        core_.restore_exact(r);
+        r.expect_end();
+      }
+      for (const WalRecord& wrec : rec.tail) apply_wal_record(core_, wrec);
+      core_.set_tracer(config_.tracer);
+      double t = now();
+      // New term: the torn-off tail may have held unsynced RequestWork
+      // records whose unit ids this core will reuse — fence their stale
+      // results by epoch, and sweep the dead connections' client rows.
+      enter_new_term("wal_recovery", t);
+      last_compact_lsn_ = wal_->next_lsn();
+      wal_recovered = true;
+      if (config_.tracer) {
+        config_.tracer->event(t, "wal_recovered")
+            .u64("records", rec.records_replayable)
+            .u64("lsn", wal_->next_lsn())
+            .u64("epoch", core_.epoch())
+            .u64("torn_bytes", rec.torn_bytes_truncated);
+      }
+      LOG_INFO("WAL recovery from " << config_.wal_dir << ": "
+               << rec.records_replayable << " records over "
+               << rec.segments_scanned << " segments, resuming at lsn "
+               << wal_->next_lsn() << " epoch " << core_.epoch());
+      progress_cv_.notify_all();
+    }
+  }
+  if (!wal_recovered && !config_.checkpoint_path.empty() &&
+      config_.restore_on_start) {
     if (auto blob = read_checkpoint_file(config_.checkpoint_path)) {
       LOG_INFO("restoring checkpoint from " << config_.checkpoint_path << " ("
                                             << blob->size() << " bytes)");
@@ -97,9 +167,16 @@ void Server::start() {
   }
   listener_ = net::TcpListener::bind(config_.port);
   port_ = listener_.port();
+  if (!config_.primary_host.empty()) standby_.store(true);
   acceptor_ = std::thread([this] { acceptor_loop(); });
   housekeeper_ = std::thread([this] { housekeeping_loop(); });
-  LOG_INFO("server listening on 127.0.0.1:" << port_);
+  if (standby_.load()) {
+    replica_ = std::thread([this] { replica_loop(); });
+    LOG_INFO("standby listening on 127.0.0.1:" << port_ << ", syncing from "
+             << config_.primary_host << ":" << config_.primary_port);
+  } else {
+    LOG_INFO("server listening on 127.0.0.1:" << port_);
+  }
 }
 
 void Server::stop() {
@@ -109,6 +186,7 @@ void Server::stop() {
   // race with its reads of the descriptor.
   if (acceptor_.joinable()) acceptor_.join();
   listener_.close();
+  if (replica_.joinable()) replica_.join();
   if (housekeeper_.joinable()) housekeeper_.join();
   std::vector<std::thread> handlers;
   {
@@ -217,6 +295,8 @@ std::string Server::stats_json(bool include_clients) {
   std::vector<ClientInfo> clients;
   std::uint64_t evicted_completed;
   std::size_t pending;
+  std::uint64_t term;
+  std::uint64_t wal_lsn;
   double t;
   {
     std::lock_guard lock(core_mutex_);
@@ -224,6 +304,8 @@ std::string Server::stats_json(bool include_clients) {
     if (include_clients) clients = core_.all_client_stats();
     evicted_completed = core_.evicted_units_completed();
     pending = core_.pending_units();
+    term = core_.epoch();
+    wal_lsn = wal_ ? wal_->next_lsn() : 0;
     t = now();
   }
   // Mirrored as a gauge so registry-only consumers (render_text dumps,
@@ -233,6 +315,8 @@ std::string Server::stats_json(bool include_clients) {
   std::ostringstream out;
   out << "{\"schema\":" << obs::kTraceSchemaVersion << ",\"now\":" << json_num(t)
       << ",\"simd_tier\":\"" << to_string(simd_tier()) << "\""
+      << ",\"role\":\"" << (standby_.load() ? "standby" : "primary") << "\""
+      << ",\"epoch\":" << term << ",\"wal_lsn\":" << wal_lsn
       << ",\"connected_clients\":" << connected_.load() << ",\"scheduler\":{"
       << "\"units_issued\":" << s.units_issued
       << ",\"units_reissued\":" << s.units_reissued
@@ -252,6 +336,7 @@ std::string Server::stats_json(bool include_clients) {
       << ",\"results_rejected_mismatch\":" << s.results_rejected_mismatch
       << ",\"results_rejected_digest\":" << s.results_rejected_digest
       << ",\"results_rejected_blacklisted\":" << s.results_rejected_blacklisted
+      << ",\"results_rejected_stale_epoch\":" << s.results_rejected_stale_epoch
       << ",\"donors_blacklisted\":" << s.donors_blacklisted
       << ",\"clients_evicted\":" << s.clients_evicted
       << ",\"evicted_units_completed\":" << evicted_completed
@@ -302,23 +387,107 @@ void Server::acceptor_loop() {
 void Server::housekeeping_loop() {
   double last_checkpoint = now();
   while (running_.load()) {
-    {
-      std::lock_guard lock(core_mutex_);
-      core_.tick(now());
-    }
-    progress_cv_.notify_all();
-    if (!config_.checkpoint_path.empty() &&
-        now() - last_checkpoint >= config_.checkpoint_interval_s) {
-      last_checkpoint = now();
-      try {
-        save_checkpoint();
-      } catch (const Error& e) {
-        // A full disk must not kill scheduling; retry next interval.
-        LOG_ERROR("checkpoint autosave failed: " << e.what());
+    // A standby's shadow core is driven only by the primary's record
+    // stream (which includes the primary's own Tick records with the
+    // primary's clock); ticking it locally would double-expire leases.
+    if (!standby_.load()) {
+      {
+        std::lock_guard lock(core_mutex_);
+        double t = now();
+        core_.tick(t);
+        WalRecord rec;
+        rec.op = WalOp::kTick;
+        rec.now = t;
+        log_record(std::move(rec));  // doubles as a replication keepalive
+        try {
+          maybe_compact_locked(t);
+        } catch (const Error& e) {
+          // A full disk must not kill scheduling; retry next interval.
+          LOG_ERROR("wal compaction failed: " << e.what());
+        }
+      }
+      progress_cv_.notify_all();
+      if (!config_.checkpoint_path.empty() &&
+          now() - last_checkpoint >= config_.checkpoint_interval_s) {
+        last_checkpoint = now();
+        try {
+          save_checkpoint();
+        } catch (const Error& e) {
+          LOG_ERROR("checkpoint autosave failed: " << e.what());
+        }
       }
     }
     std::this_thread::sleep_for(std::chrono::duration<double>(config_.tick_interval_s));
   }
+}
+
+std::uint64_t Server::epoch() {
+  std::lock_guard lock(core_mutex_);
+  return core_.epoch();
+}
+
+void Server::drain() {
+  draining_.store(true);
+  progress_cv_.notify_all();
+}
+
+void Server::compact_wal() {
+  std::lock_guard lock(core_mutex_);
+  if (!wal_) return;
+  ByteWriter w;
+  core_.snapshot_exact(w);
+  auto snap = w.take();
+  wal_->compact(snap, now());
+  last_compact_lsn_ = wal_->next_lsn();
+}
+
+void Server::maybe_compact_locked(double t) {
+  if (!wal_ || config_.wal_compact_every == 0) return;
+  if (wal_->next_lsn() - last_compact_lsn_ < config_.wal_compact_every) return;
+  ByteWriter w;
+  core_.snapshot_exact(w);
+  auto snap = w.take();
+  wal_->compact(snap, t);
+  last_compact_lsn_ = wal_->next_lsn();
+}
+
+void Server::log_record(WalRecord rec) {
+  if (!wal_ && feeds_.empty()) return;
+  rec.lsn = wal_ ? wal_->next_lsn() : repl_lsn_;
+  if (wal_) {
+    wal_->append(rec);
+  } else {
+    repl_lsn_ = rec.lsn + 1;
+  }
+  if (!feeds_.empty()) {
+    auto bytes = encode_wal_record(rec);
+    for (const auto& feed : feeds_) feed->push(bytes);
+  }
+}
+
+void Server::enter_new_term(const char* reason, double t) {
+  std::uint64_t next = core_.epoch() + 1;
+  core_.bump_epoch(next);
+  WalRecord rec;
+  rec.op = WalOp::kEpoch;
+  rec.now = t;
+  rec.arg = next;
+  log_record(std::move(rec));
+  // Every active client row belongs to the previous term — its connection
+  // died with the old server. Sweeping them requeues their leases now
+  // instead of waiting out the lease timeout; reconnecting donors re-Hello
+  // and get fresh ids.
+  for (const auto& c : core_.all_client_stats()) {
+    if (!c.active) continue;
+    core_.client_left(c.id, t);
+    WalRecord left;
+    left.op = WalOp::kClientLeft;
+    left.now = t;
+    left.arg = c.id;
+    log_record(std::move(left));
+  }
+  if (wal_) wal_->sync();
+  LOG_INFO("entered epoch " << core_.epoch() << " (" << reason << ")");
 }
 
 void Server::handler_loop(net::TcpStream stream) {
@@ -341,12 +510,32 @@ void Server::handler_loop(net::TcpStream stream) {
       Stopwatch handle_timer;
 
       try {
-      switch (request.type) {
+      if (standby_.load() && request.type != net::MessageType::kFetchStats) {
+        // An unpromoted standby serves monitoring but no work: donors see
+        // an error, drop the session, and fail over to the next endpoint
+        // in their --servers list.
+        response = net::make_error(request.correlation, "standby: not serving");
+      } else if (draining_.load() &&
+                 (request.type == net::MessageType::kRequestWork ||
+                  request.type == net::MessageType::kHeartbeat)) {
+        // Graceful shutdown: in-flight submissions still land, but no new
+        // work goes out and polling donors are told to disconnect.
+        response.type = net::MessageType::kShutdown;
+        response.correlation = request.correlation;
+      } else switch (request.type) {
         case net::MessageType::kHello: {
           auto hello = decode_hello(request);
           std::lock_guard lock(core_mutex_);
+          double t = now();
           client_id = core_.client_joined(hello.client_name,
-                                          hello.benchmark_ops_per_sec, now());
+                                          hello.benchmark_ops_per_sec, t);
+          WalRecord rec;
+          rec.op = WalOp::kClientJoined;
+          rec.now = t;
+          rec.arg = client_id;
+          rec.name = hello.client_name;
+          rec.benchmark = hello.benchmark_ops_per_sec;
+          log_record(std::move(rec));
           HelloAckPayload ack;
           ack.client_id = client_id;
           ack.heartbeat_interval_s = config_.heartbeat_interval_s;
@@ -356,7 +545,19 @@ void Server::handler_loop(net::TcpStream stream) {
         case net::MessageType::kRequestWork: {
           ClientId id = decode_request_work(request);
           std::lock_guard lock(core_mutex_);
-          auto unit = core_.request_work(id, now());
+          double t = now();
+          auto unit = core_.request_work(id, t);
+          {
+            // Logged even when nothing was issued: an unserved request
+            // still mutates stats and policy state, and replay must walk
+            // the exact same path (an InputError above skips the log, the
+            // same way it skips the core mutation).
+            WalRecord rec;
+            rec.op = WalOp::kRequestWork;
+            rec.now = t;
+            rec.arg = id;
+            log_record(std::move(rec));
+          }
           if (unit) {
             if (request.version >= 4) {
               response = encode_work_assignment(*unit, request.correlation,
@@ -391,7 +592,18 @@ void Server::handler_loop(net::TcpStream stream) {
           ResultAckPayload ack;
           {
             std::lock_guard lock(core_mutex_);
-            ack.accepted = core_.submit_result(id, result, now());
+            double t = now();
+            ack.accepted = core_.submit_result(id, result, t);
+            WalRecord rec;
+            rec.op = WalOp::kSubmitResult;
+            rec.now = t;
+            rec.arg = id;
+            rec.result = result;
+            log_record(std::move(rec));
+            // The accepted result must be durable before the donor learns
+            // it was accepted — the ack is what lets it drop its buffered
+            // copy, so after this fsync a kill -9 loses nothing.
+            if (wal_ && ack.accepted) wal_->sync();
           }
           progress_cv_.notify_all();
           response = encode_result_ack(ack, request.correlation);
@@ -438,7 +650,13 @@ void Server::handler_loop(net::TcpStream stream) {
           ClientId id = decode_heartbeat(request);
           {
             std::lock_guard lock(core_mutex_);
-            core_.heartbeat(id, now());
+            double t = now();
+            core_.heartbeat(id, t);
+            WalRecord rec;
+            rec.op = WalOp::kHeartbeat;
+            rec.now = t;
+            rec.arg = id;
+            log_record(std::move(rec));
           }
           response.type = net::MessageType::kHeartbeatAck;
           response.correlation = request.correlation;
@@ -455,11 +673,25 @@ void Server::handler_loop(net::TcpStream stream) {
           ClientId id = decode_goodbye(request);
           {
             std::lock_guard lock(core_mutex_);
-            core_.client_left(id, now());
+            double t = now();
+            core_.client_left(id, t);
+            WalRecord rec;
+            rec.op = WalOp::kClientLeft;
+            rec.now = t;
+            rec.arg = id;
+            log_record(std::move(rec));
           }
           progress_cv_.notify_all();
           connected_gauge().set(connected_.fetch_sub(1) - 1);
           return;  // client is gone; close the connection
+        }
+        case net::MessageType::kReplicaHello: {
+          // The connection becomes a replication session: snapshot now,
+          // then live records until one side dies. serve_replica cleans up
+          // its own feed registration.
+          serve_replica(stream, request);
+          connected_gauge().set(connected_.fetch_sub(1) - 1);
+          return;
         }
         default:
           response = net::make_error(request.correlation,
@@ -507,10 +739,208 @@ void Server::handler_loop(net::TcpStream stream) {
   }
   if (client_id != 0) {
     std::lock_guard lock(core_mutex_);
-    core_.client_left(client_id, now());
+    double t = now();
+    core_.client_left(client_id, t);
+    WalRecord rec;
+    rec.op = WalOp::kClientLeft;
+    rec.now = t;
+    rec.arg = client_id;
+    log_record(std::move(rec));
   }
   progress_cv_.notify_all();
   connected_gauge().set(connected_.fetch_sub(1) - 1);
+}
+
+void Server::serve_replica(net::TcpStream& stream, const net::Message& request) {
+  auto feed = std::make_shared<ReplicaFeed>();
+  std::string standby_name = "?";
+  try {
+    auto hello = decode_replica_hello(request);
+    standby_name = hello.standby_name;
+    ReplicaSnapshotPayload header;
+    std::vector<std::byte> snapshot;
+    {
+      std::lock_guard lock(core_mutex_);
+      ByteWriter w;
+      core_.snapshot_exact(w);
+      snapshot = w.take();
+      header.epoch = core_.epoch();
+      header.start_lsn = wal_ ? wal_->next_lsn() : repl_lsn_;
+      // Registered under the same lock that serialises mutations: every
+      // record logged after this point reaches the queue, so snapshot +
+      // stream covers the state with no gap.
+      feeds_.push_back(feed);
+    }
+    header.snapshot_bytes = snapshot.size();
+    net::Message resp = encode_replica_snapshot(header, request.correlation);
+    resp.version = request.version;
+    net::write_message(stream, resp);
+    net::send_blob_v4(stream, snapshot);
+    obs::Registry::global().counter("server.replica_syncs").inc();
+    if (config_.tracer) {
+      config_.tracer->event(now(), "replica_attached")
+          .str("name", standby_name)
+          .u64("epoch", header.epoch)
+          .u64("lsn", header.start_lsn)
+          .u64("snapshot_bytes", snapshot.size());
+    }
+    LOG_INFO("standby '" << standby_name << "' attached (epoch " << header.epoch
+                         << ", lsn " << header.start_lsn << ", "
+                         << snapshot.size() << " snapshot bytes)");
+    std::uint64_t correlation = 1;
+    while (running_.load()) {
+      WalAppendPayload batch;
+      bool overflow = false;
+      {
+        std::unique_lock fl(feed->m);
+        feed->cv.wait_for(fl, std::chrono::milliseconds(200),
+                          [&] { return !feed->q.empty() || feed->overflow; });
+        overflow = feed->overflow;
+        std::size_t n = std::min<std::size_t>(feed->q.size(), 512);
+        for (std::size_t i = 0; i < n; ++i) {
+          batch.records.push_back(std::move(feed->q.front()));
+          feed->q.pop_front();
+        }
+      }
+      if (overflow) {
+        throw ProtocolError("standby fell behind the record stream");
+      }
+      // An empty wake is fine: Tick records arrive every tick interval, so
+      // a healthy stream is never silent for long.
+      if (batch.records.empty()) continue;
+      net::Message m = encode_wal_append(batch, correlation++);
+      m.version = request.version;
+      net::write_message(stream, m);
+      // Wait for the ack so a dead/wedged standby is noticed and its queue
+      // stops growing (the poll keeps stop() responsive).
+      while (running_.load() && !stream.readable(200)) {}
+      if (!running_.load()) break;
+      net::Message ack = net::read_message(stream);
+      if (ack.type != net::MessageType::kResultAck) {
+        throw ProtocolError(std::string("standby sent unexpected ") +
+                            net::to_string(ack.type));
+      }
+    }
+  } catch (const net::ConnectionClosed&) {
+    LOG_INFO("standby '" << standby_name << "' disconnected");
+  } catch (const Error& e) {
+    LOG_WARN("replication to standby '" << standby_name
+                                        << "' failed: " << e.what());
+  }
+  std::lock_guard lock(core_mutex_);
+  std::erase(feeds_, feed);
+}
+
+void Server::replica_loop() {
+  using clock = std::chrono::steady_clock;
+  auto last_contact = clock::now();
+  auto silent_s = [&] {
+    return std::chrono::duration<double>(clock::now() - last_contact).count();
+  };
+  while (running_.load() && standby_.load()) {
+    try {
+      auto stream =
+          net::TcpStream::connect(config_.primary_host, config_.primary_port);
+      ReplicaHelloPayload hello;
+      hello.standby_name = config_.standby_name;
+      net::write_message(stream, encode_replica_hello(hello, 1));
+      while (running_.load() && !stream.readable(200)) {}
+      if (!running_.load()) return;
+      net::Message resp = net::read_message(stream);
+      auto header = decode_replica_snapshot(resp);
+      auto snapshot = net::recv_blob_v4(
+          stream, static_cast<std::size_t>(header.snapshot_bytes) + 1024);
+      {
+        std::lock_guard lock(core_mutex_);
+        ByteReader r(snapshot);
+        core_.restore_exact(r);
+        r.expect_end();
+        repl_lsn_ = header.start_lsn;
+        if (wal_) {
+          wal_->reset(snapshot, header.start_lsn, now());
+          wal_->sync();
+          last_compact_lsn_ = header.start_lsn;
+        }
+      }
+      standby_synced_.store(true);
+      last_contact = clock::now();
+      progress_cv_.notify_all();
+      obs::Registry::global().gauge("server.standby_synced").set(1);
+      if (config_.tracer) {
+        config_.tracer->event(now(), "standby_synced")
+            .u64("epoch", header.epoch)
+            .u64("lsn", header.start_lsn)
+            .u64("snapshot_bytes", snapshot.size());
+      }
+      LOG_INFO("standby synced from " << config_.primary_host << ":"
+               << config_.primary_port << " (epoch " << header.epoch
+               << ", lsn " << header.start_lsn << ")");
+      // Tail the live stream. The primary's Tick records double as
+      // keepalives, so silence beyond the failover timeout means it died.
+      while (running_.load() && standby_.load()) {
+        if (!stream.readable(200)) {
+          if (silent_s() >= config_.failover_timeout_s) {
+            promote("primary stream silent");
+            return;
+          }
+          continue;
+        }
+        net::Message m = net::read_message(stream);
+        if (m.type != net::MessageType::kWalAppend) {
+          throw ProtocolError(std::string("primary sent unexpected ") +
+                              net::to_string(m.type));
+        }
+        auto batch = decode_wal_append(m);
+        {
+          std::lock_guard lock(core_mutex_);
+          for (const auto& bytes : batch.records) {
+            WalRecord rec = decode_wal_record(bytes);
+            if (wal_) wal_->append(rec);  // primary's lsn, kept verbatim
+            repl_lsn_ = rec.lsn + 1;
+            apply_wal_record(core_, rec);
+          }
+          if (wal_) wal_->sync();
+        }
+        progress_cv_.notify_all();
+        ResultAckPayload ack;
+        ack.accepted = true;
+        net::Message am = encode_result_ack(ack, m.correlation);
+        am.version = m.version;
+        net::write_message(stream, am);
+        last_contact = clock::now();
+      }
+      return;
+    } catch (const Error& e) {
+      if (!running_.load() || !standby_.load()) return;
+      if (standby_synced_.load() && silent_s() >= config_.failover_timeout_s) {
+        promote("primary unreachable");
+        return;
+      }
+      // Not synced yet (or the primary only just vanished): keep trying.
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+}
+
+void Server::promote(const char* reason) {
+  double t;
+  std::uint64_t new_epoch;
+  {
+    std::lock_guard lock(core_mutex_);
+    t = now();
+    enter_new_term(reason, t);
+    new_epoch = core_.epoch();
+    standby_.store(false);
+  }
+  obs::Registry::global().counter("server.failovers").inc();
+  if (config_.tracer) {
+    config_.tracer->event(t, "failover_promoted")
+        .u64("epoch", new_epoch)
+        .str("reason", reason);
+  }
+  LOG_INFO("standby promoted to primary (epoch " << new_epoch
+                                                 << "): " << reason);
+  progress_cv_.notify_all();
 }
 
 }  // namespace hdcs::dist

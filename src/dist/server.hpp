@@ -12,13 +12,16 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "dist/scheduler_core.hpp"
+#include "dist/wal.hpp"
 #include "net/bulk.hpp"
+#include "net/message.hpp"
 #include "net/socket.hpp"
 
 namespace hdcs::dist {
@@ -47,6 +50,32 @@ struct ServerConfig {
   /// Largest blob the server will serve over FetchBlobs; larger interned
   /// blobs are reported absent (the donor drops the unit).
   std::size_t max_blob_bytes = net::kDefaultMaxBlobBytes;
+
+  // ---- write-ahead log (see dist/wal.hpp) ----
+
+  /// WAL directory. Empty = no WAL (the 30 s checkpoint window applies).
+  /// When set, every SchedulerCore mutation is logged under the core lock
+  /// and a result is fsynced durable *before* its ack is sent — a kill -9
+  /// then loses zero accepted results. start() recovers base snapshot +
+  /// tail, replays, and enters a new epoch; the legacy checkpoint_path
+  /// restore is skipped when the WAL held anything.
+  std::string wal_dir;
+  std::size_t wal_segment_bytes = 4u << 20;
+  /// Fold the log into a fresh base snapshot every this many records
+  /// (compaction; 0 = never). Runs on the housekeeping thread.
+  std::uint64_t wal_compact_every = 4096;
+
+  // ---- hot standby (protocol v6 replication) ----
+
+  /// Non-empty = start as a hot standby of this primary: sync an exact
+  /// snapshot, tail its WAL stream into a shadow core (and into wal_dir if
+  /// set), answer donors with a "standby" error, and promote — bump the
+  /// epoch and start serving — once the stream has been silent for
+  /// failover_timeout_s after a successful sync.
+  std::string primary_host;
+  std::uint16_t primary_port = 0;
+  double failover_timeout_s = 2.0;
+  std::string standby_name = "standby";
 };
 
 class Server {
@@ -96,10 +125,33 @@ class Server {
   /// The JSON document served to MSG_STATS, also available in-process.
   [[nodiscard]] std::string stats_json(bool include_clients = true);
 
+  /// True while running as a hot standby that has not yet promoted.
+  [[nodiscard]] bool is_standby() const { return standby_.load(); }
+  /// True once a standby has received the primary's snapshot.
+  [[nodiscard]] bool standby_synced() const { return standby_synced_.load(); }
+  /// Current scheduler term (see SchedulerCore::epoch()). Thread-safe.
+  [[nodiscard]] std::uint64_t epoch();
+  /// Force an immediate WAL compaction (fold log into base snapshot).
+  /// No-op without a WAL. Thread-safe.
+  void compact_wal();
+  /// Stop handing out work: donors receive kShutdown on their next
+  /// RequestWork or Heartbeat and disconnect cleanly. Used by the
+  /// SIGINT/SIGTERM path in the examples before stop().
+  void drain();
+
  private:
+  struct ReplicaFeed;  // per-standby queue of encoded WAL records
+
   void acceptor_loop();
   void handler_loop(net::TcpStream stream);
   void housekeeping_loop();
+  void serve_replica(net::TcpStream& stream, const net::Message& hello);
+  void replica_loop();  // standby: sync + tail the primary, promote on silence
+  void promote(const char* reason);
+  // All three require core_mutex_ held.
+  void log_record(WalRecord rec);
+  void enter_new_term(const char* reason, double t);
+  void maybe_compact_locked(double t);
   double now() const;
 
   ServerConfig config_;
@@ -117,6 +169,17 @@ class Server {
   std::mutex handlers_mutex_;
   std::vector<std::thread> handlers_;
   std::chrono::steady_clock::time_point epoch_;
+
+  // WAL + replication state. wal_, repl_lsn_ and feeds_ are guarded by
+  // core_mutex_ (records are logged in core-mutation order).
+  std::unique_ptr<WalLog> wal_;
+  std::uint64_t repl_lsn_ = 1;  // next stream lsn when no WAL is configured
+  std::uint64_t last_compact_lsn_ = 1;
+  std::vector<std::shared_ptr<ReplicaFeed>> feeds_;
+  std::atomic<bool> standby_{false};
+  std::atomic<bool> standby_synced_{false};
+  std::atomic<bool> draining_{false};
+  std::thread replica_;
 };
 
 }  // namespace hdcs::dist

@@ -1,0 +1,387 @@
+#include "dist/wal.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "dist/checkpoint_file.hpp"
+#include "dist/scheduler_core.hpp"
+#include "net/bulk.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace hdcs::dist {
+
+namespace {
+
+// Sanity cap on one record frame: a result payload is bounded by the wire
+// layer's 64 MiB frame cap, so anything bigger is corruption, not data.
+constexpr std::uint32_t kMaxWalRecordBytes = 80u << 20;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+void write_fully(int fd, std::span<const std::byte> data,
+                 const std::string& path) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write " + path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::vector<std::byte> read_file(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("open " + path);
+  std::vector<std::byte> out;
+  std::byte buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("read " + path);
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+void make_dirs(const std::string& dir) {
+  std::string partial;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i == dir.size() || dir[i] == '/') {
+      if (!partial.empty() && partial != "/" && partial != ".") {
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+          throw_errno("mkdir " + partial);
+        }
+      }
+    }
+    if (i < dir.size()) partial.push_back(dir[i]);
+  }
+}
+
+std::string segment_path(const std::string& dir, std::uint64_t first_lsn) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "wal-%016llx.seg",
+                static_cast<unsigned long long>(first_lsn));
+  return dir + "/" + name;
+}
+
+std::string base_path(const std::string& dir) { return dir + "/base.ckpt"; }
+
+}  // namespace
+
+std::vector<std::byte> encode_wal_record(const WalRecord& rec) {
+  ByteWriter w;
+  w.u64(rec.lsn);
+  w.u8(static_cast<std::uint8_t>(rec.op));
+  w.f64(rec.now);
+  switch (rec.op) {
+    case WalOp::kClientJoined:
+      w.str(rec.name);
+      w.f64(rec.benchmark);
+      break;
+    case WalOp::kClientLeft:
+    case WalOp::kHeartbeat:
+    case WalOp::kRequestWork:
+    case WalOp::kEpoch:
+      w.u64(rec.arg);
+      break;
+    case WalOp::kSubmitResult:
+      w.u64(rec.arg);
+      w.u64(rec.result.problem_id);
+      w.u64(rec.result.unit_id);
+      w.u32(rec.result.stage);
+      w.bytes(rec.result.payload);
+      w.u32(rec.result.payload_crc);
+      w.u64(rec.result.epoch);
+      break;
+    case WalOp::kTick:
+      break;
+  }
+  return w.take();
+}
+
+WalRecord decode_wal_record(std::span<const std::byte> payload) {
+  ByteReader r{payload};
+  WalRecord rec;
+  rec.lsn = r.u64();
+  auto op = r.u8();
+  if (op < 1 || op > static_cast<std::uint8_t>(WalOp::kEpoch)) {
+    throw ProtocolError("wal record: unknown op " + std::to_string(op));
+  }
+  rec.op = static_cast<WalOp>(op);
+  rec.now = r.f64();
+  switch (rec.op) {
+    case WalOp::kClientJoined:
+      rec.name = r.str();
+      rec.benchmark = r.f64();
+      break;
+    case WalOp::kClientLeft:
+    case WalOp::kHeartbeat:
+    case WalOp::kRequestWork:
+    case WalOp::kEpoch:
+      rec.arg = r.u64();
+      break;
+    case WalOp::kSubmitResult:
+      rec.arg = r.u64();
+      rec.result.problem_id = r.u64();
+      rec.result.unit_id = r.u64();
+      rec.result.stage = r.u32();
+      rec.result.payload = r.bytes();
+      rec.result.payload_crc = r.u32();
+      rec.result.epoch = r.u64();
+      break;
+    case WalOp::kTick:
+      break;
+  }
+  r.expect_end();
+  return rec;
+}
+
+void apply_wal_record(SchedulerCore& core, const WalRecord& rec) {
+  switch (rec.op) {
+    case WalOp::kClientJoined:
+      (void)core.client_joined(rec.name, rec.benchmark, rec.now);
+      break;
+    case WalOp::kClientLeft:
+      core.client_left(rec.arg, rec.now);
+      break;
+    case WalOp::kHeartbeat:
+      core.heartbeat(rec.arg, rec.now);
+      break;
+    case WalOp::kRequestWork:
+      try {
+        (void)core.request_work(rec.arg, rec.now);
+      } catch (const InputError&) {
+        // The serving loop answered this with an error frame; the core was
+        // untouched. Replay reproduces the no-op.
+      }
+      break;
+    case WalOp::kSubmitResult:
+      (void)core.submit_result(rec.arg, rec.result, rec.now);
+      break;
+    case WalOp::kTick:
+      core.tick(rec.now);
+      break;
+    case WalOp::kEpoch:
+      core.bump_epoch(rec.arg);
+      break;
+  }
+}
+
+WalLog::WalLog(WalConfig config) : config_(std::move(config)) {
+  if (config_.dir.empty()) throw InputError("WalLog: empty directory");
+  if (config_.segment_bytes < 1024) {
+    throw InputError("WalLog: segment_bytes must be >= 1024");
+  }
+  make_dirs(config_.dir);
+  recover();
+}
+
+WalLog::~WalLog() { close_segment(/*fsync_it=*/true); }
+
+WalRecovery WalLog::take_recovery() {
+  if (recovery_taken_) throw Error("WalLog: recovery already taken");
+  recovery_taken_ = true;
+  return std::move(recovery_);
+}
+
+void WalLog::recover() {
+  auto& reg = obs::Registry::global();
+
+  // Base snapshot (if a compaction ever ran): payload = start_lsn + bytes.
+  std::uint64_t expected = 1;
+  if (auto payload = read_checkpoint_file(base_path(config_.dir))) {
+    ByteReader r{std::span<const std::byte>(*payload)};
+    expected = r.u64();
+    auto view = r.raw(r.remaining());
+    recovery_.base_snapshot.emplace(view.begin(), view.end());
+  }
+
+  // Every wal-*.seg, ordered by the first lsn baked into the name.
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  DIR* d = ::opendir(config_.dir.c_str());
+  if (!d) throw_errno("opendir " + config_.dir);
+  while (dirent* ent = ::readdir(d)) {
+    std::string name = ent->d_name;
+    if (name.rfind("wal-", 0) != 0 || name.size() != 24 ||
+        name.substr(20) != ".seg") {
+      continue;
+    }
+    char* end = nullptr;
+    std::uint64_t first = std::strtoull(name.c_str() + 4, &end, 16);
+    if (!end || *end != '.') continue;
+    found.emplace_back(first, config_.dir + "/" + name);
+  }
+  ::closedir(d);
+  std::sort(found.begin(), found.end());
+
+  bool torn = false;
+  for (const auto& [first_lsn, path] : found) {
+    if (torn) {
+      // Past a gap nothing can be contiguous: drop the orphaned segment.
+      ::unlink(path.c_str());
+      continue;
+    }
+    auto raw = read_file(path);
+    recovery_.segments_scanned += 1;
+    std::size_t off = 0;
+    std::size_t valid_end = 0;
+    while (raw.size() - off >= 8) {
+      ByteReader header{std::span<const std::byte>(raw).subspan(off, 8)};
+      std::uint32_t len = header.u32();
+      std::uint32_t crc = header.u32();
+      if (len == 0 || len > kMaxWalRecordBytes) break;
+      if (raw.size() - off - 8 < len) break;  // partial final write
+      auto payload = std::span<const std::byte>(raw).subspan(off + 8, len);
+      if (net::crc32(payload) != crc) break;
+      WalRecord rec;
+      try {
+        rec = decode_wal_record(payload);
+      } catch (const ProtocolError&) {
+        break;
+      }
+      if (rec.lsn >= expected) {
+        if (rec.lsn != expected) break;  // lsn gap: lost tail upstream
+        recovery_.tail.push_back(std::move(rec));
+        recovery_.records_replayable += 1;
+        expected += 1;
+      }
+      // else: pre-base record left behind by an interrupted compaction —
+      // a valid frame, already folded into the snapshot; skip silently.
+      off += 8 + len;
+      valid_end = off;
+    }
+    if (valid_end < raw.size()) {
+      // Torn or corrupt tail: keep the valid prefix, drop the rest (and
+      // every later segment) so the log ends at the last good record.
+      recovery_.torn_bytes_truncated += raw.size() - valid_end;
+      if (::truncate(path.c_str(), static_cast<off_t>(valid_end)) != 0) {
+        throw_errno("truncate " + path);
+      }
+      torn = true;
+      LOG_WARN("wal: truncated torn tail of " << path << " ("
+                                              << raw.size() - valid_end
+                                              << " bytes)");
+      reg.counter("wal.torn_truncations").inc();
+    }
+    segments_.push_back(path);
+    current_bytes_ = valid_end;
+  }
+  next_lsn_ = expected;
+  recovery_.next_lsn = expected;
+
+  if (segments_.empty()) {
+    open_segment(next_lsn_);
+  } else {
+    // Append to the surviving last segment.
+    const std::string& path = segments_.back();
+    fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (fd_ < 0) throw_errno("open " + path);
+  }
+  reg.gauge("wal.segments").set(static_cast<double>(segments_.size()));
+}
+
+void WalLog::open_segment(std::uint64_t first_lsn) {
+  std::string path = segment_path(config_.dir, first_lsn);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) throw_errno("open " + path);
+  segments_.push_back(path);
+  current_bytes_ = 0;
+  auto& reg = obs::Registry::global();
+  reg.counter("wal.segments_opened").inc();
+  reg.gauge("wal.segments").set(static_cast<double>(segments_.size()));
+}
+
+void WalLog::close_segment(bool fsync_it) {
+  if (fd_ < 0) return;
+  if (fsync_it) ::fsync(fd_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+std::uint64_t WalLog::append(const WalRecord& rec) {
+  WalRecord stamped = rec;
+  if (stamped.lsn == 0) {
+    stamped.lsn = next_lsn_;
+  } else if (stamped.lsn != next_lsn_) {
+    throw ProtocolError("wal append: lsn " + std::to_string(stamped.lsn) +
+                        " != expected " + std::to_string(next_lsn_));
+  }
+  auto payload = encode_wal_record(stamped);
+  ByteWriter frame(payload.size() + 8);
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(net::crc32(std::span<const std::byte>(payload)));
+  frame.raw(payload);
+  write_fully(fd_, frame.data(), segments_.back());
+  current_bytes_ += frame.data().size();
+  next_lsn_ = stamped.lsn + 1;
+
+  auto& reg = obs::Registry::global();
+  reg.counter("wal.records").inc();
+  reg.counter("wal.bytes").inc(frame.data().size());
+
+  if (current_bytes_ >= config_.segment_bytes) {
+    // Seal the full segment durably before its successor takes appends:
+    // the durable prefix may then only ever miss current-segment tails.
+    close_segment(/*fsync_it=*/true);
+    open_segment(next_lsn_);
+  }
+  return stamped.lsn;
+}
+
+void WalLog::sync() {
+  if (fd_ >= 0 && ::fsync(fd_) != 0) throw_errno("fsync " + segments_.back());
+  obs::Registry::global().counter("wal.syncs").inc();
+}
+
+void WalLog::compact(std::span<const std::byte> snapshot, double now) {
+  ByteWriter payload(snapshot.size() + 8);
+  payload.u64(next_lsn_);
+  payload.raw(snapshot);
+  write_checkpoint_file(base_path(config_.dir), payload.data());
+  // The snapshot is durable; every record it folded in can go. A crash
+  // between these unlinks leaves stale pre-base segments behind, which
+  // recovery skips record-by-record.
+  close_segment(/*fsync_it=*/false);
+  for (const std::string& path : segments_) ::unlink(path.c_str());
+  segments_.clear();
+  open_segment(next_lsn_);
+  auto& reg = obs::Registry::global();
+  reg.counter("wal.compactions").inc();
+  reg.gauge("wal.base_bytes").set(static_cast<double>(snapshot.size()));
+  if (tracer_) {
+    tracer_->event(now, "wal_compacted")
+        .u64("lsn", next_lsn_)
+        .u64("base_bytes", snapshot.size());
+  }
+}
+
+void WalLog::reset(std::span<const std::byte> snapshot, std::uint64_t start_lsn,
+                   double now) {
+  next_lsn_ = start_lsn;
+  compact(snapshot, now);
+}
+
+}  // namespace hdcs::dist

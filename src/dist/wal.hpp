@@ -1,0 +1,170 @@
+#pragma once
+// Write-ahead log for SchedulerCore mutations.
+//
+// PR 3's checkpoints bound a crash's damage to checkpoint_interval_s of
+// accepted results; the WAL closes that window to zero. The scheduler is a
+// deterministic state machine (seeded integrity RNG, stateless granularity
+// policies, deterministic DataManagers), so logging its mutating calls —
+// client join/leave, heartbeat, work request, result submission, tick,
+// epoch bump — and replaying them over an exact base snapshot reproduces
+// the pre-crash state field for field. The server appends each record
+// under the same lock that serialises the core call, fsyncs before
+// acknowledging a result (fsync persists every earlier buffered record
+// too, so durability is always a prefix of the log), and periodically
+// folds old segments into a fresh exact snapshot (compaction: checkpoint =
+// snapshot + WAL tail replay).
+//
+// On-disk layout under one directory:
+//   base.ckpt            HKCP envelope; payload = u64 start_lsn,
+//                        bytes(SchedulerCore::snapshot_exact)
+//   wal-<lsn16hex>.seg   record frames: u32 len | u32 crc32(payload) |
+//                        payload(u64 lsn, u8 op, f64 now, body)
+// Records are strictly lsn-contiguous across segment rotation. open()
+// truncates a torn tail (partial frame, CRC mismatch, lsn gap) back to the
+// last valid record — a kill -9 mid-write must surface as a shorter log,
+// never a crash or garbage replay.
+//
+// The same log doubles as the protocol v6 replication stream's storage on
+// a hot standby: the primary ships its snapshot (the standby compact()s it
+// in) followed by live records (the standby append()s them with the
+// primary's lsn), so after promotion the standby's directory is a valid
+// WAL for the next failover.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/work.hpp"
+
+namespace hdcs::obs {
+class Tracer;
+}
+
+namespace hdcs::dist {
+
+class SchedulerCore;
+
+enum class WalOp : std::uint8_t {
+  kClientJoined = 1,
+  kClientLeft = 2,
+  kHeartbeat = 3,
+  kRequestWork = 4,
+  kSubmitResult = 5,
+  kTick = 6,
+  kEpoch = 7,  // bump_epoch(new_epoch) on recovery / promotion
+};
+
+/// One logged SchedulerCore mutation. Which fields are meaningful depends
+/// on `op`; unused ones stay default. The donor-measured span profile of a
+/// submitted result is deliberately NOT logged — it feeds histograms and
+/// the trace, never core state, and omitting it keeps replayed-core ==
+/// live-core snapshot equality exact.
+struct WalRecord {
+  std::uint64_t lsn = 0;  // 0 in append() = "assign the next lsn"
+  WalOp op = WalOp::kTick;
+  double now = 0;          // the timestamp the server passed to the core
+  std::uint64_t arg = 0;   // client id (left/heartbeat/request/submit),
+                           // or the new epoch (kEpoch)
+  std::string name;        // kClientJoined: donor name
+  double benchmark = 0;    // kClientJoined: self-reported ops/sec
+  ResultUnit result;       // kSubmitResult (profile omitted)
+};
+
+/// Record payload codec (lsn + op + body, no disk framing). The disk
+/// frames add length + CRC; the v6 replication stream ships these payloads
+/// inside its own CRC'd message frames.
+std::vector<std::byte> encode_wal_record(const WalRecord& rec);
+WalRecord decode_wal_record(std::span<const std::byte> payload);
+
+/// Re-apply one logged mutation to a core. InputError from request_work
+/// (unknown/inactive client can only arise from a log written by a buggy
+/// primary) is swallowed exactly like the serving loop turns it into an
+/// error frame; everything else propagates.
+void apply_wal_record(SchedulerCore& core, const WalRecord& rec);
+
+struct WalConfig {
+  std::string dir;
+  /// Rotate to a new segment once the current one reaches this size. The
+  /// previous segment is fsynced at rotation so the durable prefix can
+  /// only ever miss tail records of the *current* segment.
+  std::size_t segment_bytes = 4u << 20;
+};
+
+/// What open() recovered from the directory: the newest base snapshot (if
+/// any) and every valid record past it, in lsn order. The caller restores
+/// the snapshot with restore_exact(), replays `tail` with
+/// apply_wal_record(), then bumps the epoch (the truncated tail may have
+/// contained unsynced RequestWork records whose unit ids the revived core
+/// will reuse — stale results for them are fenced by term, exactly like
+/// kRestoreIdGap fences post-checkpoint ids).
+struct WalRecovery {
+  std::optional<std::vector<std::byte>> base_snapshot;
+  std::vector<WalRecord> tail;
+  std::uint64_t next_lsn = 1;
+  std::size_t segments_scanned = 0;
+  std::size_t records_replayable = 0;
+  std::size_t torn_bytes_truncated = 0;
+};
+
+class WalLog {
+ public:
+  /// Opens (creating the directory if needed) and recovers: validates the
+  /// base snapshot, walks the segments, truncates any torn tail in place,
+  /// and positions the log to append at next_lsn. Throws IoError on
+  /// filesystem failure, ProtocolError on a corrupt base snapshot.
+  explicit WalLog(WalConfig config);
+  ~WalLog();
+
+  WalLog(const WalLog&) = delete;
+  WalLog& operator=(const WalLog&) = delete;
+
+  /// The recovery result captured by the constructor (tail records are
+  /// moved out by the first call).
+  WalRecovery take_recovery();
+
+  /// Append one record (buffered write; durable only after sync() or a
+  /// clean close). rec.lsn == 0 assigns the next lsn; a non-zero lsn (the
+  /// standby tailing the primary) must equal next_lsn(). Returns the lsn
+  /// written. Rotates segments as configured.
+  std::uint64_t append(const WalRecord& rec);
+
+  /// fsync the current segment: every record appended so far is durable.
+  void sync();
+
+  /// Fold everything logged so far into a new base snapshot: write
+  /// base.ckpt (atomic tmp+rename), delete the old segments, start a
+  /// fresh one at the current lsn. Emits a wal_compacted trace event via
+  /// the attached tracer with the caller's clock.
+  void compact(std::span<const std::byte> snapshot, double now);
+
+  /// Adopt a replication sync: discard everything logged locally and
+  /// restart the log at the primary's `start_lsn` with `snapshot` as the
+  /// base. A standby calls this when it receives the ReplicaSnapshot, so
+  /// its directory is a valid WAL from the stream's first record on.
+  void reset(std::span<const std::byte> snapshot, std::uint64_t start_lsn,
+             double now);
+
+  [[nodiscard]] std::uint64_t next_lsn() const { return next_lsn_; }
+  [[nodiscard]] const std::string& dir() const { return config_.dir; }
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  void open_segment(std::uint64_t first_lsn);
+  void close_segment(bool fsync_it);
+  void recover();
+
+  WalConfig config_;
+  WalRecovery recovery_;
+  bool recovery_taken_ = false;
+  std::vector<std::string> segments_;  // live segment paths, oldest first
+  int fd_ = -1;                        // current (last) segment
+  std::size_t current_bytes_ = 0;      // size of the current segment
+  std::uint64_t next_lsn_ = 1;
+  obs::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace hdcs::dist

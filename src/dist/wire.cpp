@@ -92,6 +92,7 @@ net::Message encode_work_assignment(const WorkUnit& unit, std::uint64_t correlat
       w.u64(blob.size);
     }
   }
+  if (version >= 6) w.u64(unit.epoch);
   auto m = make(net::MessageType::kWorkAssignment, correlation, std::move(w));
   m.version = version;
   return m;
@@ -116,6 +117,7 @@ WorkUnit decode_work_assignment(const net::Message& m) {
       unit.blobs.push_back(std::move(blob));
     }
   }
+  if (m.version >= 6) unit.epoch = r.u64();
   r.expect_end();
   return unit;
 }
@@ -158,6 +160,7 @@ net::Message encode_submit_result(ClientId client, const ResultUnit& result,
       w.u64(p.saturations);
     }
   }
+  if (version >= 6) w.u64(result.epoch);
   auto m = make(net::MessageType::kSubmitResult, correlation, std::move(w));
   m.version = version;
   return m;
@@ -184,6 +187,7 @@ std::pair<ClientId, ResultUnit> decode_submit_result(const net::Message& m) {
     p.saturations = r.u64();
     result.profile = p;
   }
+  if (m.version >= 6) result.epoch = r.u64();
   r.expect_end();
   return {client, std::move(result)};
 }
@@ -348,6 +352,61 @@ StatsSnapshotPayload decode_stats_snapshot(const net::Message& m) {
   auto r = m.reader();
   StatsSnapshotPayload p;
   p.json = r.str();
+  r.expect_end();
+  return p;
+}
+
+net::Message encode_replica_hello(const ReplicaHelloPayload& p,
+                                  std::uint64_t correlation) {
+  ByteWriter w;
+  w.str(p.standby_name);
+  return make(net::MessageType::kReplicaHello, correlation, std::move(w));
+}
+
+ReplicaHelloPayload decode_replica_hello(const net::Message& m) {
+  check_type(m, net::MessageType::kReplicaHello);
+  auto r = m.reader();
+  ReplicaHelloPayload p;
+  p.standby_name = r.str();
+  r.expect_end();
+  return p;
+}
+
+net::Message encode_replica_snapshot(const ReplicaSnapshotPayload& p,
+                                     std::uint64_t correlation) {
+  ByteWriter w;
+  w.u64(p.epoch);
+  w.u64(p.start_lsn);
+  w.u64(p.snapshot_bytes);
+  return make(net::MessageType::kReplicaSnapshot, correlation, std::move(w));
+}
+
+ReplicaSnapshotPayload decode_replica_snapshot(const net::Message& m) {
+  check_type(m, net::MessageType::kReplicaSnapshot);
+  auto r = m.reader();
+  ReplicaSnapshotPayload p;
+  p.epoch = r.u64();
+  p.start_lsn = r.u64();
+  p.snapshot_bytes = r.u64();
+  r.expect_end();
+  return p;
+}
+
+net::Message encode_wal_append(const WalAppendPayload& p,
+                               std::uint64_t correlation) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(p.records.size()));
+  for (const auto& rec : p.records) w.bytes(rec);
+  return make(net::MessageType::kWalAppend, correlation, std::move(w));
+}
+
+WalAppendPayload decode_wal_append(const net::Message& m) {
+  check_type(m, net::MessageType::kWalAppend);
+  auto r = m.reader();
+  WalAppendPayload p;
+  std::uint32_t count = r.u32();
+  p.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) p.records.push_back(r.bytes());
   r.expect_end();
   return p;
 }

@@ -81,6 +81,29 @@ struct StatsSnapshotPayload {
   std::string json;
 };
 
+/// v6 replication handshake: a hot standby introduces itself to the
+/// primary and asks for the sync stream (snapshot + live WAL records).
+struct ReplicaHelloPayload {
+  std::string standby_name;
+};
+
+/// v6 sync header: the primary's current term and the lsn at which the
+/// live record stream will resume. The exact-snapshot bytes
+/// (SchedulerCore::snapshot_exact) follow on the bulk channel
+/// (net::send_blob_v4), like problem data.
+struct ReplicaSnapshotPayload {
+  std::uint64_t epoch = 0;
+  std::uint64_t start_lsn = 1;
+  std::uint64_t snapshot_bytes = 0;
+};
+
+/// v6 live stream: a batch of WAL record payloads (encode_wal_record
+/// bytes, lsn-contiguous). Sent primary -> standby; the standby acks with
+/// a ResultAck so the primary notices a dead or wedged standby.
+struct WalAppendPayload {
+  std::vector<std::vector<std::byte>> records;
+};
+
 net::Message encode_hello(const HelloPayload& p, std::uint64_t correlation);
 HelloPayload decode_hello(const net::Message& m);
 
@@ -144,5 +167,17 @@ FetchStatsPayload decode_fetch_stats(const net::Message& m);
 net::Message encode_stats_snapshot(const StatsSnapshotPayload& p,
                                    std::uint64_t correlation);
 StatsSnapshotPayload decode_stats_snapshot(const net::Message& m);
+
+net::Message encode_replica_hello(const ReplicaHelloPayload& p,
+                                  std::uint64_t correlation);
+ReplicaHelloPayload decode_replica_hello(const net::Message& m);
+
+net::Message encode_replica_snapshot(const ReplicaSnapshotPayload& p,
+                                     std::uint64_t correlation);
+ReplicaSnapshotPayload decode_replica_snapshot(const net::Message& m);
+
+net::Message encode_wal_append(const WalAppendPayload& p,
+                               std::uint64_t correlation);
+WalAppendPayload decode_wal_append(const net::Message& m);
 
 }  // namespace hdcs::dist

@@ -55,6 +55,12 @@ struct WorkUnit {
   /// stage trees). Algorithms see them with bytes materialized; legacy
   /// (v3) donors instead receive them flattened onto `payload`.
   std::vector<WorkBlob> blobs;
+  /// Server term that issued this lease (protocol v6). A standby that
+  /// promotes itself bumps the epoch, so results computed against a
+  /// deposed primary's leases are fenced and rejected — the same hazard
+  /// SchedulerCore::kRestoreIdGap guards against, closed without an id
+  /// gap. 0 = issued by a pre-v6 server (no fencing).
+  std::uint64_t epoch = 0;
 };
 
 struct ResultUnit {
@@ -70,6 +76,10 @@ struct ResultUnit {
   /// v3/v4 donors; the scheduler merges it with its lease timeline into
   /// the `unit_profile` trace event when present.
   std::optional<obs::UnitProfile> profile;
+  /// Epoch echoed back from the WorkUnit this result answers (protocol
+  /// v6). The scheduler rejects results whose epoch predates its own —
+  /// fencing a deposed primary's late submissions. 0 = legacy donor.
+  std::uint64_t epoch = 0;
 };
 
 }  // namespace hdcs::dist

@@ -34,6 +34,7 @@ const char* to_string(MessageType type) {
     case MessageType::kGoodbye: return "Goodbye";
     case MessageType::kFetchStats: return "FetchStats";
     case MessageType::kFetchBlobs: return "FetchBlobs";
+    case MessageType::kReplicaHello: return "ReplicaHello";
     case MessageType::kHelloAck: return "HelloAck";
     case MessageType::kWorkAssignment: return "WorkAssignment";
     case MessageType::kNoWorkAvailable: return "NoWorkAvailable";
@@ -43,6 +44,8 @@ const char* to_string(MessageType type) {
     case MessageType::kShutdown: return "Shutdown";
     case MessageType::kStatsSnapshot: return "StatsSnapshot";
     case MessageType::kBlobData: return "BlobData";
+    case MessageType::kReplicaSnapshot: return "ReplicaSnapshot";
+    case MessageType::kWalAppend: return "WalAppend";
     case MessageType::kError: return "Error";
   }
   return "Unknown";

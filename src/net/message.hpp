@@ -29,9 +29,11 @@ inline constexpr std::uint32_t kMagic = 0x48444353;  // "HDCS"
 // the content-addressed bulk-data plane (blob-referencing WorkAssignment,
 // FetchBlobs/BlobData, compressed blob transfer); v5 added the optional
 // span-profile trailer to SubmitResult (donor-measured per-phase
-// durations). v3/v4 peers are still accepted: the server answers every
-// request at the requester's version.
-inline constexpr std::uint16_t kProtocolVersion = 5;
+// durations); v6 added the server epoch (failover term) to WorkAssignment
+// and SubmitResult plus the hot-standby replication stream (ReplicaHello /
+// ReplicaSnapshot / WalAppend). v3..v5 peers are still accepted: the
+// server answers every request at the requester's version.
+inline constexpr std::uint16_t kProtocolVersion = 6;
 inline constexpr std::uint16_t kMinProtocolVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 24;
 /// Upper bound on a single frame; bulk data uses the chunked bulk channel.
@@ -47,6 +49,7 @@ enum class MessageType : std::uint16_t {
   kGoodbye = 6,        // orderly departure (donor machine reclaimed)
   kFetchStats = 7,     // MSG_STATS: ask for a live metrics snapshot
   kFetchBlobs = 8,     // v4: NEED list — digests missing from donor cache
+  kReplicaHello = 9,   // v6: a hot standby asks to tail this primary's WAL
 
   // Server -> client
   kHelloAck = 32,      // assigned client id
@@ -58,6 +61,8 @@ enum class MessageType : std::uint16_t {
   kShutdown = 38,      // server is stopping; client should exit
   kStatsSnapshot = 39, // MSG_STATS reply: JSON metrics snapshot
   kBlobData = 40,      // v4: per-digest present flags; bodies follow on bulk
+  kReplicaSnapshot = 41,  // v6: exact-snapshot header; bytes follow on bulk
+  kWalAppend = 42,     // v6: a batch of live WAL records for the standby
 
   // Either direction
   kError = 64,

@@ -218,8 +218,60 @@ bool SimDriver::frame_lost() {
   return true;
 }
 
+void SimDriver::refresh_session(Machine& m) {
+  double benchmark = config_.reference_ops_per_sec * m.spec.speed *
+                     m.spec.availability_mean;
+  m.client_id = core_.client_joined(m.spec.name, benchmark, queue_.now());
+  m.session = server_session_;
+}
+
+void SimDriver::primary_kill() {
+  if (core_.all_complete()) return;
+  // The hot standby's shadow core is, by construction, a replay of the
+  // primary's record stream — model the handoff by round-tripping the
+  // scheduler through its exact snapshot bytes, the same bytes the TCP
+  // standby holds. From here until promotion the server answers nothing.
+  ByteWriter w;
+  core_.snapshot_exact(w);
+  auto snap = w.take();
+  ByteReader r(snap);
+  core_.restore_exact(r);
+  r.expect_end();
+  server_down_ = true;
+  if (config_.tracer) {
+    config_.tracer->event(queue_.now(), "standby_synced")
+        .u64("epoch", core_.epoch())
+        .u64("lsn", 0)
+        .u64("snapshot_bytes", snap.size());
+  }
+  queue_.schedule(queue_.now() + config_.failover_delay_s, [this] {
+    // Promotion: new term, then sweep the dead primary's client rows so
+    // their leases requeue now. Machines re-Hello on their next exchange;
+    // results they computed under the deposed term are fenced by epoch.
+    double t = queue_.now();
+    std::uint64_t next = core_.epoch() + 1;
+    core_.bump_epoch(next);
+    for (const auto& c : core_.all_client_stats()) {
+      if (c.active) core_.client_left(c.id, t);
+    }
+    server_session_ += 1;
+    server_down_ = false;
+    failovers_ += 1;
+    if (config_.tracer) {
+      config_.tracer->event(t, "failover_promoted")
+          .u64("epoch", next)
+          .str("reason", "sim_primary_kill");
+    }
+  });
+}
+
 void SimDriver::machine_join(std::size_t idx) {
   Machine& m = machines_[idx];
+  if (server_down_) {
+    queue_.schedule(queue_.now() + config_.no_work_retry_s,
+                    [this, idx] { machine_join(idx); });
+    return;
+  }
   if (fault_plan_ && fault_plan_->refuse_connect()) {
     // Connection refused: back off exactly like a real donor (doubling,
     // capped, jittered) and try again — the machine never gives up.
@@ -249,9 +301,12 @@ void SimDriver::machine_join(std::size_t idx) {
   queue_.schedule(handled, [this, idx, gen, handled] {
     Machine& mm = machines_[idx];
     if (!mm.alive || mm.generation != gen) return;
-    double benchmark = config_.reference_ops_per_sec * mm.spec.speed *
-                       mm.spec.availability_mean;
-    mm.client_id = core_.client_joined(mm.spec.name, benchmark, queue_.now());
+    if (server_down_) {  // the primary died while the Hello was in flight
+      queue_.schedule(queue_.now() + config_.no_work_retry_s,
+                      [this, idx] { machine_join(idx); });
+      return;
+    }
+    refresh_session(mm);
     double reply_at = transfer(handled, kControlBytes) + config_.network.latency_s;
     queue_.schedule(reply_at, [this, idx, gen] { machine_request_work(idx, gen); });
   });
@@ -276,6 +331,13 @@ void SimDriver::machine_request_work(std::size_t idx, int gen) {
   Machine& m = machines_[idx];
   if (!m.alive || m.generation != gen) return;
 
+  if (server_down_) {
+    // Dead primary: the donor's request fails and it retries with backoff
+    // until the standby promotes and starts answering.
+    queue_.schedule(queue_.now() + config_.no_work_retry_s,
+                    [this, idx, gen] { machine_request_work(idx, gen); });
+    return;
+  }
   if (frame_lost()) {
     // Torn RequestWork exchange: over TCP the donor tears the session down
     // and retransmits on a fresh one; in virtual time that is a pure delay.
@@ -290,6 +352,15 @@ void SimDriver::machine_request_work(std::size_t idx, int gen) {
   queue_.schedule(handled, [this, idx, gen] {
     Machine& mm = machines_[idx];
     if (!mm.alive || mm.generation != gen) return;
+    if (server_down_) {  // killed while the request was in flight
+      queue_.schedule(queue_.now() + config_.no_work_retry_s,
+                      [this, idx, gen] { machine_request_work(idx, gen); });
+      return;
+    }
+    // A promoted standby swept the old client rows: the TCP donor would
+    // get an error frame and re-Hello on the same connection; mirror that
+    // before asking for work.
+    if (mm.session != server_session_) refresh_session(mm);
 
     const double lease_start = queue_.now();  // == the lease's issued_at
     auto unit = core_.request_work(mm.client_id, queue_.now());
@@ -356,6 +427,9 @@ void SimDriver::machine_request_work(std::size_t idx, int gen) {
       result.problem_id = u.problem_id;
       result.unit_id = u.unit_id;
       result.stage = u.stage;
+      // Echo the lease's term (v6 fencing): if a standby promoted while
+      // this unit computed, the stale epoch gets the result rejected.
+      result.epoch = u.epoch;
       auto& saturation_counter =
           obs::Registry::global().counter("align.batch_saturations");
       const std::uint64_t saturations_before = saturation_counter.value();
@@ -373,37 +447,65 @@ void SimDriver::machine_request_work(std::size_t idx, int gen) {
         result.payload[at] ^= std::byte{0x5a};
       }
       result.payload_crc = net::crc32(result.payload);
-
-      double submit_at = queue_.now();
-      if (frame_lost()) {
-        // Torn SubmitResult frame: the donor buffers the computed result
-        // across the reconnect and resubmits — the work is never redone,
-        // only delayed (matches Client's pending-result semantics).
-        submit_at += config_.no_work_retry_s;
-      }
-      if (fault_plan_) submit_at += fault_plan_->delay_s();
-      double res_handled = server_handle(
-          transfer(submit_at, static_cast<double>(result.payload.size())) +
-              config_.network.latency_s,
-          static_cast<double>(result.payload.size()));
-      queue_.schedule(res_handled, [this, idx, gen, r = std::move(result),
-                                    res_handled] {
-        Machine& m3 = machines_[idx];
-        core_.submit_result(m3.client_id, r, queue_.now());
-        // Record completion times as problems finish.
-        for (auto& [pid, pctx] : problems_) {
-          if (!pctx.complete_recorded && pctx.dm->is_complete()) {
-            pctx.complete_recorded = true;
-            completion_time_[pid] = queue_.now();
-            last_completion_ = queue_.now();
-          }
-        }
-        if (!m3.alive || m3.generation != gen) return;
-        double ack_at =
-            transfer(res_handled, kControlBytes) + config_.network.latency_s;
-        queue_.schedule(ack_at, [this, idx, gen] { machine_request_work(idx, gen); });
-      });
+      machine_submit(idx, gen, std::move(result));
     });
+  });
+}
+
+void SimDriver::machine_submit(std::size_t idx, int gen,
+                               dist::ResultUnit result) {
+  Machine& m = machines_[idx];
+  if (!m.alive || m.generation != gen) return;  // a crashed donor loses its buffer
+  if (server_down_) {
+    // Dead primary: the donor buffers the computed result across its
+    // reconnect attempts and resubmits once a server answers.
+    queue_.schedule(queue_.now() + config_.no_work_retry_s,
+                    [this, idx, gen, r = std::move(result)]() mutable {
+                      machine_submit(idx, gen, std::move(r));
+                    });
+    return;
+  }
+  double submit_at = queue_.now();
+  if (frame_lost()) {
+    // Torn SubmitResult frame: the donor buffers the computed result
+    // across the reconnect and resubmits — the work is never redone,
+    // only delayed (matches Client's pending-result semantics).
+    submit_at += config_.no_work_retry_s;
+  }
+  if (fault_plan_) submit_at += fault_plan_->delay_s();
+  double res_handled = server_handle(
+      transfer(submit_at, static_cast<double>(result.payload.size())) +
+          config_.network.latency_s,
+      static_cast<double>(result.payload.size()));
+  queue_.schedule(res_handled, [this, idx, gen, r = std::move(result),
+                                res_handled]() mutable {
+    Machine& m3 = machines_[idx];
+    if (server_down_) {  // killed while the result frame was in flight
+      queue_.schedule(queue_.now() + config_.no_work_retry_s,
+                      [this, idx, gen, r = std::move(r)]() mutable {
+                        machine_submit(idx, gen, std::move(r));
+                      });
+      return;
+    }
+    // Promoted standby since we last said Hello: re-register first — the
+    // result still carries the deposed term's epoch, so the fence (not
+    // the fresh client id) decides its fate.
+    if (m3.session != server_session_ && m3.alive && m3.generation == gen) {
+      refresh_session(m3);
+    }
+    core_.submit_result(m3.client_id, r, queue_.now());
+    // Record completion times as problems finish.
+    for (auto& [pid, pctx] : problems_) {
+      if (!pctx.complete_recorded && pctx.dm->is_complete()) {
+        pctx.complete_recorded = true;
+        completion_time_[pid] = queue_.now();
+        last_completion_ = queue_.now();
+      }
+    }
+    if (!m3.alive || m3.generation != gen) return;
+    double ack_at =
+        transfer(res_handled, kControlBytes) + config_.network.latency_s;
+    queue_.schedule(ack_at, [this, idx, gen] { machine_request_work(idx, gen); });
   });
 }
 
@@ -412,7 +514,9 @@ void SimDriver::schedule_tick() {
     if (queue_.now() > config_.max_sim_time) {
       throw Error("simulation exceeded max_sim_time — deadlocked workload?");
     }
-    core_.tick(queue_.now());
+    // A dead primary ticks nothing; the standby's shadow core is driven by
+    // the (now silent) record stream, not a local clock.
+    if (!server_down_) core_.tick(queue_.now());
     if (core_.all_complete()) return;
     bool any_donor_left = false;
     for (const auto& m : machines_) {
@@ -462,6 +566,9 @@ SimOutcome SimDriver::run() {
   }
   schedule_tick();
   if (config_.checkpoint_interval_s > 0) schedule_checkpoint();
+  if (config_.primary_kill_time_s >= 0) {
+    queue_.schedule(config_.primary_kill_time_s, [this] { primary_kill(); });
+  }
 
   queue_.run_until([this] { return core_.all_complete(); });
 
@@ -491,6 +598,7 @@ SimOutcome SimDriver::run() {
   out.checkpoints_saved = checkpoints_saved_;
   out.frames_retransmitted = frames_retransmitted_;
   out.joins_refused = joins_refused_;
+  out.failovers = failovers_;
   out.blobs_sent = blobs_sent_;
   out.blob_cache_hits = blob_cache_hits_;
   out.blob_bytes_raw = blob_bytes_raw_;

@@ -71,6 +71,16 @@ struct SimConfig {
   /// charge a retransmit penalty on the request/submit paths. Faults cost
   /// virtual time and messages, never results.
   net::FaultSpec faults;
+  /// Virtual-time mirror of the hot-standby failover chaos (>= 0 = on): at
+  /// this instant the primary dies — scheduler state round-trips through
+  /// its exact snapshot bytes into the standby's shadow core
+  /// (standby_synced event) and the server stops answering. After
+  /// failover_delay_s the standby promotes: epoch bump + client sweep
+  /// (failover_promoted event). Machines retry through the outage, re-Hello
+  /// on their next exchange, and results computed under the deposed term
+  /// are fenced by epoch exactly like the TCP path.
+  double primary_kill_time_s = -1;
+  double failover_delay_s = 0.5;
 };
 
 struct MachineOutcome {
@@ -95,6 +105,9 @@ struct SimOutcome {
   std::uint64_t frames_retransmitted = 0;
   /// Join attempts refused by injected connect faults and backed off.
   std::uint64_t joins_refused = 0;
+  /// Standby promotions executed (primary_kill_time_s chaos). Stale-epoch
+  /// rejections land in scheduler.results_rejected_stale_epoch.
+  std::uint64_t failovers = 0;
   /// Bulk-data plane (mirrors the TCP bulk.* counters): blobs actually
   /// shipped over the virtual link vs transfers avoided because the
   /// machine already held the digest, plus the raw/wire byte totals (wire
@@ -148,6 +161,10 @@ class SimDriver {
     /// plane for that data again, so neither does the simulated one.
     std::vector<dist::ProblemId> have_data;
     double join_backoff = 0;  // current reconnect delay under connect faults
+    /// Which server incarnation this machine's client id belongs to; when
+    /// it trails server_session_ (a standby promoted), the next exchange
+    /// re-Hellos for a fresh id first — the TCP donor's error-frame path.
+    std::uint64_t session = 0;
   };
 
   struct ProblemCtx {
@@ -161,7 +178,13 @@ class SimDriver {
   // --- simulation mechanics ---
   void machine_join(std::size_t idx);
   void machine_request_work(std::size_t idx, int gen);
+  void machine_submit(std::size_t idx, int gen, dist::ResultUnit result);
   void machine_leave(std::size_t idx);
+  /// Re-Hello a machine whose session predates the current server
+  /// incarnation (fresh client id, same blob cache — the donor process
+  /// survived, only the server changed).
+  void refresh_session(Machine& m);
+  void primary_kill();
   double transfer(double ready_at, double payload_bytes);  // shared link FIFO
   /// Wall-clock time to accrue `compute_s` of donor CPU on machine m,
   /// under its availability model (jitter or owner on/off periods).
@@ -202,6 +225,9 @@ class SimDriver {
   std::uint64_t checkpoints_saved_ = 0;
   std::uint64_t frames_retransmitted_ = 0;
   std::uint64_t joins_refused_ = 0;
+  bool server_down_ = false;        // between primary kill and promotion
+  std::uint64_t server_session_ = 1;  // bumped at promotion
+  std::uint64_t failovers_ = 0;
   std::map<std::uint64_t, double> blob_wire_bytes_;  // digest -> wire cost
   std::uint64_t blobs_sent_ = 0;
   std::uint64_t blob_cache_hits_ = 0;

@@ -146,6 +146,33 @@ class Rng {
   /// Derive an independent child stream (e.g. one per simulated machine).
   Rng fork() { return Rng(next_u64()); }
 
+  // ---- exact-state capture (WAL / replication) ----
+  //
+  // The scheduler's integrity RNG must survive an exact snapshot/restore
+  // round-trip bit-for-bit, or a replayed core would draw different
+  // spot-check decisions than the live core it mirrors. The Box–Muller
+  // spare is folded in so `normal()` streams also resume exactly.
+
+  struct State {
+    std::uint64_t s[4] = {};
+    double spare = 0;
+    bool has_spare = false;
+  };
+
+  [[nodiscard]] State state() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.spare = spare_;
+    st.has_spare = has_spare_;
+    return st;
+  }
+
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    spare_ = st.spare;
+    has_spare_ = st.has_spare;
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
   std::uint64_t state_[4] = {};

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "bio/seqgen.hpp"
@@ -529,6 +530,332 @@ TEST(Chaos, VoteTraceSchemaSharedAcrossServerAndSim) {
   }
   dump_trace(server_tracer, "chaos_vote_schema_server");
   dump_trace(sim_tracer, "chaos_vote_schema_sim");
+}
+
+TEST(Chaos, WalReplayLosesNoAcceptedResultAcrossKill) {
+  // A WAL'd server is killed with results accepted but NO recent
+  // checkpoint (checkpointing is off entirely): everything the restarted
+  // server knows comes from base-snapshot + record replay. Every result
+  // acked before the kill must still be counted after it — the durability
+  // window is zero, not checkpoint_interval_s.
+  dsearch::register_algorithm();
+  dprml::register_algorithm();
+
+  Rng rng(311);
+  auto queries = bio::make_queries(rng, 2, 60, bio::Alphabet::kProtein);
+  bio::DatabaseSpec spec;
+  spec.num_sequences = 40;
+  spec.mean_length = 80;
+  auto database = bio::make_database(rng, spec, queries);
+  dsearch::DSearchConfig dcfg;
+  dcfg.top_k = 8;
+  auto tree = phylo::random_tree(rng, {7, 0.12, "t"});
+  auto aln = phylo::simulate_alignment(rng, tree, phylo::SubstModel::jc69(),
+                                       phylo::RateModel::uniform(), {250});
+  dprml::DPRmlConfig pcfg;
+  pcfg.model_spec = "JC69";
+  pcfg.branch_tolerance = 1e-3;
+  pcfg.eval_passes = 1;
+  pcfg.refine_passes = 1;
+  pcfg.use_eval_cache = false;
+
+  std::vector<std::byte> ref_ds, ref_ml;
+  {
+    dsearch::DSearchDataManager dm(queries, database, dcfg);
+    ref_ds = run_locally(dm, 2e5);
+  }
+  {
+    dprml::DPRmlDataManager dm(aln, pcfg);
+    ref_ml = run_locally(dm, 1.0);
+  }
+
+  std::string wal_dir = testing::TempDir() + "hdcs_chaos_wal";
+  std::filesystem::remove_all(wal_dir);
+  obs::Tracer tracer;
+  tracer.to_memory();
+  ServerConfig scfg;
+  scfg.port = pick_port();
+  scfg.scheduler.bounds.min_ops = 1;
+  scfg.scheduler.lease_timeout = 1.5;
+  scfg.scheduler.client_timeout = 1.5;
+  scfg.policy_spec = "adaptive:0.02";
+  scfg.tick_interval_s = 0.02;
+  scfg.no_work_retry_s = 0.02;
+  scfg.wal_dir = wal_dir;
+  scfg.wal_segment_bytes = 16 << 10;  // force rotations under load
+  scfg.tracer = &tracer;
+
+  auto server = std::make_unique<Server>(scfg);
+  server->start();
+  auto pid_ds = server->submit_problem(
+      std::make_shared<dsearch::DSearchDataManager>(queries, database, dcfg));
+  auto pid_ml =
+      server->submit_problem(std::make_shared<dprml::DPRmlDataManager>(aln, pcfg));
+
+  constexpr int kDonors = 3;
+  std::vector<std::thread> donors;
+  std::atomic<int> donor_failures{0};
+  for (int i = 0; i < kDonors; ++i) {
+    donors.emplace_back([&, i] {
+      ClientConfig ccfg;
+      ccfg.server_port = scfg.port;
+      ccfg.name = "durable-" + std::to_string(i);
+      ccfg.max_connect_attempts = 0;
+      try {
+        Client(ccfg).run();
+      } catch (const Error&) {
+        donor_failures.fetch_add(1);
+      }
+    });
+  }
+
+  // Let real progress accrue, then kill. The accepted count read here is a
+  // floor for what replay must reproduce: each of these results was WAL'd
+  // and fsynced *before* its ack was sent.
+  std::uint64_t accepted_before = 0;
+  for (int i = 0; i < 1000 && accepted_before < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    accepted_before = server->stats().results_accepted;
+  }
+  ASSERT_GE(accepted_before, 5u) << "no progress before the kill";
+  server.reset();
+
+  server = std::make_unique<Server>(scfg);
+  auto pid_ds2 = server->submit_problem(
+      std::make_shared<dsearch::DSearchDataManager>(queries, database, dcfg));
+  auto pid_ml2 =
+      server->submit_problem(std::make_shared<dprml::DPRmlDataManager>(aln, pcfg));
+  ASSERT_EQ(pid_ds2, pid_ds);
+  ASSERT_EQ(pid_ml2, pid_ml);
+  server->start();  // recovers from the WAL: snapshot + replay
+
+  // Replay restored at least everything acked before the kill, and the
+  // revived server entered a new term so stale pre-kill leases are fenced.
+  EXPECT_GE(server->stats().results_accepted, accepted_before);
+  EXPECT_GE(server->epoch(), 2u);
+  EXPECT_GE(count_events(tracer, "wal_recovered"), 1);
+
+  ASSERT_TRUE(server->wait_for_problem(pid_ds2, 120.0)) << "DSEARCH stalled";
+  ASSERT_TRUE(server->wait_for_problem(pid_ml2, 120.0)) << "DPRml stalled";
+  for (auto& t : donors) t.join();
+  EXPECT_EQ(donor_failures.load(), 0);
+
+  EXPECT_EQ(server->final_result(pid_ds2), ref_ds);
+  EXPECT_EQ(server->final_result(pid_ml2), ref_ml);
+  server->stop();
+  dump_trace(tracer, "chaos_wal_replay_tcp");
+  std::filesystem::remove_all(wal_dir);
+}
+
+TEST(Chaos, StandbyPromotesAndFinishesAfterPrimaryKill) {
+  // Full failover over real TCP: a WAL'd primary streams its state to a
+  // hot standby; donors carry both endpoints. Mid-run the primary is
+  // killed — the standby promotes (epoch bump), the donors rotate to it,
+  // and both workloads finish byte-identical. Results computed under the
+  // deposed term are fenced by epoch, never merged twice.
+  dsearch::register_algorithm();
+  dprml::register_algorithm();
+
+  Rng rng(419);
+  auto queries = bio::make_queries(rng, 2, 60, bio::Alphabet::kProtein);
+  bio::DatabaseSpec spec;
+  spec.num_sequences = 40;
+  spec.mean_length = 80;
+  auto database = bio::make_database(rng, spec, queries);
+  dsearch::DSearchConfig dcfg;
+  dcfg.top_k = 8;
+  auto tree = phylo::random_tree(rng, {7, 0.12, "t"});
+  auto aln = phylo::simulate_alignment(rng, tree, phylo::SubstModel::jc69(),
+                                       phylo::RateModel::uniform(), {250});
+  dprml::DPRmlConfig pcfg;
+  pcfg.model_spec = "JC69";
+  pcfg.branch_tolerance = 1e-3;
+  pcfg.eval_passes = 1;
+  pcfg.refine_passes = 1;
+  pcfg.use_eval_cache = false;
+
+  std::vector<std::byte> ref_ds, ref_ml;
+  {
+    dsearch::DSearchDataManager dm(queries, database, dcfg);
+    ref_ds = run_locally(dm, 2e5);
+  }
+  {
+    dprml::DPRmlDataManager dm(aln, pcfg);
+    ref_ml = run_locally(dm, 1.0);
+  }
+
+  std::string wal_primary = testing::TempDir() + "hdcs_failover_primary";
+  std::string wal_standby = testing::TempDir() + "hdcs_failover_standby";
+  std::filesystem::remove_all(wal_primary);
+  std::filesystem::remove_all(wal_standby);
+
+  obs::Tracer tracer;  // shared: primary + standby write one timeline
+  tracer.to_memory();
+  ServerConfig pcfg_srv;
+  pcfg_srv.port = pick_port();
+  pcfg_srv.scheduler.bounds.min_ops = 1;
+  pcfg_srv.scheduler.lease_timeout = 1.5;
+  pcfg_srv.scheduler.client_timeout = 1.5;
+  pcfg_srv.policy_spec = "adaptive:0.02";
+  pcfg_srv.tick_interval_s = 0.02;
+  pcfg_srv.no_work_retry_s = 0.02;
+  pcfg_srv.wal_dir = wal_primary;
+  pcfg_srv.tracer = &tracer;
+
+  ServerConfig scfg_srv = pcfg_srv;
+  scfg_srv.port = pick_port();
+  scfg_srv.wal_dir = wal_standby;
+  scfg_srv.primary_host = "127.0.0.1";
+  scfg_srv.primary_port = pcfg_srv.port;
+  scfg_srv.failover_timeout_s = 0.4;
+  scfg_srv.standby_name = "standby-1";
+
+  auto primary = std::make_unique<Server>(pcfg_srv);
+  auto pid_ds = primary->submit_problem(
+      std::make_shared<dsearch::DSearchDataManager>(queries, database, dcfg));
+  auto pid_ml = primary->submit_problem(
+      std::make_shared<dprml::DPRmlDataManager>(aln, pcfg));
+  primary->start();
+
+  // The standby registers the same problems (same order -> same ids), then
+  // syncs the primary's exact snapshot and tails its record stream.
+  Server standby(scfg_srv);
+  auto pid_ds_s = standby.submit_problem(
+      std::make_shared<dsearch::DSearchDataManager>(queries, database, dcfg));
+  auto pid_ml_s = standby.submit_problem(
+      std::make_shared<dprml::DPRmlDataManager>(aln, pcfg));
+  ASSERT_EQ(pid_ds_s, pid_ds);
+  ASSERT_EQ(pid_ml_s, pid_ml);
+  standby.start();
+  ASSERT_TRUE(standby.is_standby());
+
+  for (int i = 0; i < 500 && !standby.standby_synced(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(standby.standby_synced()) << "standby never synced";
+
+  // Donors know both endpoints; they stick with the one that answers.
+  constexpr int kDonors = 3;
+  std::vector<std::thread> donors;
+  std::atomic<int> donor_failures{0};
+  for (int i = 0; i < kDonors; ++i) {
+    donors.emplace_back([&, i] {
+      ClientConfig ccfg;
+      ccfg.servers = {{"127.0.0.1", pcfg_srv.port}, {"127.0.0.1", scfg_srv.port}};
+      ccfg.name = "ha-" + std::to_string(i);
+      ccfg.max_connect_attempts = 0;
+      ccfg.backoff_max_s = 0.2;  // keep the promotion gap cheap
+      try {
+        Client(ccfg).run();
+      } catch (const Error&) {
+        donor_failures.fetch_add(1);
+      }
+    });
+  }
+
+  // Progress on the primary, then kill it mid-run. Donors are mid-lease.
+  std::uint64_t accepted_before = 0;
+  for (int i = 0; i < 1000 && accepted_before < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    accepted_before = primary->stats().results_accepted;
+  }
+  ASSERT_GE(accepted_before, 5u) << "no progress before the kill";
+  primary.reset();
+
+  // The stream goes silent; after failover_timeout_s the standby promotes.
+  for (int i = 0; i < 1000 && standby.is_standby(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_FALSE(standby.is_standby()) << "standby never promoted";
+  EXPECT_GE(standby.epoch(), 2u);  // a new term fences deposed-primary work
+
+  ASSERT_TRUE(standby.wait_for_problem(pid_ds_s, 120.0)) << "DSEARCH stalled";
+  ASSERT_TRUE(standby.wait_for_problem(pid_ml_s, 120.0)) << "DPRml stalled";
+  for (auto& t : donors) t.join();
+  EXPECT_EQ(donor_failures.load(), 0);
+
+  // The replicated state picked up where the primary left off: everything
+  // the primary acked was already on the standby, and the merged answers
+  // are byte-identical to fault-free local runs.
+  EXPECT_GE(standby.stats().results_accepted, accepted_before);
+  EXPECT_EQ(standby.final_result(pid_ds_s), ref_ds);
+  EXPECT_EQ(standby.final_result(pid_ml_s), ref_ml);
+
+  // The failover left its audit trail on the shared timeline.
+  EXPECT_GE(count_events(tracer, "replica_attached"), 1);
+  EXPECT_GE(count_events(tracer, "standby_synced"), 1);
+  EXPECT_GE(count_events(tracer, "failover_promoted"), 1);
+  standby.stop();
+  dump_trace(tracer, "chaos_failover_tcp");
+  std::filesystem::remove_all(wal_primary);
+  std::filesystem::remove_all(wal_standby);
+}
+
+TEST(Chaos, SimulatedFailoverMatchesFaultFreeRun) {
+  // Virtual-time mirror: the same two workloads with the primary killed at
+  // t=5s of simulated time. The promoted standby (epoch 2) finishes both;
+  // answers are byte-identical to a run with no failover, and results
+  // computed under the deposed term are fenced, never merged.
+  dsearch::register_algorithm();
+  dprml::register_algorithm();
+
+  Rng rng(523);
+  auto queries = bio::make_queries(rng, 2, 60, bio::Alphabet::kProtein);
+  bio::DatabaseSpec spec;
+  spec.num_sequences = 30;
+  spec.mean_length = 80;
+  auto database = bio::make_database(rng, spec, queries);
+  dsearch::DSearchConfig dcfg;
+  dcfg.top_k = 8;
+  auto tree = phylo::random_tree(rng, {6, 0.12, "t"});
+  auto aln = phylo::simulate_alignment(rng, tree, phylo::SubstModel::jc69(),
+                                       phylo::RateModel::uniform(), {200});
+  dprml::DPRmlConfig pcfg;
+  pcfg.model_spec = "JC69";
+  pcfg.branch_tolerance = 1e-3;
+  pcfg.eval_passes = 1;
+  pcfg.refine_passes = 1;
+  pcfg.use_eval_cache = false;
+
+  auto run_sim = [&](double kill_time, obs::Tracer* tracer) {
+    sim::SimConfig simcfg;
+    simcfg.reference_ops_per_sec = 1e6;
+    simcfg.scheduler.lease_timeout = 30.0;
+    simcfg.scheduler.bounds.min_ops = 1;
+    simcfg.policy_spec = "adaptive:0.02";
+    simcfg.no_work_retry_s = 0.25;
+    simcfg.tick_interval_s = 0.5;
+    simcfg.primary_kill_time_s = kill_time;
+    simcfg.failover_delay_s = 0.5;
+    simcfg.tracer = tracer;
+    sim::SimDriver sim(simcfg, sim::lab_fleet(8));
+    auto pid_ds = sim.add_problem(
+        std::make_shared<dsearch::DSearchDataManager>(queries, database, dcfg));
+    auto pid_ml =
+        sim.add_problem(std::make_shared<dprml::DPRmlDataManager>(aln, pcfg));
+    auto outcome = sim.run();
+    return std::make_tuple(outcome, pid_ds, pid_ml);
+  };
+
+  auto [clean, pid_ds, pid_ml] = run_sim(-1, nullptr);
+  EXPECT_EQ(clean.failovers, 0u);
+
+  obs::Tracer tracer;
+  tracer.to_memory();
+  auto [chaotic, pid_ds2, pid_ml2] = run_sim(5.0, &tracer);
+  EXPECT_EQ(chaotic.failovers, 1u);
+  EXPECT_GT(chaotic.makespan_s, 5.0) << "kill fired after completion";
+
+  // Same answers with and without the failover.
+  EXPECT_EQ(chaotic.final_results.at(pid_ds2), clean.final_results.at(pid_ds));
+  EXPECT_EQ(chaotic.final_results.at(pid_ml2), clean.final_results.at(pid_ml));
+
+  // In-flight units finished under the deposed term were fenced by epoch
+  // (machines compute through the outage and submit after promotion).
+  EXPECT_GT(chaotic.scheduler.results_rejected_stale_epoch, 0u);
+  EXPECT_GE(count_events(tracer, "standby_synced"), 1);
+  EXPECT_GE(count_events(tracer, "failover_promoted"), 1);
+  dump_trace(tracer, "chaos_failover_sim");
 }
 
 TEST(Chaos, PoisonUnitQuarantinedOverTcp) {

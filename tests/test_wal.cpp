@@ -1,0 +1,482 @@
+// WAL durability edges: record codec, segment rotation + recovery,
+// compaction, torn/corrupt tail fuzzing (recovery must stop at the last
+// valid record, never crash), replayed-core == live-core equivalence, the
+// epoch fence, and the client's session-surviving reconnect backoff.
+
+#include "dist/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/client.hpp"
+#include "dist/scheduler_core.hpp"
+#include "tests/toy_problem.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hdcs::dist {
+namespace {
+
+using test::ToySumAlgorithm;
+using test::ToySumDataManager;
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  std::string dir = testing::TempDir() + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+SchedulerConfig small_config() {
+  SchedulerConfig cfg;
+  cfg.lease_timeout = 100.0;
+  cfg.bounds.min_ops = 1;
+  cfg.bounds.max_ops = 1e9;
+  return cfg;
+}
+
+ResultUnit execute(const WorkUnit& unit, std::span<const std::byte> problem_data) {
+  ToySumAlgorithm algo;
+  algo.initialize(problem_data);
+  ResultUnit r;
+  r.problem_id = unit.problem_id;
+  r.unit_id = unit.unit_id;
+  r.stage = unit.stage;
+  r.epoch = unit.epoch;
+  r.payload = algo.process(unit);
+  return r;
+}
+
+WalRecord sample_record(WalOp op, std::uint64_t lsn) {
+  WalRecord rec;
+  rec.lsn = lsn;
+  rec.op = op;
+  rec.now = 1.25 * static_cast<double>(lsn);
+  switch (op) {
+    case WalOp::kClientJoined:
+      rec.name = "lab3-pc07";
+      rec.benchmark = 5.25e7;
+      break;
+    case WalOp::kClientLeft:
+    case WalOp::kHeartbeat:
+    case WalOp::kRequestWork:
+      rec.arg = 17;
+      break;
+    case WalOp::kEpoch:
+      rec.arg = 4;
+      break;
+    case WalOp::kSubmitResult: {
+      rec.arg = 17;
+      rec.result.problem_id = 2;
+      rec.result.unit_id = 33;
+      rec.result.stage = 1;
+      ByteWriter w;
+      w.str("result payload");
+      rec.result.payload = w.take();
+      rec.result.payload_crc = 0xfeedf00d;
+      rec.result.epoch = 3;
+      break;
+    }
+    case WalOp::kTick:
+      break;
+  }
+  return rec;
+}
+
+TEST(Wal, RecordCodecRoundTripsEveryOp) {
+  for (auto op : {WalOp::kClientJoined, WalOp::kClientLeft, WalOp::kHeartbeat,
+                  WalOp::kRequestWork, WalOp::kSubmitResult, WalOp::kTick,
+                  WalOp::kEpoch}) {
+    auto rec = sample_record(op, 42);
+    auto back = decode_wal_record(encode_wal_record(rec));
+    EXPECT_EQ(back.lsn, rec.lsn);
+    EXPECT_EQ(back.op, rec.op);
+    EXPECT_DOUBLE_EQ(back.now, rec.now);
+    EXPECT_EQ(back.arg, rec.arg);
+    EXPECT_EQ(back.name, rec.name);
+    EXPECT_DOUBLE_EQ(back.benchmark, rec.benchmark);
+    if (op == WalOp::kSubmitResult) {
+      EXPECT_EQ(back.result.problem_id, rec.result.problem_id);
+      EXPECT_EQ(back.result.unit_id, rec.result.unit_id);
+      EXPECT_EQ(back.result.stage, rec.result.stage);
+      EXPECT_EQ(back.result.payload, rec.result.payload);
+      EXPECT_EQ(back.result.payload_crc, rec.result.payload_crc);
+      EXPECT_EQ(back.result.epoch, rec.result.epoch);
+    }
+  }
+}
+
+TEST(Wal, RecordCodecRejectsCorruption) {
+  auto bytes = encode_wal_record(sample_record(WalOp::kSubmitResult, 1));
+  auto truncated = bytes;
+  truncated.pop_back();
+  EXPECT_THROW(decode_wal_record(truncated), Error);
+  auto bad_op = bytes;
+  bad_op[8] = std::byte{0xff};  // op byte follows the u64 lsn
+  EXPECT_THROW(decode_wal_record(bad_op), ProtocolError);
+}
+
+TEST(Wal, AppendRotateReopenRecovers) {
+  std::string dir = fresh_dir("wal_rotate");
+  constexpr int kRecords = 60;
+  {
+    WalLog wal({dir, 1024});  // tiny segments to force several rotations
+    auto rec0 = wal.take_recovery();
+    EXPECT_FALSE(rec0.base_snapshot.has_value());
+    EXPECT_TRUE(rec0.tail.empty());
+    EXPECT_EQ(rec0.next_lsn, 1u);
+    for (int i = 0; i < kRecords; ++i) {
+      auto lsn = wal.append(sample_record(
+          static_cast<WalOp>(1 + i % 7), 0));  // 0 = assign next lsn
+      EXPECT_EQ(lsn, static_cast<std::uint64_t>(i + 1));
+    }
+    EXPECT_GT(wal.segment_count(), 1u);  // rotation actually happened
+    wal.sync();
+  }
+  WalLog wal({dir, 1024});
+  auto rec = wal.take_recovery();
+  EXPECT_FALSE(rec.base_snapshot.has_value());
+  ASSERT_EQ(rec.tail.size(), static_cast<std::size_t>(kRecords));
+  EXPECT_GT(rec.segments_scanned, 1u);
+  EXPECT_EQ(rec.torn_bytes_truncated, 0u);
+  for (int i = 0; i < kRecords; ++i) {
+    EXPECT_EQ(rec.tail[static_cast<std::size_t>(i)].lsn,
+              static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(rec.tail[static_cast<std::size_t>(i)].op,
+              static_cast<WalOp>(1 + i % 7));
+  }
+  EXPECT_EQ(wal.next_lsn(), static_cast<std::uint64_t>(kRecords + 1));
+  // Appending a wrong explicit lsn (a standby fed a gapped stream) throws.
+  EXPECT_THROW(wal.append(sample_record(WalOp::kTick, 5)), ProtocolError);
+}
+
+TEST(Wal, CompactionFoldsTailIntoBase) {
+  std::string dir = fresh_dir("wal_compact");
+  std::vector<std::byte> snapshot;
+  for (int i = 0; i < 100; ++i) snapshot.push_back(std::byte{std::uint8_t(i)});
+  {
+    WalLog wal({dir, 1024});
+    (void)wal.take_recovery();
+    for (int i = 0; i < 10; ++i) wal.append(sample_record(WalOp::kTick, 0));
+    wal.compact(snapshot, 1.0);
+    EXPECT_EQ(wal.segment_count(), 1u);  // old segments unlinked
+    for (int i = 0; i < 3; ++i) wal.append(sample_record(WalOp::kHeartbeat, 0));
+    wal.sync();
+  }
+  WalLog wal({dir, 1024});
+  auto rec = wal.take_recovery();
+  ASSERT_TRUE(rec.base_snapshot.has_value());
+  EXPECT_EQ(*rec.base_snapshot, snapshot);
+  ASSERT_EQ(rec.tail.size(), 3u);  // only the post-compaction records
+  EXPECT_EQ(rec.tail[0].lsn, 11u);
+  EXPECT_EQ(rec.next_lsn, 14u);
+}
+
+TEST(Wal, ResetAdoptsPrimarySnapshotAndLsn) {
+  std::string dir = fresh_dir("wal_reset");
+  std::vector<std::byte> snapshot(32, std::byte{0xab});
+  {
+    WalLog wal({dir, 4096});
+    (void)wal.take_recovery();
+    for (int i = 0; i < 5; ++i) wal.append(sample_record(WalOp::kTick, 0));
+    // Replication sync: discard local history, adopt the primary's base
+    // and stream position.
+    wal.reset(snapshot, 500, 2.0);
+    EXPECT_EQ(wal.next_lsn(), 500u);
+    wal.append(sample_record(WalOp::kTick, 500));
+    wal.sync();
+  }
+  WalLog wal({dir, 4096});
+  auto rec = wal.take_recovery();
+  ASSERT_TRUE(rec.base_snapshot.has_value());
+  EXPECT_EQ(*rec.base_snapshot, snapshot);
+  ASSERT_EQ(rec.tail.size(), 1u);
+  EXPECT_EQ(rec.tail[0].lsn, 500u);
+}
+
+/// Copy a pristine WAL directory into a scratch one for corruption.
+void clone_dir(const std::string& from, const std::string& to) {
+  fs::remove_all(to);
+  fs::create_directories(to);
+  for (const auto& entry : fs::directory_iterator(from)) {
+    fs::copy_file(entry.path(), fs::path(to) / entry.path().filename());
+  }
+}
+
+std::size_t recovered_count(const std::string& dir) {
+  WalLog wal({dir, 1024});
+  auto rec = wal.take_recovery();
+  // Whatever survives must be an lsn-contiguous prefix from 1.
+  for (std::size_t i = 0; i < rec.tail.size(); ++i) {
+    EXPECT_EQ(rec.tail[i].lsn, static_cast<std::uint64_t>(i + 1));
+  }
+  return rec.tail.size();
+}
+
+TEST(Wal, TornAndBitFlippedTailsNeverCrashRecovery) {
+  // Build a multi-segment log, then attack the newest segment with every
+  // truncation length and a sweep of single-bit flips (including frames
+  // straddling the segment boundary via the *previous* segment's tail).
+  // Recovery must never throw and must always yield an lsn-contiguous
+  // prefix of what was written.
+  std::string pristine = fresh_dir("wal_fuzz_pristine");
+  constexpr std::size_t kRecords = 40;
+  {
+    WalLog wal({pristine, 1024});
+    (void)wal.take_recovery();
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      wal.append(sample_record(static_cast<WalOp>(1 + i % 7), 0));
+    }
+    wal.sync();
+  }
+  ASSERT_EQ(recovered_count(pristine), kRecords);
+
+  // Newest-first segment paths (recovery sorts by the lsn in the name).
+  std::vector<std::string> segs;
+  for (const auto& entry : fs::directory_iterator(pristine)) {
+    if (entry.path().filename().string().rfind("wal-", 0) == 0) {
+      segs.push_back(entry.path().string());
+    }
+  }
+  std::sort(segs.begin(), segs.end());
+  ASSERT_GE(segs.size(), 2u);
+
+  std::string work = testing::TempDir() + "wal_fuzz_work";
+  auto mutate = [&](const std::string& seg, auto&& fn) {
+    clone_dir(pristine, work);
+    std::string target =
+        work + "/" + fs::path(seg).filename().string();
+    auto size = fs::file_size(target);
+    fn(target, size);
+    std::size_t n = 0;
+    EXPECT_NO_THROW(n = recovered_count(work)) << target;
+    EXPECT_LE(n, kRecords);
+  };
+
+  // Truncations: every length of the last segment, plus a torn tail of the
+  // *previous* segment (which orphans the whole last segment).
+  const std::string& last = segs.back();
+  auto last_size = fs::file_size(last);
+  for (std::uintmax_t cut = 0; cut < last_size; ++cut) {
+    mutate(last, [&](const std::string& target, std::uintmax_t) {
+      fs::resize_file(target, cut);
+    });
+  }
+  mutate(segs[segs.size() - 2], [&](const std::string& target,
+                                    std::uintmax_t size) {
+    ASSERT_GT(size, 3u);
+    fs::resize_file(target, size - 3);
+  });
+
+  // Bit flips: deterministic sample of byte offsets across the last two
+  // segments (length fields, CRCs, lsns, and payload bytes all get hit).
+  Rng rng(99);
+  for (const std::string& seg : {segs[segs.size() - 2], last}) {
+    auto size = fs::file_size(seg);
+    for (int trial = 0; trial < 48; ++trial) {
+      auto at = static_cast<std::uintmax_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(size) - 1));
+      auto bit = static_cast<int>(rng.uniform_int(0, 7));
+      mutate(seg, [&](const std::string& target, std::uintmax_t) {
+        std::fstream f(target, std::ios::in | std::ios::out | std::ios::binary);
+        f.seekg(static_cast<std::streamoff>(at));
+        char c = 0;
+        f.get(c);
+        c = static_cast<char>(c ^ (1 << bit));
+        f.seekp(static_cast<std::streamoff>(at));
+        f.put(c);
+      });
+    }
+  }
+  fs::remove_all(pristine);
+  fs::remove_all(work);
+}
+
+TEST(Wal, ReplayedCoreMatchesLiveCoreFieldForField) {
+  // Drive a live core through joins, leases, submissions, heartbeats,
+  // ticks, a departure and an epoch bump, logging each mutation exactly
+  // like the server does. Replaying base + tail into a fresh core with the
+  // same problems must land in a byte-identical exact snapshot.
+  std::string dir = fresh_dir("wal_replay");
+  SchedulerCore live(small_config(), std::make_unique<FixedGranularity>(40));
+  auto pid = live.submit_problem(std::make_shared<ToySumDataManager>(400));
+  auto problem_data = ToySumDataManager(400).problem_data();
+
+  {
+    WalLog wal({dir, 4096});
+    (void)wal.take_recovery();
+    ByteWriter base;
+    live.snapshot_exact(base);
+    wal.compact(base.data(), 0.0);
+
+    auto log = [&](WalRecord rec) {
+      rec.lsn = 0;
+      wal.append(rec);
+    };
+    double t = 1.0;
+    WalRecord join;
+    join.op = WalOp::kClientJoined;
+    join.now = t;
+    join.name = "donor-a";
+    join.benchmark = 1e6;
+    auto a = live.client_joined(join.name, join.benchmark, t);
+    join.arg = a;
+    log(join);
+    join.name = "donor-b";
+    auto b = live.client_joined(join.name, join.benchmark, t += 0.5);
+    join.now = t;
+    join.arg = b;
+    log(join);
+
+    for (int round = 0; round < 6; ++round) {
+      for (ClientId c : {a, b}) {
+        t += 0.25;
+        auto unit = live.request_work(c, t);
+        WalRecord req;
+        req.op = WalOp::kRequestWork;
+        req.now = t;
+        req.arg = c;
+        log(req);
+        if (!unit) continue;
+        t += 0.25;
+        auto result = execute(*unit, problem_data);
+        WalRecord sub;
+        sub.op = WalOp::kSubmitResult;
+        sub.now = t;
+        sub.arg = c;
+        sub.result = result;
+        live.submit_result(c, result, t);
+        log(sub);
+      }
+      t += 0.1;
+      live.heartbeat(a, t);
+      WalRecord hb;
+      hb.op = WalOp::kHeartbeat;
+      hb.now = t;
+      hb.arg = a;
+      log(hb);
+      t += 0.1;
+      live.tick(t);
+      WalRecord tick;
+      tick.op = WalOp::kTick;
+      tick.now = t;
+      log(tick);
+    }
+    t += 0.5;
+    live.client_left(b, t);
+    WalRecord left;
+    left.op = WalOp::kClientLeft;
+    left.now = t;
+    left.arg = b;
+    log(left);
+    t += 0.5;
+    live.bump_epoch(live.epoch() + 1);
+    WalRecord ep;
+    ep.op = WalOp::kEpoch;
+    ep.now = t;
+    ep.arg = live.epoch();
+    log(ep);
+    wal.sync();
+  }
+
+  SchedulerCore replayed(small_config(),
+                         std::make_unique<FixedGranularity>(40));
+  auto pid2 = replayed.submit_problem(std::make_shared<ToySumDataManager>(400));
+  ASSERT_EQ(pid2, pid);
+  WalLog wal({dir, 4096});
+  auto rec = wal.take_recovery();
+  ASSERT_TRUE(rec.base_snapshot.has_value());
+  ByteReader r{std::span<const std::byte>(*rec.base_snapshot)};
+  replayed.restore_exact(r);
+  EXPECT_GT(rec.tail.size(), 10u);
+  for (const auto& record : rec.tail) apply_wal_record(replayed, record);
+
+  ByteWriter live_snap, replay_snap;
+  live.snapshot_exact(live_snap);
+  replayed.snapshot_exact(replay_snap);
+  EXPECT_EQ(live_snap.data().size(), replay_snap.data().size());
+  EXPECT_TRUE(std::equal(live_snap.data().begin(), live_snap.data().end(),
+                         replay_snap.data().begin(), replay_snap.data().end()))
+      << "replayed core diverged from the live core";
+  fs::remove_all(dir);
+}
+
+TEST(Wal, EpochFenceRejectsDeposedPrimaryResults) {
+  SchedulerCore core(small_config(), std::make_unique<FixedGranularity>(50));
+  core.submit_problem(std::make_shared<ToySumDataManager>(200));
+  auto problem_data = ToySumDataManager(200).problem_data();
+  auto c = core.client_joined("donor", 1e6, 0.0);
+
+  auto unit = core.request_work(c, 1.0);
+  ASSERT_TRUE(unit.has_value());
+  EXPECT_EQ(unit->epoch, 1u);  // leases carry the current term
+  auto stale = execute(*unit, problem_data);
+
+  // A standby promoted: the term advances, the old lease's echo is fenced.
+  core.bump_epoch(2);
+  EXPECT_FALSE(core.submit_result(c, stale, 2.0));
+  EXPECT_EQ(core.stats().results_rejected_stale_epoch, 1u);
+
+  // Fresh lease under the new term is accepted...
+  auto unit2 = core.request_work(c, 3.0);
+  ASSERT_TRUE(unit2.has_value());
+  EXPECT_EQ(unit2->epoch, 2u);
+  EXPECT_TRUE(core.submit_result(c, execute(*unit2, problem_data), 4.0));
+
+  // ...and a legacy (pre-v6) donor result with epoch 0 is never fenced.
+  auto unit3 = core.request_work(c, 5.0);
+  ASSERT_TRUE(unit3.has_value());
+  auto legacy = execute(*unit3, problem_data);
+  legacy.epoch = 0;
+  EXPECT_TRUE(core.submit_result(c, legacy, 6.0));
+
+  // Terms are monotonic.
+  EXPECT_THROW(core.bump_epoch(1), ProtocolError);
+}
+
+TEST(Wal, ReconnectBackoffResetsOnlyAfterHealthySession) {
+  ReconnectBackoff backoff(0.1, 1.0, 3);
+  EXPECT_DOUBLE_EQ(backoff.current_delay(), 0.0);
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.1);
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.2);
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.4);
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.8);
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 1.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 1.0);
+
+  // Reconnecting alone does not reset: two acks then a lost session keep
+  // the escalation (the streak restarts, not the delay).
+  EXPECT_FALSE(backoff.heartbeat_ok());
+  EXPECT_FALSE(backoff.heartbeat_ok());
+  backoff.session_lost();
+  EXPECT_FALSE(backoff.heartbeat_ok());
+  EXPECT_FALSE(backoff.heartbeat_ok());
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 1.0);  // still escalated
+  backoff.session_lost();
+
+  // Three consecutive acks prove the session healthy and reset the delay,
+  // so the donor that survived one blip pays the short initial wait again.
+  EXPECT_FALSE(backoff.heartbeat_ok());
+  EXPECT_FALSE(backoff.heartbeat_ok());
+  EXPECT_TRUE(backoff.heartbeat_ok());
+  EXPECT_DOUBLE_EQ(backoff.current_delay(), 0.0);
+  EXPECT_DOUBLE_EQ(backoff.next_delay(), 0.1);
+
+  // reset_beats <= 0 disables the reset entirely.
+  ReconnectBackoff never(0.1, 1.0, 0);
+  (void)never.next_delay();
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(never.heartbeat_ok());
+  EXPECT_DOUBLE_EQ(never.next_delay(), 0.2);
+}
+
+}  // namespace
+}  // namespace hdcs::dist

@@ -122,6 +122,63 @@ TEST(Wire, SubmitResultV4FrameHasNoTrailer) {
   EXPECT_FALSE(decoded.profile.has_value());
 }
 
+TEST(Wire, V6EpochRoundTripsOnWorkAndResult) {
+  // v6 frames carry the fencing epoch on both the lease and the echo;
+  // v5 frames must stay bit-identical to the pre-epoch shape.
+  WorkUnit unit;
+  unit.problem_id = 3;
+  unit.unit_id = 99;
+  unit.epoch = 7;
+  auto v6 = decode_work_assignment(encode_work_assignment(unit, 5, 6));
+  EXPECT_EQ(v6.epoch, 7u);
+  auto v5 = decode_work_assignment(encode_work_assignment(unit, 5, 5));
+  EXPECT_EQ(v5.epoch, 0u);  // absent from the frame -> default
+
+  ResultUnit result;
+  result.problem_id = 3;
+  result.unit_id = 99;
+  result.epoch = 7;
+  auto [c6, r6] = decode_submit_result(encode_submit_result(9, result, 5, 6));
+  EXPECT_EQ(c6, 9u);
+  EXPECT_EQ(r6.epoch, 7u);
+  auto [c5, r5] = decode_submit_result(encode_submit_result(9, result, 5, 5));
+  EXPECT_EQ(c5, 9u);
+  EXPECT_EQ(r5.epoch, 0u);
+
+  // A v5 encoder drops the epoch without shifting any other field.
+  ResultUnit plain = result;
+  plain.epoch = 0;
+  EXPECT_EQ(encode_submit_result(9, result, 5, 5).payload,
+            encode_submit_result(9, plain, 5, 5).payload);
+}
+
+TEST(Wire, ReplicationPayloadsRoundTrip) {
+  ReplicaHelloPayload hello;
+  hello.standby_name = "standby-2";
+  auto h = decode_replica_hello(encode_replica_hello(hello, 11));
+  EXPECT_EQ(h.standby_name, "standby-2");
+
+  ReplicaSnapshotPayload snap;
+  snap.epoch = 3;
+  snap.start_lsn = 4242;
+  snap.snapshot_bytes = 123456;
+  auto s = decode_replica_snapshot(encode_replica_snapshot(snap, 12));
+  EXPECT_EQ(s.epoch, 3u);
+  EXPECT_EQ(s.start_lsn, 4242u);
+  EXPECT_EQ(s.snapshot_bytes, 123456u);
+
+  WalAppendPayload batch;
+  ByteWriter a, b;
+  a.str("record one");
+  b.u64(77);
+  batch.records.push_back(a.take());
+  batch.records.push_back(b.take());
+  auto w = decode_wal_append(encode_wal_append(batch, 13));
+  ASSERT_EQ(w.records.size(), 2u);
+  EXPECT_EQ(w.records[0], batch.records[0]);
+  EXPECT_EQ(w.records[1], batch.records[1]);
+}
+
 TEST(Wire, NoWorkRoundTrip) {
   NoWorkPayload p;
   p.retry_after_s = 2.5;
