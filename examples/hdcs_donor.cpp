@@ -38,7 +38,7 @@
 //                 re-downloading blobs it already has. Empty = memory only.
 // --cache-mb N / --cache-disk-mb N
 //                 memory / disk budgets for that cache (default 64 / 256).
-// --protocol V    speak protocol version V (3..6); 3 disables the
+// --protocol V    speak protocol version V (3..7); 3 disables the
 //                 blob cache path for servers predating the v4 data
 //                 plane; 4 omits the v5 span-profile trailer; 5 omits
 //                 the v6 epoch echo (its results cannot be fenced after
@@ -122,9 +122,9 @@ int main(int argc, char** argv) {
     cfg.blob_cache_disk_bytes =
         static_cast<std::size_t>(parse_i64(get("cache-disk-mb", "256"))) * 1024 *
         1024;
-    auto protocol = parse_i64(get("protocol", "6"));
+    auto protocol = parse_i64(get("protocol", "7"));
     if (protocol < net::kMinProtocolVersion || protocol > net::kProtocolVersion)
-      throw InputError("--protocol must be 3..6");
+      throw InputError("--protocol must be 3..7");
     cfg.protocol_version = static_cast<int>(protocol);
 
     int cpus = static_cast<int>(parse_i64(get("cpus", "1")));
@@ -156,7 +156,7 @@ int main(int argc, char** argv) {
                  "[--persist true|false] [--throttle x] [--cpus n] "
                  "[--threads n] [--max-connect-attempts n] "
                  "[--backoff-initial s] [--backoff-max s] [--cache-dir d] "
-                 "[--cache-mb n] [--cache-disk-mb n] [--protocol 3..6]\n");
+                 "[--cache-mb n] [--cache-disk-mb n] [--protocol 3..7]\n");
     return 1;
   }
 }

@@ -12,6 +12,8 @@
 //               [--replicas 2] [--quorum 2] [--spot-check 0.05]
 //               [--wal-dir state.wal] [--standby-of HOST:PORT]
 //               [--failover-timeout 2]
+//               [--durability continue|fail-stop] [--wal-budget-mb 0]
+//               [--max-clients 0] [--blob-budget-mb 0]
 //   hdcs_submit --app dprml  --alignment aln.fasta [--config ml.cfg] ...
 //   hdcs_submit --app dboot  --alignment aln.fasta [--config boot.cfg] ...
 //
@@ -33,6 +35,14 @@
 // SIGINT/SIGTERM shut down gracefully: a final durable checkpoint is
 // written and connected donors are told to stop (kShutdown on their next
 // request) instead of relying on the autosave window.
+//
+// --durability picks what a WAL/checkpoint disk fault does: "continue"
+// (default) keeps scheduling non-durably and re-arms when the disk
+// recovers; "fail-stop" drains and exits with status 3 so an operator (or
+// a supervisor) restarts onto healthy storage. --wal-budget-mb caps the
+// WAL directory (forced compaction sheds folded segments before ENOSPC);
+// --max-clients and --blob-budget-mb shed load with RetryLater NACKs that
+// v7 donors honour with backoff. See docs/ROBUSTNESS.md.
 //
 // --replicas K enables result certification: every unit is computed by K
 // distinct donors and merged only when --quorum digests agree (default:
@@ -161,6 +171,19 @@ int run(int argc, char** argv) {
         static_cast<std::uint16_t>(parse_i64(standby_of.substr(colon + 1)));
   }
   scfg.failover_timeout_s = parse_f64(args.get("failover-timeout", "2"));
+  // Storage-fault posture + overload control (docs/ROBUSTNESS.md).
+  std::string durability = args.get("durability", "continue");
+  if (durability == "fail-stop") {
+    scfg.durability_mode = dist::DurabilityMode::kFailStop;
+  } else if (durability != "continue") {
+    throw InputError("--durability expects continue|fail-stop, got: " +
+                     durability);
+  }
+  scfg.wal_dir_budget_bytes = static_cast<std::uint64_t>(
+      parse_i64(args.get("wal-budget-mb", "0"))) * 1024 * 1024;
+  scfg.max_clients = static_cast<int>(parse_i64(args.get("max-clients", "0")));
+  scfg.blob_inflight_budget_bytes = static_cast<std::size_t>(
+      parse_i64(args.get("blob-budget-mb", "0"))) * 1024 * 1024;
 
   // --trace FILE appends the structured scheduling event log (JSONL);
   // summarise it afterwards with tools/trace_summary.
@@ -209,6 +232,22 @@ int run(int argc, char** argv) {
   // kShutdown instead of a dead socket, and nothing depends on the last
   // autosave having happened recently.
   while (!server.wait_for_problem(pid, 0.2)) {
+    if (server.storage_failed()) {
+      // Fail-stop tripped: the server is already draining (donors keep
+      // their buffered results). Save what the (possibly dead) disk will
+      // take, stop, and exit distinctly so supervisors can tell "disk
+      // gone" from an ordinary crash.
+      std::fprintf(stderr,
+                   "storage failure (fail-stop): draining and exiting\n");
+      try {
+        server.save_checkpoint();
+      } catch (const Error& e) {
+        std::fprintf(stderr, "final checkpoint failed: %s\n", e.what());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      server.stop();
+      return 3;
+    }
     int sig = g_signal.load();
     if (sig != 0) {
       std::fprintf(stderr, "signal %d: checkpointing and draining\n", sig);

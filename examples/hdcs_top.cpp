@@ -172,6 +172,12 @@ void print_digest(const std::string& json) {
     double lsn = find_number(json, "wal_lsn", 0, &has_lsn);
     std::printf("%s | epoch %.0f", role.c_str(), epoch);
     if (has_lsn && lsn > 0) std::printf(" | wal lsn %.0f", lsn);
+    // v7: the durability state machine (durable / degraded / none) — the
+    // operator's first stop when a disk is dying under the server.
+    std::string durability = find_string(json, "durability");
+    if (!durability.empty() && durability != "none") {
+      std::printf(" | %s", durability.c_str());
+    }
     std::printf("\n");
   }
   std::printf("donors %.0f | pending %.0f", connected, pending);

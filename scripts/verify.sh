@@ -32,15 +32,15 @@ HDCS_SIMD=scalar ctest --test-dir build --output-on-failure -j"$(nproc)" \
 
 echo "== TSan: obs + scheduler + integration + chaos + data-plane tests =="
 cmake --preset tsan >/dev/null
-cmake --build --preset tsan --target test_obs test_dist test_integration test_chaos test_data_plane test_wal -j >/dev/null
+cmake --build --preset tsan --target test_obs test_dist test_integration test_chaos test_data_plane test_wal test_vfs -j >/dev/null
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'Metrics|Jsonl|Tracer|MsgStats|Wire|Scheduler|ServerClient|Granularity|Chaos|DataPlane|BulkV4|BlobCache|Compress|Wal'
+  -R 'Metrics|Jsonl|Tracer|MsgStats|Wire|Scheduler|ServerClient|Granularity|Chaos|DataPlane|BulkV4|BlobCache|Compress|Wal|Vfs'
 
 echo "== ASan: kernel equivalence + SIMD tiers + chaos + data-plane =="
 cmake --preset asan >/dev/null
-cmake --build --preset asan --target test_bio test_properties test_simd test_dsearch test_chaos test_data_plane test_wal -j >/dev/null
+cmake --build --preset asan --target test_bio test_properties test_simd test_dsearch test_chaos test_data_plane test_wal test_vfs test_checkpoint -j >/dev/null
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-  -R 'Simd|BatchKernel|AlignScore|Banded|NeedlemanWunsch|SmithWaterman|SemiGlobal|DSearch|Chaos|DataPlane|BulkV4|BlobCache|Compress|Wal'
+  -R 'Simd|BatchKernel|AlignScore|Banded|NeedlemanWunsch|SmithWaterman|SemiGlobal|DSearch|Chaos|DataPlane|BulkV4|BlobCache|Compress|Wal|Vfs|CheckpointFile'
 
 echo "== bench_align --smoke (kernel equivalence + throughput snapshot) =="
 # Writes into build/ so a verify run never dirties the committed

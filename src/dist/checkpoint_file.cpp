@@ -1,17 +1,11 @@
 #include "dist/checkpoint_file.hpp"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-
 #include "net/bulk.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/byte_buffer.hpp"
 #include "util/error.hpp"
+#include "util/vfs.hpp"
 
 namespace hdcs::dist {
 
@@ -25,36 +19,6 @@ constexpr std::uint32_t kCheckpointMagic = 0x484b4350;  // "HKCP"
 // v4: the scheduler epoch (server term, WAL/failover fencing) leads the
 // payload; restore enters a new term past it.
 constexpr std::uint32_t kCheckpointFileVersion = 4;
-
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw IoError(what + ": " + std::strerror(errno));
-}
-
-void write_fully(int fd, std::span<const std::byte> data,
-                 const std::string& path) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("write " + path);
-    }
-    off += static_cast<std::size_t>(n);
-  }
-}
-
-void fsync_parent_dir(const std::string& path) {
-  // Make the rename itself durable. Best-effort: some filesystems refuse
-  // O_RDONLY on directories, and the data is already safe in the file.
-  auto slash = path.find_last_of('/');
-  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  if (dir.empty()) dir = "/";
-  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
-  }
-}
 }  // namespace
 
 void write_checkpoint_file(const std::string& path,
@@ -66,49 +30,29 @@ void write_checkpoint_file(const std::string& path,
   w.raw(payload);
   w.u32(net::crc32(payload));
 
+  // tmp + fsync + atomic rename through the vfs, so an injected ENOSPC /
+  // EIO / torn rename exercises the same recovery the real faults would:
+  // the old checkpoint (if any) stays valid on a clean failure, and a torn
+  // rename is caught by the CRC envelope on the next read.
   std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) throw_errno("open " + tmp);
   try {
-    write_fully(fd, w.data(), tmp);
-    if (::fsync(fd) != 0) throw_errno("fsync " + tmp);
+    auto f = vfs::File::create(tmp);
+    f.write_all(w.data());
+    f.sync();
+    f.close();
+    vfs::rename_file(tmp, path);
   } catch (...) {
-    ::close(fd);
-    ::unlink(tmp.c_str());
+    vfs::remove_file(tmp);
     throw;
   }
-  ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    int saved = errno;
-    ::unlink(tmp.c_str());
-    errno = saved;
-    throw_errno("rename " + tmp + " -> " + path);
-  }
-  fsync_parent_dir(path);
+  vfs::sync_parent_dir(path);
 }
 
 std::optional<std::vector<std::byte>> read_checkpoint_file(
     const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    if (errno == ENOENT) return std::nullopt;
-    throw_errno("open " + path);
-  }
-  std::vector<std::byte> raw;
-  std::byte buf[1 << 16];
-  for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      int saved = errno;
-      ::close(fd);
-      errno = saved;
-      throw_errno("read " + path);
-    }
-    if (n == 0) break;
-    raw.insert(raw.end(), buf, buf + n);
-  }
-  ::close(fd);
+  auto maybe_raw = vfs::read_file_if_exists(path);
+  if (!maybe_raw) return std::nullopt;
+  auto& raw = *maybe_raw;
 
   ByteReader r{std::span<const std::byte>(raw)};
   if (raw.size() < 20 || r.u32() != kCheckpointMagic) {

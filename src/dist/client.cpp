@@ -130,6 +130,27 @@ Client::ProblemContext& Client::context_for(net::TcpStream& stream, ProblemId id
   return contexts_.emplace(id, std::move(ctx)).first->second;
 }
 
+void Client::note_retry_later(const RetryLaterPayload& nack) {
+  retry_laters_ += 1;
+  obs::Registry::global().counter("client.retry_laters").inc();
+  LOG_DEBUG("client '" << config_.name << "' told to retry later ("
+                       << nack.reason << ", " << nack.retry_after_s << "s)");
+}
+
+net::Message Client::fetch_blobs_round(net::TcpStream& stream,
+                                       const FetchBlobsPayload& need) {
+  for (;;) {
+    send_message(stream, encode_fetch_blobs(need, next_correlation_++));
+    net::Message reply = net::read_message(stream);
+    if (reply.type != net::MessageType::kRetryLater) return reply;
+    auto nack = decode_retry_later(reply);
+    note_retry_later(nack);
+    if (!backoff_wait(nack.retry_after_s)) {
+      throw IoError("stopped while waiting to retry a blob fetch");
+    }
+  }
+}
+
 std::optional<std::vector<std::byte>> Client::resolve_blob(
     net::TcpStream& stream, std::uint64_t digest) {
   auto& bulk = net::bulk_plane_metrics();
@@ -146,8 +167,7 @@ std::optional<std::vector<std::byte>> Client::resolve_blob(
   FetchBlobsPayload need;
   need.client_id = my_id_.load();
   need.digests.push_back(digest);
-  send_message(stream, encode_fetch_blobs(need, next_correlation_++));
-  auto reply = decode_blob_data(net::read_message(stream));
+  auto reply = decode_blob_data(fetch_blobs_round(stream, need));
   if (reply.blobs.size() != 1 || reply.blobs[0].digest != digest) {
     throw ProtocolError("BlobData reply does not match the requested digest");
   }
@@ -185,8 +205,7 @@ bool Client::ensure_blobs(net::TcpStream& stream, WorkUnit& unit) {
     FetchBlobsPayload need;
     need.client_id = my_id_.load();
     for (std::size_t i : missing) need.digests.push_back(unit.blobs[i].digest);
-    send_message(stream, encode_fetch_blobs(need, next_correlation_++));
-    auto reply = decode_blob_data(net::read_message(stream));
+    auto reply = decode_blob_data(fetch_blobs_round(stream, need));
     if (reply.blobs.size() != missing.size()) {
       throw ProtocolError("BlobData reply count does not match the request");
     }
@@ -234,7 +253,15 @@ void Client::rehello(net::TcpStream& stream, double benchmark) {
   hello.cores = 1;
   hello.benchmark_ops_per_sec = benchmark;
   send_message(stream, encode_hello(hello, next_correlation_++));
-  auto ack = decode_hello_ack(net::read_message(stream));
+  net::Message reply = net::read_message(stream);
+  if (reply.type == net::MessageType::kRetryLater) {
+    // Shed at the door (max_clients / fail-stop): count it like a failed
+    // connect, so connect_session's backoff + endpoint rotation apply.
+    auto nack = decode_retry_later(reply);
+    note_retry_later(nack);
+    throw IoError("server shedding load: " + nack.reason);
+  }
+  auto ack = decode_hello_ack(reply);
   my_id_.store(ack.client_id);
   heartbeat_interval_ = ack.heartbeat_interval_s;
   LOG_INFO("client '" << config_.name << "' registered as id " << ack.client_id);
@@ -288,7 +315,10 @@ ClientRunStats Client::run() {
   double benchmark = measure_benchmark() / std::max(config_.throttle, 1.0);
 
   net::TcpStream stream;
-  if (!connect_session(stream, benchmark)) return stats;
+  if (!connect_session(stream, benchmark)) {
+    stats.retry_laters = retry_laters_;
+    return stats;
+  }
 
   // Heartbeats ride a second connection: the work connection is strictly
   // request/response, so it cannot carry liveness while a unit computes.
@@ -380,6 +410,14 @@ ClientRunStats Client::run() {
           continue;
         }
         if (reply.type == net::MessageType::kShutdown) break;
+        if (reply.type == net::MessageType::kRetryLater) {
+          // Overloaded (or degraded fail-stop) server shedding work
+          // requests: honour the hint, keep the session.
+          auto nack = decode_retry_later(reply);
+          note_retry_later(nack);
+          if (!backoff_wait(nack.retry_after_s)) break;
+          continue;
+        }
         if (reply.type == net::MessageType::kError) {
           // Our id is stale (client timeout, or the server restarted from a
           // checkpoint): re-register on this same connection and carry on.
@@ -465,7 +503,10 @@ ClientRunStats Client::run() {
                 static_cast<std::uint64_t>(config_.crash_after_units)) {
           crash_.store(true);
         }
-        if (crash_.load()) return stats;  // vanish without submitting
+        if (crash_.load()) {
+          stats.retry_laters = retry_laters_;
+          return stats;  // vanish without submitting
+        }
         if (config_.protocol_version >= 5) result.profile = profile_;
         pending = std::move(result);
         resubmitting = false;
@@ -476,6 +517,14 @@ ClientRunStats Client::run() {
           encode_submit_result(my_id_.load(), *pending, next_correlation_++,
                                static_cast<std::uint16_t>(config_.protocol_version)));
       net::Message reply = net::read_message(stream);
+      if (reply.type == net::MessageType::kRetryLater) {
+        // A fail-stop server NACKs submissions so we keep our buffered
+        // copy for its replacement; `pending` survives and is retried.
+        auto nack = decode_retry_later(reply);
+        note_retry_later(nack);
+        if (!backoff_wait(nack.retry_after_s)) break;
+        continue;
+      }
       if (reply.type == net::MessageType::kError) {
         rehello(stream, benchmark);
         continue;  // pending survives; retried under the new id
@@ -526,6 +575,7 @@ ClientRunStats Client::run() {
       // Server may already be gone; departure is best-effort.
     }
   }
+  stats.retry_laters = retry_laters_;
   return stats;
 }
 

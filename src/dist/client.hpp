@@ -182,6 +182,9 @@ struct ClientRunStats {
   std::uint64_t reconnects = 0;
   /// Buffered results that had to be submitted on a later session.
   std::uint64_t results_resubmitted = 0;
+  /// RetryLater NACKs honoured (v7 overload/fail-stop shedding): the donor
+  /// waited retry_after_s and retried instead of dropping state.
+  std::uint64_t retry_laters = 0;
   double compute_seconds = 0;
 };
 
@@ -232,6 +235,15 @@ class Client {
   /// connection stays in sync.
   bool ensure_blobs(net::TcpStream& stream, WorkUnit& unit);
 
+  /// Send a FetchBlobs request and read its reply, riding RetryLater NACKs
+  /// (blob-budget shedding): wait retry_after_s and resend on the same
+  /// connection. Throws IoError if stop/crash interrupts the wait.
+  net::Message fetch_blobs_round(net::TcpStream& stream,
+                                 const FetchBlobsPayload& need);
+
+  /// Record an honoured RetryLater NACK (stats + counter + log).
+  void note_retry_later(const RetryLaterPayload& nack);
+
   /// Single-digest variant used for problem data (v4). nullopt = gone.
   std::optional<std::vector<std::byte>> resolve_blob(net::TcpStream& stream,
                                                      std::uint64_t digest);
@@ -277,6 +289,7 @@ class Client {
   double heartbeat_interval_ = 0;   // from the first HelloAck
   Rng backoff_rng_;
   std::uint64_t next_correlation_ = 1;
+  std::uint64_t retry_laters_ = 0;  // work-loop thread only
 };
 
 }  // namespace hdcs::dist

@@ -294,6 +294,14 @@ std::optional<WorkUnit> SchedulerCore::request_work(ClientId client, double now)
     return std::nullopt;
   }
 
+  // Per-client in-flight budget: over-leased clients wait for their own
+  // backlog to drain before getting more.
+  if (config_.max_outstanding_per_client > 0 &&
+      cs.stats.outstanding >= config_.max_outstanding_per_client) {
+    stats_.work_requests_unserved += 1;
+    return std::nullopt;
+  }
+
   // 1) Queued copies first — reissues of failed units and missing replicas
   //    are what stage barriers and pending votes are waiting on.
   for (auto& [pid, ps] : problems_) {

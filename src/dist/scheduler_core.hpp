@@ -67,6 +67,12 @@ struct SchedulerConfig {
   /// do NOT burn attempts — only the failure of a unit's *last* live copy
   /// counts.
   int max_attempts_per_unit = 0;
+  /// Per-client in-flight budget: a client already holding this many
+  /// outstanding leases is served nothing until results (or lease expiry)
+  /// drain the backlog — one greedy multi-threaded donor must not strip-
+  /// mine the queue and then crash with half the problem leased. 0 =
+  /// unbounded (the default, and the pre-overload-control behaviour).
+  int max_outstanding_per_client = 0;
   GranularityBounds bounds;
 
   // ---- result integrity (replication / voting / reputation) ----

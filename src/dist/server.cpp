@@ -14,6 +14,7 @@
 #include "util/logging.hpp"
 #include "util/simd.hpp"
 #include "util/stopwatch.hpp"
+#include "util/vfs.hpp"
 
 namespace hdcs::dist {
 
@@ -165,6 +166,12 @@ void Server::start() {
       restore_checkpoint(*blob);
     }
   }
+  if (wal_) repl_lsn_ = wal_->next_lsn();
+  durability_.store(static_cast<int>(
+      wal_ || !config_.checkpoint_path.empty() ? Durability::kDurable
+                                               : Durability::kNone));
+  obs::Registry::global().gauge("server.durability")
+      .set(static_cast<double>(durability_.load()));
   listener_ = net::TcpListener::bind(config_.port);
   port_ = listener_.port();
   if (!config_.primary_host.empty()) standby_.store(true);
@@ -316,6 +323,11 @@ std::string Server::stats_json(bool include_clients) {
   out << "{\"schema\":" << obs::kTraceSchemaVersion << ",\"now\":" << json_num(t)
       << ",\"simd_tier\":\"" << to_string(simd_tier()) << "\""
       << ",\"role\":\"" << (standby_.load() ? "standby" : "primary") << "\""
+      << ",\"durability\":\""
+      << (durability() == Durability::kDurable
+              ? "durable"
+              : durability() == Durability::kDegraded ? "degraded" : "none")
+      << "\""
       << ",\"epoch\":" << term << ",\"wal_lsn\":" << wal_lsn
       << ",\"connected_clients\":" << connected_.load() << ",\"scheduler\":{"
       << "\"units_issued\":" << s.units_issued
@@ -386,6 +398,8 @@ void Server::acceptor_loop() {
 
 void Server::housekeeping_loop() {
   double last_checkpoint = now();
+  double last_rearm = now();
+  double last_budget_check = now();
   while (running_.load()) {
     // A standby's shadow core is driven only by the primary's record
     // stream (which includes the primary's own Tick records with the
@@ -414,6 +428,45 @@ void Server::housekeeping_loop() {
           save_checkpoint();
         } catch (const Error& e) {
           LOG_ERROR("checkpoint autosave failed: " << e.what());
+          // Checkpoint-only durability: a failed autosave IS the
+          // durability loss (there is no WAL underneath to catch it).
+          if (!wal_) {
+            std::lock_guard lock(core_mutex_);
+            degrade_locked("checkpoint_save", now());
+          }
+        }
+      }
+      // Degraded -> durable re-arm: rebuild the WAL (or prove a
+      // checkpoint lands) on a steady cadence until the disk recovers.
+      if (static_cast<Durability>(durability_.load()) ==
+              Durability::kDegraded &&
+          !storage_failed_.load() &&
+          now() - last_rearm >= config_.rearm_retry_s) {
+        last_rearm = now();
+        try_rearm();
+      }
+      // Disk-budget watchdog: compaction folds segments into one base
+      // snapshot, so forcing it under pressure sheds WAL bytes before the
+      // device itself runs dry (which would degrade us the hard way).
+      if (wal_ && config_.wal_dir_budget_bytes > 0 &&
+          static_cast<Durability>(durability_.load()) ==
+              Durability::kDurable &&
+          now() - last_budget_check >= 2.0) {
+        last_budget_check = now();
+        const std::uint64_t used = vfs::dir_bytes(config_.wal_dir);
+        if (used > config_.wal_dir_budget_bytes) {
+          obs::Registry::global().counter("storage.budget_compactions").inc();
+          try {
+            compact_wal();
+          } catch (const Error& e) {
+            LOG_ERROR("budget compaction failed: " << e.what());
+          }
+          const std::uint64_t after = vfs::dir_bytes(config_.wal_dir);
+          if (after > config_.wal_dir_budget_bytes) {
+            LOG_WARN("wal dir still over budget after compaction ("
+                     << after << " > " << config_.wal_dir_budget_bytes
+                     << " bytes)");
+          }
         }
       }
     }
@@ -452,17 +505,34 @@ void Server::maybe_compact_locked(double t) {
 }
 
 void Server::log_record(WalRecord rec) {
-  if (!wal_ && feeds_.empty()) return;
-  rec.lsn = wal_ ? wal_->next_lsn() : repl_lsn_;
-  if (wal_) {
-    wal_->append(rec);
-  } else {
-    repl_lsn_ = rec.lsn + 1;
+  // While degraded the WAL is frozen (its segment failed; only compact()
+  // rebuilds it) — records flow to the replica feeds only, numbered by
+  // repl_lsn_, so a hot standby stays exact through the primary's bad-disk
+  // window.
+  const bool degraded = static_cast<Durability>(durability_.load()) ==
+                        Durability::kDegraded;
+  const bool use_wal = wal_ != nullptr && !degraded;
+  if (!use_wal && feeds_.empty()) return;
+  rec.lsn = use_wal ? wal_->next_lsn() : repl_lsn_;
+  bool append_failed = false;
+  if (use_wal) {
+    try {
+      wal_->append(rec);
+    } catch (const Error& e) {
+      // The record still goes out on the feeds below — the standby's
+      // shadow core must apply everything the primary's live core applied,
+      // or post-degrade records would hit a diverged shadow — and only
+      // then do we degrade (whose own kEpoch record is feeds-only).
+      LOG_ERROR("wal append failed: " << e.what());
+      append_failed = true;
+    }
   }
+  repl_lsn_ = rec.lsn + 1;
   if (!feeds_.empty()) {
     auto bytes = encode_wal_record(rec);
     for (const auto& feed : feeds_) feed->push(bytes);
   }
+  if (append_failed) degrade_locked("wal_append", rec.now);
 }
 
 void Server::enter_new_term(const char* reason, double t) {
@@ -486,13 +556,113 @@ void Server::enter_new_term(const char* reason, double t) {
     left.arg = c.id;
     log_record(std::move(left));
   }
-  if (wal_) wal_->sync();
+  if (wal_ && !wal_->failed()) {
+    try {
+      wal_->sync();
+    } catch (const Error& e) {
+      LOG_ERROR("wal sync failed entering new term: " << e.what());
+      degrade_locked("wal_sync", t);
+    }
+  }
   LOG_INFO("entered epoch " << core_.epoch() << " (" << reason << ")");
+}
+
+void Server::degrade_locked(const char* reason, double t) {
+  const auto current = static_cast<Durability>(durability_.load());
+  if (current != Durability::kDurable) return;
+  durability_.store(static_cast<int>(Durability::kDegraded));
+  auto& reg = obs::Registry::global();
+  reg.gauge("server.durability").set(static_cast<double>(durability_.load()));
+  reg.counter("server.durability_degradations").inc();
+  // The feeds take over the lsn sequence exactly where the WAL stopped.
+  if (wal_) repl_lsn_ = std::max(repl_lsn_, wal_->next_lsn());
+  // Fence the degraded window: +2, not +1, so a crash-while-degraded
+  // restart (replay durable state, then enter_new_term's +1) lands on a
+  // DIFFERENT epoch than this one — nothing issued or accepted while
+  // non-durable can ever be merged into the revived durable core.
+  const std::uint64_t next = core_.epoch() + 2;
+  core_.bump_epoch(next);
+  WalRecord rec;
+  rec.op = WalOp::kEpoch;
+  rec.now = t;
+  rec.arg = next;
+  log_record(std::move(rec));  // feeds-only: durability_ is already degraded
+  if (config_.tracer) {
+    config_.tracer->event(t, "durability_degraded")
+        .str("reason", reason)
+        .u64("epoch", next);
+  }
+  if (config_.durability_mode == DurabilityMode::kFailStop) {
+    storage_failed_.store(true);
+    draining_.store(true);
+    LOG_ERROR("durability lost (" << reason << "): fail-stop — draining, "
+              << "epoch " << next);
+  } else {
+    LOG_ERROR("durability degraded (" << reason << "): continuing non-durable "
+              << "at epoch " << next << "; re-arm every "
+              << config_.rearm_retry_s << "s");
+  }
+  progress_cv_.notify_all();
+}
+
+bool Server::try_rearm() {
+  std::lock_guard lock(core_mutex_);
+  if (static_cast<Durability>(durability_.load()) != Durability::kDegraded) {
+    return true;
+  }
+  const double t = now();
+  try {
+    if (wal_) {
+      // Rebuild: fresh base snapshot at the feeds' lsn, fresh segment. A
+      // still-broken disk throws out of the checkpoint write and we stay
+      // degraded for the next retry.
+      ByteWriter w;
+      core_.snapshot_exact(w);
+      auto snap = w.take();
+      wal_->reset(snap, repl_lsn_, t);
+      wal_->sync();
+      last_compact_lsn_ = wal_->next_lsn();
+    } else {
+      ByteWriter w;
+      core_.checkpoint(w);
+      auto blob = w.take();
+      write_checkpoint_file(config_.checkpoint_path, blob);
+      record_checkpoint_saved(config_.tracer, t, blob.size(),
+                              core_.problem_count(), core_.in_flight_units());
+    }
+  } catch (const Error& e) {
+    LOG_WARN("durability re-arm failed: " << e.what());
+    return false;
+  }
+  durability_.store(static_cast<int>(Durability::kDurable));
+  auto& reg = obs::Registry::global();
+  reg.gauge("server.durability").set(static_cast<double>(durability_.load()));
+  reg.counter("server.durability_restores").inc();
+  if (config_.tracer) {
+    config_.tracer->event(t, "durability_restored").u64("epoch", core_.epoch());
+  }
+  LOG_INFO("durability restored (epoch " << core_.epoch() << ")");
+  return true;
 }
 
 void Server::handler_loop(net::TcpStream stream) {
   connected_gauge().set(connected_.fetch_add(1) + 1);
   ClientId client_id = 0;
+  // Retryable NACK: v7+ donors get a structured RetryLater (they back off
+  // and keep their buffered state); older donors get an error frame and
+  // ride their existing reconnect/backoff paths.
+  auto retry_or_error = [this](const net::Message& request,
+                               const char* reason) {
+    obs::Registry::global().counter("server.retry_laters").inc();
+    if (request.version >= 7) {
+      RetryLaterPayload p;
+      p.retry_after_s = config_.retry_later_s;
+      p.reason = reason;
+      return encode_retry_later(p, request.correlation);
+    }
+    return net::make_error(request.correlation,
+                           std::string("retry later: ") + reason);
+  };
   try {
     while (running_.load()) {
       if (!stream.readable(200)) continue;
@@ -507,6 +677,7 @@ void Server::handler_loop(net::TcpStream stream) {
                     std::shared_ptr<const std::vector<std::byte>>>>
           blob_bodies;
       ClientId blob_client = 0;
+      std::size_t inflight_charged = 0;
       Stopwatch handle_timer;
 
       try {
@@ -522,11 +693,33 @@ void Server::handler_loop(net::TcpStream stream) {
         // work goes out and polling donors are told to disconnect.
         response.type = net::MessageType::kShutdown;
         response.correlation = request.correlation;
+      } else if (storage_failed_.load() &&
+                 (request.type == net::MessageType::kHello ||
+                  request.type == net::MessageType::kSubmitResult)) {
+        // Fail-stop after a storage fault: no new sessions, and results
+        // are NACKed rather than accepted-but-lost — the donor keeps its
+        // buffered copy for the restarted server. (FetchStats stays up so
+        // operators can see why; RequestWork/Heartbeat already get
+        // kShutdown from the draining guard above.)
+        response = retry_or_error(request, "fail_stop");
       } else switch (request.type) {
         case net::MessageType::kHello: {
           auto hello = decode_hello(request);
           std::lock_guard lock(core_mutex_);
           double t = now();
+          if (config_.max_clients > 0 &&
+              core_.active_client_count() >= config_.max_clients) {
+            // Shed before joining: the donor never becomes scheduler state,
+            // so no lease/eviction bookkeeping is spent on it.
+            obs::Registry::global().counter("server.clients_shed").inc();
+            if (config_.tracer) {
+              config_.tracer->event(t, "retry_later")
+                  .str("reason", "max_clients")
+                  .str("name", hello.client_name);
+            }
+            response = retry_or_error(request, "max_clients");
+            break;
+          }
           client_id = core_.client_joined(hello.client_name,
                                           hello.benchmark_ops_per_sec, t);
           WalRecord rec;
@@ -602,11 +795,27 @@ void Server::handler_loop(net::TcpStream stream) {
             log_record(std::move(rec));
             // The accepted result must be durable before the donor learns
             // it was accepted — the ack is what lets it drop its buffered
-            // copy, so after this fsync a kill -9 loses nothing.
-            if (wal_ && ack.accepted) wal_->sync();
+            // copy, so after this fsync a kill -9 loses nothing. Once
+            // degraded there is nothing left to fsync; kContinue acks
+            // anyway (accepted-but-non-durable, epoch already fenced),
+            // kFailStop NACKs below so the donor keeps its copy.
+            if (wal_ && ack.accepted &&
+                static_cast<Durability>(durability_.load()) ==
+                    Durability::kDurable) {
+              try {
+                wal_->sync();
+              } catch (const Error& e) {
+                LOG_ERROR("wal sync failed: " << e.what());
+                degrade_locked("wal_sync", t);
+              }
+            }
           }
           progress_cv_.notify_all();
-          response = encode_result_ack(ack, request.correlation);
+          if (storage_failed_.load()) {
+            response = retry_or_error(request, "fail_stop");
+          } else {
+            response = encode_result_ack(ack, request.correlation);
+          }
           break;
         }
         case net::MessageType::kFetchProblemData: {
@@ -643,6 +852,31 @@ void Server::handler_loop(net::TcpStream stream) {
             }
           }
           blob_client = fetch.client_id;
+          // Global in-flight budget: bodies sit in memory from here until
+          // the socket writes below finish, so a burst of cold donors can
+          // multiply resident bytes. Over budget -> shed the whole fetch
+          // (the donor retries; partial replies would poison its cache
+          // accounting).
+          if (config_.blob_inflight_budget_bytes > 0 && !blob_bodies.empty()) {
+            std::size_t total = 0;
+            for (const auto& [digest, bytes] : blob_bodies) {
+              total += bytes->size();
+            }
+            if (blob_inflight_bytes_.load() + total >
+                config_.blob_inflight_budget_bytes) {
+              blob_bodies.clear();
+              obs::Registry::global().counter("server.blob_fetches_shed").inc();
+              if (config_.tracer) {
+                config_.tracer->event(now(), "retry_later")
+                    .str("reason", "blob_budget")
+                    .str("name", "client:" + std::to_string(fetch.client_id));
+              }
+              response = retry_or_error(request, "blob_budget");
+              break;
+            }
+            blob_inflight_bytes_.fetch_add(total);
+            inflight_charged = total;
+          }
           response = encode_blob_data(reply, request.correlation);
           break;
         }
@@ -714,23 +948,31 @@ void Server::handler_loop(net::TcpStream stream) {
       // Answer at the requester's protocol version: a v3 donor must never
       // see a v4 frame.
       response.version = request.version;
-      net::write_message(stream, response);
-      if (send_bulk) net::send_blob(stream, bulk);
-      for (const auto& [digest, bytes] : blob_bodies) {
-        auto info = net::send_blob_v4(stream, *bytes);
-        auto& bm = net::bulk_plane_metrics();
-        bm.blobs_sent.inc();
-        bm.bytes_raw.inc(info.raw_bytes);
-        bm.bytes_wire.inc(info.wire_bytes);
-        if (config_.tracer) {
-          config_.tracer->event(now(), "blob_sent")
-              .u64("client", blob_client)
-              .u64("digest", digest)
-              .u64("raw", info.raw_bytes)
-              .u64("wire", info.wire_bytes)
-              .boolean("compressed", info.compressed);
+      try {
+        net::write_message(stream, response);
+        if (send_bulk) net::send_blob(stream, bulk);
+        for (const auto& [digest, bytes] : blob_bodies) {
+          auto info = net::send_blob_v4(stream, *bytes);
+          auto& bm = net::bulk_plane_metrics();
+          bm.blobs_sent.inc();
+          bm.bytes_raw.inc(info.raw_bytes);
+          bm.bytes_wire.inc(info.wire_bytes);
+          if (config_.tracer) {
+            config_.tracer->event(now(), "blob_sent")
+                .u64("client", blob_client)
+                .u64("digest", digest)
+                .u64("raw", info.raw_bytes)
+                .u64("wire", info.wire_bytes)
+                .boolean("compressed", info.compressed);
+          }
         }
+      } catch (...) {
+        // The budget is charged until the socket writes finish; a dead
+        // connection must release it or the budget leaks shut.
+        if (inflight_charged) blob_inflight_bytes_.fetch_sub(inflight_charged);
+        throw;
       }
+      if (inflight_charged) blob_inflight_bytes_.fetch_sub(inflight_charged);
     }
   } catch (const net::ConnectionClosed&) {
     LOG_INFO("client connection closed (client " << client_id << ")");
@@ -765,7 +1007,8 @@ void Server::serve_replica(net::TcpStream& stream, const net::Message& request) 
       core_.snapshot_exact(w);
       snapshot = w.take();
       header.epoch = core_.epoch();
-      header.start_lsn = wal_ ? wal_->next_lsn() : repl_lsn_;
+      // A failed WAL no longer tracks the stream position; repl_lsn_ does.
+      header.start_lsn = (wal_ && !wal_->failed()) ? wal_->next_lsn() : repl_lsn_;
       // Registered under the same lock that serialises mutations: every
       // record logged after this point reaches the queue, so snapshot +
       // stream covers the state with no gap.

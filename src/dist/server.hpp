@@ -26,6 +26,23 @@
 
 namespace hdcs::dist {
 
+/// What a primary does when its durable storage (WAL append/fsync,
+/// checkpoint save) fails.
+enum class DurabilityMode {
+  /// Keep scheduling with durability degraded: results are accepted but a
+  /// crash before the disk recovers loses them (donors were told they
+  /// could drop their copies). The epoch is bumped so a later restart
+  /// from the stale durable state fences everything issued during the
+  /// degraded window, and a watchdog re-arms durability (WAL rebuild /
+  /// checkpoint save) once the disk takes writes again.
+  kContinue,
+  /// Stop cleanly instead: refuse new sessions and result submissions
+  /// (v7 donors get RetryLater and keep their buffered results), drain,
+  /// and let the operator restart onto healthy storage. storage_failed()
+  /// turns true so the embedding process can exit non-zero.
+  kFailStop,
+};
+
 struct ServerConfig {
   std::uint16_t port = 0;  // 0 = ephemeral; read back via port()
   SchedulerConfig scheduler;
@@ -64,6 +81,32 @@ struct ServerConfig {
   /// Fold the log into a fresh base snapshot every this many records
   /// (compaction; 0 = never). Runs on the housekeeping thread.
   std::uint64_t wal_compact_every = 4096;
+
+  // ---- durability degradation (see DurabilityMode) ----
+
+  DurabilityMode durability_mode = DurabilityMode::kContinue;
+  /// Degraded-state re-arm cadence: every this many seconds the
+  /// housekeeping thread tries to rebuild the WAL (or save a checkpoint)
+  /// and restore `durable`.
+  double rearm_retry_s = 1.0;
+  /// Disk-budget watchdog: when the WAL directory exceeds this many
+  /// bytes, force a compaction to shed folded segments before the disk
+  /// actually fills. 0 = off.
+  std::uint64_t wal_dir_budget_bytes = 0;
+
+  // ---- overload control ----
+
+  /// Shed Hello when this many clients are already active (v7 donors get
+  /// RetryLater and back off; older ones get an error and ride their
+  /// reconnect backoff). 0 = unbounded.
+  int max_clients = 0;
+  /// Global cap on FetchBlobs response bytes in flight across all
+  /// connections (bodies are held in memory from collection until the
+  /// socket write finishes). Requests that would exceed it get RetryLater.
+  /// 0 = unbounded.
+  std::size_t blob_inflight_budget_bytes = 0;
+  /// retry_after_s stamped into RetryLater NACKs.
+  double retry_later_s = 0.5;
 
   // ---- hot standby (protocol v6 replication) ----
 
@@ -125,6 +168,17 @@ class Server {
   /// The JSON document served to MSG_STATS, also available in-process.
   [[nodiscard]] std::string stats_json(bool include_clients = true);
 
+  /// Durability state surfaced in MSG_STATS and hdcs_top. kNone = no WAL
+  /// and no checkpoint path configured (nothing to degrade from).
+  enum class Durability { kNone = 0, kDurable = 1, kDegraded = 2 };
+  [[nodiscard]] Durability durability() const {
+    return static_cast<Durability>(durability_.load());
+  }
+  /// True once a fail-stop server has hit a storage fault: it is draining
+  /// and the embedding process should checkpoint what it can and exit
+  /// non-zero.
+  [[nodiscard]] bool storage_failed() const { return storage_failed_.load(); }
+
   /// True while running as a hot standby that has not yet promoted.
   [[nodiscard]] bool is_standby() const { return standby_.load(); }
   /// True once a standby has received the primary's snapshot.
@@ -148,10 +202,14 @@ class Server {
   void serve_replica(net::TcpStream& stream, const net::Message& hello);
   void replica_loop();  // standby: sync + tail the primary, promote on silence
   void promote(const char* reason);
-  // All three require core_mutex_ held.
+  // All four require core_mutex_ held.
   void log_record(WalRecord rec);
   void enter_new_term(const char* reason, double t);
   void maybe_compact_locked(double t);
+  void degrade_locked(const char* reason, double t);
+  /// Housekeeping: attempt the degraded -> durable transition (WAL rebuild
+  /// or checkpoint save). Takes the core lock itself.
+  bool try_rearm();
   double now() const;
 
   ServerConfig config_;
@@ -180,6 +238,13 @@ class Server {
   std::atomic<bool> standby_synced_{false};
   std::atomic<bool> draining_{false};
   std::thread replica_;
+
+  // Durability state machine + overload accounting. durability_ holds a
+  // Durability value; transitions happen under core_mutex_ (reads are
+  // lock-free for stats/guards).
+  std::atomic<int> durability_{0};
+  std::atomic<bool> storage_failed_{false};
+  std::atomic<std::uint64_t> blob_inflight_bytes_{0};
 };
 
 }  // namespace hdcs::dist

@@ -19,6 +19,7 @@
 #include "util/byte_buffer.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/vfs.hpp"
 
 namespace hdcs::dist {
 
@@ -30,54 +31,6 @@ constexpr std::uint32_t kMaxWalRecordBytes = 80u << 20;
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw IoError(what + ": " + std::strerror(errno));
-}
-
-void write_fully(int fd, std::span<const std::byte> data,
-                 const std::string& path) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("write " + path);
-    }
-    off += static_cast<std::size_t>(n);
-  }
-}
-
-std::vector<std::byte> read_file(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) throw_errno("open " + path);
-  std::vector<std::byte> out;
-  std::byte buf[1 << 16];
-  for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      int saved = errno;
-      ::close(fd);
-      errno = saved;
-      throw_errno("read " + path);
-    }
-    if (n == 0) break;
-    out.insert(out.end(), buf, buf + n);
-  }
-  ::close(fd);
-  return out;
-}
-
-void make_dirs(const std::string& dir) {
-  std::string partial;
-  for (std::size_t i = 0; i <= dir.size(); ++i) {
-    if (i == dir.size() || dir[i] == '/') {
-      if (!partial.empty() && partial != "/" && partial != ".") {
-        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
-          throw_errno("mkdir " + partial);
-        }
-      }
-    }
-    if (i < dir.size()) partial.push_back(dir[i]);
-  }
 }
 
 std::string segment_path(const std::string& dir, std::uint64_t first_lsn) {
@@ -195,11 +148,19 @@ WalLog::WalLog(WalConfig config) : config_(std::move(config)) {
   if (config_.segment_bytes < 1024) {
     throw InputError("WalLog: segment_bytes must be >= 1024");
   }
-  make_dirs(config_.dir);
+  vfs::make_dirs(config_.dir);
   recover();
 }
 
-WalLog::~WalLog() { close_segment(/*fsync_it=*/true); }
+WalLog::~WalLog() {
+  // A failed log's segment was already closed without an fsync; sealing it
+  // here would falsely suggest its tail is durable.
+  if (!failed_ && !close_segment(/*fsync_it=*/true)) {
+    LOG_WARN("wal: final fsync of " << (segments_.empty() ? config_.dir
+                                                          : segments_.back())
+                                    << " failed; tail may not be durable");
+  }
+}
 
 WalRecovery WalLog::take_recovery() {
   if (recovery_taken_) throw Error("WalLog: recovery already taken");
@@ -241,10 +202,10 @@ void WalLog::recover() {
   for (const auto& [first_lsn, path] : found) {
     if (torn) {
       // Past a gap nothing can be contiguous: drop the orphaned segment.
-      ::unlink(path.c_str());
+      vfs::remove_file(path);
       continue;
     }
-    auto raw = read_file(path);
+    auto raw = vfs::read_file(path);
     recovery_.segments_scanned += 1;
     std::size_t off = 0;
     std::size_t valid_end = 0;
@@ -277,9 +238,7 @@ void WalLog::recover() {
       // Torn or corrupt tail: keep the valid prefix, drop the rest (and
       // every later segment) so the log ends at the last good record.
       recovery_.torn_bytes_truncated += raw.size() - valid_end;
-      if (::truncate(path.c_str(), static_cast<off_t>(valid_end)) != 0) {
-        throw_errno("truncate " + path);
-      }
+      vfs::truncate_file(path, valid_end);
       torn = true;
       LOG_WARN("wal: truncated torn tail of " << path << " ("
                                               << raw.size() - valid_end
@@ -296,32 +255,51 @@ void WalLog::recover() {
     open_segment(next_lsn_);
   } else {
     // Append to the surviving last segment.
-    const std::string& path = segments_.back();
-    fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
-    if (fd_ < 0) throw_errno("open " + path);
+    file_ = vfs::File::append(segments_.back());
   }
   reg.gauge("wal.segments").set(static_cast<double>(segments_.size()));
 }
 
 void WalLog::open_segment(std::uint64_t first_lsn) {
   std::string path = segment_path(config_.dir, first_lsn);
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd_ < 0) throw_errno("open " + path);
-  segments_.push_back(path);
+  file_ = vfs::File::create(path);
+  segments_.push_back(std::move(path));
   current_bytes_ = 0;
   auto& reg = obs::Registry::global();
   reg.counter("wal.segments_opened").inc();
   reg.gauge("wal.segments").set(static_cast<double>(segments_.size()));
 }
 
-void WalLog::close_segment(bool fsync_it) {
-  if (fd_ < 0) return;
-  if (fsync_it) ::fsync(fd_);
-  ::close(fd_);
-  fd_ = -1;
+bool WalLog::close_segment(bool fsync_it) {
+  if (!file_.valid()) return true;
+  bool ok = true;
+  if (fsync_it) {
+    try {
+      file_.sync();
+    } catch (const IoError& e) {
+      LOG_WARN("wal: " << e.what());
+      ok = false;
+    }
+  }
+  file_.close();
+  return ok;
+}
+
+void WalLog::mark_failed() {
+  if (failed_) return;
+  failed_ = true;
+  // fsyncgate: the kernel may already have dropped the unsynced dirty
+  // pages, so the descriptor must go — a later fsync on it would report
+  // success for data that never hit the disk.
+  file_.close();
+  obs::Registry::global().counter("wal.failures").inc();
 }
 
 std::uint64_t WalLog::append(const WalRecord& rec) {
+  if (failed_) {
+    throw IoError("wal append: log is in the failed state (compact() "
+                  "rebuilds it from a fresh snapshot)");
+  }
   WalRecord stamped = rec;
   if (stamped.lsn == 0) {
     stamped.lsn = next_lsn_;
@@ -334,7 +312,14 @@ std::uint64_t WalLog::append(const WalRecord& rec) {
   frame.u32(static_cast<std::uint32_t>(payload.size()));
   frame.u32(net::crc32(std::span<const std::byte>(payload)));
   frame.raw(payload);
-  write_fully(fd_, frame.data(), segments_.back());
+  try {
+    file_.write_all(frame.data());
+  } catch (const IoError&) {
+    // The segment may hold a torn frame now; recovery truncates it. The
+    // in-memory lsn does NOT advance — the record was never logged.
+    mark_failed();
+    throw;
+  }
   current_bytes_ += frame.data().size();
   next_lsn_ = stamped.lsn + 1;
 
@@ -345,31 +330,68 @@ std::uint64_t WalLog::append(const WalRecord& rec) {
   if (current_bytes_ >= config_.segment_bytes) {
     // Seal the full segment durably before its successor takes appends:
     // the durable prefix may then only ever miss current-segment tails.
-    close_segment(/*fsync_it=*/true);
-    open_segment(next_lsn_);
+    if (!close_segment(/*fsync_it=*/true)) {
+      mark_failed();
+      throw IoError("wal rotate: fsync of sealed segment " +
+                    segments_.back() + " failed");
+    }
+    try {
+      open_segment(next_lsn_);
+    } catch (const IoError&) {
+      mark_failed();
+      throw;
+    }
   }
   return stamped.lsn;
 }
 
 void WalLog::sync() {
-  if (fd_ >= 0 && ::fsync(fd_) != 0) throw_errno("fsync " + segments_.back());
+  if (failed_) {
+    throw IoError("wal sync: log is in the failed state (compact() "
+                  "rebuilds it from a fresh snapshot)");
+  }
+  if (file_.valid()) {
+    try {
+      file_.sync();
+    } catch (const IoError&) {
+      mark_failed();
+      throw;
+    }
+  }
   obs::Registry::global().counter("wal.syncs").inc();
 }
 
 void WalLog::compact(std::span<const std::byte> snapshot, double now) {
+  const bool rebuilding = failed_;
   ByteWriter payload(snapshot.size() + 8);
   payload.u64(next_lsn_);
   payload.raw(snapshot);
+  // Throws on failure with the log state unchanged: a healthy log stays
+  // healthy (the old base + segments are intact), a failed log stays
+  // failed until a later compact() succeeds.
   write_checkpoint_file(base_path(config_.dir), payload.data());
   // The snapshot is durable; every record it folded in can go. A crash
   // between these unlinks leaves stale pre-base segments behind, which
-  // recovery skips record-by-record.
+  // recovery skips record-by-record. An unlink failure is likewise
+  // tolerable — but it keeps hogging disk, so count it loudly.
   close_segment(/*fsync_it=*/false);
-  for (const std::string& path : segments_) ::unlink(path.c_str());
+  for (const std::string& path : segments_) {
+    if (!vfs::remove_file(path)) {
+      LOG_WARN("wal: could not unlink folded segment " << path);
+      obs::Registry::global().counter("wal.unlink_failures").inc();
+    }
+  }
   segments_.clear();
-  open_segment(next_lsn_);
+  try {
+    open_segment(next_lsn_);
+  } catch (const IoError&) {
+    mark_failed();
+    throw;
+  }
+  failed_ = false;  // everything durable lives in the fresh base now
   auto& reg = obs::Registry::global();
   reg.counter("wal.compactions").inc();
+  if (rebuilding) reg.counter("wal.rebuilds").inc();
   reg.gauge("wal.base_bytes").set(static_cast<double>(snapshot.size()));
   if (tracer_) {
     tracer_->event(now, "wal_compacted")

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "dist/work.hpp"
+#include "util/vfs.hpp"
 
 namespace hdcs::obs {
 class Tracer;
@@ -127,16 +128,25 @@ class WalLog {
   /// Append one record (buffered write; durable only after sync() or a
   /// clean close). rec.lsn == 0 assigns the next lsn; a non-zero lsn (the
   /// standby tailing the primary) must equal next_lsn(). Returns the lsn
-  /// written. Rotates segments as configured.
+  /// written. Rotates segments as configured. On a write or rotation
+  /// failure the log enters the failed state (see failed()) and throws.
   std::uint64_t append(const WalRecord& rec);
 
   /// fsync the current segment: every record appended so far is durable.
+  /// On failure the log enters the failed state and throws — the segment
+  /// is closed without a retry (fsyncgate: after a failed fsync the kernel
+  /// may have dropped the dirty pages, so re-fsyncing would falsely report
+  /// success); the only way back is compact(), which rebuilds from a fresh
+  /// snapshot.
   void sync();
 
   /// Fold everything logged so far into a new base snapshot: write
   /// base.ckpt (atomic tmp+rename), delete the old segments, start a
   /// fresh one at the current lsn. Emits a wal_compacted trace event via
-  /// the attached tracer with the caller's clock.
+  /// the attached tracer with the caller's clock. This is also the
+  /// recovery path out of the failed state: a successful compact() wrote
+  /// the full current state durably, so whatever the broken segments lost
+  /// no longer matters and the log is clean again.
   void compact(std::span<const std::byte> snapshot, double now);
 
   /// Adopt a replication sync: discard everything logged locally and
@@ -149,21 +159,30 @@ class WalLog {
   [[nodiscard]] std::uint64_t next_lsn() const { return next_lsn_; }
   [[nodiscard]] const std::string& dir() const { return config_.dir; }
   [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+  /// True after a write/fsync/rotation failure: append() and sync() refuse
+  /// until compact() rebuilds the log from a fresh snapshot.
+  [[nodiscard]] bool failed() const { return failed_; }
 
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
   void open_segment(std::uint64_t first_lsn);
-  void close_segment(bool fsync_it);
+  /// Seal the current segment. Returns false when the fsync failed (the
+  /// descriptor is closed either way — never re-fsync after a failure).
+  bool close_segment(bool fsync_it);
+  /// Enter the failed state: close the segment WITHOUT an fsync and refuse
+  /// further appends until compact() rebuilds.
+  void mark_failed();
   void recover();
 
   WalConfig config_;
   WalRecovery recovery_;
   bool recovery_taken_ = false;
   std::vector<std::string> segments_;  // live segment paths, oldest first
-  int fd_ = -1;                        // current (last) segment
+  vfs::File file_;                     // current (last) segment
   std::size_t current_bytes_ = 0;      // size of the current segment
   std::uint64_t next_lsn_ = 1;
+  bool failed_ = false;
   obs::Tracer* tracer_ = nullptr;
 };
 

@@ -139,6 +139,24 @@ NoWorkPayload decode_no_work(const net::Message& m) {
   return p;
 }
 
+net::Message encode_retry_later(const RetryLaterPayload& p,
+                                std::uint64_t correlation) {
+  ByteWriter w;
+  w.f64(p.retry_after_s);
+  w.str(p.reason);
+  return make(net::MessageType::kRetryLater, correlation, std::move(w));
+}
+
+RetryLaterPayload decode_retry_later(const net::Message& m) {
+  check_type(m, net::MessageType::kRetryLater);
+  auto r = m.reader();
+  RetryLaterPayload p;
+  p.retry_after_s = r.f64();
+  p.reason = r.str();
+  r.expect_end();
+  return p;
+}
+
 net::Message encode_submit_result(ClientId client, const ResultUnit& result,
                                   std::uint64_t correlation,
                                   std::uint16_t version) {

@@ -28,6 +28,14 @@ struct NoWorkPayload {
   bool all_problems_complete = false;
 };
 
+/// v7 retryable NACK: the server is shedding load (max_clients, blob
+/// budget) or running with degraded durability — the request was NOT
+/// applied; back off retry_after_s and retry it verbatim.
+struct RetryLaterPayload {
+  double retry_after_s = 1.0;
+  std::string reason;  // "max_clients" | "blob_budget" | "degraded" | ...
+};
+
 struct FetchProblemDataPayload {
   ProblemId problem_id = 0;
 };
@@ -124,6 +132,10 @@ WorkUnit decode_work_assignment(const net::Message& m);
 
 net::Message encode_no_work(const NoWorkPayload& p, std::uint64_t correlation);
 NoWorkPayload decode_no_work(const net::Message& m);
+
+net::Message encode_retry_later(const RetryLaterPayload& p,
+                                std::uint64_t correlation);
+RetryLaterPayload decode_retry_later(const net::Message& m);
 
 /// v5 appends the optional span-profile trailer (presence flag + phase
 /// durations); v3/v4 write the legacy payload-only shape. Decode keys off

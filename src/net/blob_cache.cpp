@@ -6,6 +6,9 @@
 #include <fstream>
 #include <utility>
 
+#include "util/error.hpp"
+#include "util/vfs.hpp"
+
 namespace hdcs::net {
 
 namespace fs = std::filesystem;
@@ -113,14 +116,27 @@ void BlobCache::disk_put(std::uint64_t digest,
                          std::span<const std::byte> bytes) {
   if (config_.disk_dir.empty() || disk_index_.count(digest)) return;
   if (bytes.size() > config_.disk_budget_bytes) return;
-  std::ofstream out(disk_path(digest), std::ios::binary | std::ios::trunc);
-  if (!out) return;  // a broken disk tier degrades to memory-only
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) {
-    out.close();
-    std::error_code ec;
-    fs::remove(disk_path(digest), ec);
+  // tmp + fsync + atomic rename: a crash or an I/O error mid-write must
+  // never leave a truncated `<digest>.blob` behind — a torn blob would be
+  // adopted by the next run's constructor and only caught (and recounted
+  // as corruption) at get() time. A failed write degrades this put to
+  // memory-only and sheds the oldest half of the disk tier: the likely
+  // cause is a full disk, and freeing space here is the cheapest relief.
+  const std::string path = disk_path(digest);
+  const std::string tmp = path + ".tmp";
+  try {
+    auto f = vfs::File::create(tmp);
+    f.write_all(bytes);
+    f.sync();
+    f.close();
+    vfs::rename_file(tmp, path);
+  } catch (const IoError&) {
+    ++stats_.disk_write_failures;
+    vfs::remove_file(tmp);
+    const std::size_t target = config_.disk_budget_bytes / 2;
+    while (disk_bytes_ > target && !disk_order_.empty()) {
+      disk_drop(disk_order_.front());
+    }
     return;
   }
   disk_index_[digest] = bytes.size();
@@ -154,8 +170,9 @@ void BlobCache::disk_drop(std::uint64_t digest) {
   disk_bytes_ -= it->second;
   disk_index_.erase(it);
   disk_order_.remove(digest);
-  std::error_code ec;
-  fs::remove(disk_path(digest), ec);
+  // Through the vfs so an installed capacity plan credits the bytes back —
+  // evicting under disk pressure must genuinely free budget.
+  vfs::remove_file(disk_path(digest));
 }
 
 void BlobCache::trim_disk() {

@@ -59,6 +59,7 @@ class BlobCache {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;       // memory-tier LRU evictions
     std::uint64_t corrupt_dropped = 0; // digest-mismatch entries discarded
+    std::uint64_t disk_write_failures = 0;  // disk-tier puts that failed
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t memory_bytes() const { return memory_bytes_; }

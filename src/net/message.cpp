@@ -46,6 +46,7 @@ const char* to_string(MessageType type) {
     case MessageType::kBlobData: return "BlobData";
     case MessageType::kReplicaSnapshot: return "ReplicaSnapshot";
     case MessageType::kWalAppend: return "WalAppend";
+    case MessageType::kRetryLater: return "RetryLater";
     case MessageType::kError: return "Error";
   }
   return "Unknown";

@@ -31,9 +31,13 @@ inline constexpr std::uint32_t kMagic = 0x48444353;  // "HDCS"
 // span-profile trailer to SubmitResult (donor-measured per-phase
 // durations); v6 added the server epoch (failover term) to WorkAssignment
 // and SubmitResult plus the hot-standby replication stream (ReplicaHello /
-// ReplicaSnapshot / WalAppend). v3..v5 peers are still accepted: the
-// server answers every request at the requester's version.
-inline constexpr std::uint16_t kProtocolVersion = 6;
+// ReplicaSnapshot / WalAppend); v7 added the retryable RetryLater NACK
+// (overload shedding / degraded durability — back off retry_after_s and
+// retry, don't treat it as an error). v3..v6 peers are still accepted: the
+// server answers every request at the requester's version, and sends
+// RetryLater only to v7+ peers (older ones get an error frame, which their
+// existing backoff/reconnect paths already handle).
+inline constexpr std::uint16_t kProtocolVersion = 7;
 inline constexpr std::uint16_t kMinProtocolVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 24;
 /// Upper bound on a single frame; bulk data uses the chunked bulk channel.
@@ -63,6 +67,7 @@ enum class MessageType : std::uint16_t {
   kBlobData = 40,      // v4: per-digest present flags; bodies follow on bulk
   kReplicaSnapshot = 41,  // v6: exact-snapshot header; bytes follow on bulk
   kWalAppend = 42,     // v6: a batch of live WAL records for the standby
+  kRetryLater = 43,    // v7: retryable NACK — back off retry_after_s, retry
 
   // Either direction
   kError = 64,

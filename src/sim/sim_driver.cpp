@@ -53,6 +53,9 @@ SimDriver::SimDriver(SimConfig config, std::vector<MachineSpec> fleet)
   if (config_.faults.any()) {
     fault_plan_ = std::make_unique<net::FaultPlan>(config_.faults);
   }
+  if (config_.storage_faults.any()) {
+    storage_plan_ = std::make_unique<vfs::StorageFaultPlan>(config_.storage_faults);
+  }
   machines_.reserve(fleet.size());
   for (auto& spec : fleet) {
     Machine m;
@@ -284,7 +287,6 @@ void SimDriver::machine_join(std::size_t idx) {
                     [this, idx] { machine_join(idx); });
     return;
   }
-  m.join_backoff = 0;
   m.alive = true;
   m.ever_joined = true;
   // A rejoin models a donor restart with a memory-only cache: every blob
@@ -306,6 +308,28 @@ void SimDriver::machine_join(std::size_t idx) {
                       [this, idx] { machine_join(idx); });
       return;
     }
+    if (config_.max_clients > 0 &&
+        core_.active_client_count() >= config_.max_clients) {
+      // Overload shed (ServerConfig::max_clients mirror): the Hello is
+      // NACKed with retry_later at handling time — the same point the real
+      // server sheds — and the machine rides the capped join backoff a
+      // refused connect uses.
+      joins_shed_ += 1;
+      if (config_.tracer) {
+        config_.tracer->event(queue_.now(), "retry_later")
+            .str("reason", "max_clients")
+            .str("name", mm.spec.name);
+      }
+      mm.alive = false;
+      mm.join_backoff = mm.join_backoff <= 0
+                            ? kJoinBackoffInitial
+                            : std::min(mm.join_backoff * 2, kJoinBackoffMax);
+      double jitter = 1.0 + kJoinBackoffJitter * mm.rng.uniform(-1.0, 1.0);
+      queue_.schedule(queue_.now() + mm.join_backoff * jitter,
+                      [this, idx] { machine_join(idx); });
+      return;
+    }
+    mm.join_backoff = 0;
     refresh_session(mm);
     double reply_at = transfer(handled, kControlBytes) + config_.network.latency_s;
     queue_.schedule(reply_at, [this, idx, gen] { machine_request_work(idx, gen); });
@@ -540,6 +564,34 @@ void SimDriver::schedule_checkpoint() {
     ByteWriter w;
     core_.checkpoint(w);
     auto payload = w.take();
+    // Storage-fault chaos: draw the virtual disk's verdict on this save
+    // (write then fsync, the same two failure points the real
+    // write_checkpoint_file has). An injected failure takes the TCP
+    // server's exact durable -> degraded transition: epoch bump (+2, the
+    // restart-collision fence) and a durability_degraded event; the next
+    // clean save restores. config_.checkpoint_path is NOT written on an
+    // injected failure — the virtual disk rejected the bytes.
+    if (storage_plan_) {
+      std::size_t keep = 0;
+      auto wf = storage_plan_->write_fault("sim:checkpoint", payload.size(), keep);
+      bool failed = wf != vfs::StorageFaultPlan::WriteFault::kNone ||
+                    storage_plan_->fail_sync("sim:checkpoint");
+      if (failed) {
+        if (!degraded_) {
+          degraded_ = true;
+          durability_degradations_ += 1;
+          std::uint64_t next = core_.epoch() + 2;
+          core_.bump_epoch(next);
+          if (config_.tracer) {
+            config_.tracer->event(queue_.now(), "durability_degraded")
+                .str("reason", "checkpoint_save")
+                .u64("epoch", next);
+          }
+        }
+        schedule_checkpoint();
+        return;
+      }
+    }
     if (!config_.checkpoint_path.empty()) {
       dist::write_checkpoint_file(config_.checkpoint_path, payload);
     }
@@ -547,6 +599,14 @@ void SimDriver::schedule_checkpoint() {
                                   core_.problem_count(),
                                   core_.in_flight_units());
     checkpoints_saved_ += 1;
+    if (degraded_) {
+      degraded_ = false;
+      durability_restores_ += 1;
+      if (config_.tracer) {
+        config_.tracer->event(queue_.now(), "durability_restored")
+            .u64("epoch", core_.epoch());
+      }
+    }
     schedule_checkpoint();
   });
 }
@@ -599,6 +659,9 @@ SimOutcome SimDriver::run() {
   out.frames_retransmitted = frames_retransmitted_;
   out.joins_refused = joins_refused_;
   out.failovers = failovers_;
+  out.durability_degradations = durability_degradations_;
+  out.durability_restores = durability_restores_;
+  out.joins_shed = joins_shed_;
   out.blobs_sent = blobs_sent_;
   out.blob_cache_hits = blob_cache_hits_;
   out.blob_bytes_raw = blob_bytes_raw_;

@@ -30,6 +30,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/fleet.hpp"
 #include "util/rng.hpp"
+#include "util/vfs.hpp"
 
 namespace hdcs::sim {
 
@@ -81,6 +82,19 @@ struct SimConfig {
   /// are fenced by epoch exactly like the TCP path.
   double primary_kill_time_s = -1;
   double failover_delay_s = 0.5;
+  /// Virtual-time mirror of the storage-fault chaos, sharing
+  /// vfs::StorageFaultSpec with the real disk layer. A LOCAL plan (never
+  /// installed globally — the sim's own checkpoint_path writes stay clean)
+  /// is drawn at each virtual checkpoint save: an injected write/sync
+  /// failure degrades durability (epoch bump + durability_degraded event,
+  /// the TCP server's exact transition), and the next clean save restores
+  /// it (durability_restored). Results are never lost — only the durable
+  /// window moves, exactly like DurabilityMode::kContinue.
+  vfs::StorageFaultSpec storage_faults;
+  /// Overload mirror of ServerConfig::max_clients: a machine whose join
+  /// would exceed this many active clients is shed with a retry_later
+  /// event and retries with the donor's capped join backoff. 0 = off.
+  int max_clients = 0;
 };
 
 struct MachineOutcome {
@@ -108,6 +122,12 @@ struct SimOutcome {
   /// Standby promotions executed (primary_kill_time_s chaos). Stale-epoch
   /// rejections land in scheduler.results_rejected_stale_epoch.
   std::uint64_t failovers = 0;
+  /// Storage-fault chaos (storage_faults spec): durable -> degraded
+  /// transitions taken and degraded -> durable recoveries.
+  std::uint64_t durability_degradations = 0;
+  std::uint64_t durability_restores = 0;
+  /// Joins shed by the max_clients overload mirror (each retries later).
+  std::uint64_t joins_shed = 0;
   /// Bulk-data plane (mirrors the TCP bulk.* counters): blobs actually
   /// shipped over the virtual link vs transfers avoided because the
   /// machine already held the digest, plus the raw/wire byte totals (wire
@@ -214,6 +234,7 @@ class SimDriver {
   std::map<dist::ProblemId, ProblemCtx> problems_;
   std::shared_ptr<ResultCache> cache_;
   std::unique_ptr<net::FaultPlan> fault_plan_;
+  std::unique_ptr<vfs::StorageFaultPlan> storage_plan_;  // local, not installed
   Rng rng_;
 
   double link_busy_until_ = 0;
@@ -228,6 +249,10 @@ class SimDriver {
   bool server_down_ = false;        // between primary kill and promotion
   std::uint64_t server_session_ = 1;  // bumped at promotion
   std::uint64_t failovers_ = 0;
+  bool degraded_ = false;  // storage-fault chaos durability state
+  std::uint64_t durability_degradations_ = 0;
+  std::uint64_t durability_restores_ = 0;
+  std::uint64_t joins_shed_ = 0;
   std::map<std::uint64_t, double> blob_wire_bytes_;  // digest -> wire cost
   std::uint64_t blobs_sent_ = 0;
   std::uint64_t blob_cache_hits_ = 0;

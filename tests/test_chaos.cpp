@@ -32,6 +32,7 @@
 #include "sim/sim_driver.hpp"
 #include "tests/toy_problem.hpp"
 #include "util/rng.hpp"
+#include "util/vfs.hpp"
 
 namespace hdcs::dist {
 namespace {
@@ -644,6 +645,231 @@ TEST(Chaos, WalReplayLosesNoAcceptedResultAcrossKill) {
   EXPECT_EQ(server->final_result(pid_ml2), ref_ml);
   server->stop();
   dump_trace(tracer, "chaos_wal_replay_tcp");
+  std::filesystem::remove_all(wal_dir);
+}
+
+TEST(Chaos, WalEnospcMidRunDegradesThenRestoresByteIdentical) {
+  // The disk fills mid-run under a WAL'd server in kContinue mode: every
+  // write into the WAL directory hits injected ENOSPC. The server must
+  // degrade (epoch bump + durability_degraded on the timeline), keep
+  // scheduling without crashing or hanging, then re-arm once space returns
+  // — and the merged answers must be byte-identical to fault-free runs.
+  dsearch::register_algorithm();
+  dprml::register_algorithm();
+
+  Rng rng(613);
+  auto queries = bio::make_queries(rng, 2, 60, bio::Alphabet::kProtein);
+  bio::DatabaseSpec spec;
+  spec.num_sequences = 40;
+  spec.mean_length = 80;
+  auto database = bio::make_database(rng, spec, queries);
+  dsearch::DSearchConfig dcfg;
+  dcfg.top_k = 8;
+  auto tree = phylo::random_tree(rng, {7, 0.12, "t"});
+  auto aln = phylo::simulate_alignment(rng, tree, phylo::SubstModel::jc69(),
+                                       phylo::RateModel::uniform(), {250});
+  dprml::DPRmlConfig pcfg;
+  pcfg.model_spec = "JC69";
+  pcfg.branch_tolerance = 1e-3;
+  pcfg.eval_passes = 1;
+  pcfg.refine_passes = 1;
+  pcfg.use_eval_cache = false;
+
+  std::vector<std::byte> ref_ds, ref_ml;
+  {
+    dsearch::DSearchDataManager dm(queries, database, dcfg);
+    ref_ds = run_locally(dm, 2e5);
+  }
+  {
+    dprml::DPRmlDataManager dm(aln, pcfg);
+    ref_ml = run_locally(dm, 1.0);
+  }
+
+  std::string wal_dir = testing::TempDir() + "hdcs_enospc_wal";
+  std::filesystem::remove_all(wal_dir);
+  obs::Tracer tracer;
+  tracer.to_memory();
+  ServerConfig scfg;
+  scfg.port = pick_port();
+  scfg.scheduler.bounds.min_ops = 1;
+  scfg.scheduler.lease_timeout = 1.5;
+  scfg.scheduler.client_timeout = 1.5;
+  scfg.policy_spec = "adaptive:0.02";
+  scfg.tick_interval_s = 0.02;
+  scfg.no_work_retry_s = 0.02;
+  scfg.wal_dir = wal_dir;
+  scfg.wal_segment_bytes = 16 << 10;
+  scfg.durability_mode = DurabilityMode::kContinue;
+  scfg.rearm_retry_s = 0.1;  // fast re-arm probes for the test
+  scfg.tracer = &tracer;
+
+  auto server = std::make_unique<Server>(scfg);
+  server->start();
+  auto pid_ds = server->submit_problem(
+      std::make_shared<dsearch::DSearchDataManager>(queries, database, dcfg));
+  auto pid_ml =
+      server->submit_problem(std::make_shared<dprml::DPRmlDataManager>(aln, pcfg));
+  EXPECT_EQ(server->durability(), Server::Durability::kDurable);
+
+  constexpr int kDonors = 3;
+  std::vector<std::thread> donors;
+  std::atomic<int> donor_failures{0};
+  for (int i = 0; i < kDonors; ++i) {
+    donors.emplace_back([&, i] {
+      ClientConfig ccfg;
+      ccfg.server_port = scfg.port;
+      ccfg.name = "enospc-" + std::to_string(i);
+      ccfg.max_connect_attempts = 0;
+      ccfg.backoff_max_s = 0.2;
+      try {
+        Client(ccfg).run();
+      } catch (const Error&) {
+        donor_failures.fetch_add(1);
+      }
+    });
+  }
+
+  // Real durable progress first, so the degrade happens mid-run.
+  std::uint64_t accepted_before = 0;
+  for (int i = 0; i < 1000 && accepted_before < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    accepted_before = server->stats().results_accepted;
+  }
+  ASSERT_GE(accepted_before, 5u) << "no progress before the disk filled";
+  std::uint64_t epoch_before = server->epoch();
+
+  {
+    // The disk fills: a 1-byte capacity means the very next WAL append (or
+    // re-arm attempt) gets ENOSPC. Only the WAL directory is affected.
+    vfs::StorageFaultSpec full_disk;
+    full_disk.seed = 31;
+    full_disk.disk_capacity_bytes = 1;
+    full_disk.path_filter = "hdcs_enospc_wal";
+    vfs::ScopedStorageFaultPlan scoped(full_disk);
+
+    // The next accepted result's append/fsync fails -> degraded. The server
+    // must neither crash nor stop scheduling.
+    bool degraded = false;
+    for (int i = 0; i < 1000 && !degraded; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      degraded = server->durability() == Server::Durability::kDegraded;
+    }
+    ASSERT_TRUE(degraded) << "server never degraded on ENOSPC";
+    EXPECT_FALSE(server->storage_failed());  // kContinue keeps accepting
+    EXPECT_GE(server->epoch(), epoch_before + 2) << "degrade must fence";
+    EXPECT_NE(server->stats_json().find("\"durability\":\"degraded\""),
+              std::string::npos);
+    // Stay degraded for a while: re-arm probes keep failing on the full
+    // disk and must not crash or flap the state.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    EXPECT_EQ(server->durability(), Server::Durability::kDegraded);
+  }
+
+  // Space is back: the watchdog's next probe rebuilds the WAL and restores.
+  bool restored = false;
+  for (int i = 0; i < 1000 && !restored; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    restored = server->durability() == Server::Durability::kDurable;
+  }
+  EXPECT_TRUE(restored) << "durability never re-armed after space returned";
+
+  ASSERT_TRUE(server->wait_for_problem(pid_ds, 120.0)) << "DSEARCH stalled";
+  ASSERT_TRUE(server->wait_for_problem(pid_ml, 120.0)) << "DPRml stalled";
+  for (auto& t : donors) t.join();
+  EXPECT_EQ(donor_failures.load(), 0);
+
+  // Byte-identical answers: the full disk cost a durability window, never
+  // a result.
+  EXPECT_EQ(server->final_result(pid_ds), ref_ds);
+  EXPECT_EQ(server->final_result(pid_ml), ref_ml);
+  EXPECT_GE(count_events(tracer, "durability_degraded"), 1);
+  EXPECT_GE(count_events(tracer, "durability_restored"), 1);
+  server->stop();
+  dump_trace(tracer, "chaos_wal_enospc_tcp");
+  std::filesystem::remove_all(wal_dir);
+}
+
+TEST(Chaos, FailStopShedsDonorsAndNeverAcksNonDurably) {
+  // kFailStop: the first storage fault freezes intake. Donors holding
+  // finished units get retryable NACKs (never a silent non-durable ack),
+  // the server reports storage_failed() so the embedding process can
+  // checkpoint and exit non-zero, and nothing crashes or hangs.
+  test::register_toy_algorithm();
+
+  std::string wal_dir = testing::TempDir() + "hdcs_failstop_wal";
+  std::filesystem::remove_all(wal_dir);
+  obs::Tracer tracer;
+  tracer.to_memory();
+  ServerConfig scfg;
+  scfg.scheduler.bounds.min_ops = 1000;
+  scfg.policy_spec = "fixed:1000000";  // many small units
+  scfg.tick_interval_s = 0.02;
+  scfg.no_work_retry_s = 0.02;
+  scfg.wal_dir = wal_dir;
+  scfg.durability_mode = DurabilityMode::kFailStop;
+  scfg.retry_later_s = 0.05;  // fast donor retries for the test
+  scfg.tracer = &tracer;
+  Server server(scfg);
+  server.start();
+  server.submit_problem(std::make_shared<test::ToySumDataManager>(100000000));
+
+  auto& client_retries = obs::Registry::global().counter("client.retry_laters");
+  std::uint64_t retries_before = client_retries.value();
+
+  std::atomic<int> donor_failures{0};
+  std::thread donor([&] {
+    ClientConfig ccfg;
+    ccfg.server_port = server.port();
+    ccfg.name = "failstop-donor";
+    ccfg.max_connect_attempts = 2;
+    ccfg.backoff_max_s = 0.1;
+    try {
+      Client(ccfg).run();
+    } catch (const Error&) {
+      donor_failures.fetch_add(1);  // expected once the server is stopped
+    }
+  });
+
+  std::uint64_t accepted_before = 0;
+  for (int i = 0; i < 1000 && accepted_before < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    accepted_before = server.stats().results_accepted;
+  }
+  ASSERT_GE(accepted_before, 3u) << "no progress before the fault";
+
+  // Every WAL fsync now fails. The next result submission trips fail-stop.
+  vfs::StorageFaultSpec broken;
+  broken.seed = 5;
+  broken.sync_error_prob = 1.0;
+  broken.path_filter = "hdcs_failstop_wal";
+  vfs::ScopedStorageFaultPlan scoped(broken);
+
+  bool failed = false;
+  for (int i = 0; i < 1000 && !failed; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    failed = server.storage_failed();
+  }
+  ASSERT_TRUE(failed) << "fail-stop never tripped";
+  EXPECT_EQ(server.durability(), Server::Durability::kDegraded);
+
+  // The donor's in-flight submission was NACKed retryable and it is now
+  // riding the retry loop — no new results are merged, none are lost.
+  std::uint64_t accepted_at_failure = server.stats().results_accepted;
+  bool donor_retried = false;
+  for (int i = 0; i < 1000 && !donor_retried; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    donor_retried = client_retries.value() > retries_before;
+  }
+  EXPECT_TRUE(donor_retried) << "donor never saw a retryable NACK";
+  EXPECT_EQ(server.stats().results_accepted, accepted_at_failure);
+  EXPECT_GE(count_events(tracer, "durability_degraded"), 1);
+  EXPECT_GT(obs::Registry::global().counter("server.retry_laters").value(), 0u);
+
+  // The embedding process reacts like hdcs_submit: stop and exit non-zero.
+  // Stopping while a donor is mid-retry must not deadlock.
+  server.stop();
+  donor.join();
+  dump_trace(tracer, "chaos_wal_failstop_tcp");
   std::filesystem::remove_all(wal_dir);
 }
 

@@ -26,6 +26,7 @@
 #include "net/fault.hpp"
 #include "net/message.hpp"
 #include "net/socket.hpp"
+#include "util/vfs.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "phylo/simulate.hpp"
@@ -237,6 +238,76 @@ TEST(BlobCache, CorruptDiskEntryDroppedThenRefetchable) {
   auto again = cache.get(digest);
   ASSERT_TRUE(again.has_value());
   EXPECT_EQ(*again, blob);
+}
+
+TEST(BlobCache, DiskWriteFailureCountedNeverTornOnDisk) {
+  ScratchDir dir("disk_fault");
+  net::BlobCacheConfig cfg;
+  cfg.disk_dir = dir.path.string();
+  net::BlobCache cache(cfg);
+  auto blob = compressible_blob(31);
+  auto digest = net::blob_digest(blob);
+  {
+    vfs::StorageFaultSpec spec;
+    spec.write_error_prob = 1.0;
+    spec.path_filter = "disk_fault";
+    vfs::ScopedStorageFaultPlan scoped(spec);
+    cache.put(digest, blob);  // disk tier fails; memory tier still serves
+  }
+  EXPECT_EQ(cache.stats().disk_write_failures, 1u);
+  EXPECT_EQ(cache.disk_bytes(), 0u);  // nothing half-written was kept
+  auto hit = cache.get(digest);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, blob);
+  // No tmp corpse and no torn .blob file in the directory.
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    ADD_FAILURE() << "unexpected file survived the failed disk put: "
+                  << entry.path();
+  }
+  // A restart over the same directory sees a clean (empty) disk tier.
+  net::BlobCache revived(cfg);
+  EXPECT_EQ(revived.get(digest), std::nullopt);
+}
+
+TEST(BlobCache, DiskFaultStormNeverServesCorruptBlobs) {
+  // Storms over the disk tier (torn renames included): every get() must
+  // return either the true bytes or a miss — the digest re-check turns
+  // whatever the storm left on disk into a re-fetch, never a wrong input.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ScratchDir dir("disk_storm");
+    net::BlobCacheConfig cfg;
+    cfg.memory_budget_bytes = 4096;  // small: force disk round-trips
+    cfg.disk_dir = dir.path.string();
+    net::BlobCache cache(cfg);
+    std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> blobs;
+    for (int i = 0; i < 8; ++i) {
+      auto blob = random_blob(seed * 100 + static_cast<std::uint64_t>(i), 2048);
+      blobs.emplace_back(net::blob_digest(blob), blob);
+    }
+    {
+      vfs::StorageFaultSpec spec;
+      spec.seed = seed;
+      spec.write_error_prob = 0.2;
+      spec.short_write_prob = 0.15;
+      spec.sync_error_prob = 0.2;
+      spec.rename_error_prob = 0.15;
+      spec.torn_rename_prob = 0.2;
+      spec.path_filter = "disk_storm";
+      vfs::ScopedStorageFaultPlan scoped(spec);
+      for (const auto& [digest, blob] : blobs) cache.put(digest, blob);
+      for (const auto& [digest, blob] : blobs) {
+        auto hit = cache.get(digest);
+        if (hit) EXPECT_EQ(*hit, blob) << "seed " << seed;
+      }
+    }
+    // And with the storm over, a revived cache over the same directory
+    // still serves only verified bytes.
+    net::BlobCache revived(cfg);
+    for (const auto& [digest, blob] : blobs) {
+      auto hit = revived.get(digest);
+      if (hit) EXPECT_EQ(*hit, blob) << "seed " << seed;
+    }
+  }
 }
 
 // ----------------------------------------------------- v4 blob transfer --

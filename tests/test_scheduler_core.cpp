@@ -478,5 +478,37 @@ TEST(SchedulerCore, GranularityBoundsClampPolicy) {
   EXPECT_GE(unit->cost_ops, 1.0);
 }
 
+TEST(SchedulerCore, PerClientOutstandingCapLimitsInFlight) {
+  auto cfg = small_config();
+  cfg.max_outstanding_per_client = 2;
+  SchedulerCore core(cfg, std::make_unique<FixedGranularity>(100));
+  auto dm = std::make_shared<ToySumDataManager>(1000);
+  auto pid = core.submit_problem(dm);
+  auto data = dm->problem_data();
+  auto cid = core.client_joined("greedy", 1e6, 0.0);
+
+  // The cap bites on the third concurrent request...
+  auto u1 = core.request_work(cid, 0.0);
+  auto u2 = core.request_work(cid, 0.0);
+  ASSERT_TRUE(u1);
+  ASSERT_TRUE(u2);
+  EXPECT_FALSE(core.request_work(cid, 0.0));
+  EXPECT_EQ(core.stats().work_requests_unserved, 1u);
+  // ...but never wedges anyone else or overall progress: a second client
+  // still gets work, and completing a unit frees a slot.
+  auto other = core.client_joined("other", 1e6, 0.0);
+  EXPECT_TRUE(core.request_work(other, 0.0));
+  EXPECT_TRUE(core.submit_result(cid, execute(*u1, data), 1.0));
+  EXPECT_TRUE(core.request_work(cid, 1.0));
+
+  // Cap 0 (the default) means unbounded.
+  SchedulerCore open(small_config(), std::make_unique<FixedGranularity>(100));
+  auto dm2 = std::make_shared<ToySumDataManager>(1000);
+  open.submit_problem(dm2);
+  auto cid2 = open.client_joined("c", 1e6, 0.0);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(open.request_work(cid2, 0.0));
+  (void)pid;
+}
+
 }  // namespace
 }  // namespace hdcs::dist

@@ -159,6 +159,60 @@ TEST(SimDriver, VirtualTimeCheckpointsEmitted) {
             ToySumDataManager(5000000).expected());
 }
 
+TEST(SimDriver, StorageFaultsDegradeAndRestoreWithoutChangingAnswers) {
+  auto cfg = fast_config();
+  cfg.checkpoint_interval_s = 0.25;
+  std::uint64_t expected = ToySumDataManager(1000000).expected();
+
+  // Fault-free reference.
+  SimDriver ref(cfg, lab_fleet(4));
+  auto pid = ref.add_problem(std::make_shared<ToySumDataManager>(1000000));
+  auto base = ref.run();
+  ASSERT_EQ(test::read_u64_result(base.final_results.at(pid)), expected);
+  EXPECT_EQ(base.durability_degradations, 0u);
+
+  // Intermittent checkpoint fsync failures: the server mirror degrades on a
+  // failed save, re-arms on the next clean one, and the merged answer is
+  // byte-identical — disk faults cost durability windows, never results.
+  auto cfg2 = cfg;
+  cfg2.storage_faults.seed = 11;
+  cfg2.storage_faults.sync_error_prob = 0.5;
+  SimDriver faulty(cfg2, lab_fleet(4));
+  auto pid2 = faulty.add_problem(std::make_shared<ToySumDataManager>(1000000));
+  auto out = faulty.run();
+  EXPECT_EQ(out.final_results.at(pid2), base.final_results.at(pid));
+  EXPECT_GE(out.durability_degradations, 1u);
+  EXPECT_GE(out.durability_restores, 1u);
+}
+
+TEST(SimDriver, StorageFaultRunsAreDeterministicPerSeed) {
+  auto run_once = [] {
+    auto cfg = fast_config();
+    cfg.checkpoint_interval_s = 0.25;
+    cfg.storage_faults.seed = 3;
+    cfg.storage_faults.sync_error_prob = 0.4;
+    SimDriver sim(cfg, lab_fleet(4));
+    sim.add_problem(std::make_shared<ToySumDataManager>(1000000));
+    return sim.run();
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a.durability_degradations, b.durability_degradations);
+  EXPECT_EQ(a.durability_restores, b.durability_restores);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+TEST(SimDriver, MaxClientsShedsJoinsButWorkCompletes) {
+  auto cfg = fast_config();
+  cfg.max_clients = 2;
+  SimDriver sim(cfg, lab_fleet(6));
+  auto dm = std::make_shared<ToySumDataManager>(2000000);
+  auto pid = sim.add_problem(dm);
+  auto out = sim.run();
+  EXPECT_GT(out.joins_shed, 0u);
+  EXPECT_EQ(test::read_u64_result(out.final_results.at(pid)), dm->expected());
+}
+
 TEST(SimDriver, ProducesCorrectResult) {
   auto cfg = fast_config();
   SimDriver sim(cfg, lab_fleet(4));
