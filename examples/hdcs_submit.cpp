@@ -14,6 +14,7 @@
 //               [--failover-timeout 2]
 //               [--durability continue|fail-stop] [--wal-budget-mb 0]
 //               [--max-clients 0] [--blob-budget-mb 0]
+//               [--io-threads 1] [--workers 4] [--max-write-buffer-mb 64]
 //   hdcs_submit --app dprml  --alignment aln.fasta [--config ml.cfg] ...
 //   hdcs_submit --app dboot  --alignment aln.fasta [--config boot.cfg] ...
 //
@@ -184,6 +185,14 @@ int run(int argc, char** argv) {
   scfg.max_clients = static_cast<int>(parse_i64(args.get("max-clients", "0")));
   scfg.blob_inflight_budget_bytes = static_cast<std::size_t>(
       parse_i64(args.get("blob-budget-mb", "0"))) * 1024 * 1024;
+  // Event-loop I/O: --io-threads epoll loops + --workers scheduler/disk
+  // workers are the whole thread budget no matter how many donors connect;
+  // --max-write-buffer-mb bounds each connection's write queue before
+  // backpressure pauses its reads (docs/PROTOCOL.md).
+  scfg.io_threads = static_cast<int>(parse_i64(args.get("io-threads", "1")));
+  scfg.worker_threads = static_cast<int>(parse_i64(args.get("workers", "4")));
+  scfg.max_write_buffer_bytes = static_cast<std::size_t>(
+      parse_i64(args.get("max-write-buffer-mb", "64"))) * 1024 * 1024;
 
   // --trace FILE appends the structured scheduling event log (JSONL);
   // summarise it afterwards with tools/trace_summary.

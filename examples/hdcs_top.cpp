@@ -187,6 +187,29 @@ void print_digest(const std::string& json) {
                 100.0 * hits / (hits + sent), hits, sent);
   }
   std::printf("\n");
+  // Event-loop health (epoll servers): registered fds, per-connection
+  // write-queue high water, and loop lag p99 — how late the loop thread
+  // runs its posted work, the first number to look at when heartbeat RTTs
+  // climb. Absent from pre-loop servers, so only printed when present.
+  bool has_loop = false;
+  double loop_fds = find_number(json, "net.loop.fds", 0, &has_loop);
+  if (has_loop) {
+    std::printf("loop: %.0f fds", loop_fds);
+    double hwm = find_number(json, "net.loop.write_queue_hwm");
+    std::printf(" | write-queue hwm %.0f KiB", hwm / 1024.0);
+    bool has_lag = false;
+    double lag_count = find_nested_number(json, "net.loop.lag_s", "count",
+                                          &has_lag);
+    if (has_lag && lag_count > 0) {
+      double lag_p99 = find_nested_number(json, "net.loop.lag_s", "p99");
+      std::printf(" | lag p99 %.3gms", 1e3 * lag_p99);
+    }
+    double stalls = find_number(json, "net.loop.backpressure_stalls");
+    double shed = find_number(json, "net.loop.connections_shed");
+    if (stalls > 0) std::printf(" | backpressure stalls %.0f", stalls);
+    if (shed > 0) std::printf(" | shed %.0f", shed);
+    std::printf("\n");
+  }
   constexpr const char* kPhases[] = {"queue_wait", "blob_fetch", "decompress",
                                      "compute",    "encode",     "submit"};
   std::string line;

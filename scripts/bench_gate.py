@@ -15,6 +15,11 @@ Two kinds of checks, both against a freshly measured artifact:
      --min speedup_batch_over_scalar.nw=3.0. This is how "the batch kernel
      must beat scalar by 3x" stays locked in even if both sides of the
      ratio drift together (which the relative gate would wave through).
+     --max PATH=VALUE is the mirror image: an absolute ceiling, for
+     quantities where growth is the regression (resident thread count,
+     p99 latency). --ratchets-only skips the baseline comparison so
+     artifacts without a committed reference (BENCH_NET.json) can still
+     be gated on their floors and ceilings alone.
 
 Usage:
   bench_gate.py --baseline BENCH_ALIGN.json --current build/BENCH_ALIGN.json \\
@@ -22,6 +27,8 @@ Usage:
   bench_gate.py --baseline BENCH_LIKELIHOOD.json \\
       --current build/BENCH_LIKELIHOOD.json --section kernels_evals_per_sec \\
       --min speedup_simd_over_scalar.partials=1.5
+  bench_gate.py --ratchets-only --current build/BENCH_NET.json \\
+      --min storm.joins_per_sec=300 --max storm.resident_threads=32
   bench_gate.py --self-test     # prove the gate trips on slowdowns and
                                 # on ratchet violations
 """
@@ -77,35 +84,46 @@ def resolve(doc, dotted):
     return node
 
 
-def check_mins(doc, mins):
-    """Assert ratchet floors on the current artifact. mins: [(path, floor)]."""
+def check_ratchets(doc, ratchets):
+    """Assert floors/ceilings on the current artifact.
+
+    ratchets: [(path, bound, is_max)] — is_max False means the value must be
+    >= bound (floor), True means <= bound (ceiling). A missing path always
+    fails: a vanished metric must not silently pass its gate.
+    """
     failures = []
     lines = []
-    for path, floor in mins:
+    for path, bound, is_max in ratchets:
+        kind = "<=" if is_max else ">="
         value = resolve(doc, path)
         if value is None:
             failures.append(path)
-            lines.append(f"  {path:36s} MISSING (ratchet >= {floor:g})")
+            lines.append(f"  {path:36s} MISSING (ratchet {kind} {bound:g})")
             continue
         value = float(value)
-        ok = value >= floor
+        ok = value <= bound if is_max else value >= bound
         if not ok:
             failures.append(path)
+        verdict = "ok" if ok else ("ABOVE CEILING" if is_max else "BELOW RATCHET")
         lines.append(
-            f"  {path:36s} {value:10.4g}  (ratchet >= {floor:g})"
-            f"  {'ok' if ok else 'BELOW RATCHET'}"
+            f"  {path:36s} {value:10.4g}  (ratchet {kind} {bound:g})  {verdict}"
         )
     return failures, lines
 
 
-def parse_min(text):
+def check_mins(doc, mins):
+    """Back-compat shim over check_ratchets for floor-only callers/tests."""
+    return check_ratchets(doc, [(p, v, False) for p, v in mins])
+
+
+def parse_ratchet(flag, text, is_max):
     path, sep, value = text.partition("=")
     if not sep or not path:
-        raise SystemExit(f"--min wants PATH=VALUE, got '{text}'")
+        raise SystemExit(f"{flag} wants PATH=VALUE, got '{text}'")
     try:
-        return path, float(value)
+        return path, float(value), is_max
     except ValueError:
-        raise SystemExit(f"--min {path}: '{value}' is not a number")
+        raise SystemExit(f"{flag} {path}: '{value}' is not a number")
 
 
 def self_test(baseline_path, max_regress):
@@ -144,6 +162,26 @@ def self_test(baseline_path, max_regress):
     if failures:
         print("self-test FAILED: satisfied ratchet tripped", file=sys.stderr)
         return 1
+    # Ceilings: a value above the cap must trip, one below must pass, and a
+    # missing path must fail just like a missing floor.
+    caps = {"storm": {"resident_threads": 48, "joins_per_sec": 5000}}
+    failures, _ = check_ratchets(caps, [("storm.resident_threads", 32.0, True)])
+    if failures != ["storm.resident_threads"]:
+        print("self-test FAILED: ceiling did not trip above the cap",
+              file=sys.stderr)
+        return 1
+    failures, _ = check_ratchets(
+        caps, [("storm.resident_threads", 64.0, True),
+               ("storm.joins_per_sec", 300.0, False)])
+    if failures:
+        print("self-test FAILED: satisfied ceiling/floor mix tripped",
+              file=sys.stderr)
+        return 1
+    failures, _ = check_ratchets(caps, [("storm.vanished", 1.0, True)])
+    if failures != ["storm.vanished"]:
+        print("self-test FAILED: missing ceiling path not detected",
+              file=sys.stderr)
+        return 1
     print(f"self-test OK: gate trips on 25% slowdown at max-regress "
           f"{max_regress:.0%} and on ratchet violations")
     return 0
@@ -164,6 +202,12 @@ def main():
     ap.add_argument("--min", action="append", default=[], metavar="PATH=VALUE",
                     help="ratchet: dotted path into the current artifact that "
                          "must be >= VALUE (repeatable)")
+    ap.add_argument("--max", action="append", default=[], metavar="PATH=VALUE",
+                    help="ceiling: dotted path into the current artifact that "
+                         "must be <= VALUE (repeatable)")
+    ap.add_argument("--ratchets-only", action="store_true",
+                    help="skip the baseline comparison; gate only on "
+                         "--min/--max against the current artifact")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate logic against fabricated failures")
     args = ap.parse_args()
@@ -173,17 +217,34 @@ def main():
     if args.self_test:
         return self_test(args.baseline, args.max_regress)
 
+    ratchets = [parse_ratchet("--min", m, False) for m in args.min]
+    ratchets += [parse_ratchet("--max", m, True) for m in args.max]
+
+    if args.ratchets_only:
+        if not ratchets:
+            raise SystemExit("--ratchets-only without --min/--max gates nothing")
+        with open(args.current) as f:
+            current_doc = json.load(f)
+        failures, lines = check_ratchets(current_doc, ratchets)
+        print(f"bench gate: {args.current} (ratchets only)")
+        print("\n".join(lines))
+        if failures:
+            print(f"FAIL: {len(failures)} check(s) failed: "
+                  f"{', '.join(failures)}", file=sys.stderr)
+            return 1
+        print("PASS: ratchets hold")
+        return 0
+
     _, baseline = load(args.baseline, args.section)
     current_doc, current = load(args.current, args.section)
     failures, lines = compare(baseline, current, args.max_regress)
     print(f"bench gate: {args.current} vs {args.baseline} "
           f"(max regress {args.max_regress:.0%})")
     print("\n".join(lines))
-    mins = [parse_min(m) for m in args.min]
-    if mins:
-        min_failures, min_lines = check_mins(current_doc, mins)
-        print("\n".join(min_lines))
-        failures += min_failures
+    if ratchets:
+        ratchet_failures, ratchet_lines = check_ratchets(current_doc, ratchets)
+        print("\n".join(ratchet_lines))
+        failures += ratchet_failures
     if failures:
         print(f"FAIL: {len(failures)} check(s) failed: {', '.join(failures)}",
               file=sys.stderr)

@@ -50,6 +50,10 @@ echo "== bench_align --smoke (kernel equivalence + throughput snapshot) =="
 echo "== bench_likelihood --smoke (tier bit-equality + throughput) =="
 ./build/bench/bench_likelihood --smoke --out build/BENCH_LIKELIHOOD.json
 
+echo "== bench_net --storm (epoll server: 1k donors on a fixed thread budget) =="
+cmake --build build --target bench_net -j >/dev/null
+./build/bench/bench_net --storm 1000 --heartbeats 2 --out build/BENCH_NET.json
+
 echo "== bench gate self-test + speedup ratchets on the fresh artifacts =="
 # Self-compare (baseline = current) skips the machine-dependent absolute
 # throughput comparison — CI does that against the committed baselines —
@@ -64,5 +68,11 @@ python3 scripts/bench_gate.py --section kernels_evals_per_sec \
   --baseline build/BENCH_LIKELIHOOD.json \
   --current build/BENCH_LIKELIHOOD.json \
   --min speedup_simd_over_scalar.partials=1.5
+python3 scripts/bench_gate.py --ratchets-only \
+  --current build/BENCH_NET.json \
+  --min storm.joins_per_sec=300 \
+  --min storm.peak_concurrent=1000 \
+  --max storm.failed_connects=0 \
+  --max storm.resident_threads=32
 
 echo "verify OK"

@@ -1,13 +1,19 @@
 #include "dist/server.hpp"
 
+#include <sys/epoll.h>
+
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <unordered_set>
 
 #include "dist/checkpoint_file.hpp"
 #include "dist/wire.hpp"
 #include "net/bulk.hpp"
+#include "net/fault.hpp"
+#include "net/frame_reader.hpp"
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -67,6 +73,23 @@ obs::Gauge& connected_gauge() {
       &obs::Registry::global().gauge("server.connected_clients");
   return *g;
 }
+
+// Event-loop health counters (net.loop.wakeups / lag_s / fds live in
+// net/event_loop.cpp; these are the server-side flow-control ones).
+struct LoopIoMetrics {
+  obs::Counter& eagain_writes =
+      obs::Registry::global().counter("net.loop.eagain_writes");
+  obs::Counter& backpressure_stalls =
+      obs::Registry::global().counter("net.loop.backpressure_stalls");
+  obs::Counter& connections_shed =
+      obs::Registry::global().counter("net.loop.connections_shed");
+  obs::Gauge& write_queue_hwm =
+      obs::Registry::global().gauge("net.loop.write_queue_hwm");
+};
+LoopIoMetrics& loop_io_metrics() {
+  static LoopIoMetrics m;
+  return m;
+}
 }  // namespace
 
 // One hot standby's outbound record queue. Handlers push (under
@@ -95,6 +118,60 @@ struct Server::ReplicaFeed {
     }
     cv.notify_one();
   }
+};
+
+// One epoll loop, its thread, and the connections pinned to it. `conns` is
+// touched only from the loop's own thread.
+struct Server::IoLoop {
+  net::EventLoop loop;
+  std::thread thread;
+  std::unordered_set<std::shared_ptr<Conn>> conns;
+};
+
+// Per-connection state machine. Everything here is owned by the
+// connection's loop thread, except client_id (read by workers for log
+// lines, written on the loop thread as Hello/Goodbye outcomes land).
+struct Server::Conn {
+  net::TcpStream stream;
+  IoLoop* io = nullptr;
+  net::FrameReader reader;
+  std::deque<net::Message> inbox;  // parsed requests awaiting a worker slot
+  bool busy = false;               // one worker job in flight at a time
+  bool closed = false;
+  bool paused = false;            // backpressure: EPOLLIN off
+  bool want_write = false;        // EPOLLOUT armed (kernel buffer was full)
+  bool close_after_flush = false; // Goodbye: close once the queue drains
+  std::uint32_t armed = 0;        // epoll mask currently registered
+  std::atomic<ClientId> client_id{0};
+
+  struct Chunk {
+    std::vector<std::byte> bytes;
+    std::size_t off = 0;
+    /// Blob-budget bytes released when this chunk finishes sending (or the
+    /// connection dies with it queued).
+    std::size_t release = 0;
+  };
+  std::deque<Chunk> outq;
+  std::size_t outq_bytes = 0;
+
+  /// Mid-structure stall guard: set while the reader is inside a frame,
+  /// re-armed on every read that makes progress, swept at 1 Hz.
+  std::chrono::steady_clock::time_point read_deadline{};
+  /// Write-stall guard: set when the queue is non-empty and the kernel
+  /// refuses bytes; cleared on any write progress.
+  std::chrono::steady_clock::time_point write_deadline{};
+};
+
+// What a worker hands back to the loop thread: response frames (and bulk
+// bodies) already encoded to wire bytes, plus connection-state directives.
+struct Server::HandlerOutcome {
+  std::vector<std::vector<std::byte>> chunks;  // enqueued in order
+  std::size_t inflight_charged = 0;  // blob budget to release after send
+  ClientId became_client = 0;        // Hello assigned this id
+  bool clear_client = false;         // Goodbye: drop the id before close
+  bool close = false;                // close once chunks are flushed
+  bool replica = false;              // detach into a replication session
+  net::Message request;              // original frame (replica detach)
 };
 
 Server::Server(ServerConfig config)
@@ -175,7 +252,27 @@ void Server::start() {
   listener_ = net::TcpListener::bind(config_.port);
   port_ = listener_.port();
   if (!config_.primary_host.empty()) standby_.store(true);
-  acceptor_ = std::thread([this] { acceptor_loop(); });
+  workers_ = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(std::max(1, config_.worker_threads)));
+  io_.clear();
+  const int nloops = std::max(1, config_.io_threads);
+  for (int i = 0; i < nloops; ++i) io_.push_back(std::make_unique<IoLoop>());
+  for (auto& io : io_) {
+    IoLoop* iop = io.get();
+    // add_periodic/add_fd are loop-thread-only; queue the setup so it runs
+    // as the loop's first task.
+    iop->loop.post([this, iop] {
+      iop->loop.add_periodic(1.0, [this, iop] { sweep_conns(*iop); });
+    });
+  }
+  io_[0]->loop.post([this] {
+    io_[0]->loop.add_fd(listener_.fd(), EPOLLIN,
+                        [this](std::uint32_t) { accept_ready(); });
+  });
+  for (auto& io : io_) {
+    IoLoop* iop = io.get();
+    iop->thread = std::thread([iop] { iop->loop.run(); });
+  }
   housekeeper_ = std::thread([this] { housekeeping_loop(); });
   if (standby_.load()) {
     replica_ = std::thread([this] { replica_loop(); });
@@ -188,21 +285,39 @@ void Server::start() {
 
 void Server::stop() {
   if (!running_.exchange(false)) return;
-  // Join the acceptor before closing the listener: accept() polls with a
-  // short timeout and rechecks running_, and closing the fd under it would
-  // race with its reads of the descriptor.
-  if (acceptor_.joinable()) acceptor_.join();
-  listener_.close();
+  // Tear connections down on their own loop threads (each posts its
+  // client_left to the workers), stop the loops, then drain the worker
+  // queue — shutdown() runs what is queued before joining.
+  if (!io_.empty()) {
+    io_[0]->loop.post([this] {
+      io_[0]->loop.remove_fd(listener_.fd());
+      listener_.close();
+    });
+  }
+  for (auto& io : io_) {
+    IoLoop* iop = io.get();
+    iop->loop.post([this, iop] {
+      auto conns = iop->conns;  // disconnect mutates the set
+      for (const auto& c : conns) conn_disconnect(c, nullptr);
+    });
+  }
+  for (auto& io : io_) io->loop.stop();
+  for (auto& io : io_) {
+    if (io->thread.joinable()) io->thread.join();
+  }
+  if (workers_) workers_->shutdown();
   if (replica_.joinable()) replica_.join();
   if (housekeeper_.joinable()) housekeeper_.join();
-  std::vector<std::thread> handlers;
+  std::vector<std::thread> replicas;
   {
-    std::lock_guard lock(handlers_mutex_);
-    handlers.swap(handlers_);
+    std::lock_guard lock(replica_threads_mutex_);
+    replicas.swap(replica_threads_);
   }
-  for (auto& t : handlers) {
+  for (auto& t : replicas) {
     if (t.joinable()) t.join();
   }
+  io_.clear();
+  workers_.reset();
   progress_cv_.notify_all();
 }
 
@@ -379,21 +494,341 @@ std::string Server::stats_json(bool include_clients) {
 
 int Server::connected_clients() { return connected_.load(); }
 
-void Server::acceptor_loop() {
+void Server::accept_ready() {
+  // Loop-0 thread. Drain the (non-blocking) listener: one EPOLLIN can
+  // cover a whole burst of queued connections.
   while (running_.load()) {
     std::optional<net::TcpStream> stream;
     try {
-      stream = listener_.accept(200);
+      stream = listener_.accept(0);
     } catch (const IoError& e) {
-      if (!running_.load()) break;
-      LOG_ERROR("accept failed: " << e.what());
-      continue;
+      if (running_.load()) LOG_ERROR("accept failed: " << e.what());
+      return;
     }
-    if (!stream) continue;
-    std::lock_guard lock(handlers_mutex_);
-    handlers_.emplace_back(
-        [this, s = std::move(*stream)]() mutable { handler_loop(std::move(s)); });
+    if (!stream) return;
+    IoLoop& target = *io_[next_loop_++ % io_.size()];
+    if (&target == io_[0].get()) {
+      register_conn(target, std::move(*stream));
+    } else {
+      auto s = std::make_shared<net::TcpStream>(std::move(*stream));
+      target.loop.post(
+          [this, &target, s] { register_conn(target, std::move(*s)); });
+    }
   }
+}
+
+void Server::register_conn(IoLoop& io, net::TcpStream stream) {
+  if (!running_.load()) return;
+  auto c = std::make_shared<Conn>();
+  c->stream = std::move(stream);
+  c->io = &io;
+  c->stream.set_nonblocking(true);
+  c->armed = EPOLLIN;
+  io.loop.add_fd(c->stream.fd(), EPOLLIN,
+                 [this, c](std::uint32_t events) { conn_event(c, events); });
+  io.conns.insert(c);
+  connected_gauge().set(connected_.fetch_add(1) + 1);
+}
+
+void Server::conn_event(std::shared_ptr<Conn> c, std::uint32_t events) {
+  if (c->closed) return;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    conn_disconnect(std::move(c), "peer closed");
+    return;
+  }
+  try {
+    if (events & EPOLLOUT) conn_flush(c);
+    if (c->closed) return;
+    if ((events & EPOLLIN) && !c->paused) conn_readable(c);
+  } catch (const net::ConnectionClosed&) {
+    LOG_INFO("client connection closed (client " << c->client_id.load()
+                                                 << ")");
+    conn_disconnect(std::move(c), nullptr);
+  } catch (const Error& e) {
+    LOG_WARN("handler error (client " << c->client_id.load()
+                                      << "): " << e.what());
+    conn_disconnect(std::move(c), nullptr);
+  }
+}
+
+void Server::conn_readable(const std::shared_ptr<Conn>& c) {
+  // Same fault-injection points the blocking recv path has: a delay, a
+  // dropped read (connection torn down), then a corrupted byte among the
+  // received bytes — which the frame CRCs must catch downstream.
+  net::FaultPlan* fp = net::installed_fault_plan();
+  if (fp) {
+    if (double d = fp->delay_s(); d > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(d));
+    }
+    if (fp->drop_recv()) {
+      conn_disconnect(c, nullptr);
+      return;
+    }
+  }
+  std::array<std::byte, 16384> buf;
+  std::vector<net::Message> msgs;
+  bool progressed = false;
+  // Bounded per event so one firehose sender cannot starve the loop's
+  // other connections; level-triggered epoll re-fires for the rest.
+  for (int round = 0; round < 64; ++round) {
+    auto n = c->stream.recv_nb(buf);
+    if (!n) break;  // EAGAIN
+    if (*n == 0) {  // orderly EOF
+      LOG_INFO("client connection closed (client " << c->client_id.load()
+                                                   << ")");
+      conn_disconnect(c, nullptr);
+      return;
+    }
+    progressed = true;
+    std::span<std::byte> data(buf.data(), *n);
+    if (fp) {
+      if (auto idx = fp->corrupt_byte(*n)) data[*idx] ^= std::byte{0x20};
+    }
+    c->reader.feed(data, msgs);  // ProtocolError -> conn_event's catch
+  }
+  if (c->reader.mid_frame()) {
+    // Re-arm on progress: the guard fires on *silence* mid-frame, exactly
+    // like the blocking path's recv_all stall timeout.
+    if (progressed ||
+        c->read_deadline == std::chrono::steady_clock::time_point{}) {
+      c->read_deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(net::kMidStreamStallMs);
+    }
+  } else {
+    c->read_deadline = {};
+  }
+  for (auto& m : msgs) c->inbox.push_back(std::move(m));
+  conn_pump(c);
+}
+
+void Server::conn_pump(const std::shared_ptr<Conn>& c) {
+  if (c->busy || c->closed || c->inbox.empty()) return;
+  net::Message request = std::move(c->inbox.front());
+  c->inbox.pop_front();
+  c->busy = true;
+  auto self = c;
+  bool accepted = workers_->submit([this, self,
+                                    request = std::move(request)]() mutable {
+    HandlerOutcome out = handle_request(self, request);
+    self->io->loop.post([this, self, out = std::move(out)]() mutable {
+      deliver(self, std::move(out));
+    });
+  });
+  if (!accepted) c->busy = false;  // shutting down; stop() closes the conn
+}
+
+void Server::deliver(const std::shared_ptr<Conn>& c, HandlerOutcome out) {
+  if (out.became_client) c->client_id.store(out.became_client);
+  if (out.clear_client) c->client_id.store(0);
+  if (c->closed) {
+    // The connection died while the worker was busy: nothing to send, but
+    // the budget charge must come back, and a client that joined through a
+    // now-dead connection must be swept out of the scheduler.
+    if (out.inflight_charged) {
+      blob_inflight_bytes_.fetch_sub(out.inflight_charged);
+    }
+    if (out.became_client) client_left_async(out.became_client);
+    return;
+  }
+  c->busy = false;
+  if (out.replica) {
+    detach_replica(c, std::move(out.request));
+    return;
+  }
+  for (std::size_t i = 0; i < out.chunks.size(); ++i) {
+    const bool last = i + 1 == out.chunks.size();
+    conn_enqueue(c, std::move(out.chunks[i]),
+                 last ? out.inflight_charged : 0);
+  }
+  if (out.chunks.empty() && out.inflight_charged) {
+    blob_inflight_bytes_.fetch_sub(out.inflight_charged);
+  }
+  if (out.close) c->close_after_flush = true;
+  conn_flush(c);
+  if (!c->closed) conn_pump(c);
+}
+
+void Server::conn_enqueue(const std::shared_ptr<Conn>& c,
+                          std::vector<std::byte> bytes, std::size_t release) {
+  if (c->closed) {
+    if (release) blob_inflight_bytes_.fetch_sub(release);
+    return;
+  }
+  c->outq_bytes += bytes.size();
+  std::size_t prev = write_hwm_.load(std::memory_order_relaxed);
+  while (c->outq_bytes > prev &&
+         !write_hwm_.compare_exchange_weak(prev, c->outq_bytes)) {
+  }
+  loop_io_metrics().write_queue_hwm.set(
+      static_cast<double>(write_hwm_.load(std::memory_order_relaxed)));
+  c->outq.push_back(Conn::Chunk{std::move(bytes), 0, release});
+}
+
+void Server::conn_flush(const std::shared_ptr<Conn>& c) {
+  if (c->closed) return;
+  net::FaultPlan* fp = net::installed_fault_plan();
+  try {
+    while (!c->outq.empty()) {
+      Conn::Chunk& ch = c->outq.front();
+      std::span<const std::byte> rest = std::span(ch.bytes).subspan(ch.off);
+      if (fp && !rest.empty()) {
+        if (double d = fp->delay_s(); d > 0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(d));
+        }
+        if (auto keep = fp->truncate_send(rest.size())) {
+          // Mirror the blocking path: deliver only a prefix so the peer
+          // sees a torn frame, then break the connection.
+          if (*keep > 0) c->stream.send_nb(rest.subspan(0, *keep));
+          conn_disconnect(c, nullptr);
+          return;
+        }
+      }
+      auto n = c->stream.send_nb(rest);
+      if (!n) {
+        loop_io_metrics().eagain_writes.inc();
+        break;
+      }
+      ch.off += *n;
+      c->outq_bytes -= *n;
+      if (*n > 0) c->write_deadline = {};  // progress: the donor is draining
+      if (ch.off == ch.bytes.size()) {
+        if (ch.release) blob_inflight_bytes_.fetch_sub(ch.release);
+        c->outq.pop_front();
+      } else if (*n == 0) {
+        break;
+      }
+    }
+  } catch (const net::ConnectionClosed&) {
+    conn_disconnect(c, nullptr);
+    return;
+  }
+  if (c->outq.empty()) {
+    c->want_write = false;
+    c->write_deadline = {};
+    if (c->close_after_flush) {
+      conn_disconnect(c, nullptr);
+      return;
+    }
+  } else {
+    c->want_write = true;
+    if (c->write_deadline == std::chrono::steady_clock::time_point{}) {
+      c->write_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(config_.write_stall_timeout_s));
+    }
+  }
+  // Backpressure: a queue past the bound stops reads (no new requests, no
+  // new responses) until the donor drains half of it. Kernel-buffer-full
+  // is not a disconnect — only a full *stall* (sweep_conns) is.
+  if (!c->paused && c->outq_bytes > config_.max_write_buffer_bytes) {
+    c->paused = true;
+    loop_io_metrics().backpressure_stalls.inc();
+  } else if (c->paused && c->outq_bytes <= config_.max_write_buffer_bytes / 2) {
+    c->paused = false;
+  }
+  sync_conn_events(c);
+}
+
+void Server::sync_conn_events(const std::shared_ptr<Conn>& c) {
+  if (c->closed) return;
+  std::uint32_t want = (c->paused ? 0u : static_cast<std::uint32_t>(EPOLLIN)) |
+                       (c->want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+  if (want == c->armed) return;
+  c->io->loop.modify_fd(c->stream.fd(), want);
+  c->armed = want;
+}
+
+void Server::sweep_conns(IoLoop& io) {
+  const auto now = std::chrono::steady_clock::now();
+  constexpr std::chrono::steady_clock::time_point kUnset{};
+  std::vector<std::shared_ptr<Conn>> stalled_read;
+  std::vector<std::shared_ptr<Conn>> stalled_write;
+  for (const auto& c : io.conns) {
+    if (c->read_deadline != kUnset && now >= c->read_deadline &&
+        c->reader.mid_frame()) {
+      stalled_read.push_back(c);
+    } else if (c->write_deadline != kUnset && now >= c->write_deadline) {
+      stalled_write.push_back(c);
+    }
+  }
+  for (auto& c : stalled_read) {
+    LOG_WARN("handler error (client "
+             << c->client_id.load() << "): peer stalled mid-read: got "
+             << c->reader.pending_bytes() << " bytes of an unfinished frame");
+    conn_disconnect(std::move(c), nullptr);
+  }
+  for (auto& c : stalled_write) {
+    loop_io_metrics().connections_shed.inc();
+    LOG_WARN("shedding stalled connection (client "
+             << c->client_id.load() << "): " << c->outq_bytes
+             << " bytes undrained for " << config_.write_stall_timeout_s
+             << "s");
+    conn_disconnect(std::move(c), nullptr);
+  }
+}
+
+void Server::conn_disconnect(std::shared_ptr<Conn> c, const char* reason) {
+  if (c->closed) return;
+  c->closed = true;
+  c->io->loop.remove_fd(c->stream.fd());
+  for (const auto& ch : c->outq) {
+    if (ch.release) blob_inflight_bytes_.fetch_sub(ch.release);
+  }
+  c->outq.clear();
+  c->outq_bytes = 0;
+  c->inbox.clear();
+  c->stream.close();
+  c->io->conns.erase(c);
+  connected_gauge().set(connected_.fetch_sub(1) - 1);
+  if (reason) {
+    LOG_WARN("handler error (client " << c->client_id.load()
+                                      << "): " << reason);
+  }
+  if (ClientId id = c->client_id.exchange(0)) client_left_async(id);
+}
+
+void Server::client_left_async(ClientId id) {
+  workers_->submit([this, id] {
+    {
+      std::lock_guard lock(core_mutex_);
+      double t = now();
+      core_.client_left(id, t);
+      WalRecord rec;
+      rec.op = WalOp::kClientLeft;
+      rec.now = t;
+      rec.arg = id;
+      log_record(std::move(rec));
+    }
+    progress_cv_.notify_all();
+  });
+}
+
+void Server::detach_replica(const std::shared_ptr<Conn>& c,
+                            net::Message hello) {
+  // The connection becomes a long-lived replication session: pull it off
+  // the loop, restore blocking mode, and give it a dedicated thread (hot
+  // standbys are few; the blocking serve_replica path stays byte-exact).
+  c->closed = true;
+  c->io->loop.remove_fd(c->stream.fd());
+  c->io->conns.erase(c);
+  net::TcpStream stream = std::move(c->stream);
+  try {
+    stream.set_nonblocking(false);
+    for (const auto& ch : c->outq) {
+      stream.send_all(std::span(ch.bytes).subspan(ch.off));
+    }
+  } catch (const Error& e) {
+    LOG_WARN("replica handoff failed: " << e.what());
+    connected_gauge().set(connected_.fetch_sub(1) - 1);
+    return;
+  }
+  std::lock_guard lock(replica_threads_mutex_);
+  replica_threads_.emplace_back(
+      [this, s = std::move(stream), hello = std::move(hello)]() mutable {
+        serve_replica(s, hello);
+        connected_gauge().set(connected_.fetch_sub(1) - 1);
+      });
 }
 
 void Server::housekeeping_loop() {
@@ -645,42 +1080,38 @@ bool Server::try_rearm() {
   return true;
 }
 
-void Server::handler_loop(net::TcpStream stream) {
-  connected_gauge().set(connected_.fetch_add(1) + 1);
-  ClientId client_id = 0;
+Server::HandlerOutcome Server::handle_request(const std::shared_ptr<Conn>& c,
+                                              const net::Message& request) {
+  HandlerOutcome out;
   // Retryable NACK: v7+ donors get a structured RetryLater (they back off
   // and keep their buffered state); older donors get an error frame and
   // ride their existing reconnect/backoff paths.
-  auto retry_or_error = [this](const net::Message& request,
-                               const char* reason) {
+  auto retry_or_error = [this](const net::Message& req, const char* reason) {
     obs::Registry::global().counter("server.retry_laters").inc();
-    if (request.version >= 7) {
+    if (req.version >= 7) {
       RetryLaterPayload p;
       p.retry_after_s = config_.retry_later_s;
       p.reason = reason;
-      return encode_retry_later(p, request.correlation);
+      return encode_retry_later(p, req.correlation);
     }
-    return net::make_error(request.correlation,
+    return net::make_error(req.correlation,
                            std::string("retry later: ") + reason);
   };
-  try {
-    while (running_.load()) {
-      if (!stream.readable(200)) continue;
-      net::Message request = net::read_message(stream);
-      net::Message response;
-      bool send_bulk = false;
-      std::vector<std::byte> bulk;
-      // FetchBlobs bodies: shared_ptrs collected under the core lock, sent
-      // (and compressed) after the response frame without holding it.
-      std::vector<
-          std::pair<std::uint64_t,
-                    std::shared_ptr<const std::vector<std::byte>>>>
-          blob_bodies;
-      ClientId blob_client = 0;
-      std::size_t inflight_charged = 0;
-      Stopwatch handle_timer;
+  net::Message response;
+  bool have_response = true;
+  bool send_bulk = false;
+  std::vector<std::byte> bulk;
+  // FetchBlobs bodies: shared_ptrs collected under the core lock, encoded
+  // (and compressed) after the response frame without holding it.
+  std::vector<std::pair<std::uint64_t,
+                        std::shared_ptr<const std::vector<std::byte>>>>
+      blob_bodies;
+  ClientId blob_client = 0;
+  std::size_t inflight_charged = 0;
+  ClientId client_id = 0;  // Hello-assigned, mirrored into the outcome
+  Stopwatch handle_timer;
 
-      try {
+  try {
       if (standby_.load() && request.type != net::MessageType::kFetchStats) {
         // An unpromoted standby serves monitoring but no work: donors see
         // an error, drop the session, and fail over to the next endpoint
@@ -916,16 +1347,20 @@ void Server::handler_loop(net::TcpStream stream) {
             log_record(std::move(rec));
           }
           progress_cv_.notify_all();
-          connected_gauge().set(connected_.fetch_sub(1) - 1);
-          return;  // client is gone; close the connection
+          // Client is gone: no response, drop the conn's id (the departure
+          // is already recorded) and close once the queue drains.
+          have_response = false;
+          out.clear_client = true;
+          out.close = true;
+          break;
         }
         case net::MessageType::kReplicaHello: {
-          // The connection becomes a replication session: snapshot now,
-          // then live records until one side dies. serve_replica cleans up
-          // its own feed registration.
-          serve_replica(stream, request);
-          connected_gauge().set(connected_.fetch_sub(1) - 1);
-          return;
+          // The connection becomes a replication session: the loop detaches
+          // it onto a dedicated blocking thread (serve_replica cleans up
+          // its own feed registration).
+          out.replica = true;
+          out.request = request;
+          return out;
         }
         default:
           response = net::make_error(request.correlation,
@@ -933,64 +1368,45 @@ void Server::handler_loop(net::TcpStream stream) {
                                          net::to_string(request.type));
           break;
       }
-      } catch (const net::ConnectionClosed&) {
-        throw;  // transport is gone; handled by the outer catch
-      } catch (const Error& e) {
-        // A bad request (unknown problem, expired client, malformed
-        // payload) must not kill the connection: report it to the peer.
-        LOG_WARN("request failed (client " << client_id << "): " << e.what());
-        response = net::make_error(request.correlation, e.what());
-      }
-
-      if (obs::Histogram* h = handler_histogram(request.type)) {
-        h->observe(handle_timer.seconds());
-      }
-      // Answer at the requester's protocol version: a v3 donor must never
-      // see a v4 frame.
-      response.version = request.version;
-      try {
-        net::write_message(stream, response);
-        if (send_bulk) net::send_blob(stream, bulk);
-        for (const auto& [digest, bytes] : blob_bodies) {
-          auto info = net::send_blob_v4(stream, *bytes);
-          auto& bm = net::bulk_plane_metrics();
-          bm.blobs_sent.inc();
-          bm.bytes_raw.inc(info.raw_bytes);
-          bm.bytes_wire.inc(info.wire_bytes);
-          if (config_.tracer) {
-            config_.tracer->event(now(), "blob_sent")
-                .u64("client", blob_client)
-                .u64("digest", digest)
-                .u64("raw", info.raw_bytes)
-                .u64("wire", info.wire_bytes)
-                .boolean("compressed", info.compressed);
-          }
-        }
-      } catch (...) {
-        // The budget is charged until the socket writes finish; a dead
-        // connection must release it or the budget leaks shut.
-        if (inflight_charged) blob_inflight_bytes_.fetch_sub(inflight_charged);
-        throw;
-      }
-      if (inflight_charged) blob_inflight_bytes_.fetch_sub(inflight_charged);
-    }
-  } catch (const net::ConnectionClosed&) {
-    LOG_INFO("client connection closed (client " << client_id << ")");
   } catch (const Error& e) {
-    LOG_WARN("handler error (client " << client_id << "): " << e.what());
+    // A bad request (unknown problem, expired client, malformed payload)
+    // must not kill the connection: report it to the peer.
+    LOG_WARN("request failed (client "
+             << (client_id ? client_id : c->client_id.load())
+             << "): " << e.what());
+    response = net::make_error(request.correlation, e.what());
   }
-  if (client_id != 0) {
-    std::lock_guard lock(core_mutex_);
-    double t = now();
-    core_.client_left(client_id, t);
-    WalRecord rec;
-    rec.op = WalOp::kClientLeft;
-    rec.now = t;
-    rec.arg = client_id;
-    log_record(std::move(rec));
+
+  if (obs::Histogram* h = handler_histogram(request.type)) {
+    h->observe(handle_timer.seconds());
   }
-  progress_cv_.notify_all();
-  connected_gauge().set(connected_.fetch_sub(1) - 1);
+  out.became_client = client_id;
+  out.inflight_charged = inflight_charged;
+  if (have_response) {
+    // Answer at the requester's protocol version: a v3 donor must never
+    // see a v4 frame. Frames and bulk bodies are encoded here, on the
+    // worker — the loop thread only moves bytes.
+    response.version = request.version;
+    out.chunks.push_back(net::encode_frame(response));
+    if (send_bulk) out.chunks.push_back(net::encode_blob(bulk));
+    for (const auto& [digest, bytes] : blob_bodies) {
+      auto enc = net::encode_blob_v4(*bytes);
+      auto& bm = net::bulk_plane_metrics();
+      bm.blobs_sent.inc();
+      bm.bytes_raw.inc(enc.info.raw_bytes);
+      bm.bytes_wire.inc(enc.info.wire_bytes);
+      if (config_.tracer) {
+        config_.tracer->event(now(), "blob_sent")
+            .u64("client", blob_client)
+            .u64("digest", digest)
+            .u64("raw", enc.info.raw_bytes)
+            .u64("wire", enc.info.wire_bytes)
+            .boolean("compressed", enc.info.compressed);
+      }
+      out.chunks.push_back(std::move(enc.bytes));
+    }
+  }
+  return out;
 }
 
 void Server::serve_replica(net::TcpStream& stream, const net::Message& request) {

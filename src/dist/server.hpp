@@ -1,13 +1,20 @@
 #pragma once
 // TCP server: wraps SchedulerCore with the framed-message protocol.
 //
-// Thread model (mirrors the paper's single PIII-500 server):
-//   - one acceptor thread,
-//   - one handler thread per connected client (request/response loop),
-//   - one housekeeping thread (lease expiry ticks).
-// All SchedulerCore access is serialised by one mutex; handlers do the
-// (cheap) protocol work outside it and the (cheap) scheduling inside it —
-// the donors do the heavy lifting, the server never computes.
+// Thread model (event-loop, fixed thread budget):
+//   - io_threads epoll EventLoops (loop 0 also owns the listener); each
+//     connection is pinned to one loop, parsed incrementally by a
+//     FrameReader, and writes through a bounded per-connection queue —
+//     ten thousand idle donors cost file descriptors, not OS threads,
+//   - worker_threads pool running everything that can block: scheduler
+//     calls under core_mutex_, WAL fsyncs, checkpoint saves, stats JSON,
+//   - one housekeeping thread (lease expiry ticks),
+//   - one dedicated thread per attached hot standby (replication sessions
+//     are long-lived, few, and intentionally blocking).
+// A loop thread never takes core_mutex_ and never touches disk; a worker
+// never touches a socket. Requests hop loop -> worker -> loop (post), with
+// at most one worker job in flight per connection so responses keep their
+// request order.
 
 #include <atomic>
 #include <chrono>
@@ -21,8 +28,10 @@
 #include "dist/scheduler_core.hpp"
 #include "dist/wal.hpp"
 #include "net/bulk.hpp"
+#include "net/event_loop.hpp"
 #include "net/message.hpp"
 #include "net/socket.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hdcs::dist {
 
@@ -107,6 +116,20 @@ struct ServerConfig {
   std::size_t blob_inflight_budget_bytes = 0;
   /// retry_after_s stamped into RetryLater NACKs.
   double retry_later_s = 0.5;
+
+  // ---- event-loop I/O ----
+
+  /// Epoll loops driving connection I/O. One loop handles thousands of
+  /// donors; add loops only when a single core saturates on framing.
+  int io_threads = 1;
+  /// Workers running scheduler calls, WAL fsyncs and checkpoint saves so
+  /// the loop threads never block on the core mutex or on disk.
+  int worker_threads = 4;
+  /// Per-connection write-queue bound. Above it the connection's reads are
+  /// paused (backpressure) until the donor drains half; a donor that stops
+  /// draining entirely is shed after write_stall_timeout_s.
+  std::size_t max_write_buffer_bytes = 64u << 20;
+  double write_stall_timeout_s = 30.0;
 
   // ---- hot standby (protocol v6 replication) ----
 
@@ -195,9 +218,29 @@ class Server {
 
  private:
   struct ReplicaFeed;  // per-standby queue of encoded WAL records
+  struct IoLoop;       // an EventLoop + its thread + its connections
+  struct Conn;         // per-connection state machine (loop-thread owned)
+  struct HandlerOutcome;  // worker -> loop: encoded response chunks
 
-  void acceptor_loop();
-  void handler_loop(net::TcpStream stream);
+  // Event-loop path. All conn_* methods run on the connection's loop
+  // thread; handle_request runs on a worker.
+  void accept_ready();
+  void register_conn(IoLoop& io, net::TcpStream stream);
+  void conn_event(std::shared_ptr<Conn> c, std::uint32_t events);
+  void conn_readable(const std::shared_ptr<Conn>& c);
+  void conn_flush(const std::shared_ptr<Conn>& c);
+  void conn_enqueue(const std::shared_ptr<Conn>& c,
+                    std::vector<std::byte> bytes, std::size_t release);
+  void conn_pump(const std::shared_ptr<Conn>& c);
+  void conn_disconnect(std::shared_ptr<Conn> c, const char* reason);
+  void sync_conn_events(const std::shared_ptr<Conn>& c);
+  void sweep_conns(IoLoop& io);
+  HandlerOutcome handle_request(const std::shared_ptr<Conn>& c,
+                                const net::Message& request);
+  void deliver(const std::shared_ptr<Conn>& c, HandlerOutcome out);
+  void detach_replica(const std::shared_ptr<Conn>& c, net::Message hello);
+  void client_left_async(ClientId id);
+
   void housekeeping_loop();
   void serve_replica(net::TcpStream& stream, const net::Message& hello);
   void replica_loop();  // standby: sync + tail the primary, promote on silence
@@ -222,10 +265,13 @@ class Server {
 
   std::atomic<bool> running_{false};
   std::atomic<int> connected_{0};
-  std::thread acceptor_;
+  std::vector<std::unique_ptr<IoLoop>> io_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::size_t next_loop_ = 0;  // round-robin conn placement; loop-0 thread
+  std::atomic<std::size_t> write_hwm_{0};
   std::thread housekeeper_;
-  std::mutex handlers_mutex_;
-  std::vector<std::thread> handlers_;
+  std::mutex replica_threads_mutex_;
+  std::vector<std::thread> replica_threads_;
   std::chrono::steady_clock::time_point epoch_;
 
   // WAL + replication state. wal_, repl_lsn_ and feeds_ are guarded by

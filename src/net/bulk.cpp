@@ -71,6 +71,16 @@ void send_blob(TcpStream& stream, std::span<const std::byte> data) {
   bulk_metrics().bulk_bytes_sent.inc(header.size() + data.size());
 }
 
+std::vector<std::byte> encode_blob(std::span<const std::byte> data) {
+  ByteWriter out(12 + data.size());
+  out.u64(data.size());
+  out.u32(crc32(data));
+  out.raw(data);
+  bulk_metrics().blobs_sent.inc();
+  bulk_metrics().bulk_bytes_sent.inc(out.size());
+  return out.take();
+}
+
 std::vector<std::byte> recv_blob(TcpStream& stream, std::size_t max_bytes) {
   std::byte header_buf[12];
   stream.recv_all(header_buf, kMidStreamStallMs);
@@ -131,6 +141,24 @@ BlobWireInfo send_blob_v4(TcpStream& stream, std::span<const std::byte> data) {
   bulk_metrics().bulk_bytes_sent.inc(header.size() + body.size());
   return BlobWireInfo{data.size(), header.size() + body.size(),
                       compressed.has_value()};
+}
+
+EncodedBlobV4 encode_blob_v4(std::span<const std::byte> data) {
+  auto compressed = lz_compress(data);
+  std::span<const std::byte> body =
+      compressed ? std::span<const std::byte>(*compressed) : data;
+  ByteWriter out(kBlobV4HeaderBytes + body.size());
+  out.u64(data.size());
+  out.u32(crc32(data));
+  out.u8(compressed ? kBlobFlagCompressed : 0);
+  out.u64(body.size());
+  out.u32(crc32(out.data()));
+  out.raw(body);
+  bulk_metrics().blobs_sent.inc();
+  bulk_metrics().bulk_bytes_sent.inc(out.size());
+  BlobWireInfo info{data.size(), kBlobV4HeaderBytes + body.size(),
+                    compressed.has_value()};
+  return EncodedBlobV4{out.take(), info};
 }
 
 std::vector<std::byte> recv_blob_v4(TcpStream& stream, std::size_t max_bytes,

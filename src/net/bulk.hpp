@@ -28,6 +28,10 @@ std::uint32_t crc32(std::span<const std::byte> data);
 /// Send length + chunks + CRC.
 void send_blob(TcpStream& stream, std::span<const std::byte> data);
 
+/// Serialize a v3 blob (length + CRC header, then the body) to bytes for a
+/// non-blocking write queue. Same wire bytes and counters as send_blob.
+std::vector<std::byte> encode_blob(std::span<const std::byte> data);
+
 /// Receive a blob; throws ProtocolError on CRC mismatch, IoError on size
 /// above max_bytes (guards against a corrupt length header allocating GBs).
 std::vector<std::byte> recv_blob(TcpStream& stream,
@@ -49,6 +53,14 @@ struct BlobWireInfo {
 /// The CRC is always over the *raw* bytes and is checked after
 /// decompression, so corruption anywhere surfaces as ProtocolError.
 BlobWireInfo send_blob_v4(TcpStream& stream, std::span<const std::byte> data);
+
+/// Serialize a v4 blob (header + possibly-compressed body) to bytes for a
+/// non-blocking write queue. Same wire bytes and counters as send_blob_v4.
+struct EncodedBlobV4 {
+  std::vector<std::byte> bytes;
+  BlobWireInfo info;
+};
+EncodedBlobV4 encode_blob_v4(std::span<const std::byte> data);
 
 /// Receive a v4 blob. Both raw_size and wire_size are bounded by max_bytes
 /// before any allocation. When `decompress_s` is non-null, the wall seconds

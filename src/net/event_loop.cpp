@@ -1,0 +1,198 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace hdcs::net {
+
+namespace {
+struct LoopMetrics {
+  obs::Counter& wakeups = obs::Registry::global().counter("net.loop.wakeups");
+  obs::Histogram& lag_s = obs::Registry::global().histogram("net.loop.lag_s");
+  obs::Gauge& fds = obs::Registry::global().gauge("net.loop.fds");
+};
+LoopMetrics& loop_metrics() {
+  static LoopMetrics m;
+  return m;
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw IoError(std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = nullptr;  // nullptr marks the wake fd
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw_errno("epoll_ctl(wake fd)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  loop_metrics().fds.add(-static_cast<double>(fds_.size()));
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(post_mu_);
+    posted_.push_back({std::move(fn), std::chrono::steady_clock::now()});
+  }
+  std::uint64_t one = 1;
+  // A full eventfd counter (impossible in practice) would mean the loop is
+  // already hopelessly behind; the pending value still wakes it.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::stop() {
+  {
+    std::lock_guard lock(post_mu_);
+    stop_requested_ = true;
+  }
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_wake_fd() {
+  std::uint64_t buf;
+  while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
+  }
+}
+
+void EventLoop::run_posted() {
+  std::vector<PostedTask> tasks;
+  {
+    std::lock_guard lock(post_mu_);
+    tasks.swap(posted_);
+    if (stop_requested_) stopping_ = true;
+  }
+  auto now = std::chrono::steady_clock::now();
+  for (auto& t : tasks) {
+    loop_metrics().lag_s.observe(
+        std::chrono::duration<double>(now - t.at).count());
+    t.fn();
+  }
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback cb) {
+  auto reg = std::make_unique<Registration>();
+  reg->cb = std::move(cb);
+  reg->events = events;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = reg.get();
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(add)");
+  }
+  fds_[fd] = std::move(reg);
+  loop_metrics().fds.add(1);
+}
+
+void EventLoop::modify_fd(int fd, std::uint32_t events) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) throw Error("modify_fd: fd not registered");
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = it->second.get();
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(mod)");
+  }
+  it->second->events = events;
+}
+
+void EventLoop::remove_fd(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  it->second->dead = true;
+  // DEL can only fail if the fd is already gone (closed early); that still
+  // removes it from the epoll set, so the registration teardown proceeds.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  if (dispatching_) {
+    graveyard_.push_back(std::move(it->second));
+  }
+  fds_.erase(it);
+  loop_metrics().fds.add(-1);
+}
+
+void EventLoop::add_periodic(double interval_s, std::function<void()> fn) {
+  Periodic p;
+  p.interval_s = interval_s;
+  p.fn = std::move(fn);
+  p.next = std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(interval_s));
+  periodics_.push_back(std::move(p));
+}
+
+int EventLoop::timeout_ms_until_next_periodic() const {
+  if (periodics_.empty()) return 200;
+  auto now = std::chrono::steady_clock::now();
+  double best = 0.2;
+  for (const auto& p : periodics_) {
+    double dt = std::chrono::duration<double>(p.next - now).count();
+    if (dt < best) best = dt;
+  }
+  if (best <= 0) return 0;
+  return static_cast<int>(best * 1000) + 1;
+}
+
+void EventLoop::run() {
+  loop_thread_ = std::this_thread::get_id();
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+  while (!stopping_) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents,
+                         timeout_ms_until_next_periodic());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("epoll_wait");
+    }
+    loop_metrics().wakeups.inc();
+    bool woken = false;
+    dispatching_ = true;
+    for (int i = 0; i < n; ++i) {
+      auto* reg = static_cast<Registration*>(events[i].data.ptr);
+      if (reg == nullptr) {
+        woken = true;
+        continue;
+      }
+      if (reg->dead) continue;
+      reg->cb(events[i].events);
+    }
+    dispatching_ = false;
+    graveyard_.clear();
+    if (woken) drain_wake_fd();
+    run_posted();  // also picks up stop() requests
+    auto now = std::chrono::steady_clock::now();
+    for (auto& p : periodics_) {
+      if (now < p.next) continue;
+      loop_metrics().lag_s.observe(
+          std::chrono::duration<double>(now - p.next).count());
+      p.next = now + std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(p.interval_s));
+      p.fn();
+    }
+  }
+}
+
+}  // namespace hdcs::net

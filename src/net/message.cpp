@@ -1,8 +1,10 @@
 #include "net/message.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "net/bulk.hpp"
+#include "net/frame_reader.hpp"
 #include "obs/metrics.hpp"
 
 namespace hdcs::net {
@@ -102,6 +104,76 @@ Message read_message(TcpStream& stream) {
   wire_metrics().frames_received.inc();
   wire_metrics().bytes_received.inc(sizeof(header_buf) + msg.payload.size());
   return msg;
+}
+
+std::vector<std::byte> encode_frame(const Message& msg) {
+  ByteWriter out(kFrameHeaderBytes + msg.payload.size());
+  out.u32(kMagic);
+  out.u16(msg.version);
+  out.u16(static_cast<std::uint16_t>(msg.type));
+  out.u64(msg.correlation);
+  out.u32(static_cast<std::uint32_t>(msg.payload.size()));
+  out.u32(crc32(msg.payload));
+  out.raw(msg.payload);
+  wire_metrics().frames_sent.inc();
+  wire_metrics().bytes_sent.inc(out.size());
+  return out.take();
+}
+
+// FrameReader lives here (not frame_reader.cpp) so the incremental path
+// shares wire_metrics() and stays in lockstep with read_message above —
+// any validation change has to touch both, side by side.
+void FrameReader::feed(std::span<const std::byte> data,
+                       std::vector<Message>& out) {
+  for (;;) {
+    if (!in_payload_) {
+      std::size_t take = std::min(data.size(), kFrameHeaderBytes - have_);
+      std::copy_n(data.data(), take, header_.data() + have_);
+      have_ += take;
+      data = data.subspan(take);
+      if (have_ < kFrameHeaderBytes) return;
+      ByteReader header(header_);
+      std::uint32_t magic = header.u32();
+      if (magic != kMagic) {
+        char hex[16];
+        std::snprintf(hex, sizeof(hex), "%08x", magic);
+        throw ProtocolError(std::string("bad frame magic 0x") + hex);
+      }
+      std::uint16_t version = header.u16();
+      if (version < kMinProtocolVersion || version > kProtocolVersion) {
+        throw ProtocolError("unsupported protocol version " +
+                            std::to_string(version));
+      }
+      msg_ = Message{};
+      msg_.version = version;
+      msg_.type = static_cast<MessageType>(header.u16());
+      msg_.correlation = header.u64();
+      std::uint32_t len = header.u32();
+      if (len > kMaxPayload) {
+        throw ProtocolError("frame payload too large: " + std::to_string(len));
+      }
+      expected_crc_ = header.u32();
+      msg_.payload.resize(len);
+      payload_have_ = 0;
+      have_ = 0;
+      in_payload_ = true;
+    }
+    std::size_t take = std::min(data.size(), msg_.payload.size() - payload_have_);
+    std::copy_n(data.data(), take, msg_.payload.data() + payload_have_);
+    payload_have_ += take;
+    data = data.subspan(take);
+    if (payload_have_ < msg_.payload.size()) return;
+    if (std::uint32_t got = crc32(msg_.payload); got != expected_crc_) {
+      throw ProtocolError("frame payload CRC mismatch (" +
+                          std::string(to_string(msg_.type)) + " frame)");
+    }
+    wire_metrics().frames_received.inc();
+    wire_metrics().bytes_received.inc(kFrameHeaderBytes + msg_.payload.size());
+    in_payload_ = false;
+    out.push_back(std::move(msg_));
+    msg_ = Message{};
+    if (data.empty()) return;
+  }
 }
 
 Message make_error(std::uint64_t correlation, const std::string& text) {

@@ -94,6 +94,12 @@ void write_message(TcpStream& stream, const Message& msg);
 /// payload CRC mismatch, ConnectionClosed on clean EOF at a frame boundary.
 Message read_message(TcpStream& stream);
 
+/// Serialize one frame (header + payload) to bytes without touching a
+/// socket — the event-loop server encodes onto per-connection write queues.
+/// Bumps the same net.frames_sent / net.bytes_sent counters write_message
+/// does, at encode time (the queue owns delivery from here).
+std::vector<std::byte> encode_frame(const Message& msg);
+
 /// Convenience: build a message whose payload is a single string (errors).
 Message make_error(std::uint64_t correlation, const std::string& text);
 

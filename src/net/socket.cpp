@@ -1,6 +1,7 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -19,6 +20,25 @@ namespace hdcs::net {
 namespace {
 [[noreturn]] void throw_errno(const std::string& what) {
   throw IoError(what + ": " + std::strerror(errno));
+}
+
+void set_fd_nonblocking(int fd, bool on) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) != 0) {
+    throw_errno("fcntl(F_SETFL)");
+  }
+}
+
+sockaddr_in parse_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw IoError("invalid IPv4 address: " + host);
+  }
+  return addr;
 }
 
 sockaddr_in loopback_addr(std::uint16_t port) {
@@ -77,18 +97,37 @@ TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
   if (fd < 0) throw_errno("socket");
   Socket sock(fd);
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    throw IoError("invalid IPv4 address: " + host);
-  }
+  sockaddr_in addr = parse_addr(host, port);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     throw_errno("connect to " + host + ":" + std::to_string(port));
   }
   TcpStream stream(std::move(sock));
   stream.set_nodelay(true);
   return stream;
+}
+
+TcpStream TcpStream::connect_nonblocking(const std::string& host,
+                                         std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+  set_fd_nonblocking(fd, true);
+
+  sockaddr_in addr = parse_addr(host, port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    throw_errno("connect to " + host + ":" + std::to_string(port));
+  }
+  return TcpStream{std::move(sock)};
+}
+
+int TcpStream::socket_error() const {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(sock_.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    throw_errno("getsockopt(SO_ERROR)");
+  }
+  return err;
 }
 
 void TcpStream::send_all(std::span<const std::byte> data) {
@@ -148,6 +187,32 @@ std::size_t TcpStream::recv_some(std::span<std::byte> data) {
   }
 }
 
+std::optional<std::size_t> TcpStream::recv_nb(std::span<std::byte> data) {
+  for (;;) {
+    ssize_t n = ::recv(sock_.fd(), data.data(), data.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+      if (errno == ECONNRESET) throw ConnectionClosed();
+      throw_errno("recv");
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<std::size_t> TcpStream::send_nb(std::span<const std::byte> data) {
+  for (;;) {
+    ssize_t n = ::send(sock_.fd(), data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+      if (errno == EPIPE || errno == ECONNRESET) throw ConnectionClosed();
+      throw_errno("send");
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
 bool TcpStream::readable(int timeout_ms) const {
   pollfd pfd{};
   pfd.fd = sock_.fd();
@@ -165,6 +230,10 @@ void TcpStream::set_nodelay(bool on) {
   if (::setsockopt(sock_.fd(), IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)) != 0) {
     throw_errno("setsockopt(TCP_NODELAY)");
   }
+}
+
+void TcpStream::set_nonblocking(bool on) {
+  set_fd_nonblocking(sock_.fd(), on);
 }
 
 void TcpStream::shutdown_write() {
@@ -185,7 +254,11 @@ TcpListener TcpListener::bind(std::uint16_t port) {
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     throw_errno("bind port " + std::to_string(port));
   }
-  if (::listen(fd, 128) != 0) throw_errno("listen");
+  // Non-blocking so ::accept after readiness can never block the acceptor
+  // (the peer may reset in the window between poll/epoll and accept), and a
+  // deep backlog so a connection storm's SYN burst isn't refused at 128.
+  set_fd_nonblocking(fd, true);
+  if (::listen(fd, SOMAXCONN) != 0) throw_errno("listen");
 
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
@@ -207,7 +280,12 @@ std::optional<TcpStream> TcpListener::accept(int timeout_ms) {
   if (rc == 0) return std::nullopt;
   int fd = ::accept(sock_.fd(), nullptr, nullptr);
   if (fd < 0) {
-    if (errno == EINTR || errno == ECONNABORTED) return std::nullopt;
+    // EAGAIN: the ready connection vanished (peer reset) before we got
+    // here — a spurious wakeup, not an error, now that the fd is O_NONBLOCK.
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      return std::nullopt;
+    }
     throw_errno("accept");
   }
   TcpStream stream{Socket(fd)};

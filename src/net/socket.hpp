@@ -56,6 +56,16 @@ class TcpStream {
   /// Connect to host:port; throws IoError on failure.
   static TcpStream connect(const std::string& host, std::uint16_t port);
 
+  /// Begin a non-blocking connect; returns a nonblocking stream whose
+  /// handshake may still be in flight (EINPROGRESS). Wait for writability,
+  /// then check socket_error() == 0. Connection-storm clients use this to
+  /// drive thousands of concurrent dials from one thread.
+  static TcpStream connect_nonblocking(const std::string& host,
+                                       std::uint16_t port);
+
+  /// Pending SO_ERROR (0 if none) — resolves a non-blocking connect.
+  [[nodiscard]] int socket_error() const;
+
   /// Send the entire buffer; throws IoError / ConnectionClosed.
   void send_all(std::span<const std::byte> data);
 
@@ -69,10 +79,21 @@ class TcpStream {
   /// Receive up to data.size() bytes; returns 0 on orderly EOF.
   std::size_t recv_some(std::span<std::byte> data);
 
+  /// Non-blocking receive: nullopt if the read would block, 0 on orderly
+  /// EOF, else bytes received. Throws ConnectionClosed on peer reset.
+  /// No fault injection — event-loop callers inject at the framing layer.
+  std::optional<std::size_t> recv_nb(std::span<std::byte> data);
+
+  /// Non-blocking send of whatever the kernel buffer takes: nullopt if it
+  /// would block (zero bytes accepted), else bytes sent (may be short).
+  /// Throws ConnectionClosed on EPIPE / peer reset.
+  std::optional<std::size_t> send_nb(std::span<const std::byte> data);
+
   /// Returns true if a read would not block within timeout_ms.
   [[nodiscard]] bool readable(int timeout_ms) const;
 
   void set_nodelay(bool on);
+  void set_nonblocking(bool on);
   void shutdown_write();
   void close() { sock_.close(); }
   [[nodiscard]] bool valid() const { return sock_.valid(); }
@@ -88,10 +109,14 @@ class TcpListener {
   /// Bind+listen; port 0 picks an ephemeral port (see port()).
   static TcpListener bind(std::uint16_t port);
 
-  /// Accept one connection; nullopt on timeout.
+  /// Accept one connection; nullopt on timeout. The listener fd is
+  /// non-blocking, so a peer that resets between readiness and ::accept
+  /// surfaces as EAGAIN and is treated as a spurious wakeup (nullopt)
+  /// instead of blocking the acceptor in ::accept.
   std::optional<TcpStream> accept(int timeout_ms);
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int fd() const { return sock_.fd(); }
   void close() { sock_.close(); }
 
  private:

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
 #include "net/bulk.hpp"
 #include "net/fault.hpp"
+#include "net/frame_reader.hpp"
 #include "net/message.hpp"
 #include "net/socket.hpp"
 #include "util/rng.hpp"
@@ -198,6 +200,194 @@ TEST(Bulk, CorruptedPayloadFailsCrc) {
   p.client.send_all(header.data());
   p.client.send_all(as_bytes(body));
   EXPECT_THROW(recv_blob(p.server), ProtocolError);
+}
+
+// ---- FrameReader: the incremental parser must match the blocking path ----
+
+/// One message per type the protocol defines, across every accepted frame
+/// version, with payload sizes from empty through several-KB random bytes.
+std::vector<Message> frame_reader_corpus() {
+  const MessageType kTypes[] = {
+      MessageType::kHello,          MessageType::kRequestWork,
+      MessageType::kSubmitResult,   MessageType::kHeartbeat,
+      MessageType::kFetchProblemData, MessageType::kGoodbye,
+      MessageType::kFetchStats,     MessageType::kFetchBlobs,
+      MessageType::kReplicaHello,   MessageType::kHelloAck,
+      MessageType::kWorkAssignment, MessageType::kNoWorkAvailable,
+      MessageType::kProblemData,    MessageType::kResultAck,
+      MessageType::kHeartbeatAck,   MessageType::kShutdown,
+      MessageType::kStatsSnapshot,  MessageType::kBlobData,
+      MessageType::kReplicaSnapshot, MessageType::kWalAppend,
+      MessageType::kRetryLater,     MessageType::kError,
+  };
+  Rng rng(2024);
+  std::vector<Message> corpus;
+  std::uint64_t correlation = 1;
+  for (std::uint16_t version = kMinProtocolVersion;
+       version <= kProtocolVersion; ++version) {
+    for (MessageType type : kTypes) {
+      Message m;
+      m.type = type;
+      m.version = version;
+      m.correlation = correlation++;
+      std::size_t len = static_cast<std::size_t>(rng.next_u64() % 4096);
+      if (correlation % 5 == 0) len = 0;  // empty payloads are legal
+      m.payload.resize(len);
+      for (auto& b : m.payload) {
+        b = static_cast<std::byte>(rng.next_u64() & 0xff);
+      }
+      corpus.push_back(std::move(m));
+    }
+  }
+  return corpus;
+}
+
+std::vector<std::byte> concat_frames(const std::vector<Message>& msgs) {
+  std::vector<std::byte> wire;
+  for (const auto& m : msgs) {
+    auto frame = encode_frame(m);
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  return wire;
+}
+
+void expect_same_messages(const std::vector<Message>& got,
+                          const std::vector<Message>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].type, want[i].type) << "message " << i;
+    EXPECT_EQ(got[i].version, want[i].version) << "message " << i;
+    EXPECT_EQ(got[i].correlation, want[i].correlation) << "message " << i;
+    EXPECT_EQ(got[i].payload, want[i].payload) << "message " << i;
+  }
+}
+
+TEST(FrameReader, EncodeFrameMatchesWriteMessageBytes) {
+  // encode_frame (event-loop write path) and write_message (blocking path)
+  // must put identical bytes on the wire for every type and version.
+  Pair p;
+  for (const auto& m : frame_reader_corpus()) {
+    write_message(p.client, m);
+    auto encoded = encode_frame(m);
+    std::vector<std::byte> sent(encoded.size());
+    p.server.recv_all(sent);
+    EXPECT_EQ(sent, encoded) << to_string(m.type) << " v" << m.version;
+  }
+}
+
+TEST(FrameReader, OneByteAtATimeDecodesEveryTypeAndVersion) {
+  auto corpus = frame_reader_corpus();
+  auto wire = concat_frames(corpus);
+  FrameReader reader;
+  std::vector<Message> got;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    reader.feed(std::span(&wire[i], 1), got);
+  }
+  EXPECT_FALSE(reader.mid_frame());
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+  expect_same_messages(got, corpus);
+}
+
+TEST(FrameReader, RandomSplitPointsDecodeIdentically) {
+  auto corpus = frame_reader_corpus();
+  auto wire = concat_frames(corpus);
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    FrameReader reader;
+    std::vector<Message> got;
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      // Mostly small slices (exercising header/payload boundaries), with
+      // occasional multi-frame gulps.
+      std::size_t n = 1 + static_cast<std::size_t>(
+                              rng.next_u64() % (round % 3 == 0 ? 7 : 997));
+      n = std::min(n, wire.size() - off);
+      reader.feed(std::span(wire).subspan(off, n), got);
+      off += n;
+    }
+    EXPECT_FALSE(reader.mid_frame()) << "round " << round;
+    expect_same_messages(got, corpus);
+  }
+}
+
+TEST(FrameReader, AgreesWithBlockingReadMessage) {
+  // The same byte stream through both paths: read_message over a socket
+  // and FrameReader over random slices must produce identical decodes.
+  auto corpus = frame_reader_corpus();
+  Pair p;
+  std::thread sender([&] {
+    for (const auto& m : corpus) write_message(p.client, m);
+    p.client.shutdown_write();
+  });
+  std::vector<Message> blocking;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    blocking.push_back(read_message(p.server));
+  }
+  sender.join();
+  FrameReader reader;
+  std::vector<Message> incremental;
+  auto wire = concat_frames(corpus);
+  Rng rng(13);
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    std::size_t n = std::min<std::size_t>(1 + rng.next_u64() % 61,
+                                          wire.size() - off);
+    reader.feed(std::span(wire).subspan(off, n), incremental);
+    off += n;
+  }
+  expect_same_messages(incremental, blocking);
+}
+
+TEST(FrameReader, MidFrameFlagTracksPartialFrames) {
+  Message m;
+  m.type = MessageType::kHeartbeat;
+  m.correlation = 9;
+  m.payload.resize(10, std::byte{0x41});
+  auto wire = encode_frame(m);
+  FrameReader reader;
+  std::vector<Message> got;
+  EXPECT_FALSE(reader.mid_frame());
+  reader.feed(std::span(wire).first(1), got);
+  EXPECT_TRUE(reader.mid_frame());  // header started
+  reader.feed(std::span(wire).subspan(1, kFrameHeaderBytes), got);
+  EXPECT_TRUE(reader.mid_frame());  // payload started
+  EXPECT_EQ(reader.pending_bytes(), kFrameHeaderBytes + 1);
+  reader.feed(std::span(wire).subspan(kFrameHeaderBytes + 1), got);
+  EXPECT_FALSE(reader.mid_frame());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, m.payload);
+}
+
+TEST(FrameReader, RejectsBadMagicLikeBlockingPath) {
+  std::vector<std::byte> garbage(kFrameHeaderBytes, std::byte{0x5a});
+  FrameReader reader;
+  std::vector<Message> got;
+  try {
+    reader.feed(garbage, got);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("0x5a5a5a5a"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FrameReader, RejectsPayloadCorruptionLikeBlockingPath) {
+  Message m;
+  m.type = MessageType::kSubmitResult;
+  m.correlation = 4;
+  m.payload.resize(64, std::byte{0x7});
+  auto wire = encode_frame(m);
+  wire[kFrameHeaderBytes + 5] ^= std::byte{0x20};  // flip a payload byte
+  FrameReader reader;
+  std::vector<Message> got;
+  try {
+    reader.feed(wire, got);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("SubmitResult"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_TRUE(got.empty());
 }
 
 TEST(Fault, NoPlanInstalledByDefault) {
